@@ -1,0 +1,26 @@
+//! Aggregate functions for cube computation.
+//!
+//! Section 7 of the paper classifies aggregate functions following Gray et
+//! al.:
+//!
+//! * **distributive** — partial aggregates merge into the full one
+//!   (`count`, `sum`, `min`, `max`);
+//! * **algebraic** — a bounded partial state suffices (`avg` carries
+//!   `(sum, count)`);
+//! * **holistic** — no constant-size partial state exists (`top-k most
+//!   frequent`); SP-Cube supports the *partially algebraic* subset and we
+//!   provide a bounded-state `TopKFrequent` to exercise that code path.
+//!
+//! The framework is enum-based ([`AggSpec`] + [`AggState`]) so states can be
+//! shipped through the simulated MapReduce shuffle, byte-accounted, and
+//! serialized with the SP-Sketch. The merge laws (commutativity,
+//! associativity, identity) that distributed correctness relies on are
+//! enforced by unit and property tests.
+
+pub mod output;
+pub mod spec;
+pub mod state;
+
+pub use output::AggOutput;
+pub use spec::{AggKind, AggSpec};
+pub use state::AggState;

@@ -1,0 +1,104 @@
+//! Final aggregate outputs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The finalized value a c-group contributes to the cube.
+///
+/// Scalar for distributive/algebraic functions; a ranked list for the
+/// holistic `top-k most frequent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggOutput {
+    /// A scalar aggregate (count, sum, min, max, avg).
+    Number(f64),
+    /// `(measure value, frequency)` pairs, most frequent first.
+    TopK(Vec<(f64, u64)>),
+}
+
+impl AggOutput {
+    /// The scalar payload; panics for top-k outputs (callers comparing whole
+    /// cubes use `PartialEq` instead).
+    pub fn number(&self) -> f64 {
+        match self {
+            AggOutput::Number(x) => *x,
+            AggOutput::TopK(_) => panic!("top-k output has no scalar value"),
+        }
+    }
+
+    /// Approximate equality for scalar outputs; exact equality for top-k.
+    /// Distributed float summation is order-dependent, so cube-equality
+    /// checks in the tests use a relative epsilon.
+    pub fn approx_eq(&self, other: &AggOutput, rel_eps: f64) -> bool {
+        match (self, other) {
+            (AggOutput::Number(a), AggOutput::Number(b)) => {
+                if a.is_nan() && b.is_nan() {
+                    return true;
+                }
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= rel_eps * scale
+            }
+            (AggOutput::TopK(a), AggOutput::TopK(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AggOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggOutput::Number(x) => write!(f, "{x}"),
+            AggOutput::TopK(entries) => {
+                write!(f, "[")?;
+                for (i, (v, n)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}x{n}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_accessor() {
+        assert_eq!(AggOutput::Number(4.0).number(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no scalar")]
+    fn number_on_topk_panics() {
+        AggOutput::TopK(vec![]).number();
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_noise() {
+        let a = AggOutput::Number(1_000_000.0);
+        let b = AggOutput::Number(1_000_000.0000001);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&AggOutput::Number(1_000_001.0), 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_nan() {
+        let n = AggOutput::Number(f64::NAN);
+        assert!(n.approx_eq(&AggOutput::Number(f64::NAN), 0.0));
+    }
+
+    #[test]
+    fn approx_eq_cross_variant_is_false() {
+        assert!(!AggOutput::Number(1.0).approx_eq(&AggOutput::TopK(vec![]), 1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AggOutput::Number(2.5).to_string(), "2.5");
+        assert_eq!(AggOutput::TopK(vec![(1.0, 3), (2.0, 1)]).to_string(), "[1x3, 2x1]");
+    }
+}

@@ -1,0 +1,147 @@
+//! Aggregate function specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::AggState;
+
+/// Classification of aggregate functions (Gray et al., cited as \[23\] in the
+/// paper; discussed in Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Partial aggregates merge directly (`count`, `sum`, `min`, `max`).
+    Distributive,
+    /// A bounded intermediate state computes the result (`avg`).
+    Algebraic,
+    /// No constant-size partial state in general (`top-k most frequent`).
+    Holistic,
+}
+
+/// A concrete aggregate function over the measure attribute.
+///
+/// The same `AggSpec` value drives the mappers' partial aggregation of
+/// skewed c-groups, the reducers' BUC runs, and the final merge at the skew
+/// reducer — mirroring how the paper's algorithm is parameterized by the
+/// aggregate function while the SP-Sketch stays function-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggSpec {
+    /// Cardinality of the c-group (the paper's running default).
+    Count,
+    /// Sum of measures.
+    Sum,
+    /// Minimum measure.
+    Min,
+    /// Maximum measure.
+    Max,
+    /// Average measure (algebraic: carries sum and count).
+    Avg,
+    /// Top-k most frequent measure values (holistic). The state keeps exact
+    /// per-value counts; its size grows with distinct measures, which is why
+    /// the paper defers general holistic support to future work.
+    TopKFrequent(usize),
+    /// Exact number of distinct measure values. The canonical *partially
+    /// algebraic* measure of Section 7 / MRCube: holistic in general, but
+    /// its computation partitions by the measure value, so partial states
+    /// (value sets) merge losslessly. State size grows with distinct
+    /// measures.
+    CountDistinct,
+}
+
+impl AggSpec {
+    /// The function's class.
+    pub fn kind(self) -> AggKind {
+        match self {
+            AggSpec::Count | AggSpec::Sum | AggSpec::Min | AggSpec::Max => {
+                AggKind::Distributive
+            }
+            AggSpec::Avg => AggKind::Algebraic,
+            AggSpec::TopKFrequent(_) | AggSpec::CountDistinct => AggKind::Holistic,
+        }
+    }
+
+    /// Fresh identity state for this function.
+    pub fn init(self) -> AggState {
+        match self {
+            AggSpec::Count => AggState::Count(0),
+            AggSpec::Sum => AggState::Sum(0.0),
+            AggSpec::Min => AggState::Min(f64::INFINITY),
+            AggSpec::Max => AggState::Max(f64::NEG_INFINITY),
+            AggSpec::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggSpec::TopKFrequent(k) => AggState::new_topk(k),
+            AggSpec::CountDistinct => AggState::new_distinct(),
+        }
+    }
+
+    /// Fold one measure value into a state.
+    #[inline]
+    pub fn update(self, state: &mut AggState, measure: f64) {
+        state.update(measure);
+    }
+
+    /// State for a single measure observation.
+    #[inline]
+    pub fn of(self, measure: f64) -> AggState {
+        let mut s = self.init();
+        s.update(measure);
+        s
+    }
+
+    /// Whether partial aggregation (map-side combining) is admissible: true
+    /// for distributive and algebraic functions and for the bounded-state
+    /// holistic `TopKFrequent` (its exact counts merge losslessly).
+    pub fn supports_partial_aggregation(self) -> bool {
+        true
+    }
+
+    /// Human-readable name, used in experiment reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggSpec::Count => "count",
+            AggSpec::Sum => "sum",
+            AggSpec::Min => "min",
+            AggSpec::Max => "max",
+            AggSpec::Avg => "avg",
+            AggSpec::TopKFrequent(_) => "topk",
+            AggSpec::CountDistinct => "count_distinct",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(AggSpec::Count.kind(), AggKind::Distributive);
+        assert_eq!(AggSpec::Sum.kind(), AggKind::Distributive);
+        assert_eq!(AggSpec::Min.kind(), AggKind::Distributive);
+        assert_eq!(AggSpec::Max.kind(), AggKind::Distributive);
+        assert_eq!(AggSpec::Avg.kind(), AggKind::Algebraic);
+        assert_eq!(AggSpec::TopKFrequent(3).kind(), AggKind::Holistic);
+    }
+
+    #[test]
+    fn init_is_identity_for_merge() {
+        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+            let mut a = spec.of(5.0);
+            let id = spec.init();
+            a.merge(&id);
+            assert_eq!(a, spec.of(5.0), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn of_builds_singleton_state() {
+        assert_eq!(AggSpec::Count.of(9.0), AggState::Count(1));
+        assert_eq!(AggSpec::Sum.of(9.0), AggState::Sum(9.0));
+        assert_eq!(AggSpec::Min.of(9.0), AggState::Min(9.0));
+        assert_eq!(AggSpec::Max.of(9.0), AggState::Max(9.0));
+        assert_eq!(AggSpec::Avg.of(9.0), AggState::Avg { sum: 9.0, count: 1 });
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AggSpec::Count.name(), "count");
+        assert_eq!(AggSpec::TopKFrequent(5).name(), "topk");
+    }
+}

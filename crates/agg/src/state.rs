@@ -1,0 +1,281 @@
+//! Partial aggregation states.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::output::AggOutput;
+
+/// The partial state of an aggregate computation.
+///
+/// States are what SP-Cube's mappers accumulate for skewed c-groups and ship
+/// to the skew reducer (at most `k` partials per skewed group — Section 5.1),
+/// and what combiners in the baseline algorithms push through the shuffle.
+/// `merge` must be commutative and associative with `init` as identity;
+/// property tests in this module verify those laws.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggState {
+    /// Running cardinality.
+    Count(u64),
+    /// Running sum.
+    Sum(f64),
+    /// Running minimum (`+inf` = identity).
+    Min(f64),
+    /// Running maximum (`-inf` = identity).
+    Max(f64),
+    /// Running (sum, count) for `avg`.
+    Avg {
+        /// Sum of measures seen so far.
+        sum: f64,
+        /// Number of measures seen so far.
+        count: u64,
+    },
+    /// Exact frequency table for `top-k most frequent measure` (holistic).
+    /// Measures are keyed by their bit pattern to stay `Eq`-safe; the table
+    /// is a `BTreeMap` so state comparison and serialization are
+    /// deterministic.
+    TopK {
+        /// How many top entries `finalize` reports.
+        k: usize,
+        /// measure bits -> frequency.
+        counts: BTreeMap<u64, u64>,
+    },
+    /// Exact distinct measure values (partially algebraic `count distinct`):
+    /// the set of value bit patterns seen, which merges by union.
+    Distinct(std::collections::BTreeSet<u64>),
+}
+
+impl AggState {
+    /// Fresh top-k state.
+    pub fn new_topk(k: usize) -> AggState {
+        AggState::TopK { k, counts: BTreeMap::new() }
+    }
+
+    /// Fresh count-distinct state.
+    pub fn new_distinct() -> AggState {
+        AggState::Distinct(std::collections::BTreeSet::new())
+    }
+
+    /// Fold one measure observation into the state.
+    #[inline]
+    pub fn update(&mut self, measure: f64) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum(s) => *s += measure,
+            AggState::Min(m) => {
+                if measure < *m {
+                    *m = measure;
+                }
+            }
+            AggState::Max(m) => {
+                if measure > *m {
+                    *m = measure;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += measure;
+                *count += 1;
+            }
+            AggState::TopK { counts, .. } => {
+                *counts.entry(measure.to_bits()).or_insert(0) += 1;
+            }
+            AggState::Distinct(values) => {
+                values.insert(measure.to_bits());
+            }
+        }
+    }
+
+    /// Merge another partial state of the same function into this one.
+    /// Panics (debug) on mismatched variants — states of different
+    /// functions never meet in a correct job.
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += *b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a += *b,
+            (AggState::Min(a), AggState::Min(b)) => {
+                if *b < *a {
+                    *a = *b;
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if *b > *a {
+                    *a = *b;
+                }
+            }
+            (
+                AggState::Avg { sum: s1, count: c1 },
+                AggState::Avg { sum: s2, count: c2 },
+            ) => {
+                *s1 += *s2;
+                *c1 += *c2;
+            }
+            (AggState::TopK { counts: a, .. }, AggState::TopK { counts: b, .. }) => {
+                for (bits, n) in b {
+                    *a.entry(*bits).or_insert(0) += *n;
+                }
+            }
+            (AggState::Distinct(a), AggState::Distinct(b)) => {
+                a.extend(b.iter().copied());
+            }
+            (a, b) => panic!("merging mismatched aggregate states {a:?} and {b:?}"),
+        }
+    }
+
+    /// Finish the computation, producing the value written to the cube.
+    pub fn finalize(&self) -> AggOutput {
+        match self {
+            AggState::Count(c) => AggOutput::Number(*c as f64),
+            AggState::Sum(s) => AggOutput::Number(*s),
+            AggState::Min(m) | AggState::Max(m) => AggOutput::Number(*m),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    AggOutput::Number(f64::NAN)
+                } else {
+                    AggOutput::Number(sum / *count as f64)
+                }
+            }
+            AggState::TopK { k, counts } => {
+                let mut entries: Vec<(u64, u64)> =
+                    counts.iter().map(|(&bits, &n)| (bits, n)).collect();
+                // Most frequent first; ties broken by measure bits for
+                // determinism.
+                entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                entries.truncate(*k);
+                AggOutput::TopK(
+                    entries.into_iter().map(|(bits, n)| (f64::from_bits(bits), n)).collect(),
+                )
+            }
+            AggState::Distinct(values) => AggOutput::Number(values.len() as f64),
+        }
+    }
+
+    /// Serialized size on the wire, used by the traffic accounting. States
+    /// are what combiners and the skew path ship instead of raw measures.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            AggState::Count(_) | AggState::Sum(_) | AggState::Min(_) | AggState::Max(_) => 9,
+            AggState::Avg { .. } => 17,
+            AggState::TopK { counts, .. } => 9 + 16 * counts.len() as u64,
+            AggState::Distinct(values) => 9 + 8 * values.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AggSpec;
+
+    fn fold(spec: AggSpec, measures: &[f64]) -> AggState {
+        let mut s = spec.init();
+        for &m in measures {
+            s.update(m);
+        }
+        s
+    }
+
+    #[test]
+    fn count_counts() {
+        let s = fold(AggSpec::Count, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.finalize(), AggOutput::Number(3.0));
+    }
+
+    #[test]
+    fn sum_min_max() {
+        assert_eq!(fold(AggSpec::Sum, &[1.0, 2.5]).finalize(), AggOutput::Number(3.5));
+        assert_eq!(fold(AggSpec::Min, &[4.0, -2.0, 9.0]).finalize(), AggOutput::Number(-2.0));
+        assert_eq!(fold(AggSpec::Max, &[4.0, -2.0, 9.0]).finalize(), AggOutput::Number(9.0));
+    }
+
+    #[test]
+    fn avg_divides() {
+        assert_eq!(fold(AggSpec::Avg, &[1.0, 2.0, 6.0]).finalize(), AggOutput::Number(3.0));
+    }
+
+    #[test]
+    fn avg_of_nothing_is_nan() {
+        match AggSpec::Avg.init().finalize() {
+            AggOutput::Number(x) => assert!(x.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        // The crucial distributed-correctness law: splitting the input and
+        // merging partials gives the same result as one pass.
+        let data: Vec<f64> = (0..100).map(|i| (i * 7 % 13) as f64).collect();
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+            AggSpec::TopKFrequent(3),
+            AggSpec::CountDistinct,
+        ] {
+            let whole = fold(spec, &data);
+            for split in [1, 17, 50, 99] {
+                let mut left = fold(spec, &data[..split]);
+                let right = fold(spec, &data[split..]);
+                left.merge(&right);
+                assert_eq!(left.finalize(), whole.finalize(), "{spec:?} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+            let a0 = fold(spec, &[1.0, 5.0]);
+            let b0 = fold(spec, &[2.0]);
+            let mut ab = a0.clone();
+            ab.merge(&b0);
+            let mut ba = b0.clone();
+            ba.merge(&a0);
+            assert_eq!(ab.finalize(), ba.finalize(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn count_distinct_counts_unique_values() {
+        let s = fold(AggSpec::CountDistinct, &[1.0, 2.0, 2.0, 3.0, 1.0]);
+        assert_eq!(s.finalize(), AggOutput::Number(3.0));
+        assert_eq!(AggSpec::CountDistinct.init().finalize(), AggOutput::Number(0.0));
+    }
+
+    #[test]
+    fn count_distinct_merge_is_union() {
+        let mut a = fold(AggSpec::CountDistinct, &[1.0, 2.0]);
+        let b = fold(AggSpec::CountDistinct, &[2.0, 3.0]);
+        a.merge(&b);
+        assert_eq!(a.finalize(), AggOutput::Number(3.0));
+    }
+
+    #[test]
+    fn topk_orders_by_frequency_then_value() {
+        let s = fold(AggSpec::TopKFrequent(2), &[5.0, 5.0, 3.0, 3.0, 1.0]);
+        assert_eq!(s.finalize(), AggOutput::TopK(vec![(3.0, 2), (5.0, 2)]));
+    }
+
+    #[test]
+    fn topk_truncates_to_k() {
+        let s = fold(AggSpec::TopKFrequent(1), &[1.0, 1.0, 2.0]);
+        assert_eq!(s.finalize(), AggOutput::TopK(vec![(1.0, 2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn merging_mismatched_states_panics() {
+        let mut a = AggState::Count(1);
+        a.merge(&AggState::Sum(2.0));
+    }
+
+    #[test]
+    fn wire_bytes_reflect_state_size() {
+        assert_eq!(AggState::Count(5).wire_bytes(), 9);
+        assert_eq!(AggState::Avg { sum: 1.0, count: 1 }.wire_bytes(), 17);
+        let t = fold(AggSpec::TopKFrequent(2), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.wire_bytes(), 9 + 16 * 3);
+    }
+}

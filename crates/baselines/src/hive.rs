@@ -1,0 +1,235 @@
+//! A Hive-0.13-style grouping-sets cube.
+//!
+//! Hive compiles `GROUP BY … WITH CUBE` into a single MapReduce job: the
+//! mapper expands each row into all `2^d` grouping-set rows and pushes them
+//! through a *bounded* hash aggregation table (`hive.map.aggr`); the
+//! reducer aggregates per key. We model the two properties that drive
+//! Hive's behaviour in the paper's experiments:
+//!
+//! * the map-side table has a fixed entry budget and **no eviction** — once
+//!   it is full, rows whose key is not already resident are emitted raw.
+//!   Hot groups that enter the table early (the apex always does: it is the
+//!   first key of the first row) combine well; hot groups that arrive after
+//!   the uniform-key flood has filled the table leak raw rows;
+//! * the reducer **buffers each key group's rows** before aggregating (the
+//!   value-container behaviour of Hive's operator pipeline). A heavy group
+//!   whose raw rows exceed machine memory aborts the job — this is what the
+//!   paper observed: "it did not manage to handle heavy skews in the data:
+//!   for p ≥ 0.4 it got stuck as some reducers got out of memory"
+//!   (Section 6.2).
+//!
+//! With light skew everything combines or stays small, and Hive's plain
+//! hash-partitioned single round is competitive — matching its strong
+//! showing on the Wikipedia-like workload (Figure 4).
+
+use std::collections::HashMap;
+
+use spcube_agg::{AggOutput, AggSpec, AggState};
+use spcube_common::{Group, Mask, Relation, Result, Tuple};
+use spcube_cubealg::Cube;
+use spcube_mapreduce::{
+    run_job, ClusterConfig, LargeGroupBehavior, MapContext, MrJob, ReduceContext, RunMetrics,
+};
+
+use crate::BaselineRun;
+
+/// Hive-style configuration.
+#[derive(Debug, Clone)]
+pub struct HiveConfig {
+    /// The aggregate function.
+    pub agg: AggSpec,
+    /// Entry budget of the map-side hash aggregation table
+    /// (`hive.map.aggr.hash` memory, expressed in entries).
+    pub map_hash_entries: usize,
+    /// Number of non-cube payload attributes each input row carries.
+    /// Hive's grouping-set expansion materializes the *whole* row `2^d`
+    /// times before projecting, so wide relations (the paper's USAGOV has
+    /// 15 attributes, 4 of them cubed) pay a per-expansion CPU cost the
+    /// other algorithms avoid — this is what makes Hive's map time dominate
+    /// in Figure 5b. Charged as extra work units per expanded row.
+    pub payload_attrs: usize,
+}
+
+impl HiveConfig {
+    /// Defaults: a table of 4096 entries, no payload attributes.
+    pub fn new(agg: AggSpec) -> HiveConfig {
+        HiveConfig { agg, map_hash_entries: 4096, payload_attrs: 0 }
+    }
+}
+
+struct HiveJob {
+    d: usize,
+    cfg: HiveConfig,
+}
+
+impl MrJob for HiveJob {
+    type Input = Tuple;
+    type Key = Group;
+    type Value = AggState;
+    type Output = (Group, AggOutput);
+
+    fn name(&self) -> String {
+        "hive-cube".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, Group, AggState>, split: &[Tuple]) {
+        let full = Mask::full(self.d);
+        let spec = self.cfg.agg;
+        // Bounded hash aggregation: insert-if-room, merge-if-present,
+        // pass-through otherwise.
+        let mut table: HashMap<Group, AggState> = HashMap::with_capacity(self.cfg.map_hash_entries);
+        let row_units = 1 + self.cfg.payload_attrs as u64;
+        for t in split {
+            for mask in full.subsets() {
+                ctx.charge(row_units);
+                let g = Group::of_tuple(t, mask);
+                if let Some(state) = table.get_mut(&g) {
+                    state.update(t.measure);
+                } else if table.len() < self.cfg.map_hash_entries {
+                    table.insert(g, spec.of(t.measure));
+                } else {
+                    ctx.emit(g, spec.of(t.measure));
+                }
+            }
+        }
+        // Flush the table (sorted for deterministic emission order).
+        let mut entries: Vec<(Group, AggState)> = table.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (g, state) in entries {
+            ctx.emit(g, state);
+        }
+    }
+
+    fn reduce(
+        &self,
+        ctx: &mut ReduceContext<'_, (Group, AggOutput)>,
+        key: Group,
+        values: Vec<AggState>,
+    ) {
+        let mut state = self.cfg.agg.init();
+        for v in &values {
+            state.merge(v);
+        }
+        ctx.charge(values.len() as u64);
+        ctx.emit((key, state.finalize()));
+    }
+
+    fn key_bytes(&self, key: &Group) -> u64 {
+        key.wire_bytes()
+    }
+
+    fn value_bytes(&self, value: &AggState) -> u64 {
+        value.wire_bytes()
+    }
+
+    fn output_bytes(&self, output: &(Group, AggOutput)) -> u64 {
+        output.0.wire_bytes() + 8
+    }
+
+    /// Hive's reducers buffer group rows: an oversized group is fatal.
+    fn large_group_behavior(&self) -> LargeGroupBehavior {
+        LargeGroupBehavior::Fail
+    }
+
+    /// Vectorized reduce-side hash aggregation: no sort, cheap per value —
+    /// the reason Hive posts the best average reduce time in Figure 7b.
+    fn reduce_cost_factor(&self) -> f64 {
+        0.4
+    }
+}
+
+/// Run the Hive-style cube. Returns `Err(OutOfMemory)` when a reducer's
+/// buffered group exceeds machine memory — the experiment harness plots
+/// those runs as "got stuck", as the paper does for p ≥ 0.4.
+pub fn hive_cube(rel: &Relation, cluster: &ClusterConfig, cfg: &HiveConfig) -> Result<BaselineRun> {
+    let job = HiveJob { d: rel.arity(), cfg: cfg.clone() };
+    let result = run_job(cluster, &job, rel.tuples(), cluster.machines)?;
+    let mut metrics = RunMetrics::default();
+    metrics.push(result.metrics.clone());
+    Ok(BaselineRun { cube: Cube::from_pairs(result.into_flat_outputs()), metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::{Error, Schema, Value};
+    use spcube_cubealg::naive_cube;
+
+    fn uniform_rel(n: usize) -> Relation {
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..n {
+            r.push_row(
+                vec![
+                    Value::Int((i % 11) as i64),
+                    Value::Int((i % 13) as i64),
+                    Value::Int((i % 17) as i64),
+                ],
+                1.0,
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn matches_reference_on_mild_data() {
+        let r = uniform_rel(800);
+        let cluster = ClusterConfig::new(4, 200);
+        let run = hive_cube(&r, &cluster, &HiveConfig::new(AggSpec::Count)).unwrap();
+        let expect = naive_cube(&r, AggSpec::Count);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+    }
+
+    #[test]
+    fn apex_always_combines_map_side() {
+        // The apex is the first key each mapper sees, so it always resides
+        // in the table: at most one record per mapper crosses the wire.
+        let r = uniform_rel(2000);
+        let cluster = ClusterConfig::new(4, 100).with_memory_bytes(4096);
+        // Tiny table to force raw leakage of other keys.
+        let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 8, payload_attrs: 0 };
+        let run = hive_cube(&r, &cluster, &cfg);
+        // Whether or not it survives, the job must not die because of the
+        // apex. With uniform data the largest leaked group is small, so the
+        // job completes.
+        let run = run.unwrap();
+        let expect = naive_cube(&r, AggSpec::Count);
+        assert!(run.cube.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn heavy_late_skew_kills_the_job() {
+        // Flood each mapper's table with uniform keys first, then a hot
+        // pattern whose rows leak raw and exceed reducer memory. Splits are
+        // contiguous (3000 rows / 4 machines = 750), so position the hot
+        // rows late within every split.
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..3000usize {
+            let pos_in_split = i % 750;
+            let dims = if pos_in_split >= 300 && i % 2 == 0 {
+                vec![Value::Int(-1), Value::Int(-1), Value::Int(-1)]
+            } else {
+                vec![
+                    Value::Int((i * 7) as i64),
+                    Value::Int((i * 11) as i64),
+                    Value::Int((i * 13) as i64),
+                ]
+            };
+            r.push_row(dims, 1.0);
+        }
+        let cluster = ClusterConfig::new(4, 100).with_memory_bytes(2048);
+        let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 64, payload_attrs: 0 };
+        let err = hive_cube(&r, &cluster, &cfg).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn map_output_larger_than_combined_algorithms() {
+        // With a realistic table size but many distinct groups, most rows
+        // leak raw: intermediate data stays near n * 2^d records.
+        let r = uniform_rel(4000);
+        let cluster = ClusterConfig::new(4, 1000);
+        let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 256, payload_attrs: 0 };
+        let run = hive_cube(&r, &cluster, &cfg).unwrap();
+        assert!(run.metrics.map_output_records() > 4000, "most rows should leak");
+    }
+}

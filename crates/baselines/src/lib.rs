@@ -1,0 +1,43 @@
+//! Baseline MapReduce cube algorithms the paper compares against.
+//!
+//! * [`naive`] — Algorithm 1 of the paper: every tuple emits all `2^d`
+//!   projections, hash-partitioned; reducers aggregate. The yardstick for
+//!   the traffic analysis of Section 3.
+//! * [`mrcube`] — the algorithm of Nandi et al. (TKDE 2012, cited as \[26\]),
+//!   which Pig ships as its `CUBE` operator and which the paper benchmarks
+//!   as "Pig": sampling at *cuboid* granularity, value partitioning of
+//!   reducer-unfriendly cuboids, map-side combiners, a merge round for the
+//!   partitioned cuboids, and abort-and-repartition recursion when runtime
+//!   skew escapes the sample.
+//! * [`hive`] — a Hive-0.13-style grouping-sets plan: one round, map-side
+//!   expansion of all `2^d` grouping-set rows through a bounded hash
+//!   aggregation table (no eviction: once full, new keys pass through raw),
+//!   hash shuffle, reduce-side aggregation that buffers each key group —
+//!   and therefore dies when a heavy group's raw rows exceed machine
+//!   memory, reproducing the paper's "Hive got stuck, reducers out of
+//!   memory" on heavily skewed data (Section 6.2).
+//!
+//! All three produce exact cubes (validated against the sequential
+//! reference in tests) and full [`spcube_mapreduce::RunMetrics`].
+
+pub mod hive;
+pub mod mrcube;
+pub mod naive;
+pub mod topdown;
+
+pub use hive::{hive_cube, HiveConfig};
+pub use mrcube::{mr_cube, MrCubeConfig};
+pub use naive::naive_mr_cube;
+pub use topdown::top_down_cube;
+
+use spcube_cubealg::Cube;
+use spcube_mapreduce::RunMetrics;
+
+/// A finished baseline run: the exact cube plus per-round metrics.
+#[derive(Debug)]
+pub struct BaselineRun {
+    /// The materialized cube.
+    pub cube: Cube,
+    /// Metrics of every executed MapReduce round.
+    pub metrics: RunMetrics,
+}

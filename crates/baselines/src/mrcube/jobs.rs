@@ -1,0 +1,199 @@
+//! MRCube's cube and merge jobs.
+
+use std::collections::HashMap;
+
+use spcube_agg::{AggOutput, AggSpec, AggState};
+use spcube_common::{Group, Mask, Tuple};
+use spcube_mapreduce::{LargeGroupBehavior, MapContext, MrJob, ReduceContext};
+
+/// Shuffle key of the cube round: a c-group plus its value-partition slot
+/// (`0` when the cuboid is friendly).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(super) struct CubeKey {
+    pub group: Group,
+    pub vp: u16,
+}
+
+/// Output records of the cube round.
+#[derive(Debug)]
+pub(super) enum MrcOut {
+    /// A finished c-group of a friendly cuboid.
+    Final(Group, AggOutput),
+    /// A partial aggregate of a value-partitioned group — merged by the
+    /// merge round.
+    Partial(Group, AggState),
+    /// A runtime skew report: a group of this cuboid outgrew machine
+    /// memory although the plan considered the cuboid friendly. The driver
+    /// aborts and re-partitions the cuboid.
+    Overflow(Mask),
+}
+
+/// The (re-runnable) cube round over a set of cuboids.
+pub(super) struct CubeJob<'a> {
+    spec: AggSpec,
+    masks: &'a [Mask],
+    pf: &'a HashMap<Mask, usize>,
+    combiner: bool,
+    memory_bytes: u64,
+}
+
+impl<'a> CubeJob<'a> {
+    pub(super) fn new(
+        spec: AggSpec,
+        masks: &'a [Mask],
+        pf: &'a HashMap<Mask, usize>,
+        combiner: bool,
+        memory_bytes: u64,
+    ) -> CubeJob<'a> {
+        CubeJob { spec, masks, pf, combiner, memory_bytes }
+    }
+
+    fn pf_of(&self, mask: Mask) -> usize {
+        self.pf.get(&mask).copied().unwrap_or(1)
+    }
+}
+
+impl MrJob for CubeJob<'_> {
+    type Input = Tuple;
+    type Key = CubeKey;
+    type Value = AggState;
+    type Output = MrcOut;
+
+    fn name(&self) -> String {
+        "mrcube-cube".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, CubeKey, AggState>, split: &[Tuple]) {
+        // Value partitioning distributes a group's tuples over pf slots;
+        // a per-task round-robin counter is an even, deterministic spread
+        // (MRCube uses a random/hashed partition of the same shape).
+        let mut counter: usize = 0;
+        for t in split {
+            for &mask in self.masks {
+                ctx.charge(1);
+                let pf = self.pf_of(mask);
+                let vp = if pf > 1 { (counter % pf) as u16 } else { 0 };
+                ctx.emit(
+                    CubeKey { group: Group::of_tuple(t, mask), vp },
+                    self.spec.of(t.measure),
+                );
+            }
+            counter += 1;
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        self.combiner
+    }
+
+    fn combine(&self, _key: &CubeKey, values: &mut Vec<AggState>) {
+        let mut merged = self.spec.init();
+        for v in values.iter() {
+            merged.merge(v);
+        }
+        values.clear();
+        values.push(merged);
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext<'_, MrcOut>, key: CubeKey, values: Vec<AggState>) {
+        let group_bytes: u64 =
+            values.iter().map(|v| v.wire_bytes()).sum::<u64>() + key.group.wire_bytes();
+        let mut merged = self.spec.init();
+        for v in &values {
+            merged.merge(v);
+        }
+        ctx.charge(values.len() as u64);
+
+        // Runtime skew detection: the plan called this cuboid friendly but
+        // a group of it blew past machine memory.
+        if self.pf_of(key.group.mask) == 1 && group_bytes > self.memory_bytes {
+            ctx.emit(MrcOut::Overflow(key.group.mask));
+        }
+
+        if self.pf_of(key.group.mask) == 1 {
+            ctx.emit(MrcOut::Final(key.group, merged.finalize()));
+        } else {
+            ctx.emit(MrcOut::Partial(key.group, merged));
+        }
+    }
+
+    fn key_bytes(&self, key: &CubeKey) -> u64 {
+        key.group.wire_bytes() + 2
+    }
+
+    fn value_bytes(&self, value: &AggState) -> u64 {
+        value.wire_bytes()
+    }
+
+    fn output_bytes(&self, output: &MrcOut) -> u64 {
+        match output {
+            MrcOut::Final(g, _) => g.wire_bytes() + 8,
+            MrcOut::Partial(g, s) => g.wire_bytes() + s.wire_bytes(),
+            MrcOut::Overflow(_) => 4,
+        }
+    }
+
+    fn large_group_behavior(&self) -> LargeGroupBehavior {
+        // MRCube grinds through the overload (and reports it via Overflow
+        // for the driver's abort-and-repartition loop).
+        LargeGroupBehavior::Spill
+    }
+}
+
+/// The merge round: consolidate the partial aggregates of value-partitioned
+/// groups into final cube tuples.
+pub(super) struct MergeJob {
+    pub agg: AggSpec,
+}
+
+impl MrJob for MergeJob {
+    type Input = (Group, AggState);
+    type Key = Group;
+    type Value = AggState;
+    type Output = MrcOut;
+
+    fn name(&self) -> String {
+        "mrcube-merge".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, Group, AggState>, split: &[(Group, AggState)]) {
+        for (g, s) in split {
+            ctx.charge(1);
+            ctx.emit(g.clone(), s.clone());
+        }
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext<'_, MrcOut>, key: Group, values: Vec<AggState>) {
+        let mut merged = self.agg.init();
+        for v in &values {
+            merged.merge(v);
+        }
+        ctx.charge(values.len() as u64);
+        ctx.emit(MrcOut::Final(key, merged.finalize()));
+    }
+
+    fn key_bytes(&self, key: &Group) -> u64 {
+        key.wire_bytes()
+    }
+
+    fn value_bytes(&self, value: &AggState) -> u64 {
+        value.wire_bytes()
+    }
+
+    fn output_bytes(&self, output: &MrcOut) -> u64 {
+        match output {
+            MrcOut::Final(g, _) => g.wire_bytes() + 8,
+            MrcOut::Partial(g, s) => g.wire_bytes() + s.wire_bytes(),
+            MrcOut::Overflow(_) => 4,
+        }
+    }
+}
+
+impl From<MrcOut> for (Group, AggOutput) {
+    fn from(out: MrcOut) -> (Group, AggOutput) {
+        match out {
+            MrcOut::Final(g, v) => (g, v),
+            _ => panic!("only Final converts to a cube pair"),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! MRCube (Nandi, Yu, Bohannon, Ramakrishnan — TKDE 2012), the algorithm
+//! behind Pig's `CUBE` operator and the paper's "Pig" baseline.
+//!
+//! Pipeline, as the paper describes and criticizes in its introduction:
+//!
+//! 1. **Annotate** (sampling round): estimate, per *cuboid*, whether it is
+//!    "reducer-unfriendly" — some group is too large for one reducer. This
+//!    is the cuboid-granularity decision SP-Cube improves on.
+//! 2. **Cube round**: each tuple emits one record per cuboid; unfriendly
+//!    cuboids get a *value partition* suffix `tuple_counter mod pf` so a
+//!    big group spreads over `pf` reducers. Pig adds map-side combiners.
+//! 3. **Merge round**: value-partitioned cuboids produced partial
+//!    aggregates keyed by `(group, vp)`; an extra round merges them.
+//! 4. **Abort & repartition**: when runtime skew escapes the sample — a
+//!    reducer group outgrowing machine memory in a cuboid the plan thought
+//!    friendly — MRCube aborts that cuboid and re-runs it with a doubled
+//!    partition factor. Each abort costs a full extra MapReduce round,
+//!    which is exactly the distribution sensitivity the paper demonstrates.
+//!
+//! We do not implement MRCube's batch areas (shared sort orders across
+//! cuboids); they reduce map-side CPU but not the per-cuboid record count
+//! that dominates the traffic and skew behaviour compared here (see
+//! DESIGN.md).
+
+mod jobs;
+mod plan;
+
+pub use plan::Annotations;
+
+use std::collections::HashMap;
+
+use spcube_agg::{AggOutput, AggSpec, AggState};
+use spcube_common::{Group, Mask, Relation, Result};
+use spcube_cubealg::Cube;
+use spcube_mapreduce::{run_job, ClusterConfig, RunMetrics};
+
+use crate::BaselineRun;
+use jobs::{CubeJob, MergeJob, MrcOut};
+
+/// MRCube configuration.
+#[derive(Debug, Clone)]
+pub struct MrCubeConfig {
+    /// The aggregate function.
+    pub agg: AggSpec,
+    /// Seed for the annotation sample.
+    pub seed: u64,
+    /// Enable map-side combiners (Pig enables them; disable to see the raw
+    /// MRCube traffic).
+    pub combiner: bool,
+    /// Maximum abort-and-repartition iterations before accepting results.
+    pub max_repartition_rounds: usize,
+}
+
+impl MrCubeConfig {
+    /// Pig-like defaults.
+    pub fn new(agg: AggSpec) -> MrCubeConfig {
+        MrCubeConfig { agg, seed: 0x9156_cafe, combiner: true, max_repartition_rounds: 4 }
+    }
+}
+
+/// Run MRCube on the simulated cluster.
+pub fn mr_cube(rel: &Relation, cluster: &ClusterConfig, cfg: &MrCubeConfig) -> Result<BaselineRun> {
+    let d = rel.arity();
+    let mut metrics = RunMetrics::default();
+
+    // Round 0: sample and annotate the lattice at cuboid granularity.
+    let (ann, round0) = plan::annotate(rel, cluster, cfg)?;
+    metrics.push(round0);
+
+    // Cube round(s): start with the planned partition factors; re-run
+    // aborted cuboids with doubled factors until clean or out of budget.
+    let mut pf: HashMap<Mask, usize> =
+        Mask::full(d).subsets().map(|m| (m, ann.pf_of(m))).collect();
+    let mut pending: Vec<Mask> = Mask::full(d).subsets().collect();
+    let mut finals: Vec<(Group, AggOutput)> = Vec::new();
+    let mut partials: Vec<(Group, AggState)> = Vec::new();
+
+    let mut rounds_left = cfg.max_repartition_rounds;
+    while !pending.is_empty() {
+        let job = CubeJob::new(cfg.agg, &pending, &pf, cfg.combiner, cluster.memory_bytes);
+        let result = run_job(cluster, &job, rel.tuples(), cluster.machines)?;
+        metrics.push(result.metrics.clone());
+
+        let mut overflowed: Vec<Mask> = Vec::new();
+        let mut round_finals: Vec<(Group, AggOutput)> = Vec::new();
+        let mut round_partials: Vec<(Group, AggState)> = Vec::new();
+        for out in result.into_flat_outputs() {
+            match out {
+                MrcOut::Final(g, v) => round_finals.push((g, v)),
+                MrcOut::Partial(g, s) => round_partials.push((g, s)),
+                MrcOut::Overflow(mask) => {
+                    if !overflowed.contains(&mask) {
+                        overflowed.push(mask);
+                    }
+                }
+            }
+        }
+
+        if overflowed.is_empty() || rounds_left == 0 {
+            // Accept everything (either clean, or out of re-plan budget —
+            // the reducers did complete, just through spill I/O).
+            finals.extend(round_finals);
+            partials.extend(round_partials);
+            pending.clear();
+        } else {
+            // Abort the overflowed cuboids: keep the clean ones, discard
+            // and re-run the skewed ones with a doubled partition factor
+            // ("it aborts computation for the cuboid that contains this
+            // group, and recursively splits", Section 1).
+            rounds_left -= 1;
+            finals.extend(
+                round_finals.into_iter().filter(|(g, _)| !overflowed.contains(&g.mask)),
+            );
+            partials.extend(
+                round_partials.into_iter().filter(|(g, _)| !overflowed.contains(&g.mask)),
+            );
+            for m in &overflowed {
+                let e = pf.get_mut(m).expect("pf for every mask");
+                *e = (*e * 2).max(2).min(cluster.machines.max(2));
+            }
+            pending = overflowed;
+        }
+    }
+
+    // Merge round for value-partitioned cuboids.
+    if !partials.is_empty() {
+        let job = MergeJob { agg: cfg.agg };
+        let result = run_job(cluster, &job, &partials, cluster.machines)?;
+        metrics.push(result.metrics.clone());
+        finals.extend(result.into_flat_outputs().into_iter().map(|out| match out {
+            MrcOut::Final(g, v) => (g, v),
+            other => unreachable!("merge round emits only finals, got {other:?}"),
+        }));
+    }
+
+    Ok(BaselineRun { cube: Cube::from_pairs(finals), metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::{Schema, Value};
+    use spcube_cubealg::naive_cube;
+
+    fn mixed_rel(n: usize, hot_every: usize) -> Relation {
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..n {
+            let dims = if hot_every > 0 && i % hot_every == 0 {
+                vec![Value::Int(1), Value::Int(1), Value::Int(1)]
+            } else {
+                vec![
+                    Value::Int((i * 31 % 97) as i64),
+                    Value::Int((i * 17 % 89) as i64),
+                    Value::Int((i * 13 % 83) as i64),
+                ]
+            };
+            r.push_row(dims, (i % 5) as f64);
+        }
+        r
+    }
+
+    #[test]
+    fn matches_reference_without_skew() {
+        let r = mixed_rel(1000, 0);
+        let cluster = ClusterConfig::new(5, 150);
+        let run = mr_cube(&r, &cluster, &MrCubeConfig::new(AggSpec::Count)).unwrap();
+        let expect = naive_cube(&r, AggSpec::Count);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+    }
+
+    #[test]
+    fn matches_reference_with_heavy_skew() {
+        let r = mixed_rel(2000, 2); // half the tuples are the hot pattern
+        let cluster = ClusterConfig::new(5, 150);
+        for agg in [AggSpec::Count, AggSpec::Sum, AggSpec::Avg] {
+            let run = mr_cube(&r, &cluster, &MrCubeConfig::new(agg)).unwrap();
+            let expect = naive_cube(&r, agg);
+            assert!(run.cube.approx_eq(&expect, 1e-9), "{agg:?}: {:?}", run.cube.diff(&expect, 1e-9, 5));
+        }
+    }
+
+    #[test]
+    fn skew_triggers_value_partitioning_and_merge_round() {
+        let skewed = mixed_rel(2000, 2);
+        let flat = mixed_rel(2000, 0);
+        let cluster = ClusterConfig::new(5, 150);
+        let cfg = MrCubeConfig::new(AggSpec::Count);
+        let run_skewed = mr_cube(&skewed, &cluster, &cfg).unwrap();
+        let run_flat = mr_cube(&flat, &cluster, &cfg).unwrap();
+        // The apex cuboid is unfriendly in both runs (n > m), so both get a
+        // merge round — but skew drags far more cuboids into value
+        // partitioning, so the skewed merge round is much bigger.
+        let merge_records = |run: &BaselineRun| {
+            run.metrics.rounds.last().map_or(0, |r| r.input_records)
+        };
+        assert!(
+            merge_records(&run_skewed) > 2 * merge_records(&run_flat),
+            "skewed merge {} vs flat merge {}",
+            merge_records(&run_skewed),
+            merge_records(&run_flat)
+        );
+    }
+
+    #[test]
+    fn without_combiner_still_correct() {
+        let r = mixed_rel(800, 3);
+        let cluster = ClusterConfig::new(4, 100);
+        let mut cfg = MrCubeConfig::new(AggSpec::Sum);
+        cfg.combiner = false;
+        let run = mr_cube(&r, &cluster, &cfg).unwrap();
+        let expect = naive_cube(&r, AggSpec::Sum);
+        assert!(run.cube.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn runtime_overflow_causes_repartition_rounds() {
+        // Disable the combiner so raw values hit the reducers, and shrink
+        // memory so a missed skew overflows at runtime: MRCube must abort
+        // and re-run with value partitioning, costing extra rounds.
+        let r = mixed_rel(3000, 2);
+        let cluster = ClusterConfig::new(5, 3000).with_memory_bytes(2000);
+        let mut cfg = MrCubeConfig::new(AggSpec::Count);
+        cfg.combiner = false;
+        // With m = n the sample finds no unfriendly cuboid, so the overflow
+        // is only discovered at runtime.
+        let run = mr_cube(&r, &cluster, &cfg).unwrap();
+        let expect = naive_cube(&r, AggSpec::Count);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        // annotate + first cube round + ≥1 repartition round (+ merge).
+        assert!(run.metrics.round_count() >= 4, "rounds: {}", run.metrics.round_count());
+    }
+
+    #[test]
+    fn combiner_shrinks_intermediate_data() {
+        let r = mixed_rel(1500, 2);
+        let cluster = ClusterConfig::new(5, 200);
+        let with = mr_cube(&r, &cluster, &MrCubeConfig::new(AggSpec::Count)).unwrap();
+        let mut cfg = MrCubeConfig::new(AggSpec::Count);
+        cfg.combiner = false;
+        let without = mr_cube(&r, &cluster, &cfg).unwrap();
+        assert!(with.metrics.map_output_records() < without.metrics.map_output_records());
+    }
+}

@@ -1,0 +1,254 @@
+//! Top-down multi-round MR cube (Lee, Kim, Moon, Lee — DaWaK 2012, cited
+//! as \[25\] in the paper).
+//!
+//! The paper's Section 7 describes this family: parallelize PipeSort by
+//! computing the lattice top-down, each cuboid derived from one of its
+//! parents, "yielding a series of MapReduce rounds. … the more MapReduce
+//! rounds, the more are the ram-to-disk transactions and thus performance
+//! is inferior to previously mentioned algorithms. Furthermore, this
+//! algorithm suffers from the skews problem … In case of a skewed c-group,
+//! the assigned reducer will be heavily loaded and parallelism will not be
+//! utilized." The paper excludes it from its experiments for those reasons;
+//! we implement it so the claim is measurable.
+//!
+//! Plan: round 0 computes the full cuboid from the raw relation; round
+//! `i` (i = 1..=d) computes all arity-`d-i` cuboids from arity-`d-i+1`
+//! results, each child assigned the parent that adds the lowest missing
+//! dimension. `d + 1` rounds total, every cuboid computed exactly once,
+//! correct for any mergeable aggregate.
+
+use spcube_agg::{AggOutput, AggSpec, AggState};
+use spcube_common::{Group, Mask, Relation, Result, Tuple};
+use spcube_cubealg::Cube;
+use spcube_mapreduce::{
+    run_job, ClusterConfig, MapContext, MrJob, ReduceContext, RunMetrics,
+};
+
+use crate::BaselineRun;
+
+/// The deterministic parent each cuboid is derived from: add the lowest
+/// dimension not in the child. (PipeSort optimizes this choice with sort
+/// orders; the lowest-dimension rule keeps the same round structure.)
+fn chosen_parent(child: Mask, d: usize) -> Mask {
+    let missing = (0..d).find(|&i| !child.contains(i)).expect("child is not the full cuboid");
+    child.with(missing)
+}
+
+/// Round 0: full cuboid from the raw relation.
+struct FullCuboidJob {
+    d: usize,
+    spec: AggSpec,
+}
+
+impl MrJob for FullCuboidJob {
+    type Input = Tuple;
+    type Key = Group;
+    type Value = AggState;
+    type Output = (Group, AggState);
+
+    fn name(&self) -> String {
+        "topdown-full".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, Group, AggState>, split: &[Tuple]) {
+        let full = Mask::full(self.d);
+        for t in split {
+            ctx.charge(1);
+            ctx.emit(Group::of_tuple(t, full), self.spec.of(t.measure));
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &Group, values: &mut Vec<AggState>) {
+        let mut merged = self.spec.init();
+        for v in values.iter() {
+            merged.merge(v);
+        }
+        values.clear();
+        values.push(merged);
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext<'_, (Group, AggState)>, key: Group, values: Vec<AggState>) {
+        let mut merged = self.spec.init();
+        for v in &values {
+            merged.merge(v);
+        }
+        ctx.charge(values.len() as u64);
+        ctx.emit((key, merged));
+    }
+
+    fn key_bytes(&self, key: &Group) -> u64 {
+        key.wire_bytes()
+    }
+
+    fn value_bytes(&self, value: &AggState) -> u64 {
+        value.wire_bytes()
+    }
+
+    fn output_bytes(&self, output: &(Group, AggState)) -> u64 {
+        output.0.wire_bytes() + output.1.wire_bytes()
+    }
+}
+
+/// Rounds 1..=d: derive the next level down from the previous one.
+struct LevelJob {
+    d: usize,
+    spec: AggSpec,
+}
+
+impl MrJob for LevelJob {
+    type Input = (Group, AggState);
+    type Key = Group;
+    type Value = AggState;
+    type Output = (Group, AggState);
+
+    fn name(&self) -> String {
+        "topdown-level".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, Group, AggState>, split: &[(Group, AggState)]) {
+        for (g, state) in split {
+            // Send this parent group's state to every child cuboid that
+            // chose this parent.
+            for i in g.mask.dims() {
+                let child = g.mask.without(i);
+                if chosen_parent(child, self.d) == g.mask {
+                    ctx.charge(1);
+                    ctx.emit(g.project(child), state.clone());
+                }
+            }
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &Group, values: &mut Vec<AggState>) {
+        let mut merged = self.spec.init();
+        for v in values.iter() {
+            merged.merge(v);
+        }
+        values.clear();
+        values.push(merged);
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext<'_, (Group, AggState)>, key: Group, values: Vec<AggState>) {
+        let mut merged = self.spec.init();
+        for v in &values {
+            merged.merge(v);
+        }
+        ctx.charge(values.len() as u64);
+        ctx.emit((key, merged));
+    }
+
+    fn key_bytes(&self, key: &Group) -> u64 {
+        key.wire_bytes()
+    }
+
+    fn value_bytes(&self, value: &AggState) -> u64 {
+        value.wire_bytes()
+    }
+
+    fn output_bytes(&self, output: &(Group, AggState)) -> u64 {
+        output.0.wire_bytes() + output.1.wire_bytes()
+    }
+}
+
+/// Run the top-down cube: `d + 1` MapReduce rounds.
+pub fn top_down_cube(rel: &Relation, cluster: &ClusterConfig, spec: AggSpec) -> Result<BaselineRun> {
+    let d = rel.arity();
+    let mut metrics = RunMetrics::default();
+    let mut cube_pairs: Vec<(Group, AggOutput)> = Vec::new();
+
+    let full = run_job(cluster, &FullCuboidJob { d, spec }, rel.tuples(), cluster.machines)?;
+    metrics.push(full.metrics.clone());
+    let mut level: Vec<(Group, AggState)> = full.into_flat_outputs();
+    cube_pairs.extend(level.iter().map(|(g, s)| (g.clone(), s.finalize())));
+
+    for _arity in (0..d).rev() {
+        let job = LevelJob { d, spec };
+        let result = run_job(cluster, &job, &level, cluster.machines)?;
+        metrics.push(result.metrics.clone());
+        level = result.into_flat_outputs();
+        cube_pairs.extend(level.iter().map(|(g, s)| (g.clone(), s.finalize())));
+    }
+
+    Ok(BaselineRun { cube: Cube::from_pairs(cube_pairs), metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::{Schema, Value};
+    use spcube_cubealg::naive_cube;
+
+    fn rel(n: usize, hot_every: usize) -> Relation {
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..n {
+            let dims = if hot_every > 0 && i % hot_every == 0 {
+                vec![Value::Int(9), Value::Int(9), Value::Int(9)]
+            } else {
+                vec![
+                    Value::Int((i % 13) as i64),
+                    Value::Int((i % 7) as i64),
+                    Value::Int((i % 5) as i64),
+                ]
+            };
+            r.push_row(dims, (i % 4) as f64);
+        }
+        r
+    }
+
+    #[test]
+    fn parent_choice_is_a_level_up() {
+        assert_eq!(chosen_parent(Mask(0b010), 3), Mask(0b011));
+        assert_eq!(chosen_parent(Mask(0b110), 3), Mask(0b111));
+        assert_eq!(chosen_parent(Mask::EMPTY, 3), Mask(0b001));
+        // Every child is served by exactly one parent.
+        let d = 4;
+        for child in (0..15u32).map(Mask) {
+            let p = chosen_parent(child, d);
+            assert_eq!(p.arity(), child.arity() + 1);
+            assert!(child.is_strict_subset_of(p));
+        }
+    }
+
+    #[test]
+    fn matches_reference() {
+        let r = rel(1200, 3);
+        let cluster = ClusterConfig::new(5, 200);
+        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Avg, AggSpec::CountDistinct] {
+            let run = top_down_cube(&r, &cluster, spec).unwrap();
+            let expect = naive_cube(&r, spec);
+            assert!(
+                run.cube.approx_eq(&expect, 1e-9),
+                "{spec:?}: {:?}",
+                run.cube.diff(&expect, 1e-9, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn uses_d_plus_one_rounds() {
+        let r = rel(500, 0);
+        let cluster = ClusterConfig::new(4, 100);
+        let run = top_down_cube(&r, &cluster, AggSpec::Count).unwrap();
+        assert_eq!(run.metrics.round_count(), 4); // d = 3
+    }
+
+    #[test]
+    fn more_rounds_than_spcube_on_same_data() {
+        // The paper's stated reason for excluding this algorithm: the round
+        // count (and its per-round overhead) grows with d.
+        let r = rel(2000, 2);
+        let cluster = ClusterConfig::new(5, 200);
+        let td = top_down_cube(&r, &cluster, AggSpec::Count).unwrap();
+        let sp = spcube_core::sp_cube(&r, &cluster, AggSpec::Count).unwrap();
+        assert!(td.metrics.round_count() > sp.metrics.round_count());
+        assert!(td.cube.approx_eq(&sp.cube, 1e-9));
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion micro-version of Figure 4: one Wikipedia-like data point per
+//! algorithm (wall time of the whole simulated run; the full sweep with
+//! simulated cluster seconds is `cargo run -p spcube-bench --bin figures --
+//! fig4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spcube_agg::AggSpec;
+use spcube_bench::{run_algo, Algo, Workload};
+use spcube_datagen::wikipedia_like;
+use spcube_mapreduce::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let n = 30_000;
+    let rel = wikipedia_like(n, 0x41);
+    let mut group = c.benchmark_group("fig4_wikipedia");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for algo in Algo::paper_trio() {
+        let w = Workload {
+            label: "wikipedia".into(),
+            x: n as f64,
+            rel: rel.clone(),
+            cluster: ClusterConfig::new(20, n / 100),
+            hive_entries: 4096,
+            hive_payload: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &w, |b, w| {
+            b.iter(|| {
+                let m = run_algo(algo, w, AggSpec::Count);
+                assert!(m.total_seconds.is_some());
+                m.cube_groups
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-version of Figure 5: one USAGOV-like data point per
+//! algorithm (the full sweep is `figures -- fig5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spcube_agg::AggSpec;
+use spcube_bench::{run_algo, Algo, Workload};
+use spcube_datagen::usagov_like;
+use spcube_mapreduce::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let n = 30_000;
+    let rel = usagov_like(n, 0x90);
+    let mut group = c.benchmark_group("fig5_usagov");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for algo in Algo::paper_trio() {
+        let w = Workload {
+            label: "usagov".into(),
+            x: n as f64,
+            rel: rel.clone(),
+            cluster: ClusterConfig::new(20, n / 20),
+            hive_entries: 4096,
+            hive_payload: 11,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &w, |b, w| {
+            b.iter(|| {
+                let m = run_algo(algo, w, AggSpec::Count);
+                assert!(m.total_seconds.is_some());
+                m.cube_groups
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-version of Figure 6: SP-Cube and Pig across skewness
+//! levels of gen-binomial (SP-Cube should be flat, Pig should move). The
+//! full sweep — including Hive's OOM region — is `figures -- fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spcube_agg::AggSpec;
+use spcube_bench::{run_algo, Algo, Workload};
+use spcube_datagen::gen_binomial;
+use spcube_mapreduce::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let n = 30_000;
+    let mut group = c.benchmark_group("fig6_skew");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for p_pct in [0u32, 40, 75] {
+        let rel = gen_binomial(n, 4, p_pct as f64 / 100.0, 0xb1);
+        for algo in [Algo::SpCube, Algo::Pig] {
+            let w = Workload {
+                label: "gen-binomial".into(),
+                x: p_pct as f64,
+                rel: rel.clone(),
+                cluster: ClusterConfig::new(20, n / 500),
+                hive_entries: 256,
+                hive_payload: 0,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("p{p_pct}")),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        let m = run_algo(algo, w, AggSpec::Count);
+                        assert!(m.total_seconds.is_some());
+                        m.cube_groups
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-version of Figure 7: one gen-zipf data point per
+//! algorithm (full sweep: `figures -- fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spcube_agg::AggSpec;
+use spcube_bench::{run_algo, Algo, Workload};
+use spcube_datagen::gen_zipf;
+use spcube_mapreduce::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let n = 30_000;
+    let rel = gen_zipf(n, 4, 0x21f);
+    let mut group = c.benchmark_group("fig7_zipf");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for algo in Algo::paper_trio() {
+        let w = Workload {
+            label: "gen-zipf".into(),
+            x: n as f64,
+            rel: rel.clone(),
+            cluster: ClusterConfig::new(20, n / 20),
+            hive_entries: 4096,
+            hive_payload: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &w, |b, w| {
+            b.iter(|| {
+                let m = run_algo(algo, w, AggSpec::Count);
+                assert!(m.total_seconds.is_some());
+                m.cube_groups
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

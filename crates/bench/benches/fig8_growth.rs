@@ -1,0 +1,41 @@
+//! Criterion micro-version of Figure 8: SP-Cube vs Pig on gen-binomial
+//! (p = 0.1) at two input sizes, showing the growth trend (full sweep:
+//! `figures -- fig8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spcube_agg::AggSpec;
+use spcube_bench::{run_algo, Algo, Workload};
+use spcube_datagen::gen_binomial;
+use spcube_mapreduce::ClusterConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_growth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [10_000usize, 40_000] {
+        let rel = gen_binomial(n, 4, 0.1, 0xb8);
+        group.throughput(Throughput::Elements(n as u64));
+        for algo in [Algo::SpCube, Algo::Pig] {
+            let w = Workload {
+                label: "gen-binomial-p01".into(),
+                x: n as f64,
+                rel: rel.clone(),
+                cluster: ClusterConfig::new(20, (n / 500).max(1)),
+                hive_entries: 256,
+                hive_payload: 0,
+            };
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &w, |b, w| {
+                b.iter(|| {
+                    let m = run_algo(algo, w, AggSpec::Count);
+                    assert!(m.total_seconds.is_some());
+                    m.cube_groups
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Inspect SP-Cube's shuffle on a workload: per-reducer input bytes, which
+//! cuboids contribute to the hottest reducer, and the largest anchor
+//! groups — the debugging view behind the load-balance numbers.
+//!
+//! ```text
+//! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n]
+//! ```
+
+use std::collections::HashMap;
+
+use spcube_agg::AggSpec;
+use spcube_common::{Group, Mask, Relation};
+use spcube_core::{sp_cube, SpCubeConfig};
+use spcube_datagen as datagen;
+use spcube_lattice::{BfsOrder, TupleLattice};
+use spcube_mapreduce::ClusterConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = args.first().map(String::as_str).unwrap_or("usagov");
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let rel: Relation = match dataset {
+        "usagov" => datagen::usagov_like(n, 0x90),
+        "wikipedia" => datagen::wikipedia_like(n, 0x41),
+        "zipf" => datagen::gen_zipf(n, 4, 0x21f),
+        "binomial" => datagen::gen_binomial(n, 4, 0.4, 0xb1),
+        other => {
+            eprintln!("unknown dataset {other}");
+            std::process::exit(2);
+        }
+    };
+    let k = 20;
+    let cluster = ClusterConfig::new(k, n / k);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).expect("run failed");
+    let round = run.metrics.rounds.last().unwrap();
+
+    println!("dataset {dataset}, n = {n}, k = {k}, m = {}", cluster.skew_threshold());
+    println!("sketch: {} skewed groups, {} bytes", run.sketch.skew_count(), run.sketch_bytes);
+    println!("\nper-reducer input bytes (reducer 0 = skew merger):");
+    for (r, b) in round.reducer_input_bytes.iter().enumerate() {
+        println!("  r{r:<3} {b:>12}");
+    }
+
+    // Replay the mapper walk to attribute traffic: (cuboid, range) loads.
+    let d = rel.arity();
+    let bfs = BfsOrder::new(d);
+    let cfg = SpCubeConfig::new(AggSpec::Count);
+    let _ = &cfg;
+    let mut load: HashMap<(Mask, usize), u64> = HashMap::new();
+    let mut group_sizes: HashMap<Group, u64> = HashMap::new();
+    for t in rel.tuples() {
+        let mut lat = TupleLattice::new(t, &bfs);
+        let mut rank = 0u32;
+        while let Some((mask, at)) = lat.next_unmarked(rank) {
+            rank = at;
+            let g = Group::of_tuple(t, mask);
+            if run.sketch.is_skewed_group(&g) {
+                lat.mark(mask);
+            } else {
+                let range = run.sketch.partition_of(mask, &g.key);
+                *load.entry((mask, range)).or_insert(0) += t.wire_bytes();
+                *group_sizes.entry(g).or_insert(0) += 1;
+                lat.mark_with_ancestors(mask);
+            }
+        }
+    }
+    let hottest = round
+        .reducer_input_bytes
+        .iter()
+        .enumerate()
+        .skip(1)
+        .max_by_key(|(_, b)| **b)
+        .map(|(r, _)| r - 1) // range index = reducer - 1
+        .unwrap_or(0);
+    println!("\nhottest range = {hottest}; contributions by cuboid:");
+    let mut rows: Vec<(&(Mask, usize), &u64)> =
+        load.iter().filter(|((_, r), _)| *r == hottest).collect();
+    rows.sort_by(|a, b| b.1.cmp(a.1));
+    for ((mask, _), bytes) in rows.iter().take(8) {
+        println!("  cuboid {:>width$b}: {bytes:>12} bytes", mask.0, width = d);
+    }
+
+    println!("\nlargest anchored groups overall:");
+    let mut groups: Vec<(&Group, &u64)> = group_sizes.iter().collect();
+    groups.sort_by(|a, b| b.1.cmp(a.1));
+    for (g, size) in groups.iter().take(8) {
+        println!(
+            "  {:<40} {size:>8} tuples (range {})",
+            g.display(d),
+            run.sketch.partition_of(g.mask, &g.key)
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! `spcube` — command-line front end for the SP-Cube reproduction.
+//!
+//! ```text
+//! spcube generate --dataset zipf --n 100000 --seed 7 --out data.tsv
+//! spcube sketch data.tsv --machines 20 [--memory M] [--exact-sketch]
+//! spcube cube data.tsv --algo spcube --agg sum --machines 20 --out cube_out
+//! spcube cuboid data.tsv --mask 101 --agg count
+//! spcube help
+//! ```
+//!
+//! `cube` writes one TSV per cuboid into `--out` (Section 3.1's layout)
+//! and prints the run's metrics; `--algo` selects between `spcube`, `pig`
+//! (MRCube), `hive`, `naive`, and `topdown`.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use spcube_agg::AggSpec;
+use spcube_baselines::{hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig};
+use spcube_common::{io, Error, Mask, Relation, Result};
+use spcube_core::{build_exact_sketch, build_sampled_sketch, SketchConfig, SpCube, SpCubeConfig};
+use spcube_cubealg::{Cube, CubeQuery};
+use spcube_datagen as datagen;
+use spcube_mapreduce::{ClusterConfig, RunMetrics};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spcube: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(raw: &[String]) -> Result<()> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "generate" => generate(&args),
+        "sketch" => sketch(&args),
+        "cube" => cube(&args),
+        "cuboid" => cuboid(&args),
+        "" | "help" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(Error::Config(format!("unknown command `{other}`; see `spcube help`"))),
+    }
+}
+
+const HELP: &str = "\
+spcube — SP-Cube data cube computation (SIGMOD'16 reproduction)
+
+COMMANDS
+  generate --dataset D --n N [--seed S] [--p P] [--dims K] --out FILE
+      Write a synthetic dataset as TSV. Datasets: zipf, binomial (needs
+      --p), wikipedia, usagov, retail (accepts --p as skew), apex.
+  sketch FILE --machines K [--memory M] [--exact-sketch]
+      Build and summarize the SP-Sketch of a TSV relation.
+  cube FILE --algo A [--agg F] --machines K [--memory M]
+       [--min-support S] [--out DIR]
+      Compute the cube. Algorithms: spcube, pig, hive, naive, topdown.
+      Aggregates: count, sum, min, max, avg, count_distinct.
+  cuboid FILE --mask BITS [--agg F] [--top N]
+      Compute just one cuboid view (via a full sequential cube) and print
+      its largest groups.
+  help
+";
+
+fn load(args: &Args) -> Result<Relation> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| Error::Config("input TSV path required".into()))?;
+    io::read_tsv_file(path)
+}
+
+fn cluster_from(args: &Args, n: usize) -> Result<ClusterConfig> {
+    let machines: usize = args.get_or("machines", 20)?;
+    let memory: usize = args.get_or("memory", (n / machines.max(1)).max(1))?;
+    Ok(ClusterConfig::new(machines, memory))
+}
+
+fn agg_from(args: &Args) -> Result<AggSpec> {
+    Ok(match args.get("agg").unwrap_or("count") {
+        "count" => AggSpec::Count,
+        "sum" => AggSpec::Sum,
+        "min" => AggSpec::Min,
+        "max" => AggSpec::Max,
+        "avg" => AggSpec::Avg,
+        "count_distinct" => AggSpec::CountDistinct,
+        other => return Err(Error::Config(format!("unknown aggregate `{other}`"))),
+    })
+}
+
+fn generate(args: &Args) -> Result<()> {
+    let dataset = args.require("dataset")?;
+    let n: usize = args.get_or("n", 100_000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let dims: usize = args.get_or("dims", 4)?;
+    let p: f64 = args.get_or("p", 0.25)?;
+    let out = args.require("out")?;
+    let rel = match dataset {
+        "zipf" => datagen::gen_zipf(n, dims, seed),
+        "binomial" => datagen::gen_binomial(n, dims, p, seed),
+        "wikipedia" => datagen::wikipedia_like(n, seed),
+        "usagov" => datagen::usagov_like(n, seed),
+        "retail" => datagen::retail(n, p, seed),
+        "apex" => datagen::apex_only_skew(n, dims, seed),
+        other => return Err(Error::Config(format!("unknown dataset `{other}`"))),
+    };
+    io::write_tsv_file(&rel, out)?;
+    println!("wrote {} tuples ({} bytes) to {out}", rel.len(), rel.wire_bytes());
+    Ok(())
+}
+
+fn sketch(args: &Args) -> Result<()> {
+    let rel = load(args)?;
+    let cluster = cluster_from(args, rel.len())?;
+    let (sketch, round) = if args.has("exact-sketch") {
+        (build_exact_sketch(&rel, &cluster), None)
+    } else {
+        let (s, m) = build_sampled_sketch(&rel, &cluster, &SketchConfig::default())?;
+        (s, Some(m))
+    };
+    println!(
+        "sketch over {} tuples: d = {}, k = {}, m = {}",
+        rel.len(),
+        rel.arity(),
+        cluster.machines,
+        cluster.skew_threshold()
+    );
+    println!("  skewed c-groups : {}", sketch.skew_count());
+    println!("  serialized size : {} bytes", sketch.serialized_bytes());
+    if let Some(m) = round {
+        println!("  sample records  : {}", m.map_output_records);
+        println!("  round time (sim): {:.2}s", m.simulated_seconds);
+    }
+    for mask in Mask::full(rel.arity()).subsets() {
+        let node = sketch.node(mask);
+        if node.skew_count() > 0 {
+            println!(
+                "  cuboid {:0>width$b}: {} skews",
+                mask.0,
+                node.skew_count(),
+                width = rel.arity()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cube(args: &Args) -> Result<()> {
+    let rel = load(args)?;
+    let cluster = cluster_from(args, rel.len())?;
+    let agg = agg_from(args)?;
+    let algo = args.get("algo").unwrap_or("spcube");
+    let (cube, metrics): (Cube, RunMetrics) = match algo {
+        "spcube" => {
+            let mut cfg = SpCubeConfig::new(agg);
+            cfg.min_support = args.get_or("min-support", 1)?;
+            cfg.use_exact_sketch = args.has("exact-sketch");
+            let run = SpCube::run(&rel, &cluster, &cfg)?;
+            println!("sketch: {} bytes, {} skews", run.sketch_bytes, run.sketch.skew_count());
+            (run.cube, run.metrics)
+        }
+        "pig" => {
+            let run = mr_cube(&rel, &cluster, &MrCubeConfig::new(agg))?;
+            (run.cube, run.metrics)
+        }
+        "hive" => {
+            let run = hive_cube(&rel, &cluster, &HiveConfig::new(agg))?;
+            (run.cube, run.metrics)
+        }
+        "naive" => {
+            let run = naive_mr_cube(&rel, &cluster, agg)?;
+            (run.cube, run.metrics)
+        }
+        "topdown" => {
+            let run = top_down_cube(&rel, &cluster, agg)?;
+            (run.cube, run.metrics)
+        }
+        other => return Err(Error::Config(format!("unknown algorithm `{other}`"))),
+    };
+
+    println!(
+        "{algo}/{}: {} c-groups in {} round(s); {:.1}s simulated; {} intermediate bytes",
+        agg.name(),
+        cube.len(),
+        metrics.round_count(),
+        metrics.total_seconds(),
+        metrics.map_output_bytes()
+    );
+    if let Some(dir) = args.get("out") {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Io(format!("creating {dir}"), e))?;
+        let q = CubeQuery::new(&cube, rel.arity());
+        let mut failed = None;
+        let paths = q.export_per_cuboid(dir, |path, body| {
+            if failed.is_none() {
+                if let Err(e) = std::fs::write(&path, body) {
+                    failed = Some(Error::Io(format!("writing {path}"), e));
+                }
+            }
+        });
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        println!("wrote {} cuboid files under {dir}/", paths.len());
+    }
+    Ok(())
+}
+
+fn cuboid(args: &Args) -> Result<()> {
+    let rel = load(args)?;
+    let agg = agg_from(args)?;
+    let mask_str = args.require("mask")?;
+    let bits = u32::from_str_radix(mask_str, 2)
+        .map_err(|_| Error::Config(format!("--mask `{mask_str}` is not binary")))?;
+    let mask = Mask(bits);
+    if !mask.is_subset_of(Mask::full(rel.arity())) {
+        return Err(Error::Config(format!(
+            "--mask {mask_str} has bits beyond the {}-dimensional schema",
+            rel.arity()
+        )));
+    }
+    let top_n: usize = args.get_or("top", 20)?;
+    let cube = spcube_cubealg::buc(&rel, agg, &spcube_cubealg::BucConfig::default());
+    let q = CubeQuery::new(&cube, rel.arity());
+    println!(
+        "cuboid {:0>width$b}: {} groups; top {top_n} by {}:",
+        mask.0,
+        q.cuboid_len(mask),
+        agg.name(),
+        width = rel.arity()
+    );
+    for (g, v) in q.top(mask, top_n) {
+        println!("  {:<40} {v}", g.display(rel.arity()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(tokens: &[String]) -> Result<()> {
+        run(tokens)
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_sketch_cube_pipeline() {
+        let dir = std::env::temp_dir().join(format!("spcube-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("data.tsv");
+        let tsv_s = tsv.to_str().unwrap();
+
+        call(&argv(&[
+            "generate", "--dataset", "retail", "--n", "3000", "--p", "0.4", "--seed", "5",
+            "--out", tsv_s,
+        ]))
+        .unwrap();
+        assert!(tsv.exists());
+
+        call(&argv(&["sketch", tsv_s, "--machines", "5", "--memory", "200"])).unwrap();
+
+        let out = dir.join("cube");
+        for algo in ["spcube", "pig", "hive", "naive", "topdown"] {
+            call(&argv(&[
+                "cube", tsv_s, "--algo", algo, "--agg", "sum", "--machines", "5", "--memory",
+                "200", "--out", out.to_str().unwrap(),
+            ]))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+        // 2^3 cuboid files written.
+        assert_eq!(std::fs::read_dir(&out).unwrap().count(), 8);
+
+        call(&argv(&["cuboid", tsv_s, "--mask", "101", "--top", "3"])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(call(&argv(&["nope"])).is_err());
+        assert!(call(&argv(&["cube"])).is_err());
+        assert!(call(&argv(&["generate", "--dataset", "bogus", "--out", "/tmp/x"])).is_err());
+        assert!(call(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn cuboid_mask_validation() {
+        let dir = std::env::temp_dir().join(format!("spcube-cli-m-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("d.tsv");
+        call(&argv(&[
+            "generate", "--dataset", "zipf", "--n", "100", "--dims", "3", "--out",
+            tsv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Mask with a bit beyond d=3.
+        let err = call(&argv(&["cuboid", tsv.to_str().unwrap(), "--mask", "1000"])).unwrap_err();
+        assert!(err.to_string().contains("beyond"));
+        // Non-binary mask.
+        assert!(call(&argv(&["cuboid", tsv.to_str().unwrap(), "--mask", "xyz"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

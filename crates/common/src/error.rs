@@ -1,0 +1,79 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the data model, the MapReduce engine, and the cube
+/// algorithms built on top of them.
+#[derive(Debug)]
+pub enum Error {
+    /// Schema construction or validation failed.
+    Schema(String),
+    /// Parsing an external representation (TSV, JSON) failed.
+    Parse(String),
+    /// An I/O error, carrying context about what was being done.
+    Io(String, std::io::Error),
+    /// Invalid cluster or algorithm configuration.
+    Config(String),
+    /// A simulated machine exceeded its memory and the running job declared
+    /// that condition fatal (models e.g. Hive reducers going out of memory
+    /// on heavily skewed data, Section 6.2 of the paper).
+    OutOfMemory {
+        /// Which simulated machine failed.
+        machine: usize,
+        /// Human-readable description of what overflowed.
+        detail: String,
+    },
+    /// A distributed-file-system object was not found.
+    DfsMissing(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(msg) => write!(f, "schema error: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Io(what, e) => write!(f, "I/O error while {what}: {e}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::OutOfMemory { machine, detail } => {
+                write!(f, "machine {machine} out of memory: {detail}")
+            }
+            Error::DfsMissing(path) => write!(f, "DFS object not found: {path}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Schema("dup".into());
+        assert_eq!(e.to_string(), "schema error: dup");
+        let oom = Error::OutOfMemory { machine: 3, detail: "group too large".into() };
+        assert!(oom.to_string().contains("machine 3"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error as _;
+        let e = Error::Io(
+            "reading".into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.source().is_some());
+        assert!(Error::Schema("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Cube groups (c-groups).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Mask, Tuple, Value};
+
+/// A cube group ("c-group"): one output tuple of one cuboid.
+///
+/// A group is identified by its cuboid [`Mask`] and the concrete values of
+/// the grouped dimensions (in ascending dimension order). In the paper's
+/// notation the group `(laptop, *, 2012)` of a 3-dimensional cube is
+/// `Group { mask: 0b101, key: [laptop, 2012] }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Group {
+    /// Which dimensions are grouped.
+    pub mask: Mask,
+    /// The values of the grouped dimensions, ascending by dimension index.
+    pub key: Box<[Value]>,
+}
+
+impl Group {
+    /// Construct a group from a mask and its key values.
+    pub fn new(mask: Mask, key: Vec<Value>) -> Self {
+        debug_assert_eq!(mask.arity() as usize, key.len());
+        Group { mask, key: key.into_boxed_slice() }
+    }
+
+    /// The c-group of tuple `t` in cuboid `mask` — the node of `lattice(t)`
+    /// at that mask (Definition 2.4).
+    pub fn of_tuple(t: &Tuple, mask: Mask) -> Self {
+        Group { mask, key: t.project(mask).into_boxed_slice() }
+    }
+
+    /// The apex group `(*, …, *)`.
+    pub fn apex() -> Self {
+        Group { mask: Mask::EMPTY, key: Box::new([]) }
+    }
+
+    /// Project this group onto a subset mask of its own mask — a descendant
+    /// in the tuple lattice. Panics in debug builds if `sub` is not a subset.
+    pub fn project(&self, sub: Mask) -> Group {
+        debug_assert!(sub.is_subset_of(self.mask));
+        let mut key = Vec::with_capacity(sub.arity() as usize);
+        for (slot, dim) in self.mask.dims().enumerate() {
+            if sub.contains(dim) {
+                key.push(self.key[slot].clone());
+            }
+        }
+        Group::new(sub, key)
+    }
+
+    /// Serialized size of the group key on the wire: mask tag + values.
+    pub fn wire_bytes(&self) -> u64 {
+        4 + self.key.iter().map(Value::wire_bytes).sum::<u64>()
+    }
+
+    /// Render the group in the paper's `(v, *, v)` notation given the total
+    /// dimension count `d`.
+    pub fn display(&self, d: usize) -> String {
+        let mut out = String::from("(");
+        let mut slot = 0;
+        for i in 0..d {
+            if i > 0 {
+                out.push(',');
+            }
+            if self.mask.contains(i) {
+                out.push_str(&self.key[slot].to_string());
+                slot += 1;
+            } else {
+                out.push('*');
+            }
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.mask)?;
+        for (i, v) in self.key.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new(
+            vec![Value::str("laptop"), Value::str("Rome"), Value::Int(2012)],
+            2000.0,
+        )
+    }
+
+    #[test]
+    fn of_tuple_builds_lattice_node() {
+        let g = Group::of_tuple(&t(), Mask(0b101));
+        assert_eq!(g.key.as_ref(), &[Value::str("laptop"), Value::Int(2012)]);
+        assert_eq!(g.display(3), "(laptop,*,2012)");
+    }
+
+    #[test]
+    fn apex_group() {
+        let g = Group::apex();
+        assert_eq!(g.mask, Mask::EMPTY);
+        assert!(g.key.is_empty());
+        assert_eq!(g.display(3), "(*,*,*)");
+    }
+
+    #[test]
+    fn project_to_descendant() {
+        let g = Group::of_tuple(&t(), Mask(0b111));
+        let p = g.project(Mask(0b010));
+        assert_eq!(p.key.as_ref(), &[Value::str("Rome")]);
+        assert_eq!(p.display(3), "(*,Rome,*)");
+        // Projecting to the same mask is the identity.
+        assert_eq!(g.project(Mask(0b111)), g);
+        // Projecting to empty gives the apex.
+        assert_eq!(g.project(Mask::EMPTY), Group::apex());
+    }
+
+    #[test]
+    fn projection_commutes_with_of_tuple() {
+        // π_sub(group_of(t, mask)) == group_of(t, sub) for sub ⊆ mask.
+        let tup = t();
+        let g = Group::of_tuple(&tup, Mask(0b110));
+        for sub in Mask(0b110).subsets() {
+            assert_eq!(g.project(sub), Group::of_tuple(&tup, sub));
+        }
+    }
+
+    #[test]
+    fn wire_bytes_counts_mask_and_values() {
+        let g = Group::of_tuple(&t(), Mask(0b100));
+        assert_eq!(g.wire_bytes(), 4 + Value::Int(2012).wire_bytes());
+    }
+}

@@ -1,0 +1,143 @@
+//! TSV import/export for relations.
+//!
+//! The paper reads its input from a distributed file system; we provide a
+//! plain tab-separated format so example datasets can be materialized on
+//! disk and reloaded. The first line is a header `dim1\t…\tdimd\tmeasure`;
+//! values that parse as `i64` become [`Value::Int`], everything else becomes
+//! [`Value::Str`].
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Error, Relation, Result, Schema, Tuple, Value};
+
+/// Write a relation as TSV.
+pub fn write_tsv<W: Write>(rel: &Relation, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    let wrap = |e| Error::Io("writing TSV".into(), e);
+    let mut header = rel.schema().dims().join("\t");
+    header.push('\t');
+    header.push_str(rel.schema().measure());
+    writeln!(w, "{header}").map_err(wrap)?;
+    for t in rel.tuples() {
+        for v in t.dims.iter() {
+            write!(w, "{v}\t").map_err(wrap)?;
+        }
+        writeln!(w, "{}", t.measure).map_err(wrap)?;
+    }
+    w.flush().map_err(wrap)
+}
+
+/// Read a relation from TSV (inverse of [`write_tsv`]).
+pub fn read_tsv<R: Read>(input: R) -> Result<Relation> {
+    let r = BufReader::new(input);
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty TSV input".into()))?
+        .map_err(|e| Error::Io("reading TSV header".into(), e))?;
+    let mut cols: Vec<&str> = header.split('\t').collect();
+    if cols.len() < 2 {
+        return Err(Error::Parse("TSV header needs >= 2 columns".into()));
+    }
+    let measure = cols.pop().expect("checked non-empty").to_string();
+    let schema = Schema::new(cols, measure)?;
+    let d = schema.arity();
+    let mut rel = Relation::empty(schema);
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| Error::Io("reading TSV".into(), e))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != d + 1 {
+            return Err(Error::Parse(format!(
+                "line {}: expected {} fields, got {}",
+                lineno + 2,
+                d + 1,
+                fields.len()
+            )));
+        }
+        let dims = fields[..d].iter().map(|f| parse_value(f)).collect();
+        let measure: f64 = fields[d].parse().map_err(|_| {
+            Error::Parse(format!("line {}: bad measure `{}`", lineno + 2, fields[d]))
+        })?;
+        rel.push(Tuple::new(dims, measure))?;
+    }
+    Ok(rel)
+}
+
+/// Write a relation to a file path.
+pub fn write_tsv_file(rel: &Relation, path: impl AsRef<Path>) -> Result<()> {
+    let f = std::fs::File::create(path.as_ref())
+        .map_err(|e| Error::Io(format!("creating {}", path.as_ref().display()), e))?;
+    write_tsv(rel, f)
+}
+
+/// Read a relation from a file path.
+pub fn read_tsv_file(path: impl AsRef<Path>) -> Result<Relation> {
+    let f = std::fs::File::open(path.as_ref())
+        .map_err(|e| Error::Io(format!("opening {}", path.as_ref().display()), e))?;
+    read_tsv(f)
+}
+
+fn parse_value(field: &str) -> Value {
+    match field.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(field),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let mut r = Relation::empty(Schema::new(["name", "year"], "sales").unwrap());
+        r.push_row(vec![Value::str("laptop"), Value::Int(2012)], 2000.0);
+        r.push_row(vec![Value::str("printer"), Value::Int(2011)], 15.5);
+        r
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        write_tsv(&r, &mut buf).unwrap();
+        let back = read_tsv(&buf[..]).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn integers_are_parsed_as_ints() {
+        let data = b"a\tm\n42\t1.0\nhello\t2.0\n";
+        let r = read_tsv(&data[..]).unwrap();
+        assert_eq!(r.tuples()[0].dims[0], Value::Int(42));
+        assert_eq!(r.tuples()[1].dims[0], Value::str("hello"));
+    }
+
+    #[test]
+    fn rejects_bad_field_count() {
+        let data = b"a\tb\tm\n1\t2\n";
+        assert!(read_tsv(&data[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_measure() {
+        let data = b"a\tm\n1\toops\n";
+        assert!(read_tsv(&data[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_tsv(&b""[..]).is_err());
+        assert!(read_tsv(&b"only_measure"[..]).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = b"a\tm\n1\t1\n\n2\t2\n";
+        let r = read_tsv(&data[..]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

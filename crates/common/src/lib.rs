@@ -1,0 +1,36 @@
+//! Shared data model for the SP-Cube reproduction.
+//!
+//! This crate defines the relational building blocks used by every other
+//! crate in the workspace:
+//!
+//! * [`Value`] — a dimension attribute value (integer or string),
+//! * [`Tuple`] — a row of a relation: `d` dimension values plus one numeric
+//!   measure attribute (the paper's `(a_1, …, a_d, b)`),
+//! * [`Schema`] / [`Relation`] — a named collection of tuples,
+//! * [`Mask`] — a bitmask identifying a cuboid (which dimensions are
+//!   grouped; the rest are `*`),
+//! * [`Group`] — a cube group ("c-group" in the paper): a cuboid mask plus
+//!   the concrete values of its grouped dimensions,
+//! * byte-size accounting used by the MapReduce engine's traffic metrics.
+//!
+//! The model follows Section 2 of the paper: attribute values and computed
+//! aggregates fit in a fixed number of bytes, and the measure attribute is
+//! numeric.
+
+pub mod error;
+pub mod group;
+pub mod io;
+pub mod mask;
+pub mod order;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use group::Group;
+pub use mask::Mask;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,83 @@
+//! Lexicographic comparisons under cuboid projection.
+//!
+//! Section 4.1 of the paper defines, for a cuboid `C`, the order `t1 <_C t2`:
+//! compare the tuples restricted to `C`'s dimensions, lexicographically.
+//! These comparisons drive the partition elements of the SP-Sketch and the
+//! range partitioner of SP-Cube.
+
+use std::cmp::Ordering;
+
+use crate::{Mask, Tuple, Value};
+
+/// Compare two tuples restricted to the dimensions of `mask` (`<_C`).
+#[inline]
+pub fn cmp_under_mask(a: &Tuple, b: &Tuple, mask: Mask) -> Ordering {
+    for i in mask.dims() {
+        match a.dims[i].cmp(&b.dims[i]) {
+            Ordering::Equal => continue,
+            non_eq => return non_eq,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare a projected key (values of `mask`'s dimensions, ascending) with a
+/// tuple's projection — used when partition elements are stored as projected
+/// keys rather than whole tuples.
+#[inline]
+pub fn cmp_key_tuple(key: &[Value], t: &Tuple, mask: Mask) -> Ordering {
+    debug_assert_eq!(key.len(), mask.arity() as usize);
+    for (k, i) in key.iter().zip(mask.dims()) {
+        match k.cmp(&t.dims[i]) {
+            Ordering::Equal => continue,
+            non_eq => return non_eq,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare two projected keys of the same cuboid.
+#[inline]
+pub fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
+    a.cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect(), 0.0)
+    }
+
+    #[test]
+    fn compares_only_masked_dims() {
+        let a = t(&[1, 9, 3]);
+        let b = t(&[1, 0, 3]);
+        assert_eq!(cmp_under_mask(&a, &b, Mask(0b101)), Ordering::Equal);
+        assert_eq!(cmp_under_mask(&a, &b, Mask(0b010)), Ordering::Greater);
+    }
+
+    #[test]
+    fn lexicographic_precedence() {
+        let a = t(&[1, 2]);
+        let b = t(&[2, 0]);
+        // First masked dim dominates.
+        assert_eq!(cmp_under_mask(&a, &b, Mask(0b11)), Ordering::Less);
+        assert_eq!(cmp_under_mask(&b, &a, Mask(0b11)), Ordering::Greater);
+    }
+
+    #[test]
+    fn empty_mask_compares_equal() {
+        assert_eq!(cmp_under_mask(&t(&[1]), &t(&[5]), Mask::EMPTY), Ordering::Equal);
+    }
+
+    #[test]
+    fn key_tuple_comparison_matches_projection() {
+        let tup = t(&[4, 7, 1]);
+        let key = vec![Value::Int(4), Value::Int(1)];
+        assert_eq!(cmp_key_tuple(&key, &tup, Mask(0b101)), Ordering::Equal);
+        let key2 = vec![Value::Int(4), Value::Int(2)];
+        assert_eq!(cmp_key_tuple(&key2, &tup, Mask(0b101)), Ordering::Greater);
+    }
+}

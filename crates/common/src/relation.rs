@@ -1,0 +1,145 @@
+//! In-memory relations.
+
+use crate::{Error, Mask, Result, Schema, Tuple, Value};
+
+/// A relation `R(A_1, …, A_d, B)`: a schema plus a vector of tuples.
+///
+/// Relations are the input to every cube algorithm in this workspace. The
+/// MapReduce engine splits `tuples` evenly across the simulated machines,
+/// matching the paper's assumption that the input is equally loaded at the
+/// start of the computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Create a relation from tuples, validating arity.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Relation> {
+        let d = schema.arity();
+        if let Some(bad) = tuples.iter().position(|t| t.arity() != d) {
+            return Err(Error::Schema(format!(
+                "tuple {bad} has arity {} but schema has {d} dimensions",
+                tuples[bad].arity()
+            )));
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of dimension attributes `d`.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples `n`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Append a tuple, validating arity.
+    pub fn push(&mut self, t: Tuple) -> Result<()> {
+        if t.arity() != self.schema.arity() {
+            return Err(Error::Schema(format!(
+                "tuple arity {} does not match schema arity {}",
+                t.arity(),
+                self.schema.arity()
+            )));
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Convenience builder used heavily in tests: dims given as `Value`
+    /// convertibles, measure as `f64`. Panics on arity mismatch.
+    pub fn push_row(&mut self, dims: Vec<Value>, measure: f64) {
+        self.push(Tuple::new(dims, measure)).expect("arity mismatch in push_row");
+    }
+
+    /// Total wire size of all tuples — the "input size" used by the cost
+    /// model and by intermediate-data ratios in the experiment reports.
+    pub fn wire_bytes(&self) -> u64 {
+        self.tuples.iter().map(Tuple::wire_bytes).sum()
+    }
+
+    /// Sort the tuples lexicographically w.r.t. a cuboid mask — the paper's
+    /// `sorted(R, C)` (Section 4.1). Stable, so tuples equal under the mask
+    /// keep their relative order.
+    pub fn sorted_by_mask(&self, mask: Mask) -> Vec<&Tuple> {
+        let mut refs: Vec<&Tuple> = self.tuples.iter().collect();
+        refs.sort_by(|a, b| crate::order::cmp_under_mask(a, b, mask));
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let mut r = Relation::empty(Schema::new(["name", "city"], "sales").unwrap());
+        r.push_row(vec![Value::str("b"), Value::str("x")], 1.0);
+        r.push_row(vec![Value::str("a"), Value::str("y")], 2.0);
+        r.push_row(vec![Value::str("a"), Value::str("x")], 3.0);
+        r
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut r = rel();
+        assert!(r.push(Tuple::new(vec![Value::Int(1)], 0.0)).is_err());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn new_validates_all_tuples() {
+        let s = Schema::new(["a"], "m").unwrap();
+        let bad = vec![Tuple::new(vec![Value::Int(1), Value::Int(2)], 0.0)];
+        assert!(Relation::new(s, bad).is_err());
+    }
+
+    #[test]
+    fn sorted_by_mask_orders_lexicographically() {
+        let r = rel();
+        let sorted = r.sorted_by_mask(Mask(0b01)); // by name only
+        let names: Vec<&str> =
+            sorted.iter().map(|t| t.dims[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["a", "a", "b"]);
+        // Stable: the two "a" tuples keep insertion order (y before x).
+        assert_eq!(sorted[0].dims[1], Value::str("y"));
+    }
+
+    #[test]
+    fn wire_bytes_is_sum() {
+        let r = rel();
+        let total: u64 = r.tuples().iter().map(Tuple::wire_bytes).sum();
+        assert_eq!(r.wire_bytes(), total);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(Schema::synthetic(2));
+        assert!(r.is_empty());
+        assert_eq!(r.wire_bytes(), 0);
+    }
+}

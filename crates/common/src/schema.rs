@@ -1,0 +1,99 @@
+//! Relation schemas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Names of a relation's dimension attributes and its measure attribute.
+///
+/// Mirrors `R(A_1, …, A_d, B)` from Section 2.1: an ordered list of
+/// dimension names plus a disjoint measure name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    dims: Vec<String>,
+    measure: String,
+}
+
+impl Schema {
+    /// Build a schema; dimension names must be unique and distinct from the
+    /// measure name.
+    pub fn new(
+        dims: impl IntoIterator<Item = impl Into<String>>,
+        measure: impl Into<String>,
+    ) -> Result<Schema> {
+        let dims: Vec<String> = dims.into_iter().map(Into::into).collect();
+        let measure = measure.into();
+        for (i, a) in dims.iter().enumerate() {
+            if dims[..i].contains(a) {
+                return Err(Error::Schema(format!("duplicate dimension `{a}`")));
+            }
+            if *a == measure {
+                return Err(Error::Schema(format!(
+                    "dimension `{a}` collides with the measure attribute"
+                )));
+            }
+        }
+        Ok(Schema { dims, measure })
+    }
+
+    /// Convenience constructor for anonymous synthetic schemas: dimensions
+    /// `d0..d{d-1}` and measure `m`.
+    pub fn synthetic(d: usize) -> Schema {
+        Schema {
+            dims: (0..d).map(|i| format!("d{i}")).collect(),
+            measure: "m".to_string(),
+        }
+    }
+
+    /// Number of dimension attributes.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension names, in order.
+    pub fn dims(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// The measure attribute's name.
+    pub fn measure(&self) -> &str {
+        &self.measure
+    }
+
+    /// Index of a dimension by name.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_schema() {
+        let s = Schema::new(["name", "city", "year"], "sales").unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.dims()[1], "city");
+        assert_eq!(s.measure(), "sales");
+        assert_eq!(s.dim_index("year"), Some(2));
+        assert_eq!(s.dim_index("nope"), None);
+    }
+
+    #[test]
+    fn rejects_duplicate_dimension() {
+        assert!(Schema::new(["a", "a"], "m").is_err());
+    }
+
+    #[test]
+    fn rejects_measure_collision() {
+        assert!(Schema::new(["a", "m"], "m").is_err());
+    }
+
+    #[test]
+    fn synthetic_names() {
+        let s = Schema::synthetic(4);
+        assert_eq!(s.dims(), &["d0", "d1", "d2", "d3"]);
+        assert_eq!(s.measure(), "m");
+    }
+}

@@ -1,0 +1,94 @@
+//! Relation tuples.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Mask, Value};
+
+/// One row of a relation: `d` dimension values plus a numeric measure.
+///
+/// This mirrors the paper's `t = (a_1, …, a_d, b)`. The measure is an `f64`
+/// so that algebraic aggregates (e.g. `avg`) have a natural output type; all
+/// synthetic workloads use integer-valued measures that are exact in an
+/// `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// The dimension attribute values `a_1, …, a_d`.
+    pub dims: Box<[Value]>,
+    /// The measure attribute value `b`.
+    pub measure: f64,
+}
+
+impl Tuple {
+    /// Build a tuple from dimension values and a measure.
+    pub fn new(dims: Vec<Value>, measure: f64) -> Self {
+        Tuple { dims: dims.into_boxed_slice(), measure }
+    }
+
+    /// Number of dimension attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Project the tuple onto the dimensions of `mask`, returning the
+    /// grouped values in ascending dimension order. This is the paper's
+    /// projection `t' = π_{A'}(t)` with the `*` positions dropped (the mask
+    /// itself carries the positions).
+    pub fn project(&self, mask: Mask) -> Vec<Value> {
+        mask.dims().map(|i| self.dims[i].clone()).collect()
+    }
+
+    /// Serialized size of the full tuple (all dims + measure) on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.dims.iter().map(Value::wire_bytes).sum::<u64>() + 8
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ";{})", self.measure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laptop() -> Tuple {
+        Tuple::new(
+            vec![Value::str("laptop"), Value::str("Rome"), Value::Int(2012)],
+            2000.0,
+        )
+    }
+
+    #[test]
+    fn projection_keeps_masked_dims_in_order() {
+        let t = laptop();
+        // Project on (name, *, year) — mask 0b101.
+        let p = t.project(Mask(0b101));
+        assert_eq!(p, vec![Value::str("laptop"), Value::Int(2012)]);
+        assert_eq!(t.project(Mask::EMPTY), Vec::<Value>::new());
+        assert_eq!(t.project(Mask::full(3)).len(), 3);
+    }
+
+    #[test]
+    fn wire_bytes_sums_dims_and_measure() {
+        let t = laptop();
+        let expect: u64 = t.dims.iter().map(Value::wire_bytes).sum::<u64>() + 8;
+        assert_eq!(t.wire_bytes(), expect);
+    }
+
+    #[test]
+    fn display_shows_running_example() {
+        assert_eq!(laptop().to_string(), "(laptop,Rome,2012;2000)");
+    }
+}

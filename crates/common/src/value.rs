@@ -1,0 +1,153 @@
+//! Attribute values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A single dimension-attribute value.
+///
+/// The paper assumes every attribute value fits in a fixed number of bytes;
+/// we support 64-bit integers (the common case for the synthetic workloads)
+/// and interned strings (for the real-dataset-like workloads, e.g. product
+/// names or Wikipedia page titles). Cloning is cheap: strings are
+/// reference-counted.
+///
+/// The ordering is total and deterministic: integers sort before strings,
+/// integers by numeric value, strings lexicographically. This is the order
+/// used for the per-cuboid lexicographic partitioning of Section 4.1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit integer attribute value.
+    Int(i64),
+    /// An interned string attribute value.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The number of bytes this value occupies when serialized for network
+    /// transfer. Used by the MapReduce engine's traffic accounting.
+    ///
+    /// Integers cost 8 bytes; strings cost their UTF-8 length plus a 4-byte
+    /// length prefix. A one-byte tag discriminates the variants.
+    #[inline]
+    pub fn wire_bytes(&self) -> u64 {
+        1 + match self {
+            Value::Int(_) => 8,
+            Value::Str(s) => 4 + s.len() as u64,
+        }
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_ints_before_strings() {
+        let a = Value::Int(3);
+        let b = Value::Int(10);
+        let c = Value::str("abc");
+        let d = Value::str("abd");
+        assert!(a < b);
+        assert!(b < c, "integers sort before strings");
+        assert!(c < d);
+    }
+
+    #[test]
+    fn wire_bytes_accounts_for_payload() {
+        assert_eq!(Value::Int(7).wire_bytes(), 9);
+        assert_eq!(Value::str("ab").wire_bytes(), 1 + 4 + 2);
+        assert_eq!(Value::str("").wire_bytes(), 5);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from("x".to_string()).as_str(), Some("x"));
+        assert_eq!(Value::Int(9).as_int(), Some(9));
+        assert_eq!(Value::Int(9).as_str(), None);
+        assert_eq!(Value::str("y").as_int(), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("Rome").to_string(), "Rome");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let v = Value::str("laptop");
+        let w = v.clone();
+        assert_eq!(v, w);
+        // Arc is shared, not deep-copied.
+        if let (Value::Str(a), Value::Str(b)) = (&v, &w) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Traffic forecasting (the Section 5.2 quantities, computable up front).
+//!
+//! Given a relation and an SP-Sketch, the cube round's shuffle is fully
+//! determined before it runs: each tuple's anchors follow from the sketch's
+//! skew sets alone, and the skew partials are one record per (mapper,
+//! locally-seen skewed group). [`forecast_cube_round`] replays the mapper
+//! walk and predicts the round's record and byte counts *exactly* (for
+//! fixed-size aggregate states) — the planning counterpart of Theorem 5.3
+//! and Propositions 5.2/5.5: on benign data the forecast stays near `d·n`
+//! records, on adversarial data it exposes the exponential blow-up before
+//! any shuffle is paid.
+
+use std::collections::HashSet;
+
+use spcube_agg::AggSpec;
+use spcube_common::{Group, Relation};
+use spcube_lattice::{BfsOrder, TupleLattice};
+
+use crate::sketch::SpSketch;
+
+/// Predicted cube-round shuffle volumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficForecast {
+    /// Tuples shipped to range reducers (one record per anchor per tuple).
+    pub anchor_records: u64,
+    /// Wire bytes of those records (group key + full tuple).
+    pub anchor_bytes: u64,
+    /// Skew partial aggregates shipped to reducer 0 (one per mapper per
+    /// locally seen skewed group).
+    pub partial_records: u64,
+    /// Wire bytes of those partials (group key + state + count), assuming
+    /// the fixed-size state of `agg` (exact for distributive/algebraic
+    /// functions; a lower bound for set-valued holistic states).
+    pub partial_bytes: u64,
+}
+
+impl TrafficForecast {
+    /// Total predicted intermediate records.
+    pub fn records(&self) -> u64 {
+        self.anchor_records + self.partial_records
+    }
+
+    /// Total predicted intermediate bytes.
+    pub fn bytes(&self) -> u64 {
+        self.anchor_bytes + self.partial_bytes
+    }
+
+    /// Average anchors per tuple — the per-tuple emission factor bounded by
+    /// `d` on skewness-benign data (Prop. 5.5) and exponential on the
+    /// Theorem 5.3 construction.
+    pub fn anchors_per_tuple(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.anchor_records as f64 / n as f64
+        }
+    }
+}
+
+/// Predict the cube round's shuffle for `rel` under `sketch`, with the
+/// relation split evenly across `machines` mappers (the engine's split
+/// rule). Matches the executed round's `map_output_records` /
+/// `map_output_bytes` exactly for fixed-size aggregate states.
+pub fn forecast_cube_round(
+    rel: &Relation,
+    sketch: &SpSketch,
+    machines: usize,
+    agg: AggSpec,
+) -> TrafficForecast {
+    let d = rel.arity();
+    let bfs = BfsOrder::new(d);
+    let partial_payload = agg.init().wire_bytes() + 8; // state + tuple count
+
+    let mut out = TrafficForecast {
+        anchor_records: 0,
+        anchor_bytes: 0,
+        partial_records: 0,
+        partial_bytes: 0,
+    };
+
+    let n = rel.len();
+    let chunk = n.div_ceil(machines.max(1)).max(1);
+    for split in rel.tuples().chunks(chunk) {
+        let mut local_skews: HashSet<Group> = HashSet::new();
+        for t in split {
+            let mut lat = TupleLattice::new(t, &bfs);
+            let mut rank = 0u32;
+            while let Some((mask, at)) = lat.next_unmarked(rank) {
+                rank = at;
+                let g = Group::of_tuple(t, mask);
+                if sketch.is_skewed_group(&g) {
+                    local_skews.insert(g);
+                    lat.mark(mask);
+                } else {
+                    out.anchor_records += 1;
+                    out.anchor_bytes += g.wire_bytes() + t.wire_bytes();
+                    lat.mark_with_ancestors(mask);
+                }
+            }
+        }
+        for g in local_skews {
+            out.partial_records += 1;
+            out.partial_bytes += g.wire_bytes() + partial_payload;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spcube::{sp_cube, SpCube, SpCubeConfig};
+    use spcube_mapreduce::ClusterConfig;
+
+    fn skewed_zipfish(n: usize) -> Relation {
+        use spcube_common::{Schema, Value};
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..n {
+            let dims = if i % 3 == 0 {
+                vec![Value::Int(1), Value::Int(1), Value::Int(1)]
+            } else {
+                vec![
+                    Value::Int((i % 17) as i64),
+                    Value::Int((i % 23) as i64),
+                    Value::Int((i % 29) as i64),
+                ]
+            };
+            r.push_row(dims, 1.0);
+        }
+        r
+    }
+
+    #[test]
+    fn forecast_matches_executed_round_exactly() {
+        let rel = skewed_zipfish(6_000);
+        let cluster = ClusterConfig::new(8, 300);
+        // Use the exact sketch so the run and the forecast share it.
+        let mut cfg = SpCubeConfig::new(AggSpec::Count);
+        cfg.use_exact_sketch = true;
+        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        let forecast = forecast_cube_round(&rel, &run.sketch, cluster.machines, AggSpec::Count);
+        let round = run.metrics.rounds.last().unwrap();
+        assert_eq!(forecast.records(), round.map_output_records);
+        assert_eq!(forecast.bytes(), round.map_output_bytes);
+    }
+
+    #[test]
+    fn forecast_matches_with_sampled_sketch_too() {
+        let rel = skewed_zipfish(5_000);
+        let cluster = ClusterConfig::new(6, 250);
+        let run = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+        let forecast = forecast_cube_round(&rel, &run.sketch, cluster.machines, AggSpec::Sum);
+        let round = run.metrics.rounds.last().unwrap();
+        assert_eq!(forecast.records(), round.map_output_records);
+        assert_eq!(forecast.bytes(), round.map_output_bytes);
+    }
+
+    #[test]
+    fn benign_data_forecasts_at_most_d_anchors_per_tuple() {
+        use spcube_mapreduce::ClusterConfig;
+        let rel = {
+            use rand::{Rng, SeedableRng};
+            use spcube_common::{Schema, Value};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let mut r = Relation::empty(Schema::synthetic(4));
+            for _ in 0..4_000 {
+                r.push_row((0..4).map(|_| Value::Int(rng.gen::<u32>() as i64)).collect(), 1.0);
+            }
+            r
+        };
+        let cluster = ClusterConfig::new(8, 400);
+        let sketch = crate::sketch::build_exact_sketch(&rel, &cluster);
+        let f = forecast_cube_round(&rel, &sketch, 8, AggSpec::Count);
+        assert!(f.anchors_per_tuple(rel.len()) <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_forecasts_zero() {
+        use spcube_common::Schema;
+        let rel = Relation::empty(Schema::synthetic(2));
+        let cluster = ClusterConfig::new(4, 10);
+        let sketch = crate::sketch::build_exact_sketch(&rel, &cluster);
+        let f = forecast_cube_round(&rel, &sketch, 4, AggSpec::Count);
+        assert_eq!(f.records(), 0);
+        assert_eq!(f.bytes(), 0);
+    }
+}

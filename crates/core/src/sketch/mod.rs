@@ -1,0 +1,162 @@
+//! The Skews-and-Partitions Sketch (Section 4).
+//!
+//! For every cuboid `C` the sketch records:
+//!
+//! * `skews(C)` — the skewed c-groups of `C` (groups with more than `m`
+//!   tuples, Definition 2.7), and
+//! * `partition_elements(C)` — `k-1` projected keys splitting
+//!   `sorted(R, C)` into `k` ranges of equal size (Definition 4.1).
+//!
+//! Proposition 4.2 gives the two properties SP-Cube relies on: all tuples
+//! of a non-skewed group land in one partition (their projections compare
+//! identically against every element), and — skewed members excluded —
+//! every partition holds `O(m)` tuples.
+//!
+//! The sketch is independent of the aggregate function, so one sketch can
+//! serve many cube computations over the same relation.
+
+mod build;
+mod node;
+
+pub use build::{build_exact_sketch, build_sampled_sketch, build_sketch_from, build_sketch_with, PartitionStrategy, SketchConfig};
+pub use node::SketchNode;
+
+use serde::{Deserialize, Serialize};
+use spcube_common::{Group, Mask, Value};
+
+/// The SP-Sketch: one [`SketchNode`] per cuboid, indexed by mask.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpSketch {
+    d: usize,
+    k: usize,
+    nodes: Vec<SketchNode>,
+}
+
+impl SpSketch {
+    /// Assemble a sketch from per-cuboid nodes. `nodes[mask.0]` must be the
+    /// node for `mask`.
+    pub fn new(d: usize, k: usize, nodes: Vec<SketchNode>) -> SpSketch {
+        assert_eq!(nodes.len(), 1usize << d, "need one node per cuboid");
+        SpSketch { d, k, nodes }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Number of machines the partitioning targets.
+    pub fn machines(&self) -> usize {
+        self.k
+    }
+
+    /// The node for one cuboid.
+    pub fn node(&self, mask: Mask) -> &SketchNode {
+        &self.nodes[mask.0 as usize]
+    }
+
+    /// Whether the c-group with `key` in cuboid `mask` is recorded as
+    /// skewed. This is the mapper's skew test (Algorithm 3, line 6),
+    /// implemented as a hash lookup as described in Section 5.
+    #[inline]
+    pub fn is_skewed(&self, mask: Mask, key: &[Value]) -> bool {
+        self.nodes[mask.0 as usize].is_skewed(key)
+    }
+
+    /// [`SpSketch::is_skewed`] for a [`Group`].
+    #[inline]
+    pub fn is_skewed_group(&self, g: &Group) -> bool {
+        self.is_skewed(g.mask, &g.key)
+    }
+
+    /// Which of the `k` ranges of cuboid `mask` the key belongs to
+    /// (0-based). All keys of one c-group map to the same range regardless
+    /// of sample quality, because they are equal as projected keys.
+    #[inline]
+    pub fn partition_of(&self, mask: Mask, key: &[Value]) -> usize {
+        self.nodes[mask.0 as usize].partition_of(key)
+    }
+
+    /// Total number of skewed groups recorded across all cuboids.
+    pub fn skew_count(&self) -> usize {
+        self.nodes.iter().map(SketchNode::skew_count).sum()
+    }
+
+    /// Serialized size in bytes — the measure reported in Figures 5c/6c of
+    /// the paper. Computed from the JSON encoding actually shipped through
+    /// the DFS.
+    pub fn serialized_bytes(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+
+    /// Serialize for DFS distribution.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("sketch serialization cannot fail")
+    }
+
+    /// Deserialize from DFS bytes.
+    pub fn from_bytes(bytes: &[u8]) -> spcube_common::Result<SpSketch> {
+        serde_json::from_slice(bytes)
+            .map_err(|e| spcube_common::Error::Parse(format!("bad sketch: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sketch() -> SpSketch {
+        let mut nodes: Vec<SketchNode> = (0..4u32).map(|m| SketchNode::new(Mask(m))).collect();
+        nodes[0b01].add_skew(vec![Value::Int(7)].into_boxed_slice());
+        nodes[0b01].set_partition_elements(vec![
+            vec![Value::Int(3)].into_boxed_slice(),
+            vec![Value::Int(9)].into_boxed_slice(),
+        ]);
+        SpSketch::new(2, 3, nodes)
+    }
+
+    #[test]
+    fn skew_lookup() {
+        let s = tiny_sketch();
+        assert!(s.is_skewed(Mask(0b01), &[Value::Int(7)]));
+        assert!(!s.is_skewed(Mask(0b01), &[Value::Int(8)]));
+        assert!(!s.is_skewed(Mask(0b10), &[Value::Int(7)]));
+        assert_eq!(s.skew_count(), 1);
+    }
+
+    #[test]
+    fn partition_lookup_ranges() {
+        let s = tiny_sketch();
+        // elements: [3], [9] -> ranges (-inf,3], (3,9], (9,inf)
+        assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(1)]), 0);
+        assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(3)]), 0);
+        assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(4)]), 1);
+        assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(9)]), 1);
+        assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(10)]), 2);
+        // Cuboid without elements: everything range 0.
+        assert_eq!(s.partition_of(Mask(0b10), &[Value::Int(10)]), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = tiny_sketch();
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len() as u64, s.serialized_bytes());
+        let back = SpSketch::from_bytes(&bytes).unwrap();
+        assert_eq!(back.dims(), 2);
+        assert_eq!(back.machines(), 3);
+        assert!(back.is_skewed(Mask(0b01), &[Value::Int(7)]));
+        assert_eq!(back.partition_of(Mask(0b01), &[Value::Int(4)]), 1);
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert!(SpSketch::from_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per cuboid")]
+    fn wrong_node_count_panics() {
+        SpSketch::new(3, 2, vec![SketchNode::new(Mask(0))]);
+    }
+}

@@ -1,0 +1,377 @@
+//! The SP-Cube algorithm (Section 5).
+//!
+//! Two MapReduce rounds:
+//!
+//! 1. **Sketch round** (Algorithm 2) — build the [`SpSketch`] from a
+//!    Bernoulli sample, then broadcast it to every machine through the DFS.
+//! 2. **Cube round** (Algorithm 3) — mappers walk each tuple's lattice
+//!    bottom-up: skewed nodes are partially aggregated in the mapper;
+//!    the first non-skewed unmarked node becomes an *anchor*, the full
+//!    tuple is emitted to the reducer owning the anchor's lexicographic
+//!    range, and the anchor's ancestors are marked (they will be derived
+//!    reducer-side). Reducer 0 merges the skew partials; every other
+//!    reducer runs BUC over each anchor group it receives and keeps
+//!    exactly the ancestors assigned to that anchor.
+
+mod job;
+
+use spcube_agg::AggSpec;
+use spcube_common::{Relation, Result};
+use spcube_cubealg::Cube;
+use spcube_mapreduce::{run_job, ClusterConfig, Dfs, RunMetrics};
+
+use crate::sketch::{build_exact_sketch, build_sampled_sketch, SketchConfig, SpSketch};
+use job::SpCubeJob;
+
+/// SP-Cube configuration.
+#[derive(Debug, Clone)]
+pub struct SpCubeConfig {
+    /// The aggregate function to materialize.
+    pub agg: AggSpec,
+    /// Sketch-round parameters.
+    pub sketch: SketchConfig,
+    /// Use the exact (utopian) sketch instead of the sampled one. The exact
+    /// sketch is built outside MapReduce and contributes no round metrics;
+    /// used for validation and ablations.
+    pub use_exact_sketch: bool,
+    /// Compute each anchor's ancestors reducer-side via BUC (Observation
+    /// 2.6). Disabling this ablation flag makes mappers emit every
+    /// non-skewed lattice node separately — the traffic blow-up the anchor
+    /// marking exists to avoid.
+    pub factorize_ancestors: bool,
+    /// Partially aggregate skewed c-groups map-side (Section 3.2).
+    /// Disabling this ablation flag routes skewed groups through the range
+    /// reducers like any other group, which overloads them.
+    pub map_side_skew_aggregation: bool,
+    /// Iceberg minimum support: only c-groups with at least this many
+    /// contributing tuples are materialized (Fang et al., cited as \[22\]).
+    /// Must not exceed the skew threshold `m + 1`: every skewed group has
+    /// more than `m` tuples and passes trivially, and the reducers' BUC
+    /// prunes the non-skewed side exactly. `1` materializes the full cube.
+    pub min_support: usize,
+}
+
+impl SpCubeConfig {
+    /// Paper-default configuration for an aggregate function.
+    pub fn new(agg: AggSpec) -> SpCubeConfig {
+        SpCubeConfig {
+            agg,
+            sketch: SketchConfig::default(),
+            use_exact_sketch: false,
+            factorize_ancestors: true,
+            map_side_skew_aggregation: true,
+            min_support: 1,
+        }
+    }
+}
+
+/// Everything a finished SP-Cube run produces.
+#[derive(Debug)]
+pub struct SpCubeRun {
+    /// The materialized cube (exact).
+    pub cube: Cube,
+    /// Metrics of the executed MapReduce rounds (sketch round first).
+    pub metrics: RunMetrics,
+    /// The sketch used by the cube round.
+    pub sketch: SpSketch,
+    /// Serialized size of the sketch as shipped through the DFS — the
+    /// quantity of Figures 5c and 6c.
+    pub sketch_bytes: u64,
+}
+
+/// The SP-Cube algorithm driver.
+pub struct SpCube;
+
+impl SpCube {
+    /// Run SP-Cube on `rel` over the simulated `cluster`.
+    pub fn run(rel: &Relation, cluster: &ClusterConfig, cfg: &SpCubeConfig) -> Result<SpCubeRun> {
+        let mut metrics = RunMetrics::default();
+        let (sketch, sketch_bytes) = Self::sketch_round(rel, cluster, cfg, &mut metrics)?;
+        let cube = Self::cube_round(rel, cluster, cfg, &sketch, &mut metrics)?;
+        Ok(SpCubeRun { cube, metrics, sketch, sketch_bytes })
+    }
+
+    /// Compute several aggregate functions over one relation, reusing a
+    /// single SP-Sketch round — the paper notes the sketch "is independent
+    /// of the aggregate function … once constructed, the same SP-Sketch can
+    /// be used to efficiently compute multiple aggregate functions"
+    /// (Section 4). Runs one cube round per function; the shared metrics
+    /// contain the sketch round followed by the cube rounds in order.
+    pub fn run_many(
+        rel: &Relation,
+        cluster: &ClusterConfig,
+        cfg: &SpCubeConfig,
+        aggs: &[AggSpec],
+    ) -> Result<(Vec<(AggSpec, Cube)>, RunMetrics)> {
+        let mut metrics = RunMetrics::default();
+        let (sketch, _bytes) = Self::sketch_round(rel, cluster, cfg, &mut metrics)?;
+        let mut cubes = Vec::with_capacity(aggs.len());
+        for &agg in aggs {
+            let mut round_cfg = cfg.clone();
+            round_cfg.agg = agg;
+            let cube = Self::cube_round(rel, cluster, &round_cfg, &sketch, &mut metrics)?;
+            cubes.push((agg, cube));
+        }
+        Ok((cubes, metrics))
+    }
+
+    /// Round 1: build the sketch and broadcast it through the DFS (Section
+    /// 4.2 — every machine caches a copy before the cube round starts).
+    fn sketch_round(
+        rel: &Relation,
+        cluster: &ClusterConfig,
+        cfg: &SpCubeConfig,
+        metrics: &mut RunMetrics,
+    ) -> Result<(SpSketch, u64)> {
+        let sketch = if cfg.use_exact_sketch {
+            build_exact_sketch(rel, cluster)
+        } else {
+            let (sketch, round) = build_sampled_sketch(rel, cluster, &cfg.sketch)?;
+            metrics.push(round);
+            sketch
+        };
+        let dfs = Dfs::new();
+        dfs.put("sp-sketch", sketch.to_bytes());
+        for _ in 0..cluster.machines {
+            let _ = dfs.get("sp-sketch")?;
+        }
+        let sketch = SpSketch::from_bytes(&dfs.get("sp-sketch")?)?;
+        let sketch_bytes = dfs.len_of("sp-sketch").unwrap_or(0);
+        Ok((sketch, sketch_bytes))
+    }
+
+    /// Round 2: compute the cube with `k` range reducers plus reducer 0.
+    fn cube_round(
+        rel: &Relation,
+        cluster: &ClusterConfig,
+        cfg: &SpCubeConfig,
+        sketch: &SpSketch,
+        metrics: &mut RunMetrics,
+    ) -> Result<Cube> {
+        if cfg.min_support > cluster.skew_threshold() + 1 {
+            return Err(spcube_common::Error::Config(format!(
+                "iceberg min_support {} exceeds the skew threshold m+1 = {}; skewed groups \
+                 could not be filtered exactly",
+                cfg.min_support,
+                cluster.skew_threshold() + 1
+            )));
+        }
+        let job = SpCubeJob::new(sketch, rel.arity(), cfg);
+        let result = run_job(cluster, &job, rel.tuples(), cluster.machines + 1)?;
+        metrics.push(result.metrics.clone());
+        Ok(Cube::from_pairs(result.into_flat_outputs()))
+    }
+}
+
+/// Convenience wrapper: run SP-Cube with default configuration.
+pub fn sp_cube(rel: &Relation, cluster: &ClusterConfig, agg: AggSpec) -> Result<SpCubeRun> {
+    SpCube::run(rel, cluster, &SpCubeConfig::new(agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::{Schema, Value};
+    use spcube_cubealg::naive_cube;
+
+    fn rel_with_skew(n: usize, hot: usize, d: usize) -> Relation {
+        let mut r = Relation::empty(Schema::synthetic(d));
+        for i in 0..n {
+            let mut dims = Vec::with_capacity(d);
+            if i < hot {
+                // Heavy pattern: all dims equal 1.
+                dims.resize(d, Value::Int(1));
+            } else {
+                for j in 0..d {
+                    dims.push(Value::Int((i * (j + 3)) as i64 % 50));
+                }
+            }
+            r.push_row(dims, (i % 7) as f64);
+        }
+        r
+    }
+
+    #[test]
+    fn spcube_matches_naive_reference() {
+        let rel = rel_with_skew(2000, 600, 3);
+        let cluster = ClusterConfig::new(8, 150);
+        for agg in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+            let run = sp_cube(&rel, &cluster, agg).unwrap();
+            let expect = naive_cube(&rel, agg);
+            assert!(
+                run.cube.approx_eq(&expect, 1e-9),
+                "{agg:?}: {:?}",
+                run.cube.diff(&expect, 1e-9, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn spcube_with_exact_sketch_matches_naive() {
+        let rel = rel_with_skew(1500, 500, 3);
+        let cluster = ClusterConfig::new(5, 100);
+        let mut cfg = SpCubeConfig::new(AggSpec::Sum);
+        cfg.use_exact_sketch = true;
+        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        let expect = naive_cube(&rel, AggSpec::Sum);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        // Exact sketch contributes no MR round: only the cube round.
+        assert_eq!(run.metrics.round_count(), 1);
+    }
+
+    #[test]
+    fn ablation_no_factorization_still_correct_but_heavier() {
+        let rel = rel_with_skew(1200, 300, 3);
+        let cluster = ClusterConfig::new(6, 100);
+        let mut base = SpCubeConfig::new(AggSpec::Count);
+        base.use_exact_sketch = true;
+        let mut flat = base.clone();
+        flat.factorize_ancestors = false;
+        let run_base = SpCube::run(&rel, &cluster, &base).unwrap();
+        let run_flat = SpCube::run(&rel, &cluster, &flat).unwrap();
+        let expect = naive_cube(&rel, AggSpec::Count);
+        assert!(run_flat.cube.approx_eq(&expect, 1e-9));
+        assert!(
+            run_flat.metrics.map_output_records() > run_base.metrics.map_output_records(),
+            "factorization must reduce traffic: {} vs {}",
+            run_flat.metrics.map_output_records(),
+            run_base.metrics.map_output_records()
+        );
+    }
+
+    #[test]
+    fn ablation_no_map_side_skew_aggregation_still_correct() {
+        let rel = rel_with_skew(1200, 500, 3);
+        let cluster = ClusterConfig::new(6, 100);
+        let mut cfg = SpCubeConfig::new(AggSpec::Sum);
+        cfg.use_exact_sketch = true;
+        cfg.map_side_skew_aggregation = false;
+        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        let expect = naive_cube(&rel, AggSpec::Sum);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        // Without map-side aggregation the skewed groups overload reducers.
+        assert!(run.metrics.spilled_bytes() > 0 || run.metrics.rounds[0].largest_group_values > 500);
+    }
+
+    #[test]
+    fn two_rounds_and_small_sketch() {
+        let rel = rel_with_skew(3000, 900, 4);
+        let cluster = ClusterConfig::new(10, 200);
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        assert_eq!(run.metrics.round_count(), 2);
+        assert!(run.sketch_bytes > 0);
+        assert!(run.sketch_bytes < rel.wire_bytes() / 5, "sketch must be small");
+    }
+
+    #[test]
+    fn topk_holistic_aggregate_supported() {
+        let rel = rel_with_skew(800, 200, 3);
+        let cluster = ClusterConfig::new(4, 100);
+        let run = sp_cube(&rel, &cluster, AggSpec::TopKFrequent(2)).unwrap();
+        let expect = naive_cube(&rel, AggSpec::TopKFrequent(2));
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+    }
+
+    #[test]
+    fn single_machine_cluster_works() {
+        let rel = rel_with_skew(300, 100, 2);
+        let cluster = ClusterConfig::new(1, 50);
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        let expect = naive_cube(&rel, AggSpec::Count);
+        assert!(run.cube.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn run_many_shares_one_sketch_round() {
+        let rel = rel_with_skew(1500, 400, 3);
+        let cluster = ClusterConfig::new(6, 100);
+        let cfg = SpCubeConfig::new(AggSpec::Count);
+        let (cubes, metrics) =
+            SpCube::run_many(&rel, &cluster, &cfg, &[AggSpec::Count, AggSpec::Sum, AggSpec::Avg])
+                .unwrap();
+        // One sketch round + three cube rounds.
+        assert_eq!(metrics.round_count(), 4);
+        assert_eq!(metrics.rounds[0].name, "sp-sketch");
+        for (agg, cube) in &cubes {
+            let expect = naive_cube(&rel, *agg);
+            assert!(cube.approx_eq(&expect, 1e-9), "{agg:?}");
+        }
+        // Cheaper than three independent runs (which would pay the sample
+        // round thrice).
+        let separate: f64 = [AggSpec::Count, AggSpec::Sum, AggSpec::Avg]
+            .iter()
+            .map(|&a| sp_cube(&rel, &cluster, a).unwrap().metrics.total_seconds())
+            .sum();
+        assert!(metrics.total_seconds() < separate);
+    }
+
+    #[test]
+    fn iceberg_min_support_filters_small_groups() {
+        let rel = rel_with_skew(2000, 600, 3);
+        let cluster = ClusterConfig::new(8, 150);
+        let mut cfg = SpCubeConfig::new(AggSpec::Sum);
+        cfg.min_support = 50;
+        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        // Reference: full cube filtered by exact cardinality >= 5.
+        let counts = naive_cube(&rel, AggSpec::Count);
+        let sums = naive_cube(&rel, AggSpec::Sum);
+        let expect = spcube_cubealg::Cube::from_pairs(sums.iter().filter_map(|(g, v)| {
+            (counts.get(g).unwrap().number() >= 50.0).then(|| (g.clone(), v.clone()))
+        }));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
+        assert!(run.cube.len() < sums.len(), "iceberg must prune something");
+    }
+
+    #[test]
+    fn iceberg_min_support_above_skew_threshold_rejected() {
+        let rel = rel_with_skew(500, 100, 2);
+        let cluster = ClusterConfig::new(4, 50);
+        let mut cfg = SpCubeConfig::new(AggSpec::Count);
+        cfg.min_support = 200;
+        assert!(SpCube::run(&rel, &cluster, &cfg).is_err());
+    }
+
+    #[test]
+    fn count_distinct_partially_algebraic_supported() {
+        let rel = rel_with_skew(1000, 300, 3);
+        let cluster = ClusterConfig::new(5, 80);
+        let run = sp_cube(&rel, &cluster, AggSpec::CountDistinct).unwrap();
+        let expect = naive_cube(&rel, AggSpec::CountDistinct);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_cube() {
+        let rel = Relation::empty(Schema::synthetic(3));
+        let cluster = ClusterConfig::new(4, 10);
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        assert!(run.cube.is_empty());
+    }
+
+    #[test]
+    fn string_dimensions_work_end_to_end() {
+        let mut rel = Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
+        let cities = ["Rome", "Paris", "London"];
+        let products = ["laptop", "printer", "keyboard", "mouse"];
+        for i in 0..600usize {
+            // Make laptop/Rome heavily skewed.
+            let (p, c) = if i % 2 == 0 {
+                ("laptop", "Rome")
+            } else {
+                (products[i % 4], cities[i % 3])
+            };
+            rel.push_row(
+                vec![p.into(), c.into(), Value::Int(2010 + (i % 5) as i64)],
+                (i % 100) as f64,
+            );
+        }
+        let cluster = ClusterConfig::new(5, 60);
+        let run = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+        let expect = naive_cube(&rel, AggSpec::Sum);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+    }
+}

@@ -1,0 +1,89 @@
+//! Hash-based full-enumeration cube — the testing ground truth.
+
+use spcube_agg::AggSpec;
+use spcube_common::{Group, Mask, Relation};
+
+use crate::cube::{Cube, CubeBuilder};
+
+/// Compute the full cube by enumerating all `2^d` projections of every
+/// tuple into a hash table. `O(n · 2^d)` time and `O(|cube|)` space —
+/// simple, obviously correct, and only suitable as a reference and for
+/// small inputs (this is the sequential analogue of the paper's naive
+/// Algorithm 1).
+pub fn naive_cube(rel: &Relation, spec: AggSpec) -> Cube {
+    let d = rel.arity();
+    let mut b = CubeBuilder::new();
+    for t in rel.tuples() {
+        for mask in Mask::full(d).subsets() {
+            b.update(spec, Group::of_tuple(t, mask), t.measure);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_agg::AggOutput;
+    use spcube_common::{Schema, Value};
+
+    fn running_example() -> Relation {
+        // The paper's Example 2.1 relation, extended a little.
+        let mut r =
+            Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
+        r.push_row(vec!["laptop".into(), "Rome".into(), Value::Int(2012)], 2000.0);
+        r.push_row(vec!["laptop".into(), "Paris".into(), Value::Int(2012)], 1500.0);
+        r.push_row(vec!["printer".into(), "Rome".into(), Value::Int(2011)], 300.0);
+        r
+    }
+
+    #[test]
+    fn apex_aggregates_everything() {
+        let c = naive_cube(&running_example(), AggSpec::Sum);
+        assert_eq!(c.get(&Group::apex()), Some(&AggOutput::Number(3800.0)));
+    }
+
+    #[test]
+    fn cuboid_counts_match_distinct_projections() {
+        let c = naive_cube(&running_example(), AggSpec::Count);
+        assert_eq!(c.cuboid_len(Mask(0b111)), 3); // all tuples distinct
+        assert_eq!(c.cuboid_len(Mask(0b001)), 2); // laptop, printer
+        assert_eq!(c.cuboid_len(Mask(0b100)), 2); // 2011, 2012
+        assert_eq!(c.cuboid_len(Mask(0b000)), 1);
+    }
+
+    #[test]
+    fn specific_group_from_example_2_2() {
+        // c1 = (laptop, *, 2012) aggregates the two laptop-2012 tuples.
+        let c = naive_cube(&running_example(), AggSpec::Sum);
+        let g = Group::new(
+            Mask(0b101),
+            vec![Value::str("laptop"), Value::Int(2012)],
+        );
+        assert_eq!(c.get(&g), Some(&AggOutput::Number(3500.0)));
+    }
+
+    #[test]
+    fn total_group_count() {
+        // Sum over cuboids of distinct projections.
+        let r = running_example();
+        let c = naive_cube(&r, AggSpec::Count);
+        let expected: usize = Mask::full(3)
+            .subsets()
+            .map(|m| {
+                let mut keys: Vec<_> =
+                    r.tuples().iter().map(|t| t.project(m)).collect();
+                keys.sort();
+                keys.dedup();
+                keys.len()
+            })
+            .sum();
+        assert_eq!(c.len(), expected);
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_cube() {
+        let r = Relation::empty(Schema::synthetic(3));
+        assert!(naive_cube(&r, AggSpec::Count).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Greedy view selection for partial cube materialization
+//! (Harinarayan, Rajaraman, Ullman — SIGMOD 1996, cited as \[24\] in the
+//! paper's related work: "some algorithms deal with full materialization
+//! of the cube, whereas others deal with partial materialization").
+//!
+//! The full cube can be exponentially large; when space is bounded one
+//! materializes a subset of cuboids and answers the rest from their
+//! smallest materialized ancestor (a cuboid `C` is computable from any
+//! `P ⊇ C`, Observation 2.5). HRU's greedy picks, one at a time, the view
+//! whose materialization most reduces the total answering cost, and is
+//! guaranteed to reach at least `1 − 1/e` of the optimal benefit.
+
+use std::collections::HashMap;
+
+use spcube_common::Mask;
+
+use crate::cube::Cube;
+
+/// Result of a greedy selection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewSelection {
+    /// Materialized cuboids, in pick order. Always starts with the full
+    /// cuboid (it is the only view that can answer itself).
+    pub chosen: Vec<Mask>,
+    /// Total rows across chosen views.
+    pub total_rows: u64,
+    /// Sum over *all* cuboids of the rows scanned to answer them from
+    /// their cheapest chosen ancestor.
+    pub total_answer_cost: u64,
+}
+
+/// Per-cuboid sizes (rows). Build one from a materialized [`Cube`] with
+/// [`cuboid_sizes`], or supply estimates.
+pub type CuboidSizes = HashMap<Mask, u64>;
+
+/// Exact cuboid sizes of a materialized cube.
+pub fn cuboid_sizes(cube: &Cube, d: usize) -> CuboidSizes {
+    let mut sizes: CuboidSizes =
+        Mask::full(d).subsets().map(|m| (m, 0)).collect();
+    for (g, _) in cube.iter() {
+        *sizes.get_mut(&g.mask).expect("cube group outside lattice") += 1;
+    }
+    sizes
+}
+
+/// HRU greedy: select up to `max_views` cuboids (the mandatory full cuboid
+/// included and not counted against the budget).
+///
+/// The benefit of materializing `v` is `Σ_{w ⊆ v} max(0, cost(w) −
+/// size(v))` where `cost(w)` is the size of `w`'s cheapest already-chosen
+/// ancestor; ties break toward smaller views, then lower masks (so the
+/// outcome is deterministic).
+pub fn greedy_select(d: usize, sizes: &CuboidSizes, max_views: usize) -> ViewSelection {
+    let full = Mask::full(d);
+    let size_of = |m: Mask| -> u64 { sizes.get(&m).copied().unwrap_or(0) };
+
+    // cost[w] = rows scanned to answer w right now.
+    let mut cost: HashMap<Mask, u64> = full.subsets().map(|m| (m, size_of(full))).collect();
+    let mut chosen = vec![full];
+    cost.insert(full, size_of(full));
+
+    for _ in 0..max_views {
+        let mut best: Option<(u64, Mask)> = None;
+        for v in full.subsets() {
+            if chosen.contains(&v) {
+                continue;
+            }
+            let sv = size_of(v);
+            let benefit: u64 = v
+                .subsets()
+                .map(|w| cost[&w].saturating_sub(sv))
+                .sum();
+            let candidate = (benefit, v);
+            let better = match best {
+                None => true,
+                Some((bb, bv)) => {
+                    benefit > bb
+                        || (benefit == bb
+                            && (sv, v.0) < (size_of(bv), bv.0))
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let Some((benefit, v)) = best else { break };
+        if benefit == 0 && chosen.len() > 1 {
+            break; // nothing left to gain
+        }
+        chosen.push(v);
+        let sv = size_of(v);
+        for w in v.subsets() {
+            let c = cost.get_mut(&w).expect("lattice member");
+            if sv < *c {
+                *c = sv;
+            }
+        }
+    }
+
+    ViewSelection {
+        total_rows: chosen.iter().map(|&m| size_of(m)).sum(),
+        total_answer_cost: cost.values().sum(),
+        chosen,
+    }
+}
+
+/// The cheapest chosen ancestor to answer cuboid `q` from, given a
+/// selection — `None` if `q` has no chosen ancestor (cannot happen when
+/// the full cuboid is chosen).
+pub fn best_ancestor(q: Mask, selection: &ViewSelection, sizes: &CuboidSizes) -> Option<Mask> {
+    selection
+        .chosen
+        .iter()
+        .copied()
+        .filter(|&v| q.is_subset_of(v))
+        .min_by_key(|v| (sizes.get(v).copied().unwrap_or(u64::MAX), v.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_cube;
+    use spcube_agg::AggSpec;
+    use spcube_common::{Relation, Schema, Value};
+
+    /// The classic HRU intuition: a huge full cuboid, one small cuboid
+    /// that answers many queries.
+    fn toy_sizes() -> CuboidSizes {
+        // d = 2: masks 00, 01, 10, 11.
+        [(Mask(0b00), 1u64), (Mask(0b01), 10), (Mask(0b10), 95), (Mask(0b11), 100)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn greedy_prefers_high_benefit_views() {
+        let sel = greedy_select(2, &toy_sizes(), 1);
+        // Benefit of 01: covers {00, 01}: 2 * (100 - 10) = 180.
+        // Benefit of 10: 2 * (100 - 95) = 10. Benefit of 00: 100 - 1 = 99.
+        assert_eq!(sel.chosen, vec![Mask(0b11), Mask(0b01)]);
+        // Costs now: 11 -> 100, 10 -> 100, 01 -> 10, 00 -> 10.
+        assert_eq!(sel.total_answer_cost, 100 + 100 + 10 + 10);
+    }
+
+    #[test]
+    fn more_budget_monotonically_helps() {
+        let sizes = toy_sizes();
+        let mut prev = u64::MAX;
+        for k in 0..4 {
+            let sel = greedy_select(2, &sizes, k);
+            assert!(sel.total_answer_cost <= prev);
+            prev = sel.total_answer_cost;
+        }
+        // With the whole lattice chosen, every cuboid answers from itself.
+        let all = greedy_select(2, &sizes, 3);
+        assert_eq!(all.total_answer_cost, 1 + 10 + 95 + 100);
+    }
+
+    #[test]
+    fn stops_when_benefit_is_exhausted() {
+        // All cuboids same size: nothing beats the full view.
+        let sizes: CuboidSizes = Mask::full(2).subsets().map(|m| (m, 50)).collect();
+        let sel = greedy_select(2, &sizes, 3);
+        // Picks at most one zero-benefit view then stops.
+        assert!(sel.chosen.len() <= 2);
+    }
+
+    #[test]
+    fn sizes_from_real_cube_and_answering() {
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..300usize {
+            r.push_row(
+                vec![
+                    Value::Int((i % 30) as i64),
+                    Value::Int((i % 2) as i64),
+                    Value::Int((i % 50) as i64),
+                ],
+                1.0,
+            );
+        }
+        let cube = naive_cube(&r, AggSpec::Count);
+        let sizes = cuboid_sizes(&cube, 3);
+        assert_eq!(sizes[&Mask(0b010)], 2);
+        assert_eq!(sizes[&Mask::EMPTY], 1);
+
+        let sel = greedy_select(3, &sizes, 3);
+        assert_eq!(sel.chosen[0], Mask::full(3));
+        // Every cuboid must have an answering ancestor.
+        for q in Mask::full(3).subsets() {
+            let a = best_ancestor(q, &sel, &sizes).unwrap();
+            assert!(q.is_subset_of(a));
+        }
+        // The chosen set strictly reduces answer cost vs full-only.
+        let baseline = greedy_select(3, &sizes, 0);
+        assert!(sel.total_answer_cost < baseline.total_answer_cost);
+    }
+}

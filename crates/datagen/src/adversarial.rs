@@ -1,0 +1,157 @@
+//! Relations for the traffic-bound theory of Section 5.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spcube_common::{Relation, Schema, Value};
+
+/// The Theorem 5.3 adversarial relation forcing Θ(2^d · n) SP-Cube traffic.
+///
+/// Construction (from the paper's proof): let `w = m + 1`; for every set
+/// `s` of `d/2` of the `d` dimensions, add `w` identical tuples with value
+/// 1 in the dimensions of `s` and 0 elsewhere. Every level-`d/2` cuboid
+/// then contains exactly one skewed group, while no level-`d/2 + 1` cuboid
+/// does — so for every tuple every (d/2+1)-subset node is an unmarked,
+/// non-skewed anchor and the mapper emits Θ(2^d) records per tuple.
+pub fn adversarial_half_ones(d: usize, m: usize) -> Relation {
+    assert!(d >= 2 && d % 2 == 0, "theorem uses even d");
+    let w = m + 1;
+    let half = d / 2;
+    let mut rel = Relation::empty(Schema::synthetic(d));
+    // Enumerate all d-bit masks with exactly d/2 bits set.
+    for s in 0u32..(1u32 << d) {
+        if s.count_ones() as usize != half {
+            continue;
+        }
+        for _ in 0..w {
+            let dims = (0..d)
+                .map(|i| Value::Int(if s & (1 << i) != 0 { 1 } else { 0 }))
+                .collect();
+            rel.push_row(dims, 1.0);
+        }
+    }
+    rel
+}
+
+/// A benign relation for Proposition 5.5: independent attributes drawn from
+/// a huge domain, so the only skewed c-group is the apex. Every tuple's
+/// anchors are then the `d` single-attribute nodes and SP-Cube ships each
+/// tuple at most `d` times — `O(d^2 · n)` bytes of traffic.
+pub fn apex_only_skew(n: usize, d: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::empty(Schema::synthetic(d));
+    for _ in 0..n {
+        rel.push_row((0..d).map(|_| Value::Int(rng.gen::<u32>() as i64)).collect(), 1.0);
+    }
+    rel
+}
+
+/// A rigorous exponential-traffic workload (our strengthening of Theorem
+/// 5.3's construction): independent uniform attributes over a domain of
+/// size `domain` chosen so that, for a skew threshold `m`, every c-group of
+/// arity ≤ `d/2` is skewed (`n / domain^(d/2) > m`) while every c-group of
+/// arity `d/2 + 1` is not (`n / domain^(d/2+1) ≤ m`). Each tuple's anchors
+/// are then all `C(d, d/2+1) = Θ(2^d/√d)` nodes of that level, forcing
+/// exponentially many emissions per tuple.
+///
+/// Returns the relation and the domain size chosen. Pick `n` and `m` so a
+/// valid domain `>= 2` exists, i.e. `n/m > 2^(d/2)`.
+pub fn uniform_small_domain(n: usize, d: usize, m: usize, seed: u64) -> (Relation, usize) {
+    assert!(d >= 2 && d % 2 == 0, "use even d");
+    let ratio = n as f64 / m as f64;
+    // Largest domain with domain^(d/2) < ratio (levels ≤ d/2 skewed).
+    let domain = (ratio.powf(1.0 / (d as f64 / 2.0)).ceil() as usize).saturating_sub(1).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::empty(Schema::synthetic(d));
+    for _ in 0..n {
+        rel.push_row(
+            (0..d).map(|_| Value::Int(rng.gen_range(0..domain as i64))).collect(),
+            1.0,
+        );
+    }
+    (rel, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::Mask;
+    use std::collections::HashMap;
+
+    #[test]
+    fn half_ones_shape() {
+        let d = 4;
+        let m = 10;
+        let rel = adversarial_half_ones(d, m);
+        // C(4,2) = 6 patterns × (m+1) copies.
+        assert_eq!(rel.len(), 6 * 11);
+        // Every level-d/2 cuboid contains a skewed group — the paper's
+        // claim ("each cuboid in level d/2 contains a skewed group").
+        for mask in Mask::full(d).subsets().filter(|ma| ma.arity() == 2) {
+            let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+            for t in rel.tuples() {
+                *counts.entry(t.project(mask)).or_insert(0) += 1;
+            }
+            assert!(counts.values().any(|&c| c > m), "mask {mask:?}");
+        }
+        // At level d/2+1 no two distinct patterns share a projection
+        // ("there are no s1, s2 ∈ S that share the same values in any
+        // subset of d/2+1 attributes"): every group there has exactly
+        // w = m+1 members, one pattern's worth.
+        for mask in Mask::full(d).subsets().filter(|ma| ma.arity() == 3) {
+            let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+            for t in rel.tuples() {
+                *counts.entry(t.project(mask)).or_insert(0) += 1;
+            }
+            assert!(counts.values().all(|&c| c == m + 1), "mask {mask:?}: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even d")]
+    fn odd_d_rejected() {
+        adversarial_half_ones(3, 5);
+    }
+
+    #[test]
+    fn uniform_small_domain_separates_levels() {
+        let n = 40_000;
+        let d = 4;
+        let m = 200;
+        let (rel, domain) = uniform_small_domain(n, d, m, 5);
+        assert!(domain >= 2);
+        // Expected group sizes: level 2 ≈ n/domain² > m, level 3 ≈
+        // n/domain³ ≤ m. Verify empirically on one mask per level.
+        let level2 = Mask(0b0011);
+        let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in rel.tuples() {
+            *counts.entry(t.project(level2)).or_insert(0) += 1;
+        }
+        let skewed2 = counts.values().filter(|&&c| c > m).count();
+        assert!(skewed2 > counts.len() / 2, "most level-2 groups skewed: {skewed2}/{}", counts.len());
+        let level3 = Mask(0b0111);
+        let mut counts3: HashMap<Vec<Value>, usize> = HashMap::new();
+        for t in rel.tuples() {
+            *counts3.entry(t.project(level3)).or_insert(0) += 1;
+        }
+        let skewed3 = counts3.values().filter(|&&c| c > m).count();
+        assert!(
+            skewed3 * 10 < counts3.len(),
+            "level-3 groups mostly non-skewed: {skewed3}/{}",
+            counts3.len()
+        );
+    }
+
+    #[test]
+    fn apex_only_has_no_other_skews() {
+        let n = 5000;
+        let rel = apex_only_skew(n, 3, 9);
+        let m = n / 10;
+        for mask in Mask::full(3).subsets().filter(|ma| ma.arity() >= 1) {
+            let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+            for t in rel.tuples() {
+                *counts.entry(t.project(mask)).or_insert(0) += 1;
+            }
+            assert!(counts.values().all(|&c| c <= m), "unexpected skew in {mask:?}");
+        }
+    }
+}

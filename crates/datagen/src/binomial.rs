@@ -1,0 +1,86 @@
+//! The gen-binomial dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spcube_common::{Relation, Schema, Value};
+
+/// The paper's gen-binomial generator (Section 6.2), verbatim:
+///
+/// > "With probability p, we uniformly pick a number i ∈ 1, …, 20, and
+/// > create a tuple having i in all of its attributes (namely the tuples
+/// > (1, 1, …, 1), (2, 2, …, 2), and so on). With probability 1 − p, we
+/// > draw each attribute uniformly as a 32-bit integer."
+///
+/// A fraction `p` of the tuples therefore contributes to skews in every
+/// cuboid, while the rest almost surely form singleton groups.
+pub fn gen_binomial(n: usize, d: usize, p: f64, seed: u64) -> Relation {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = Relation::empty(Schema::synthetic(d));
+    for _ in 0..n {
+        let dims = if rng.gen::<f64>() < p {
+            let i = rng.gen_range(1..=20i64);
+            vec![Value::Int(i); d]
+        } else {
+            (0..d).map(|_| Value::Int(rng.gen::<u32>() as i64)).collect()
+        };
+        rel.push_row(dims, 1.0);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_fraction(rel: &Relation) -> f64 {
+        let hits = rel
+            .tuples()
+            .iter()
+            .filter(|t| {
+                let first = &t.dims[0];
+                matches!(first, Value::Int(1..=20)) && t.dims.iter().all(|v| v == first)
+            })
+            .count();
+        hits as f64 / rel.len() as f64
+    }
+
+    #[test]
+    fn p_zero_has_no_patterns() {
+        let r = gen_binomial(20_000, 4, 0.0, 1);
+        // A uniform 32-bit 4-dim tuple is all-equal-in-1..=20 with
+        // probability ~0.
+        assert_eq!(pattern_fraction(&r), 0.0);
+    }
+
+    #[test]
+    fn p_one_is_all_patterns() {
+        let r = gen_binomial(10_000, 4, 1.0, 2);
+        assert_eq!(pattern_fraction(&r), 1.0);
+        // All 20 patterns occur.
+        let distinct: std::collections::HashSet<_> =
+            r.tuples().iter().map(|t| t.dims[0].clone()).collect();
+        assert_eq!(distinct.len(), 20);
+    }
+
+    #[test]
+    fn intermediate_p_matches() {
+        for p in [0.1, 0.4, 0.75] {
+            let r = gen_binomial(40_000, 4, p, 3);
+            let f = pattern_fraction(&r);
+            assert!((f - p).abs() < 0.02, "p={p}, measured {f}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gen_binomial(1000, 3, 0.3, 42), gen_binomial(1000, 3, 0.3, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_rejected() {
+        gen_binomial(10, 2, 1.5, 0);
+    }
+}

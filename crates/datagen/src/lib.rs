@@ -1,0 +1,38 @@
+//! Synthetic dataset generators for the experiments.
+//!
+//! Two families come straight from Section 6.2 of the paper:
+//!
+//! * [`gen_binomial`] — with probability `p`, a tuple is one of 20 planted
+//!   all-equal patterns `(i, i, …, i)`; otherwise every attribute is a
+//!   uniform 32-bit integer. `p` dials the skewness (Figures 6 and 8).
+//! * [`gen_zipf`] — two attributes from a Zipf(1000, 1.1) distribution and
+//!   the rest uniform over 1000 values (Figure 7).
+//!
+//! Two more are profile-matched substitutes for the paper's real datasets,
+//! which are not redistributable at reproduction scale (see DESIGN.md §4):
+//!
+//! * [`wikipedia_like`] — matches the reported Wikipedia Traffic Statistics
+//!   profile: 4 dimensions, a long tail of nearly-unique groups (about 0.6
+//!   distinct c-groups per tuple), and a few dozen skewed c-groups holding
+//!   5–30 % of the tuples each.
+//! * [`usagov_like`] — matches the USAGOV click-log profile: heavier
+//!   low-cardinality dimensions, ~30 skewed groups of 6–25 % of the data.
+//!
+//! Finally, [`adversarial_half_ones`] builds the Theorem 5.3 relation that
+//! forces Θ(2^d · n) SP-Cube traffic, [`apex_only_skew`] the benign
+//! relation of Proposition 5.5, and [`retail()`](retail::retail) the paper's running example
+//! (products × cities × years) used by the examples.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod adversarial;
+pub mod binomial;
+pub mod real_like;
+pub mod retail;
+pub mod zipf;
+
+pub use adversarial::{adversarial_half_ones, apex_only_skew, uniform_small_domain};
+pub use binomial::gen_binomial;
+pub use real_like::{usagov_like, wikipedia_like};
+pub use retail::retail;
+pub use zipf::{gen_zipf, Zipf};

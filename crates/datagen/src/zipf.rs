@@ -1,0 +1,139 @@
+//! Zipf sampling and the gen-zipf dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spcube_common::{Relation, Schema, Value};
+
+/// A Zipf(N, s) sampler over `{1, …, N}`: value `r` has probability
+/// proportional to `1 / r^s`. Implemented with a precomputed CDF and binary
+/// search — exact, and fast enough for millions of draws at the domain
+/// sizes used here (the paper uses N = 1000, s = 1.1).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` elements with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one value in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Exact probability of value `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&r));
+        if r == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[r - 1] - self.cdf[r - 2]
+        }
+    }
+}
+
+/// The paper's gen-zipf dataset (Section 6.2): `d >= 2` dimensions, the
+/// first two drawn from Zipf(1000, 1.1), the rest uniform over 1000 values;
+/// all attributes independent. The paper's instance has `d = 4`.
+pub fn gen_zipf(n: usize, d: usize, seed: u64) -> Relation {
+    assert!(d >= 2, "gen-zipf needs at least the two Zipf attributes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(1000, 1.1);
+    let mut rel = Relation::empty(Schema::synthetic(d));
+    for _ in 0..n {
+        let mut dims = Vec::with_capacity(d);
+        dims.push(Value::Int(zipf.sample(&mut rng) as i64));
+        dims.push(Value::Int(zipf.sample(&mut rng) as i64));
+        for _ in 2..d {
+            dims.push(Value::Int(rng.gen_range(1..=1000)));
+        }
+        rel.push_row(dims, 1.0);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_is_heavier_than_tail() {
+        let z = Zipf::new(1000, 1.1);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(100));
+        assert!(z.pmf(1) > 0.1, "rank 1 of Zipf(1000,1.1) carries >10%");
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 200_000;
+        let mut counts = vec![0u32; 51];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [1usize, 2, 5, 10] {
+            let emp = counts[r] as f64 / draws as f64;
+            let exp = z.pmf(r);
+            assert!((emp - exp).abs() < 0.01, "rank {r}: {emp} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_zipf_shape_and_determinism() {
+        let a = gen_zipf(5_000, 4, 99);
+        let b = gen_zipf(5_000, 4, 99);
+        assert_eq!(a, b, "deterministic in the seed");
+        assert_eq!(a.len(), 5_000);
+        assert_eq!(a.arity(), 4);
+        // Zipf attributes concentrate: value 1 of dim 0 is frequent.
+        let ones = a.tuples().iter().filter(|t| t.dims[0] == Value::Int(1)).count();
+        assert!(ones > 5_000 / 20, "zipf head missing: {ones}");
+        // Uniform attributes do not concentrate anywhere near as much.
+        let max_uniform = (1..=1000)
+            .map(|v| a.tuples().iter().filter(|t| t.dims[2] == Value::Int(v)).count())
+            .max()
+            .unwrap();
+        assert!(max_uniform < ones / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two Zipf")]
+    fn gen_zipf_needs_two_dims() {
+        gen_zipf(10, 1, 0);
+    }
+}

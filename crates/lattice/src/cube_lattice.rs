@@ -1,0 +1,133 @@
+//! The cube lattice (Definition 2.3).
+
+use spcube_common::Mask;
+
+use crate::bfs::BfsOrder;
+
+/// The lattice of all `2^d` cuboids of a `d`-dimensional relation.
+///
+/// Wraps a [`BfsOrder`] and exposes the ancestor/descendant structure used
+/// by Observation 2.5 (a cuboid can be derived from any of its descendants)
+/// and by the SP-Sketch, which stores one node per cuboid.
+#[derive(Debug, Clone)]
+pub struct CubeLattice {
+    bfs: BfsOrder,
+}
+
+impl CubeLattice {
+    /// Build the lattice for `d` dimensions.
+    pub fn new(d: usize) -> CubeLattice {
+        CubeLattice { bfs: BfsOrder::new(d) }
+    }
+
+    /// Dimensionality `d`.
+    pub fn dims(&self) -> usize {
+        self.bfs.dims()
+    }
+
+    /// Number of cuboids, `2^d`.
+    pub fn len(&self) -> usize {
+        self.bfs.order().len()
+    }
+
+    /// Never empty: the apex cuboid always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shared BFS order.
+    pub fn bfs(&self) -> &BfsOrder {
+        &self.bfs
+    }
+
+    /// All cuboids bottom-up (apex first).
+    pub fn bottom_up(&self) -> impl Iterator<Item = Mask> + '_ {
+        self.bfs.order().iter().copied()
+    }
+
+    /// All cuboids top-down (full cuboid first).
+    pub fn top_down(&self) -> impl Iterator<Item = Mask> + '_ {
+        self.bfs.order().iter().rev().copied()
+    }
+
+    /// Immediate descendants of a cuboid (drop one attribute).
+    pub fn descendants(&self, c: Mask) -> impl Iterator<Item = Mask> {
+        c.children()
+    }
+
+    /// Immediate ancestors of a cuboid (add one attribute).
+    pub fn ancestors(&self, c: Mask) -> impl Iterator<Item = Mask> {
+        c.parents(self.dims())
+    }
+
+    /// All strict descendants (transitive), i.e. strict subsets.
+    pub fn all_descendants(&self, c: Mask) -> impl Iterator<Item = Mask> {
+        c.subsets().filter(move |&s| s != c)
+    }
+
+    /// All strict ancestors (transitive), i.e. strict supersets within `d`.
+    pub fn all_ancestors(&self, c: Mask) -> impl Iterator<Item = Mask> {
+        let d = self.dims();
+        c.supersets(d).filter(move |&s| s != c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_has_eight_cuboids() {
+        // Example 2.2: a 3-dimensional relation has 8 cuboids.
+        let l = CubeLattice::new(3);
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn descendants_drop_exactly_one_attribute() {
+        let l = CubeLattice::new(3);
+        let c = Mask(0b101); // (name, *, year)
+        let d: Vec<u32> = l.descendants(c).map(|m| m.0).collect();
+        assert_eq!(d, vec![0b100, 0b001]);
+        for m in l.descendants(c) {
+            assert_eq!(m.arity(), c.arity() - 1);
+            assert!(m.is_strict_subset_of(c));
+        }
+    }
+
+    #[test]
+    fn ancestors_add_exactly_one_attribute() {
+        let l = CubeLattice::new(3);
+        let c = Mask(0b001);
+        let a: Vec<u32> = l.ancestors(c).map(|m| m.0).collect();
+        assert_eq!(a, vec![0b011, 0b101]);
+    }
+
+    #[test]
+    fn ancestor_descendant_duality() {
+        let l = CubeLattice::new(4);
+        for c in l.bottom_up() {
+            for d in l.descendants(c) {
+                assert!(l.ancestors(d).any(|a| a == c));
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_closures() {
+        let l = CubeLattice::new(3);
+        assert_eq!(l.all_descendants(Mask(0b111)).count(), 7);
+        assert_eq!(l.all_ancestors(Mask::EMPTY).count(), 7);
+        assert_eq!(l.all_descendants(Mask::EMPTY).count(), 0);
+        assert_eq!(l.all_ancestors(Mask(0b111)).count(), 0);
+    }
+
+    #[test]
+    fn top_down_reverses_bottom_up() {
+        let l = CubeLattice::new(3);
+        let up: Vec<Mask> = l.bottom_up().collect();
+        let mut down: Vec<Mask> = l.top_down().collect();
+        down.reverse();
+        assert_eq!(up, down);
+    }
+}

@@ -1,0 +1,24 @@
+//! Cube and tuple lattices (Section 2.2 of the paper).
+//!
+//! Two lattices drive every algorithm in this workspace:
+//!
+//! * the **cube lattice** — nodes are cuboids (identified by a
+//!   [`Mask`](spcube_common::Mask)); a cuboid `C'` is a *descendant* of `C`
+//!   iff its group-by set drops one attribute of `C`;
+//! * the **tuple lattice** — for a tuple `t`, nodes are all projections of
+//!   `t`, i.e. the c-groups `t` contributes to.
+//!
+//! Both share the same mask structure, so this crate centers on a cached,
+//! deterministic **bottom-up BFS order** over masks (ascending by
+//! `(arity, mask)`), which is the traversal order of the SP-Cube mapper
+//! (Algorithm 3) and the tie-breaker of the anchor-assignment rule.
+
+pub mod anchor;
+pub mod bfs;
+pub mod cube_lattice;
+pub mod tuple_lattice;
+
+pub use anchor::{anchor_mask, is_anchor};
+pub use bfs::BfsOrder;
+pub use cube_lattice::CubeLattice;
+pub use tuple_lattice::TupleLattice;

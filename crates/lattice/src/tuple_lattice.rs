@@ -1,0 +1,162 @@
+//! The tuple lattice (Definition 2.4).
+
+use spcube_common::{Group, Mask, Tuple};
+
+use crate::bfs::BfsOrder;
+
+/// The lattice of all projections of one tuple — exactly the c-groups the
+/// tuple contributes to (Figure 2 of the paper).
+///
+/// The lattice is virtual: nodes are materialized on demand as [`Group`]s
+/// from the shared [`BfsOrder`], so walking a tuple's lattice allocates only
+/// the groups actually inspected. A `marked` bitset supports the mapper's
+/// "mark node and its ancestors" bookkeeping from Algorithm 3.
+#[derive(Debug)]
+pub struct TupleLattice<'a> {
+    tuple: &'a Tuple,
+    bfs: &'a BfsOrder,
+    marked: MarkBits,
+}
+
+/// Mark bitset over the `2^d` lattice nodes. Inline `u64` for `d <= 6`
+/// (the common case — the paper's cubes have 4 dimensions), heap-allocated
+/// for larger `d`.
+#[derive(Debug, Clone)]
+enum MarkBits {
+    Small(u64),
+    Large(Vec<u64>),
+}
+
+impl MarkBits {
+    fn new(d: usize) -> MarkBits {
+        if d <= 6 {
+            MarkBits::Small(0)
+        } else {
+            MarkBits::Large(vec![0u64; (1usize << d).div_ceil(64)])
+        }
+    }
+
+    #[inline]
+    fn get(&self, bit: u32) -> bool {
+        match self {
+            MarkBits::Small(b) => b & (1u64 << bit) != 0,
+            MarkBits::Large(v) => v[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, bit: u32) {
+        match self {
+            MarkBits::Small(b) => *b |= 1u64 << bit,
+            MarkBits::Large(v) => v[(bit / 64) as usize] |= 1u64 << (bit % 64),
+        }
+    }
+}
+
+impl<'a> TupleLattice<'a> {
+    /// Wrap a tuple. `bfs` must have been built for the tuple's arity.
+    pub fn new(tuple: &'a Tuple, bfs: &'a BfsOrder) -> TupleLattice<'a> {
+        assert_eq!(tuple.arity(), bfs.dims(), "BFS order arity mismatch");
+        TupleLattice { tuple, bfs, marked: MarkBits::new(bfs.dims()) }
+    }
+
+    /// The node (c-group) of this tuple at `mask`.
+    pub fn node(&self, mask: Mask) -> Group {
+        Group::of_tuple(self.tuple, mask)
+    }
+
+    /// All nodes bottom-up in BFS order.
+    pub fn nodes_bottom_up(&self) -> impl Iterator<Item = Group> + '_ {
+        self.bfs.order().iter().map(move |&m| self.node(m))
+    }
+
+    /// Whether `mask` is marked as processed.
+    #[inline]
+    pub fn is_marked(&self, mask: Mask) -> bool {
+        self.marked.get(mask.0)
+    }
+
+    /// Mark a single node.
+    #[inline]
+    pub fn mark(&mut self, mask: Mask) {
+        self.marked.set(mask.0);
+    }
+
+    /// Mark a node and all of its ancestors (supersets), the recursive
+    /// marking of Algorithm 3 line 12.
+    pub fn mark_with_ancestors(&mut self, mask: Mask) {
+        for sup in mask.supersets(self.bfs.dims()) {
+            self.mark(sup);
+        }
+    }
+
+    /// Next unmarked mask in BFS order at or after `start_rank`; returns the
+    /// mask and its rank. This is `NextUnmarkedBFS` from Algorithm 3.
+    pub fn next_unmarked(&self, start_rank: u32) -> Option<(Mask, u32)> {
+        self.bfs.order()[start_rank as usize..]
+            .iter()
+            .enumerate()
+            .find(|(_, m)| !self.is_marked(**m))
+            .map(|(off, m)| (*m, start_rank + off as u32))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::Value;
+
+    fn t() -> Tuple {
+        Tuple::new(
+            vec![Value::str("laptop"), Value::str("Rome"), Value::Int(2012)],
+            2000.0,
+        )
+    }
+
+    #[test]
+    fn nodes_are_all_projections() {
+        let bfs = BfsOrder::new(3);
+        let tup = t();
+        let l = TupleLattice::new(&tup, &bfs);
+        let nodes: Vec<Group> = l.nodes_bottom_up().collect();
+        assert_eq!(nodes.len(), 8);
+        assert_eq!(nodes[0], Group::apex());
+        assert_eq!(nodes[7].display(3), "(laptop,Rome,2012)");
+    }
+
+    #[test]
+    fn marking_and_next_unmarked() {
+        let bfs = BfsOrder::new(3);
+        let tup = t();
+        let mut l = TupleLattice::new(&tup, &bfs);
+        assert_eq!(l.next_unmarked(0).unwrap().0, Mask::EMPTY);
+        l.mark(Mask::EMPTY);
+        let (m, rank) = l.next_unmarked(0).unwrap();
+        assert_eq!(m, Mask(0b001));
+        assert_eq!(rank, 1);
+    }
+
+    #[test]
+    fn mark_with_ancestors_marks_all_supersets() {
+        let bfs = BfsOrder::new(3);
+        let tup = t();
+        let mut l = TupleLattice::new(&tup, &bfs);
+        l.mark_with_ancestors(Mask(0b001));
+        for sup in Mask(0b001).supersets(3) {
+            assert!(l.is_marked(sup));
+        }
+        assert!(!l.is_marked(Mask(0b010)));
+        assert!(!l.is_marked(Mask(0b110)));
+        assert!(!l.is_marked(Mask::EMPTY));
+    }
+
+    #[test]
+    fn exhausted_when_all_marked() {
+        let bfs = BfsOrder::new(2);
+        let tup = Tuple::new(vec![Value::Int(1), Value::Int(2)], 0.0);
+        let mut l = TupleLattice::new(&tup, &bfs);
+        l.mark_with_ancestors(Mask::EMPTY); // marks everything
+        assert!(l.next_unmarked(0).is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Cluster configuration.
+
+use crate::cost::CostModel;
+
+/// Configuration of the simulated cluster (Section 2.3 of the paper).
+///
+/// `machines` is the paper's `k`; `memory_tuples` is `m` — both the
+/// per-machine memory in tuples and, by Definition 2.7, the skew threshold:
+/// a c-group is skewed iff more than `m` tuples belong to it.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of machines `k`. Each runs one map task and one reduce task
+    /// per phase (the paper's setting).
+    pub machines: usize,
+    /// Per-machine memory in tuples (`m`). Also the skew threshold.
+    pub memory_tuples: usize,
+    /// Per-machine working memory in bytes, used by the reducer spill/OOM
+    /// model. Defaults to `memory_tuples * DEFAULT_TUPLE_BYTES`.
+    pub memory_bytes: u64,
+    /// Host threads used to execute simulated tasks concurrently. Purely a
+    /// simulation-speed knob; results and metrics are independent of it.
+    pub threads: usize,
+    /// The cost model converting counters to simulated seconds.
+    pub cost: CostModel,
+    /// Multiplier on a straggling map task's simulated time, applied to
+    /// deterministic pseudo-randomly chosen tasks. `1.0` disables
+    /// straggling. Used by the engine-robustness experiments.
+    pub straggler_factor: f64,
+    /// Probability that a given map task straggles (deterministic per task
+    /// index). Only meaningful when `straggler_factor > 1.0`.
+    pub straggler_prob: f64,
+    /// Probability that a task attempt fails and is re-executed
+    /// (deterministic per task and attempt). Models Hadoop's task retry:
+    /// results are unaffected, but the failed attempt's time is paid again.
+    pub task_failure_prob: f64,
+    /// Maximum attempts per task before the whole job aborts.
+    pub max_task_attempts: u32,
+}
+
+/// Assumed bytes per buffered tuple when deriving `memory_bytes`.
+pub const DEFAULT_TUPLE_BYTES: u64 = 48;
+
+impl ClusterConfig {
+    /// A cluster of `k` machines with `m` tuples of memory each.
+    pub fn new(machines: usize, memory_tuples: usize) -> ClusterConfig {
+        assert!(machines > 0, "need at least one machine");
+        assert!(memory_tuples > 0, "need positive memory");
+        ClusterConfig {
+            machines,
+            memory_tuples,
+            memory_bytes: memory_tuples as u64 * DEFAULT_TUPLE_BYTES,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            cost: CostModel::default(),
+            straggler_factor: 1.0,
+            straggler_prob: 0.0,
+            task_failure_prob: 0.0,
+            max_task_attempts: 4,
+        }
+    }
+
+    /// The paper's default: `k` machines, `m = n/k` (machine memory on the
+    /// order of its input share).
+    pub fn for_input(machines: usize, n_tuples: usize) -> ClusterConfig {
+        ClusterConfig::new(machines, (n_tuples / machines).max(1))
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the byte memory limit.
+    pub fn with_memory_bytes(mut self, bytes: u64) -> Self {
+        self.memory_bytes = bytes;
+        self
+    }
+
+    /// Enable straggler injection.
+    pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob));
+        assert!(factor >= 1.0);
+        self.straggler_prob = prob;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Enable task-failure injection (attempts are retried up to
+    /// `max_task_attempts`).
+    pub fn with_task_failures(mut self, prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "failure probability must be < 1");
+        self.task_failure_prob = prob;
+        self
+    }
+
+    /// The skew threshold `m` (Definition 2.7): groups with more tuples
+    /// than this are skewed.
+    pub fn skew_threshold(&self) -> usize {
+        self.memory_tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_input_divides_evenly() {
+        let c = ClusterConfig::for_input(20, 1_000_000);
+        assert_eq!(c.machines, 20);
+        assert_eq!(c.memory_tuples, 50_000);
+        assert_eq!(c.skew_threshold(), 50_000);
+    }
+
+    #[test]
+    fn memory_bytes_defaults_from_tuples() {
+        let c = ClusterConfig::new(4, 100);
+        assert_eq!(c.memory_bytes, 4800);
+        let c = c.with_memory_bytes(99);
+        assert_eq!(c.memory_bytes, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_machines_rejected() {
+        ClusterConfig::new(0, 1);
+    }
+
+    #[test]
+    fn small_input_still_positive_memory() {
+        let c = ClusterConfig::for_input(20, 5);
+        assert_eq!(c.memory_tuples, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Map and reduce task contexts.
+
+/// Emission buffer handed to a map task.
+///
+/// Collects `(key, value)` pairs and lets the job charge explicit CPU work
+/// units (e.g. lattice-node visits) to the cost model.
+#[derive(Debug)]
+pub struct MapContext<'a, K, V> {
+    pub(crate) out: &'a mut Vec<(K, V)>,
+    pub(crate) work_units: u64,
+    pub(crate) task: usize,
+}
+
+impl<'a, K, V> MapContext<'a, K, V> {
+    pub(crate) fn new(out: &'a mut Vec<(K, V)>, task: usize) -> Self {
+        MapContext { out, work_units: 0, task }
+    }
+
+    /// Emit one intermediate pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.out.push((key, value));
+    }
+
+    /// Charge `units` of abstract CPU work (each costs
+    /// [`cpu_per_work_unit_s`](crate::CostModel::cpu_per_work_unit_s)).
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        self.work_units += units;
+    }
+
+    /// Index of the map task (machine) running this split.
+    pub fn task(&self) -> usize {
+        self.task
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// Output collector handed to a reduce call.
+#[derive(Debug)]
+pub struct ReduceContext<'a, O> {
+    pub(crate) out: &'a mut Vec<O>,
+    pub(crate) work_units: u64,
+    pub(crate) reducer: usize,
+}
+
+impl<'a, O> ReduceContext<'a, O> {
+    pub(crate) fn new(out: &'a mut Vec<O>, reducer: usize) -> Self {
+        ReduceContext { out, work_units: 0, reducer }
+    }
+
+    /// Emit one output record.
+    #[inline]
+    pub fn emit(&mut self, output: O) {
+        self.out.push(output);
+    }
+
+    /// Charge `units` of abstract CPU work.
+    #[inline]
+    pub fn charge(&mut self, units: u64) {
+        self.work_units += units;
+    }
+
+    /// Index of the reducer running this group.
+    pub fn reducer(&self) -> usize {
+        self.reducer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_context_collects() {
+        let mut buf = Vec::new();
+        let mut ctx = MapContext::new(&mut buf, 3);
+        ctx.emit(1, "a");
+        ctx.emit(2, "b");
+        ctx.charge(5);
+        assert_eq!(ctx.task(), 3);
+        assert_eq!(ctx.emitted(), 2);
+        assert_eq!(ctx.work_units, 5);
+        assert_eq!(buf, vec![(1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn reduce_context_collects() {
+        let mut buf = Vec::new();
+        let mut ctx = ReduceContext::new(&mut buf, 1);
+        ctx.emit(10);
+        ctx.charge(2);
+        assert_eq!(ctx.reducer(), 1);
+        assert_eq!(buf, vec![10]);
+    }
+}

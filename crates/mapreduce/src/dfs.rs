@@ -1,0 +1,107 @@
+//! A minimal in-memory "distributed file system".
+//!
+//! The paper's cluster shares a DFS from which the input is read, to which
+//! the cube is written, and through which the serialized SP-Sketch is
+//! broadcast to every machine before the cube round ("Once computed, the
+//! SP-Sketch is stored in the distributed file system, to be later cached
+//! by all machines", Section 4.2). This type mirrors those interactions and
+//! counts the bytes moved, so sketch-distribution overhead is visible in
+//! the experiment reports.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Shared byte-blob store with read/write accounting.
+#[derive(Debug, Default)]
+pub struct Dfs {
+    inner: Mutex<DfsInner>,
+}
+
+#[derive(Debug, Default)]
+struct DfsInner {
+    files: HashMap<String, Vec<u8>>,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl Dfs {
+    /// An empty DFS.
+    pub fn new() -> Dfs {
+        Dfs::default()
+    }
+
+    /// Store a blob under `path`, replacing any previous content.
+    pub fn put(&self, path: &str, data: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        inner.bytes_written += data.len() as u64;
+        inner.files.insert(path.to_string(), data);
+    }
+
+    /// Fetch a copy of the blob at `path`.
+    pub fn get(&self, path: &str) -> spcube_common::Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        match inner.files.get(path) {
+            Some(data) => {
+                let data = data.clone();
+                inner.bytes_read += data.len() as u64;
+                Ok(data)
+            }
+            None => Err(spcube_common::Error::DfsMissing(path.to_string())),
+        }
+    }
+
+    /// Size of the blob at `path`, if present.
+    pub fn len_of(&self, path: &str) -> Option<u64> {
+        self.inner.lock().files.get(path).map(|d| d.len() as u64)
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.lock().bytes_written
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.inner.lock().bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let dfs = Dfs::new();
+        dfs.put("sketch", vec![1, 2, 3]);
+        assert_eq!(dfs.get("sketch").unwrap(), vec![1, 2, 3]);
+        assert_eq!(dfs.len_of("sketch"), Some(3));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = Dfs::new();
+        assert!(dfs.get("nope").is_err());
+        assert_eq!(dfs.len_of("nope"), None);
+    }
+
+    #[test]
+    fn accounting_counts_reads_and_writes() {
+        let dfs = Dfs::new();
+        dfs.put("a", vec![0; 10]);
+        let _ = dfs.get("a").unwrap();
+        let _ = dfs.get("a").unwrap();
+        assert_eq!(dfs.bytes_written(), 10);
+        assert_eq!(dfs.bytes_read(), 20);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let dfs = Dfs::new();
+        dfs.put("a", vec![1]);
+        dfs.put("a", vec![2, 3]);
+        assert_eq!(dfs.get("a").unwrap(), vec![2, 3]);
+        assert_eq!(dfs.bytes_written(), 3);
+    }
+}

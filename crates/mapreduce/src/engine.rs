@@ -1,0 +1,660 @@
+//! Job execution.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use spcube_common::{Error, Result};
+
+use crate::config::ClusterConfig;
+use crate::context::{MapContext, ReduceContext};
+use crate::job::{LargeGroupBehavior, MrJob};
+use crate::metrics::JobMetrics;
+
+/// The outcome of one executed round: real reducer outputs plus metrics.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Output records, per reducer (index = reducer id).
+    pub outputs: Vec<Vec<O>>,
+    /// Counters and simulated times for the round.
+    pub metrics: JobMetrics,
+}
+
+impl<O> JobResult<O> {
+    /// Flatten all reducers' outputs into one vector (reducer order).
+    pub fn into_flat_outputs(self) -> Vec<O> {
+        self.outputs.into_iter().flatten().collect()
+    }
+}
+
+struct MapTaskOut<K, V> {
+    per_reducer: Vec<Vec<(K, V)>>,
+    records_in: u64,
+    records_out: u64,
+    bytes_out: u64,
+    work_units: u64,
+}
+
+/// Execute one MapReduce round of `job` over `inputs` on the simulated
+/// cluster, with `reducers` reduce tasks.
+///
+/// The input is split evenly across the cluster's `k` machines ("we assume
+/// that the n tuples of the input are equally loaded to the machines",
+/// Section 2.3). Map tasks run concurrently on host threads; all counters
+/// and simulated times are independent of host scheduling.
+pub fn run_job<J: MrJob>(
+    cluster: &ClusterConfig,
+    job: &J,
+    inputs: &[J::Input],
+    reducers: usize,
+) -> Result<JobResult<J::Output>> {
+    if reducers == 0 {
+        return Err(Error::Config("job needs at least one reducer".into()));
+    }
+    let wall_start = Instant::now();
+    let k = cluster.machines;
+    let cost = &cluster.cost;
+
+    // ---- Map phase -------------------------------------------------------
+    let chunk = inputs.len().div_ceil(k).max(1);
+    let splits: Vec<&[J::Input]> = (0..k)
+        .map(|i| {
+            let lo = (i * chunk).min(inputs.len());
+            let hi = ((i + 1) * chunk).min(inputs.len());
+            &inputs[lo..hi]
+        })
+        .collect();
+
+    let map_outs: Vec<Mutex<Option<MapTaskOut<J::Key, J::Value>>>> =
+        (0..k).map(|_| Mutex::new(None)).collect();
+    let next_task = AtomicUsize::new(0);
+    let workers = cluster.threads.min(k).max(1);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = next_task.fetch_add(1, Ordering::Relaxed);
+                if t >= k {
+                    break;
+                }
+                let out = run_map_task(job, splits[t], t, reducers);
+                *map_outs[t].lock() = Some(out);
+            });
+        }
+    })
+    .expect("map worker panicked");
+
+    let map_outs: Vec<MapTaskOut<J::Key, J::Value>> = map_outs
+        .into_iter()
+        .map(|m| m.into_inner().expect("map task missing"))
+        .collect();
+
+    let mut map_times = Vec::with_capacity(k);
+    let mut task_retries = 0u64;
+    let mut input_records = 0u64;
+    let mut map_output_records = 0u64;
+    let mut map_output_bytes = 0u64;
+    for (t, out) in map_outs.iter().enumerate() {
+        input_records += out.records_in;
+        map_output_records += out.records_out;
+        map_output_bytes += out.bytes_out;
+        let mut secs = out.records_in as f64 * cost.map_cpu_per_record_s
+            + out.work_units as f64 * cost.cpu_per_work_unit_s
+            + out.records_out as f64 * cost.cpu_per_emit_s
+            + out.bytes_out as f64 / cost.map_disk_bytes_per_s;
+        if is_straggler(cluster, job.name().as_str(), t) {
+            secs *= cluster.straggler_factor;
+        }
+        // Task-failure injection: failed attempts re-execute; each failed
+        // attempt's time is paid on top of the successful one.
+        let attempts = attempts_for(cluster, job.name().as_str(), t)?;
+        task_retries += (attempts - 1) as u64;
+        map_times.push(secs * attempts as f64);
+    }
+
+    // ---- Shuffle ---------------------------------------------------------
+    // Receive each reducer's partitions in map-task order (deterministic).
+    let mut reducer_inputs: Vec<Vec<(J::Key, J::Value)>> =
+        (0..reducers).map(|_| Vec::new()).collect();
+    for out in map_outs {
+        for (r, part) in out.per_reducer.into_iter().enumerate() {
+            reducer_inputs[r].extend(part);
+        }
+    }
+    let reducer_input_bytes: Vec<u64> = reducer_inputs
+        .iter()
+        .map(|pairs| {
+            pairs
+                .iter()
+                .map(|(key, value)| job.key_bytes(key) + job.value_bytes(value))
+                .sum()
+        })
+        .collect();
+    let shuffle_seconds = reducer_input_bytes
+        .iter()
+        .map(|&b| b as f64 / cost.net_bytes_per_s)
+        .fold(0.0f64, f64::max);
+
+    // ---- Reduce phase ----------------------------------------------------
+    struct ReduceTaskOut<O> {
+        outputs: Vec<O>,
+        out_bytes: u64,
+        secs: f64,
+        spilled: u64,
+        largest_group: u64,
+        failure: Option<Error>,
+    }
+
+    let reduce_slots: Vec<Mutex<Option<ReduceTaskOut<J::Output>>>> =
+        (0..reducers).map(|_| Mutex::new(None)).collect();
+    let reducer_inputs: Vec<Mutex<Option<Vec<(J::Key, J::Value)>>>> =
+        reducer_inputs.into_iter().map(|v| Mutex::new(Some(v))).collect();
+    let next_red = AtomicUsize::new(0);
+    let red_workers = cluster.threads.min(reducers).max(1);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..red_workers {
+            scope.spawn(|_| loop {
+                let r = next_red.fetch_add(1, Ordering::Relaxed);
+                if r >= reducers {
+                    break;
+                }
+                let pairs = reducer_inputs[r].lock().take().expect("reducer input taken twice");
+                let in_bytes = reducer_input_bytes[r];
+
+                // Group values by key; BTreeMap gives the sorted key order
+                // Hadoop guarantees to reducers.
+                let mut groups: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+                let n_values = pairs.len() as u64;
+                for (key, value) in pairs {
+                    groups.entry(key).or_default().push(value);
+                }
+
+                // Memory model: whole-input overflow spills; an oversized
+                // single group spills or kills the job, per the job policy.
+                let mut spilled = in_bytes.saturating_sub(cluster.memory_bytes);
+                let mut largest_group = 0u64;
+                let mut failure = None;
+                for (key, values) in &groups {
+                    largest_group = largest_group.max(values.len() as u64);
+                    let group_bytes: u64 = values.iter().map(|v| job.value_bytes(v)).sum::<u64>()
+                        + job.key_bytes(key);
+                    if group_bytes > cluster.memory_bytes {
+                        match job.large_group_behavior() {
+                            LargeGroupBehavior::Spill => {
+                                // Aggregate through disk: write + read back.
+                                spilled += 2 * group_bytes;
+                            }
+                            LargeGroupBehavior::Fail => {
+                                failure = Some(Error::OutOfMemory {
+                                    machine: r,
+                                    detail: format!(
+                                        "key group of {} bytes exceeds machine memory of {} bytes",
+                                        group_bytes, cluster.memory_bytes
+                                    ),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+
+                let mut outputs = Vec::new();
+                let mut work_units = 0u64;
+                if failure.is_none() {
+                    for (key, values) in groups {
+                        let mut ctx = ReduceContext::new(&mut outputs, r);
+                        job.reduce(&mut ctx, key, values);
+                        work_units += ctx.work_units;
+                    }
+                }
+                let out_bytes: u64 = outputs.iter().map(|o| job.output_bytes(o)).sum();
+                let secs = n_values as f64
+                    * (cost.sort_cpu_per_value_s + cost.reduce_cpu_per_value_s)
+                    * job.reduce_cost_factor()
+                    + work_units as f64 * cost.cpu_per_work_unit_s
+                    + spilled as f64 / cost.spill_bytes_per_s
+                    + out_bytes as f64 / cost.out_disk_bytes_per_s;
+                *reduce_slots[r].lock() = Some(ReduceTaskOut {
+                    outputs,
+                    out_bytes,
+                    secs,
+                    spilled,
+                    largest_group,
+                    failure,
+                });
+            });
+        }
+    })
+    .expect("reduce worker panicked");
+
+    let mut outputs = Vec::with_capacity(reducers);
+    let mut reducer_output_bytes = Vec::with_capacity(reducers);
+    let mut reduce_times = Vec::with_capacity(reducers);
+    let mut spilled_bytes = 0u64;
+    let mut largest_group_values = 0u64;
+    let mut output_records = 0u64;
+    for slot in reduce_slots {
+        let task = slot.into_inner().expect("reduce task missing");
+        if let Some(err) = task.failure {
+            return Err(err);
+        }
+        spilled_bytes += task.spilled;
+        largest_group_values = largest_group_values.max(task.largest_group);
+        output_records += task.outputs.len() as u64;
+        reducer_output_bytes.push(task.out_bytes);
+        reduce_times.push(task.secs);
+        outputs.push(task.outputs);
+    }
+
+    let simulated_seconds = cost.round_overhead_s
+        + map_times.iter().copied().fold(0.0f64, f64::max)
+        + shuffle_seconds
+        + reduce_times.iter().copied().fold(0.0f64, f64::max);
+
+    Ok(JobResult {
+        outputs,
+        metrics: JobMetrics {
+            name: job.name(),
+            map_tasks: k,
+            reduce_tasks: reducers,
+            input_records,
+            map_output_records,
+            map_output_bytes,
+            reducer_input_bytes,
+            reducer_output_bytes,
+            output_records,
+            spilled_bytes,
+            task_retries,
+            largest_group_values,
+            map_times,
+            reduce_times,
+            shuffle_seconds,
+            simulated_seconds,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        },
+    })
+}
+
+fn run_map_task<J: MrJob>(
+    job: &J,
+    split: &[J::Input],
+    task: usize,
+    reducers: usize,
+) -> MapTaskOut<J::Key, J::Value> {
+    let mut buffer: Vec<(J::Key, J::Value)> = Vec::new();
+    let mut ctx = MapContext::new(&mut buffer, task);
+    job.map_split(&mut ctx, split);
+    let work_units = ctx.work_units;
+
+    // Combiner: fold each key's buffered values within this task, like
+    // Hadoop's combiner running over the task's (sorted) spill output.
+    let combined: Vec<(J::Key, J::Value)> = if job.has_combiner() {
+        let mut by_key: HashMap<J::Key, Vec<J::Value>> = HashMap::new();
+        for (key, value) in buffer {
+            by_key.entry(key).or_default().push(value);
+        }
+        let mut entries: Vec<(J::Key, Vec<J::Value>)> = by_key.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut flat = Vec::new();
+        for (key, mut values) in entries {
+            job.combine(&key, &mut values);
+            for value in values {
+                flat.push((key.clone(), value));
+            }
+        }
+        flat
+    } else {
+        buffer
+    };
+
+    let mut per_reducer: Vec<Vec<(J::Key, J::Value)>> =
+        (0..reducers).map(|_| Vec::new()).collect();
+    let mut bytes_out = 0u64;
+    let records_out = combined.len() as u64;
+    for (key, value) in combined {
+        bytes_out += job.key_bytes(&key) + job.value_bytes(&value);
+        let r = job.partition(&key, reducers);
+        debug_assert!(r < reducers, "partitioner out of range");
+        per_reducer[r].push((key, value));
+    }
+
+    MapTaskOut {
+        per_reducer,
+        records_in: split.len() as u64,
+        records_out,
+        bytes_out,
+        work_units,
+    }
+}
+
+/// Deterministic attempt count for a task under failure injection: the
+/// number of attempts until the first success, capped by the configured
+/// maximum (reaching the cap aborts the job, as Hadoop does).
+fn attempts_for(cluster: &ClusterConfig, job_name: &str, task: usize) -> Result<u32> {
+    if cluster.task_failure_prob <= 0.0 {
+        return Ok(1);
+    }
+    use std::hash::{Hash, Hasher};
+    for attempt in 1..=cluster.max_task_attempts {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        "task-attempt".hash(&mut h);
+        job_name.hash(&mut h);
+        task.hash(&mut h);
+        attempt.hash(&mut h);
+        let unit = (h.finish() % 1_000_000) as f64 / 1_000_000.0;
+        if unit >= cluster.task_failure_prob {
+            return Ok(attempt);
+        }
+    }
+    Err(Error::Config(format!(
+        "map task {task} of `{job_name}` failed {} attempts",
+        cluster.max_task_attempts
+    )))
+}
+
+/// Deterministic straggler decision for a map task.
+fn is_straggler(cluster: &ClusterConfig, job_name: &str, task: usize) -> bool {
+    if cluster.straggler_prob <= 0.0 || cluster.straggler_factor <= 1.0 {
+        return false;
+    }
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    job_name.hash(&mut h);
+    task.hash(&mut h);
+    let unit = (h.finish() % 1_000_000) as f64 / 1_000_000.0;
+    unit < cluster.straggler_prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::LargeGroupBehavior;
+
+    /// Word-count style job over integer inputs: key = value % buckets.
+    struct ModCount {
+        buckets: u64,
+        combine: bool,
+        fail_large: bool,
+    }
+
+    impl MrJob for ModCount {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        type Output = (u64, u64);
+
+        fn name(&self) -> String {
+            "mod-count".into()
+        }
+
+        fn map_split(&self, ctx: &mut MapContext<'_, u64, u64>, split: &[u64]) {
+            for &x in split {
+                ctx.emit(x % self.buckets, 1);
+                ctx.charge(1);
+            }
+        }
+
+        fn has_combiner(&self) -> bool {
+            self.combine
+        }
+
+        fn combine(&self, _key: &u64, values: &mut Vec<u64>) {
+            let total: u64 = values.iter().sum();
+            values.clear();
+            values.push(total);
+        }
+
+        fn reduce(&self, ctx: &mut ReduceContext<'_, (u64, u64)>, key: u64, values: Vec<u64>) {
+            ctx.emit((key, values.iter().sum()));
+        }
+
+        fn key_bytes(&self, _k: &u64) -> u64 {
+            8
+        }
+
+        fn value_bytes(&self, _v: &u64) -> u64 {
+            8
+        }
+
+        fn output_bytes(&self, _o: &(u64, u64)) -> u64 {
+            16
+        }
+
+        fn large_group_behavior(&self) -> LargeGroupBehavior {
+            if self.fail_large {
+                LargeGroupBehavior::Fail
+            } else {
+                LargeGroupBehavior::Spill
+            }
+        }
+    }
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::new(4, 1000)
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let job = ModCount { buckets: 7, combine: false, fail_large: false };
+        let res = run_job(&cluster(), &job, &inputs, 3).unwrap();
+        let mut counts: Vec<(u64, u64)> = res.into_flat_outputs();
+        counts.sort();
+        let expect: Vec<(u64, u64)> =
+            (0..7).map(|b| (b, (0..1000u64).filter(|x| x % 7 == b).count() as u64)).collect();
+        assert_eq!(counts, expect);
+    }
+
+    #[test]
+    fn combiner_reduces_records_not_results() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let plain = ModCount { buckets: 7, combine: false, fail_large: false };
+        let comb = ModCount { buckets: 7, combine: true, fail_large: false };
+        let r1 = run_job(&cluster(), &plain, &inputs, 3).unwrap();
+        let r2 = run_job(&cluster(), &comb, &inputs, 3).unwrap();
+        assert_eq!(r1.metrics.map_output_records, 1000);
+        // 4 map tasks × ≤7 keys each.
+        assert!(r2.metrics.map_output_records <= 28);
+        let mut a = r1.into_flat_outputs();
+        let mut b = r2.into_flat_outputs();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn byte_accounting_matches_record_sizes() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let job = ModCount { buckets: 5, combine: false, fail_large: false };
+        let res = run_job(&cluster(), &job, &inputs, 2).unwrap();
+        assert_eq!(res.metrics.map_output_bytes, 100 * 16);
+        assert_eq!(res.metrics.reducer_input_bytes.iter().sum::<u64>(), 100 * 16);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let inputs: Vec<u64> = (0..5000).collect();
+        let job = ModCount { buckets: 11, combine: true, fail_large: false };
+        let mut c1 = cluster();
+        c1.threads = 1;
+        let mut c8 = cluster();
+        c8.threads = 8;
+        let r1 = run_job(&c1, &job, &inputs, 5).unwrap();
+        let r8 = run_job(&c8, &job, &inputs, 5).unwrap();
+        assert_eq!(r1.metrics.map_output_bytes, r8.metrics.map_output_bytes);
+        assert_eq!(r1.metrics.simulated_seconds, r8.metrics.simulated_seconds);
+        assert_eq!(r1.into_flat_outputs(), r8.into_flat_outputs());
+    }
+
+    #[test]
+    fn large_group_fail_policy_aborts() {
+        // All inputs map to one key; memory is tiny.
+        let inputs: Vec<u64> = vec![7; 5000];
+        let job = ModCount { buckets: 1, combine: false, fail_large: true };
+        let mut c = cluster();
+        c.memory_bytes = 64;
+        let err = run_job(&c, &job, &inputs, 2).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn large_group_spill_policy_survives_and_charges() {
+        let inputs: Vec<u64> = vec![7; 5000];
+        let job = ModCount { buckets: 1, combine: false, fail_large: false };
+        let mut c = cluster();
+        c.memory_bytes = 64;
+        let res = run_job(&c, &job, &inputs, 2).unwrap();
+        assert!(res.metrics.spilled_bytes > 0);
+        assert_eq!(res.metrics.largest_group_values, 5000);
+        let counts = res.into_flat_outputs();
+        assert_eq!(counts, vec![(0, 5000)]);
+    }
+
+    #[test]
+    fn empty_input_runs_cleanly() {
+        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let res = run_job(&cluster(), &job, &[], 2).unwrap();
+        assert_eq!(res.metrics.input_records, 0);
+        assert_eq!(res.metrics.map_output_records, 0);
+        assert!(res.into_flat_outputs().is_empty());
+    }
+
+    #[test]
+    fn zero_reducers_rejected() {
+        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        assert!(run_job(&cluster(), &job, &[1, 2], 0).is_err());
+    }
+
+    #[test]
+    fn stragglers_increase_map_time_only() {
+        let inputs: Vec<u64> = (0..10000).collect();
+        let job = ModCount { buckets: 7, combine: false, fail_large: false };
+        let base = run_job(&cluster(), &job, &inputs, 3).unwrap();
+        let slow_cluster = cluster().with_stragglers(1.0, 10.0);
+        let slow = run_job(&slow_cluster, &job, &inputs, 3).unwrap();
+        let base_max = base.metrics.map_times.iter().copied().fold(0.0f64, f64::max);
+        let slow_max = slow.metrics.map_times.iter().copied().fold(0.0f64, f64::max);
+        assert!((slow_max / base_max - 10.0).abs() < 1e-6);
+        assert_eq!(base.metrics.map_output_bytes, slow.metrics.map_output_bytes);
+    }
+
+    #[test]
+    fn values_arrive_in_map_task_order() {
+        // Job that emits its task index; reducer sees task order.
+        struct TaskOrder;
+        impl MrJob for TaskOrder {
+            type Input = u64;
+            type Key = u8;
+            type Value = usize;
+            type Output = Vec<usize>;
+            fn name(&self) -> String {
+                "task-order".into()
+            }
+            fn map_split(&self, ctx: &mut MapContext<'_, u8, usize>, split: &[u64]) {
+                if !split.is_empty() {
+                    ctx.emit(0, ctx.task());
+                }
+            }
+            fn reduce(&self, ctx: &mut ReduceContext<'_, Vec<usize>>, _k: u8, v: Vec<usize>) {
+                ctx.emit(v);
+            }
+            fn key_bytes(&self, _: &u8) -> u64 {
+                1
+            }
+            fn value_bytes(&self, _: &usize) -> u64 {
+                8
+            }
+            fn output_bytes(&self, _: &Vec<usize>) -> u64 {
+                8
+            }
+        }
+        let inputs: Vec<u64> = (0..40).collect();
+        let mut c = cluster();
+        c.threads = 8;
+        let res = run_job(&c, &TaskOrder, &inputs, 1).unwrap();
+        let orders = res.into_flat_outputs();
+        assert_eq!(orders, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn simulated_time_includes_round_overhead() {
+        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let c = cluster();
+        let res = run_job(&c, &job, &[], 1).unwrap();
+        assert!(res.metrics.simulated_seconds >= c.cost.round_overhead_s);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::context::{MapContext, ReduceContext};
+
+    struct Sum;
+    impl MrJob for Sum {
+        type Input = u64;
+        type Key = u8;
+        type Value = u64;
+        type Output = u64;
+        fn name(&self) -> String {
+            "sum".into()
+        }
+        fn map_split(&self, ctx: &mut MapContext<'_, u8, u64>, split: &[u64]) {
+            for &x in split {
+                ctx.emit((x % 3) as u8, x);
+            }
+        }
+        fn reduce(&self, ctx: &mut ReduceContext<'_, u64>, _k: u8, values: Vec<u64>) {
+            ctx.emit(values.iter().sum());
+        }
+        fn key_bytes(&self, _: &u8) -> u64 {
+            1
+        }
+        fn value_bytes(&self, _: &u64) -> u64 {
+            8
+        }
+        fn output_bytes(&self, _: &u64) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn task_failures_are_retried_and_charged() {
+        let inputs: Vec<u64> = (0..4000).collect();
+        let clean = ClusterConfig::new(8, 1000);
+        let flaky = ClusterConfig::new(8, 1000).with_task_failures(0.5);
+        let a = run_job(&clean, &Sum, &inputs, 3).unwrap();
+        let b = run_job(&flaky, &Sum, &inputs, 3).unwrap();
+        // Same results, more simulated time, retries recorded.
+        let (at, bt) = (a.metrics.simulated_seconds, b.metrics.simulated_seconds);
+        let retries = b.metrics.task_retries;
+        let mut ra = a.into_flat_outputs();
+        ra.sort();
+        let mut rb = b.into_flat_outputs();
+        rb.sort();
+        assert_eq!(ra, rb);
+        assert!(retries > 0, "expected some retries at 50% failure rate");
+        assert!(bt > at);
+    }
+
+    #[test]
+    fn exhausted_attempts_abort_the_job() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let mut cluster = ClusterConfig::new(4, 100).with_task_failures(0.999999);
+        cluster.max_task_attempts = 2;
+        let err = run_job(&cluster, &Sum, &inputs, 2).unwrap_err();
+        assert!(err.to_string().contains("failed 2 attempts"), "{err}");
+    }
+
+    #[test]
+    fn failure_injection_is_deterministic() {
+        let inputs: Vec<u64> = (0..4000).collect();
+        let flaky = ClusterConfig::new(8, 1000).with_task_failures(0.3);
+        let a = run_job(&flaky, &Sum, &inputs, 3).unwrap();
+        let b = run_job(&flaky, &Sum, &inputs, 3).unwrap();
+        assert_eq!(a.metrics.task_retries, b.metrics.task_retries);
+        assert_eq!(a.metrics.simulated_seconds, b.metrics.simulated_seconds);
+    }
+}

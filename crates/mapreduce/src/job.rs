@@ -1,0 +1,92 @@
+//! The MapReduce job interface.
+
+use crate::context::{MapContext, ReduceContext};
+
+/// What the engine does when a single key's value set cannot fit in a
+/// machine's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LargeGroupBehavior {
+    /// Aggregate through disk: correctness preserved, heavy I/O charged to
+    /// the cost model (the naive algorithm's fate in Section 3.2).
+    Spill,
+    /// Abort the job with [`Error::OutOfMemory`](spcube_common::Error) —
+    /// models value-buffering implementations such as the Hive reducers
+    /// that got stuck on heavily skewed data (Section 6.2).
+    Fail,
+}
+
+/// A MapReduce job: the unit the engine executes in one round.
+///
+/// Unlike textbook `map(t)` signatures, [`MrJob::map_split`] is invoked
+/// once per input split with the whole split. This lets jobs keep per-task
+/// state — SP-Cube's mappers accumulate partial aggregates of skewed
+/// c-groups and flush them at the end of the split (Algorithm 3, lines
+/// 16–20), and Hive-style jobs keep a bounded combining hash table. A
+/// per-tuple job simply loops over the split.
+pub trait MrJob: Sync {
+    /// Input record type (usually a tuple of the relation).
+    type Input: Sync;
+    /// Shuffle key. `Ord` is required because the engine, like Hadoop,
+    /// presents keys to each reducer in sorted order.
+    type Key: Ord + std::hash::Hash + Clone + Send;
+    /// Shuffle value.
+    type Value: Send;
+    /// Reduce output record.
+    type Output: Send;
+
+    /// Job name, for metrics and reports.
+    fn name(&self) -> String;
+
+    /// Map phase: process one split, emitting via the context.
+    fn map_split(&self, ctx: &mut MapContext<'_, Self::Key, Self::Value>, split: &[Self::Input]);
+
+    /// Route a key to one of `reducers` partitions. The default hashes the
+    /// key (Hadoop's default partitioner); SP-Cube plugs its sketch-driven
+    /// range partitioner here.
+    fn partition(&self, key: &Self::Key, reducers: usize) -> usize {
+        crate::partition::hash_partition(key, reducers)
+    }
+
+    /// Whether the engine should run [`MrJob::combine`] on each map task's
+    /// buffered output before the shuffle.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+
+    /// Combiner: fold a key's buffered values (within one map task) into
+    /// fewer values. Only called when [`MrJob::has_combiner`] is true.
+    fn combine(&self, _key: &Self::Key, _values: &mut Vec<Self::Value>) {}
+
+    /// Reduce one key group. `values` arrive in deterministic order
+    /// (map-task order, then emission order).
+    fn reduce(
+        &self,
+        ctx: &mut ReduceContext<'_, Self::Output>,
+        key: Self::Key,
+        values: Vec<Self::Value>,
+    );
+
+    /// Wire size of a key.
+    fn key_bytes(&self, key: &Self::Key) -> u64;
+
+    /// Wire size of a value.
+    fn value_bytes(&self, value: &Self::Value) -> u64;
+
+    /// Size of an output record as written to the DFS.
+    fn output_bytes(&self, output: &Self::Output) -> u64;
+
+    /// Memory-overflow policy for oversized key groups.
+    fn large_group_behavior(&self) -> LargeGroupBehavior {
+        LargeGroupBehavior::Spill
+    }
+
+    /// Multiplier on the engine's per-value reduce-side cost (sort +
+    /// aggregation CPU). Models implementation differences the paper
+    /// observes: Hive's vectorized reduce-side hash aggregation skips the
+    /// sort and is markedly cheaper per value (its average reduce time is
+    /// the best in Figure 7b despite the largest shuffle), while sort-based
+    /// reducers pay full price. Default 1.0.
+    fn reduce_cost_factor(&self) -> f64 {
+        1.0
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-job and per-run metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything measured for one MapReduce round: exact record/byte counters
+/// plus the simulated phase times derived from the cost model. These are
+/// the quantities the paper reports — total running time, average map and
+/// reduce time, and intermediate (map output) data size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name.
+    pub name: String,
+    /// Number of map tasks (machines).
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Input records across all map tasks.
+    pub input_records: u64,
+    /// Intermediate records after combining — what crosses the network.
+    pub map_output_records: u64,
+    /// Intermediate bytes after combining — the paper's "map output size".
+    pub map_output_bytes: u64,
+    /// Shuffle bytes received per reducer.
+    pub reducer_input_bytes: Vec<u64>,
+    /// Output bytes written per reducer — the load-balance measure of
+    /// Section 6.2 ("reducers' output data files being of similar sizes").
+    pub reducer_output_bytes: Vec<u64>,
+    /// Output records across all reducers.
+    pub output_records: u64,
+    /// Bytes that had to be spilled to disk by overloaded reducers.
+    pub spilled_bytes: u64,
+    /// Failed task attempts that were re-executed (failure injection).
+    pub task_retries: u64,
+    /// Largest single key group (in values) seen by any reducer.
+    pub largest_group_values: u64,
+    /// Simulated seconds of each map task.
+    pub map_times: Vec<f64>,
+    /// Simulated seconds of each reduce task.
+    pub reduce_times: Vec<f64>,
+    /// Simulated shuffle seconds (max over reducers of receive time).
+    pub shuffle_seconds: f64,
+    /// Simulated total for this round: overhead + max(map) + shuffle +
+    /// max(reduce).
+    pub simulated_seconds: f64,
+    /// Host wall-clock seconds actually spent executing the round.
+    pub wall_seconds: f64,
+}
+
+impl JobMetrics {
+    /// Mean simulated map-task seconds.
+    pub fn avg_map_time(&self) -> f64 {
+        mean(&self.map_times)
+    }
+
+    /// Mean simulated reduce-task seconds.
+    pub fn avg_reduce_time(&self) -> f64 {
+        mean(&self.reduce_times)
+    }
+
+    /// Reducer output imbalance: max/mean of per-reducer output bytes
+    /// (1.0 = perfectly balanced). Reducers with no output are included.
+    pub fn reducer_imbalance(&self) -> f64 {
+        let m = self.reducer_output_bytes.iter().copied().max().unwrap_or(0) as f64;
+        let avg = mean(&self.reducer_output_bytes.iter().map(|&b| b as f64).collect::<Vec<_>>());
+        if avg == 0.0 {
+            1.0
+        } else {
+            m / avg
+        }
+    }
+}
+
+/// Metrics of a full algorithm run (one or more MapReduce rounds).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-round metrics, in execution order.
+    pub rounds: Vec<JobMetrics>,
+}
+
+impl RunMetrics {
+    /// Record a finished round.
+    pub fn push(&mut self, m: JobMetrics) {
+        self.rounds.push(m);
+    }
+
+    /// Total simulated seconds across rounds — the paper's "running time".
+    pub fn total_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.simulated_seconds).sum()
+    }
+
+    /// Total intermediate bytes across rounds — the paper's "intermediate
+    /// data size" / "map output size".
+    pub fn map_output_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.map_output_bytes).sum()
+    }
+
+    /// Total intermediate records across rounds.
+    pub fn map_output_records(&self) -> u64 {
+        self.rounds.iter().map(|r| r.map_output_records).sum()
+    }
+
+    /// Average map time of the dominant (largest map-output) round — the
+    /// paper reports "the average running time of a mapper … in a single
+    /// job", which for multi-round algorithms is the cube round.
+    pub fn avg_map_time(&self) -> f64 {
+        self.dominant().map_or(0.0, JobMetrics::avg_map_time)
+    }
+
+    /// Average reduce time of the dominant round.
+    pub fn avg_reduce_time(&self) -> f64 {
+        self.dominant().map_or(0.0, JobMetrics::avg_reduce_time)
+    }
+
+    /// Total spilled bytes across rounds.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.spilled_bytes).sum()
+    }
+
+    /// Number of rounds executed.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    fn dominant(&self) -> Option<&JobMetrics> {
+        self.rounds.iter().max_by_key(|r| r.map_output_bytes)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, out_bytes: u64, sim: f64) -> JobMetrics {
+        JobMetrics {
+            name: name.into(),
+            map_tasks: 2,
+            reduce_tasks: 2,
+            input_records: 10,
+            map_output_records: 20,
+            map_output_bytes: out_bytes,
+            reducer_input_bytes: vec![out_bytes / 2, out_bytes / 2],
+            reducer_output_bytes: vec![30, 10],
+            output_records: 4,
+            spilled_bytes: 5,
+            task_retries: 0,
+            largest_group_values: 3,
+            map_times: vec![1.0, 3.0],
+            reduce_times: vec![2.0, 2.0],
+            shuffle_seconds: 0.5,
+            simulated_seconds: sim,
+            wall_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let m = sample("j", 100, 9.0);
+        assert_eq!(m.avg_map_time(), 2.0);
+        assert_eq!(m.avg_reduce_time(), 2.0);
+        assert_eq!(m.reducer_imbalance(), 30.0 / 20.0);
+    }
+
+    #[test]
+    fn run_totals_sum_rounds() {
+        let mut run = RunMetrics::default();
+        run.push(sample("a", 100, 5.0));
+        run.push(sample("b", 300, 7.0));
+        assert_eq!(run.total_seconds(), 12.0);
+        assert_eq!(run.map_output_bytes(), 400);
+        assert_eq!(run.spilled_bytes(), 10);
+        assert_eq!(run.round_count(), 2);
+        // Dominant round is "b" (300 bytes).
+        assert_eq!(run.avg_map_time(), 2.0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = RunMetrics::default();
+        assert_eq!(run.total_seconds(), 0.0);
+        assert_eq!(run.avg_map_time(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_outputs_is_one() {
+        let mut m = sample("j", 0, 1.0);
+        m.reducer_output_bytes = vec![0, 0];
+        assert_eq!(m.reducer_imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Stock partitioners.
+
+use std::hash::{Hash, Hasher};
+
+/// Hadoop's default: hash the key, modulo the reducer count. Deterministic
+/// across runs (std's `DefaultHasher` with fixed initial state).
+pub fn hash_partition<K: Hash>(key: &K, reducers: usize) -> usize {
+    debug_assert!(reducers > 0);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_partition(&"abc", 7), hash_partition(&"abc", 7));
+        assert_eq!(hash_partition(&42u64, 13), hash_partition(&42u64, 13));
+    }
+
+    #[test]
+    fn in_range() {
+        for i in 0..100 {
+            let p = hash_partition(&i, 7);
+            assert!(p < 7);
+        }
+    }
+
+    #[test]
+    fn spreads_keys() {
+        // 1000 distinct keys over 10 reducers: every reducer sees some.
+        let mut counts = [0usize; 10];
+        for i in 0..1000 {
+            counts[hash_partition(&i, 10)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Partial materialization under a space budget: compute the cube with
+//! SP-Cube, then use HRU greedy view selection to decide which cuboids to
+//! keep when storage is limited, and show the answering-cost trade-off.
+//!
+//! ```text
+//! cargo run --release --example materialize_budget [max_views]
+//! ```
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::common::Mask;
+use sp_cube_repro::core::sp_cube;
+use sp_cube_repro::cubealg::{best_ancestor, cuboid_sizes, greedy_select};
+use sp_cube_repro::datagen::usagov_like;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+fn main() {
+    let max_views: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let n = 60_000;
+    let d = 4;
+    let rel = usagov_like(n, 0x77);
+    let cluster = ClusterConfig::new(10, n / 10);
+
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).expect("SP-Cube failed");
+    let sizes = cuboid_sizes(&run.cube, d);
+    let full_rows = sizes[&Mask::full(d)];
+    let cube_rows: u64 = sizes.values().sum();
+    println!("cube: {cube_rows} rows over {} cuboids (full cuboid: {full_rows} rows)\n", 1 << d);
+
+    println!("{:<6} {:>12} {:>16} {:>10}", "views", "stored_rows", "answer_cost", "vs_full");
+    let baseline = greedy_select(d, &sizes, 0).total_answer_cost;
+    for k in [0usize, 1, 2, 4, 8, 15] {
+        if k > max_views.max(15) {
+            break;
+        }
+        let sel = greedy_select(d, &sizes, k);
+        println!(
+            "{:<6} {:>12} {:>16} {:>9.1}x",
+            sel.chosen.len(),
+            sel.total_rows,
+            sel.total_answer_cost,
+            baseline as f64 / sel.total_answer_cost as f64
+        );
+    }
+
+    let sel = greedy_select(d, &sizes, max_views);
+    println!("\ngreedy pick order with budget {max_views}:");
+    for (i, v) in sel.chosen.iter().enumerate() {
+        println!("  {i}: cuboid {:0>width$b} ({} rows)", v.0, sizes[v], width = d);
+    }
+
+    println!("\nanswering plan for every cuboid:");
+    for q in Mask::full(d).subsets() {
+        let a = best_ancestor(q, &sel, &sizes).expect("full view always answers");
+        println!(
+            "  {:0>width$b} <- {:0>width$b} (scan {} rows)",
+            q.0,
+            a.0,
+            sizes[&a],
+            width = d
+        );
+    }
+}

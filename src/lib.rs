@@ -1,0 +1,16 @@
+//! Umbrella crate for the SP-Cube reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//! `spcube_core` holds the paper's contribution (SP-Sketch + SP-Cube);
+//! `spcube_mapreduce` is the execution substrate; `spcube_baselines` has
+//! the Pig/Hive/naive/top-down comparators.
+
+pub use spcube_agg as agg;
+pub use spcube_baselines as baselines;
+pub use spcube_common as common;
+pub use spcube_core as core;
+pub use spcube_cubealg as cubealg;
+pub use spcube_datagen as datagen;
+pub use spcube_lattice as lattice;
+pub use spcube_mapreduce as mapreduce;

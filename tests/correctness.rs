@@ -1,0 +1,134 @@
+//! Cross-crate correctness: every distributed algorithm must produce the
+//! exact cube the sequential reference produces, on every workload family
+//! and aggregate function.
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::baselines::{hive_cube, mr_cube, naive_mr_cube, HiveConfig, MrCubeConfig};
+use sp_cube_repro::common::Relation;
+use sp_cube_repro::core::{sp_cube, SpCube, SpCubeConfig};
+use sp_cube_repro::cubealg::{buc, naive_cube, BucConfig, Cube};
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+fn check_all(rel: &Relation, cluster: &ClusterConfig, agg: AggSpec, label: &str) {
+    let expect = naive_cube(rel, agg);
+
+    let b = buc(rel, agg, &BucConfig::default());
+    assert_eq(&b, &expect, label, "BUC");
+
+    let sp = sp_cube(rel, cluster, agg).expect("SP-Cube failed");
+    assert_eq(&sp.cube, &expect, label, "SP-Cube");
+
+    let pig = mr_cube(rel, cluster, &MrCubeConfig::new(agg)).expect("MRCube failed");
+    assert_eq(&pig.cube, &expect, label, "MRCube");
+
+    let nv = naive_mr_cube(rel, cluster, agg).expect("naive MR failed");
+    assert_eq(&nv.cube, &expect, label, "naive-MR");
+
+    // Hive may legitimately OOM on heavy skew; when it finishes it must be
+    // right.
+    if let Ok(hive) = hive_cube(rel, cluster, &HiveConfig::new(agg)) {
+        assert_eq(&hive.cube, &expect, label, "Hive");
+    }
+}
+
+fn assert_eq(got: &Cube, expect: &Cube, label: &str, algo: &str) {
+    assert!(
+        got.approx_eq(expect, 1e-9),
+        "{algo} wrong on {label}: {:?}",
+        got.diff(expect, 1e-9, 5)
+    );
+}
+
+#[test]
+fn all_algorithms_agree_on_gen_binomial() {
+    for p in [0.0, 0.3, 0.8] {
+        let rel = datagen::gen_binomial(3_000, 3, p, 0xc0);
+        let cluster = ClusterConfig::new(6, 200);
+        check_all(&rel, &cluster, AggSpec::Count, &format!("gen-binomial p={p}"));
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_gen_zipf() {
+    let rel = datagen::gen_zipf(4_000, 4, 0x21);
+    let cluster = ClusterConfig::new(8, 300);
+    for agg in [AggSpec::Count, AggSpec::Sum, AggSpec::Avg] {
+        check_all(&rel, &cluster, agg, "gen-zipf");
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_wikipedia_like() {
+    let rel = datagen::wikipedia_like(4_000, 0x5a);
+    let cluster = ClusterConfig::new(10, 100);
+    check_all(&rel, &cluster, AggSpec::Sum, "wikipedia-like");
+}
+
+#[test]
+fn all_algorithms_agree_on_usagov_like() {
+    let rel = datagen::usagov_like(4_000, 0x77);
+    let cluster = ClusterConfig::new(10, 150);
+    check_all(&rel, &cluster, AggSpec::Count, "usagov-like");
+}
+
+#[test]
+fn all_algorithms_agree_on_adversarial_relations() {
+    let m = 40;
+    let rel = datagen::adversarial_half_ones(4, m);
+    let cluster = ClusterConfig::new(5, m);
+    check_all(&rel, &cluster, AggSpec::Count, "half-ones");
+
+    let (rel, _) = datagen::uniform_small_domain(3_000, 4, 30, 0x10);
+    let cluster = ClusterConfig::new(5, 30);
+    check_all(&rel, &cluster, AggSpec::Max, "uniform-small-domain");
+}
+
+#[test]
+fn min_max_and_holistic_on_retail() {
+    let rel = datagen::retail(3_000, 0.4, 0x3e);
+    let cluster = ClusterConfig::new(6, 150);
+    for agg in [AggSpec::Min, AggSpec::Max, AggSpec::TopKFrequent(3)] {
+        let expect = naive_cube(&rel, agg);
+        let sp = sp_cube(&rel, &cluster, agg).expect("SP-Cube failed");
+        assert_eq(&sp.cube, &expect, "retail", "SP-Cube");
+    }
+}
+
+#[test]
+fn spcube_resilient_to_bad_sketch_parameters() {
+    // Cripple the sample (tiny alpha, huge beta): the sketch misses all
+    // skews and the partition elements are junk — SP-Cube must still be
+    // exact, just slower (Section 4's resilience claim).
+    let rel = datagen::gen_binomial(3_000, 3, 0.5, 0x99);
+    let cluster = ClusterConfig::new(6, 150);
+    let mut cfg = SpCubeConfig::new(AggSpec::Count);
+    cfg.sketch.alpha_override = Some(0.001);
+    cfg.sketch.beta_override = Some(1e9);
+    let run = SpCube::run(&rel, &cluster, &cfg).expect("run failed");
+    let expect = naive_cube(&rel, AggSpec::Count);
+    assert_eq(&run.cube, &expect, "crippled sketch", "SP-Cube");
+}
+
+#[test]
+fn spcube_correct_across_cluster_shapes() {
+    let rel = datagen::gen_zipf(2_000, 3, 0x44);
+    let expect = naive_cube(&rel, AggSpec::Sum);
+    for (k, m) in [(1, 100), (2, 2000), (7, 53), (20, 10), (32, 500)] {
+        let cluster = ClusterConfig::new(k, m);
+        let run = sp_cube(&rel, &cluster, AggSpec::Sum)
+            .unwrap_or_else(|e| panic!("k={k} m={m}: {e}"));
+        assert_eq(&run.cube, &expect, &format!("k={k},m={m}"), "SP-Cube");
+    }
+}
+
+#[test]
+fn duplicate_tuples_handled() {
+    // A relation that is one single group everywhere.
+    let mut rel = Relation::empty(sp_cube_repro::common::Schema::synthetic(2));
+    for _ in 0..500 {
+        rel.push_row(vec![1i64.into(), 2i64.into()], 1.0);
+    }
+    let cluster = ClusterConfig::new(4, 50);
+    check_all(&rel, &cluster, AggSpec::Count, "all-duplicates");
+}

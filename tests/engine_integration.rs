@@ -1,0 +1,106 @@
+//! Engine behaviour exercised through the real cube jobs (not toy jobs):
+//! determinism, failure semantics, straggler injection, and I/O round
+//! trips through the TSV layer.
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::baselines::{hive_cube, HiveConfig};
+use sp_cube_repro::common::{io, Error};
+use sp_cube_repro::core::sp_cube;
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+#[test]
+fn spcube_metrics_deterministic_across_thread_counts() {
+    let rel = datagen::gen_zipf(20_000, 4, 0xde);
+    let mut c1 = ClusterConfig::new(10, 1_000);
+    c1.threads = 1;
+    let mut c8 = ClusterConfig::new(10, 1_000);
+    c8.threads = 8;
+    let a = sp_cube(&rel, &c1, AggSpec::Count).unwrap();
+    let b = sp_cube(&rel, &c8, AggSpec::Count).unwrap();
+    assert_eq!(a.metrics.map_output_bytes(), b.metrics.map_output_bytes());
+    assert_eq!(a.metrics.map_output_records(), b.metrics.map_output_records());
+    assert_eq!(a.sketch_bytes, b.sketch_bytes);
+    assert!(a.cube.approx_eq(&b.cube, 1e-12));
+    assert!((a.metrics.total_seconds() - b.metrics.total_seconds()).abs() < 1e-9);
+}
+
+#[test]
+fn spcube_runs_repeat_identically() {
+    let rel = datagen::wikipedia_like(10_000, 0xf0);
+    let cluster = ClusterConfig::new(8, 500);
+    let a = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+    let b = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+    assert_eq!(a.sketch.to_bytes(), b.sketch.to_bytes());
+    assert_eq!(a.metrics.total_seconds(), b.metrics.total_seconds());
+    assert!(a.cube.approx_eq(&b.cube, 0.0));
+}
+
+#[test]
+fn hive_oom_reports_machine_and_reason() {
+    let rel = datagen::gen_binomial(40_000, 4, 0.7, 0xaa);
+    let cluster = ClusterConfig::new(20, 40_000 / 500).with_memory_bytes(40_000 / 500 * 64);
+    let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 256, payload_attrs: 0 };
+    match hive_cube(&rel, &cluster, &cfg) {
+        Err(Error::OutOfMemory { machine, detail }) => {
+            assert!(machine < 20);
+            assert!(detail.contains("exceeds machine memory"), "{detail}");
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn stragglers_slow_simulated_time_but_not_results() {
+    let rel = datagen::gen_zipf(15_000, 3, 0x4d);
+    let base = ClusterConfig::new(10, 1_000);
+    let slow = ClusterConfig::new(10, 1_000).with_stragglers(0.3, 8.0);
+    let a = sp_cube(&rel, &base, AggSpec::Count).unwrap();
+    let b = sp_cube(&rel, &slow, AggSpec::Count).unwrap();
+    assert!(b.metrics.total_seconds() > a.metrics.total_seconds());
+    assert!(a.cube.approx_eq(&b.cube, 1e-12));
+}
+
+#[test]
+fn tsv_round_trip_feeds_the_cube_pipeline() {
+    let rel = datagen::retail(2_000, 0.3, 0x11);
+    let dir = std::env::temp_dir().join(format!("sp-cube-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("retail.tsv");
+    io::write_tsv_file(&rel, &path).unwrap();
+    let back = io::read_tsv_file(&path).unwrap();
+    assert_eq!(back, rel);
+    let cluster = ClusterConfig::new(6, 100);
+    let from_disk = sp_cube(&back, &cluster, AggSpec::Sum).unwrap();
+    let from_mem = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+    assert!(from_disk.cube.approx_eq(&from_mem.cube, 0.0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn round_accounting_matches_algorithm_structure() {
+    let rel = datagen::gen_zipf(8_000, 3, 0x77);
+    let cluster = ClusterConfig::new(8, 400);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+    // SP-Cube: exactly two rounds — sketch then cube (Section 5).
+    assert_eq!(run.metrics.round_count(), 2);
+    assert_eq!(run.metrics.rounds[0].name, "sp-sketch");
+    assert_eq!(run.metrics.rounds[1].name, "sp-cube");
+    // The cube round uses k + 1 reducers (k ranges + skew reducer 0).
+    assert_eq!(run.metrics.rounds[1].reduce_tasks, 9);
+    // Sketch round is single-reducer.
+    assert_eq!(run.metrics.rounds[0].reduce_tasks, 1);
+}
+
+#[test]
+fn simulated_times_scale_with_cost_model() {
+    use sp_cube_repro::mapreduce::CostModel;
+    let rel = datagen::gen_zipf(10_000, 3, 0x50);
+    let fast = ClusterConfig::new(8, 500).with_cost(CostModel::paper_scale(1.0));
+    let slow = ClusterConfig::new(8, 500).with_cost(CostModel::paper_scale(100.0));
+    let a = sp_cube(&rel, &fast, AggSpec::Count).unwrap();
+    let b = sp_cube(&rel, &slow, AggSpec::Count).unwrap();
+    // Identical work, different simulated cost.
+    assert_eq!(a.metrics.map_output_bytes(), b.metrics.map_output_bytes());
+    assert!(b.metrics.total_seconds() > a.metrics.total_seconds());
+}

@@ -1,0 +1,119 @@
+//! Integration coverage for the beyond-paper features: the top-down MR
+//! baseline, count-distinct, wide cubes (d > 6, exercising the chunked
+//! lattice bitset), iceberg SP-Cube, shared-sketch multi-aggregate runs,
+//! and the cube query layer driven end-to-end from SP-Cube output.
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::baselines::top_down_cube;
+use sp_cube_repro::common::{Group, Mask, Value};
+use sp_cube_repro::core::{sp_cube, SpCube, SpCubeConfig};
+use sp_cube_repro::cubealg::{naive_cube, CubeQuery};
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+#[test]
+fn topdown_baseline_agrees_with_spcube_on_real_profiles() {
+    let rel = datagen::wikipedia_like(3_000, 0x77);
+    let cluster = ClusterConfig::new(6, 100);
+    let td = top_down_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+    let sp = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+    assert!(td.cube.approx_eq(&sp.cube, 1e-9), "{:?}", td.cube.diff(&sp.cube, 1e-9, 5));
+    // d+1 = 5 rounds vs SP-Cube's 2.
+    assert_eq!(td.metrics.round_count(), 5);
+    assert_eq!(sp.metrics.round_count(), 2);
+}
+
+#[test]
+fn wide_cube_d8_works_end_to_end() {
+    // d = 8 exercises the heap-allocated lattice bitset and 256 cuboids.
+    let (rel, _domain) = datagen::uniform_small_domain(3_000, 8, 100, 0x88);
+    let cluster = ClusterConfig::new(6, 100);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+    let expect = naive_cube(&rel, AggSpec::Count);
+    assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 3));
+}
+
+#[test]
+fn count_distinct_across_algorithms() {
+    let rel = datagen::retail(2_000, 0.3, 0x31);
+    let cluster = ClusterConfig::new(5, 150);
+    let expect = naive_cube(&rel, AggSpec::CountDistinct);
+    let sp = sp_cube(&rel, &cluster, AggSpec::CountDistinct).unwrap();
+    assert!(sp.cube.approx_eq(&expect, 1e-9));
+    let td = top_down_cube(&rel, &cluster, AggSpec::CountDistinct).unwrap();
+    assert!(td.cube.approx_eq(&expect, 1e-9));
+}
+
+#[test]
+fn iceberg_spcube_on_zipf() {
+    let rel = datagen::gen_zipf(8_000, 3, 0x52);
+    let cluster = ClusterConfig::new(8, 400);
+    let mut cfg = SpCubeConfig::new(AggSpec::Count);
+    cfg.min_support = 20;
+    let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+    let counts = naive_cube(&rel, AggSpec::Count);
+    // Exactly the groups with >= 20 tuples survive.
+    let expected: usize = counts.iter().filter(|(_, v)| v.number() >= 20.0).count();
+    assert_eq!(run.cube.len(), expected);
+    for (g, v) in run.cube.iter() {
+        assert!(v.number() >= 20.0, "{g} leaked below support");
+        assert_eq!(counts.get(g).unwrap(), v);
+    }
+}
+
+#[test]
+fn run_many_matches_individual_runs() {
+    let rel = datagen::usagov_like(3_000, 0x41);
+    let cluster = ClusterConfig::new(6, 200);
+    let cfg = SpCubeConfig::new(AggSpec::Count);
+    let (cubes, metrics) = SpCube::run_many(
+        &rel,
+        &cluster,
+        &cfg,
+        &[AggSpec::Count, AggSpec::Max, AggSpec::CountDistinct],
+    )
+    .unwrap();
+    assert_eq!(metrics.round_count(), 4);
+    for (agg, cube) in cubes {
+        let expect = naive_cube(&rel, agg);
+        assert!(cube.approx_eq(&expect, 1e-9), "{agg:?}");
+    }
+}
+
+#[test]
+fn query_layer_over_spcube_output() {
+    let rel = datagen::retail(4_000, 0.4, 0x21);
+    let cluster = ClusterConfig::new(6, 200);
+    let run = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+    let q = CubeQuery::new(&run.cube, 3);
+
+    // The apex equals the sum over any full cuboid.
+    let apex = q.group(Mask::EMPTY, &[]).unwrap().number();
+    let by_name: f64 = q.cuboid(Mask(0b001)).iter().map(|(_, v)| v.number()).sum();
+    assert!((apex - by_name).abs() < 1e-6 * apex.abs());
+
+    // The skewed laptop/2012 group dominates the (name, year) cuboid.
+    let top = q.top(Mask(0b101), 1);
+    assert_eq!(top[0].0.key[0], Value::str("laptop"));
+    assert_eq!(top[0].0.key[1], Value::Int(2012));
+
+    // Drill the laptop group down into years; it must re-sum to the group.
+    let laptop = Group::new(Mask(0b001), vec![Value::str("laptop")]);
+    let drill = q.drill_down(&laptop, 2).unwrap();
+    let total: f64 = drill.iter().map(|(_, v)| v.number()).sum();
+    let direct = q.group(Mask(0b001), &[Value::str("laptop")]).unwrap().number();
+    assert!((total - direct).abs() < 1e-6 * direct.abs());
+}
+
+#[test]
+fn spcube_survives_task_failures() {
+    let rel = datagen::gen_zipf(5_000, 3, 0x61);
+    let clean = ClusterConfig::new(6, 300);
+    let flaky = ClusterConfig::new(6, 300).with_task_failures(0.4);
+    let a = sp_cube(&rel, &clean, AggSpec::Count).unwrap();
+    let b = sp_cube(&rel, &flaky, AggSpec::Count).unwrap();
+    assert!(a.cube.approx_eq(&b.cube, 1e-12));
+    let retries: u64 = b.metrics.rounds.iter().map(|r| r.task_retries).sum();
+    assert!(retries > 0);
+    assert!(b.metrics.total_seconds() > a.metrics.total_seconds());
+}

@@ -1,0 +1,141 @@
+//! Property tests for the MapReduce engine itself: MapReduce semantics
+//! that every algorithm in the workspace silently relies on.
+
+use proptest::prelude::*;
+
+use sp_cube_repro::mapreduce::{run_job, ClusterConfig, MapContext, MrJob, ReduceContext};
+
+/// A sum-by-residue job, optionally combining.
+struct ResidueSum {
+    buckets: u64,
+    combine: bool,
+}
+
+impl MrJob for ResidueSum {
+    type Input = u64;
+    type Key = u64;
+    type Value = u64;
+    type Output = (u64, u64);
+
+    fn name(&self) -> String {
+        "residue-sum".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, u64, u64>, split: &[u64]) {
+        for &x in split {
+            ctx.emit(x % self.buckets, x);
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        self.combine
+    }
+
+    fn combine(&self, _key: &u64, values: &mut Vec<u64>) {
+        let s: u64 = values.iter().sum();
+        values.clear();
+        values.push(s);
+    }
+
+    fn reduce(&self, ctx: &mut ReduceContext<'_, (u64, u64)>, key: u64, values: Vec<u64>) {
+        ctx.emit((key, values.iter().sum()));
+    }
+
+    fn key_bytes(&self, _: &u64) -> u64 {
+        8
+    }
+
+    fn value_bytes(&self, _: &u64) -> u64 {
+        8
+    }
+
+    fn output_bytes(&self, _: &(u64, u64)) -> u64 {
+        16
+    }
+}
+
+fn sorted_outputs(
+    cluster: &ClusterConfig,
+    job: &ResidueSum,
+    inputs: &[u64],
+    reducers: usize,
+) -> Vec<(u64, u64)> {
+    let mut out = run_job(cluster, job, inputs, reducers).unwrap().into_flat_outputs();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The combiner must be invisible in the results, for any input and
+    /// any cluster shape.
+    #[test]
+    fn combiner_is_semantically_invisible(
+        inputs in proptest::collection::vec(0u64..1000, 0..300),
+        k in 1usize..9,
+        reducers in 1usize..7,
+        buckets in 1u64..12,
+    ) {
+        let cluster = ClusterConfig::new(k, 64);
+        let plain = ResidueSum { buckets, combine: false };
+        let combined = ResidueSum { buckets, combine: true };
+        prop_assert_eq!(
+            sorted_outputs(&cluster, &plain, &inputs, reducers),
+            sorted_outputs(&cluster, &combined, &inputs, reducers)
+        );
+    }
+
+    /// Results are independent of the machine count (the split shape).
+    #[test]
+    fn results_independent_of_cluster_width(
+        inputs in proptest::collection::vec(0u64..1000, 0..300),
+        buckets in 1u64..12,
+    ) {
+        let job = ResidueSum { buckets, combine: true };
+        let base = sorted_outputs(&ClusterConfig::new(1, 64), &job, &inputs, 3);
+        for k in [2usize, 5, 16] {
+            prop_assert_eq!(
+                base.clone(),
+                sorted_outputs(&ClusterConfig::new(k, 64), &job, &inputs, 3)
+            );
+        }
+    }
+
+    /// Results are independent of the reducer count; only placement moves.
+    #[test]
+    fn results_independent_of_reducer_count(
+        inputs in proptest::collection::vec(0u64..1000, 0..300),
+        buckets in 1u64..12,
+    ) {
+        let cluster = ClusterConfig::new(4, 64);
+        let job = ResidueSum { buckets, combine: false };
+        let base = sorted_outputs(&cluster, &job, &inputs, 1);
+        for reducers in [2usize, 3, 8] {
+            prop_assert_eq!(
+                base.clone(),
+                sorted_outputs(&cluster, &job, &inputs, reducers)
+            );
+        }
+    }
+
+    /// Every emitted record is accounted: map_output_records equals the
+    /// number of inputs (no combiner), and reducer input bytes sum to the
+    /// map output bytes.
+    #[test]
+    fn byte_and_record_conservation(
+        inputs in proptest::collection::vec(0u64..1000, 0..300),
+        k in 1usize..9,
+        reducers in 1usize..7,
+    ) {
+        let cluster = ClusterConfig::new(k, 64);
+        let job = ResidueSum { buckets: 7, combine: false };
+        let res = run_job(&cluster, &job, &inputs, reducers).unwrap();
+        prop_assert_eq!(res.metrics.map_output_records, inputs.len() as u64);
+        prop_assert_eq!(
+            res.metrics.reducer_input_bytes.iter().sum::<u64>(),
+            res.metrics.map_output_bytes
+        );
+        prop_assert_eq!(res.metrics.input_records, inputs.len() as u64);
+    }
+}

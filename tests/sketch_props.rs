@@ -1,0 +1,153 @@
+//! The SP-Sketch propositions of Section 4, checked statistically on the
+//! sampled sketch (seeded, so deterministic) and exactly on the utopian
+//! sketch.
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::common::Mask;
+use sp_cube_repro::core::{build_exact_sketch, build_sampled_sketch, SketchConfig};
+use sp_cube_repro::cubealg::naive_cube;
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+/// Proposition 4.4: the sample size is O(m) — concretely within a small
+/// factor of α·n = (n/m)·ln(nk) / (n/m) ... = m·ln(nk)/m per machine; we
+/// check total sampled records against the analytic expectation.
+#[test]
+fn prop_4_4_sample_size_near_expectation() {
+    let n = 100_000;
+    let k = 20;
+    let m = n / k;
+    let rel = datagen::gen_zipf(n, 4, 0x12);
+    let cluster = ClusterConfig::new(k, m);
+    let cfg = SketchConfig::default();
+    let (_s, metrics) = build_sampled_sketch(&rel, &cluster, &cfg).unwrap();
+    let expect = cfg.alpha(n, k, m) * n as f64;
+    let got = metrics.map_output_records as f64;
+    assert!(
+        (got - expect).abs() < 0.35 * expect + 20.0,
+        "sample {got} vs expected {expect}"
+    );
+}
+
+/// Proposition 4.5: all skewed groups are detected (w.h.p.). We check on
+/// three workload families with comfortably-over-threshold skews.
+#[test]
+fn prop_4_5_all_skews_detected() {
+    let n = 60_000;
+    let k = 20;
+    for (label, rel, m) in [
+        ("binomial", datagen::gen_binomial(n, 4, 0.5, 0x31), n / 500),
+        ("wikipedia", datagen::wikipedia_like(n, 0x32), n / 50),
+        ("retail", datagen::retail(n, 0.5, 0x33), n / 50),
+    ] {
+        let cluster = ClusterConfig::new(k, m);
+        let exact = build_exact_sketch(&rel, &cluster);
+        let (sampled, _) = build_sampled_sketch(&rel, &cluster, &SketchConfig::default()).unwrap();
+        // Groups at least 3x over the threshold must all be caught; the
+        // w.h.p. bound leaves borderline groups (just past m) to chance.
+        let counts = naive_cube(&rel, AggSpec::Count);
+        let mut missed = 0;
+        let mut big = 0;
+        for (g, out) in counts.iter() {
+            if out.number() as usize > 3 * m {
+                big += 1;
+                if !sampled.is_skewed_group(g) {
+                    missed += 1;
+                }
+            }
+        }
+        assert!(big > 0, "{label}: test needs some big skews");
+        assert_eq!(missed, 0, "{label}: missed {missed}/{big} big skews");
+        // And nothing exact knows about disappears when α = 1.
+        assert!(exact.skew_count() > 0, "{label}");
+    }
+}
+
+/// Proposition 4.2(2) on the sampled sketch (Prop 4.6): with the paper's
+/// literal Definition 4.1 strategy, omitting skewed members, the sampled
+/// partition elements keep every partition O(m).
+#[test]
+fn prop_4_6_sampled_partitions_balanced() {
+    let n = 80_000;
+    let k = 20;
+    let m = n / k;
+    let rel = datagen::gen_zipf(n, 4, 0x56);
+    let cluster = ClusterConfig::new(k, m);
+    let cfg = SketchConfig {
+        partition: sp_cube_repro::core::PartitionStrategy::AllTuples,
+        ..SketchConfig::default()
+    };
+    let (sketch, _) = build_sampled_sketch(&rel, &cluster, &cfg).unwrap();
+    for mask in Mask::full(4).subsets() {
+        let mut counts = vec![0usize; k + 1];
+        for t in rel.tuples() {
+            let key = t.project(mask);
+            if !sketch.is_skewed(mask, &key) {
+                counts[sketch.partition_of(mask, &key)] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max <= 4 * m,
+            "mask {mask:?}: largest partition {max} > 4m = {}",
+            4 * m
+        );
+    }
+}
+
+/// The default anchored strategy balances the cube round's actual reducer
+/// inputs: measured on a real SP-Cube run.
+#[test]
+fn anchored_partitioning_balances_reducer_inputs() {
+    use sp_cube_repro::core::sp_cube;
+    let n = 60_000;
+    let k = 20;
+    let rel = datagen::gen_zipf(n, 4, 0x57);
+    let cluster = ClusterConfig::new(k, n / k);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+    let inputs = &run.metrics.rounds.last().unwrap().reducer_input_bytes[1..]; // skip skew reducer
+    let max = *inputs.iter().max().unwrap() as f64;
+    let mean = inputs.iter().sum::<u64>() as f64 / inputs.len() as f64;
+    assert!(max / mean < 2.0, "range-reducer imbalance {:.2}", max / mean);
+}
+
+/// Proposition 4.7: the sketch fits in a machine's memory — its size is
+/// O(2^d · k) entries, orders of magnitude below the input.
+#[test]
+fn prop_4_7_sketch_is_small() {
+    let n = 120_000;
+    let k = 20;
+    let rel = datagen::gen_binomial(n, 4, 0.4, 0x61);
+    let cluster = ClusterConfig::new(k, n / 500);
+    let (sketch, _) = build_sampled_sketch(&rel, &cluster, &SketchConfig::default()).unwrap();
+    // Entry count: skews ≤ ~2^d·k-ish, partition elements = 2^d·(k-1).
+    let entries: usize =
+        sketch.skew_count() + (1usize << 4) * (k - 1);
+    assert!(entries <= (1 << 4) * k * 4, "sketch entries {entries}");
+    // Byte size: well under both the input and machine memory.
+    assert!(sketch.serialized_bytes() < rel.wire_bytes() / 20);
+    // Input is several MB, sketch tens of KB: at least 2 orders.
+    let ratio = rel.wire_bytes() as f64 / sketch.serialized_bytes() as f64;
+    assert!(ratio > 50.0, "ratio {ratio:.0}");
+}
+
+/// The sketch is aggregate-independent: one sketch serves count and sum
+/// cubes identically (Section 4's "once constructed, the same SP-Sketch
+/// can be used … for multiple aggregate functions").
+#[test]
+fn sketch_is_aggregate_function_independent() {
+    use sp_cube_repro::core::{SpCube, SpCubeConfig};
+    let rel = datagen::retail(5_000, 0.4, 0x91);
+    let cluster = ClusterConfig::new(8, 200);
+    // Same seed => same sample => byte-identical sketch for both runs.
+    let mut cfg_count = SpCubeConfig::new(AggSpec::Count);
+    cfg_count.sketch.seed = 7;
+    let mut cfg_sum = SpCubeConfig::new(AggSpec::Sum);
+    cfg_sum.sketch.seed = 7;
+    let a = SpCube::run(&rel, &cluster, &cfg_count).unwrap();
+    let b = SpCube::run(&rel, &cluster, &cfg_sum).unwrap();
+    assert_eq!(a.sketch.to_bytes(), b.sketch.to_bytes());
+    // Both cubes exact for their own aggregate.
+    assert!(a.cube.approx_eq(&naive_cube(&rel, AggSpec::Count), 1e-9));
+    assert!(b.cube.approx_eq(&naive_cube(&rel, AggSpec::Sum), 1e-9));
+}

@@ -1,0 +1,130 @@
+//! The traffic theory of Section 5.2, measured on the real engine:
+//!
+//! * naive = exactly `2^d · n` intermediate records (Section 3.4);
+//! * benign apex-only relations: SP-Cube ships each tuple ≤ d times
+//!   (Proposition 5.5's O(d²·n) bytes);
+//! * adversarial small-domain relations: emissions per tuple blow up
+//!   towards `C(d, d/2+1)` (Theorem 5.3's exponential regime);
+//! * skew partial-aggregate traffic is small (Proposition 5.2's O(d·n)
+//!   bound with a tiny constant in practice).
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::baselines::naive_mr_cube;
+use sp_cube_repro::core::sp_cube;
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+#[test]
+fn naive_traffic_is_exactly_2_to_d_times_n() {
+    let n = 2_000;
+    for d in [2usize, 3, 4] {
+        let rel = datagen::gen_zipf(n, d.max(2), 0x7);
+        let cluster = ClusterConfig::new(5, 100);
+        let run = naive_mr_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        assert_eq!(run.metrics.map_output_records(), (n as u64) << d.max(2));
+    }
+}
+
+#[test]
+fn benign_relation_traffic_is_linear_in_d() {
+    // Apex-only skew: every tuple has exactly d anchors (the singletons).
+    let n = 4_000;
+    for d in [3usize, 4, 6] {
+        let rel = datagen::apex_only_skew(n, d, 0x5e);
+        let cluster = ClusterConfig::new(10, n / 10);
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        // Cube-round records: ≤ d per tuple (anchors) + skew partials
+        // (apex: ≤ k per mapper) + sketch-round sample.
+        let cube_round = run.metrics.rounds.last().unwrap();
+        let bound = (n * d) as u64 + (10 * 16) + n as u64 / 10;
+        assert!(
+            cube_round.map_output_records <= bound,
+            "d={d}: {} > {bound}",
+            cube_round.map_output_records
+        );
+        // And strictly below naive's 2^d per tuple for d >= 3.
+        assert!(cube_round.map_output_records < (n as u64) << d);
+    }
+}
+
+#[test]
+fn adversarial_relation_traffic_is_exponential() {
+    // Small-domain uniform data: all mid-lattice nodes are anchors. The
+    // per-tuple emission count must exceed the benign d bound by a lot.
+    let n = 20_000;
+    let d = 6;
+    let m = n / 200;
+    let (rel, _domain) = datagen::uniform_small_domain(n, d, m, 0xa1);
+    let cluster = ClusterConfig::new(10, m);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+    let cube_round = run.metrics.rounds.last().unwrap();
+    let per_tuple = cube_round.map_output_records as f64 / n as f64;
+    assert!(
+        per_tuple > d as f64 + 2.0,
+        "adversarial per-tuple emissions too low: {per_tuple:.1}"
+    );
+    // The same algorithm on benign data of the same shape ships ≤ d.
+    let benign = datagen::apex_only_skew(n, d, 0xa2);
+    let benign_run = sp_cube(&benign, &ClusterConfig::new(10, m), AggSpec::Count).unwrap();
+    let benign_per_tuple =
+        benign_run.metrics.rounds.last().unwrap().map_output_records as f64 / n as f64;
+    assert!(
+        per_tuple > 1.5 * benign_per_tuple,
+        "adversarial {per_tuple:.2} vs benign {benign_per_tuple:.2}"
+    );
+}
+
+#[test]
+fn spcube_traffic_beats_naive_on_every_workload_family() {
+    let n = 5_000;
+    let cluster = ClusterConfig::new(10, n / 50);
+    for (label, rel) in [
+        ("binomial", datagen::gen_binomial(n, 4, 0.4, 0x1)),
+        ("zipf", datagen::gen_zipf(n, 4, 0x2)),
+        ("wikipedia", datagen::wikipedia_like(n, 0x3)),
+        ("usagov", datagen::usagov_like(n, 0x4)),
+    ] {
+        let sp = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        let nv = naive_mr_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        assert!(
+            sp.metrics.map_output_bytes() < nv.metrics.map_output_bytes(),
+            "{label}: SP-Cube {} vs naive {}",
+            sp.metrics.map_output_bytes(),
+            nv.metrics.map_output_bytes()
+        );
+    }
+}
+
+#[test]
+fn skew_partial_traffic_is_bounded_by_k_per_group() {
+    // Fully skewed relation (every tuple identical): the cube round ships
+    // only partial aggregates — at most one per (mapper, group).
+    let mut rel = sp_cube_repro::common::Relation::empty(
+        sp_cube_repro::common::Schema::synthetic(3),
+    );
+    for _ in 0..5_000 {
+        rel.push_row(vec![1i64.into(), 1i64.into(), 1i64.into()], 1.0);
+    }
+    let k = 8;
+    let cluster = ClusterConfig::new(k, 100);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+    let cube_round = run.metrics.rounds.last().unwrap();
+    // 8 groups per tuple lattice, all skewed: ≤ k mappers × 8 partials.
+    assert!(
+        cube_round.map_output_records <= (k * 8) as u64,
+        "{}",
+        cube_round.map_output_records
+    );
+    assert_eq!(run.cube.len(), 8);
+}
+
+#[test]
+fn load_balance_of_range_partitioning() {
+    // Section 6.2's closing observation: SP-Cube reducers produce files of
+    // similar sizes even on zipf data.
+    let rel = datagen::gen_zipf(30_000, 4, 0x88);
+    let cluster = ClusterConfig::new(20, 30_000 / 20);
+    let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+    let imbalance = run.metrics.rounds.last().unwrap().reducer_imbalance();
+    assert!(imbalance < 2.5, "reducer imbalance too high: {imbalance:.2}");
+}
