@@ -2,13 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The finalized value a c-group contributes to the cube.
 ///
 /// Scalar for distributive/algebraic functions; a ranked list for the
 /// holistic `top-k most frequent`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AggOutput {
     /// A scalar aggregate (count, sum, min, max, avg).
     Number(f64),

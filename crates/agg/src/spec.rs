@@ -1,12 +1,11 @@
 //! Aggregate function specifications.
 
-use serde::{Deserialize, Serialize};
 
 use crate::state::AggState;
 
 /// Classification of aggregate functions (Gray et al., cited as \[23\] in the
 /// paper; discussed in Section 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggKind {
     /// Partial aggregates merge directly (`count`, `sum`, `min`, `max`).
     Distributive,
@@ -22,7 +21,7 @@ pub enum AggKind {
 /// skewed c-groups, the reducers' BUC runs, and the final merge at the skew
 /// reducer — mirroring how the paper's algorithm is parameterized by the
 /// aggregate function while the SP-Sketch stays function-independent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggSpec {
     /// Cardinality of the c-group (the paper's running default).
     Count,

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::output::AggOutput;
 
@@ -13,7 +12,7 @@ use crate::output::AggOutput;
 /// and what combiners in the baseline algorithms push through the shuffle.
 /// `merge` must be commutative and associative with `init` as identity;
 /// property tests in this module verify those laws.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AggState {
     /// Running cardinality.
     Count(u64),

@@ -67,8 +67,7 @@ impl MrJob for CubeJob<'_> {
         // Value partitioning distributes a group's tuples over pf slots;
         // a per-task round-robin counter is an even, deterministic spread
         // (MRCube uses a random/hashed partition of the same shape).
-        let mut counter: usize = 0;
-        for t in split {
+        for (counter, t) in split.iter().enumerate() {
             for &mask in self.masks {
                 ctx.charge(1);
                 let pf = self.pf_of(mask);
@@ -78,7 +77,6 @@ impl MrJob for CubeJob<'_> {
                     self.spec.of(t.measure),
                 );
             }
-            counter += 1;
         }
     }
 

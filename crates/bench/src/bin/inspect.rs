@@ -3,22 +3,32 @@
 //! groups — the debugging view behind the load-balance numbers.
 //!
 //! ```text
-//! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n]
+//! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n] [chaos|corrupt]
 //! ```
+//!
+//! The optional third argument injects faults: `chaos` runs on a cluster
+//! with flaky tasks, stragglers + speculation, and a machine lost in each
+//! phase; `corrupt` flips a byte of the serialized SP-Sketch on the DFS so
+//! the driver degrades to the hash-partitioned fallback plan.
 
 use std::collections::HashMap;
 
 use spcube_agg::AggSpec;
 use spcube_common::{Group, Mask, Relation};
-use spcube_core::{sp_cube, SpCubeConfig};
+use spcube_core::{SpCube, SpCubeConfig};
 use spcube_datagen as datagen;
 use spcube_lattice::{BfsOrder, TupleLattice};
-use spcube_mapreduce::ClusterConfig;
+use spcube_mapreduce::{ClusterConfig, Dfs, Phase};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dataset = args.first().map(String::as_str).unwrap_or("usagov");
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let mode = args.get(2).map(String::as_str).unwrap_or("");
+    if !matches!(mode, "" | "chaos" | "corrupt") {
+        eprintln!("unknown mode {mode} (expected chaos or corrupt)");
+        std::process::exit(2);
+    }
     let rel: Relation = match dataset {
         "usagov" => datagen::usagov_like(n, 0x90),
         "wikipedia" => datagen::wikipedia_like(n, 0x41),
@@ -30,12 +40,43 @@ fn main() {
         }
     };
     let k = 20;
-    let cluster = ClusterConfig::new(k, n / k);
-    let run = sp_cube(&rel, &cluster, AggSpec::Count).expect("run failed");
+    let mut cluster = ClusterConfig::new(k, n / k);
+    if mode == "chaos" {
+        cluster = cluster
+            .with_task_failures(0.05)
+            .with_stragglers(0.1, 8.0)
+            .with_speculation(1.5)
+            .with_machine_failure(Phase::Map, 1)
+            .with_machine_failure(Phase::Reduce, 2);
+        cluster.retry.max_attempts = 12;
+    }
+    let dfs = Dfs::new();
+    if mode == "corrupt" {
+        dfs.corrupt_next_write("sp-sketch");
+    }
+    let cfg = SpCubeConfig::new(AggSpec::Count);
+    let run = SpCube::run_on(&rel, &cluster, &cfg, &dfs).expect("run failed");
     let round = run.metrics.rounds.last().unwrap();
 
     println!("dataset {dataset}, n = {n}, k = {k}, m = {}", cluster.skew_threshold());
     println!("sketch: {} skewed groups, {} bytes", run.sketch.skew_count(), run.sketch_bytes);
+    let m = &run.metrics;
+    println!(
+        "recovery: {} retries, {} tasks lost, {} re-executions, {} speculative, {:.3}s wasted",
+        m.task_retries(),
+        m.tasks_lost(),
+        m.re_executions(),
+        m.speculative_launches(),
+        m.wasted_seconds(),
+    );
+    if run.degraded {
+        println!(
+            "DEGRADED: sketch rejected or sketch round failed ({} fallback event(s)); \
+             cube round ran hash-partitioned without skew handling",
+            m.fallback_events()
+        );
+        return; // the sketch-replay attribution below needs a real sketch
+    }
     println!("\nper-reducer input bytes (reducer 0 = skew merger):");
     for (r, b) in round.reducer_input_bytes.iter().enumerate() {
         println!("  r{r:<3} {b:>12}");
@@ -44,8 +85,6 @@ fn main() {
     // Replay the mapper walk to attribute traffic: (cuboid, range) loads.
     let d = rel.arity();
     let bfs = BfsOrder::new(d);
-    let cfg = SpCubeConfig::new(AggSpec::Count);
-    let _ = &cfg;
     let mut load: HashMap<(Mask, usize), u64> = HashMap::new();
     let mut group_sizes: HashMap<Group, u64> = HashMap::new();
     for t in rel.tuples() {

@@ -253,6 +253,8 @@ pub fn traffic_bounds(cfg: &ExpConfig) -> Vec<Measurement> {
 /// output sizes should be similar (imbalance near 1), compared against the
 /// hash-partitioned baselines on skewed data.
 pub fn balance(cfg: &ExpConfig) -> Vec<Measurement> {
+    use spcube_mapreduce::Phase;
+
     let n = cfg.scaled(120_000);
     let rel = datagen::gen_zipf(n, 4, 0x6a1);
     let cluster = cluster_for(n, n / K, 150e6);
@@ -264,8 +266,36 @@ pub fn balance(cfg: &ExpConfig) -> Vec<Measurement> {
         hive_entries: 4096,
         hive_payload: 0,
     };
-    let rows: Vec<Measurement> =
+    let mut rows: Vec<Measurement> =
         [Algo::SpCube, Algo::Pig, Algo::Naive].iter().map(|&a| run_algo(a, &w, AggSpec::Count)).collect();
+
+    // The same SP-Cube run on a chaotic cluster: one machine dies in each
+    // phase, 5% of attempts fail, 10% of tasks straggle with speculative
+    // backups. The cube (and hence the balance statistic's basis) must be
+    // identical; only the recovery columns and total time change.
+    let mut faulted = Workload {
+        cluster: w
+            .cluster
+            .clone()
+            .with_task_failures(0.05)
+            .with_stragglers(0.1, 8.0)
+            .with_speculation(1.5)
+            .with_machine_failure(Phase::Map, 1)
+            .with_machine_failure(Phase::Reduce, 2),
+        label: "gen-zipf-faulted".into(),
+        ..w
+    };
+    faulted.cluster.retry.max_attempts = 12;
+    let chaotic = run_algo(Algo::SpCubeFaulted, &faulted, AggSpec::Count);
+    assert_eq!(
+        chaotic.cube_groups, rows[0].cube_groups,
+        "fault recovery changed the cube"
+    );
+    assert!(
+        chaotic.task_retries + chaotic.re_executions + chaotic.speculative_launches > 0,
+        "the chaotic row exercised no recovery path"
+    );
+    rows.push(chaotic);
     cfg.emit("balance", &rows);
     rows
 }
@@ -344,6 +374,12 @@ pub fn ablations(cfg: &ExpConfig) -> Vec<Measurement> {
             imbalance: if mean > 0.0 { max / mean } else { 1.0 },
             cube_groups: run.cube.len(),
             wall_seconds: 0.0,
+            task_retries: run.metrics.task_retries(),
+            tasks_lost: run.metrics.tasks_lost(),
+            re_executions: run.metrics.re_executions(),
+            speculative_launches: run.metrics.speculative_launches(),
+            wasted_seconds: run.metrics.wasted_seconds(),
+            fallback_events: run.metrics.fallback_events(),
         });
     }
     // All variants must produce the same cube.

@@ -25,7 +25,7 @@ impl<'a> Table<'a> {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         out.push_str(&format!(
-            "{:<10} {:>9} {:>11} {:>10} {:>12} {:>12} {:>11} {:>7} {:>10} {:>9}\n",
+            "{:<10} {:>9} {:>11} {:>10} {:>12} {:>12} {:>11} {:>7} {:>10} {:>9} {:>8} {:>7} {:>7} {:>6} {:>9} {:>6}\n",
             "algo",
             "x",
             "total_s",
@@ -35,7 +35,13 @@ impl<'a> Table<'a> {
             "sketch_KB",
             "rounds",
             "spill_MB",
-            "balance"
+            "balance",
+            "retries",
+            "lost",
+            "reexec",
+            "spec",
+            "wasted_s",
+            "fallbk"
         ));
         for m in self.rows {
             let total = m
@@ -45,7 +51,7 @@ impl<'a> Table<'a> {
                 .sketch_kb
                 .map_or_else(|| "-".to_string(), |kb| format!("{kb:.1}"));
             out.push_str(&format!(
-                "{:<10} {:>9.3} {:>11} {:>10.2} {:>12.2} {:>12.2} {:>11} {:>7} {:>10.2} {:>9.2}\n",
+                "{:<10} {:>9.3} {:>11} {:>10.2} {:>12.2} {:>12.2} {:>11} {:>7} {:>10.2} {:>9.2} {:>8} {:>7} {:>7} {:>6} {:>9.2} {:>6}\n",
                 m.algo,
                 m.x,
                 total,
@@ -56,6 +62,12 @@ impl<'a> Table<'a> {
                 m.rounds,
                 m.spilled_mb,
                 m.imbalance,
+                m.task_retries,
+                m.tasks_lost,
+                m.re_executions,
+                m.speculative_launches,
+                m.wasted_seconds,
+                m.fallback_events,
             ));
         }
         out
@@ -64,7 +76,8 @@ impl<'a> Table<'a> {
 
 /// CSV header used for every experiment file.
 pub const CSV_HEADER: &str = "experiment,algo,x,total_seconds,avg_map_seconds,avg_reduce_seconds,\
-map_output_mb,sketch_kb,rounds,spilled_mb,imbalance,cube_groups,wall_seconds";
+map_output_mb,sketch_kb,rounds,spilled_mb,imbalance,cube_groups,wall_seconds,\
+task_retries,tasks_lost,re_executions,speculative_launches,wasted_seconds,fallback_events";
 
 /// Append measurements of one experiment to a CSV file (with header when
 /// the file is new).
@@ -87,7 +100,7 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
     for m in rows {
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3}",
+            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{}",
             experiment,
             m.algo,
             m.x,
@@ -101,6 +114,12 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
             m.imbalance,
             m.cube_groups,
             m.wall_seconds,
+            m.task_retries,
+            m.tasks_lost,
+            m.re_executions,
+            m.speculative_launches,
+            m.wasted_seconds,
+            m.fallback_events,
         )
         .map_err(wrap)?;
     }
@@ -125,7 +144,26 @@ mod tests {
             imbalance: 1.1,
             cube_groups: 10,
             wall_seconds: 0.5,
+            task_retries: 7,
+            tasks_lost: 1,
+            re_executions: 2,
+            speculative_launches: 3,
+            wasted_seconds: 4.5,
+            fallback_events: 1,
         }
+    }
+
+    #[test]
+    fn table_and_csv_carry_recovery_counters() {
+        let rows = vec![m("SP-Cube", 1.0, Some(12.3))];
+        let table = Table::new("chaos", &rows).render();
+        for col in ["retries", "lost", "reexec", "spec", "wasted_s", "fallbk"] {
+            assert!(table.contains(col), "table missing column {col}");
+        }
+        assert!(CSV_HEADER.ends_with(
+            "task_retries,tasks_lost,re_executions,speculative_launches,\
+             wasted_seconds,fallback_events"
+        ));
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum Algo {
     /// The top-down multi-round algorithm of \[25\], discussed (and excluded)
     /// in the paper's Section 7.
     TopDown,
+    /// SP-Cube under an injected fault schedule (machine loss, flaky
+    /// tasks, stragglers with speculation) — same algorithm, chaotic
+    /// cluster; used by the `balance` experiment to show recovery cost.
+    SpCubeFaulted,
 }
 
 impl Algo {
@@ -31,6 +35,7 @@ impl Algo {
             Algo::Hive => "Hive",
             Algo::Naive => "Naive",
             Algo::TopDown => "TopDown",
+            Algo::SpCubeFaulted => "SP-Cube/ft",
         }
     }
 
@@ -87,6 +92,20 @@ pub struct Measurement {
     pub cube_groups: usize,
     /// Host wall-clock seconds spent simulating.
     pub wall_seconds: f64,
+    /// Task attempts that failed and were retried.
+    pub task_retries: u64,
+    /// Tasks lost to machine failures.
+    pub tasks_lost: u64,
+    /// Map tasks re-executed after a machine loss.
+    pub re_executions: u64,
+    /// Speculative backup attempts launched for stragglers.
+    pub speculative_launches: u64,
+    /// Simulated seconds of discarded work (failed attempts, lost
+    /// outputs, losing speculative twins).
+    pub wasted_seconds: f64,
+    /// Rounds that fell back to a degraded plan (SP-Cube: sketch rejected,
+    /// cube round ran hash-partitioned).
+    pub fallback_events: u64,
 }
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -109,7 +128,7 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
     let wall = std::time::Instant::now();
     let outcome: Result<(spcube_cubealg::Cube, spcube_mapreduce::RunMetrics, Option<u64>), Error> =
         match algo {
-            Algo::SpCube => {
+            Algo::SpCube | Algo::SpCubeFaulted => {
                 let cfg = SpCubeConfig::new(agg);
                 SpCube::run(&w.rel, &w.cluster, &cfg)
                     .map(|r| (r.cube, r.metrics, Some(r.sketch_bytes)))
@@ -135,7 +154,7 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
             // what the sketch's partition elements are designed to
             // equalize, Proposition 4.2). SP-Cube's reducer 0 only merges
             // skew partials; including it would distort the statistic.
-            let skip = if algo == Algo::SpCube { 1 } else { 0 };
+            let skip = if matches!(algo, Algo::SpCube | Algo::SpCubeFaulted) { 1 } else { 0 };
             let dominant = metrics
                 .rounds
                 .iter()
@@ -155,6 +174,12 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 imbalance: dominant,
                 cube_groups: cube.len(),
                 wall_seconds: wall.elapsed().as_secs_f64(),
+                task_retries: metrics.task_retries(),
+                tasks_lost: metrics.tasks_lost(),
+                re_executions: metrics.re_executions(),
+                speculative_launches: metrics.speculative_launches(),
+                wasted_seconds: metrics.wasted_seconds(),
+                fallback_events: metrics.fallback_events(),
             }
         }
         Err(err) => {
@@ -174,6 +199,12 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 imbalance: 0.0,
                 cube_groups: 0,
                 wall_seconds: wall.elapsed().as_secs_f64(),
+                task_retries: 0,
+                tasks_lost: 0,
+                re_executions: 0,
+                speculative_launches: 0,
+                wasted_seconds: 0.0,
+                fallback_events: 0,
             }
         }
     }

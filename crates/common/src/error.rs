@@ -28,6 +28,18 @@ pub enum Error {
     },
     /// A distributed-file-system object was not found.
     DfsMissing(String),
+    /// A MapReduce job aborted because a task exhausted its retry budget
+    /// (Hadoop kills the job once a task fails `max_attempts` times).
+    JobFailed {
+        /// Name of the job that aborted.
+        job: String,
+        /// Phase of the failing task ("map" or "reduce").
+        phase: String,
+        /// Index of the failing task.
+        task: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -41,6 +53,9 @@ impl fmt::Display for Error {
                 write!(f, "machine {machine} out of memory: {detail}")
             }
             Error::DfsMissing(path) => write!(f, "DFS object not found: {path}"),
+            Error::JobFailed { job, phase, task, attempts } => {
+                write!(f, "job `{job}`: {phase} task {task} failed {attempts} attempts, giving up")
+            }
         }
     }
 }
@@ -64,6 +79,14 @@ mod tests {
         assert_eq!(e.to_string(), "schema error: dup");
         let oom = Error::OutOfMemory { machine: 3, detail: "group too large".into() };
         assert!(oom.to_string().contains("machine 3"));
+        let failed = Error::JobFailed {
+            job: "cube".into(),
+            phase: "reduce".into(),
+            task: 7,
+            attempts: 4,
+        };
+        assert!(failed.to_string().contains("reduce task 7"));
+        assert!(failed.to_string().contains("failed 4 attempts"));
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Mask, Tuple, Value};
 
@@ -12,7 +11,7 @@ use crate::{Mask, Tuple, Value};
 /// the grouped dimensions (in ascending dimension order). In the paper's
 /// notation the group `(laptop, *, 2012)` of a 3-dimensional cube is
 /// `Group { mask: 0b101, key: [laptop, 2012] }`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Group {
     /// Which dimensions are grouped.
     pub mask: Mask,

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Identifies a cuboid of a `d`-dimensional cube: bit `i` is set iff
 /// dimension `i` is a group-by attribute of the cuboid (the unset dimensions
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `d` is limited to [`Mask::MAX_DIMS`] (enough for any practical cube — the
 /// paper experiments with up to 15 dimension attributes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Mask(pub u32);
 
 impl Mask {

@@ -1,6 +1,5 @@
 //! Relation schemas.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Error, Result};
 
@@ -8,7 +7,7 @@ use crate::{Error, Result};
 ///
 /// Mirrors `R(A_1, …, A_d, B)` from Section 2.1: an ordered list of
 /// dimension names plus a disjoint measure name.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     dims: Vec<String>,
     measure: String,

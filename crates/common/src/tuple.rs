@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Mask, Value};
 
@@ -12,7 +11,7 @@ use crate::{Mask, Value};
 /// so that algebraic aggregates (e.g. `avg`) have a natural output type; all
 /// synthetic workloads use integer-valued measures that are exact in an
 /// `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     /// The dimension attribute values `a_1, …, a_d`.
     pub dims: Box<[Value]>,

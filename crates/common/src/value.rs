@@ -3,7 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 /// A single dimension-attribute value.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// The ordering is total and deterministic: integers sort before strings,
 /// integers by numeric value, strings lexicographically. This is the order
 /// used for the per-cuboid lexicographic partitioning of Section 4.1.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A 64-bit integer attribute value.
     Int(i64),

@@ -14,6 +14,21 @@
 //!
 //! The sketch is independent of the aggregate function, so one sketch can
 //! serve many cube computations over the same relation.
+//!
+//! # Wire format
+//!
+//! The sketch travels through the DFS to every machine, so it is encoded
+//! in a compact self-checking binary format: the magic `SPSK1`, `d` and
+//! `k` as little-endian `u32`, each cuboid's skew keys and partition
+//! elements (values tagged `0` = 8-byte integer, `1` = length-prefixed
+//! UTF-8), and a trailing 64-bit FNV-1a checksum of everything before it.
+//! [`SpSketch::from_bytes`] rejects any blob whose checksum does not match
+//! — a single flipped bit on the DFS is detected, letting the SP-Cube
+//! driver fall back instead of partitioning with garbage. On top of the
+//! checksum, [`SpSketch::validate`] checks the *semantic* invariants a
+//! correct builder guarantees (sorted partition elements, upward-closed
+//! skew sets), guarding against a buggy or stale sketch that is
+//! bytes-clean.
 
 mod build;
 mod node;
@@ -21,16 +36,21 @@ mod node;
 pub use build::{build_exact_sketch, build_sampled_sketch, build_sketch_from, build_sketch_with, PartitionStrategy, SketchConfig};
 pub use node::SketchNode;
 
-use serde::{Deserialize, Serialize};
-use spcube_common::{Group, Mask, Value};
+use spcube_common::{Error, Group, Mask, Result, Value};
 
 /// The SP-Sketch: one [`SketchNode`] per cuboid, indexed by mask.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpSketch {
     d: usize,
     k: usize,
     nodes: Vec<SketchNode>,
 }
+
+/// Leading magic of a serialized sketch (version 1 of the wire format).
+const MAGIC: &[u8; 5] = b"SPSK1";
+
+const TAG_INT: u8 = 0;
+const TAG_STR: u8 = 1;
 
 impl SpSketch {
     /// Assemble a sketch from per-cuboid nodes. `nodes[mask.0]` must be the
@@ -83,21 +103,221 @@ impl SpSketch {
     }
 
     /// Serialized size in bytes — the measure reported in Figures 5c/6c of
-    /// the paper. Computed from the JSON encoding actually shipped through
-    /// the DFS.
+    /// the paper. Computed from the encoding actually shipped through the
+    /// DFS.
     pub fn serialized_bytes(&self) -> u64 {
         self.to_bytes().len() as u64
     }
 
-    /// Serialize for DFS distribution.
+    /// Serialize for DFS distribution (see the wire format in the module
+    /// docs). Deterministic: equal sketches produce equal bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("sketch serialization cannot fail")
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, self.d as u32);
+        put_u32(&mut out, self.k as u32);
+        for node in &self.nodes {
+            put_u32(&mut out, node.skew_count() as u32);
+            for key in node.skews() {
+                for v in key {
+                    put_value(&mut out, v);
+                }
+            }
+            let elements = node.partition_elements();
+            put_u32(&mut out, elements.len() as u32);
+            for e in elements {
+                for v in e.iter() {
+                    put_value(&mut out, v);
+                }
+            }
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
     }
 
-    /// Deserialize from DFS bytes.
-    pub fn from_bytes(bytes: &[u8]) -> spcube_common::Result<SpSketch> {
-        serde_json::from_slice(bytes)
-            .map_err(|e| spcube_common::Error::Parse(format!("bad sketch: {e}")))
+    /// Deserialize from DFS bytes, verifying the trailing checksum before
+    /// anything else — corrupted blobs fail with a `Parse` error rather
+    /// than silently mis-partitioning the cube round.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SpSketch> {
+        if bytes.len() < MAGIC.len() + 8 + 8 {
+            return Err(Error::Parse("sketch blob too short".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(Error::Parse(format!(
+                "sketch checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let mut r = Reader { bytes: body, pos: 0 };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(Error::Parse("bad sketch magic".into()));
+        }
+        let d = r.u32()? as usize;
+        let k = r.u32()? as usize;
+        if d > Mask::MAX_DIMS {
+            return Err(Error::Parse(format!(
+                "sketch declares {d} dimensions, max is {}",
+                Mask::MAX_DIMS
+            )));
+        }
+        let mut nodes = Vec::with_capacity(1usize << d);
+        for m in 0..(1u32 << d) {
+            let mask = Mask(m);
+            let arity = mask.arity() as usize;
+            let mut node = SketchNode::new(mask);
+            let n_skews = r.u32()?;
+            for _ in 0..n_skews {
+                let mut key = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    key.push(r.value()?);
+                }
+                node.add_skew(key.into_boxed_slice());
+            }
+            let n_elements = r.u32()?;
+            let mut elements = Vec::with_capacity(n_elements as usize);
+            for _ in 0..n_elements {
+                let mut e = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    e.push(r.value()?);
+                }
+                elements.push(e.into_boxed_slice());
+            }
+            // Order is an untrusted input here; `validate` re-checks it.
+            node.set_partition_elements_unchecked(elements);
+            nodes.push(node);
+        }
+        if r.pos != body.len() {
+            return Err(Error::Parse("trailing bytes after sketch".into()));
+        }
+        Ok(SpSketch { d, k, nodes })
+    }
+
+    /// Check the semantic invariants every correctly-built sketch holds:
+    ///
+    /// 1. each cuboid's partition elements are sorted ascending (otherwise
+    ///    [`SpSketch::partition_of`]'s binary search routes one c-group to
+    ///    several reducers and the cube output is wrong), and
+    /// 2. skew sets are *upward-closed*: a group skewed at cuboid `C`
+    ///    projects to a group with at least as many tuples in every
+    ///    coarser cuboid, so its projection must be recorded as skewed
+    ///    there too (otherwise the mapper's anchor walk can anchor a
+    ///    skewed group and flood one reducer — the failure SP-Cube exists
+    ///    to prevent).
+    ///
+    /// The SP-Cube driver runs this on the sketch read back from the DFS
+    /// and falls back to hash partitioning when it fails.
+    pub fn validate(&self) -> Result<()> {
+        for node in &self.nodes {
+            let mask = node.mask();
+            let arity = mask.arity() as usize;
+            let elements = node.partition_elements();
+            for e in elements {
+                if e.len() != arity {
+                    return Err(Error::Parse(format!(
+                        "sketch node {mask}: partition element of arity {}, expected {arity}",
+                        e.len()
+                    )));
+                }
+            }
+            if let Some(w) = elements.windows(2).find(|w| w[0] > w[1]) {
+                return Err(Error::Parse(format!(
+                    "sketch node {mask}: partition elements out of order ({:?} > {:?})",
+                    w[0], w[1]
+                )));
+            }
+            for key in node.skews() {
+                if key.len() != arity {
+                    return Err(Error::Parse(format!(
+                        "sketch node {mask}: skew key of arity {}, expected {arity}",
+                        key.len()
+                    )));
+                }
+                for child in mask.children() {
+                    let proj: Vec<Value> = mask
+                        .dims()
+                        .zip(key)
+                        .filter(|(dim, _)| child.contains(*dim))
+                        .map(|(_, v)| v.clone())
+                        .collect();
+                    if !self.nodes[child.0 as usize].is_skewed(&proj) {
+                        return Err(Error::Parse(format!(
+                            "sketch skews not upward-closed: {key:?} is skewed at {mask} \
+                             but its projection {proj:?} is not skewed at {child}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_u32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(Error::Parse("truncated sketch".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        let tag = self.take(1)?[0];
+        match tag {
+            TAG_INT => {
+                Ok(Value::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))))
+            }
+            TAG_STR => {
+                let len = self.u32()? as usize;
+                let raw = self.take(len)?;
+                let s = std::str::from_utf8(raw)
+                    .map_err(|_| Error::Parse("sketch string is not UTF-8".into()))?;
+                Ok(Value::str(s))
+            }
+            other => Err(Error::Parse(format!("bad sketch value tag {other}"))),
+        }
     }
 }
 
@@ -107,10 +327,16 @@ mod tests {
 
     fn tiny_sketch() -> SpSketch {
         let mut nodes: Vec<SketchNode> = (0..4u32).map(|m| SketchNode::new(Mask(m))).collect();
+        // Upward-closed: the skewed group at m01 projects to the apex.
+        nodes[0b00].add_skew(Box::new([]));
         nodes[0b01].add_skew(vec![Value::Int(7)].into_boxed_slice());
         nodes[0b01].set_partition_elements(vec![
             vec![Value::Int(3)].into_boxed_slice(),
             vec![Value::Int(9)].into_boxed_slice(),
+        ]);
+        nodes[0b10].set_partition_elements(vec![
+            vec![Value::str("cam")].into_boxed_slice(),
+            vec![Value::str("tv")].into_boxed_slice(),
         ]);
         SpSketch::new(2, 3, nodes)
     }
@@ -121,7 +347,7 @@ mod tests {
         assert!(s.is_skewed(Mask(0b01), &[Value::Int(7)]));
         assert!(!s.is_skewed(Mask(0b01), &[Value::Int(8)]));
         assert!(!s.is_skewed(Mask(0b10), &[Value::Int(7)]));
-        assert_eq!(s.skew_count(), 1);
+        assert_eq!(s.skew_count(), 2);
     }
 
     #[test]
@@ -134,24 +360,92 @@ mod tests {
         assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(9)]), 1);
         assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(10)]), 2);
         // Cuboid without elements: everything range 0.
-        assert_eq!(s.partition_of(Mask(0b10), &[Value::Int(10)]), 0);
+        assert_eq!(s.partition_of(Mask(0b11), &[Value::Int(10), Value::Int(1)]), 0);
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn binary_round_trip() {
         let s = tiny_sketch();
         let bytes = s.to_bytes();
+        assert_eq!(&bytes[..5], b"SPSK1");
         assert_eq!(bytes.len() as u64, s.serialized_bytes());
         let back = SpSketch::from_bytes(&bytes).unwrap();
         assert_eq!(back.dims(), 2);
         assert_eq!(back.machines(), 3);
         assert!(back.is_skewed(Mask(0b01), &[Value::Int(7)]));
         assert_eq!(back.partition_of(Mask(0b01), &[Value::Int(4)]), 1);
+        assert_eq!(back.partition_of(Mask(0b10), &[Value::str("dvd")]), 1);
+        // Deterministic encoding.
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(back.validate().is_ok());
     }
 
     #[test]
     fn bad_bytes_rejected() {
-        assert!(SpSketch::from_bytes(b"not json").is_err());
+        assert!(SpSketch::from_bytes(b"not a sketch").is_err());
+        assert!(SpSketch::from_bytes(b"").is_err());
+        let good = tiny_sketch().to_bytes();
+        // Truncation, wrong magic, trailing garbage: all rejected.
+        assert!(SpSketch::from_bytes(&good[..good.len() - 1]).is_err());
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] = b'X';
+        assert!(SpSketch::from_bytes(&wrong_magic).is_err());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(SpSketch::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The checksum (or, for flips inside the checksum itself, the
+        // comparison) catches any one-bit corruption anywhere in the blob.
+        let good = tiny_sketch().to_bytes();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                SpSketch::from_bytes(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_partition_elements() {
+        let mut s = tiny_sketch();
+        s.nodes[0b01].set_partition_elements_unchecked(vec![
+            vec![Value::Int(9)].into_boxed_slice(),
+            vec![Value::Int(3)].into_boxed_slice(),
+        ]);
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_non_upward_closed_skews() {
+        let mut nodes: Vec<SketchNode> = (0..4u32).map(|m| SketchNode::new(Mask(m))).collect();
+        // Skewed at m11 but its projections are recorded nowhere.
+        nodes[0b11].add_skew(vec![Value::Int(1), Value::Int(2)].into_boxed_slice());
+        let s = SpSketch::new(2, 3, nodes);
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("upward-closed"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_built_sketches() {
+        // The real builder's output must always pass its own validation.
+        use spcube_common::{Relation, Schema};
+        let mut rel = Relation::empty(Schema::synthetic(2));
+        for i in 0..400 {
+            let a = if i < 200 { 1 } else { i as i64 };
+            rel.push_row(vec![Value::Int(a), Value::Int(i as i64 % 7)], 1.0);
+        }
+        let refs: Vec<&spcube_common::Tuple> = rel.tuples().iter().collect();
+        let s = build_sketch_from(&refs, 2, 4, 50.0);
+        assert!(s.skew_count() > 0, "test needs a non-trivial sketch");
+        assert!(s.validate().is_ok());
+        // And it survives a DFS round trip.
+        assert!(SpSketch::from_bytes(&s.to_bytes()).unwrap().validate().is_ok());
     }
 
     #[test]

@@ -2,14 +2,13 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
 use spcube_common::{Mask, Value};
 
 /// One cuboid's entry in the SP-Sketch: its skewed group keys (the paper
 /// describes a hash table; we use an ordered set so the serialized sketch
 /// is byte-deterministic, and lookups on the small per-cuboid skew sets
 /// are just as fast) and its `k-1` sorted partition elements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SketchNode {
     mask: Mask,
     skews: BTreeSet<Box<[Value]>>,
@@ -37,6 +36,13 @@ impl SketchNode {
     /// Install the partition elements (must be sorted ascending).
     pub fn set_partition_elements(&mut self, elements: Vec<Box<[Value]>>) {
         debug_assert!(elements.windows(2).all(|w| w[0] <= w[1]), "elements must be sorted");
+        self.partition_elements = elements;
+    }
+
+    /// Install partition elements without the sortedness debug-check. Used
+    /// by the deserializer, whose input is untrusted by definition;
+    /// [`SpSketch::validate`](super::SpSketch::validate) re-checks order.
+    pub(crate) fn set_partition_elements_unchecked(&mut self, elements: Vec<Box<[Value]>>) {
         self.partition_elements = elements;
     }
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use spcube_agg::{AggOutput, AggSpec, AggState};
-use spcube_common::{Group, Tuple};
+use spcube_common::{Group, Mask, Tuple};
 use spcube_cubealg::{buc_from, BucConfig};
 use spcube_lattice::{anchor_mask, BfsOrder, TupleLattice};
 use spcube_mapreduce::{LargeGroupBehavior, MapContext, MrJob, ReduceContext};
@@ -218,6 +218,112 @@ impl MrJob for SpCubeJob<'_> {
     /// SP-Cube never buffers a skewed group reducer-side by design; if the
     /// sampled sketch missed a skew, the group spills (slow but correct) —
     /// the resilience property the paper claims.
+    fn large_group_behavior(&self) -> LargeGroupBehavior {
+        LargeGroupBehavior::Spill
+    }
+}
+
+/// The fallback cube round, used when the SP-Sketch is lost (the sketch
+/// round failed permanently) or rejected (checksum or invariant violation
+/// on the DFS copy).
+///
+/// Without a trustworthy sketch there is no skew knowledge and no range
+/// partitioning, so this job degrades to the naive cube of Section 3.1:
+/// each tuple contributes a map-side partial aggregate to every one of its
+/// `2^d` c-groups, keys are hash-partitioned across all reducers, and a
+/// combiner folds each map task's partials so the shuffle carries one
+/// record per (task, group) rather than per (tuple, group). Slower and
+/// skew-exposed — but exact, which is the point of graceful degradation:
+/// the output is identical to a healthy SP-Cube run.
+pub(crate) struct DegradedCubeJob {
+    d: usize,
+    spec: AggSpec,
+    min_support: usize,
+}
+
+impl DegradedCubeJob {
+    pub(crate) fn new(d: usize, cfg: &SpCubeConfig) -> DegradedCubeJob {
+        DegradedCubeJob { d, spec: cfg.agg, min_support: cfg.min_support }
+    }
+
+    fn fold<'v>(&self, values: impl Iterator<Item = &'v SpValue>) -> (AggState, u64) {
+        let mut state = self.spec.init();
+        let mut tuples = 0u64;
+        for v in values {
+            match v {
+                SpValue::Partial(p, count) => {
+                    state.merge(p);
+                    tuples += count;
+                }
+                SpValue::Row(_) => unreachable!("degraded cube round ships only partials"),
+            }
+        }
+        (state, tuples)
+    }
+}
+
+impl MrJob for DegradedCubeJob {
+    type Input = Tuple;
+    type Key = Group;
+    type Value = SpValue;
+    type Output = (Group, AggOutput);
+
+    fn name(&self) -> String {
+        "sp-cube-degraded".into()
+    }
+
+    fn map_split(&self, ctx: &mut MapContext<'_, Group, SpValue>, split: &[Tuple]) {
+        for t in split {
+            for mask in Mask::full(self.d).subsets() {
+                ctx.charge(1);
+                let mut state = self.spec.init();
+                state.update(t.measure);
+                ctx.emit(Group::of_tuple(t, mask), SpValue::Partial(state, 1));
+            }
+        }
+    }
+
+    // Keys use the engine's default hash partitioner — no sketch, no
+    // ranges, no dedicated skew reducer.
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &Group, values: &mut Vec<SpValue>) {
+        let (state, count) = self.fold(values.iter());
+        values.clear();
+        values.push(SpValue::Partial(state, count));
+    }
+
+    fn reduce(
+        &self,
+        ctx: &mut ReduceContext<'_, (Group, AggOutput)>,
+        key: Group,
+        values: Vec<SpValue>,
+    ) {
+        let (state, tuples) = self.fold(values.iter());
+        ctx.charge(values.len() as u64);
+        if tuples >= self.min_support as u64 {
+            ctx.emit((key, state.finalize()));
+        }
+    }
+
+    fn key_bytes(&self, key: &Group) -> u64 {
+        key.wire_bytes()
+    }
+
+    fn value_bytes(&self, value: &SpValue) -> u64 {
+        match value {
+            SpValue::Row(t) => t.wire_bytes(),
+            SpValue::Partial(state, _count) => state.wire_bytes() + 8,
+        }
+    }
+
+    fn output_bytes(&self, output: &(Group, AggOutput)) -> u64 {
+        output.0.wire_bytes() + 8
+    }
+
     fn large_group_behavior(&self) -> LargeGroupBehavior {
         LargeGroupBehavior::Spill
     }

@@ -16,12 +16,14 @@
 mod job;
 
 use spcube_agg::AggSpec;
-use spcube_common::{Relation, Result};
+use spcube_common::{Error, Relation, Result};
 use spcube_cubealg::Cube;
 use spcube_mapreduce::{run_job, ClusterConfig, Dfs, RunMetrics};
 
-use crate::sketch::{build_exact_sketch, build_sampled_sketch, SketchConfig, SpSketch};
-use job::SpCubeJob;
+use crate::sketch::{
+    build_exact_sketch, build_sampled_sketch, build_sketch_from, SketchConfig, SpSketch,
+};
+use job::{DegradedCubeJob, SpCubeJob};
 
 /// SP-Cube configuration.
 #[derive(Debug, Clone)]
@@ -68,15 +70,21 @@ impl SpCubeConfig {
 /// Everything a finished SP-Cube run produces.
 #[derive(Debug)]
 pub struct SpCubeRun {
-    /// The materialized cube (exact).
+    /// The materialized cube (exact, even in degraded runs).
     pub cube: Cube,
     /// Metrics of the executed MapReduce rounds (sketch round first).
     pub metrics: RunMetrics,
-    /// The sketch used by the cube round.
+    /// The sketch used by the cube round. Empty when the run degraded (no
+    /// usable sketch existed).
     pub sketch: SpSketch,
     /// Serialized size of the sketch as shipped through the DFS — the
     /// quantity of Figures 5c and 6c.
     pub sketch_bytes: u64,
+    /// True when the cube round ran in degraded (hash-partitioned) mode
+    /// because the sketch round failed permanently or the DFS copy of the
+    /// sketch was rejected by checksum/invariant validation. Also visible
+    /// as `fallback_events` in the cube round's metrics.
+    pub degraded: bool,
 }
 
 /// The SP-Cube algorithm driver.
@@ -85,10 +93,25 @@ pub struct SpCube;
 impl SpCube {
     /// Run SP-Cube on `rel` over the simulated `cluster`.
     pub fn run(rel: &Relation, cluster: &ClusterConfig, cfg: &SpCubeConfig) -> Result<SpCubeRun> {
+        Self::run_on(rel, cluster, cfg, &Dfs::new())
+    }
+
+    /// [`SpCube::run`] against a caller-supplied DFS — the sketch is
+    /// broadcast through `dfs`, so tests (and the chaos harness) can
+    /// corrupt the stored sketch and observe the driver degrade.
+    pub fn run_on(
+        rel: &Relation,
+        cluster: &ClusterConfig,
+        cfg: &SpCubeConfig,
+        dfs: &Dfs,
+    ) -> Result<SpCubeRun> {
         let mut metrics = RunMetrics::default();
-        let (sketch, sketch_bytes) = Self::sketch_round(rel, cluster, cfg, &mut metrics)?;
-        let cube = Self::cube_round(rel, cluster, cfg, &sketch, &mut metrics)?;
-        Ok(SpCubeRun { cube, metrics, sketch, sketch_bytes })
+        let (sketch, sketch_bytes) = Self::sketch_round(rel, cluster, cfg, dfs, &mut metrics)?;
+        let degraded = sketch.is_none();
+        let cube = Self::cube_round(rel, cluster, cfg, sketch.as_ref(), &mut metrics)?;
+        let sketch = sketch
+            .unwrap_or_else(|| build_sketch_from(&[], rel.arity(), cluster.machines, 0.0));
+        Ok(SpCubeRun { cube, metrics, sketch, sketch_bytes, degraded })
     }
 
     /// Compute several aggregate functions over one relation, reusing a
@@ -104,12 +127,12 @@ impl SpCube {
         aggs: &[AggSpec],
     ) -> Result<(Vec<(AggSpec, Cube)>, RunMetrics)> {
         let mut metrics = RunMetrics::default();
-        let (sketch, _bytes) = Self::sketch_round(rel, cluster, cfg, &mut metrics)?;
+        let (sketch, _bytes) = Self::sketch_round(rel, cluster, cfg, &Dfs::new(), &mut metrics)?;
         let mut cubes = Vec::with_capacity(aggs.len());
         for &agg in aggs {
             let mut round_cfg = cfg.clone();
             round_cfg.agg = agg;
-            let cube = Self::cube_round(rel, cluster, &round_cfg, &sketch, &mut metrics)?;
+            let cube = Self::cube_round(rel, cluster, &round_cfg, sketch.as_ref(), &mut metrics)?;
             cubes.push((agg, cube));
         }
         Ok((cubes, metrics))
@@ -117,47 +140,81 @@ impl SpCube {
 
     /// Round 1: build the sketch and broadcast it through the DFS (Section
     /// 4.2 — every machine caches a copy before the cube round starts).
+    ///
+    /// Returns `None` — degrade, don't die — in two cases the cube round
+    /// must survive:
+    ///
+    /// * the sketch round failed *permanently* (a task exhausted its retry
+    ///   budget, [`Error::JobFailed`]): the sketch is an optimization, so
+    ///   losing it costs performance, never the answer;
+    /// * the sketch read back from the DFS is rejected — checksum mismatch
+    ///   (bit-rot in transit/storage) or a violated semantic invariant
+    ///   ([`SpSketch::validate`]). Partitioning with a corrupt sketch
+    ///   could silently split one c-group across reducers; refusing it and
+    ///   falling back keeps the output exact.
     fn sketch_round(
         rel: &Relation,
         cluster: &ClusterConfig,
         cfg: &SpCubeConfig,
+        dfs: &Dfs,
         metrics: &mut RunMetrics,
-    ) -> Result<(SpSketch, u64)> {
+    ) -> Result<(Option<SpSketch>, u64)> {
         let sketch = if cfg.use_exact_sketch {
             build_exact_sketch(rel, cluster)
         } else {
-            let (sketch, round) = build_sampled_sketch(rel, cluster, &cfg.sketch)?;
-            metrics.push(round);
-            sketch
+            match build_sampled_sketch(rel, cluster, &cfg.sketch) {
+                Ok((sketch, round)) => {
+                    metrics.push(round);
+                    sketch
+                }
+                Err(Error::JobFailed { .. }) => return Ok((None, 0)),
+                Err(e) => return Err(e),
+            }
         };
-        let dfs = Dfs::new();
         dfs.put("sp-sketch", sketch.to_bytes());
         for _ in 0..cluster.machines {
             let _ = dfs.get("sp-sketch")?;
         }
-        let sketch = SpSketch::from_bytes(&dfs.get("sp-sketch")?)?;
         let sketch_bytes = dfs.len_of("sp-sketch").unwrap_or(0);
-        Ok((sketch, sketch_bytes))
+        // Each machine works from its cached DFS copy, so the driver trusts
+        // the round-tripped bytes, not the in-memory builder output.
+        match SpSketch::from_bytes(&dfs.get("sp-sketch")?) {
+            Ok(s) if s.validate().is_ok() => Ok((Some(s), sketch_bytes)),
+            _ => Ok((None, sketch_bytes)),
+        }
     }
 
-    /// Round 2: compute the cube with `k` range reducers plus reducer 0.
+    /// Round 2: compute the cube with `k` range reducers plus reducer 0 —
+    /// or, without a usable sketch, the degraded hash-partitioned job
+    /// (flagged in the round's `fallback_events`).
     fn cube_round(
         rel: &Relation,
         cluster: &ClusterConfig,
         cfg: &SpCubeConfig,
-        sketch: &SpSketch,
+        sketch: Option<&SpSketch>,
         metrics: &mut RunMetrics,
     ) -> Result<Cube> {
         if cfg.min_support > cluster.skew_threshold() + 1 {
-            return Err(spcube_common::Error::Config(format!(
+            return Err(Error::Config(format!(
                 "iceberg min_support {} exceeds the skew threshold m+1 = {}; skewed groups \
                  could not be filtered exactly",
                 cfg.min_support,
                 cluster.skew_threshold() + 1
             )));
         }
-        let job = SpCubeJob::new(sketch, rel.arity(), cfg);
-        let result = run_job(cluster, &job, rel.tuples(), cluster.machines + 1)?;
+        let mut result = match sketch {
+            Some(sketch) => {
+                let job = SpCubeJob::new(sketch, rel.arity(), cfg);
+                run_job(cluster, &job, rel.tuples(), cluster.machines + 1)?
+            }
+            None => {
+                let job = DegradedCubeJob::new(rel.arity(), cfg);
+                run_job(cluster, &job, rel.tuples(), cluster.machines + 1)?
+            }
+        };
+        if sketch.is_none() {
+            result.metrics.fallback_events = 1;
+        }
         metrics.push(result.metrics.clone());
         Ok(Cube::from_pairs(result.into_flat_outputs()))
     }
@@ -261,6 +318,72 @@ mod tests {
         assert_eq!(run.metrics.round_count(), 2);
         assert!(run.sketch_bytes > 0);
         assert!(run.sketch_bytes < rel.wire_bytes() / 5, "sketch must be small");
+        assert!(!run.degraded);
+        assert_eq!(run.metrics.fallback_events(), 0);
+    }
+
+    #[test]
+    fn corrupt_sketch_on_dfs_triggers_fallback_with_exact_output() {
+        // One flipped bit in the stored sketch: the checksum rejects it and
+        // the cube round degrades to hash partitioning — same cube.
+        let rel = rel_with_skew(1500, 500, 3);
+        let cluster = ClusterConfig::new(6, 120);
+        let cfg = SpCubeConfig::new(AggSpec::Sum);
+        let dfs = Dfs::new();
+        dfs.corrupt_next_write("sp-sketch");
+        let run = SpCube::run_on(&rel, &cluster, &cfg, &dfs).unwrap();
+        assert!(run.degraded, "corrupt sketch must degrade the run");
+        assert_eq!(run.metrics.fallback_events(), 1);
+        assert_eq!(run.metrics.rounds.last().unwrap().name, "sp-cube-degraded");
+        assert_eq!(run.sketch.skew_count(), 0, "degraded run carries an empty sketch");
+        let expect = naive_cube(&rel, AggSpec::Sum);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+    }
+
+    #[test]
+    fn permanent_sketch_round_failure_degrades_instead_of_dying() {
+        // Every sketch-round attempt fails and the retry budget runs out;
+        // the cube round must still produce the exact cube, degraded.
+        let rel = rel_with_skew(1200, 400, 3);
+        let mut cluster = ClusterConfig::new(6, 100);
+        cluster.faults.task_failure_prob = 0.999_999;
+        cluster.faults.only_job = Some("sp-sketch".into());
+        cluster.retry.max_attempts = 2;
+        let run = SpCube::run(&rel, &cluster, &SpCubeConfig::new(AggSpec::Count)).unwrap();
+        assert!(run.degraded);
+        assert_eq!(run.metrics.fallback_events(), 1);
+        assert_eq!(run.sketch_bytes, 0, "no sketch ever reached the DFS");
+        let expect = naive_cube(&rel, AggSpec::Count);
+        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        // Only the degraded cube round ran to completion.
+        assert_eq!(run.metrics.round_count(), 1);
+        assert_eq!(run.metrics.rounds[0].name, "sp-cube-degraded");
+    }
+
+    #[test]
+    fn degraded_mode_supports_every_aggregate() {
+        let rel = rel_with_skew(800, 250, 3);
+        let cluster = ClusterConfig::new(5, 80);
+        for agg in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+            AggSpec::CountDistinct,
+            AggSpec::TopKFrequent(2),
+        ] {
+            let dfs = Dfs::new();
+            dfs.corrupt_next_write("sp-sketch");
+            let run = SpCube::run_on(&rel, &cluster, &SpCubeConfig::new(agg), &dfs).unwrap();
+            assert!(run.degraded);
+            let expect = naive_cube(&rel, agg);
+            assert!(
+                run.cube.approx_eq(&expect, 1e-9),
+                "{agg:?}: {:?}",
+                run.cube.diff(&expect, 1e-9, 5)
+            );
+        }
     }
 
     #[test]
@@ -315,9 +438,11 @@ mod tests {
         // Reference: full cube filtered by exact cardinality >= 5.
         let counts = naive_cube(&rel, AggSpec::Count);
         let sums = naive_cube(&rel, AggSpec::Sum);
-        let expect = spcube_cubealg::Cube::from_pairs(sums.iter().filter_map(|(g, v)| {
-            (counts.get(g).unwrap().number() >= 50.0).then(|| (g.clone(), v.clone()))
-        }));
+        let expect = spcube_cubealg::Cube::from_pairs(
+            sums.iter()
+                .filter(|(g, _)| counts.get(g).unwrap().number() >= 50.0)
+                .map(|(g, v)| (g.clone(), v.clone())),
+        );
         assert!(
             run.cube.approx_eq(&expect, 1e-9),
             "{:?}",

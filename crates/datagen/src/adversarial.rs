@@ -13,7 +13,7 @@ use spcube_common::{Relation, Schema, Value};
 /// does — so for every tuple every (d/2+1)-subset node is an unmarked,
 /// non-skewed anchor and the mapper emits Θ(2^d) records per tuple.
 pub fn adversarial_half_ones(d: usize, m: usize) -> Relation {
-    assert!(d >= 2 && d % 2 == 0, "theorem uses even d");
+    assert!(d >= 2 && d.is_multiple_of(2), "theorem uses even d");
     let w = m + 1;
     let half = d / 2;
     let mut rel = Relation::empty(Schema::synthetic(d));
@@ -56,7 +56,7 @@ pub fn apex_only_skew(n: usize, d: usize, seed: u64) -> Relation {
 /// Returns the relation and the domain size chosen. Pick `n` and `m` so a
 /// valid domain `>= 2` exists, i.e. `n/m > 2^(d/2)`.
 pub fn uniform_small_domain(n: usize, d: usize, m: usize, seed: u64) -> (Relation, usize) {
-    assert!(d >= 2 && d % 2 == 0, "use even d");
+    assert!(d >= 2 && d.is_multiple_of(2), "use even d");
     let ratio = n as f64 / m as f64;
     // Largest domain with domain^(d/2) < ratio (levels ≤ d/2 skewed).
     let domain = (ratio.powf(1.0 / (d as f64 / 2.0)).ceil() as usize).saturating_sub(1).max(2);

@@ -1,12 +1,22 @@
 //! Cluster configuration.
 
+use spcube_common::Result;
+
 use crate::cost::CostModel;
+use crate::fault::{FaultPlan, MachineFailure, Phase, RetryPolicy, SpeculationConfig};
 
 /// Configuration of the simulated cluster (Section 2.3 of the paper).
 ///
 /// `machines` is the paper's `k`; `memory_tuples` is `m` — both the
 /// per-machine memory in tuples and, by Definition 2.7, the skew threshold:
 /// a c-group is skewed iff more than `m` tuples belong to it.
+///
+/// Fault behaviour lives in three sub-configs: the injected [`FaultPlan`],
+/// the [`RetryPolicy`] for failed attempts, and the speculative-execution
+/// policy ([`SpeculationConfig`]). [`ClusterConfig::validate`] checks all
+/// numeric knobs and is run by the engine before every job, so a NaN or
+/// negative probability surfaces as a typed `Error::Config` instead of a
+/// debug-only assert.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of machines `k`. Each runs one map task and one reduce task
@@ -22,19 +32,13 @@ pub struct ClusterConfig {
     pub threads: usize,
     /// The cost model converting counters to simulated seconds.
     pub cost: CostModel,
-    /// Multiplier on a straggling map task's simulated time, applied to
-    /// deterministic pseudo-randomly chosen tasks. `1.0` disables
-    /// straggling. Used by the engine-robustness experiments.
-    pub straggler_factor: f64,
-    /// Probability that a given map task straggles (deterministic per task
-    /// index). Only meaningful when `straggler_factor > 1.0`.
-    pub straggler_prob: f64,
-    /// Probability that a task attempt fails and is re-executed
-    /// (deterministic per task and attempt). Models Hadoop's task retry:
-    /// results are unaffected, but the failed attempt's time is paid again.
-    pub task_failure_prob: f64,
-    /// Maximum attempts per task before the whole job aborts.
-    pub max_task_attempts: u32,
+    /// Injected fault schedule: task failures, stragglers, machine losses.
+    /// The default injects nothing.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for failed task attempts.
+    pub retry: RetryPolicy,
+    /// Speculative-execution policy for straggling tasks (off by default).
+    pub speculation: SpeculationConfig,
 }
 
 /// Assumed bytes per buffered tuple when deriving `memory_bytes`.
@@ -51,10 +55,9 @@ impl ClusterConfig {
             memory_bytes: memory_tuples as u64 * DEFAULT_TUPLE_BYTES,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cost: CostModel::default(),
-            straggler_factor: 1.0,
-            straggler_prob: 0.0,
-            task_failure_prob: 0.0,
-            max_task_attempts: 4,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 
@@ -76,21 +79,47 @@ impl ClusterConfig {
         self
     }
 
-    /// Enable straggler injection.
+    /// Enable straggler injection: each task straggles with probability
+    /// `prob` and then runs `factor ×` slower. Values are validated when a
+    /// job runs.
     pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
-        assert!((0.0..=1.0).contains(&prob));
-        assert!(factor >= 1.0);
-        self.straggler_prob = prob;
-        self.straggler_factor = factor;
+        self.faults.straggler_prob = prob;
+        self.faults.straggler_factor = factor;
         self
     }
 
-    /// Enable task-failure injection (attempts are retried up to
-    /// `max_task_attempts`).
+    /// Enable task-failure injection: each attempt fails with probability
+    /// `prob`; tasks are retried under [`ClusterConfig::retry`].
     pub fn with_task_failures(mut self, prob: f64) -> Self {
-        assert!((0.0..1.0).contains(&prob), "failure probability must be < 1");
-        self.task_failure_prob = prob;
+        self.faults.task_failure_prob = prob;
         self
+    }
+
+    /// Schedule machine `machine` to die during `phase` of every job.
+    pub fn with_machine_failure(mut self, phase: Phase, machine: usize) -> Self {
+        self.faults.machine_failures.push(MachineFailure { job: None, phase, machine });
+        self
+    }
+
+    /// Enable speculative execution with the given slack factor.
+    pub fn with_speculation(mut self, slack: f64) -> Self {
+        self.speculation = SpeculationConfig { enabled: true, slack };
+        self
+    }
+
+    /// Override the fault-injection seed (the schedule replays
+    /// deterministically for a given seed).
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.faults.seed = seed;
+        self
+    }
+
+    /// Validate every numeric knob of the fault model. The engine calls
+    /// this before running a job; invalid values produce `Error::Config`.
+    pub fn validate(&self) -> Result<()> {
+        self.faults.validate()?;
+        self.retry.validate()?;
+        self.speculation.validate()
     }
 
     /// The skew threshold `m` (Definition 2.7): groups with more tuples
@@ -130,5 +159,45 @@ mod tests {
     fn small_input_still_positive_memory() {
         let c = ClusterConfig::for_input(20, 5);
         assert_eq!(c.memory_tuples, 1);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(ClusterConfig::new(4, 100).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_fault_numbers_are_config_errors() {
+        for bad in [
+            ClusterConfig::new(4, 100).with_task_failures(f64::NAN),
+            ClusterConfig::new(4, 100).with_task_failures(-0.2),
+            ClusterConfig::new(4, 100).with_task_failures(1.5),
+            ClusterConfig::new(4, 100).with_stragglers(0.5, 0.9),
+            ClusterConfig::new(4, 100).with_stragglers(f64::NAN, 2.0),
+            ClusterConfig::new(4, 100).with_speculation(0.5),
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(
+                matches!(err, spcube_common::Error::Config(_)),
+                "expected Config error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn builders_populate_fault_plan() {
+        let c = ClusterConfig::new(4, 100)
+            .with_stragglers(0.25, 8.0)
+            .with_task_failures(0.1)
+            .with_machine_failure(Phase::Map, 2)
+            .with_speculation(2.0)
+            .with_fault_seed(42);
+        assert_eq!(c.faults.straggler_prob, 0.25);
+        assert_eq!(c.faults.straggler_factor, 8.0);
+        assert_eq!(c.faults.task_failure_prob, 0.1);
+        assert_eq!(c.faults.machine_failures.len(), 1);
+        assert!(c.speculation.enabled);
+        assert_eq!(c.faults.seed, 42);
+        assert!(c.validate().is_ok());
     }
 }

@@ -11,10 +11,8 @@
 //! where crossovers happen) is preserved. Absolute numbers are not claimed;
 //! see `EXPERIMENTS.md`.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost constants, all in seconds per unit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Fixed startup/teardown overhead per MapReduce round (job scheduling,
     /// JVM spin-up, commit). Makes multi-round algorithms pay per round and

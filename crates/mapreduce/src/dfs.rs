@@ -7,12 +7,18 @@
 //! by all machines", Section 4.2). This type mirrors those interactions and
 //! counts the bytes moved, so sketch-distribution overhead is visible in
 //! the experiment reports.
+//!
+//! For fault testing the DFS can also inject silent corruption: a bit of a
+//! stored blob can be flipped on demand ([`Dfs::corrupt_byte`]) or
+//! scheduled to flip on the next write to a path
+//! ([`Dfs::corrupt_next_write`]), modelling disk bit-rot the reader must
+//! detect by checksum.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
-
-/// Shared byte-blob store with read/write accounting.
+/// Shared byte-blob store with read/write accounting and corruption
+/// injection.
 #[derive(Debug, Default)]
 pub struct Dfs {
     inner: Mutex<DfsInner>,
@@ -23,6 +29,7 @@ struct DfsInner {
     files: HashMap<String, Vec<u8>>,
     bytes_written: u64,
     bytes_read: u64,
+    corrupt_on_write: HashSet<String>,
 }
 
 impl Dfs {
@@ -31,16 +38,22 @@ impl Dfs {
         Dfs::default()
     }
 
-    /// Store a blob under `path`, replacing any previous content.
-    pub fn put(&self, path: &str, data: Vec<u8>) {
-        let mut inner = self.inner.lock();
+    /// Store a blob under `path`, replacing any previous content. If
+    /// corruption was scheduled for `path`, one bit of the stored copy is
+    /// silently flipped (the writer never notices, just like real bit-rot).
+    pub fn put(&self, path: &str, mut data: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.corrupt_on_write.remove(path) && !data.is_empty() {
+            let mid = data.len() / 2;
+            data[mid] ^= 0x01;
+        }
         inner.bytes_written += data.len() as u64;
         inner.files.insert(path.to_string(), data);
     }
 
     /// Fetch a copy of the blob at `path`.
     pub fn get(&self, path: &str) -> spcube_common::Result<Vec<u8>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         match inner.files.get(path) {
             Some(data) => {
                 let data = data.clone();
@@ -53,17 +66,43 @@ impl Dfs {
 
     /// Size of the blob at `path`, if present.
     pub fn len_of(&self, path: &str) -> Option<u64> {
-        self.inner.lock().files.get(path).map(|d| d.len() as u64)
+        self.inner.lock().unwrap().files.get(path).map(|d| d.len() as u64)
     }
 
     /// Total bytes written so far.
     pub fn bytes_written(&self) -> u64 {
-        self.inner.lock().bytes_written
+        self.inner.lock().unwrap().bytes_written
     }
 
     /// Total bytes read so far.
     pub fn bytes_read(&self) -> u64 {
-        self.inner.lock().bytes_read
+        self.inner.lock().unwrap().bytes_read
+    }
+
+    /// Flip the low bit of the byte at `offset` of the blob at `path`
+    /// (fault injection for tests). Errors when the blob is missing or
+    /// shorter than `offset`.
+    pub fn corrupt_byte(&self, path: &str, offset: usize) -> spcube_common::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let data = inner
+            .files
+            .get_mut(path)
+            .ok_or_else(|| spcube_common::Error::DfsMissing(path.to_string()))?;
+        if offset >= data.len() {
+            return Err(spcube_common::Error::Config(format!(
+                "corruption offset {offset} beyond blob of {} bytes",
+                data.len()
+            )));
+        }
+        data[offset] ^= 0x01;
+        Ok(())
+    }
+
+    /// Schedule one bit-flip to happen during the *next* write to `path`.
+    /// Lets a test corrupt a blob that a driver writes and reads within a
+    /// single call.
+    pub fn corrupt_next_write(&self, path: &str) {
+        self.inner.lock().unwrap().corrupt_on_write.insert(path.to_string());
     }
 }
 
@@ -103,5 +142,26 @@ mod tests {
         dfs.put("a", vec![2, 3]);
         assert_eq!(dfs.get("a").unwrap(), vec![2, 3]);
         assert_eq!(dfs.bytes_written(), 3);
+    }
+
+    #[test]
+    fn corrupt_byte_flips_one_bit() {
+        let dfs = Dfs::new();
+        dfs.put("a", vec![0u8; 4]);
+        dfs.corrupt_byte("a", 2).unwrap();
+        assert_eq!(dfs.get("a").unwrap(), vec![0, 0, 1, 0]);
+        assert!(dfs.corrupt_byte("a", 99).is_err());
+        assert!(dfs.corrupt_byte("missing", 0).is_err());
+    }
+
+    #[test]
+    fn scheduled_corruption_hits_next_write_only() {
+        let dfs = Dfs::new();
+        dfs.corrupt_next_write("a");
+        dfs.put("a", vec![0u8; 3]);
+        assert_eq!(dfs.get("a").unwrap(), vec![0, 1, 0]);
+        // The schedule is consumed; later writes are clean.
+        dfs.put("a", vec![0u8; 3]);
+        assert_eq!(dfs.get("a").unwrap(), vec![0, 0, 0]);
     }
 }

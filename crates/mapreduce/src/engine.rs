@@ -1,16 +1,29 @@
 //! Job execution.
+//!
+//! Beyond the happy path (map → shuffle → reduce with exact byte
+//! accounting), execution runs through the fault layer in `fault.rs`:
+//! both phases share one fault path (stragglers, per-attempt failures with
+//! retry/backoff, speculative backups), and scheduled machine losses
+//! really lose the dead machine's map output — the engine re-executes the
+//! map closure on a surviving machine and ships the regenerated output,
+//! so exactly-once semantics under recovery are exercised for real, not
+//! just charged to the cost model.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use spcube_common::{Error, Result};
 
 use crate::config::ClusterConfig;
 use crate::context::{MapContext, ReduceContext};
+use crate::fault::{Phase, PhaseFaults, RecoveryCounters};
 use crate::job::{LargeGroupBehavior, MrJob};
 use crate::metrics::JobMetrics;
+
+/// One write-once output slot per task, claimed by worker threads.
+type TaskSlots<T> = Vec<Mutex<Option<T>>>;
 
 /// The outcome of one executed round: real reducer outputs plus metrics.
 #[derive(Debug)]
@@ -36,6 +49,16 @@ struct MapTaskOut<K, V> {
     work_units: u64,
 }
 
+impl<K, V> MapTaskOut<K, V> {
+    /// Fault-free simulated seconds of this map task under `cost`.
+    fn base_seconds(&self, cost: &crate::cost::CostModel) -> f64 {
+        self.records_in as f64 * cost.map_cpu_per_record_s
+            + self.work_units as f64 * cost.cpu_per_work_unit_s
+            + self.records_out as f64 * cost.cpu_per_emit_s
+            + self.bytes_out as f64 / cost.map_disk_bytes_per_s
+    }
+}
+
 /// Execute one MapReduce round of `job` over `inputs` on the simulated
 /// cluster, with `reducers` reduce tasks.
 ///
@@ -52,9 +75,18 @@ pub fn run_job<J: MrJob>(
     if reducers == 0 {
         return Err(Error::Config("job needs at least one reducer".into()));
     }
+    cluster.validate()?;
     let wall_start = Instant::now();
     let k = cluster.machines;
     let cost = &cluster.cost;
+    let name = job.name();
+    let mut rec = RecoveryCounters::default();
+    let faults = PhaseFaults {
+        plan: &cluster.faults,
+        retry: &cluster.retry,
+        speculation: &cluster.speculation,
+        job: &name,
+    };
 
     // ---- Map phase -------------------------------------------------------
     let chunk = inputs.len().div_ceil(k).max(1);
@@ -66,51 +98,87 @@ pub fn run_job<J: MrJob>(
         })
         .collect();
 
-    let map_outs: Vec<Mutex<Option<MapTaskOut<J::Key, J::Value>>>> =
+    let map_slots: TaskSlots<MapTaskOut<J::Key, J::Value>> =
         (0..k).map(|_| Mutex::new(None)).collect();
     let next_task = AtomicUsize::new(0);
     let workers = cluster.threads.min(k).max(1);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let t = next_task.fetch_add(1, Ordering::Relaxed);
                 if t >= k {
                     break;
                 }
                 let out = run_map_task(job, splits[t], t, reducers);
-                *map_outs[t].lock() = Some(out);
+                *map_slots[t].lock().unwrap() = Some(out);
             });
         }
-    })
-    .expect("map worker panicked");
+    });
 
-    let map_outs: Vec<MapTaskOut<J::Key, J::Value>> = map_outs
+    let mut map_outs: Vec<MapTaskOut<J::Key, J::Value>> = map_slots
         .into_iter()
-        .map(|m| m.into_inner().expect("map task missing"))
+        .map(|m| m.into_inner().unwrap().expect("map task missing"))
         .collect();
 
-    let mut map_times = Vec::with_capacity(k);
-    let mut task_retries = 0u64;
+    // Unified fault path: stragglers, retries/backoff, speculation.
+    let map_base: Vec<f64> = map_outs.iter().map(|o| o.base_seconds(cost)).collect();
+    let mut map_times = faults.charge(Phase::Map, &map_base, &mut rec)?;
+
+    // Machine loss during the map phase (Hadoop semantics): the dead
+    // machine's completed map output lives on its local disk and is gone.
+    // A surviving machine re-executes the task; the fresh output REPLACES
+    // the lost one, so downstream state is exactly-once by construction.
+    let lost_map = cluster.faults.lost_machines(&name, Phase::Map, k);
+    if !lost_map.is_empty() {
+        if lost_map.len() >= k {
+            return Err(Error::Config(format!(
+                "fault schedule kills all {k} machines during the map phase of `{name}`"
+            )));
+        }
+        let mut busy = map_times.clone();
+        for &m in &lost_map {
+            rec.tasks_lost += 1;
+            rec.wasted_seconds += map_times[m];
+            let host = (1..k)
+                .map(|i| (m + i) % k)
+                .find(|i| !lost_map.contains(i))
+                .expect("a surviving machine exists");
+            let out = run_map_task(job, splits[m], m, reducers);
+            let reexec_secs = out.base_seconds(cost);
+            // The re-execution waits for the loss to be detected and for
+            // the host to finish its own task, then runs at healthy speed.
+            let start = (map_times[m] + cluster.faults.detection_s).max(busy[host]);
+            busy[host] = start + reexec_secs;
+            map_times[m] = busy[host];
+            map_outs[m] = out;
+            rec.re_executions += 1;
+        }
+    }
+
+    // Machine loss during the reduce phase, part 1: the dead machine's map
+    // output is lost mid-shuffle and must be regenerated before the
+    // rescheduled consumers can proceed. Re-execute for real (the shuffle
+    // below ships the regenerated output); time is charged in part 2.
+    let lost_reduce = cluster.faults.lost_machines(&name, Phase::Reduce, k);
+    let mut reduce_recovery = vec![0.0f64; k];
+    for &m in &lost_reduce {
+        rec.tasks_lost += 1; // the lost map output
+        let out = run_map_task(job, splits[m], m, reducers);
+        let reexec_secs = out.base_seconds(cost);
+        let refetch_secs = out.bytes_out as f64 / cost.net_bytes_per_s;
+        reduce_recovery[m] = cluster.faults.detection_s + reexec_secs + refetch_secs;
+        map_outs[m] = out;
+        rec.re_executions += 1;
+    }
+
     let mut input_records = 0u64;
     let mut map_output_records = 0u64;
     let mut map_output_bytes = 0u64;
-    for (t, out) in map_outs.iter().enumerate() {
+    for out in &map_outs {
         input_records += out.records_in;
         map_output_records += out.records_out;
         map_output_bytes += out.bytes_out;
-        let mut secs = out.records_in as f64 * cost.map_cpu_per_record_s
-            + out.work_units as f64 * cost.cpu_per_work_unit_s
-            + out.records_out as f64 * cost.cpu_per_emit_s
-            + out.bytes_out as f64 / cost.map_disk_bytes_per_s;
-        if is_straggler(cluster, job.name().as_str(), t) {
-            secs *= cluster.straggler_factor;
-        }
-        // Task-failure injection: failed attempts re-execute; each failed
-        // attempt's time is paid on top of the successful one.
-        let attempts = attempts_for(cluster, job.name().as_str(), t)?;
-        task_retries += (attempts - 1) as u64;
-        map_times.push(secs * attempts as f64);
     }
 
     // ---- Shuffle ---------------------------------------------------------
@@ -148,19 +216,20 @@ pub fn run_job<J: MrJob>(
 
     let reduce_slots: Vec<Mutex<Option<ReduceTaskOut<J::Output>>>> =
         (0..reducers).map(|_| Mutex::new(None)).collect();
-    let reducer_inputs: Vec<Mutex<Option<Vec<(J::Key, J::Value)>>>> =
+    let reducer_inputs: TaskSlots<Vec<(J::Key, J::Value)>> =
         reducer_inputs.into_iter().map(|v| Mutex::new(Some(v))).collect();
     let next_red = AtomicUsize::new(0);
     let red_workers = cluster.threads.min(reducers).max(1);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..red_workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let r = next_red.fetch_add(1, Ordering::Relaxed);
                 if r >= reducers {
                     break;
                 }
-                let pairs = reducer_inputs[r].lock().take().expect("reducer input taken twice");
+                let pairs =
+                    reducer_inputs[r].lock().unwrap().take().expect("reducer input taken twice");
                 let in_bytes = reducer_input_bytes[r];
 
                 // Group values by key; BTreeMap gives the sorted key order
@@ -210,13 +279,15 @@ pub fn run_job<J: MrJob>(
                     }
                 }
                 let out_bytes: u64 = outputs.iter().map(|o| job.output_bytes(o)).sum();
+                // Fault-free base seconds; the shared fault path charges
+                // stragglers/retries/speculation afterwards.
                 let secs = n_values as f64
                     * (cost.sort_cpu_per_value_s + cost.reduce_cpu_per_value_s)
                     * job.reduce_cost_factor()
                     + work_units as f64 * cost.cpu_per_work_unit_s
                     + spilled as f64 / cost.spill_bytes_per_s
                     + out_bytes as f64 / cost.out_disk_bytes_per_s;
-                *reduce_slots[r].lock() = Some(ReduceTaskOut {
+                *reduce_slots[r].lock().unwrap() = Some(ReduceTaskOut {
                     outputs,
                     out_bytes,
                     secs,
@@ -226,17 +297,16 @@ pub fn run_job<J: MrJob>(
                 });
             });
         }
-    })
-    .expect("reduce worker panicked");
+    });
 
     let mut outputs = Vec::with_capacity(reducers);
     let mut reducer_output_bytes = Vec::with_capacity(reducers);
-    let mut reduce_times = Vec::with_capacity(reducers);
+    let mut reduce_base = Vec::with_capacity(reducers);
     let mut spilled_bytes = 0u64;
     let mut largest_group_values = 0u64;
     let mut output_records = 0u64;
     for slot in reduce_slots {
-        let task = slot.into_inner().expect("reduce task missing");
+        let task = slot.into_inner().unwrap().expect("reduce task missing");
         if let Some(err) = task.failure {
             return Err(err);
         }
@@ -244,19 +314,42 @@ pub fn run_job<J: MrJob>(
         largest_group_values = largest_group_values.max(task.largest_group);
         output_records += task.outputs.len() as u64;
         reducer_output_bytes.push(task.out_bytes);
-        reduce_times.push(task.secs);
+        reduce_base.push(task.secs);
         outputs.push(task.outputs);
+    }
+
+    // Same fault path as the map phase (stragglers, retries, speculation
+    // apply to reduce tasks too).
+    let mut reduce_times = faults.charge(Phase::Reduce, &reduce_base, &mut rec)?;
+
+    // Machine loss during the reduce phase, part 2: the in-flight reduce
+    // task dies halfway, waits for detection + map-output regeneration +
+    // re-fetch (charged in part 1's `reduce_recovery`), then re-runs.
+    let mut shuffle_recovery = 0.0f64;
+    for &m in &lost_reduce {
+        if m < reducers {
+            let half_done = 0.5 * reduce_times[m];
+            rec.wasted_seconds += half_done;
+            rec.tasks_lost += 1; // the killed reduce attempt
+            rec.re_executions += 1;
+            reduce_times[m] += half_done + reduce_recovery[m];
+        } else {
+            // No reduce task ran on the dead machine; the regeneration
+            // still delays whichever reducers were fetching from it.
+            shuffle_recovery = shuffle_recovery.max(reduce_recovery[m]);
+        }
     }
 
     let simulated_seconds = cost.round_overhead_s
         + map_times.iter().copied().fold(0.0f64, f64::max)
         + shuffle_seconds
+        + shuffle_recovery
         + reduce_times.iter().copied().fold(0.0f64, f64::max);
 
     Ok(JobResult {
         outputs,
         metrics: JobMetrics {
-            name: job.name(),
+            name,
             map_tasks: k,
             reduce_tasks: reducers,
             input_records,
@@ -266,7 +359,12 @@ pub fn run_job<J: MrJob>(
             reducer_output_bytes,
             output_records,
             spilled_bytes,
-            task_retries,
+            task_retries: rec.task_retries,
+            tasks_lost: rec.tasks_lost,
+            re_executions: rec.re_executions,
+            speculative_launches: rec.speculative_launches,
+            wasted_seconds: rec.wasted_seconds,
+            fallback_events: 0,
             largest_group_values,
             map_times,
             reduce_times,
@@ -327,44 +425,6 @@ fn run_map_task<J: MrJob>(
         bytes_out,
         work_units,
     }
-}
-
-/// Deterministic attempt count for a task under failure injection: the
-/// number of attempts until the first success, capped by the configured
-/// maximum (reaching the cap aborts the job, as Hadoop does).
-fn attempts_for(cluster: &ClusterConfig, job_name: &str, task: usize) -> Result<u32> {
-    if cluster.task_failure_prob <= 0.0 {
-        return Ok(1);
-    }
-    use std::hash::{Hash, Hasher};
-    for attempt in 1..=cluster.max_task_attempts {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        "task-attempt".hash(&mut h);
-        job_name.hash(&mut h);
-        task.hash(&mut h);
-        attempt.hash(&mut h);
-        let unit = (h.finish() % 1_000_000) as f64 / 1_000_000.0;
-        if unit >= cluster.task_failure_prob {
-            return Ok(attempt);
-        }
-    }
-    Err(Error::Config(format!(
-        "map task {task} of `{job_name}` failed {} attempts",
-        cluster.max_task_attempts
-    )))
-}
-
-/// Deterministic straggler decision for a map task.
-fn is_straggler(cluster: &ClusterConfig, job_name: &str, task: usize) -> bool {
-    if cluster.straggler_prob <= 0.0 || cluster.straggler_factor <= 1.0 {
-        return false;
-    }
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    job_name.hash(&mut h);
-    task.hash(&mut h);
-    let unit = (h.finish() % 1_000_000) as f64 / 1_000_000.0;
-    unit < cluster.straggler_prob
 }
 
 #[cfg(test)]
@@ -528,7 +588,15 @@ mod tests {
     }
 
     #[test]
-    fn stragglers_increase_map_time_only() {
+    fn invalid_fault_config_rejected_at_run() {
+        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let bad = cluster().with_task_failures(f64::NAN);
+        let err = run_job(&bad, &job, &[1, 2], 1).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn stragglers_scale_task_times() {
         let inputs: Vec<u64> = (0..10000).collect();
         let job = ModCount { buckets: 7, combine: false, fail_large: false };
         let base = run_job(&cluster(), &job, &inputs, 3).unwrap();
@@ -537,7 +605,120 @@ mod tests {
         let base_max = base.metrics.map_times.iter().copied().fold(0.0f64, f64::max);
         let slow_max = slow.metrics.map_times.iter().copied().fold(0.0f64, f64::max);
         assert!((slow_max / base_max - 10.0).abs() < 1e-6);
+        // Reduce tasks go through the same fault path (prob 1.0 slows all).
+        let base_red = base.metrics.reduce_times.iter().copied().fold(0.0f64, f64::max);
+        let slow_red = slow.metrics.reduce_times.iter().copied().fold(0.0f64, f64::max);
+        assert!((slow_red / base_red - 10.0).abs() < 1e-6);
         assert_eq!(base.metrics.map_output_bytes, slow.metrics.map_output_bytes);
+    }
+
+    #[test]
+    fn speculation_caps_straggler_cost_and_counts_waste() {
+        let inputs: Vec<u64> = (0..10000).collect();
+        let job = ModCount { buckets: 7, combine: false, fail_large: false };
+        // Mixed stragglers so the phase median stays healthy.
+        let slow = cluster().with_stragglers(0.45, 10.0);
+        let specd = cluster().with_stragglers(0.45, 10.0).with_speculation(1.5);
+        let a = run_job(&slow, &job, &inputs, 3).unwrap();
+        let b = run_job(&specd, &job, &inputs, 3).unwrap();
+        assert_eq!(a.metrics.speculative_launches, 0);
+        assert!(b.metrics.speculative_launches > 0, "stragglers should trigger backups");
+        assert!(b.metrics.wasted_seconds > 0.0);
+        assert!(
+            b.metrics.simulated_seconds < a.metrics.simulated_seconds,
+            "backups should beat 10x stragglers: {} vs {}",
+            b.metrics.simulated_seconds,
+            a.metrics.simulated_seconds
+        );
+        // Results are identical either way.
+        let (mut ra, mut rb) = (a.into_flat_outputs(), b.into_flat_outputs());
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn machine_loss_during_map_reexecutes_and_charges() {
+        let inputs: Vec<u64> = (0..8000).collect();
+        let job = ModCount { buckets: 7, combine: true, fail_large: false };
+        let clean = cluster();
+        let lossy = cluster().with_machine_failure(Phase::Map, 1);
+        let a = run_job(&clean, &job, &inputs, 3).unwrap();
+        let b = run_job(&lossy, &job, &inputs, 3).unwrap();
+        assert_eq!(b.metrics.tasks_lost, 1);
+        assert_eq!(b.metrics.re_executions, 1);
+        assert!(b.metrics.wasted_seconds > 0.0);
+        assert!(b.metrics.simulated_seconds > a.metrics.simulated_seconds);
+        // The regenerated map output replaces the lost one: same bytes,
+        // same results.
+        assert_eq!(a.metrics.map_output_bytes, b.metrics.map_output_bytes);
+        let (mut ra, mut rb) = (a.into_flat_outputs(), b.into_flat_outputs());
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn machine_loss_during_reduce_reschedules_both_sides() {
+        let inputs: Vec<u64> = (0..8000).collect();
+        let job = ModCount { buckets: 7, combine: true, fail_large: false };
+        let clean = cluster();
+        let lossy = cluster().with_machine_failure(crate::fault::Phase::Reduce, 0);
+        let a = run_job(&clean, &job, &inputs, 3).unwrap();
+        let b = run_job(&lossy, &job, &inputs, 3).unwrap();
+        // Lost: machine 0's map output AND its in-flight reduce task.
+        assert_eq!(b.metrics.tasks_lost, 2);
+        assert_eq!(b.metrics.re_executions, 2);
+        assert!(b.metrics.wasted_seconds > 0.0);
+        assert!(b.metrics.reduce_times[0] > a.metrics.reduce_times[0]);
+        let (mut ra, mut rb) = (a.into_flat_outputs(), b.into_flat_outputs());
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn machine_loss_on_non_reducer_machine_delays_shuffle_only() {
+        let inputs: Vec<u64> = (0..8000).collect();
+        let job = ModCount { buckets: 7, combine: true, fail_large: false };
+        // Machine 3 holds no reduce task (only 2 reducers).
+        let lossy = cluster().with_machine_failure(crate::fault::Phase::Reduce, 3);
+        let clean = cluster();
+        let a = run_job(&clean, &job, &inputs, 2).unwrap();
+        let b = run_job(&lossy, &job, &inputs, 2).unwrap();
+        assert_eq!(b.metrics.tasks_lost, 1);
+        assert_eq!(b.metrics.re_executions, 1);
+        assert_eq!(b.metrics.reduce_times, a.metrics.reduce_times);
+        assert!(b.metrics.simulated_seconds > a.metrics.simulated_seconds);
+    }
+
+    #[test]
+    fn killing_every_machine_is_rejected() {
+        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let mut c = ClusterConfig::new(2, 100);
+        c = c.with_machine_failure(Phase::Map, 0).with_machine_failure(Phase::Map, 1);
+        let err = run_job(&c, &job, &[1, 2, 3], 1).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn machine_loss_is_deterministic() {
+        let inputs: Vec<u64> = (0..5000).collect();
+        let job = ModCount { buckets: 11, combine: true, fail_large: false };
+        let mk = || {
+            cluster()
+                .with_machine_failure(Phase::Map, 2)
+                .with_machine_failure(crate::fault::Phase::Reduce, 1)
+                .with_stragglers(0.3, 4.0)
+                .with_task_failures(0.2)
+                .with_speculation(1.5)
+        };
+        let a = run_job(&mk(), &job, &inputs, 4).unwrap();
+        let b = run_job(&mk(), &job, &inputs, 4).unwrap();
+        assert_eq!(a.metrics.simulated_seconds, b.metrics.simulated_seconds);
+        assert_eq!(a.metrics.wasted_seconds, b.metrics.wasted_seconds);
+        assert_eq!(a.metrics.task_retries, b.metrics.task_retries);
+        assert_eq!(a.into_flat_outputs(), b.into_flat_outputs());
     }
 
     #[test]
@@ -624,28 +805,52 @@ mod failure_tests {
     fn task_failures_are_retried_and_charged() {
         let inputs: Vec<u64> = (0..4000).collect();
         let clean = ClusterConfig::new(8, 1000);
-        let flaky = ClusterConfig::new(8, 1000).with_task_failures(0.5);
+        let mut flaky = ClusterConfig::new(8, 1000).with_task_failures(0.5);
+        // Budget generous enough that no task plausibly exhausts it.
+        flaky.retry.max_attempts = 16;
         let a = run_job(&clean, &Sum, &inputs, 3).unwrap();
         let b = run_job(&flaky, &Sum, &inputs, 3).unwrap();
         // Same results, more simulated time, retries recorded.
-        let (at, bt) = (a.metrics.simulated_seconds, b.metrics.simulated_seconds);
-        let retries = b.metrics.task_retries;
+        assert!(b.metrics.task_retries > 0, "expected some retries at 50% failure rate");
+        assert!(b.metrics.wasted_seconds > 0.0, "failed attempts are wasted work");
+        assert!(b.metrics.simulated_seconds > a.metrics.simulated_seconds);
         let mut ra = a.into_flat_outputs();
         ra.sort();
         let mut rb = b.into_flat_outputs();
         rb.sort();
         assert_eq!(ra, rb);
-        assert!(retries > 0, "expected some retries at 50% failure rate");
-        assert!(bt > at);
     }
 
     #[test]
     fn exhausted_attempts_abort_the_job() {
         let inputs: Vec<u64> = (0..100).collect();
         let mut cluster = ClusterConfig::new(4, 100).with_task_failures(0.999999);
-        cluster.max_task_attempts = 2;
+        cluster.retry.max_attempts = 2;
         let err = run_job(&cluster, &Sum, &inputs, 2).unwrap_err();
         assert!(err.to_string().contains("failed 2 attempts"), "{err}");
+        assert!(
+            matches!(&err, Error::JobFailed { job, attempts: 2, .. } if job == "sum"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reduce_tasks_share_the_fault_path() {
+        // Scope probabilistic injection to the reduce phase by checking
+        // the metrics: with failures on, reduce times grow too.
+        let inputs: Vec<u64> = (0..4000).collect();
+        let clean = ClusterConfig::new(4, 1000);
+        let mut flaky = ClusterConfig::new(4, 1000).with_task_failures(0.5);
+        flaky.retry.max_attempts = 16;
+        let a = run_job(&clean, &Sum, &inputs, 16).unwrap();
+        let b = run_job(&flaky, &Sum, &inputs, 16).unwrap();
+        let grew = a
+            .metrics
+            .reduce_times
+            .iter()
+            .zip(&b.metrics.reduce_times)
+            .any(|(x, y)| y > x);
+        assert!(grew, "at 50% attempt failure some of 16 reduce tasks must retry");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod context;
 pub mod cost;
 pub mod dfs;
 pub mod engine;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod partition;
@@ -38,5 +39,6 @@ pub use context::{MapContext, ReduceContext};
 pub use cost::CostModel;
 pub use dfs::Dfs;
 pub use engine::{run_job, JobResult};
+pub use fault::{Backoff, FaultPlan, MachineFailure, Phase, RetryPolicy, SpeculationConfig};
 pub use job::{LargeGroupBehavior, MrJob};
 pub use metrics::{JobMetrics, RunMetrics};

@@ -1,12 +1,10 @@
 //! Per-job and per-run metrics.
 
-use serde::{Deserialize, Serialize};
-
 /// Everything measured for one MapReduce round: exact record/byte counters
 /// plus the simulated phase times derived from the cost model. These are
 /// the quantities the paper reports — total running time, average map and
 /// reduce time, and intermediate (map output) data size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct JobMetrics {
     /// Job name.
     pub name: String,
@@ -31,6 +29,19 @@ pub struct JobMetrics {
     pub spilled_bytes: u64,
     /// Failed task attempts that were re-executed (failure injection).
     pub task_retries: u64,
+    /// Tasks (or completed task outputs) lost to machine failures.
+    pub tasks_lost: u64,
+    /// Tasks re-executed on a surviving machine after a machine loss.
+    pub re_executions: u64,
+    /// Speculative backup attempts launched for straggling tasks.
+    pub speculative_launches: u64,
+    /// Simulated seconds of discarded work: failed attempts, outputs lost
+    /// with dead machines, and losing speculative twins.
+    pub wasted_seconds: f64,
+    /// Degraded-mode events: 1 when this round ran in a fallback mode
+    /// (e.g. SP-Cube's hash-partitioned cube round after losing its
+    /// sketch), 0 otherwise.
+    pub fallback_events: u64,
     /// Largest single key group (in values) seen by any reducer.
     pub largest_group_values: u64,
     /// Simulated seconds of each map task.
@@ -71,7 +82,7 @@ impl JobMetrics {
 }
 
 /// Metrics of a full algorithm run (one or more MapReduce rounds).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
     /// Per-round metrics, in execution order.
     pub rounds: Vec<JobMetrics>,
@@ -121,6 +132,46 @@ impl RunMetrics {
         self.rounds.len()
     }
 
+    /// Total failed task attempts that were retried, across rounds.
+    pub fn task_retries(&self) -> u64 {
+        self.rounds.iter().map(|r| r.task_retries).sum()
+    }
+
+    /// Total tasks (or task outputs) lost to machine failures.
+    pub fn tasks_lost(&self) -> u64 {
+        self.rounds.iter().map(|r| r.tasks_lost).sum()
+    }
+
+    /// Total tasks re-executed after machine losses.
+    pub fn re_executions(&self) -> u64 {
+        self.rounds.iter().map(|r| r.re_executions).sum()
+    }
+
+    /// Total speculative backup attempts launched.
+    pub fn speculative_launches(&self) -> u64 {
+        self.rounds.iter().map(|r| r.speculative_launches).sum()
+    }
+
+    /// Total simulated seconds of discarded (recovered-from) work.
+    pub fn wasted_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.wasted_seconds).sum()
+    }
+
+    /// Total degraded-mode (fallback) events across rounds.
+    pub fn fallback_events(&self) -> u64 {
+        self.rounds.iter().map(|r| r.fallback_events).sum()
+    }
+
+    /// True when any round recovered from an injected fault or ran
+    /// degraded — the quick "did the fault layer do anything" probe.
+    pub fn saw_recovery(&self) -> bool {
+        self.task_retries() > 0
+            || self.tasks_lost() > 0
+            || self.re_executions() > 0
+            || self.speculative_launches() > 0
+            || self.fallback_events() > 0
+    }
+
     fn dominant(&self) -> Option<&JobMetrics> {
         self.rounds.iter().max_by_key(|r| r.map_output_bytes)
     }
@@ -150,13 +201,13 @@ mod tests {
             reducer_output_bytes: vec![30, 10],
             output_records: 4,
             spilled_bytes: 5,
-            task_retries: 0,
             largest_group_values: 3,
             map_times: vec![1.0, 3.0],
             reduce_times: vec![2.0, 2.0],
             shuffle_seconds: 0.5,
             simulated_seconds: sim,
             wall_seconds: 0.01,
+            ..JobMetrics::default()
         }
     }
 
@@ -193,5 +244,29 @@ mod tests {
         let mut m = sample("j", 0, 1.0);
         m.reducer_output_bytes = vec![0, 0];
         assert_eq!(m.reducer_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn recovery_counters_sum_across_rounds() {
+        let mut run = RunMetrics::default();
+        assert!(!run.saw_recovery());
+        let mut a = sample("a", 100, 5.0);
+        a.task_retries = 2;
+        a.tasks_lost = 1;
+        a.re_executions = 1;
+        a.wasted_seconds = 3.5;
+        let mut b = sample("b", 300, 7.0);
+        b.speculative_launches = 4;
+        b.wasted_seconds = 1.5;
+        b.fallback_events = 1;
+        run.push(a);
+        run.push(b);
+        assert_eq!(run.task_retries(), 2);
+        assert_eq!(run.tasks_lost(), 1);
+        assert_eq!(run.re_executions(), 1);
+        assert_eq!(run.speculative_launches(), 4);
+        assert_eq!(run.wasted_seconds(), 5.0);
+        assert_eq!(run.fallback_events(), 1);
+        assert!(run.saw_recovery());
     }
 }

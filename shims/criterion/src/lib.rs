@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's `harness = false`
+//! benches compiling and runnable: each benchmark executes a short warmup
+//! plus a handful of timed iterations and prints min/mean wall-clock time.
+//! It performs no statistical analysis, outlier detection, or HTML
+//! reporting.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timed iterations per benchmark (after one warmup run).
+const SAMPLES: usize = 3;
+
+/// Entry point handed to benchmark functions by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark("", &id.into(), &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing (ignored) sampling settings.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; sampling is fixed in the shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is fixed in the shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is fixed in the shim.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into(), &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is immediate in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(group: &str, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), warmup: true };
+    f(&mut b); // warmup
+    b.warmup = false;
+    f(&mut b);
+    let label = if group.is_empty() { id.id.clone() } else { format!("{group}/{}", id.id) };
+    if b.samples.is_empty() {
+        println!("bench {label}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "bench {label}: min {:.3} ms, mean {:.3} ms over {} samples",
+        min.as_secs_f64() * 1e3,
+        mean.as_secs_f64() * 1e3,
+        b.samples.len()
+    );
+}
+
+/// Collects timings for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Time the closure over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.warmup {
+            black_box(f());
+            return;
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark identifier (`"name"`, `BenchmarkId::new("name", param)`, or
+/// `BenchmarkId::from_parameter(param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name qualified by a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// Identified by the parameter value alone.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units-processed-per-iteration hint; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).measurement_time(Duration::from_millis(1));
+        group.bench_function("inc", |b| b.iter(|| calls += 1));
+        group.finish();
+        // one warmup iteration + SAMPLES timed iterations
+        assert_eq!(calls as usize, SAMPLES + 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        c.benchmark_group("g").bench_with_input(BenchmarkId::new("f", 42), &21u64, |b, &x| {
+            b.iter(|| seen = x * 2)
+        });
+        assert_eq!(seen, 42);
+    }
+}

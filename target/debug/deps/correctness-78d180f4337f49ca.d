@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-78d180f4337f49ca.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-78d180f4337f49ca: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-103a1223268d9292.d: tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-103a1223268d9292: tests/engine_integration.rs
+
+tests/engine_integration.rs:

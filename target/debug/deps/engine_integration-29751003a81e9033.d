@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_integration-29751003a81e9033.d: tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_integration-29751003a81e9033.rmeta: tests/engine_integration.rs Cargo.toml
+
+tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

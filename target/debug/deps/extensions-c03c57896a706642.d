@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c03c57896a706642.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-c03c57896a706642: tests/extensions.rs
+
+tests/extensions.rs:

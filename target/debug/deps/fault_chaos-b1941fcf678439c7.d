@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_chaos-b1941fcf678439c7.d: tests/fault_chaos.rs
+
+/root/repo/target/debug/deps/fault_chaos-b1941fcf678439c7: tests/fault_chaos.rs
+
+tests/fault_chaos.rs:

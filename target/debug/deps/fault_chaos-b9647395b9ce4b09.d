@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_chaos-b9647395b9ce4b09.d: tests/fault_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_chaos-b9647395b9ce4b09.rmeta: tests/fault_chaos.rs Cargo.toml
+
+tests/fault_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

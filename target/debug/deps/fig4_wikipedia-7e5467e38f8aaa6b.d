@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_wikipedia-7e5467e38f8aaa6b.d: crates/bench/benches/fig4_wikipedia.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_wikipedia-7e5467e38f8aaa6b.rmeta: crates/bench/benches/fig4_wikipedia.rs Cargo.toml
+
+crates/bench/benches/fig4_wikipedia.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_usagov-ee782310c8fafcf4.d: crates/bench/benches/fig5_usagov.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_usagov-ee782310c8fafcf4.rmeta: crates/bench/benches/fig5_usagov.rs Cargo.toml
+
+crates/bench/benches/fig5_usagov.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

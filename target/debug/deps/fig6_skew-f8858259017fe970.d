@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_skew-f8858259017fe970.d: crates/bench/benches/fig6_skew.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_skew-f8858259017fe970.rmeta: crates/bench/benches/fig6_skew.rs Cargo.toml
+
+crates/bench/benches/fig6_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

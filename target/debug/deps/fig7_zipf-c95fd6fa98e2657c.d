@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_zipf-c95fd6fa98e2657c.d: crates/bench/benches/fig7_zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_zipf-c95fd6fa98e2657c.rmeta: crates/bench/benches/fig7_zipf.rs Cargo.toml
+
+crates/bench/benches/fig7_zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_growth-277f4854f00dce5e.d: crates/bench/benches/fig8_growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_growth-277f4854f00dce5e.rmeta: crates/bench/benches/fig8_growth.rs Cargo.toml
+
+crates/bench/benches/fig8_growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-355aa3b3813f9e76.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-355aa3b3813f9e76: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9c683c857bab70e6.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9c683c857bab70e6: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-1fbfc98f878e175a.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-1fbfc98f878e175a: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inspect-586238adc5fa2eb3.d: crates/bench/src/bin/inspect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinspect-586238adc5fa2eb3.rmeta: crates/bench/src/bin/inspect.rs Cargo.toml
+
+crates/bench/src/bin/inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

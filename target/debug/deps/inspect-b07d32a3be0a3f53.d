@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inspect-b07d32a3be0a3f53.d: crates/bench/src/bin/inspect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinspect-b07d32a3be0a3f53.rmeta: crates/bench/src/bin/inspect.rs Cargo.toml
+
+crates/bench/src/bin/inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspect-ce575f5a123cbaa2.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/debug/deps/inspect-ce575f5a123cbaa2: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

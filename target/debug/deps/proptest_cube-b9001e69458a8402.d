@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cube-b9001e69458a8402.d: tests/proptest_cube.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cube-b9001e69458a8402.rmeta: tests/proptest_cube.rs Cargo.toml
+
+tests/proptest_cube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

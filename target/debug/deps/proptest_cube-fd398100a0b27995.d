@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cube-fd398100a0b27995.d: tests/proptest_cube.rs
+
+/root/repo/target/debug/deps/proptest_cube-fd398100a0b27995: tests/proptest_cube.rs
+
+tests/proptest_cube.rs:

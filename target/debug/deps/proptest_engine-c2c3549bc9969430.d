@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_engine-c2c3549bc9969430.d: tests/proptest_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_engine-c2c3549bc9969430.rmeta: tests/proptest_engine.rs Cargo.toml
+
+tests/proptest_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engine-f49c64bd77a51a1a.d: tests/proptest_engine.rs
+
+/root/repo/target/debug/deps/proptest_engine-f49c64bd77a51a1a: tests/proptest_engine.rs
+
+tests/proptest_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sketch_props-1b24e5107f455a57.d: tests/sketch_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsketch_props-1b24e5107f455a57.rmeta: tests/sketch_props.rs Cargo.toml
+
+tests/sketch_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sketch_props-704e194c7fced95a.d: tests/sketch_props.rs
+
+/root/repo/target/debug/deps/sketch_props-704e194c7fced95a: tests/sketch_props.rs
+
+tests/sketch_props.rs:

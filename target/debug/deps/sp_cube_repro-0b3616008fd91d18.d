@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_cube_repro-0b3616008fd91d18.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_cube_repro-0b3616008fd91d18.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

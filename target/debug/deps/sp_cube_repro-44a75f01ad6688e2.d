@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sp_cube_repro-44a75f01ad6688e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsp_cube_repro-44a75f01ad6688e2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsp_cube_repro-44a75f01ad6688e2.rmeta: src/lib.rs
+
+src/lib.rs:

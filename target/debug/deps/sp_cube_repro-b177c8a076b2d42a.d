@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_cube_repro-b177c8a076b2d42a.d: src/lib.rs
+
+/root/repo/target/debug/deps/sp_cube_repro-b177c8a076b2d42a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/spcube-b418d85285ed4e57.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/spcube-b418d85285ed4e57: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

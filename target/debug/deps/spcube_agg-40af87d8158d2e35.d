@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spcube_agg-40af87d8158d2e35.d: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+/root/repo/target/debug/deps/libspcube_agg-40af87d8158d2e35.rlib: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+/root/repo/target/debug/deps/libspcube_agg-40af87d8158d2e35.rmeta: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+crates/agg/src/lib.rs:
+crates/agg/src/output.rs:
+crates/agg/src/spec.rs:
+crates/agg/src/state.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spcube_agg-b2d975c2b3936ce9.d: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_agg-b2d975c2b3936ce9.rmeta: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs Cargo.toml
+
+crates/agg/src/lib.rs:
+crates/agg/src/output.rs:
+crates/agg/src/spec.rs:
+crates/agg/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

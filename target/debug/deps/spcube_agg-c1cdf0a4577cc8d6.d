@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/spcube_agg-c1cdf0a4577cc8d6.d: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+/root/repo/target/debug/deps/spcube_agg-c1cdf0a4577cc8d6: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+crates/agg/src/lib.rs:
+crates/agg/src/output.rs:
+crates/agg/src/spec.rs:
+crates/agg/src/state.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spcube_baselines-2ff3f0b7421ed39e.d: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+/root/repo/target/debug/deps/spcube_baselines-2ff3f0b7421ed39e: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hive.rs:
+crates/baselines/src/mrcube/mod.rs:
+crates/baselines/src/mrcube/jobs.rs:
+crates/baselines/src/mrcube/plan.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/topdown.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spcube_baselines-865ee92534bed1ad.d: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+/root/repo/target/debug/deps/libspcube_baselines-865ee92534bed1ad.rlib: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+/root/repo/target/debug/deps/libspcube_baselines-865ee92534bed1ad.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hive.rs:
+crates/baselines/src/mrcube/mod.rs:
+crates/baselines/src/mrcube/jobs.rs:
+crates/baselines/src/mrcube/plan.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/topdown.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spcube_baselines-bf9960f29bf5abbc.d: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_baselines-bf9960f29bf5abbc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hive.rs:
+crates/baselines/src/mrcube/mod.rs:
+crates/baselines/src/mrcube/jobs.rs:
+crates/baselines/src/mrcube/plan.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/topdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/spcube_common-31cf0c2069afa1b2.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_common-31cf0c2069afa1b2.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/group.rs:
+crates/common/src/io.rs:
+crates/common/src/mask.rs:
+crates/common/src/order.rs:
+crates/common/src/relation.rs:
+crates/common/src/schema.rs:
+crates/common/src/tuple.rs:
+crates/common/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

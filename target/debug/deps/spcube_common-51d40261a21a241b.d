@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spcube_common-51d40261a21a241b.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/spcube_common-51d40261a21a241b: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/group.rs:
+crates/common/src/io.rs:
+crates/common/src/mask.rs:
+crates/common/src/order.rs:
+crates/common/src/relation.rs:
+crates/common/src/schema.rs:
+crates/common/src/tuple.rs:
+crates/common/src/value.rs:

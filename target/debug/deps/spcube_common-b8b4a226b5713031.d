@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/spcube_common-b8b4a226b5713031.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libspcube_common-b8b4a226b5713031.rlib: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libspcube_common-b8b4a226b5713031.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/group.rs:
+crates/common/src/io.rs:
+crates/common/src/mask.rs:
+crates/common/src/order.rs:
+crates/common/src/relation.rs:
+crates/common/src/schema.rs:
+crates/common/src/tuple.rs:
+crates/common/src/value.rs:

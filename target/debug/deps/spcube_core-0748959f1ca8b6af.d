@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spcube_core-0748959f1ca8b6af.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+/root/repo/target/debug/deps/libspcube_core-0748959f1ca8b6af.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+/root/repo/target/debug/deps/libspcube_core-0748959f1ca8b6af.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/sketch/mod.rs:
+crates/core/src/sketch/build.rs:
+crates/core/src/sketch/node.rs:
+crates/core/src/spcube/mod.rs:
+crates/core/src/spcube/job.rs:

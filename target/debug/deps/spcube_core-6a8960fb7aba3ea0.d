@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spcube_core-6a8960fb7aba3ea0.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_core-6a8960fb7aba3ea0.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/sketch/mod.rs:
+crates/core/src/sketch/build.rs:
+crates/core/src/sketch/node.rs:
+crates/core/src/spcube/mod.rs:
+crates/core/src/spcube/job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

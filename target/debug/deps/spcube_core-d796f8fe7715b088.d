@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spcube_core-d796f8fe7715b088.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+/root/repo/target/debug/deps/spcube_core-d796f8fe7715b088: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/sketch/mod.rs:
+crates/core/src/sketch/build.rs:
+crates/core/src/sketch/node.rs:
+crates/core/src/spcube/mod.rs:
+crates/core/src/spcube/job.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spcube_cubealg-22cdd464efb206d5.d: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+/root/repo/target/debug/deps/libspcube_cubealg-22cdd464efb206d5.rlib: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+/root/repo/target/debug/deps/libspcube_cubealg-22cdd464efb206d5.rmeta: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+crates/cubealg/src/lib.rs:
+crates/cubealg/src/buc.rs:
+crates/cubealg/src/cube.rs:
+crates/cubealg/src/naive.rs:
+crates/cubealg/src/pipesort.rs:
+crates/cubealg/src/query.rs:
+crates/cubealg/src/views.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spcube_cubealg-3b27b8fe52d033d1.d: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+/root/repo/target/debug/deps/spcube_cubealg-3b27b8fe52d033d1: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+crates/cubealg/src/lib.rs:
+crates/cubealg/src/buc.rs:
+crates/cubealg/src/cube.rs:
+crates/cubealg/src/naive.rs:
+crates/cubealg/src/pipesort.rs:
+crates/cubealg/src/query.rs:
+crates/cubealg/src/views.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/spcube_cubealg-d3e77e15287e7b8e.d: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_cubealg-d3e77e15287e7b8e.rmeta: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs Cargo.toml
+
+crates/cubealg/src/lib.rs:
+crates/cubealg/src/buc.rs:
+crates/cubealg/src/cube.rs:
+crates/cubealg/src/naive.rs:
+crates/cubealg/src/pipesort.rs:
+crates/cubealg/src/query.rs:
+crates/cubealg/src/views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/spcube_datagen-1370ec42e95f2717.d: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libspcube_datagen-1370ec42e95f2717.rlib: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libspcube_datagen-1370ec42e95f2717.rmeta: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/adversarial.rs:
+crates/datagen/src/binomial.rs:
+crates/datagen/src/real_like.rs:
+crates/datagen/src/retail.rs:
+crates/datagen/src/zipf.rs:

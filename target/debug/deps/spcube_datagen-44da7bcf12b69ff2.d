@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spcube_datagen-44da7bcf12b69ff2.d: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/spcube_datagen-44da7bcf12b69ff2: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/adversarial.rs:
+crates/datagen/src/binomial.rs:
+crates/datagen/src/real_like.rs:
+crates/datagen/src/retail.rs:
+crates/datagen/src/zipf.rs:

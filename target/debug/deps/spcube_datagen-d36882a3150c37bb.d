@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spcube_datagen-d36882a3150c37bb.d: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_datagen-d36882a3150c37bb.rmeta: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/adversarial.rs:
+crates/datagen/src/binomial.rs:
+crates/datagen/src/real_like.rs:
+crates/datagen/src/retail.rs:
+crates/datagen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

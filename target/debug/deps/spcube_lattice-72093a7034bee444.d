@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/spcube_lattice-72093a7034bee444.d: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_lattice-72093a7034bee444.rmeta: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs Cargo.toml
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/anchor.rs:
+crates/lattice/src/bfs.rs:
+crates/lattice/src/cube_lattice.rs:
+crates/lattice/src/tuple_lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

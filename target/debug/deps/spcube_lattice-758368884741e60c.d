@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spcube_lattice-758368884741e60c.d: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+/root/repo/target/debug/deps/spcube_lattice-758368884741e60c: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/anchor.rs:
+crates/lattice/src/bfs.rs:
+crates/lattice/src/cube_lattice.rs:
+crates/lattice/src/tuple_lattice.rs:

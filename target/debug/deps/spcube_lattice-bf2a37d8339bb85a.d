@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/spcube_lattice-bf2a37d8339bb85a.d: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+/root/repo/target/debug/deps/libspcube_lattice-bf2a37d8339bb85a.rlib: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+/root/repo/target/debug/deps/libspcube_lattice-bf2a37d8339bb85a.rmeta: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/anchor.rs:
+crates/lattice/src/bfs.rs:
+crates/lattice/src/cube_lattice.rs:
+crates/lattice/src/tuple_lattice.rs:

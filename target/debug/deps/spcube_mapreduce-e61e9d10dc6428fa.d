@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/spcube_mapreduce-e61e9d10dc6428fa.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/config.rs crates/mapreduce/src/context.rs crates/mapreduce/src/cost.rs crates/mapreduce/src/dfs.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/fault.rs crates/mapreduce/src/job.rs crates/mapreduce/src/metrics.rs crates/mapreduce/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspcube_mapreduce-e61e9d10dc6428fa.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/config.rs crates/mapreduce/src/context.rs crates/mapreduce/src/cost.rs crates/mapreduce/src/dfs.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/fault.rs crates/mapreduce/src/job.rs crates/mapreduce/src/metrics.rs crates/mapreduce/src/partition.rs Cargo.toml
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/config.rs:
+crates/mapreduce/src/context.rs:
+crates/mapreduce/src/cost.rs:
+crates/mapreduce/src/dfs.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/fault.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/metrics.rs:
+crates/mapreduce/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traffic-5c6cc59d6379e60a.d: tests/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic-5c6cc59d6379e60a.rmeta: tests/traffic.rs Cargo.toml
+
+tests/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traffic-9d096933dd4814b1.d: tests/traffic.rs
+
+/root/repo/target/debug/deps/traffic-9d096933dd4814b1: tests/traffic.rs
+
+tests/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_spec-8a5829083f176bc6.d: examples/dbg_spec.rs
+
+/root/repo/target/debug/examples/dbg_spec-8a5829083f176bc6: examples/dbg_spec.rs
+
+examples/dbg_spec.rs:

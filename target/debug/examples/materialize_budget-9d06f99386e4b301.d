@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/materialize_budget-9d06f99386e4b301.d: examples/materialize_budget.rs
+
+/root/repo/target/debug/examples/materialize_budget-9d06f99386e4b301: examples/materialize_budget.rs
+
+examples/materialize_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/materialize_budget-d144f29f75675884.d: examples/materialize_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaterialize_budget-d144f29f75675884.rmeta: examples/materialize_budget.rs Cargo.toml
+
+examples/materialize_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-061b9743367f31ea.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-061b9743367f31ea: examples/quickstart.rs
+
+examples/quickstart.rs:

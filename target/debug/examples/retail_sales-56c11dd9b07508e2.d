@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retail_sales-56c11dd9b07508e2.d: examples/retail_sales.rs
+
+/root/repo/target/debug/examples/retail_sales-56c11dd9b07508e2: examples/retail_sales.rs
+
+examples/retail_sales.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/retail_sales-afda549925d59685.d: examples/retail_sales.rs Cargo.toml
+
+/root/repo/target/debug/examples/libretail_sales-afda549925d59685.rmeta: examples/retail_sales.rs Cargo.toml
+
+examples/retail_sales.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sketch_explorer-d1c3a12a8918bfd9.d: examples/sketch_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsketch_explorer-d1c3a12a8918bfd9.rmeta: examples/sketch_explorer.rs Cargo.toml
+
+examples/sketch_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sketch_explorer-e620efa1ceeb24dd.d: examples/sketch_explorer.rs
+
+/root/repo/target/debug/examples/sketch_explorer-e620efa1ceeb24dd: examples/sketch_explorer.rs
+
+examples/sketch_explorer.rs:

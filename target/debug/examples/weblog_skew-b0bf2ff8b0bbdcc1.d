@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weblog_skew-b0bf2ff8b0bbdcc1.d: examples/weblog_skew.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweblog_skew-b0bf2ff8b0bbdcc1.rmeta: examples/weblog_skew.rs Cargo.toml
+
+examples/weblog_skew.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weblog_skew-c012a588d0e983ca.d: examples/weblog_skew.rs
+
+/root/repo/target/debug/examples/weblog_skew-c012a588d0e983ca: examples/weblog_skew.rs
+
+examples/weblog_skew.rs:

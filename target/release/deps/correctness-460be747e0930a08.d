@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness-460be747e0930a08.d: tests/correctness.rs
+
+/root/repo/target/release/deps/correctness-460be747e0930a08: tests/correctness.rs
+
+tests/correctness.rs:

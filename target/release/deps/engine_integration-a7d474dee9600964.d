@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_integration-a7d474dee9600964.d: tests/engine_integration.rs
+
+/root/repo/target/release/deps/engine_integration-a7d474dee9600964: tests/engine_integration.rs
+
+tests/engine_integration.rs:

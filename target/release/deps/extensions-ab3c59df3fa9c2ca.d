@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-ab3c59df3fa9c2ca.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-ab3c59df3fa9c2ca: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_chaos-108fff499f67334b.d: tests/fault_chaos.rs
+
+/root/repo/target/release/deps/fault_chaos-108fff499f67334b: tests/fault_chaos.rs
+
+tests/fault_chaos.rs:

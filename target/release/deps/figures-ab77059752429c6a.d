@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-ab77059752429c6a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-ab77059752429c6a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inspect-833f1b5645f59144.d: crates/bench/src/bin/inspect.rs
+
+/root/repo/target/release/deps/inspect-833f1b5645f59144: crates/bench/src/bin/inspect.rs
+
+crates/bench/src/bin/inspect.rs:

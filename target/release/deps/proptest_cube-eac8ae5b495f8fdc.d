@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_cube-eac8ae5b495f8fdc.d: tests/proptest_cube.rs
+
+/root/repo/target/release/deps/proptest_cube-eac8ae5b495f8fdc: tests/proptest_cube.rs
+
+tests/proptest_cube.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_engine-a828b2ca2eebc7de.d: tests/proptest_engine.rs
+
+/root/repo/target/release/deps/proptest_engine-a828b2ca2eebc7de: tests/proptest_engine.rs
+
+tests/proptest_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sketch_props-134e85635c1145ee.d: tests/sketch_props.rs
+
+/root/repo/target/release/deps/sketch_props-134e85635c1145ee: tests/sketch_props.rs
+
+tests/sketch_props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sp_cube_repro-b73f2f4c697cbd11.d: src/lib.rs
+
+/root/repo/target/release/deps/libsp_cube_repro-b73f2f4c697cbd11.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsp_cube_repro-b73f2f4c697cbd11.rmeta: src/lib.rs
+
+src/lib.rs:

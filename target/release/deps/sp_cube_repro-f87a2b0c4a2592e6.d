@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sp_cube_repro-f87a2b0c4a2592e6.d: src/lib.rs
+
+/root/repo/target/release/deps/sp_cube_repro-f87a2b0c4a2592e6: src/lib.rs
+
+src/lib.rs:

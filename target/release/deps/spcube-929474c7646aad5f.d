@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/spcube-929474c7646aad5f.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/spcube-929474c7646aad5f: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

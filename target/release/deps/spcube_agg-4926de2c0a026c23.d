@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/spcube_agg-4926de2c0a026c23.d: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+/root/repo/target/release/deps/libspcube_agg-4926de2c0a026c23.rlib: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+/root/repo/target/release/deps/libspcube_agg-4926de2c0a026c23.rmeta: crates/agg/src/lib.rs crates/agg/src/output.rs crates/agg/src/spec.rs crates/agg/src/state.rs
+
+crates/agg/src/lib.rs:
+crates/agg/src/output.rs:
+crates/agg/src/spec.rs:
+crates/agg/src/state.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/spcube_baselines-b605601754d412ee.d: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+/root/repo/target/release/deps/libspcube_baselines-b605601754d412ee.rlib: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+/root/repo/target/release/deps/libspcube_baselines-b605601754d412ee.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hive.rs crates/baselines/src/mrcube/mod.rs crates/baselines/src/mrcube/jobs.rs crates/baselines/src/mrcube/plan.rs crates/baselines/src/naive.rs crates/baselines/src/topdown.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hive.rs:
+crates/baselines/src/mrcube/mod.rs:
+crates/baselines/src/mrcube/jobs.rs:
+crates/baselines/src/mrcube/plan.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/topdown.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/spcube_common-1d3b12c4f27854cc.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libspcube_common-1d3b12c4f27854cc.rlib: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libspcube_common-1d3b12c4f27854cc.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/group.rs crates/common/src/io.rs crates/common/src/mask.rs crates/common/src/order.rs crates/common/src/relation.rs crates/common/src/schema.rs crates/common/src/tuple.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/group.rs:
+crates/common/src/io.rs:
+crates/common/src/mask.rs:
+crates/common/src/order.rs:
+crates/common/src/relation.rs:
+crates/common/src/schema.rs:
+crates/common/src/tuple.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/spcube_core-400af58db07d8cbe.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+/root/repo/target/release/deps/libspcube_core-400af58db07d8cbe.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+/root/repo/target/release/deps/libspcube_core-400af58db07d8cbe.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/sketch/mod.rs crates/core/src/sketch/build.rs crates/core/src/sketch/node.rs crates/core/src/spcube/mod.rs crates/core/src/spcube/job.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/sketch/mod.rs:
+crates/core/src/sketch/build.rs:
+crates/core/src/sketch/node.rs:
+crates/core/src/spcube/mod.rs:
+crates/core/src/spcube/job.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/spcube_cubealg-e93ddaf62b280a68.d: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+/root/repo/target/release/deps/libspcube_cubealg-e93ddaf62b280a68.rlib: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+/root/repo/target/release/deps/libspcube_cubealg-e93ddaf62b280a68.rmeta: crates/cubealg/src/lib.rs crates/cubealg/src/buc.rs crates/cubealg/src/cube.rs crates/cubealg/src/naive.rs crates/cubealg/src/pipesort.rs crates/cubealg/src/query.rs crates/cubealg/src/views.rs
+
+crates/cubealg/src/lib.rs:
+crates/cubealg/src/buc.rs:
+crates/cubealg/src/cube.rs:
+crates/cubealg/src/naive.rs:
+crates/cubealg/src/pipesort.rs:
+crates/cubealg/src/query.rs:
+crates/cubealg/src/views.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/spcube_datagen-4c16b90725182b7b.d: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libspcube_datagen-4c16b90725182b7b.rlib: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libspcube_datagen-4c16b90725182b7b.rmeta: crates/datagen/src/lib.rs crates/datagen/src/adversarial.rs crates/datagen/src/binomial.rs crates/datagen/src/real_like.rs crates/datagen/src/retail.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/adversarial.rs:
+crates/datagen/src/binomial.rs:
+crates/datagen/src/real_like.rs:
+crates/datagen/src/retail.rs:
+crates/datagen/src/zipf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/spcube_lattice-7f1d0e5b0c0ab61e.d: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+/root/repo/target/release/deps/libspcube_lattice-7f1d0e5b0c0ab61e.rlib: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+/root/repo/target/release/deps/libspcube_lattice-7f1d0e5b0c0ab61e.rmeta: crates/lattice/src/lib.rs crates/lattice/src/anchor.rs crates/lattice/src/bfs.rs crates/lattice/src/cube_lattice.rs crates/lattice/src/tuple_lattice.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/anchor.rs:
+crates/lattice/src/bfs.rs:
+crates/lattice/src/cube_lattice.rs:
+crates/lattice/src/tuple_lattice.rs:

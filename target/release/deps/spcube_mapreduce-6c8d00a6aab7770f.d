@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/spcube_mapreduce-6c8d00a6aab7770f.d: crates/mapreduce/src/lib.rs crates/mapreduce/src/config.rs crates/mapreduce/src/context.rs crates/mapreduce/src/cost.rs crates/mapreduce/src/dfs.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/fault.rs crates/mapreduce/src/job.rs crates/mapreduce/src/metrics.rs crates/mapreduce/src/partition.rs
+
+/root/repo/target/release/deps/libspcube_mapreduce-6c8d00a6aab7770f.rlib: crates/mapreduce/src/lib.rs crates/mapreduce/src/config.rs crates/mapreduce/src/context.rs crates/mapreduce/src/cost.rs crates/mapreduce/src/dfs.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/fault.rs crates/mapreduce/src/job.rs crates/mapreduce/src/metrics.rs crates/mapreduce/src/partition.rs
+
+/root/repo/target/release/deps/libspcube_mapreduce-6c8d00a6aab7770f.rmeta: crates/mapreduce/src/lib.rs crates/mapreduce/src/config.rs crates/mapreduce/src/context.rs crates/mapreduce/src/cost.rs crates/mapreduce/src/dfs.rs crates/mapreduce/src/engine.rs crates/mapreduce/src/fault.rs crates/mapreduce/src/job.rs crates/mapreduce/src/metrics.rs crates/mapreduce/src/partition.rs
+
+crates/mapreduce/src/lib.rs:
+crates/mapreduce/src/config.rs:
+crates/mapreduce/src/context.rs:
+crates/mapreduce/src/cost.rs:
+crates/mapreduce/src/dfs.rs:
+crates/mapreduce/src/engine.rs:
+crates/mapreduce/src/fault.rs:
+crates/mapreduce/src/job.rs:
+crates/mapreduce/src/metrics.rs:
+crates/mapreduce/src/partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traffic-0ee455be0c624f0b.d: tests/traffic.rs
+
+/root/repo/target/release/deps/traffic-0ee455be0c624f0b: tests/traffic.rs
+
+tests/traffic.rs:

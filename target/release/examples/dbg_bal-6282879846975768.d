@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_bal-6282879846975768.d: crates/bench/examples/dbg_bal.rs
+
+/root/repo/target/release/examples/dbg_bal-6282879846975768: crates/bench/examples/dbg_bal.rs
+
+crates/bench/examples/dbg_bal.rs:

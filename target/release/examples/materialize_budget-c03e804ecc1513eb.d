@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/materialize_budget-c03e804ecc1513eb.d: examples/materialize_budget.rs
+
+/root/repo/target/release/examples/materialize_budget-c03e804ecc1513eb: examples/materialize_budget.rs
+
+examples/materialize_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0d5e4b35f70667a8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0d5e4b35f70667a8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/retail_sales-872709a2a42976a7.d: examples/retail_sales.rs
+
+/root/repo/target/release/examples/retail_sales-872709a2a42976a7: examples/retail_sales.rs
+
+examples/retail_sales.rs:

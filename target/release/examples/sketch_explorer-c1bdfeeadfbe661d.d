@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sketch_explorer-c1bdfeeadfbe661d.d: examples/sketch_explorer.rs
+
+/root/repo/target/release/examples/sketch_explorer-c1bdfeeadfbe661d: examples/sketch_explorer.rs
+
+examples/sketch_explorer.rs:

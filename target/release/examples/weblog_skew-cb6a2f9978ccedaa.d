@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weblog_skew-cb6a2f9978ccedaa.d: examples/weblog_skew.rs
+
+/root/repo/target/release/examples/weblog_skew-cb6a2f9978ccedaa: examples/weblog_skew.rs
+
+examples/weblog_skew.rs:
