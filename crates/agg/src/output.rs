@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// The finalized value a c-group contributes to the cube.
 ///
 /// Scalar for distributive/algebraic functions; a ranked list for the
@@ -98,6 +97,9 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(AggOutput::Number(2.5).to_string(), "2.5");
-        assert_eq!(AggOutput::TopK(vec![(1.0, 3), (2.0, 1)]).to_string(), "[1x3, 2x1]");
+        assert_eq!(
+            AggOutput::TopK(vec![(1.0, 3), (2.0, 1)]).to_string(),
+            "[1x3, 2x1]"
+        );
     }
 }

@@ -1,6 +1,5 @@
 //! Aggregate function specifications.
 
-
 use crate::state::AggState;
 
 /// Classification of aggregate functions (Gray et al., cited as \[23\] in the
@@ -49,9 +48,7 @@ impl AggSpec {
     /// The function's class.
     pub fn kind(self) -> AggKind {
         match self {
-            AggSpec::Count | AggSpec::Sum | AggSpec::Min | AggSpec::Max => {
-                AggKind::Distributive
-            }
+            AggSpec::Count | AggSpec::Sum | AggSpec::Min | AggSpec::Max => AggKind::Distributive,
             AggSpec::Avg => AggKind::Algebraic,
             AggSpec::TopKFrequent(_) | AggSpec::CountDistinct => AggKind::Holistic,
         }
@@ -121,7 +118,13 @@ mod tests {
 
     #[test]
     fn init_is_identity_for_merge() {
-        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+        ] {
             let mut a = spec.of(5.0);
             let id = spec.init();
             a.merge(&id);

@@ -2,7 +2,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::output::AggOutput;
 
 /// The partial state of an aggregate computation.
@@ -47,7 +46,10 @@ pub enum AggState {
 impl AggState {
     /// Fresh top-k state.
     pub fn new_topk(k: usize) -> AggState {
-        AggState::TopK { k, counts: BTreeMap::new() }
+        AggState::TopK {
+            k,
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Fresh count-distinct state.
@@ -101,10 +103,7 @@ impl AggState {
                     *a = *b;
                 }
             }
-            (
-                AggState::Avg { sum: s1, count: c1 },
-                AggState::Avg { sum: s2, count: c2 },
-            ) => {
+            (AggState::Avg { sum: s1, count: c1 }, AggState::Avg { sum: s2, count: c2 }) => {
                 *s1 += *s2;
                 *c1 += *c2;
             }
@@ -141,7 +140,10 @@ impl AggState {
                 entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
                 entries.truncate(*k);
                 AggOutput::TopK(
-                    entries.into_iter().map(|(bits, n)| (f64::from_bits(bits), n)).collect(),
+                    entries
+                        .into_iter()
+                        .map(|(bits, n)| (f64::from_bits(bits), n))
+                        .collect(),
                 )
             }
             AggState::Distinct(values) => AggOutput::Number(values.len() as f64),
@@ -181,14 +183,26 @@ mod tests {
 
     #[test]
     fn sum_min_max() {
-        assert_eq!(fold(AggSpec::Sum, &[1.0, 2.5]).finalize(), AggOutput::Number(3.5));
-        assert_eq!(fold(AggSpec::Min, &[4.0, -2.0, 9.0]).finalize(), AggOutput::Number(-2.0));
-        assert_eq!(fold(AggSpec::Max, &[4.0, -2.0, 9.0]).finalize(), AggOutput::Number(9.0));
+        assert_eq!(
+            fold(AggSpec::Sum, &[1.0, 2.5]).finalize(),
+            AggOutput::Number(3.5)
+        );
+        assert_eq!(
+            fold(AggSpec::Min, &[4.0, -2.0, 9.0]).finalize(),
+            AggOutput::Number(-2.0)
+        );
+        assert_eq!(
+            fold(AggSpec::Max, &[4.0, -2.0, 9.0]).finalize(),
+            AggOutput::Number(9.0)
+        );
     }
 
     #[test]
     fn avg_divides() {
-        assert_eq!(fold(AggSpec::Avg, &[1.0, 2.0, 6.0]).finalize(), AggOutput::Number(3.0));
+        assert_eq!(
+            fold(AggSpec::Avg, &[1.0, 2.0, 6.0]).finalize(),
+            AggOutput::Number(3.0)
+        );
     }
 
     #[test]
@@ -225,7 +239,13 @@ mod tests {
 
     #[test]
     fn merge_is_commutative() {
-        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+        ] {
             let a0 = fold(spec, &[1.0, 5.0]);
             let b0 = fold(spec, &[2.0]);
             let mut ab = a0.clone();
@@ -240,7 +260,10 @@ mod tests {
     fn count_distinct_counts_unique_values() {
         let s = fold(AggSpec::CountDistinct, &[1.0, 2.0, 2.0, 3.0, 1.0]);
         assert_eq!(s.finalize(), AggOutput::Number(3.0));
-        assert_eq!(AggSpec::CountDistinct.init().finalize(), AggOutput::Number(0.0));
+        assert_eq!(
+            AggSpec::CountDistinct.init().finalize(),
+            AggOutput::Number(0.0)
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ pub struct HiveConfig {
 impl HiveConfig {
     /// Defaults: a table of 4096 entries, no payload attributes.
     pub fn new(agg: AggSpec) -> HiveConfig {
-        HiveConfig { agg, map_hash_entries: 4096, payload_attrs: 0 }
+        HiveConfig {
+            agg,
+            map_hash_entries: 4096,
+            payload_attrs: 0,
+        }
     }
 }
 
@@ -142,11 +146,17 @@ impl MrJob for HiveJob {
 /// buffered group exceeds machine memory — the experiment harness plots
 /// those runs as "got stuck", as the paper does for p ≥ 0.4.
 pub fn hive_cube(rel: &Relation, cluster: &ClusterConfig, cfg: &HiveConfig) -> Result<BaselineRun> {
-    let job = HiveJob { d: rel.arity(), cfg: cfg.clone() };
+    let job = HiveJob {
+        d: rel.arity(),
+        cfg: cfg.clone(),
+    };
     let result = run_job(cluster, &job, rel.tuples(), cluster.machines)?;
     let mut metrics = RunMetrics::default();
     metrics.push(result.metrics.clone());
-    Ok(BaselineRun { cube: Cube::from_pairs(result.into_flat_outputs()), metrics })
+    Ok(BaselineRun {
+        cube: Cube::from_pairs(result.into_flat_outputs()),
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -176,7 +186,11 @@ mod tests {
         let cluster = ClusterConfig::new(4, 200);
         let run = hive_cube(&r, &cluster, &HiveConfig::new(AggSpec::Count)).unwrap();
         let expect = naive_cube(&r, AggSpec::Count);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
     }
 
     #[test]
@@ -186,7 +200,11 @@ mod tests {
         let r = uniform_rel(2000);
         let cluster = ClusterConfig::new(4, 100).with_memory_bytes(4096);
         // Tiny table to force raw leakage of other keys.
-        let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 8, payload_attrs: 0 };
+        let cfg = HiveConfig {
+            agg: AggSpec::Count,
+            map_hash_entries: 8,
+            payload_attrs: 0,
+        };
         let run = hive_cube(&r, &cluster, &cfg);
         // Whether or not it survives, the job must not die because of the
         // apex. With uniform data the largest leaked group is small, so the
@@ -217,7 +235,11 @@ mod tests {
             r.push_row(dims, 1.0);
         }
         let cluster = ClusterConfig::new(4, 100).with_memory_bytes(2048);
-        let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 64, payload_attrs: 0 };
+        let cfg = HiveConfig {
+            agg: AggSpec::Count,
+            map_hash_entries: 64,
+            payload_attrs: 0,
+        };
         let err = hive_cube(&r, &cluster, &cfg).unwrap_err();
         assert!(matches!(err, Error::OutOfMemory { .. }), "{err}");
     }
@@ -228,8 +250,15 @@ mod tests {
         // leak raw: intermediate data stays near n * 2^d records.
         let r = uniform_rel(4000);
         let cluster = ClusterConfig::new(4, 1000);
-        let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 256, payload_attrs: 0 };
+        let cfg = HiveConfig {
+            agg: AggSpec::Count,
+            map_hash_entries: 256,
+            payload_attrs: 0,
+        };
         let run = hive_cube(&r, &cluster, &cfg).unwrap();
-        assert!(run.metrics.map_output_records() > 4000, "most rows should leak");
+        assert!(
+            run.metrics.map_output_records() > 4000,
+            "most rows should leak"
+        );
     }
 }

@@ -45,7 +45,13 @@ impl<'a> CubeJob<'a> {
         combiner: bool,
         memory_bytes: u64,
     ) -> CubeJob<'a> {
-        CubeJob { spec, masks, pf, combiner, memory_bytes }
+        CubeJob {
+            spec,
+            masks,
+            pf,
+            combiner,
+            memory_bytes,
+        }
     }
 
     fn pf_of(&self, mask: Mask) -> usize {
@@ -73,7 +79,10 @@ impl MrJob for CubeJob<'_> {
                 let pf = self.pf_of(mask);
                 let vp = if pf > 1 { (counter % pf) as u16 } else { 0 };
                 ctx.emit(
-                    CubeKey { group: Group::of_tuple(t, mask), vp },
+                    CubeKey {
+                        group: Group::of_tuple(t, mask),
+                        vp,
+                    },
                     self.spec.of(t.measure),
                 );
             }

@@ -54,7 +54,12 @@ pub struct MrCubeConfig {
 impl MrCubeConfig {
     /// Pig-like defaults.
     pub fn new(agg: AggSpec) -> MrCubeConfig {
-        MrCubeConfig { agg, seed: 0x9156_cafe, combiner: true, max_repartition_rounds: 4 }
+        MrCubeConfig {
+            agg,
+            seed: 0x9156_cafe,
+            combiner: true,
+            max_repartition_rounds: 4,
+        }
     }
 }
 
@@ -69,8 +74,7 @@ pub fn mr_cube(rel: &Relation, cluster: &ClusterConfig, cfg: &MrCubeConfig) -> R
 
     // Cube round(s): start with the planned partition factors; re-run
     // aborted cuboids with doubled factors until clean or out of budget.
-    let mut pf: HashMap<Mask, usize> =
-        Mask::full(d).subsets().map(|m| (m, ann.pf_of(m))).collect();
+    let mut pf: HashMap<Mask, usize> = Mask::full(d).subsets().map(|m| (m, ann.pf_of(m))).collect();
     let mut pending: Vec<Mask> = Mask::full(d).subsets().collect();
     let mut finals: Vec<(Group, AggOutput)> = Vec::new();
     let mut partials: Vec<(Group, AggState)> = Vec::new();
@@ -109,10 +113,14 @@ pub fn mr_cube(rel: &Relation, cluster: &ClusterConfig, cfg: &MrCubeConfig) -> R
             // group, and recursively splits", Section 1).
             rounds_left -= 1;
             finals.extend(
-                round_finals.into_iter().filter(|(g, _)| !overflowed.contains(&g.mask)),
+                round_finals
+                    .into_iter()
+                    .filter(|(g, _)| !overflowed.contains(&g.mask)),
             );
             partials.extend(
-                round_partials.into_iter().filter(|(g, _)| !overflowed.contains(&g.mask)),
+                round_partials
+                    .into_iter()
+                    .filter(|(g, _)| !overflowed.contains(&g.mask)),
             );
             for m in &overflowed {
                 let e = pf.get_mut(m).expect("pf for every mask");
@@ -133,7 +141,10 @@ pub fn mr_cube(rel: &Relation, cluster: &ClusterConfig, cfg: &MrCubeConfig) -> R
         }));
     }
 
-    Ok(BaselineRun { cube: Cube::from_pairs(finals), metrics })
+    Ok(BaselineRun {
+        cube: Cube::from_pairs(finals),
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +176,11 @@ mod tests {
         let cluster = ClusterConfig::new(5, 150);
         let run = mr_cube(&r, &cluster, &MrCubeConfig::new(AggSpec::Count)).unwrap();
         let expect = naive_cube(&r, AggSpec::Count);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
     }
 
     #[test]
@@ -175,7 +190,11 @@ mod tests {
         for agg in [AggSpec::Count, AggSpec::Sum, AggSpec::Avg] {
             let run = mr_cube(&r, &cluster, &MrCubeConfig::new(agg)).unwrap();
             let expect = naive_cube(&r, agg);
-            assert!(run.cube.approx_eq(&expect, 1e-9), "{agg:?}: {:?}", run.cube.diff(&expect, 1e-9, 5));
+            assert!(
+                run.cube.approx_eq(&expect, 1e-9),
+                "{agg:?}: {:?}",
+                run.cube.diff(&expect, 1e-9, 5)
+            );
         }
     }
 
@@ -190,9 +209,8 @@ mod tests {
         // The apex cuboid is unfriendly in both runs (n > m), so both get a
         // merge round — but skew drags far more cuboids into value
         // partitioning, so the skewed merge round is much bigger.
-        let merge_records = |run: &BaselineRun| {
-            run.metrics.rounds.last().map_or(0, |r| r.input_records)
-        };
+        let merge_records =
+            |run: &BaselineRun| run.metrics.rounds.last().map_or(0, |r| r.input_records);
         assert!(
             merge_records(&run_skewed) > 2 * merge_records(&run_flat),
             "skewed merge {} vs flat merge {}",
@@ -225,9 +243,17 @@ mod tests {
         // is only discovered at runtime.
         let run = mr_cube(&r, &cluster, &cfg).unwrap();
         let expect = naive_cube(&r, AggSpec::Count);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
         // annotate + first cube round + ≥1 repartition round (+ merge).
-        assert!(run.metrics.round_count() >= 4, "rounds: {}", run.metrics.round_count());
+        assert!(
+            run.metrics.round_count() >= 4,
+            "rounds: {}",
+            run.metrics.round_count()
+        );
     }
 
     #[test]

@@ -57,7 +57,14 @@ pub(super) fn annotate(
     // borderline group.
     let alpha = (((n * k).max(2) as f64).ln() / m as f64).clamp(0.0, 1.0);
     let beta = ((n * k).max(2) as f64).ln();
-    let job = AnnotateJob { d: rel.arity(), k, m, alpha, beta, seed: cfg.seed };
+    let job = AnnotateJob {
+        d: rel.arity(),
+        k,
+        m,
+        alpha,
+        beta,
+        seed: cfg.seed,
+    };
     let mut result = run_job(cluster, &job, rel.tuples(), 1)?;
     let ann = result
         .outputs
@@ -120,8 +127,7 @@ impl MrJob for AnnotateJob {
         for (mask, count) in max_count {
             let estimated = count as f64 / self.alpha.max(f64::MIN_POSITIVE);
             if estimated > self.m as f64 {
-                let pf = ((estimated / self.m as f64).ceil() as usize + 1)
-                    .clamp(2, self.k.max(2));
+                let pf = ((estimated / self.m as f64).ceil() as usize + 1).clamp(2, self.k.max(2));
                 ann.set_pf(mask, pf);
             }
         }
@@ -184,10 +190,16 @@ mod tests {
         let cluster = ClusterConfig::new(10, 500); // m = 500 << 5000
         let cfg = MrCubeConfig::new(AggSpec::Count);
         let (ann, _metrics) = annotate(&r, &cluster, &cfg).unwrap();
-        assert!(ann.pf_of(Mask::EMPTY) >= 2, "apex cuboid must be unfriendly");
+        assert!(
+            ann.pf_of(Mask::EMPTY) >= 2,
+            "apex cuboid must be unfriendly"
+        );
         assert!(ann.pf_of(Mask(0b01)) >= 2);
         assert!(ann.pf_of(Mask(0b10)) >= 2);
-        assert!(ann.pf_of(Mask(0b11)) >= 2, "the (1,1) group is half the data");
+        assert!(
+            ann.pf_of(Mask(0b11)) >= 2,
+            "the (1,1) group is half the data"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl MrJob for NaiveJob {
         }
     }
 
-    fn reduce(&self, ctx: &mut ReduceContext<'_, (Group, AggOutput)>, key: Group, values: Vec<f64>) {
+    fn reduce(
+        &self,
+        ctx: &mut ReduceContext<'_, (Group, AggOutput)>,
+        key: Group,
+        values: Vec<f64>,
+    ) {
         let mut state = self.spec.init();
         for v in &values {
             state.update(*v);
@@ -70,12 +75,22 @@ impl MrJob for NaiveJob {
 }
 
 /// Run the naive cube (Algorithm 1) on the simulated cluster.
-pub fn naive_mr_cube(rel: &Relation, cluster: &ClusterConfig, spec: AggSpec) -> Result<BaselineRun> {
-    let job = NaiveJob { d: rel.arity(), spec };
+pub fn naive_mr_cube(
+    rel: &Relation,
+    cluster: &ClusterConfig,
+    spec: AggSpec,
+) -> Result<BaselineRun> {
+    let job = NaiveJob {
+        d: rel.arity(),
+        spec,
+    };
     let result = run_job(cluster, &job, rel.tuples(), cluster.machines)?;
     let mut metrics = RunMetrics::default();
     metrics.push(result.metrics.clone());
-    Ok(BaselineRun { cube: Cube::from_pairs(result.into_flat_outputs()), metrics })
+    Ok(BaselineRun {
+        cube: Cube::from_pairs(result.into_flat_outputs()),
+        metrics,
+    })
 }
 
 #[cfg(test)]

@@ -20,9 +20,7 @@
 use spcube_agg::{AggOutput, AggSpec, AggState};
 use spcube_common::{Group, Mask, Relation, Result, Tuple};
 use spcube_cubealg::Cube;
-use spcube_mapreduce::{
-    run_job, ClusterConfig, MapContext, MrJob, ReduceContext, RunMetrics,
-};
+use spcube_mapreduce::{run_job, ClusterConfig, MapContext, MrJob, ReduceContext, RunMetrics};
 
 use crate::BaselineRun;
 
@@ -30,7 +28,9 @@ use crate::BaselineRun;
 /// dimension not in the child. (PipeSort optimizes this choice with sort
 /// orders; the lowest-dimension rule keeps the same round structure.)
 fn chosen_parent(child: Mask, d: usize) -> Mask {
-    let missing = (0..d).find(|&i| !child.contains(i)).expect("child is not the full cuboid");
+    let missing = (0..d)
+        .find(|&i| !child.contains(i))
+        .expect("child is not the full cuboid");
     child.with(missing)
 }
 
@@ -71,7 +71,12 @@ impl MrJob for FullCuboidJob {
         values.push(merged);
     }
 
-    fn reduce(&self, ctx: &mut ReduceContext<'_, (Group, AggState)>, key: Group, values: Vec<AggState>) {
+    fn reduce(
+        &self,
+        ctx: &mut ReduceContext<'_, (Group, AggState)>,
+        key: Group,
+        values: Vec<AggState>,
+    ) {
         let mut merged = self.spec.init();
         for v in &values {
             merged.merge(v);
@@ -136,7 +141,12 @@ impl MrJob for LevelJob {
         values.push(merged);
     }
 
-    fn reduce(&self, ctx: &mut ReduceContext<'_, (Group, AggState)>, key: Group, values: Vec<AggState>) {
+    fn reduce(
+        &self,
+        ctx: &mut ReduceContext<'_, (Group, AggState)>,
+        key: Group,
+        values: Vec<AggState>,
+    ) {
         let mut merged = self.spec.init();
         for v in &values {
             merged.merge(v);
@@ -159,12 +169,21 @@ impl MrJob for LevelJob {
 }
 
 /// Run the top-down cube: `d + 1` MapReduce rounds.
-pub fn top_down_cube(rel: &Relation, cluster: &ClusterConfig, spec: AggSpec) -> Result<BaselineRun> {
+pub fn top_down_cube(
+    rel: &Relation,
+    cluster: &ClusterConfig,
+    spec: AggSpec,
+) -> Result<BaselineRun> {
     let d = rel.arity();
     let mut metrics = RunMetrics::default();
     let mut cube_pairs: Vec<(Group, AggOutput)> = Vec::new();
 
-    let full = run_job(cluster, &FullCuboidJob { d, spec }, rel.tuples(), cluster.machines)?;
+    let full = run_job(
+        cluster,
+        &FullCuboidJob { d, spec },
+        rel.tuples(),
+        cluster.machines,
+    )?;
     metrics.push(full.metrics.clone());
     let mut level: Vec<(Group, AggState)> = full.into_flat_outputs();
     cube_pairs.extend(level.iter().map(|(g, s)| (g.clone(), s.finalize())));
@@ -177,7 +196,10 @@ pub fn top_down_cube(rel: &Relation, cluster: &ClusterConfig, spec: AggSpec) -> 
         cube_pairs.extend(level.iter().map(|(g, s)| (g.clone(), s.finalize())));
     }
 
-    Ok(BaselineRun { cube: Cube::from_pairs(cube_pairs), metrics })
+    Ok(BaselineRun {
+        cube: Cube::from_pairs(cube_pairs),
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -221,7 +243,12 @@ mod tests {
     fn matches_reference() {
         let r = rel(1200, 3);
         let cluster = ClusterConfig::new(5, 200);
-        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Avg, AggSpec::CountDistinct] {
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Avg,
+            AggSpec::CountDistinct,
+        ] {
             let run = top_down_cube(&r, &cluster, spec).unwrap();
             let expect = naive_cube(&r, spec);
             assert!(

@@ -37,8 +37,12 @@ fn bench_sequential_cube(c: &mut Criterion) {
             count
         })
     });
-    group.bench_function("pipesort", |b| b.iter(|| pipesort(&rel, AggSpec::Count).len()));
-    group.bench_function("naive_hash", |b| b.iter(|| naive_cube(&rel, AggSpec::Count).len()));
+    group.bench_function("pipesort", |b| {
+        b.iter(|| pipesort(&rel, AggSpec::Count).len())
+    });
+    group.bench_function("naive_hash", |b| {
+        b.iter(|| naive_cube(&rel, AggSpec::Count).len())
+    });
     group.finish();
 }
 
@@ -54,7 +58,10 @@ fn bench_sketch_build(c: &mut Criterion) {
     });
     group.bench_function("sampled_algorithm2", |b| {
         b.iter(|| {
-            build_sampled_sketch(&rel, &cluster, &SketchConfig::default()).unwrap().0.skew_count()
+            build_sampled_sketch(&rel, &cluster, &SketchConfig::default())
+                .unwrap()
+                .0
+                .skew_count()
         })
     });
     group.finish();
@@ -86,7 +93,10 @@ fn bench_lattice(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("project_all", d), &d, |b, _| {
             b.iter(|| {
-                bfs.order().iter().map(|&m| Group::of_tuple(&t, m).key.len()).sum::<usize>()
+                bfs.order()
+                    .iter()
+                    .map(|&m| Group::of_tuple(&t, m).key.len())
+                    .sum::<usize>()
             })
         });
     }
@@ -144,7 +154,12 @@ fn bench_engine_round(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.throughput(Throughput::Elements(inputs.len() as u64));
     group.bench_function("round_200k_records", |b| {
-        b.iter(|| run_job(&cluster, &Ident, &inputs, 20).unwrap().metrics.map_output_records)
+        b.iter(|| {
+            run_job(&cluster, &Ident, &inputs, 20)
+                .unwrap()
+                .metrics
+                .map_output_records
+        })
     });
     group.finish();
 }

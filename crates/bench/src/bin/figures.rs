@@ -5,7 +5,8 @@
 //! cargo run --release -p spcube-bench --bin figures -- fig6 --size 4 --out bench_results
 //! ```
 //!
-//! Experiments: fig4 fig5 fig6 fig7 fig8 naive traffic balance ablations rounds all.
+//! Experiments: fig4 fig5 fig6 fig7 fig8 naive traffic balance ablations
+//! rounds serve all.
 //! CSV series land in the output directory (default `bench_results/`).
 
 use spcube_bench::experiments::{self, ExpConfig};
@@ -26,7 +27,10 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                cfg.out_dir = args.get(i).map(Into::into).unwrap_or_else(|| die("--out needs a path"));
+                cfg.out_dir = args
+                    .get(i)
+                    .map(Into::into)
+                    .unwrap_or_else(|| die("--out needs a path"));
             }
             "--quiet" => cfg.verbose = false,
             name if !name.starts_with('-') => names.push(name.to_string()),
@@ -51,12 +55,16 @@ fn main() {
             "balance" => drop(experiments::balance(&cfg)),
             "ablations" => drop(experiments::ablations(&cfg)),
             "rounds" => drop(experiments::rounds(&cfg)),
+            "serve" => drop(experiments::serve_bench(&cfg)),
             "all" => experiments::all(&cfg),
             other => die(&format!(
-                "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, all)"
+                "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, serve, all)"
             )),
         }
-        eprintln!("[{name}] finished in {:.1}s wall", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name}] finished in {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
     }
 }
 

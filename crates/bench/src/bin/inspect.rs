@@ -58,8 +58,15 @@ fn main() {
     let run = SpCube::run_on(&rel, &cluster, &cfg, &dfs).expect("run failed");
     let round = run.metrics.rounds.last().unwrap();
 
-    println!("dataset {dataset}, n = {n}, k = {k}, m = {}", cluster.skew_threshold());
-    println!("sketch: {} skewed groups, {} bytes", run.sketch.skew_count(), run.sketch_bytes);
+    println!(
+        "dataset {dataset}, n = {n}, k = {k}, m = {}",
+        cluster.skew_threshold()
+    );
+    println!(
+        "sketch: {} skewed groups, {} bytes",
+        run.sketch.skew_count(),
+        run.sketch_bytes
+    );
     let m = &run.metrics;
     println!(
         "recovery: {} retries, {} tasks lost, {} re-executions, {} speculative, {:.3}s wasted",

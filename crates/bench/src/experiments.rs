@@ -33,7 +33,11 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { size_factor: 1.0, out_dir: PathBuf::from("bench_results"), verbose: true }
+        ExpConfig {
+            size_factor: 1.0,
+            out_dir: PathBuf::from("bench_results"),
+            verbose: true,
+        }
     }
 }
 
@@ -84,7 +88,14 @@ pub fn fig4(cfg: &ExpConfig) -> Vec<Measurement> {
         // Skew threshold n/100: the planted 4–30 % groups are all skewed.
         let cluster = cluster_for(base, n / 100, paper_max);
         let x = (n as f64 / base as f64) * paper_max / 1e6;
-        let w = Workload { label: "wikipedia".into(), x, rel, cluster, hive_entries: 4096, hive_payload: 0 };
+        let w = Workload {
+            label: "wikipedia".into(),
+            x,
+            rel,
+            cluster,
+            hive_entries: 4096,
+            hive_payload: 0,
+        };
         for algo in Algo::paper_trio() {
             rows.push(run_algo(algo, &w, AggSpec::Count));
         }
@@ -109,7 +120,14 @@ pub fn fig5(cfg: &ExpConfig) -> Vec<Measurement> {
         let x = (n as f64 / base as f64) * paper_max / 1e6;
         // USAGOV rows carry 15 attributes, 4 of them cubed: Hive's
         // grouping-set expansion materializes all 15 per expanded row.
-        let w = Workload { label: "usagov".into(), x, rel, cluster, hive_entries: 4096, hive_payload: 11 };
+        let w = Workload {
+            label: "usagov".into(),
+            x,
+            rel,
+            cluster,
+            hive_entries: 4096,
+            hive_payload: 11,
+        };
         for algo in Algo::paper_trio() {
             rows.push(run_algo(algo, &w, AggSpec::Count));
         }
@@ -132,8 +150,7 @@ pub fn fig6(cfg: &ExpConfig) -> Vec<Measurement> {
         // Threshold n/500: each planted pattern (p·n/20 tuples) is skewed
         // from p = 0.05 up. Memory bytes calibrated so the Hive baseline's
         // leaked hot groups cross it around p = 0.4 (see hive.rs).
-        let cluster = cluster_for(n, n / 500, paper_n)
-            .with_memory_bytes((n as u64 / 500) * 64);
+        let cluster = cluster_for(n, n / 500, paper_n).with_memory_bytes((n as u64 / 500) * 64);
         let w = Workload {
             label: "gen-binomial".into(),
             x: p_pct as f64,
@@ -162,7 +179,14 @@ pub fn fig7(cfg: &ExpConfig) -> Vec<Measurement> {
         let rel = datagen::gen_zipf(n, 4, 0x21f);
         let cluster = cluster_for(base, n / K, paper_max);
         let x = (n as f64 / base as f64) * paper_max / 1e6;
-        let w = Workload { label: "gen-zipf".into(), x, rel, cluster, hive_entries: 4096, hive_payload: 0 };
+        let w = Workload {
+            label: "gen-zipf".into(),
+            x,
+            rel,
+            cluster,
+            hive_entries: 4096,
+            hive_payload: 0,
+        };
         for algo in Algo::paper_trio() {
             rows.push(run_algo(algo, &w, AggSpec::Count));
         }
@@ -181,10 +205,17 @@ pub fn fig8(cfg: &ExpConfig) -> Vec<Measurement> {
     for frac in [16usize, 4, 1] {
         let n = base / frac;
         let rel = datagen::gen_binomial(n, 4, 0.1, 0xb8);
-        let cluster = cluster_for(base, n / 500, paper_max)
-            .with_memory_bytes((n as u64 / 500) * 64);
+        let cluster =
+            cluster_for(base, n / 500, paper_max).with_memory_bytes((n as u64 / 500) * 64);
         let x = (n as f64 / base as f64) * paper_max / 1e6;
-        let w = Workload { label: "gen-binomial-p01".into(), x, rel, cluster, hive_entries: 256, hive_payload: 0 };
+        let w = Workload {
+            label: "gen-binomial-p01".into(),
+            x,
+            rel,
+            cluster,
+            hive_entries: 256,
+            hive_payload: 0,
+        };
         for algo in Algo::paper_trio() {
             rows.push(run_algo(algo, &w, AggSpec::Count));
         }
@@ -204,7 +235,14 @@ pub fn naive_traffic(cfg: &ExpConfig) -> Vec<Measurement> {
         let rel = datagen::gen_zipf(n, 4, 0x3aa);
         let cluster = cluster_for(base, n / K, 150e6);
         let x = n as f64 / 1e6;
-        let w = Workload { label: "gen-zipf".into(), x, rel, cluster, hive_entries: 4096, hive_payload: 0 };
+        let w = Workload {
+            label: "gen-zipf".into(),
+            x,
+            rel,
+            cluster,
+            hive_entries: 4096,
+            hive_payload: 0,
+        };
         rows.push(run_algo(Algo::Naive, &w, AggSpec::Count));
         rows.push(run_algo(Algo::SpCube, &w, AggSpec::Count));
         assert_agreement(&rows, x);
@@ -266,8 +304,10 @@ pub fn balance(cfg: &ExpConfig) -> Vec<Measurement> {
         hive_entries: 4096,
         hive_payload: 0,
     };
-    let mut rows: Vec<Measurement> =
-        [Algo::SpCube, Algo::Pig, Algo::Naive].iter().map(|&a| run_algo(a, &w, AggSpec::Count)).collect();
+    let mut rows: Vec<Measurement> = [Algo::SpCube, Algo::Pig, Algo::Naive]
+        .iter()
+        .map(|&a| run_algo(a, &w, AggSpec::Count))
+        .collect();
 
     // The same SP-Cube run on a chaotic cluster: one machine dies in each
     // phase, 5% of attempts fail, 10% of tasks straggle with speculative
@@ -380,12 +420,100 @@ pub fn ablations(cfg: &ExpConfig) -> Vec<Measurement> {
             speculative_launches: run.metrics.speculative_launches(),
             wasted_seconds: run.metrics.wasted_seconds(),
             fallback_events: run.metrics.fallback_events(),
+            qps: None,
+            p50_us: None,
+            p99_us: None,
+            cache_hit_rate: None,
         });
     }
     // All variants must produce the same cube.
     let sizes: Vec<usize> = rows.iter().map(|m| m.cube_groups).collect();
-    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "ablations disagree: {sizes:?}");
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "ablations disagree: {sizes:?}"
+    );
     cfg.emit("ablations", &rows);
+    rows
+}
+
+/// Query-serving benchmark (tentpole read path): build a cube with
+/// SP-Cube, persist it to the columnar CubeStore, then serve Zipf-skewed
+/// query workloads of two skews through the concurrent [`CubeServer`] and
+/// report QPS, p50/p99 latency, and segment-cache hit rate per skew. The
+/// skewed workload concentrates on a few hot cuboids, so its cache hit
+/// rate must be at least as good as the near-uniform one's.
+///
+/// [`CubeServer`]: spcube_cubestore::CubeServer
+pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
+    use std::sync::Arc;
+
+    use spcube_core::{SpCube, SpCubeConfig};
+    use spcube_cubestore::{BlobStore, CubeStore};
+    use spcube_mapreduce::Dfs;
+
+    use crate::serving::{run_serving, ServeBenchConfig};
+
+    let n = cfg.scaled(20_000);
+    let rel = datagen::gen_zipf(n, 4, 0x5e7);
+    let cluster = cluster_for(n, n / K, 150e6);
+    let dfs = Arc::new(Dfs::new());
+    let stored = SpCube::run_and_store(
+        &rel,
+        &cluster,
+        &SpCubeConfig::new(AggSpec::Count),
+        &dfs,
+        "serve",
+    )
+    .expect("build+store failed");
+    let store = Arc::new(
+        CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "serve")
+            .expect("store open failed")
+            .with_recovery(rel.clone())
+            .with_cache_capacity(4),
+    );
+
+    let queries = n.clamp(1_000, 8_000);
+    let serve_cfg = ServeBenchConfig::default();
+    let mut rows = Vec::new();
+    for skew in [0.5f64, 1.5] {
+        let workload = datagen::gen_query_workload(&rel, queries, skew, 0x9e + skew as u64);
+        let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
+        rows.push(Measurement {
+            algo: if skew < 1.0 {
+                "Serve/near-uniform"
+            } else {
+                "Serve/skewed"
+            },
+            x: skew,
+            total_seconds: Some(0.0),
+            avg_map_seconds: 0.0,
+            avg_reduce_seconds: 0.0,
+            map_output_mb: 0.0,
+            sketch_kb: None,
+            rounds: stored.run.metrics.round_count(),
+            spilled_mb: 0.0,
+            imbalance: 1.0,
+            cube_groups: stored.run.cube.len(),
+            wall_seconds: report.served as f64 / report.qps.max(f64::MIN_POSITIVE),
+            task_retries: 0,
+            tasks_lost: 0,
+            re_executions: 0,
+            speculative_launches: 0,
+            wasted_seconds: 0.0,
+            fallback_events: 0,
+            qps: Some(report.qps),
+            p50_us: Some(report.p50_us),
+            p99_us: Some(report.p99_us),
+            cache_hit_rate: Some(report.cache_hit_rate),
+        });
+    }
+    let uniform_hit = rows[0].cache_hit_rate.unwrap();
+    let skewed_hit = rows[1].cache_hit_rate.unwrap();
+    assert!(
+        skewed_hit >= uniform_hit - 1e-9,
+        "skewed workload should cache at least as well: uniform {uniform_hit:.3} vs skewed {skewed_hit:.3}"
+    );
+    cfg.emit("serve_bench", &rows);
     rows
 }
 
@@ -401,4 +529,5 @@ pub fn all(cfg: &ExpConfig) {
     balance(cfg);
     ablations(cfg);
     rounds(cfg);
+    serve_bench(cfg);
 }

@@ -18,6 +18,8 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod serving;
 
 pub use report::{write_csv, Table};
 pub use runner::{run_algo, Algo, Measurement, Workload};
+pub use serving::{run_serving, ServeBenchConfig, ServingReport};

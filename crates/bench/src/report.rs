@@ -20,12 +20,15 @@ impl<'a> Table<'a> {
         Table { title, rows }
     }
 
-    /// Render as an aligned text table (what `figures` prints).
+    /// Render as an aligned text table (what `figures` prints). When any
+    /// row carries serving metrics (serve-bench), the serving columns —
+    /// QPS, p50/p99 latency, cache hit rate — are appended on the right.
     pub fn render(&self) -> String {
+        let serving = self.rows.iter().any(|m| m.qps.is_some());
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         out.push_str(&format!(
-            "{:<10} {:>9} {:>11} {:>10} {:>12} {:>12} {:>11} {:>7} {:>10} {:>9} {:>8} {:>7} {:>7} {:>6} {:>9} {:>6}\n",
+            "{:<10} {:>9} {:>11} {:>10} {:>12} {:>12} {:>11} {:>7} {:>10} {:>9} {:>8} {:>7} {:>7} {:>6} {:>9} {:>6}",
             "algo",
             "x",
             "total_s",
@@ -43,6 +46,16 @@ impl<'a> Table<'a> {
             "wasted_s",
             "fallbk"
         ));
+        if serving {
+            out.push_str(&format!(
+                " {:>10} {:>9} {:>9} {:>8}",
+                "qps", "p50_us", "p99_us", "hit_rate"
+            ));
+        }
+        out.push('\n');
+        let opt = |v: Option<f64>, prec: usize| {
+            v.map_or_else(|| "-".to_string(), |x| format!("{x:.prec$}"))
+        };
         for m in self.rows {
             let total = m
                 .total_seconds
@@ -51,7 +64,7 @@ impl<'a> Table<'a> {
                 .sketch_kb
                 .map_or_else(|| "-".to_string(), |kb| format!("{kb:.1}"));
             out.push_str(&format!(
-                "{:<10} {:>9.3} {:>11} {:>10.2} {:>12.2} {:>12.2} {:>11} {:>7} {:>10.2} {:>9.2} {:>8} {:>7} {:>7} {:>6} {:>9.2} {:>6}\n",
+                "{:<10} {:>9.3} {:>11} {:>10.2} {:>12.2} {:>12.2} {:>11} {:>7} {:>10.2} {:>9.2} {:>8} {:>7} {:>7} {:>6} {:>9.2} {:>6}",
                 m.algo,
                 m.x,
                 total,
@@ -69,15 +82,28 @@ impl<'a> Table<'a> {
                 m.wasted_seconds,
                 m.fallback_events,
             ));
+            if serving {
+                out.push_str(&format!(
+                    " {:>10} {:>9} {:>9} {:>8}",
+                    opt(m.qps, 0),
+                    opt(m.p50_us, 1),
+                    opt(m.p99_us, 1),
+                    opt(m.cache_hit_rate, 3),
+                ));
+            }
+            out.push('\n');
         }
         out
     }
 }
 
-/// CSV header used for every experiment file.
+/// CSV header used for every experiment file. The serving columns (QPS,
+/// latency percentiles, cache hit rate) are empty for build-side rows and
+/// populated by the serve-bench experiment.
 pub const CSV_HEADER: &str = "experiment,algo,x,total_seconds,avg_map_seconds,avg_reduce_seconds,\
 map_output_mb,sketch_kb,rounds,spilled_mb,imbalance,cube_groups,wall_seconds,\
-task_retries,tasks_lost,re_executions,speculative_launches,wasted_seconds,fallback_events";
+task_retries,tasks_lost,re_executions,speculative_launches,wasted_seconds,fallback_events,\
+qps,p50_us,p99_us,cache_hit_rate";
 
 /// Append measurements of one experiment to a CSV file (with header when
 /// the file is new).
@@ -97,10 +123,11 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
     if fresh {
         writeln!(f, "{CSV_HEADER}").map_err(wrap)?;
     }
+    let opt = |v: Option<f64>| v.map_or_else(String::new, |x| format!("{x:.3}"));
     for m in rows {
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{}",
+            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{}",
             experiment,
             m.algo,
             m.x,
@@ -120,6 +147,10 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
             m.speculative_launches,
             m.wasted_seconds,
             m.fallback_events,
+            opt(m.qps),
+            opt(m.p50_us),
+            opt(m.p99_us),
+            opt(m.cache_hit_rate),
         )
         .map_err(wrap)?;
     }
@@ -150,6 +181,10 @@ mod tests {
             speculative_launches: 3,
             wasted_seconds: 4.5,
             fallback_events: 1,
+            qps: None,
+            p50_us: None,
+            p99_us: None,
+            cache_hit_rate: None,
         }
     }
 
@@ -160,10 +195,30 @@ mod tests {
         for col in ["retries", "lost", "reexec", "spec", "wasted_s", "fallbk"] {
             assert!(table.contains(col), "table missing column {col}");
         }
-        assert!(CSV_HEADER.ends_with(
+        assert!(CSV_HEADER.contains(
             "task_retries,tasks_lost,re_executions,speculative_launches,\
              wasted_seconds,fallback_events"
         ));
+    }
+
+    #[test]
+    fn serving_columns_appear_only_when_populated() {
+        let plain = Table::new("fig4", &[m("Pig", 1.0, Some(2.0))]).render();
+        assert!(!plain.contains("qps"), "build-side tables stay unchanged");
+
+        let mut served = m("Serve", 0.5, Some(1.0));
+        served.qps = Some(123456.0);
+        served.p50_us = Some(12.5);
+        served.p99_us = Some(87.25);
+        served.cache_hit_rate = Some(0.913);
+        let rows = vec![served];
+        let table = Table::new("serve_bench", &rows).render();
+        for col in ["qps", "p50_us", "p99_us", "hit_rate"] {
+            assert!(table.contains(col), "serving table missing column {col}");
+        }
+        assert!(table.contains("123456"));
+        assert!(table.contains("0.913"));
+        assert!(CSV_HEADER.ends_with("qps,p50_us,p99_us,cache_hit_rate"));
     }
 
     #[test]

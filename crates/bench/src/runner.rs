@@ -1,7 +1,9 @@
 //! Uniform driver over the four algorithms.
 
 use spcube_agg::AggSpec;
-use spcube_baselines::{hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig};
+use spcube_baselines::{
+    hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig,
+};
 use spcube_common::{Error, Relation};
 use spcube_core::{SpCube, SpCubeConfig};
 use spcube_mapreduce::ClusterConfig;
@@ -106,6 +108,15 @@ pub struct Measurement {
     /// Rounds that fell back to a degraded plan (SP-Cube: sketch rejected,
     /// cube round ran hash-partitioned).
     pub fallback_events: u64,
+    /// Serving throughput in queries per second (serve-bench rows only).
+    pub qps: Option<f64>,
+    /// Median query latency in microseconds (serve-bench rows only).
+    pub p50_us: Option<f64>,
+    /// 99th-percentile query latency in microseconds (serve-bench rows
+    /// only).
+    pub p99_us: Option<f64>,
+    /// Segment-cache hit rate in `[0, 1]` (serve-bench rows only).
+    pub cache_hit_rate: Option<f64>,
 }
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -126,26 +137,32 @@ fn imbalance_of(bytes: &[u64]) -> f64 {
 /// Execute `algo` on a workload and collect a [`Measurement`].
 pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
     let wall = std::time::Instant::now();
-    let outcome: Result<(spcube_cubealg::Cube, spcube_mapreduce::RunMetrics, Option<u64>), Error> =
-        match algo {
-            Algo::SpCube | Algo::SpCubeFaulted => {
-                let cfg = SpCubeConfig::new(agg);
-                SpCube::run(&w.rel, &w.cluster, &cfg)
-                    .map(|r| (r.cube, r.metrics, Some(r.sketch_bytes)))
-            }
-            Algo::Pig => mr_cube(&w.rel, &w.cluster, &MrCubeConfig::new(agg))
-                .map(|r| (r.cube, r.metrics, None)),
-            Algo::Hive => {
-                let cfg = HiveConfig {
-                    agg,
-                    map_hash_entries: w.hive_entries,
-                    payload_attrs: w.hive_payload,
-                };
-                hive_cube(&w.rel, &w.cluster, &cfg).map(|r| (r.cube, r.metrics, None))
-            }
-            Algo::Naive => naive_mr_cube(&w.rel, &w.cluster, agg).map(|r| (r.cube, r.metrics, None)),
-            Algo::TopDown => top_down_cube(&w.rel, &w.cluster, agg).map(|r| (r.cube, r.metrics, None)),
-        };
+    let outcome: Result<
+        (
+            spcube_cubealg::Cube,
+            spcube_mapreduce::RunMetrics,
+            Option<u64>,
+        ),
+        Error,
+    > = match algo {
+        Algo::SpCube | Algo::SpCubeFaulted => {
+            let cfg = SpCubeConfig::new(agg);
+            SpCube::run(&w.rel, &w.cluster, &cfg).map(|r| (r.cube, r.metrics, Some(r.sketch_bytes)))
+        }
+        Algo::Pig => {
+            mr_cube(&w.rel, &w.cluster, &MrCubeConfig::new(agg)).map(|r| (r.cube, r.metrics, None))
+        }
+        Algo::Hive => {
+            let cfg = HiveConfig {
+                agg,
+                map_hash_entries: w.hive_entries,
+                payload_attrs: w.hive_payload,
+            };
+            hive_cube(&w.rel, &w.cluster, &cfg).map(|r| (r.cube, r.metrics, None))
+        }
+        Algo::Naive => naive_mr_cube(&w.rel, &w.cluster, agg).map(|r| (r.cube, r.metrics, None)),
+        Algo::TopDown => top_down_cube(&w.rel, &w.cluster, agg).map(|r| (r.cube, r.metrics, None)),
+    };
 
     match outcome {
         Ok((cube, metrics, sketch_bytes)) => {
@@ -154,12 +171,18 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
             // what the sketch's partition elements are designed to
             // equalize, Proposition 4.2). SP-Cube's reducer 0 only merges
             // skew partials; including it would distort the statistic.
-            let skip = if matches!(algo, Algo::SpCube | Algo::SpCubeFaulted) { 1 } else { 0 };
+            let skip = if matches!(algo, Algo::SpCube | Algo::SpCubeFaulted) {
+                1
+            } else {
+                0
+            };
             let dominant = metrics
                 .rounds
                 .iter()
                 .max_by_key(|r| r.map_output_bytes)
-                .map(|r| imbalance_of(&r.reducer_input_bytes[skip.min(r.reducer_input_bytes.len())..]))
+                .map(|r| {
+                    imbalance_of(&r.reducer_input_bytes[skip.min(r.reducer_input_bytes.len())..])
+                })
                 .unwrap_or(1.0);
             Measurement {
                 algo: algo.name(),
@@ -180,6 +203,10 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 speculative_launches: metrics.speculative_launches(),
                 wasted_seconds: metrics.wasted_seconds(),
                 fallback_events: metrics.fallback_events(),
+                qps: None,
+                p50_us: None,
+                p99_us: None,
+                cache_hit_rate: None,
             }
         }
         Err(err) => {
@@ -205,6 +232,10 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 speculative_launches: 0,
                 wasted_seconds: 0.0,
                 fallback_events: 0,
+                qps: None,
+                p50_us: None,
+                p99_us: None,
+                cache_hit_rate: None,
             }
         }
     }

@@ -1,0 +1,224 @@
+//! The query-serving harness behind the serve-bench experiment.
+//!
+//! Drives a [`CubeServer`] with a generated [`QuerySpec`] workload from
+//! several concurrent client threads and measures what a serving system
+//! is judged by: throughput (QPS), latency percentiles (p50/p99, in
+//! microseconds of host wall clock), and the segment-cache hit rate. An
+//! overloaded submission (typed queue-full rejection) is retried after a
+//! brief yield and counted, so the reported latency covers the full
+//! client experience including back-off.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use spcube_cubestore::{CubeServer, CubeStore, Request, Response, ServeError, ServerConfig};
+use spcube_datagen::QuerySpec;
+
+/// Client-side knobs of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Worker threads in the server pool.
+    pub workers: usize,
+    /// Bounded request-queue capacity.
+    pub queue_capacity: usize,
+    /// Concurrent client threads issuing queries.
+    pub clients: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            workers: 4,
+            queue_capacity: 64,
+            clients: 4,
+        }
+    }
+}
+
+/// What one serving run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingReport {
+    /// Queries answered.
+    pub served: u64,
+    /// Answered queries per second of wall clock.
+    pub qps: f64,
+    /// Median client-observed latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile client-observed latency, microseconds.
+    pub p99_us: f64,
+    /// Segment-cache hit rate over the run, in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Overload rejections clients retried through.
+    pub overload_retries: u64,
+    /// Segments served via the degraded BUC-recompute path.
+    pub degraded_recomputes: u64,
+}
+
+/// Convert a backend-agnostic query into a server request.
+pub fn to_request(spec: &QuerySpec) -> Request {
+    match spec {
+        QuerySpec::Point { mask, key } => Request::Point {
+            mask: *mask,
+            key: key.clone(),
+        },
+        QuerySpec::Slice { mask, dim, value } => Request::Slice {
+            mask: *mask,
+            dim: *dim,
+            value: value.clone(),
+        },
+        QuerySpec::TopK { mask, n } => Request::TopK { mask: *mask, n: *n },
+        QuerySpec::RollUp { group, dim } => Request::RollUp {
+            group: group.clone(),
+            dim: *dim,
+        },
+        QuerySpec::CuboidLen { mask } => Request::CuboidLen { mask: *mask },
+    }
+}
+
+/// Run `workload` against `store` through a fresh [`CubeServer`] and
+/// measure throughput, latency percentiles, and cache behaviour. Panics
+/// if any query comes back [`Response::Failed`] — the generated workloads
+/// are well-formed, so a failure is a harness bug, not a data point.
+pub fn run_serving(
+    store: Arc<CubeStore>,
+    workload: &[QuerySpec],
+    cfg: &ServeBenchConfig,
+) -> ServingReport {
+    let stats_before = store.stats();
+    let server = Arc::new(CubeServer::start(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+        },
+    ));
+    let next = Arc::new(AtomicUsize::new(0));
+    let overload_retries = Arc::new(AtomicU64::new(0));
+
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..cfg.clients.max(1))
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let next = Arc::clone(&next);
+            let retries = Arc::clone(&overload_retries);
+            let workload = workload.to_vec();
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = workload.get(i) else { break };
+                    let req = to_request(spec);
+                    let issued = Instant::now();
+                    let resp = loop {
+                        match server.query(req.clone()) {
+                            Ok(resp) => break resp,
+                            Err(ServeError::Overloaded { .. }) => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::yield_now();
+                            }
+                            Err(ServeError::ShuttingDown) => {
+                                panic!("server shut down mid-benchmark")
+                            }
+                        }
+                    };
+                    if let Response::Failed(msg) = resp {
+                        panic!("query {spec:?} failed: {msg}");
+                    }
+                    latencies_us.push(issued.elapsed().as_secs_f64() * 1e6);
+                }
+                latencies_us
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(workload.len());
+    for c in clients {
+        latencies.extend(c.join().expect("client thread panicked"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
+    let server_stats = server.shutdown();
+    assert_eq!(server_stats.served as usize, workload.len());
+
+    latencies.sort_by(f64::total_cmp);
+    let stats_after = store.stats();
+    let hits = stats_after.cache_hits - stats_before.cache_hits;
+    let misses = stats_after.cache_misses - stats_before.cache_misses;
+    let accesses = hits + misses;
+    ServingReport {
+        served: server_stats.served,
+        qps: if wall > 0.0 {
+            server_stats.served as f64 / wall
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        cache_hit_rate: if accesses == 0 {
+            0.0
+        } else {
+            hits as f64 / accesses as f64
+        },
+        overload_retries: overload_retries.load(Ordering::Relaxed),
+        degraded_recomputes: stats_after.degraded_recomputes - stats_before.degraded_recomputes,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (`q` in `[0, 1]`).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_agg::AggSpec;
+    use spcube_cubealg::naive_cube;
+    use spcube_cubestore::write_store;
+    use spcube_datagen::{gen_query_workload, gen_zipf};
+    use spcube_mapreduce::Dfs;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sample: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sample, 0.50), 50.0);
+        assert_eq!(percentile(&sample, 0.99), 99.0);
+        assert_eq!(percentile(&sample, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn serving_run_reports_sane_metrics() {
+        let rel = gen_zipf(400, 3, 5);
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 3, AggSpec::Count, 1).unwrap();
+        let store = Arc::new(
+            CubeStore::open(dfs as Arc<dyn spcube_cubestore::BlobStore>, "s")
+                .unwrap()
+                .with_cache_capacity(4),
+        );
+        let workload = gen_query_workload(&rel, 300, 1.5, 9);
+        let report = run_serving(
+            Arc::clone(&store),
+            &workload,
+            &ServeBenchConfig {
+                workers: 2,
+                queue_capacity: 16,
+                clients: 2,
+            },
+        );
+        assert_eq!(report.served, 300);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_us > 0.0);
+        assert!(report.p99_us >= report.p50_us);
+        assert!((0.0..=1.0).contains(&report.cache_hit_rate));
+        assert_eq!(report.degraded_recomputes, 0);
+    }
+}

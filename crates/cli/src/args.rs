@@ -64,7 +64,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, name: &str) -> Result<&str> {
-        self.get(name).ok_or_else(|| Error::Config(format!("--{name} is required")))
+        self.get(name)
+            .ok_or_else(|| Error::Config(format!("--{name} is required")))
     }
 
     /// Boolean switch presence.

@@ -11,19 +11,29 @@
 //! `cube` writes one TSV per cuboid into `--out` (Section 3.1's layout)
 //! and prints the run's metrics; `--algo` selects between `spcube`, `pig`
 //! (MRCube), `hive`, `naive`, and `topdown`.
+//!
+//! The read side of the reproduction lives behind three more commands:
+//! `build-store` persists the cube as a columnar CubeStore directory,
+//! `query` answers point/slice/top-k lookups against such a directory,
+//! and `serve-bench` drives a concurrent query-serving benchmark.
 
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use args::Args;
 use spcube_agg::AggSpec;
-use spcube_baselines::{hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig};
-use spcube_common::{io, Error, Mask, Relation, Result};
+use spcube_baselines::{
+    hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig,
+};
+use spcube_bench::serving::{run_serving, ServeBenchConfig};
+use spcube_common::{io, Error, Mask, Relation, Result, Value};
 use spcube_core::{build_exact_sketch, build_sampled_sketch, SketchConfig, SpCube, SpCubeConfig};
-use spcube_cubealg::{Cube, CubeQuery};
+use spcube_cubealg::{Cube, CubeQuery, CubeRead};
+use spcube_cubestore::{write_store, BlobStore, CubeStore, DirBlobs};
 use spcube_datagen as datagen;
-use spcube_mapreduce::{ClusterConfig, RunMetrics};
+use spcube_mapreduce::{ClusterConfig, Dfs, RunMetrics};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -43,11 +53,16 @@ fn run(raw: &[String]) -> Result<()> {
         "sketch" => sketch(&args),
         "cube" => cube(&args),
         "cuboid" => cuboid(&args),
+        "build-store" => build_store(&args),
+        "query" => query(&args),
+        "serve-bench" => serve_bench(&args),
         "" | "help" => {
             print!("{}", HELP);
             Ok(())
         }
-        other => Err(Error::Config(format!("unknown command `{other}`; see `spcube help`"))),
+        other => Err(Error::Config(format!(
+            "unknown command `{other}`; see `spcube help`"
+        ))),
     }
 }
 
@@ -67,8 +82,24 @@ COMMANDS
   cuboid FILE --mask BITS [--agg F] [--top N]
       Compute just one cuboid view (via a full sequential cube) and print
       its largest groups.
+  build-store FILE --out DIR [--agg F] [--machines K] [--memory M]
+       [--min-support S]
+      Run SP-Cube and persist the cube as a columnar CubeStore directory
+      (one checksummed segment per cuboid plus a manifest).
+  query DIR --mask BITS [--point V1,V2,..] [--slice DIM=VALUE] [--top N]
+      Answer a lookup against a CubeStore directory written by
+      build-store. Without --point/--slice, prints the cuboid's top N
+      groups by measure.
+  serve-bench FILE [--queries N] [--skews A,B] [--workers W]
+       [--clients C] [--cache SEGS] [--machines K] [--memory M]
+      Build + store the cube in memory, then serve Zipf-skewed query
+      workloads through the concurrent CubeServer, reporting QPS,
+      p50/p99 latency, and segment-cache hit rate per skew.
   help
 ";
+
+/// Blob-path prefix used inside every CubeStore directory the CLI writes.
+const STORE_PREFIX: &str = "cube";
 
 fn load(args: &Args) -> Result<Relation> {
     let path = args
@@ -113,7 +144,11 @@ fn generate(args: &Args) -> Result<()> {
         other => return Err(Error::Config(format!("unknown dataset `{other}`"))),
     };
     io::write_tsv_file(&rel, out)?;
-    println!("wrote {} tuples ({} bytes) to {out}", rel.len(), rel.wire_bytes());
+    println!(
+        "wrote {} tuples ({} bytes) to {out}",
+        rel.len(),
+        rel.wire_bytes()
+    );
     Ok(())
 }
 
@@ -164,7 +199,11 @@ fn cube(args: &Args) -> Result<()> {
             cfg.min_support = args.get_or("min-support", 1)?;
             cfg.use_exact_sketch = args.has("exact-sketch");
             let run = SpCube::run(&rel, &cluster, &cfg)?;
-            println!("sketch: {} bytes, {} skews", run.sketch_bytes, run.sketch.skew_count());
+            println!(
+                "sketch: {} bytes, {} skews",
+                run.sketch_bytes,
+                run.sketch.skew_count()
+            );
             (run.cube, run.metrics)
         }
         "pig" => {
@@ -195,8 +234,7 @@ fn cube(args: &Args) -> Result<()> {
         metrics.map_output_bytes()
     );
     if let Some(dir) = args.get("out") {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| Error::Io(format!("creating {dir}"), e))?;
+        std::fs::create_dir_all(dir).map_err(|e| Error::Io(format!("creating {dir}"), e))?;
         let q = CubeQuery::new(&cube, rel.arity());
         let mut failed = None;
         let paths = q.export_per_cuboid(dir, |path, body| {
@@ -217,16 +255,7 @@ fn cube(args: &Args) -> Result<()> {
 fn cuboid(args: &Args) -> Result<()> {
     let rel = load(args)?;
     let agg = agg_from(args)?;
-    let mask_str = args.require("mask")?;
-    let bits = u32::from_str_radix(mask_str, 2)
-        .map_err(|_| Error::Config(format!("--mask `{mask_str}` is not binary")))?;
-    let mask = Mask(bits);
-    if !mask.is_subset_of(Mask::full(rel.arity())) {
-        return Err(Error::Config(format!(
-            "--mask {mask_str} has bits beyond the {}-dimensional schema",
-            rel.arity()
-        )));
-    }
+    let mask = mask_from(args, rel.arity())?;
     let top_n: usize = args.get_or("top", 20)?;
     let cube = spcube_cubealg::buc(&rel, agg, &spcube_cubealg::BucConfig::default());
     let q = CubeQuery::new(&cube, rel.arity());
@@ -239,6 +268,160 @@ fn cuboid(args: &Args) -> Result<()> {
     );
     for (g, v) in q.top(mask, top_n) {
         println!("  {:<40} {v}", g.display(rel.arity()));
+    }
+    Ok(())
+}
+
+/// Parse a CLI value token the way the TSV reader would: integer if it
+/// looks like one, string otherwise.
+fn parse_value(tok: &str) -> Value {
+    tok.parse::<i64>()
+        .map_or_else(|_| Value::str(tok), Value::Int)
+}
+
+fn mask_from(args: &Args, d: usize) -> Result<Mask> {
+    let mask_str = args.require("mask")?;
+    let bits = u32::from_str_radix(mask_str, 2)
+        .map_err(|_| Error::Config(format!("--mask `{mask_str}` is not binary")))?;
+    let mask = Mask(bits);
+    if !mask.is_subset_of(Mask::full(d)) {
+        return Err(Error::Config(format!(
+            "--mask {mask_str} has bits beyond the {d}-dimensional schema"
+        )));
+    }
+    Ok(mask)
+}
+
+fn build_store(args: &Args) -> Result<()> {
+    let rel = load(args)?;
+    let cluster = cluster_from(args, rel.len())?;
+    let out = args.require("out")?;
+    let mut cfg = SpCubeConfig::new(agg_from(args)?);
+    cfg.min_support = args.get_or("min-support", 1)?;
+    cfg.use_exact_sketch = args.has("exact-sketch");
+    let run = SpCube::run(&rel, &cluster, &cfg)?;
+    let blobs = DirBlobs::new(out);
+    let report = write_store(
+        &blobs,
+        STORE_PREFIX,
+        &run.cube,
+        rel.arity(),
+        cfg.agg,
+        cfg.min_support,
+    )?;
+    println!(
+        "stored {} c-groups as {} segments ({} bytes) under {out}/{STORE_PREFIX}/",
+        report.rows, report.segments, report.bytes
+    );
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<()> {
+    let dir = args
+        .positional
+        .first()
+        .ok_or_else(|| Error::Config("CubeStore directory required".into()))?;
+    let store = CubeStore::open(
+        Arc::new(DirBlobs::new(dir)) as Arc<dyn BlobStore>,
+        STORE_PREFIX,
+    )?;
+    let d = store.dims();
+    let mask = mask_from(args, d)?;
+
+    if let Some(point) = args.get("point") {
+        let key: Vec<Value> = point.split(',').map(parse_value).collect();
+        if key.len() != mask.arity() as usize {
+            return Err(Error::Config(format!(
+                "--point has {} values but the cuboid groups {} dimensions",
+                key.len(),
+                mask.arity()
+            )));
+        }
+        match store.point(mask, &key)? {
+            Some(v) => println!("{v}"),
+            None => println!("(no such group)"),
+        }
+    } else if let Some(slice) = args.get("slice") {
+        let (dim_s, val_s) = slice
+            .split_once('=')
+            .ok_or_else(|| Error::Config("--slice expects DIM=VALUE".into()))?;
+        let dim: usize = dim_s
+            .parse()
+            .map_err(|_| Error::Config(format!("--slice dimension `{dim_s}` is not a number")))?;
+        let rows = store.slice(mask, dim, &parse_value(val_s))?;
+        println!("{} groups match dim {dim} = {val_s}:", rows.len());
+        for (g, v) in rows {
+            println!("  {:<40} {v}", g.display(d));
+        }
+    } else {
+        let n: usize = args.get_or("top", 20)?;
+        println!(
+            "cuboid {:0>width$b}: {} groups; top {n} by measure:",
+            mask.0,
+            store.cuboid_len(mask)?,
+            width = d
+        );
+        for (g, score) in store.top(mask, n)? {
+            println!("  {:<40} {score}", g.display(d));
+        }
+    }
+    let stats = store.stats();
+    if stats.degraded_recomputes > 0 {
+        eprintln!(
+            "warning: {} cuboid(s) served via degraded recompute",
+            stats.degraded_recomputes
+        );
+    }
+    Ok(())
+}
+
+fn serve_bench(args: &Args) -> Result<()> {
+    let rel = load(args)?;
+    let cluster = cluster_from(args, rel.len())?;
+    let cfg = SpCubeConfig::new(agg_from(args)?);
+    let dfs = Dfs::new();
+    let stored = SpCube::run_and_store(&rel, &cluster, &cfg, &dfs, STORE_PREFIX)?;
+    println!(
+        "built + stored {} c-groups ({} segments, {} bytes)",
+        stored.run.cube.len(),
+        stored.report.segments,
+        stored.report.bytes
+    );
+    let store = Arc::new(
+        CubeStore::open(Arc::new(dfs) as Arc<dyn BlobStore>, STORE_PREFIX)?
+            .with_recovery(rel.clone())
+            .with_cache_capacity(args.get_or("cache", 4)?),
+    );
+
+    let queries: usize = args.get_or("queries", 5_000)?;
+    let skews: Vec<f64> = match args.get("skews") {
+        None => vec![0.5, 1.5],
+        Some(s) => s
+            .split(',')
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| Error::Config(format!("--skews: cannot parse `{t}`")))
+            })
+            .collect::<Result<_>>()?,
+    };
+    let serve_cfg = ServeBenchConfig {
+        workers: args.get_or("workers", 4)?,
+        queue_capacity: args.get_or("queue", 64)?,
+        clients: args.get_or("clients", 4)?,
+    };
+    for (i, &skew) in skews.iter().enumerate() {
+        let workload = datagen::gen_query_workload(&rel, queries, skew, 0x5b + i as u64);
+        let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
+        println!(
+            "skew {skew:.2}: {} queries, {:.0} QPS, p50 {:.1}us, p99 {:.1}us, \
+             hit rate {:.3}, {} overload retries",
+            report.served,
+            report.qps,
+            report.p50_us,
+            report.p99_us,
+            report.cache_hit_rate,
+            report.overload_retries
+        );
     }
     Ok(())
 }
@@ -263,19 +446,46 @@ mod tests {
         let tsv_s = tsv.to_str().unwrap();
 
         call(&argv(&[
-            "generate", "--dataset", "retail", "--n", "3000", "--p", "0.4", "--seed", "5",
-            "--out", tsv_s,
+            "generate",
+            "--dataset",
+            "retail",
+            "--n",
+            "3000",
+            "--p",
+            "0.4",
+            "--seed",
+            "5",
+            "--out",
+            tsv_s,
         ]))
         .unwrap();
         assert!(tsv.exists());
 
-        call(&argv(&["sketch", tsv_s, "--machines", "5", "--memory", "200"])).unwrap();
+        call(&argv(&[
+            "sketch",
+            tsv_s,
+            "--machines",
+            "5",
+            "--memory",
+            "200",
+        ]))
+        .unwrap();
 
         let out = dir.join("cube");
         for algo in ["spcube", "pig", "hive", "naive", "topdown"] {
             call(&argv(&[
-                "cube", tsv_s, "--algo", algo, "--agg", "sum", "--machines", "5", "--memory",
-                "200", "--out", out.to_str().unwrap(),
+                "cube",
+                tsv_s,
+                "--algo",
+                algo,
+                "--agg",
+                "sum",
+                "--machines",
+                "5",
+                "--memory",
+                "200",
+                "--out",
+                out.to_str().unwrap(),
             ]))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
         }
@@ -290,8 +500,76 @@ mod tests {
     fn bad_inputs_are_reported() {
         assert!(call(&argv(&["nope"])).is_err());
         assert!(call(&argv(&["cube"])).is_err());
-        assert!(call(&argv(&["generate", "--dataset", "bogus", "--out", "/tmp/x"])).is_err());
+        assert!(call(&argv(&[
+            "generate",
+            "--dataset",
+            "bogus",
+            "--out",
+            "/tmp/x"
+        ]))
+        .is_err());
         assert!(call(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn store_and_query_pipeline() {
+        let dir = std::env::temp_dir().join(format!("spcube-cli-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("data.tsv");
+        let tsv_s = tsv.to_str().unwrap();
+        call(&argv(&[
+            "generate",
+            "--dataset",
+            "retail",
+            "--n",
+            "2000",
+            "--p",
+            "0.3",
+            "--seed",
+            "11",
+            "--out",
+            tsv_s,
+        ]))
+        .unwrap();
+
+        let store_dir = dir.join("store");
+        let store_s = store_dir.to_str().unwrap();
+        call(&argv(&[
+            "build-store",
+            tsv_s,
+            "--out",
+            store_s,
+            "--machines",
+            "5",
+        ]))
+        .unwrap();
+        assert!(store_dir.join(STORE_PREFIX).join("manifest.cman").exists());
+
+        // Top-k, point, and slice all answer against the on-disk store.
+        call(&argv(&["query", store_s, "--mask", "101", "--top", "3"])).unwrap();
+        call(&argv(&["query", store_s, "--mask", "000", "--point", ""])).unwrap_err();
+        call(&argv(&[
+            "query", store_s, "--mask", "001", "--slice", "0=1",
+        ]))
+        .unwrap();
+        // Arity mismatch between --point and the mask is reported.
+        let err = call(&argv(&["query", store_s, "--mask", "101", "--point", "1"])).unwrap_err();
+        assert!(err.to_string().contains("values"));
+
+        call(&argv(&[
+            "serve-bench",
+            tsv_s,
+            "--machines",
+            "5",
+            "--queries",
+            "200",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -300,7 +578,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let tsv = dir.join("d.tsv");
         call(&argv(&[
-            "generate", "--dataset", "zipf", "--n", "100", "--dims", "3", "--out",
+            "generate",
+            "--dataset",
+            "zipf",
+            "--n",
+            "100",
+            "--dims",
+            "3",
+            "--out",
             tsv.to_str().unwrap(),
         ]))
         .unwrap();

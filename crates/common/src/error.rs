@@ -53,8 +53,16 @@ impl fmt::Display for Error {
                 write!(f, "machine {machine} out of memory: {detail}")
             }
             Error::DfsMissing(path) => write!(f, "DFS object not found: {path}"),
-            Error::JobFailed { job, phase, task, attempts } => {
-                write!(f, "job `{job}`: {phase} task {task} failed {attempts} attempts, giving up")
+            Error::JobFailed {
+                job,
+                phase,
+                task,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "job `{job}`: {phase} task {task} failed {attempts} attempts, giving up"
+                )
             }
         }
     }
@@ -77,7 +85,10 @@ mod tests {
     fn display_formats() {
         let e = Error::Schema("dup".into());
         assert_eq!(e.to_string(), "schema error: dup");
-        let oom = Error::OutOfMemory { machine: 3, detail: "group too large".into() };
+        let oom = Error::OutOfMemory {
+            machine: 3,
+            detail: "group too large".into(),
+        };
         assert!(oom.to_string().contains("machine 3"));
         let failed = Error::JobFailed {
             job: "cube".into(),

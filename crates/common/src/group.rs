@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::{Mask, Tuple, Value};
 
 /// A cube group ("c-group"): one output tuple of one cuboid.
@@ -23,18 +22,27 @@ impl Group {
     /// Construct a group from a mask and its key values.
     pub fn new(mask: Mask, key: Vec<Value>) -> Self {
         debug_assert_eq!(mask.arity() as usize, key.len());
-        Group { mask, key: key.into_boxed_slice() }
+        Group {
+            mask,
+            key: key.into_boxed_slice(),
+        }
     }
 
     /// The c-group of tuple `t` in cuboid `mask` — the node of `lattice(t)`
     /// at that mask (Definition 2.4).
     pub fn of_tuple(t: &Tuple, mask: Mask) -> Self {
-        Group { mask, key: t.project(mask).into_boxed_slice() }
+        Group {
+            mask,
+            key: t.project(mask).into_boxed_slice(),
+        }
     }
 
     /// The apex group `(*, …, *)`.
     pub fn apex() -> Self {
-        Group { mask: Mask::EMPTY, key: Box::new([]) }
+        Group {
+            mask: Mask::EMPTY,
+            key: Box::new([]),
+        }
     }
 
     /// Project this group onto a subset mask of its own mask — a descendant

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// Identifies a cuboid of a `d`-dimensional cube: bit `i` is set iff
 /// dimension `i` is a group-by attribute of the cuboid (the unset dimensions
 /// are `*` in the paper's notation).
@@ -87,14 +86,23 @@ impl Mask {
     /// mask) in ascending numeric order. There are `2^arity` of them; these
     /// are exactly the descendants-or-self in the cube lattice.
     pub fn subsets(self) -> SubsetIter {
-        SubsetIter { mask: self.0, next: 0, done: false }
+        SubsetIter {
+            mask: self.0,
+            next: 0,
+            done: false,
+        }
     }
 
     /// Iterate over all supersets of this mask within `d` dimensions
     /// (including itself) — the ancestors-or-self in the cube lattice.
     pub fn supersets(self, d: usize) -> SupersetIter {
         let free = Mask::full(d).0 & !self.0;
-        SupersetIter { base: self.0, free, next_free_subset: 0, done: false }
+        SupersetIter {
+            base: self.0,
+            free,
+            next_free_subset: 0,
+            done: false,
+        }
     }
 
     /// The immediate descendants in the cube lattice: masks obtained by
@@ -106,7 +114,9 @@ impl Mask {
     /// The immediate ancestors in the cube lattice within `d` dimensions:
     /// masks obtained by setting exactly one unset bit.
     pub fn parents(self, d: usize) -> impl Iterator<Item = Mask> {
-        (0..d).filter(move |&i| !self.contains(i)).map(move |i| self.with(i))
+        (0..d)
+            .filter(move |&i| !self.contains(i))
+            .map(move |i| self.with(i))
     }
 }
 

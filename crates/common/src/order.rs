@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn empty_mask_compares_equal() {
-        assert_eq!(cmp_under_mask(&t(&[1]), &t(&[5]), Mask::EMPTY), Ordering::Equal);
+        assert_eq!(
+            cmp_under_mask(&t(&[1]), &t(&[5]), Mask::EMPTY),
+            Ordering::Equal
+        );
     }
 
     #[test]

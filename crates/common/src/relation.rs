@@ -17,7 +17,10 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn empty(schema: Schema) -> Relation {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Create a relation from tuples, validating arity.
@@ -73,7 +76,8 @@ impl Relation {
     /// Convenience builder used heavily in tests: dims given as `Value`
     /// convertibles, measure as `f64`. Panics on arity mismatch.
     pub fn push_row(&mut self, dims: Vec<Value>, measure: f64) {
-        self.push(Tuple::new(dims, measure)).expect("arity mismatch in push_row");
+        self.push(Tuple::new(dims, measure))
+            .expect("arity mismatch in push_row");
     }
 
     /// Total wire size of all tuples — the "input size" used by the cost
@@ -122,8 +126,7 @@ mod tests {
     fn sorted_by_mask_orders_lexicographically() {
         let r = rel();
         let sorted = r.sorted_by_mask(Mask(0b01)); // by name only
-        let names: Vec<&str> =
-            sorted.iter().map(|t| t.dims[0].as_str().unwrap()).collect();
+        let names: Vec<&str> = sorted.iter().map(|t| t.dims[0].as_str().unwrap()).collect();
         assert_eq!(names, vec!["a", "a", "b"]);
         // Stable: the two "a" tuples keep insertion order (y before x).
         assert_eq!(sorted[0].dims[1], Value::str("y"));

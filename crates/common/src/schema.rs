@@ -1,6 +1,5 @@
 //! Relation schemas.
 
-
 use crate::{Error, Result};
 
 /// Names of a relation's dimension attributes and its measure attribute.

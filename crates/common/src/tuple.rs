@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::{Mask, Value};
 
 /// One row of a relation: `d` dimension values plus a numeric measure.
@@ -22,7 +21,10 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple from dimension values and a measure.
     pub fn new(dims: Vec<Value>, measure: f64) -> Self {
-        Tuple { dims: dims.into_boxed_slice(), measure }
+        Tuple {
+            dims: dims.into_boxed_slice(),
+            measure,
+        }
     }
 
     /// Number of dimension attributes.

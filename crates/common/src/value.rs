@@ -3,7 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-
 /// A single dimension-attribute value.
 ///
 /// The paper assumes every attribute value fits in a fixed number of bytes;

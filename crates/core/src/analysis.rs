@@ -164,7 +164,12 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
             let mut r = Relation::empty(Schema::synthetic(4));
             for _ in 0..4_000 {
-                r.push_row((0..4).map(|_| Value::Int(rng.gen::<u32>() as i64)).collect(), 1.0);
+                r.push_row(
+                    (0..4)
+                        .map(|_| Value::Int(rng.gen::<u32>() as i64))
+                        .collect(),
+                    1.0,
+                );
             }
             r
         };

@@ -33,7 +33,6 @@ pub mod spcube;
 
 pub use analysis::{forecast_cube_round, TrafficForecast};
 pub use sketch::{
-    build_exact_sketch, build_sampled_sketch, PartitionStrategy, SketchConfig, SketchNode,
-    SpSketch,
+    build_exact_sketch, build_sampled_sketch, PartitionStrategy, SketchConfig, SketchNode, SpSketch,
 };
-pub use spcube::{sp_cube, SpCube, SpCubeConfig, SpCubeRun};
+pub use spcube::{sp_cube, SpCube, SpCubeConfig, SpCubeRun, SpCubeStoreRun};

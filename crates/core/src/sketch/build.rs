@@ -66,7 +66,8 @@ impl SketchConfig {
 
     /// The paper's `β = ln(nk)` (Section 4.2).
     pub fn beta(&self, n: usize, k: usize) -> f64 {
-        self.beta_override.unwrap_or_else(|| ((n * k).max(2) as f64).ln())
+        self.beta_override
+            .unwrap_or_else(|| ((n * k).max(2) as f64).ln())
     }
 }
 
@@ -88,8 +89,7 @@ pub fn build_sketch_with(
     skew_threshold: f64,
     partition: PartitionStrategy,
 ) -> SpSketch {
-    let mut nodes: Vec<SketchNode> =
-        (0..(1u32 << d)).map(|m| SketchNode::new(Mask(m))).collect();
+    let mut nodes: Vec<SketchNode> = (0..(1u32 << d)).map(|m| SketchNode::new(Mask(m))).collect();
 
     // Skews: iceberg BUC with count — only partitions larger than the
     // threshold can contain (or be) skewed groups, so min_support prunes
@@ -154,8 +154,7 @@ pub fn build_sketch_with(
                         bucket.sort_by(|a, b| spcube_common::order::cmp_under_mask(a, b, mask));
                         set_elements(&mut nodes[mask.0 as usize], bucket, mask, k);
                     } else {
-                        all_sorted
-                            .sort_by(|a, b| spcube_common::order::cmp_under_mask(a, b, mask));
+                        all_sorted.sort_by(|a, b| spcube_common::order::cmp_under_mask(a, b, mask));
                         set_elements(&mut nodes[mask.0 as usize], &all_sorted, mask, k);
                     }
                 }
@@ -185,7 +184,12 @@ fn set_elements(node: &mut SketchNode, sorted: &[&Tuple], mask: Mask, k: usize) 
 /// truth the sampled sketch is validated against.
 pub fn build_exact_sketch(rel: &Relation, cluster: &ClusterConfig) -> SpSketch {
     let refs: Vec<&Tuple> = rel.tuples().iter().collect();
-    build_sketch_from(&refs, rel.arity(), cluster.machines, cluster.skew_threshold() as f64)
+    build_sketch_from(
+        &refs,
+        rel.arity(),
+        cluster.machines,
+        cluster.skew_threshold() as f64,
+    )
 }
 
 /// Algorithm 2: the sampled sketch as a MapReduce round. Mappers sample
@@ -243,7 +247,8 @@ impl MrJob for SketchJob {
 
     fn map_split(&self, ctx: &mut MapContext<'_, u8, Tuple>, split: &[Tuple]) {
         // Per-task RNG stream: deterministic and independent across tasks.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (ctx.task() as u64).wrapping_mul(0x9e37_79b9));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (ctx.task() as u64).wrapping_mul(0x9e37_79b9));
         for t in split {
             ctx.charge(1);
             if rng.gen::<f64>() <= self.alpha {
@@ -255,7 +260,13 @@ impl MrJob for SketchJob {
     fn reduce(&self, ctx: &mut ReduceContext<'_, SpSketch>, _key: u8, values: Vec<Tuple>) {
         let refs: Vec<&Tuple> = values.iter().collect();
         ctx.charge(refs.len() as u64 * (1u64 << self.d));
-        ctx.emit(build_sketch_with(&refs, self.d, self.k, self.beta, self.partition));
+        ctx.emit(build_sketch_with(
+            &refs,
+            self.d,
+            self.k,
+            self.beta,
+            self.partition,
+        ));
     }
 
     fn key_bytes(&self, _key: &u8) -> u64 {
@@ -407,7 +418,10 @@ mod tests {
         let (_s, metrics) = build_sampled_sketch(&rel, &cluster, &cfg).unwrap();
         let expect = alpha * n as f64;
         let got = metrics.map_output_records as f64;
-        assert!(got > expect * 0.5 && got < expect * 1.5, "got {got}, expected ~{expect}");
+        assert!(
+            got > expect * 0.5 && got < expect * 1.5,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]

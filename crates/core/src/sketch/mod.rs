@@ -33,7 +33,10 @@
 mod build;
 mod node;
 
-pub use build::{build_exact_sketch, build_sampled_sketch, build_sketch_from, build_sketch_with, PartitionStrategy, SketchConfig};
+pub use build::{
+    build_exact_sketch, build_sampled_sketch, build_sketch_from, build_sketch_with,
+    PartitionStrategy, SketchConfig,
+};
 pub use node::SketchNode;
 
 use spcube_common::{Error, Group, Mask, Result, Value};
@@ -151,7 +154,10 @@ impl SpSketch {
                 "sketch checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             )));
         }
-        let mut r = Reader { bytes: body, pos: 0 };
+        let mut r = Reader {
+            bytes: body,
+            pos: 0,
+        };
         let magic = r.take(MAGIC.len())?;
         if magic != MAGIC {
             return Err(Error::Parse("bad sketch magic".into()));
@@ -300,15 +306,17 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn value(&mut self) -> Result<Value> {
         let tag = self.take(1)?[0];
         match tag {
-            TAG_INT => {
-                Ok(Value::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))))
-            }
+            TAG_INT => Ok(Value::Int(i64::from_le_bytes(
+                self.take(8)?.try_into().expect("8 bytes"),
+            ))),
             TAG_STR => {
                 let len = self.u32()? as usize;
                 let raw = self.take(len)?;
@@ -360,7 +368,10 @@ mod tests {
         assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(9)]), 1);
         assert_eq!(s.partition_of(Mask(0b01), &[Value::Int(10)]), 2);
         // Cuboid without elements: everything range 0.
-        assert_eq!(s.partition_of(Mask(0b11), &[Value::Int(10), Value::Int(1)]), 0);
+        assert_eq!(
+            s.partition_of(Mask(0b11), &[Value::Int(10), Value::Int(1)]),
+            0
+        );
     }
 
     #[test]
@@ -445,7 +456,10 @@ mod tests {
         assert!(s.skew_count() > 0, "test needs a non-trivial sketch");
         assert!(s.validate().is_ok());
         // And it survives a DFS round trip.
-        assert!(SpSketch::from_bytes(&s.to_bytes()).unwrap().validate().is_ok());
+        assert!(SpSketch::from_bytes(&s.to_bytes())
+            .unwrap()
+            .validate()
+            .is_ok());
     }
 
     #[test]

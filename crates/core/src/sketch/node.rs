@@ -19,7 +19,11 @@ pub struct SketchNode {
 impl SketchNode {
     /// Empty node for a cuboid.
     pub fn new(mask: Mask) -> SketchNode {
-        SketchNode { mask, skews: BTreeSet::new(), partition_elements: Vec::new() }
+        SketchNode {
+            mask,
+            skews: BTreeSet::new(),
+            partition_elements: Vec::new(),
+        }
     }
 
     /// The cuboid this node describes.
@@ -35,7 +39,10 @@ impl SketchNode {
 
     /// Install the partition elements (must be sorted ascending).
     pub fn set_partition_elements(&mut self, elements: Vec<Box<[Value]>>) {
-        debug_assert!(elements.windows(2).all(|w| w[0] <= w[1]), "elements must be sorted");
+        debug_assert!(
+            elements.windows(2).all(|w| w[0] <= w[1]),
+            "elements must be sorted"
+        );
         self.partition_elements = elements;
     }
 
@@ -59,7 +66,8 @@ impl SketchNode {
     /// (i.e. one c-group) always share a range.
     #[inline]
     pub fn partition_of(&self, key: &[Value]) -> usize {
-        self.partition_elements.partition_point(|e| e.as_ref() < key)
+        self.partition_elements
+            .partition_point(|e| e.as_ref() < key)
     }
 
     /// Number of skewed groups recorded.

@@ -45,7 +45,9 @@ impl<'a> SpCubeJob<'a> {
             factorize: cfg.factorize_ancestors,
             skew_agg: cfg.map_side_skew_aggregation,
             bfs: BfsOrder::new(d),
-            buc_cfg: BucConfig { min_support: cfg.min_support },
+            buc_cfg: BucConfig {
+                min_support: cfg.min_support,
+            },
         }
     }
 
@@ -86,8 +88,7 @@ impl MrJob for SpCubeJob<'_> {
                 let g = Group::of_tuple(t, mask);
                 if self.is_skewed(&g) {
                     // Lines 6-8: aggregate locally, mark only this node.
-                    let entry =
-                        partials.entry(g).or_insert_with(|| (self.spec.init(), 0));
+                    let entry = partials.entry(g).or_insert_with(|| (self.spec.init(), 0));
                     entry.0.update(t.measure);
                     entry.1 += 1;
                     lat.mark(mask);
@@ -191,13 +192,20 @@ impl MrJob for SpCubeJob<'_> {
             .collect();
         let mut refs: Vec<&Tuple> = tuples.iter().collect();
         let anchor = key.mask;
-        buc_from(&mut refs, self.d, anchor, self.spec, &self.buc_cfg, &mut |h, state| {
-            ctx.charge(1);
-            let assigned = anchor_mask(h.mask, |sub| self.is_skewed(&h.project(sub)));
-            if assigned == Some(anchor) {
-                ctx.emit((h, state.finalize()));
-            }
-        });
+        buc_from(
+            &mut refs,
+            self.d,
+            anchor,
+            self.spec,
+            &self.buc_cfg,
+            &mut |h, state| {
+                ctx.charge(1);
+                let assigned = anchor_mask(h.mask, |sub| self.is_skewed(&h.project(sub)));
+                if assigned == Some(anchor) {
+                    ctx.emit((h, state.finalize()));
+                }
+            },
+        );
     }
 
     fn key_bytes(&self, key: &Group) -> u64 {
@@ -243,7 +251,11 @@ pub(crate) struct DegradedCubeJob {
 
 impl DegradedCubeJob {
     pub(crate) fn new(d: usize, cfg: &SpCubeConfig) -> DegradedCubeJob {
-        DegradedCubeJob { d, spec: cfg.agg, min_support: cfg.min_support }
+        DegradedCubeJob {
+            d,
+            spec: cfg.agg,
+            min_support: cfg.min_support,
+        }
     }
 
     fn fold<'v>(&self, values: impl Iterator<Item = &'v SpValue>) -> (AggState, u64) {
@@ -384,7 +396,10 @@ mod tests {
         let skewed_key = Group::new(spcube_common::Mask(0b01), vec![Value::Int(1)]);
         assert_eq!(job.partition(&skewed_key, 4), 0);
         // A full-cuboid singleton is not skewed: range reducers 1..=3.
-        let normal = Group::new(spcube_common::Mask(0b11), vec![Value::Int(1), Value::Int(7)]);
+        let normal = Group::new(
+            spcube_common::Mask(0b11),
+            vec![Value::Int(1), Value::Int(7)],
+        );
         let p = job.partition(&normal, 4);
         assert!((1..4).contains(&p));
     }

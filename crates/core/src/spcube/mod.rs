@@ -109,9 +109,15 @@ impl SpCube {
         let (sketch, sketch_bytes) = Self::sketch_round(rel, cluster, cfg, dfs, &mut metrics)?;
         let degraded = sketch.is_none();
         let cube = Self::cube_round(rel, cluster, cfg, sketch.as_ref(), &mut metrics)?;
-        let sketch = sketch
-            .unwrap_or_else(|| build_sketch_from(&[], rel.arity(), cluster.machines, 0.0));
-        Ok(SpCubeRun { cube, metrics, sketch, sketch_bytes, degraded })
+        let sketch =
+            sketch.unwrap_or_else(|| build_sketch_from(&[], rel.arity(), cluster.machines, 0.0));
+        Ok(SpCubeRun {
+            cube,
+            metrics,
+            sketch,
+            sketch_bytes,
+            degraded,
+        })
     }
 
     /// Compute several aggregate functions over one relation, reusing a
@@ -220,6 +226,62 @@ impl SpCube {
     }
 }
 
+/// Everything [`SpCube::run_and_store`] produces: the run itself plus the
+/// store phase's write report.
+#[derive(Debug)]
+pub struct SpCubeStoreRun {
+    /// The underlying two-round run.
+    pub run: SpCubeRun,
+    /// What the store phase wrote (segments, bytes, rows).
+    pub report: spcube_cubestore::StoreWriteReport,
+    /// The store prefix on the DFS (open with `CubeStore::open`).
+    pub prefix: String,
+}
+
+impl SpCube {
+    /// Run SP-Cube and then persist the cube as a columnar store under
+    /// `prefix` on `dfs` — the final "store" phase of the pipeline
+    /// (Section 3.1's one-file-per-cuboid output, made queryable).
+    ///
+    /// The phase is accounted as an extra `cube-store` round in the run
+    /// metrics: its written bytes land in `reducer_output_bytes` (they
+    /// also show up in the DFS `bytes_written` counter, alongside the
+    /// sketch broadcast) and its rows in `output_records`, so benchmark
+    /// CSVs pick the store phase up like any other round.
+    pub fn run_and_store(
+        rel: &Relation,
+        cluster: &ClusterConfig,
+        cfg: &SpCubeConfig,
+        dfs: &Dfs,
+        prefix: &str,
+    ) -> Result<SpCubeStoreRun> {
+        let mut run = Self::run_on(rel, cluster, cfg, dfs)?;
+        let t0 = std::time::Instant::now();
+        let report = spcube_cubestore::write_store(
+            dfs,
+            prefix,
+            &run.cube,
+            rel.arity(),
+            cfg.agg,
+            cfg.min_support,
+        )?;
+        let round = spcube_mapreduce::JobMetrics {
+            name: "cube-store".into(),
+            reduce_tasks: 1,
+            output_records: report.rows,
+            reducer_output_bytes: vec![report.bytes],
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            ..Default::default()
+        };
+        run.metrics.push(round);
+        Ok(SpCubeStoreRun {
+            run,
+            report,
+            prefix: prefix.to_string(),
+        })
+    }
+}
+
 /// Convenience wrapper: run SP-Cube with default configuration.
 pub fn sp_cube(rel: &Relation, cluster: &ClusterConfig, agg: AggSpec) -> Result<SpCubeRun> {
     SpCube::run(rel, cluster, &SpCubeConfig::new(agg))
@@ -252,7 +314,13 @@ mod tests {
     fn spcube_matches_naive_reference() {
         let rel = rel_with_skew(2000, 600, 3);
         let cluster = ClusterConfig::new(8, 150);
-        for agg in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+        for agg in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+        ] {
             let run = sp_cube(&rel, &cluster, agg).unwrap();
             let expect = naive_cube(&rel, agg);
             assert!(
@@ -271,7 +339,11 @@ mod tests {
         cfg.use_exact_sketch = true;
         let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
         let expect = naive_cube(&rel, AggSpec::Sum);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
         // Exact sketch contributes no MR round: only the cube round.
         assert_eq!(run.metrics.round_count(), 1);
     }
@@ -305,9 +377,15 @@ mod tests {
         cfg.map_side_skew_aggregation = false;
         let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
         let expect = naive_cube(&rel, AggSpec::Sum);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
         // Without map-side aggregation the skewed groups overload reducers.
-        assert!(run.metrics.spilled_bytes() > 0 || run.metrics.rounds[0].largest_group_values > 500);
+        assert!(
+            run.metrics.spilled_bytes() > 0 || run.metrics.rounds[0].largest_group_values > 500
+        );
     }
 
     #[test]
@@ -317,9 +395,50 @@ mod tests {
         let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
         assert_eq!(run.metrics.round_count(), 2);
         assert!(run.sketch_bytes > 0);
-        assert!(run.sketch_bytes < rel.wire_bytes() / 5, "sketch must be small");
+        assert!(
+            run.sketch_bytes < rel.wire_bytes() / 5,
+            "sketch must be small"
+        );
         assert!(!run.degraded);
         assert_eq!(run.metrics.fallback_events(), 0);
+    }
+
+    #[test]
+    fn run_and_store_persists_a_queryable_cube() {
+        use spcube_cubealg::{CubeQuery, CubeRead};
+
+        let rel = rel_with_skew(1500, 400, 3);
+        let cluster = ClusterConfig::new(6, 120);
+        let dfs = std::sync::Arc::new(Dfs::new());
+        let cfg = SpCubeConfig::new(AggSpec::Sum);
+        let stored = SpCube::run_and_store(&rel, &cluster, &cfg, &dfs, "cube").unwrap();
+
+        // The store phase is accounted as its own metrics round.
+        let last = stored.run.metrics.rounds.last().unwrap();
+        assert_eq!(last.name, "cube-store");
+        assert_eq!(last.output_records, stored.report.rows);
+        assert_eq!(stored.report.rows as usize, stored.run.cube.len());
+        assert!(stored.report.segments > 0);
+        // Store bytes flow through the DFS byte accounting.
+        assert!(dfs.bytes_written() >= stored.report.bytes);
+
+        // The persisted store answers exactly like the in-memory index.
+        let store = spcube_cubestore::CubeStore::open(
+            dfs as std::sync::Arc<dyn spcube_cubestore::BlobStore>,
+            "cube",
+        )
+        .unwrap();
+        let q = CubeQuery::new(&stored.run.cube, rel.arity());
+        for mask in spcube_common::Mask::full(rel.arity()).subsets() {
+            assert_eq!(store.cuboid_len(mask).unwrap(), q.cuboid_len(mask));
+        }
+        let top_store = store.top(spcube_common::Mask(0b011), 5).unwrap();
+        let top_mem = q.top(spcube_common::Mask(0b011), 5);
+        assert_eq!(top_store.len(), top_mem.len());
+        for ((g, x), (hg, hx)) in top_store.iter().zip(top_mem) {
+            assert_eq!(g, hg);
+            assert_eq!(*x, hx);
+        }
     }
 
     #[test]
@@ -335,9 +454,17 @@ mod tests {
         assert!(run.degraded, "corrupt sketch must degrade the run");
         assert_eq!(run.metrics.fallback_events(), 1);
         assert_eq!(run.metrics.rounds.last().unwrap().name, "sp-cube-degraded");
-        assert_eq!(run.sketch.skew_count(), 0, "degraded run carries an empty sketch");
+        assert_eq!(
+            run.sketch.skew_count(),
+            0,
+            "degraded run carries an empty sketch"
+        );
         let expect = naive_cube(&rel, AggSpec::Sum);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
     }
 
     #[test]
@@ -354,7 +481,11 @@ mod tests {
         assert_eq!(run.metrics.fallback_events(), 1);
         assert_eq!(run.sketch_bytes, 0, "no sketch ever reached the DFS");
         let expect = naive_cube(&rel, AggSpec::Count);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
         // Only the degraded cube round ran to completion.
         assert_eq!(run.metrics.round_count(), 1);
         assert_eq!(run.metrics.rounds[0].name, "sp-cube-degraded");
@@ -392,7 +523,11 @@ mod tests {
         let cluster = ClusterConfig::new(4, 100);
         let run = sp_cube(&rel, &cluster, AggSpec::TopKFrequent(2)).unwrap();
         let expect = naive_cube(&rel, AggSpec::TopKFrequent(2));
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
     }
 
     #[test]
@@ -409,9 +544,13 @@ mod tests {
         let rel = rel_with_skew(1500, 400, 3);
         let cluster = ClusterConfig::new(6, 100);
         let cfg = SpCubeConfig::new(AggSpec::Count);
-        let (cubes, metrics) =
-            SpCube::run_many(&rel, &cluster, &cfg, &[AggSpec::Count, AggSpec::Sum, AggSpec::Avg])
-                .unwrap();
+        let (cubes, metrics) = SpCube::run_many(
+            &rel,
+            &cluster,
+            &cfg,
+            &[AggSpec::Count, AggSpec::Sum, AggSpec::Avg],
+        )
+        .unwrap();
         // One sketch round + three cube rounds.
         assert_eq!(metrics.round_count(), 4);
         assert_eq!(metrics.rounds[0].name, "sp-sketch");
@@ -466,7 +605,11 @@ mod tests {
         let cluster = ClusterConfig::new(5, 80);
         let run = sp_cube(&rel, &cluster, AggSpec::CountDistinct).unwrap();
         let expect = naive_cube(&rel, AggSpec::CountDistinct);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
     }
 
     #[test]
@@ -497,6 +640,10 @@ mod tests {
         let cluster = ClusterConfig::new(5, 60);
         let run = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
         let expect = naive_cube(&rel, AggSpec::Sum);
-        assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 5));
+        assert!(
+            run.cube.approx_eq(&expect, 1e-9),
+            "{:?}",
+            run.cube.diff(&expect, 1e-9, 5)
+        );
     }
 }

@@ -132,7 +132,13 @@ mod tests {
             (&[2, 2, 2], 4.0),
             (&[2, 2, 2], 5.0),
         ]);
-        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+        ] {
             let a = buc(&r, spec, &BucConfig::default());
             let b = naive_cube(&r, spec);
             assert!(a.approx_eq(&b, 1e-9), "{spec:?}: {:?}", a.diff(&b, 1e-9, 5));
@@ -154,9 +160,16 @@ mod tests {
         let r = small_rel(&[(&[7, 1, 2], 1.0), (&[7, 1, 3], 2.0), (&[7, 5, 2], 3.0)]);
         let mut refs: Vec<&Tuple> = r.tuples().iter().collect();
         let mut got = Vec::new();
-        buc_from(&mut refs, 3, Mask(0b001), AggSpec::Sum, &BucConfig::default(), &mut |g, s| {
-            got.push((g, s));
-        });
+        buc_from(
+            &mut refs,
+            3,
+            Mask(0b001),
+            AggSpec::Sum,
+            &BucConfig::default(),
+            &mut |g, s| {
+                got.push((g, s));
+            },
+        );
         // Masks produced: 001, 011, 101, 111 — all supersets of 001.
         assert!(got.iter().all(|(g, _)| Mask(0b001).is_subset_of(g.mask)));
         let full = naive_cube(&r, AggSpec::Sum);
@@ -167,7 +180,10 @@ mod tests {
             );
         }
         // Exactly the ancestor groups of (7,*,*) present in the data.
-        let expected = full.iter().filter(|(g, _)| Mask(0b001).is_subset_of(g.mask)).count();
+        let expected = full
+            .iter()
+            .filter(|(g, _)| Mask(0b001).is_subset_of(g.mask))
+            .count();
         assert_eq!(got.len(), expected);
     }
 
@@ -196,9 +212,14 @@ mod tests {
     fn empty_input_emits_nothing() {
         let mut refs: Vec<&Tuple> = Vec::new();
         let mut n = 0;
-        buc_from(&mut refs, 2, Mask::EMPTY, AggSpec::Count, &BucConfig::default(), &mut |_, _| {
-            n += 1
-        });
+        buc_from(
+            &mut refs,
+            2,
+            Mask::EMPTY,
+            AggSpec::Count,
+            &BucConfig::default(),
+            &mut |_, _| n += 1,
+        );
         assert_eq!(n, 0);
     }
 
@@ -220,7 +241,9 @@ mod tests {
         let mut x: u64 = 42;
         for _ in 0..500 {
             let mut next = || {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 7) as i64
             };
             rows.push(([next(), next(), next(), next()], 1.0 + (x % 10) as f64));

@@ -119,12 +119,18 @@ impl CubeBuilder {
 
     /// Fold one measure into a group's state.
     pub fn update(&mut self, spec: AggSpec, g: Group, measure: f64) {
-        self.states.entry(g).or_insert_with(|| spec.init()).update(measure);
+        self.states
+            .entry(g)
+            .or_insert_with(|| spec.init())
+            .update(measure);
     }
 
     /// Merge a partial state into a group's state.
     pub fn merge(&mut self, spec: AggSpec, g: Group, partial: &AggState) {
-        self.states.entry(g).or_insert_with(|| spec.init()).merge(partial);
+        self.states
+            .entry(g)
+            .or_insert_with(|| spec.init())
+            .merge(partial);
     }
 
     /// Number of groups currently held.

@@ -22,6 +22,9 @@
 //!   emission checks and approximate-equality diffing;
 //! * [`CubeQuery`] — slice / drill-down / roll-up / top-k and per-cuboid
 //!   export;
+//! * [`CubeRead`] — the storage-backed query trait: the same OLAP moves
+//!   answered by any backend (this in-memory index, or the persistent
+//!   columnar store in `spcube-cubestore`);
 //! * [`greedy_select`] — HRU partial-materialization view selection
 //!   (cited as \[24\]).
 
@@ -30,11 +33,13 @@ pub mod cube;
 pub mod naive;
 pub mod pipesort;
 pub mod query;
+pub mod read;
 pub mod views;
 
 pub use buc::{buc, buc_from, BucConfig};
 pub use cube::{Cube, CubeBuilder};
-pub use query::CubeQuery;
 pub use naive::naive_cube;
 pub use pipesort::{pipesort, plan_pipelines, Pipeline};
+pub use query::CubeQuery;
+pub use read::{slice_slot, CubeRead};
 pub use views::{best_ancestor, cuboid_sizes, greedy_select, CuboidSizes, ViewSelection};

@@ -29,11 +29,19 @@ mod tests {
 
     fn running_example() -> Relation {
         // The paper's Example 2.1 relation, extended a little.
-        let mut r =
-            Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
-        r.push_row(vec!["laptop".into(), "Rome".into(), Value::Int(2012)], 2000.0);
-        r.push_row(vec!["laptop".into(), "Paris".into(), Value::Int(2012)], 1500.0);
-        r.push_row(vec!["printer".into(), "Rome".into(), Value::Int(2011)], 300.0);
+        let mut r = Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
+        r.push_row(
+            vec!["laptop".into(), "Rome".into(), Value::Int(2012)],
+            2000.0,
+        );
+        r.push_row(
+            vec!["laptop".into(), "Paris".into(), Value::Int(2012)],
+            1500.0,
+        );
+        r.push_row(
+            vec!["printer".into(), "Rome".into(), Value::Int(2011)],
+            300.0,
+        );
         r
     }
 
@@ -56,10 +64,7 @@ mod tests {
     fn specific_group_from_example_2_2() {
         // c1 = (laptop, *, 2012) aggregates the two laptop-2012 tuples.
         let c = naive_cube(&running_example(), AggSpec::Sum);
-        let g = Group::new(
-            Mask(0b101),
-            vec![Value::str("laptop"), Value::Int(2012)],
-        );
+        let g = Group::new(Mask(0b101), vec![Value::str("laptop"), Value::Int(2012)]);
         assert_eq!(c.get(&g), Some(&AggOutput::Number(3500.0)));
     }
 
@@ -71,8 +76,7 @@ mod tests {
         let expected: usize = Mask::full(3)
             .subsets()
             .map(|m| {
-                let mut keys: Vec<_> =
-                    r.tuples().iter().map(|t| t.project(m)).collect();
+                let mut keys: Vec<_> = r.tuples().iter().map(|t| t.project(m)).collect();
                 keys.sort();
                 keys.dedup();
                 keys.len()

@@ -90,7 +90,9 @@ pub fn pipesort(rel: &Relation, spec: AggSpec) -> Cube {
         return cube;
     }
     for pipe in plan_pipelines(d) {
-        scan_pipeline(rel, spec, &pipe, &mut |g, state| cube.insert_state(g, &state));
+        scan_pipeline(rel, spec, &pipe, &mut |g, state| {
+            cube.insert_state(g, &state)
+        });
     }
     cube
 }
@@ -119,24 +121,24 @@ pub fn scan_pipeline(
     let mut states: Vec<AggState> = (0..levels).map(|_| spec.init()).collect();
     let mut current: Option<&Tuple> = None;
 
-    let prefix_mask = |j: usize| {
-        pipe.order[..j].iter().fold(Mask::EMPTY, |m, &i| m.with(i))
-    };
-    let flush =
-        |j: usize, anchor: &Tuple, states: &mut Vec<AggState>, emit: &mut dyn FnMut(Group, AggState)| {
-            // Flush levels j..levels-1 (deepest first is not required —
-            // states are independent), resetting each.
-            for lvl in (j..levels).rev() {
-                let state = std::mem::replace(&mut states[lvl], spec.init());
-                if pipe.emit[lvl] {
-                    let key: Vec<Value> = {
-                        let mask = prefix_mask(lvl);
-                        anchor.project(mask)
-                    };
-                    emit(Group::new(prefix_mask(lvl), key), state);
-                }
+    let prefix_mask = |j: usize| pipe.order[..j].iter().fold(Mask::EMPTY, |m, &i| m.with(i));
+    let flush = |j: usize,
+                 anchor: &Tuple,
+                 states: &mut Vec<AggState>,
+                 emit: &mut dyn FnMut(Group, AggState)| {
+        // Flush levels j..levels-1 (deepest first is not required —
+        // states are independent), resetting each.
+        for lvl in (j..levels).rev() {
+            let state = std::mem::replace(&mut states[lvl], spec.init());
+            if pipe.emit[lvl] {
+                let key: Vec<Value> = {
+                    let mask = prefix_mask(lvl);
+                    anchor.project(mask)
+                };
+                emit(Group::new(prefix_mask(lvl), key), state);
             }
-        };
+        }
+    };
 
     for t in &sorted {
         if let Some(prev) = current {
@@ -217,7 +219,13 @@ mod tests {
     #[test]
     fn pipesort_matches_naive() {
         let r = rel(500);
-        for spec in [AggSpec::Count, AggSpec::Sum, AggSpec::Min, AggSpec::Max, AggSpec::Avg] {
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+        ] {
             let a = pipesort(&r, spec);
             let b = naive_cube(&r, spec);
             assert!(a.approx_eq(&b, 1e-9), "{spec:?}: {:?}", a.diff(&b, 1e-9, 5));

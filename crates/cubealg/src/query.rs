@@ -86,7 +86,9 @@ impl<'a> CubeQuery<'a> {
     /// groups of `g.mask + dim` that project back to `g`.
     pub fn drill_down(&self, g: &Group, dim: usize) -> Result<Vec<(&'a Group, &'a AggOutput)>> {
         if g.mask.contains(dim) {
-            return Err(Error::Config(format!("group already grouped on dimension {dim}")));
+            return Err(Error::Config(format!(
+                "group already grouped on dimension {dim}"
+            )));
         }
         let parent = g.mask.with(dim);
         Ok(self
@@ -100,7 +102,9 @@ impl<'a> CubeQuery<'a> {
     /// Roll up: the coarser group obtained by dropping `dim` from `g`.
     pub fn roll_up(&self, g: &Group, dim: usize) -> Result<Option<(&'a Group, &'a AggOutput)>> {
         if !g.mask.contains(dim) {
-            return Err(Error::Config(format!("group is not grouped on dimension {dim}")));
+            return Err(Error::Config(format!(
+                "group is not grouped on dimension {dim}"
+            )));
         }
         let coarse = g.project(g.mask.without(dim));
         let entries = self.cuboid(coarse.mask);
@@ -110,8 +114,13 @@ impl<'a> CubeQuery<'a> {
             .map(|i| entries[i]))
     }
 
-    /// The `n` largest groups of a cuboid by scalar aggregate, descending
-    /// (ties by key). Top-k outputs are skipped.
+    /// The `n` largest groups of a cuboid by scalar aggregate, descending.
+    /// Top-k outputs are skipped.
+    ///
+    /// The ranking is fully deterministic: values compare by IEEE-754 total
+    /// order (so NaNs sort consistently instead of depending on input
+    /// order) and tied values break by group key, ascending. Two runs —
+    /// or an in-memory index and the on-disk store — always agree.
     pub fn top(&self, mask: Mask, n: usize) -> Vec<(&'a Group, f64)> {
         let mut scored: Vec<(&Group, f64)> = self
             .cuboid(mask)
@@ -121,7 +130,7 @@ impl<'a> CubeQuery<'a> {
                 AggOutput::TopK(_) => None,
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
         scored.truncate(n);
         scored
     }
@@ -161,12 +170,23 @@ mod tests {
     use spcube_common::{Relation, Schema};
 
     fn cube_and_rel() -> (Cube, Relation) {
-        let mut r =
-            Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
-        r.push_row(vec!["laptop".into(), "Rome".into(), Value::Int(2012)], 2000.0);
-        r.push_row(vec!["laptop".into(), "Paris".into(), Value::Int(2012)], 1500.0);
-        r.push_row(vec!["laptop".into(), "Rome".into(), Value::Int(2013)], 900.0);
-        r.push_row(vec!["printer".into(), "Rome".into(), Value::Int(2011)], 300.0);
+        let mut r = Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
+        r.push_row(
+            vec!["laptop".into(), "Rome".into(), Value::Int(2012)],
+            2000.0,
+        );
+        r.push_row(
+            vec!["laptop".into(), "Paris".into(), Value::Int(2012)],
+            1500.0,
+        );
+        r.push_row(
+            vec!["laptop".into(), "Rome".into(), Value::Int(2013)],
+            900.0,
+        );
+        r.push_row(
+            vec!["printer".into(), "Rome".into(), Value::Int(2011)],
+            300.0,
+        );
         let c = naive_cube(&r, AggSpec::Sum);
         (c, r)
     }
@@ -242,7 +262,10 @@ mod tests {
         let mut blobs: Vec<(String, String)> = Vec::new();
         let paths = q.export_per_cuboid("out", |p, b| blobs.push((p, b)));
         assert_eq!(paths.len(), 8);
-        let apex = blobs.iter().find(|(p, _)| p.ends_with("cuboid-000.tsv")).unwrap();
+        let apex = blobs
+            .iter()
+            .find(|(p, _)| p.ends_with("cuboid-000.tsv"))
+            .unwrap();
         assert_eq!(apex.1.trim(), "(*,*,*)\t4700");
     }
 }

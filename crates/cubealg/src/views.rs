@@ -35,8 +35,7 @@ pub type CuboidSizes = HashMap<Mask, u64>;
 
 /// Exact cuboid sizes of a materialized cube.
 pub fn cuboid_sizes(cube: &Cube, d: usize) -> CuboidSizes {
-    let mut sizes: CuboidSizes =
-        Mask::full(d).subsets().map(|m| (m, 0)).collect();
+    let mut sizes: CuboidSizes = Mask::full(d).subsets().map(|m| (m, 0)).collect();
     for (g, _) in cube.iter() {
         *sizes.get_mut(&g.mask).expect("cube group outside lattice") += 1;
     }
@@ -66,17 +65,12 @@ pub fn greedy_select(d: usize, sizes: &CuboidSizes, max_views: usize) -> ViewSel
                 continue;
             }
             let sv = size_of(v);
-            let benefit: u64 = v
-                .subsets()
-                .map(|w| cost[&w].saturating_sub(sv))
-                .sum();
+            let benefit: u64 = v.subsets().map(|w| cost[&w].saturating_sub(sv)).sum();
             let candidate = (benefit, v);
             let better = match best {
                 None => true,
                 Some((bb, bv)) => {
-                    benefit > bb
-                        || (benefit == bb
-                            && (sv, v.0) < (size_of(bv), bv.0))
+                    benefit > bb || (benefit == bb && (sv, v.0) < (size_of(bv), bv.0))
                 }
             };
             if better {
@@ -127,9 +121,14 @@ mod tests {
     /// that answers many queries.
     fn toy_sizes() -> CuboidSizes {
         // d = 2: masks 00, 01, 10, 11.
-        [(Mask(0b00), 1u64), (Mask(0b01), 10), (Mask(0b10), 95), (Mask(0b11), 100)]
-            .into_iter()
-            .collect()
+        [
+            (Mask(0b00), 1u64),
+            (Mask(0b01), 10),
+            (Mask(0b10), 95),
+            (Mask(0b11), 100),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Blob storage behind the store.
+//!
+//! The store reads and writes whole blobs by path, nothing more, so the
+//! backing storage is a two-method trait. Two implementations ship:
+//!
+//! * [`Dfs`] — the simulated distributed file system from `mapreduce`.
+//!   This is what the SP-Cube driver writes through, so store traffic
+//!   shows up in the same `bytes_written` / `bytes_read` accounting as
+//!   shuffle traffic, and the DFS fault hooks (`corrupt_byte`,
+//!   `corrupt_next_write`) inject segment corruption for tests.
+//! * [`DirBlobs`] — a real directory on the local file system, used by the
+//!   CLI so a store built in one invocation can be queried in the next.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spcube_common::{Error, Result};
+use spcube_mapreduce::Dfs;
+
+/// Whole-blob storage by path.
+pub trait BlobStore: Send + Sync {
+    /// Write `data` at `path`, replacing any previous blob.
+    fn put(&self, path: &str, data: Vec<u8>) -> Result<()>;
+
+    /// Read the blob at `path`.
+    fn get(&self, path: &str) -> Result<Vec<u8>>;
+}
+
+impl BlobStore for Dfs {
+    fn put(&self, path: &str, data: Vec<u8>) -> Result<()> {
+        Dfs::put(self, path, data);
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        Dfs::get(self, path)
+    }
+}
+
+/// Blob storage rooted at a local directory; blob paths become relative
+/// file paths under it.
+#[derive(Debug, Clone)]
+pub struct DirBlobs {
+    root: PathBuf,
+}
+
+impl DirBlobs {
+    /// Storage rooted at `root` (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> DirBlobs {
+        DirBlobs { root: root.into() }
+    }
+
+    /// Resolve a blob path, rejecting escapes from the root.
+    fn resolve(&self, path: &str) -> Result<PathBuf> {
+        let rel = Path::new(path);
+        if rel.is_absolute() || rel.components().any(|c| c.as_os_str() == "..") {
+            return Err(Error::Parse(format!(
+                "blob path {path:?} escapes the store root"
+            )));
+        }
+        Ok(self.root.join(rel))
+    }
+}
+
+impl BlobStore for DirBlobs {
+    fn put(&self, path: &str, data: Vec<u8>) -> Result<()> {
+        let full = self.resolve(path)?;
+        if let Some(dir) = full.parent() {
+            fs::create_dir_all(dir)
+                .map_err(|e| Error::Io(format!("creating blob directory for {path}"), e))?;
+        }
+        fs::write(full, data).map_err(|e| Error::Io(format!("writing blob {path}"), e))
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        fs::read(self.resolve(path)?).map_err(|e| Error::Io(format!("reading blob {path}"), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_blobs_round_trip_and_count_bytes() {
+        let dfs = Dfs::new();
+        BlobStore::put(&dfs, "store/a", vec![1, 2, 3]).unwrap();
+        assert_eq!(BlobStore::get(&dfs, "store/a").unwrap(), vec![1, 2, 3]);
+        assert_eq!(dfs.bytes_written(), 3);
+        assert!(BlobStore::get(&dfs, "store/missing").is_err());
+    }
+
+    #[test]
+    fn dir_blobs_round_trip() {
+        let root = std::env::temp_dir().join(format!("cubestore-blob-{}", std::process::id()));
+        let blobs = DirBlobs::new(&root);
+        blobs.put("store/nested/a.bin", vec![9, 8]).unwrap();
+        assert_eq!(blobs.get("store/nested/a.bin").unwrap(), vec![9, 8]);
+        assert!(blobs.get("store/nope").is_err());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn dir_blobs_reject_escaping_paths() {
+        let blobs = DirBlobs::new("/tmp/cubestore-escape-test");
+        assert!(blobs.put("../evil", vec![1]).is_err());
+        assert!(blobs.get("/etc/hostname").is_err());
+    }
+}

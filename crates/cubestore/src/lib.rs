@@ -1,0 +1,51 @@
+//! CubeStore: a persistent columnar cube store with a concurrent
+//! query-serving front-end.
+//!
+//! SP-Cube materializes all `2^d` cuboids so that any group-by can be
+//! answered instantly — but a cube that lives only in the memory of the
+//! job that built it answers nothing once that job exits. This crate is
+//! the missing read path, turning the cube into a serving substrate (the
+//! framing of Sundararajan & Yan, arXiv:1709.10072, and Wang et al.,
+//! arXiv:1311.5663):
+//!
+//! * **[`codec`]** — shared binary primitives in the SP-Sketch codec
+//!   style: 5-byte magics, little-endian integers, tagged values, and a
+//!   trailing 64-bit FNV-1a checksum on every blob.
+//! * **[`segment`]** — one columnar blob per cuboid (the paper's
+//!   one-file-per-cuboid layout, Section 3.1): dictionary-encoded
+//!   dimension columns, a sparse first-key index, and per-block zone
+//!   maps.
+//! * **[`manifest`]** — the store root: cube shape plus the segment
+//!   directory, checksummed like everything else.
+//! * **[`blob`]** — two-method storage behind it all: the simulated DFS
+//!   from `spcube-mapreduce` (store traffic lands in the same byte
+//!   accounting as shuffle traffic, and its fault hooks inject
+//!   corruption) or a real directory for the CLI.
+//! * **[`store`]** — [`write_store`] persists a cube; [`CubeStore`]
+//!   answers the [`CubeRead`](spcube_cubealg::CubeRead) OLAP operations
+//!   from segments through an LRU hot-cuboid cache with hit/miss
+//!   counters.
+//! * **[`recover`]** — the degraded path: a segment that fails its
+//!   checksum is recomputed BUC-style from the raw relation instead of
+//!   failing the query (the same graceful-degradation stance the SP-Cube
+//!   driver takes when its sketch is lost).
+//! * **[`server`]** — [`CubeServer`]: a fixed worker pool over a bounded
+//!   request queue with typed overload rejection, serving point / slice /
+//!   top-k / roll-up requests concurrently from one shared store.
+
+pub mod blob;
+pub mod cache;
+pub mod codec;
+pub mod manifest;
+pub mod recover;
+pub mod segment;
+pub mod server;
+pub mod store;
+
+pub use blob::{BlobStore, DirBlobs};
+pub use cache::SegmentCache;
+pub use manifest::{manifest_path, segment_path, Manifest, ManifestEntry};
+pub use recover::recompute_cuboid;
+pub use segment::Segment;
+pub use server::{answer, CubeServer, Request, Response, ServeError, ServerConfig, ServerStats};
+pub use store::{write_store, CubeStore, StoreStats, StoreWriteReport, DEFAULT_CACHE_SEGMENTS};

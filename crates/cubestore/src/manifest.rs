@@ -1,0 +1,242 @@
+//! The store manifest — the root of a persisted cube.
+//!
+//! A store is one manifest plus one segment blob per non-empty cuboid.
+//! The manifest records the cube's shape (`d`, aggregate spec, minimum
+//! support) and, per materialized cuboid, its row count, encoded size, and
+//! blob path. A cuboid absent from the manifest is empty — the writer
+//! skips empty cuboids, the reader answers from an implicit empty segment.
+//!
+//! The aggregate spec and minimum support are stored so that a reader that
+//! finds a *corrupt* segment can recompute exactly the same cuboid from
+//! the raw relation (the degraded path in [`crate::store`]).
+//!
+//! # Wire format (`CMAN1`)
+//!
+//! ```text
+//! "CMAN1" | u32 d | tagged agg_spec | u32 min_support | u32 n_entries
+//! per entry: u32 mask | u32 rows | u64 bytes | u32 path_len | path bytes
+//! u64 FNV-1a checksum of everything above
+//! ```
+
+use spcube_agg::AggSpec;
+use spcube_common::{Error, Mask, Result};
+
+use crate::codec::{checked_body, put_agg_spec, put_u32, put_u64, seal, Reader};
+
+/// Magic prefix of a serialized manifest (format version 1).
+pub const MANIFEST_MAGIC: &[u8; 5] = b"CMAN1";
+
+/// File name of the manifest blob under a store prefix.
+pub const MANIFEST_FILE: &str = "manifest.cman";
+
+/// One materialized cuboid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Which cuboid.
+    pub mask: Mask,
+    /// Number of groups in the segment.
+    pub rows: u32,
+    /// Encoded segment size in bytes.
+    pub bytes: u64,
+    /// Blob path of the segment, relative to the blob store root.
+    pub path: String,
+}
+
+/// The decoded manifest of one persisted cube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Cube dimensionality.
+    pub d: usize,
+    /// Aggregate the cube was built with.
+    pub spec: AggSpec,
+    /// Iceberg minimum support the cube was built with.
+    pub min_support: usize,
+    /// Materialized cuboids, sorted by mask.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// The entry for `mask`, if that cuboid was materialized (non-empty).
+    pub fn entry(&self, mask: Mask) -> Option<&ManifestEntry> {
+        self.entries
+            .binary_search_by_key(&mask, |e| e.mask)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Total encoded bytes across all segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total rows (groups) across all segments.
+    pub fn total_rows(&self) -> u64 {
+        self.entries.iter().map(|e| e.rows as u64).sum()
+    }
+
+    /// Serialize (see the module-level wire format). Entries are sorted by
+    /// mask so encoding is deterministic and `entry` can binary-search.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut entries: Vec<&ManifestEntry> = self.entries.iter().collect();
+        entries.sort_by_key(|e| e.mask);
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        put_u32(&mut out, self.d as u32);
+        put_agg_spec(&mut out, self.spec);
+        put_u32(&mut out, self.min_support as u32);
+        put_u32(&mut out, entries.len() as u32);
+        for e in entries {
+            put_u32(&mut out, e.mask.0);
+            put_u32(&mut out, e.rows);
+            put_u64(&mut out, e.bytes);
+            put_u32(&mut out, e.path.len() as u32);
+            out.extend_from_slice(e.path.as_bytes());
+        }
+        seal(&mut out);
+        out
+    }
+
+    /// Deserialize, verifying the checksum and structural invariants.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        let body = checked_body(bytes, "manifest")?;
+        let mut r = Reader::new(body);
+        if r.take(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC {
+            return Err(Error::Parse("bad manifest magic".into()));
+        }
+        let d = r.u32()? as usize;
+        if d > Mask::MAX_DIMS {
+            return Err(Error::Parse(format!(
+                "manifest declares {d} dimensions, max is {}",
+                Mask::MAX_DIMS
+            )));
+        }
+        let spec = r.agg_spec()?;
+        let min_support = r.u32()? as usize;
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mask = Mask(r.u32()?);
+            if !mask.is_subset_of(Mask::full(d)) {
+                return Err(Error::Parse(format!(
+                    "manifest cuboid {mask} has bits beyond d={d}"
+                )));
+            }
+            let rows = r.u32()?;
+            let bytes = r.u64()?;
+            let path_len = r.u32()? as usize;
+            let raw = r.take(path_len)?;
+            let path = std::str::from_utf8(raw)
+                .map_err(|_| Error::Parse("manifest path is not UTF-8".into()))?
+                .to_string();
+            entries.push(ManifestEntry {
+                mask,
+                rows,
+                bytes,
+                path,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(Error::Parse("trailing bytes after manifest".into()));
+        }
+        if entries.windows(2).any(|w| w[0].mask >= w[1].mask) {
+            return Err(Error::Parse("manifest entries not sorted by mask".into()));
+        }
+        Ok(Manifest {
+            d,
+            spec,
+            min_support,
+            entries,
+        })
+    }
+}
+
+/// Blob path of the segment for `mask` under `prefix`, zero-padded binary
+/// (e.g. `store/cuboid-0101.cseg` for mask `m101` of a 4-d cube).
+pub fn segment_path(prefix: &str, d: usize, mask: Mask) -> String {
+    format!(
+        "{prefix}/cuboid-{:0>width$b}.cseg",
+        mask.0,
+        width = d.max(1)
+    )
+}
+
+/// Blob path of the manifest under `prefix`.
+pub fn manifest_path(prefix: &str) -> String {
+    format!("{prefix}/{MANIFEST_FILE}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            d: 3,
+            spec: AggSpec::TopKFrequent(4),
+            min_support: 2,
+            entries: vec![
+                ManifestEntry {
+                    mask: Mask(0b000),
+                    rows: 1,
+                    bytes: 40,
+                    path: "p/a".into(),
+                },
+                ManifestEntry {
+                    mask: Mask(0b011),
+                    rows: 10,
+                    bytes: 400,
+                    path: "p/b".into(),
+                },
+                ManifestEntry {
+                    mask: Mask(0b111),
+                    rows: 50,
+                    bytes: 2000,
+                    path: "p/c".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_and_lookup() {
+        let m = sample();
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.entry(Mask(0b011)).unwrap().rows, 10);
+        assert!(back.entry(Mask(0b101)).is_none());
+        assert_eq!(back.total_bytes(), 2440);
+        assert_eq!(back.total_rows(), 61);
+    }
+
+    #[test]
+    fn encode_sorts_entries() {
+        let mut m = sample();
+        m.entries.reverse();
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back.entries[0].mask, Mask(0b000));
+        assert_eq!(back.entries[2].mask, Mask(0b111));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Manifest::decode(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_stable() {
+        assert_eq!(
+            segment_path("store", 4, Mask(0b101)),
+            "store/cuboid-0101.cseg"
+        );
+        assert_eq!(segment_path("store", 1, Mask(0b0)), "store/cuboid-0.cseg");
+        assert_eq!(manifest_path("store"), "store/manifest.cman");
+    }
+}

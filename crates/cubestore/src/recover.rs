@@ -1,0 +1,129 @@
+//! Degraded-path recompute of a single cuboid.
+//!
+//! When a segment fails its checksum the store does not fail the query:
+//! it recomputes just the affected cuboid from the raw relation, BUC-style
+//! (Beyer & Ramakrishnan's recursive partitioning, restricted to the
+//! cuboid's own dimensions), and serves from the recomputed rows. This is
+//! the same graceful-degradation stance the SP-Cube driver takes when its
+//! sketch is lost: worse performance, same answers.
+//!
+//! The recursion partitions the relation by each grouped dimension in
+//! ascending order, pruning partitions below the iceberg minimum support
+//! and emitting a group only at full depth. Because every intermediate
+//! partition is a superset of the final one, the emitted groups are
+//! exactly those BUC itself would emit for this cuboid: the groups whose
+//! support reaches `min_support`.
+
+use spcube_agg::{AggOutput, AggSpec};
+use spcube_common::{Group, Mask, Relation, Tuple, Value};
+
+/// Recompute the cuboid `mask` of `rel` under `spec`, keeping only groups
+/// with at least `min_support` supporting tuples. Rows come back in no
+/// particular order.
+pub fn recompute_cuboid(
+    rel: &Relation,
+    mask: Mask,
+    spec: AggSpec,
+    min_support: usize,
+) -> Vec<(Box<[Value]>, AggOutput)> {
+    let min_support = min_support.max(1);
+    let mut refs: Vec<&Tuple> = rel.tuples().iter().collect();
+    let dims: Vec<usize> = mask.dims().collect();
+    let mut out = Vec::new();
+    if refs.len() >= min_support {
+        partition(&mut refs, &dims, mask, spec, min_support, &mut out);
+    }
+    out
+}
+
+fn partition(
+    tuples: &mut [&Tuple],
+    dims: &[usize],
+    mask: Mask,
+    spec: AggSpec,
+    min_support: usize,
+    out: &mut Vec<(Box<[Value]>, AggOutput)>,
+) {
+    let Some((&dim, rest)) = dims.split_first() else {
+        // Full depth: this partition is one group of the target cuboid.
+        let mut state = spec.init();
+        for t in tuples.iter() {
+            state.update(t.measure);
+        }
+        let group = Group::of_tuple(tuples[0], mask);
+        out.push((group.key, state.finalize()));
+        return;
+    };
+    tuples.sort_unstable_by(|a, b| a.dims[dim].cmp(&b.dims[dim]));
+    let mut start = 0;
+    while start < tuples.len() {
+        let val = &tuples[start].dims[dim];
+        let mut end = start + 1;
+        while end < tuples.len() && tuples[end].dims[dim] == *val {
+            end += 1;
+        }
+        if end - start >= min_support {
+            partition(&mut tuples[start..end], rest, mask, spec, min_support, out);
+        }
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::Schema;
+
+    fn rel(rows: &[(&[i64], f64)]) -> Relation {
+        let d = rows[0].0.len();
+        let mut r = Relation::empty(Schema::synthetic(d));
+        for (dims, m) in rows {
+            r.push_row(dims.iter().map(|&v| Value::Int(v)).collect(), *m);
+        }
+        r
+    }
+
+    #[test]
+    fn matches_buc_on_every_cuboid() {
+        let r = rel(&[
+            (&[1, 1, 2], 1.0),
+            (&[1, 2, 2], 2.0),
+            (&[1, 1, 3], 3.0),
+            (&[2, 1, 2], 4.0),
+            (&[2, 2, 2], 5.0),
+        ]);
+        for min_support in [1usize, 2, 3] {
+            let cfg = spcube_cubealg::BucConfig { min_support };
+            let full = spcube_cubealg::buc(&r, AggSpec::Sum, &cfg);
+            for mask in Mask::full(3).subsets() {
+                let mut got = recompute_cuboid(&r, mask, AggSpec::Sum, min_support);
+                got.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut expect: Vec<(Box<[Value]>, AggOutput)> = full
+                    .iter()
+                    .filter(|(g, _)| g.mask == mask)
+                    .map(|(g, v)| (g.key.clone(), v.clone()))
+                    .collect();
+                expect.sort_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(got, expect, "cuboid {mask}, min_support {min_support}");
+            }
+        }
+    }
+
+    #[test]
+    fn apex_recompute() {
+        let r = rel(&[(&[1], 1.0), (&[2], 2.0)]);
+        let got = recompute_cuboid(&r, Mask::EMPTY, AggSpec::Count, 1);
+        assert_eq!(
+            got,
+            vec![(Box::from([]) as Box<[Value]>, AggOutput::Number(2.0))]
+        );
+    }
+
+    #[test]
+    fn iceberg_prunes_thin_groups() {
+        let r = rel(&[(&[1], 1.0), (&[1], 2.0), (&[2], 3.0)]);
+        let got = recompute_cuboid(&r, Mask(0b1), AggSpec::Count, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0.as_ref(), &[Value::Int(1)]);
+    }
+}

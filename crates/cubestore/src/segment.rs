@@ -1,0 +1,553 @@
+//! Columnar cuboid segments — the store's unit of persistence.
+//!
+//! One segment holds one cuboid, mirroring the paper's one-file-per-cuboid
+//! output layout (Section 3.1). Inside, the cuboid is stored *columnar*:
+//! every grouped dimension becomes a dictionary-encoded column (a sorted
+//! dictionary of distinct values plus one `u32` code per row), and the
+//! aggregate outputs form a final values column. Rows are sorted by group
+//! key, so point lookups and range reasoning work on codes alone.
+//!
+//! On top of the columns the segment carries per-block metadata, computed
+//! at build time and persisted with the data:
+//!
+//! * a **sparse first-key index** — blocks have a fixed row stride, so the
+//!   first key of each block (derivable from its start row) splits the
+//!   sorted row space; a point probe binary-searches the block firsts and
+//!   scans at most one block;
+//! * **zone maps** — per block, the min/max code of every column; a slice
+//!   on `dim = value` skips every block whose code range excludes the
+//!   value.
+//!
+//! # Wire format (`CSEG1`)
+//!
+//! ```text
+//! "CSEG1" | u32 d | u32 mask | u32 rows | u32 block_size
+//! per column (ascending dimension order):
+//!     u32 dict_len | dict values (sorted, tagged) | rows × u32 codes
+//! rows × tagged aggregate outputs
+//! u32 n_blocks | per block, per column: u32 min_code | u32 max_code
+//! u64 FNV-1a checksum of everything above
+//! ```
+//!
+//! [`Segment::decode`] verifies the checksum first and then the structural
+//! invariants (sorted dictionaries, in-range codes, sorted rows), so a
+//! corrupt or hand-forged blob is rejected rather than served.
+
+use std::cmp::Ordering;
+
+use spcube_agg::AggOutput;
+use spcube_common::{Error, Group, Mask, Result, Value};
+
+use crate::codec::{checked_body, put_agg_output, put_u32, put_value, seal, Reader};
+
+/// Magic prefix of a serialized segment (format version 1).
+pub const SEGMENT_MAGIC: &[u8; 5] = b"CSEG1";
+
+/// Default rows per block for the sparse index / zone maps.
+pub const DEFAULT_BLOCK_SIZE: usize = 64;
+
+/// One dictionary-encoded dimension column.
+#[derive(Debug, Clone)]
+struct Column {
+    /// Distinct values, sorted ascending; codes index into this.
+    dict: Vec<Value>,
+    /// One code per row.
+    codes: Vec<u32>,
+}
+
+impl Column {
+    /// The dictionary code of `v`, if present.
+    fn code_of(&self, v: &Value) -> Option<u32> {
+        self.dict.binary_search(v).ok().map(|i| i as u32)
+    }
+}
+
+/// Per-block metadata: the zone map (min/max code per column). The block's
+/// first row — the sparse-index key — is `block_index * block_size`.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    /// `(min_code, max_code)` per column, in column order.
+    ranges: Vec<(u32, u32)>,
+}
+
+/// A decoded, query-ready cuboid segment.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    d: usize,
+    mask: Mask,
+    block_size: usize,
+    columns: Vec<Column>,
+    values: Vec<AggOutput>,
+    blocks: Vec<BlockMeta>,
+}
+
+impl Segment {
+    /// Build a segment from the rows of one cuboid. Keys must all have the
+    /// cuboid's arity; rows are sorted by key here, so callers can pass
+    /// them in any order. Panics on an arity mismatch (a programming
+    /// error, like [`Group::new`]).
+    pub fn build(d: usize, mask: Mask, mut rows: Vec<(Box<[Value]>, AggOutput)>) -> Segment {
+        let arity = mask.arity() as usize;
+        for (key, _) in &rows {
+            assert_eq!(
+                key.len(),
+                arity,
+                "segment row arity mismatch for cuboid {mask}"
+            );
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Dictionaries: sorted distinct values per column.
+        let mut columns = Vec::with_capacity(arity);
+        for slot in 0..arity {
+            let mut dict: Vec<Value> = rows.iter().map(|(k, _)| k[slot].clone()).collect();
+            dict.sort();
+            dict.dedup();
+            let codes = rows
+                .iter()
+                .map(|(k, _)| dict.binary_search(&k[slot]).expect("value in dict") as u32)
+                .collect();
+            columns.push(Column { dict, codes });
+        }
+        let values: Vec<AggOutput> = rows.into_iter().map(|(_, v)| v).collect();
+        let blocks = build_blocks(&columns, values.len(), DEFAULT_BLOCK_SIZE);
+        Segment {
+            d,
+            mask,
+            block_size: DEFAULT_BLOCK_SIZE,
+            columns,
+            values,
+            blocks,
+        }
+    }
+
+    /// Total dimensions of the cube this segment belongs to.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// The cuboid this segment holds.
+    pub fn mask(&self) -> Mask {
+        self.mask
+    }
+
+    /// Number of rows (groups).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the cuboid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Approximate decoded footprint in bytes, used for cache accounting.
+    pub fn heap_bytes(&self) -> u64 {
+        let dict: u64 = self
+            .columns
+            .iter()
+            .flat_map(|c| c.dict.iter())
+            .map(Value::wire_bytes)
+            .sum();
+        let codes: u64 = self.columns.iter().map(|c| 4 * c.codes.len() as u64).sum();
+        let values = 16 * self.values.len() as u64;
+        dict + codes + values
+    }
+
+    /// Materialize the key of row `i`.
+    pub fn key(&self, i: usize) -> Vec<Value> {
+        self.columns
+            .iter()
+            .map(|c| c.dict[c.codes[i] as usize].clone())
+            .collect()
+    }
+
+    /// Materialize row `i` as a [`Group`].
+    pub fn group(&self, i: usize) -> Group {
+        Group::new(self.mask, self.key(i))
+    }
+
+    /// The aggregate of row `i`.
+    pub fn value(&self, i: usize) -> &AggOutput {
+        &self.values[i]
+    }
+
+    /// Iterate over all rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Group, &AggOutput)> + '_ {
+        (0..self.len()).map(|i| (self.group(i), &self.values[i]))
+    }
+
+    /// Compare row `i` against needle codes, column by column.
+    fn cmp_row(&self, i: usize, needle: &[u32]) -> Ordering {
+        for (col, &code) in self.columns.iter().zip(needle) {
+            match col.codes[i].cmp(&code) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Translate a key into per-column codes; `None` when any value is
+    /// absent from its dictionary (the key cannot be in the segment).
+    fn codes_of(&self, key: &[Value]) -> Option<Vec<u32>> {
+        if key.len() != self.columns.len() {
+            return None;
+        }
+        self.columns
+            .iter()
+            .zip(key)
+            .map(|(c, v)| c.code_of(v))
+            .collect()
+    }
+
+    /// Point lookup via the sparse first-key index: binary-search the block
+    /// firsts for the last block whose first key is `<=` the needle, then
+    /// scan only that block.
+    pub fn point(&self, key: &[Value]) -> Option<&AggOutput> {
+        let needle = self.codes_of(key)?;
+        if self.is_empty() {
+            return None;
+        }
+        // partition_point over blocks: first keys <= needle.
+        let candidates = (0..self.blocks.len())
+            .collect::<Vec<_>>()
+            .partition_point(|&b| self.cmp_row(b * self.block_size, &needle) != Ordering::Greater);
+        if candidates == 0 {
+            return None;
+        }
+        let block = candidates - 1;
+        let start = block * self.block_size;
+        let end = (start + self.block_size).min(self.len());
+        (start..end)
+            .find(|&i| self.cmp_row(i, &needle) == Ordering::Equal)
+            .map(|i| &self.values[i])
+    }
+
+    /// Row indices whose value on column `slot` equals `value`, pruned by
+    /// the per-block zone maps.
+    pub fn slice_rows(&self, slot: usize, value: &Value) -> Vec<usize> {
+        let Some(code) = self.columns.get(slot).and_then(|c| c.code_of(value)) else {
+            return Vec::new();
+        };
+        let mut rows = Vec::new();
+        for (b, meta) in self.blocks.iter().enumerate() {
+            let (lo, hi) = meta.ranges[slot];
+            if code < lo || code > hi {
+                continue; // zone map excludes this block
+            }
+            let start = b * self.block_size;
+            let end = (start + self.block_size).min(self.len());
+            for i in start..end {
+                if self.columns[slot].codes[i] == code {
+                    rows.push(i);
+                }
+            }
+        }
+        rows
+    }
+
+    /// Serialize (see the module-level wire format).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SEGMENT_MAGIC);
+        put_u32(&mut out, self.d as u32);
+        put_u32(&mut out, self.mask.0);
+        put_u32(&mut out, self.len() as u32);
+        put_u32(&mut out, self.block_size as u32);
+        for col in &self.columns {
+            put_u32(&mut out, col.dict.len() as u32);
+            for v in &col.dict {
+                put_value(&mut out, v);
+            }
+            for &code in &col.codes {
+                put_u32(&mut out, code);
+            }
+        }
+        for v in &self.values {
+            put_agg_output(&mut out, v);
+        }
+        put_u32(&mut out, self.blocks.len() as u32);
+        for meta in &self.blocks {
+            for &(lo, hi) in &meta.ranges {
+                put_u32(&mut out, lo);
+                put_u32(&mut out, hi);
+            }
+        }
+        seal(&mut out);
+        out
+    }
+
+    /// Deserialize, verifying the checksum before any field is trusted and
+    /// then the structural invariants a correct builder guarantees.
+    pub fn decode(bytes: &[u8]) -> Result<Segment> {
+        let body = checked_body(bytes, "segment")?;
+        let mut r = Reader::new(body);
+        if r.take(SEGMENT_MAGIC.len())? != SEGMENT_MAGIC {
+            return Err(Error::Parse("bad segment magic".into()));
+        }
+        let d = r.u32()? as usize;
+        if d > Mask::MAX_DIMS {
+            return Err(Error::Parse(format!(
+                "segment declares {d} dimensions, max is {}",
+                Mask::MAX_DIMS
+            )));
+        }
+        let mask = Mask(r.u32()?);
+        if !mask.is_subset_of(Mask::full(d)) {
+            return Err(Error::Parse(format!(
+                "segment cuboid {mask} has bits beyond d={d}"
+            )));
+        }
+        let rows = r.u32()? as usize;
+        let block_size = r.u32()? as usize;
+        if block_size == 0 {
+            return Err(Error::Parse("segment block size must be positive".into()));
+        }
+        let arity = mask.arity() as usize;
+        let mut columns = Vec::with_capacity(arity);
+        for slot in 0..arity {
+            let dict_len = r.u32()? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(r.value()?);
+            }
+            if dict.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(Error::Parse(format!(
+                    "segment {mask}: column {slot} dictionary not sorted/distinct"
+                )));
+            }
+            let mut codes = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let code = r.u32()?;
+                if code as usize >= dict_len {
+                    return Err(Error::Parse(format!(
+                        "segment {mask}: column {slot} code {code} beyond dictionary"
+                    )));
+                }
+                codes.push(code);
+            }
+            columns.push(Column { dict, codes });
+        }
+        let mut values = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            values.push(r.agg_output()?);
+        }
+        let n_blocks = r.u32()? as usize;
+        if n_blocks != rows.div_ceil(block_size) {
+            return Err(Error::Parse(format!(
+                "segment {mask}: {n_blocks} blocks for {rows} rows at stride {block_size}"
+            )));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let mut ranges = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let lo = r.u32()?;
+                let hi = r.u32()?;
+                ranges.push((lo, hi));
+            }
+            blocks.push(BlockMeta { ranges });
+        }
+        if !r.is_exhausted() {
+            return Err(Error::Parse("trailing bytes after segment".into()));
+        }
+        let seg = Segment {
+            d,
+            mask,
+            block_size,
+            columns,
+            values,
+            blocks,
+        };
+        // Rows must be sorted strictly ascending (groups are unique).
+        for i in 1..seg.len() {
+            let prev: Vec<u32> = seg.columns.iter().map(|c| c.codes[i - 1]).collect();
+            if seg.cmp_row(i, &prev) != Ordering::Greater {
+                return Err(Error::Parse(format!(
+                    "segment {mask}: rows not sorted at {i}"
+                )));
+            }
+        }
+        Ok(seg)
+    }
+}
+
+/// Compute the per-block zone maps for `columns` over `rows` rows.
+fn build_blocks(columns: &[Column], rows: usize, block_size: usize) -> Vec<BlockMeta> {
+    let n_blocks = rows.div_ceil(block_size);
+    (0..n_blocks)
+        .map(|b| {
+            let start = b * block_size;
+            let end = (start + block_size).min(rows);
+            let ranges = columns
+                .iter()
+                .map(|c| {
+                    let slice = &c.codes[start..end];
+                    let lo = *slice.iter().min().expect("non-empty block");
+                    let hi = *slice.iter().max().expect("non-empty block");
+                    (lo, hi)
+                })
+                .collect();
+            BlockMeta { ranges }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(vals: &[i64]) -> Box<[Value]> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn sample_segment(rows: usize) -> Segment {
+        let data: Vec<(Box<[Value]>, AggOutput)> = (0..rows)
+            .map(|i| {
+                (
+                    k(&[(i / 7) as i64, (i % 7) as i64]),
+                    AggOutput::Number(i as f64),
+                )
+            })
+            .collect();
+        Segment::build(3, Mask(0b011), data)
+    }
+
+    #[test]
+    fn build_sorts_rows_and_round_trips() {
+        let rows = vec![
+            (k(&[2, 1]), AggOutput::Number(3.0)),
+            (k(&[1, 5]), AggOutput::Number(1.0)),
+            (k(&[1, 2]), AggOutput::Number(2.0)),
+        ];
+        let seg = Segment::build(3, Mask(0b011), rows);
+        assert_eq!(seg.len(), 3);
+        assert_eq!(seg.key(0), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(seg.key(2), vec![Value::Int(2), Value::Int(1)]);
+        let bytes = seg.encode();
+        assert_eq!(&bytes[..5], SEGMENT_MAGIC);
+        let back = Segment::decode(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        for i in 0..3 {
+            assert_eq!(back.key(i), seg.key(i));
+            assert_eq!(back.value(i), seg.value(i));
+        }
+        // Deterministic encoding.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn point_probes_through_the_sparse_index() {
+        let seg = sample_segment(500); // multiple blocks at stride 64
+        assert_eq!(
+            seg.point(&[Value::Int(3), Value::Int(4)]),
+            Some(&AggOutput::Number(25.0))
+        );
+        assert_eq!(
+            seg.point(&[Value::Int(0), Value::Int(0)]),
+            Some(&AggOutput::Number(0.0))
+        );
+        let last = seg.len() - 1;
+        let last_key = seg.key(last);
+        assert_eq!(seg.point(&last_key), Some(seg.value(last)));
+        // Absent values (not even in the dictionary) miss cheaply.
+        assert_eq!(seg.point(&[Value::Int(999), Value::Int(0)]), None);
+        // Wrong arity misses rather than panicking.
+        assert_eq!(seg.point(&[Value::Int(1)]), None);
+    }
+
+    #[test]
+    fn slice_rows_match_a_full_scan() {
+        let seg = sample_segment(500);
+        for v in [0i64, 3, 6] {
+            let got = seg.slice_rows(1, &Value::Int(v));
+            let expect: Vec<usize> = (0..seg.len())
+                .filter(|&i| seg.key(i)[1] == Value::Int(v))
+                .collect();
+            assert_eq!(got, expect, "value {v}");
+        }
+        assert!(seg.slice_rows(1, &Value::Int(42)).is_empty());
+        assert!(
+            seg.slice_rows(9, &Value::Int(0)).is_empty(),
+            "bad slot is empty, not a panic"
+        );
+    }
+
+    #[test]
+    fn apex_segment_has_no_columns() {
+        let seg = Segment::build(3, Mask::EMPTY, vec![(Box::new([]), AggOutput::Number(7.0))]);
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg.point(&[]), Some(&AggOutput::Number(7.0)));
+        let back = Segment::decode(&seg.encode()).unwrap();
+        assert_eq!(back.point(&[]), Some(&AggOutput::Number(7.0)));
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let seg = Segment::build(2, Mask(0b01), Vec::new());
+        assert!(seg.is_empty());
+        let back = Segment::decode(&seg.encode()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.point(&[Value::Int(1)]), None);
+    }
+
+    #[test]
+    fn topk_values_survive_the_round_trip() {
+        let rows = vec![(k(&[1]), AggOutput::TopK(vec![(2.0, 9), (1.0, 3)]))];
+        let seg = Segment::build(1, Mask(0b1), rows);
+        let back = Segment::decode(&seg.encode()).unwrap();
+        assert_eq!(back.value(0), &AggOutput::TopK(vec![(2.0, 9), (1.0, 3)]));
+    }
+
+    #[test]
+    fn string_dimensions_round_trip() {
+        let rows = vec![
+            (
+                vec![Value::str("Rome")].into_boxed_slice(),
+                AggOutput::Number(1.0),
+            ),
+            (
+                vec![Value::str("Paris")].into_boxed_slice(),
+                AggOutput::Number(2.0),
+            ),
+        ];
+        let seg = Segment::build(1, Mask(0b1), rows);
+        let back = Segment::decode(&seg.encode()).unwrap();
+        assert_eq!(
+            back.point(&[Value::str("Paris")]),
+            Some(&AggOutput::Number(2.0))
+        );
+        assert_eq!(back.point(&[Value::str("Berlin")]), None);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample_segment(40).encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Segment::decode(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_blobs_are_rejected() {
+        assert!(Segment::decode(b"").is_err());
+        assert!(Segment::decode(b"CSEG1").is_err());
+        let good = sample_segment(10).encode();
+        assert!(Segment::decode(&good[..good.len() - 1]).is_err());
+        let mut padded = good.clone();
+        padded.insert(padded.len() - 8, 0);
+        assert!(Segment::decode(&padded).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_rows_panic() {
+        Segment::build(2, Mask(0b11), vec![(k(&[1]), AggOutput::Number(1.0))]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Concurrent query-serving front-end over a [`CubeStore`].
+//!
+//! The ROADMAP's north star is a cube that "serves heavy traffic", so the
+//! read path gets a real serving shape: a fixed pool of worker threads
+//! drains a bounded request queue; when the queue is full, submission
+//! fails *immediately* with a typed [`ServeError::Overloaded`] instead of
+//! blocking the caller — load shedding at the front door, like any
+//! production thread-pool server.
+//!
+//! Each request carries a one-shot response channel. Workers answer
+//! through the shared store (one `Arc<CubeStore>`; its segment cache and
+//! counters are already thread-safe), so concurrent queries against hot
+//! cuboids hit the same cached segments.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use spcube_agg::AggOutput;
+use spcube_common::{Group, Mask, Value};
+use spcube_cubealg::CubeRead;
+
+use crate::store::CubeStore;
+
+/// One OLAP query, self-contained (owned values).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A single group's aggregate.
+    Point { mask: Mask, key: Vec<Value> },
+    /// All groups of `mask` with `dim = value`.
+    Slice {
+        mask: Mask,
+        dim: usize,
+        value: Value,
+    },
+    /// The `n` largest groups of `mask` by scalar aggregate.
+    TopK { mask: Mask, n: usize },
+    /// The coarser group obtained by dropping `dim` from `group`.
+    RollUp { group: Group, dim: usize },
+    /// Number of groups in `mask`.
+    CuboidLen { mask: Mask },
+}
+
+/// The answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Point / roll-up result (`None`: no such group).
+    Value(Option<AggOutput>),
+    /// Roll-up result with the coarse group attached.
+    Rolled(Option<(Group, AggOutput)>),
+    /// Slice result rows.
+    Rows(Vec<(Group, AggOutput)>),
+    /// Top-k ranking.
+    Ranked(Vec<(Group, f64)>),
+    /// Cuboid size.
+    Len(usize),
+    /// The query itself failed (e.g. slice on an ungrouped dimension, or
+    /// a corrupt segment with no recovery relation attached).
+    Failed(String),
+}
+
+/// Why a submission was rejected at the front door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full — shed load and retry later.
+    Overloaded {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "server overloaded: request queue at capacity {capacity}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Worker-pool and queue sizing.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed number of worker threads.
+    pub workers: usize,
+    /// Maximum queued (not yet picked up) requests.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests answered (including `Failed` answers).
+    pub served: u64,
+    /// Submissions rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+}
+
+struct Queue {
+    jobs: VecDeque<(Request, mpsc::Sender<Response>)>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    wake: Condvar,
+    capacity: usize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A running worker-pool server over one shared store.
+pub struct CubeServer {
+    store: Arc<CubeStore>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CubeServer {
+    /// Start `cfg.workers` workers serving from `store`.
+    pub fn start(store: Arc<CubeStore>, cfg: ServerConfig) -> CubeServer {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            wake: Condvar::new(),
+            capacity: cfg.queue_capacity.max(1),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || worker_loop(&shared, &store))
+            })
+            .collect();
+        CubeServer {
+            store,
+            shared,
+            workers,
+        }
+    }
+
+    /// Enqueue a request; the response arrives on the returned channel.
+    /// Fails fast with [`ServeError::Overloaded`] when the queue is full.
+    pub fn submit(&self, req: Request) -> Result<mpsc::Receiver<Response>, ServeError> {
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        if q.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.shared.capacity {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                capacity: self.shared.capacity,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back((req, tx));
+        drop(q);
+        self.shared.wake.notify_one();
+        Ok(rx)
+    }
+
+    /// Submit and block for the answer — the simple synchronous client.
+    pub fn query(&self, req: Request) -> Result<Response, ServeError> {
+        let rx = self.submit(req)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Serving counters so far.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The store this server answers from.
+    pub fn store(&self) -> &Arc<CubeStore> {
+        &self.store
+    }
+
+    /// Drain the queue, stop the workers, and join them.
+    pub fn shutdown(mut self) -> ServerStats {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutting_down = true;
+        }
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for CubeServer {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // already shut down
+        }
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutting_down = true;
+        }
+        self.shared.wake.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, store: &CubeStore) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutting_down {
+                    break None;
+                }
+                q = shared.wake.wait(q).expect("queue lock");
+            }
+        };
+        let Some((req, tx)) = job else { return };
+        let resp = answer(store, &req);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        // The client may have given up; a dead receiver is fine.
+        let _ = tx.send(resp);
+    }
+}
+
+/// Answer one request through the [`CubeRead`] interface.
+pub fn answer(store: &CubeStore, req: &Request) -> Response {
+    let result = match req {
+        Request::Point { mask, key } => store.point(*mask, key).map(Response::Value),
+        Request::Slice { mask, dim, value } => store.slice(*mask, *dim, value).map(Response::Rows),
+        Request::TopK { mask, n } => store.top(*mask, *n).map(Response::Ranked),
+        Request::RollUp { group, dim } => store.roll_up(group, *dim).map(Response::Rolled),
+        Request::CuboidLen { mask } => store.cuboid_len(*mask).map(Response::Len),
+    };
+    result.unwrap_or_else(|e| Response::Failed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::write_store;
+    use spcube_agg::AggSpec;
+    use spcube_common::{Relation, Schema};
+    use spcube_cubealg::naive_cube;
+    use spcube_mapreduce::Dfs;
+
+    fn serving_store() -> Arc<CubeStore> {
+        let mut rel = Relation::empty(Schema::synthetic(2));
+        for (dims, m) in [([1i64, 1], 1.0), ([1, 2], 2.0), ([2, 1], 3.0)] {
+            rel.push_row(dims.iter().map(|&v| Value::Int(v)).collect(), m);
+        }
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).unwrap();
+        Arc::new(CubeStore::open(dfs, "s").unwrap())
+    }
+
+    #[test]
+    fn serves_all_request_kinds() {
+        let server = CubeServer::start(serving_store(), ServerConfig::default());
+        let point = server
+            .query(Request::Point {
+                mask: Mask(0b01),
+                key: vec![Value::Int(1)],
+            })
+            .unwrap();
+        assert_eq!(point, Response::Value(Some(AggOutput::Number(3.0))));
+        let len = server
+            .query(Request::CuboidLen { mask: Mask(0b11) })
+            .unwrap();
+        assert_eq!(len, Response::Len(3));
+        let sliced = server
+            .query(Request::Slice {
+                mask: Mask(0b11),
+                dim: 0,
+                value: Value::Int(1),
+            })
+            .unwrap();
+        match sliced {
+            Response::Rows(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let ranked = server
+            .query(Request::TopK {
+                mask: Mask(0b01),
+                n: 1,
+            })
+            .unwrap();
+        match ranked {
+            Response::Ranked(rows) => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0].1, 3.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let rolled = server
+            .query(Request::RollUp {
+                group: Group::new(Mask(0b11), vec![Value::Int(1), Value::Int(1)]),
+                dim: 1,
+            })
+            .unwrap();
+        match rolled {
+            Response::Rolled(Some((g, v))) => {
+                assert_eq!(g.mask, Mask(0b01));
+                assert_eq!(v, AggOutput::Number(3.0));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 5);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn bad_queries_fail_typed_not_crash() {
+        let server = CubeServer::start(serving_store(), ServerConfig::default());
+        // Slice on an ungrouped dimension is a query error, not a panic.
+        let resp = server
+            .query(Request::Slice {
+                mask: Mask(0b01),
+                dim: 1,
+                value: Value::Int(1),
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Failed(_)));
+        server.shutdown();
+    }
+
+    /// A blob store whose reads block while the test holds the gate,
+    /// wedging the worker mid-query so queue overflow is deterministic.
+    struct GatedBlobs {
+        inner: Arc<Dfs>,
+        gate: Arc<Mutex<()>>,
+    }
+
+    impl crate::blob::BlobStore for GatedBlobs {
+        fn put(&self, path: &str, data: Vec<u8>) -> spcube_common::Result<()> {
+            crate::blob::BlobStore::put(self.inner.as_ref(), path, data)
+        }
+
+        fn get(&self, path: &str) -> spcube_common::Result<Vec<u8>> {
+            let _open = self.gate.lock().expect("gate");
+            crate::blob::BlobStore::get(self.inner.as_ref(), path)
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let mut rel = Relation::empty(Schema::synthetic(2));
+        rel.push_row(vec![Value::Int(1), Value::Int(1)], 1.0);
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).unwrap();
+        let gate = Arc::new(Mutex::new(()));
+        let blobs = Arc::new(GatedBlobs {
+            inner: dfs,
+            gate: Arc::clone(&gate),
+        });
+        // Opening reads the manifest while the gate is still open.
+        let store = Arc::new(CubeStore::open(blobs, "s").unwrap());
+        let server = CubeServer::start(
+            store,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+            },
+        );
+
+        // Close the gate: the single worker wedges inside its first fetch,
+        // the queue holds one more request, and the next must be shed.
+        let closed = gate.lock().expect("gate");
+        let req = || Request::CuboidLen { mask: Mask(0b11) };
+        let mut receivers = Vec::new();
+        let rejection = loop {
+            match server.submit(req()) {
+                Ok(rx) => receivers.push(rx), // at most worker-held + queued = 2
+                Err(e) => break e,
+            }
+            assert!(
+                receivers.len() <= 2,
+                "queue of capacity 1 accepted too much"
+            );
+        };
+        assert_eq!(rejection, ServeError::Overloaded { capacity: 1 });
+        assert!(server.stats().rejected >= 1);
+
+        // Reopen the gate: everything accepted still gets answered.
+        drop(closed);
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap(), Response::Len(1));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let server = CubeServer::start(
+            serving_store(),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 32,
+            },
+        );
+        let receivers: Vec<_> = (0..20)
+            .map(|_| {
+                server
+                    .submit(Request::CuboidLen { mask: Mask(0b11) })
+                    .unwrap()
+            })
+            .collect();
+        let stats = server.shutdown();
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap(), Response::Len(3));
+        }
+        assert_eq!(stats.served, 20);
+    }
+
+    #[test]
+    fn submitting_after_shutdown_is_typed() {
+        let server = CubeServer::start(serving_store(), ServerConfig::default());
+        {
+            let mut q = server.shared.queue.lock().unwrap();
+            q.shutting_down = true;
+        }
+        assert_eq!(
+            server
+                .submit(Request::CuboidLen { mask: Mask(0b01) })
+                .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+}

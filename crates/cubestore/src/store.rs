@@ -1,0 +1,402 @@
+//! The persistent cube store: write path and query-ready read path.
+//!
+//! **Write path** — [`write_store`] takes a materialized [`Cube`], splits
+//! it into one columnar [`Segment`] per non-empty cuboid (the paper's
+//! one-file-per-cuboid layout, Section 3.1), writes each segment blob plus
+//! a sealed [`Manifest`] through a [`BlobStore`], and reports what it
+//! wrote.
+//!
+//! **Read path** — [`CubeStore`] opens the manifest and answers the
+//! [`CubeRead`] OLAP operations directly from segments: point lookups go
+//! through the sparse first-key index, slices through the zone maps, and
+//! decoded segments are held in an LRU hot-cuboid cache with hit/miss
+//! counters.
+//!
+//! **Corruption** — every blob is checksummed. If a segment fails its
+//! checksum (or has gone missing), the store does not fail the query: when
+//! a recovery relation is attached it recomputes just that cuboid
+//! BUC-style ([`crate::recover`]) and serves the recomputed rows,
+//! counting a degraded recompute in [`StoreStats`]. Without a recovery
+//! relation the error propagates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use spcube_agg::{AggOutput, AggSpec};
+use spcube_common::{Group, Mask, Relation, Result, Value};
+use spcube_cubealg::{slice_slot, Cube, CubeRead};
+
+use crate::blob::BlobStore;
+use crate::cache::SegmentCache;
+use crate::manifest::{manifest_path, segment_path, Manifest, ManifestEntry};
+use crate::recover::recompute_cuboid;
+use crate::segment::Segment;
+
+/// Default capacity (in decoded segments) of the hot-cuboid cache.
+pub const DEFAULT_CACHE_SEGMENTS: usize = 8;
+
+/// What [`write_store`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreWriteReport {
+    /// Segments written (non-empty cuboids).
+    pub segments: usize,
+    /// Total bytes of all blobs, manifest included.
+    pub bytes: u64,
+    /// Total rows (groups) across all segments.
+    pub rows: u64,
+}
+
+/// Persist `cube` under `prefix`: one segment per non-empty cuboid plus
+/// the manifest. `d` is the source dimensionality; `spec` / `min_support`
+/// are recorded so a degraded reader can recompute a corrupt cuboid
+/// exactly as it was built.
+pub fn write_store(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    cube: &Cube,
+    d: usize,
+    spec: AggSpec,
+    min_support: usize,
+) -> Result<StoreWriteReport> {
+    type CuboidRows = Vec<(Box<[Value]>, AggOutput)>;
+    let mut by_mask: std::collections::HashMap<Mask, CuboidRows> = std::collections::HashMap::new();
+    for (g, v) in cube.iter() {
+        by_mask
+            .entry(g.mask)
+            .or_default()
+            .push((g.key.clone(), v.clone()));
+    }
+    let mut masks: Vec<Mask> = by_mask.keys().copied().collect();
+    masks.sort();
+    let mut entries = Vec::with_capacity(masks.len());
+    let mut total_bytes = 0u64;
+    let mut total_rows = 0u64;
+    for mask in masks {
+        let rows = by_mask.remove(&mask).expect("mask came from the map");
+        let segment = Segment::build(d, mask, rows);
+        let encoded = segment.encode();
+        let path = segment_path(prefix, d, mask);
+        total_bytes += encoded.len() as u64;
+        total_rows += segment.len() as u64;
+        entries.push(ManifestEntry {
+            mask,
+            rows: segment.len() as u32,
+            bytes: encoded.len() as u64,
+            path: path.clone(),
+        });
+        blobs.put(&path, encoded)?;
+    }
+    let manifest = Manifest {
+        d,
+        spec,
+        min_support,
+        entries,
+    };
+    let encoded = manifest.encode();
+    total_bytes += encoded.len() as u64;
+    blobs.put(&manifest_path(prefix), encoded)?;
+    Ok(StoreWriteReport {
+        segments: manifest.entries.len(),
+        bytes: total_bytes,
+        rows: total_rows,
+    })
+}
+
+/// Cache and degradation counters of a [`CubeStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Queries answered from a cached decoded segment.
+    pub cache_hits: u64,
+    /// Queries that had to fetch and decode (or recompute) a segment.
+    pub cache_misses: u64,
+    /// Segments served via the degraded BUC-recompute path.
+    pub degraded_recomputes: u64,
+}
+
+impl StoreStats {
+    /// Hits over all segment accesses, in `[0, 1]`; `0` before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A queryable, persisted cube: manifest + lazily fetched segments.
+///
+/// All methods take `&self`; the segment cache sits behind a mutex and the
+/// counters are atomic, so one store can be shared across the serving
+/// worker pool behind an `Arc`.
+pub struct CubeStore {
+    blobs: Arc<dyn BlobStore>,
+    manifest: Manifest,
+    cache: Mutex<SegmentCache>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    degraded_recomputes: AtomicU64,
+    /// Raw relation for degraded recompute of corrupt segments.
+    recovery: Option<Relation>,
+}
+
+impl CubeStore {
+    /// Open the store persisted under `prefix`, reading and verifying its
+    /// manifest.
+    pub fn open(blobs: Arc<dyn BlobStore>, prefix: &str) -> Result<CubeStore> {
+        let manifest = Manifest::decode(&blobs.get(&manifest_path(prefix))?)?;
+        Ok(CubeStore {
+            blobs,
+            manifest,
+            cache: Mutex::new(SegmentCache::new(DEFAULT_CACHE_SEGMENTS)),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            degraded_recomputes: AtomicU64::new(0),
+            recovery: None,
+        })
+    }
+
+    /// Attach the raw relation so corrupt segments degrade to a BUC
+    /// recompute instead of an error.
+    pub fn with_recovery(mut self, rel: Relation) -> CubeStore {
+        self.recovery = Some(rel);
+        self
+    }
+
+    /// Resize the hot-cuboid cache to hold `segments` decoded segments.
+    pub fn with_cache_capacity(self, segments: usize) -> CubeStore {
+        *self.cache.lock().expect("cache lock") = SegmentCache::new(segments);
+        self
+    }
+
+    /// The store's manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Snapshot of the cache/degradation counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            degraded_recomputes: self.degraded_recomputes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The decoded segment for `mask`: cached, fetched, or — for a corrupt
+    /// or missing blob with a recovery relation attached — recomputed.
+    pub fn segment(&self, mask: Mask) -> Result<Arc<Segment>> {
+        if let Some(seg) = self.cache.lock().expect("cache lock").get(mask) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(seg);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let seg = Arc::new(self.load_segment(mask)?);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .put(mask, Arc::clone(&seg));
+        Ok(seg)
+    }
+
+    /// Fetch + decode outside the cache, falling back to recompute.
+    fn load_segment(&self, mask: Mask) -> Result<Segment> {
+        let Some(entry) = self.manifest.entry(mask) else {
+            // Not materialized: the cuboid is empty (the writer skips
+            // empty cuboids), unless the mask is out of range entirely —
+            // which still answers "empty", matching CubeQuery on a cuboid
+            // it never saw.
+            return Ok(Segment::build(self.manifest.d, mask, Vec::new()));
+        };
+        let fetched = self
+            .blobs
+            .get(&entry.path)
+            .and_then(|bytes| Segment::decode(&bytes));
+        match fetched {
+            Ok(seg) if seg.mask() == mask && seg.dims() == self.manifest.d => Ok(seg),
+            Ok(_) => self.degrade(mask, "segment/manifest cuboid mismatch".to_string()),
+            Err(e) => self.degrade(mask, e),
+        }
+    }
+
+    /// The degraded path: recompute the cuboid from the raw relation.
+    fn degrade(&self, mask: Mask, cause: impl Into<DegradeCause>) -> Result<Segment> {
+        let Some(rel) = &self.recovery else {
+            return Err(cause.into().0);
+        };
+        self.degraded_recomputes.fetch_add(1, Ordering::Relaxed);
+        let rows = recompute_cuboid(rel, mask, self.manifest.spec, self.manifest.min_support);
+        Ok(Segment::build(self.manifest.d, mask, rows))
+    }
+}
+
+/// Internal: normalizes "what went wrong" into an error for the
+/// no-recovery case.
+struct DegradeCause(spcube_common::Error);
+
+impl From<spcube_common::Error> for DegradeCause {
+    fn from(e: spcube_common::Error) -> Self {
+        DegradeCause(e)
+    }
+}
+
+impl From<String> for DegradeCause {
+    fn from(msg: String) -> Self {
+        DegradeCause(spcube_common::Error::Parse(msg))
+    }
+}
+
+impl CubeRead for CubeStore {
+    fn dims(&self) -> usize {
+        self.manifest.d
+    }
+
+    fn cuboid_rows(&self, mask: Mask) -> Result<Vec<(Group, AggOutput)>> {
+        let seg = self.segment(mask)?;
+        Ok(seg.iter().map(|(g, v)| (g, v.clone())).collect())
+    }
+
+    fn point(&self, mask: Mask, key: &[Value]) -> Result<Option<AggOutput>> {
+        Ok(self.segment(mask)?.point(key).cloned())
+    }
+
+    fn cuboid_len(&self, mask: Mask) -> Result<usize> {
+        Ok(self.segment(mask)?.len())
+    }
+
+    /// Zone-map-pruned slice (overrides the scan-everything default).
+    fn slice(&self, mask: Mask, dim: usize, value: &Value) -> Result<Vec<(Group, AggOutput)>> {
+        let slot = slice_slot(mask, dim)?;
+        let seg = self.segment(mask)?;
+        Ok(seg
+            .slice_rows(slot, value)
+            .into_iter()
+            .map(|i| (seg.group(i), seg.value(i).clone()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_common::Schema;
+    use spcube_cubealg::naive_cube;
+    use spcube_mapreduce::Dfs;
+
+    fn sample_rel() -> Relation {
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for (dims, m) in [
+            ([1i64, 1, 2], 1.0),
+            ([1, 2, 2], 2.0),
+            ([1, 1, 3], 3.0),
+            ([2, 1, 2], 4.0),
+            ([2, 2, 3], 5.0),
+        ] {
+            r.push_row(dims.iter().map(|&v| Value::Int(v)).collect(), m);
+        }
+        r
+    }
+
+    fn built(dfs: &Arc<Dfs>) -> (Relation, Cube, StoreWriteReport) {
+        let rel = sample_rel();
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let report = write_store(dfs.as_ref(), "store", &cube, 3, AggSpec::Sum, 1).unwrap();
+        (rel, cube, report)
+    }
+
+    #[test]
+    fn write_then_open_round_trips_every_cuboid() {
+        let dfs = Arc::new(Dfs::new());
+        let (rel, cube, report) = built(&dfs);
+        assert_eq!(report.segments, 8); // all cuboids non-empty at min_support 1
+        assert_eq!(report.rows as usize, cube.len());
+        let store = CubeStore::open(dfs, "store").unwrap();
+        let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
+        for mask in Mask::full(3).subsets() {
+            let rows = store.cuboid_rows(mask).unwrap();
+            assert_eq!(rows.len(), q.cuboid_len(mask));
+            for (g, v) in &rows {
+                assert_eq!(q.group(mask, &g.key), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let dfs = Arc::new(Dfs::new());
+        built(&dfs);
+        let store = CubeStore::open(dfs, "store")
+            .unwrap()
+            .with_cache_capacity(2);
+        let mask = Mask(0b011);
+        store.cuboid_len(mask).unwrap(); // miss
+        store.cuboid_len(mask).unwrap(); // hit
+        store.point(mask, &[Value::Int(1), Value::Int(1)]).unwrap(); // hit
+        let stats = store.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_segment_degrades_to_recompute_with_identical_answers() {
+        let dfs = Arc::new(Dfs::new());
+        let (rel, cube, _) = built(&dfs);
+        let victim = Mask(0b101);
+        dfs.corrupt_byte(&segment_path("store", 3, victim), 20)
+            .unwrap();
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn crate::BlobStore>, "store")
+            .unwrap()
+            .with_recovery(rel.clone());
+        let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
+        let rows = store.cuboid_rows(victim).unwrap();
+        assert_eq!(rows.len(), q.cuboid_len(victim));
+        for (g, v) in &rows {
+            assert_eq!(q.group(victim, &g.key), Some(v));
+        }
+        assert_eq!(store.stats().degraded_recomputes, 1);
+        // Recomputed segment is cached: next access is a hit, no new recompute.
+        store.cuboid_len(victim).unwrap();
+        assert_eq!(store.stats().degraded_recomputes, 1);
+    }
+
+    #[test]
+    fn corrupt_segment_without_recovery_errors() {
+        let dfs = Arc::new(Dfs::new());
+        built(&dfs);
+        let victim = Mask(0b001);
+        dfs.corrupt_byte(&segment_path("store", 3, victim), 10)
+            .unwrap();
+        let store = CubeStore::open(dfs, "store").unwrap();
+        assert!(store.cuboid_rows(victim).is_err());
+        // Other cuboids still answer.
+        assert!(store.cuboid_rows(Mask(0b010)).is_ok());
+    }
+
+    #[test]
+    fn corrupt_manifest_fails_open() {
+        let dfs = Arc::new(Dfs::new());
+        built(&dfs);
+        dfs.corrupt_byte(&manifest_path("store"), 7).unwrap();
+        assert!(CubeStore::open(dfs, "store").is_err());
+    }
+
+    #[test]
+    fn unmaterialized_cuboid_answers_empty() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        // min_support high enough to prune most cuboids entirely.
+        let cube = spcube_cubealg::buc(
+            &rel,
+            AggSpec::Count,
+            &spcube_cubealg::BucConfig { min_support: 5 },
+        );
+        write_store(dfs.as_ref(), "iceberg", &cube, 3, AggSpec::Count, 5).unwrap();
+        let store = CubeStore::open(dfs, "iceberg").unwrap();
+        assert_eq!(store.cuboid_len(Mask(0b111)).unwrap(), 0);
+        assert!(store.cuboid_rows(Mask(0b111)).unwrap().is_empty());
+        let key = vec![Value::Int(1), Value::Int(1), Value::Int(1)];
+        assert_eq!(store.point(Mask(0b111), &key).unwrap(), None);
+    }
+}

@@ -40,7 +40,12 @@ pub fn apex_only_skew(n: usize, d: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rel = Relation::empty(Schema::synthetic(d));
     for _ in 0..n {
-        rel.push_row((0..d).map(|_| Value::Int(rng.gen::<u32>() as i64)).collect(), 1.0);
+        rel.push_row(
+            (0..d)
+                .map(|_| Value::Int(rng.gen::<u32>() as i64))
+                .collect(),
+            1.0,
+        );
     }
     rel
 }
@@ -59,12 +64,16 @@ pub fn uniform_small_domain(n: usize, d: usize, m: usize, seed: u64) -> (Relatio
     assert!(d >= 2 && d.is_multiple_of(2), "use even d");
     let ratio = n as f64 / m as f64;
     // Largest domain with domain^(d/2) < ratio (levels ≤ d/2 skewed).
-    let domain = (ratio.powf(1.0 / (d as f64 / 2.0)).ceil() as usize).saturating_sub(1).max(2);
+    let domain = (ratio.powf(1.0 / (d as f64 / 2.0)).ceil() as usize)
+        .saturating_sub(1)
+        .max(2);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rel = Relation::empty(Schema::synthetic(d));
     for _ in 0..n {
         rel.push_row(
-            (0..d).map(|_| Value::Int(rng.gen_range(0..domain as i64))).collect(),
+            (0..d)
+                .map(|_| Value::Int(rng.gen_range(0..domain as i64)))
+                .collect(),
             1.0,
         );
     }
@@ -102,7 +111,10 @@ mod tests {
             for t in rel.tuples() {
                 *counts.entry(t.project(mask)).or_insert(0) += 1;
             }
-            assert!(counts.values().all(|&c| c == m + 1), "mask {mask:?}: {counts:?}");
+            assert!(
+                counts.values().all(|&c| c == m + 1),
+                "mask {mask:?}: {counts:?}"
+            );
         }
     }
 
@@ -127,7 +139,11 @@ mod tests {
             *counts.entry(t.project(level2)).or_insert(0) += 1;
         }
         let skewed2 = counts.values().filter(|&&c| c > m).count();
-        assert!(skewed2 > counts.len() / 2, "most level-2 groups skewed: {skewed2}/{}", counts.len());
+        assert!(
+            skewed2 > counts.len() / 2,
+            "most level-2 groups skewed: {skewed2}/{}",
+            counts.len()
+        );
         let level3 = Mask(0b0111);
         let mut counts3: HashMap<Vec<Value>, usize> = HashMap::new();
         for t in rel.tuples() {
@@ -151,7 +167,10 @@ mod tests {
             for t in rel.tuples() {
                 *counts.entry(t.project(mask)).or_insert(0) += 1;
             }
-            assert!(counts.values().all(|&c| c <= m), "unexpected skew in {mask:?}");
+            assert!(
+                counts.values().all(|&c| c <= m),
+                "unexpected skew in {mask:?}"
+            );
         }
     }
 }

@@ -23,7 +23,9 @@ pub fn gen_binomial(n: usize, d: usize, p: f64, seed: u64) -> Relation {
             let i = rng.gen_range(1..=20i64);
             vec![Value::Int(i); d]
         } else {
-            (0..d).map(|_| Value::Int(rng.gen::<u32>() as i64)).collect()
+            (0..d)
+                .map(|_| Value::Int(rng.gen::<u32>() as i64))
+                .collect()
         };
         rel.push_row(dims, 1.0);
     }
@@ -75,7 +77,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(gen_binomial(1000, 3, 0.3, 42), gen_binomial(1000, 3, 0.3, 42));
+        assert_eq!(
+            gen_binomial(1000, 3, 0.3, 42),
+            gen_binomial(1000, 3, 0.3, 42)
+        );
     }
 
     #[test]

@@ -23,16 +23,22 @@
 //! relation of Proposition 5.5, and [`retail()`](retail::retail) the paper's running example
 //! (products × cities × years) used by the examples.
 //!
+//! Beyond relations, [`gen_query_workload`] generates Zipf-skewed OLAP
+//! *query* workloads over a relation's cube — the read-side traffic for
+//! the query-serving benchmark.
+//!
 //! All generators are deterministic in their seed.
 
 pub mod adversarial;
 pub mod binomial;
 pub mod real_like;
 pub mod retail;
+pub mod workload;
 pub mod zipf;
 
 pub use adversarial::{adversarial_half_ones, apex_only_skew, uniform_small_domain};
 pub use binomial::gen_binomial;
 pub use real_like::{usagov_like, wikipedia_like};
 pub use retail::retail;
+pub use workload::{gen_query_workload, QuerySpec};
 pub use zipf::{gen_zipf, Zipf};

@@ -31,8 +31,7 @@ pub fn wikipedia_like(n: usize, seed: u64) -> Relation {
     let schema = Schema::new(["project", "page", "hour", "agent"], "views").unwrap();
     let mut rel = Relation::empty(schema);
     // 12 hot (project, page) pairs over 5 projects, Zipf-weighted.
-    let hot_pairs: Vec<(i64, i64)> =
-        (0..12).map(|i| ((i % 5) as i64, 1000 + i as i64)).collect();
+    let hot_pairs: Vec<(i64, i64)> = (0..12).map(|i| ((i % 5) as i64, 1000 + i as i64)).collect();
     let hot_zipf = Zipf::new(hot_pairs.len(), 0.7);
     for _ in 0..n {
         let (project, page) = if rng.gen::<f64>() < 0.45 {
@@ -132,9 +131,16 @@ mod tests {
         );
         assert!(max_f > 0.2, "largest skews reach tens of percent: {max_f}");
         // Long tail: many distinct full-cuboid groups.
-        let distinct: std::collections::HashSet<_> =
-            rel.tuples().iter().map(|t| t.project(spcube_common::Mask::full(4))).collect();
-        assert!(distinct.len() > n / 3, "long tail missing: {}", distinct.len());
+        let distinct: std::collections::HashSet<_> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.project(spcube_common::Mask::full(4)))
+            .collect();
+        assert!(
+            distinct.len() > n / 3,
+            "long tail missing: {}",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -6,12 +6,27 @@ use rand::{Rng, SeedableRng};
 use spcube_common::{Relation, Schema, Value};
 
 const PRODUCTS: &[&str] = &[
-    "laptop", "printer", "keyboard", "mouse", "television", "toaster", "air-conditioner",
-    "monitor", "camera", "speaker",
+    "laptop",
+    "printer",
+    "keyboard",
+    "mouse",
+    "television",
+    "toaster",
+    "air-conditioner",
+    "monitor",
+    "camera",
+    "speaker",
 ];
 
 const CITIES: &[&str] = &[
-    "Rome", "Paris", "London", "Berlin", "Madrid", "Vienna", "Prague", "Amsterdam",
+    "Rome",
+    "Paris",
+    "London",
+    "Berlin",
+    "Madrid",
+    "Vienna",
+    "Prague",
+    "Amsterdam",
 ];
 
 /// Generate `n` sales records over `(name, city, year)` with measure

@@ -1,0 +1,230 @@
+//! Zipf-skewed query workloads for the serving benchmark.
+//!
+//! A serving layer lives or dies by its cache, and a cache lives or dies
+//! by the access skew — real OLAP dashboards hammer a handful of hot
+//! group-bys while the long tail of cuboids is touched rarely. This
+//! module generates that pattern: cuboids are ranked in a seeded random
+//! order and each query draws its cuboid from `Zipf(2^d, skew)` over the
+//! ranking, so `skew` is a direct dial on how concentrated the workload
+//! is (≈0 → uniform across cuboids, cold cache; large → a few hot
+//! cuboids, hot cache).
+//!
+//! Query keys are projected from tuples sampled uniformly out of the
+//! relation, so point lookups target groups that exist; the query *kind*
+//! is drawn from a fixed mix of point / slice / top-k / roll-up / size
+//! probes, mirroring the request types [`CubeServer`] serves.
+//!
+//! The generator speaks only `spcube-common` types so it works against
+//! any backend; the bench layer converts [`QuerySpec`] into server
+//! requests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spcube_common::{Group, Mask, Relation, Value};
+
+use crate::zipf::Zipf;
+
+/// One backend-agnostic OLAP query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// A single group's aggregate.
+    Point {
+        /// Target cuboid.
+        mask: Mask,
+        /// Full group key.
+        key: Vec<Value>,
+    },
+    /// All groups of `mask` with `dim = value`.
+    Slice {
+        /// Target cuboid.
+        mask: Mask,
+        /// Sliced dimension (grouped in `mask`).
+        dim: usize,
+        /// Dimension value to match.
+        value: Value,
+    },
+    /// The `n` largest groups of `mask` by scalar aggregate.
+    TopK {
+        /// Target cuboid.
+        mask: Mask,
+        /// How many groups to rank.
+        n: usize,
+    },
+    /// Drop `dim` from the group and look the coarser group up.
+    RollUp {
+        /// The fine group.
+        group: Group,
+        /// Dimension to drop (grouped in the group's mask).
+        dim: usize,
+    },
+    /// Number of groups in `mask`.
+    CuboidLen {
+        /// Target cuboid.
+        mask: Mask,
+    },
+}
+
+impl QuerySpec {
+    /// The cuboid this query reads (for roll-ups, the *coarse* one that
+    /// actually gets probed).
+    pub fn target_mask(&self) -> Mask {
+        match self {
+            QuerySpec::Point { mask, .. }
+            | QuerySpec::Slice { mask, .. }
+            | QuerySpec::TopK { mask, .. }
+            | QuerySpec::CuboidLen { mask } => *mask,
+            QuerySpec::RollUp { group, dim } => group.mask.without(*dim),
+        }
+    }
+}
+
+/// Generate `count` queries against the cube of `rel`, with cuboid
+/// popularity following `Zipf(2^d, skew)` over a seeded cuboid ranking.
+/// `skew <= 0` degenerates to a uniform workload. Deterministic in
+/// `seed`.
+pub fn gen_query_workload(rel: &Relation, count: usize, skew: f64, seed: u64) -> Vec<QuerySpec> {
+    let d = rel.arity();
+    assert!(
+        !rel.tuples().is_empty(),
+        "query workload needs a non-empty relation"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Seeded random ranking of all cuboids: rank 1 = hottest.
+    let mut ranked: Vec<Mask> = Mask::full(d).subsets().collect();
+    for i in (1..ranked.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ranked.swap(i, j);
+    }
+    let zipf = if skew > 0.0 {
+        Some(Zipf::new(ranked.len(), skew))
+    } else {
+        None
+    };
+
+    let tuples = rel.tuples();
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mask = match &zipf {
+            Some(z) => ranked[z.sample(&mut rng) - 1],
+            None => ranked[rng.gen_range(0..ranked.len())],
+        };
+        let t = &tuples[rng.gen_range(0..tuples.len())];
+        let group = Group::of_tuple(t, mask);
+        let kind = rng.gen_range(0u32..100);
+        let dims: Vec<usize> = mask.dims().collect();
+        let spec = if kind < 40 {
+            QuerySpec::Point {
+                mask,
+                key: group.key.to_vec(),
+            }
+        } else if kind < 65 && !dims.is_empty() {
+            let dim = dims[rng.gen_range(0..dims.len())];
+            let slot = dims.iter().position(|&i| i == dim).expect("dim from mask");
+            QuerySpec::Slice {
+                mask,
+                dim,
+                value: group.key[slot].clone(),
+            }
+        } else if kind < 80 {
+            QuerySpec::TopK { mask, n: 10 }
+        } else if kind < 90 && !dims.is_empty() {
+            // Roll up probes mask-without-dim; keep the *fine* mask as the
+            // drawn cuboid's parent so the popularity dial still applies
+            // to what gets read.
+            let dim = dims[rng.gen_range(0..dims.len())];
+            let fine = Group::of_tuple(t, mask.with(dim));
+            QuerySpec::RollUp { group: fine, dim }
+        } else {
+            QuerySpec::CuboidLen { mask }
+        };
+        out.push(spec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::gen_zipf;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let rel = gen_zipf(500, 3, 7);
+        let a = gen_query_workload(&rel, 200, 1.2, 42);
+        let b = gen_query_workload(&rel, 200, 1.2, 42);
+        assert_eq!(a, b);
+        let c = gen_query_workload(&rel, 200, 1.2, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_concentrates_target_cuboids() {
+        let rel = gen_zipf(500, 3, 7);
+        let concentration = |skew: f64| -> f64 {
+            let w = gen_query_workload(&rel, 2000, skew, 11);
+            let mut counts: HashMap<Mask, usize> = HashMap::new();
+            for q in &w {
+                *counts.entry(q.target_mask()).or_default() += 1;
+            }
+            let max = counts.values().copied().max().unwrap_or(0);
+            max as f64 / w.len() as f64
+        };
+        let hot = concentration(2.0);
+        let cold = concentration(0.0);
+        assert!(
+            hot > cold + 0.2,
+            "skew 2.0 should concentrate traffic: hot {hot:.2} vs uniform {cold:.2}"
+        );
+    }
+
+    #[test]
+    fn generated_queries_are_well_formed() {
+        let rel = gen_zipf(300, 4, 3);
+        let d = rel.arity();
+        for q in gen_query_workload(&rel, 500, 1.0, 5) {
+            match q {
+                QuerySpec::Point { mask, key } => {
+                    assert_eq!(mask.arity() as usize, key.len());
+                }
+                QuerySpec::Slice { mask, dim, .. } => assert!(mask.contains(dim)),
+                QuerySpec::TopK { mask, n } => {
+                    assert!(n > 0);
+                    assert!(mask.is_subset_of(Mask::full(d)));
+                }
+                QuerySpec::RollUp { group, dim } => {
+                    assert!(group.mask.contains(dim));
+                    assert!(group.mask.is_subset_of(Mask::full(d)));
+                }
+                QuerySpec::CuboidLen { mask } => {
+                    assert!(mask.is_subset_of(Mask::full(d)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_hit_existing_groups() {
+        let rel = gen_zipf(200, 3, 9);
+        let cube = {
+            // tiny naive cube by hand: count groups per mask via projection
+            let mut groups: std::collections::HashSet<(Mask, Vec<Value>)> =
+                std::collections::HashSet::new();
+            for t in rel.tuples() {
+                for mask in Mask::full(3).subsets() {
+                    groups.insert((mask, Group::of_tuple(t, mask).key.to_vec()));
+                }
+            }
+            groups
+        };
+        for q in gen_query_workload(&rel, 300, 1.5, 2) {
+            if let QuerySpec::Point { mask, key } = q {
+                assert!(
+                    cube.contains(&(mask, key)),
+                    "point query targets a live group"
+                );
+            }
+        }
+    }
+}

@@ -121,11 +121,20 @@ mod tests {
         assert_eq!(a.len(), 5_000);
         assert_eq!(a.arity(), 4);
         // Zipf attributes concentrate: value 1 of dim 0 is frequent.
-        let ones = a.tuples().iter().filter(|t| t.dims[0] == Value::Int(1)).count();
+        let ones = a
+            .tuples()
+            .iter()
+            .filter(|t| t.dims[0] == Value::Int(1))
+            .count();
         assert!(ones > 5_000 / 20, "zipf head missing: {ones}");
         // Uniform attributes do not concentrate anywhere near as much.
         let max_uniform = (1..=1000)
-            .map(|v| a.tuples().iter().filter(|t| t.dims[2] == Value::Int(v)).count())
+            .map(|v| {
+                a.tuples()
+                    .iter()
+                    .filter(|t| t.dims[2] == Value::Int(v))
+                    .count()
+            })
             .max()
             .unwrap();
         assert!(max_uniform < ones / 2);

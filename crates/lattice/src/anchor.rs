@@ -88,7 +88,9 @@ mod tests {
             HashSet::new(),
             [0b0000u32].into_iter().collect(),
             [0b0000, 0b0001, 0b0010].into_iter().collect(),
-            [0b0000, 0b0001, 0b0010, 0b0100, 0b1000].into_iter().collect(),
+            [0b0000, 0b0001, 0b0010, 0b0100, 0b1000]
+                .into_iter()
+                .collect(),
             [0b0000, 0b0011, 0b0001].into_iter().collect(),
         ];
         for skewed in profiles {
@@ -146,12 +148,17 @@ mod tests {
         let d = 4;
         let skewed: HashSet<u32> = [0b0000u32, 0b0010, 0b1000, 0b1010].into_iter().collect();
         let oracle = |m: Mask| skewed.contains(&m.0);
-        let anchors: HashSet<u32> =
-            simulate_mapper_anchors(d, &skewed).into_iter().map(|m| m.0).collect();
+        let anchors: HashSet<u32> = simulate_mapper_anchors(d, &skewed)
+            .into_iter()
+            .map(|m| m.0)
+            .collect();
         for h in (0u32..16).map(Mask) {
             if !oracle(h) {
                 let a = anchor_mask(h, oracle).unwrap();
-                assert!(anchors.contains(&a.0), "group {h:?} assigned to non-anchor {a:?}");
+                assert!(
+                    anchors.contains(&a.0),
+                    "group {h:?} assigned to non-anchor {a:?}"
+                );
             }
         }
     }

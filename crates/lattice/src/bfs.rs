@@ -73,7 +73,10 @@ mod tests {
     fn order_is_by_arity_then_value() {
         let o = BfsOrder::new(3);
         let masks: Vec<u32> = o.order().iter().map(|m| m.0).collect();
-        assert_eq!(masks, vec![0b000, 0b001, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111]);
+        assert_eq!(
+            masks,
+            vec![0b000, 0b001, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111]
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub struct CubeLattice {
 impl CubeLattice {
     /// Build the lattice for `d` dimensions.
     pub fn new(d: usize) -> CubeLattice {
-        CubeLattice { bfs: BfsOrder::new(d) }
+        CubeLattice {
+            bfs: BfsOrder::new(d),
+        }
     }
 
     /// Dimensionality `d`.

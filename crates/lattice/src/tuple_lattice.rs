@@ -57,7 +57,11 @@ impl<'a> TupleLattice<'a> {
     /// Wrap a tuple. `bfs` must have been built for the tuple's arity.
     pub fn new(tuple: &'a Tuple, bfs: &'a BfsOrder) -> TupleLattice<'a> {
         assert_eq!(tuple.arity(), bfs.dims(), "BFS order arity mismatch");
-        TupleLattice { tuple, bfs, marked: MarkBits::new(bfs.dims()) }
+        TupleLattice {
+            tuple,
+            bfs,
+            marked: MarkBits::new(bfs.dims()),
+        }
     }
 
     /// The node (c-group) of this tuple at `mask`.
@@ -99,7 +103,6 @@ impl<'a> TupleLattice<'a> {
             .find(|(_, m)| !self.is_marked(**m))
             .map(|(off, m)| (*m, start_rank + off as u32))
     }
-
 }
 
 #[cfg(test)]

@@ -97,13 +97,20 @@ impl ClusterConfig {
 
     /// Schedule machine `machine` to die during `phase` of every job.
     pub fn with_machine_failure(mut self, phase: Phase, machine: usize) -> Self {
-        self.faults.machine_failures.push(MachineFailure { job: None, phase, machine });
+        self.faults.machine_failures.push(MachineFailure {
+            job: None,
+            phase,
+            machine,
+        });
         self
     }
 
     /// Enable speculative execution with the given slack factor.
     pub fn with_speculation(mut self, slack: f64) -> Self {
-        self.speculation = SpeculationConfig { enabled: true, slack };
+        self.speculation = SpeculationConfig {
+            enabled: true,
+            slack,
+        };
         self
     }
 

@@ -13,7 +13,11 @@ pub struct MapContext<'a, K, V> {
 
 impl<'a, K, V> MapContext<'a, K, V> {
     pub(crate) fn new(out: &'a mut Vec<(K, V)>, task: usize) -> Self {
-        MapContext { out, work_units: 0, task }
+        MapContext {
+            out,
+            work_units: 0,
+            task,
+        }
     }
 
     /// Emit one intermediate pair.
@@ -50,7 +54,11 @@ pub struct ReduceContext<'a, O> {
 
 impl<'a, O> ReduceContext<'a, O> {
     pub(crate) fn new(out: &'a mut Vec<O>, reducer: usize) -> Self {
-        ReduceContext { out, work_units: 0, reducer }
+        ReduceContext {
+            out,
+            work_units: 0,
+            reducer,
+        }
     }
 
     /// Emit one output record.

@@ -66,7 +66,12 @@ impl Dfs {
 
     /// Size of the blob at `path`, if present.
     pub fn len_of(&self, path: &str) -> Option<u64> {
-        self.inner.lock().unwrap().files.get(path).map(|d| d.len() as u64)
+        self.inner
+            .lock()
+            .unwrap()
+            .files
+            .get(path)
+            .map(|d| d.len() as u64)
     }
 
     /// Total bytes written so far.
@@ -102,7 +107,11 @@ impl Dfs {
     /// Lets a test corrupt a blob that a driver writes and reads within a
     /// single call.
     pub fn corrupt_next_write(&self, path: &str) {
-        self.inner.lock().unwrap().corrupt_on_write.insert(path.to_string());
+        self.inner
+            .lock()
+            .unwrap()
+            .corrupt_on_write
+            .insert(path.to_string());
     }
 }
 

@@ -216,8 +216,10 @@ pub fn run_job<J: MrJob>(
 
     let reduce_slots: Vec<Mutex<Option<ReduceTaskOut<J::Output>>>> =
         (0..reducers).map(|_| Mutex::new(None)).collect();
-    let reducer_inputs: TaskSlots<Vec<(J::Key, J::Value)>> =
-        reducer_inputs.into_iter().map(|v| Mutex::new(Some(v))).collect();
+    let reducer_inputs: TaskSlots<Vec<(J::Key, J::Value)>> = reducer_inputs
+        .into_iter()
+        .map(|v| Mutex::new(Some(v)))
+        .collect();
     let next_red = AtomicUsize::new(0);
     let red_workers = cluster.threads.min(reducers).max(1);
 
@@ -228,8 +230,11 @@ pub fn run_job<J: MrJob>(
                 if r >= reducers {
                     break;
                 }
-                let pairs =
-                    reducer_inputs[r].lock().unwrap().take().expect("reducer input taken twice");
+                let pairs = reducer_inputs[r]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("reducer input taken twice");
                 let in_bytes = reducer_input_bytes[r];
 
                 // Group values by key; BTreeMap gives the sorted key order
@@ -247,8 +252,8 @@ pub fn run_job<J: MrJob>(
                 let mut failure = None;
                 for (key, values) in &groups {
                     largest_group = largest_group.max(values.len() as u64);
-                    let group_bytes: u64 = values.iter().map(|v| job.value_bytes(v)).sum::<u64>()
-                        + job.key_bytes(key);
+                    let group_bytes: u64 =
+                        values.iter().map(|v| job.value_bytes(v)).sum::<u64>() + job.key_bytes(key);
                     if group_bytes > cluster.memory_bytes {
                         match job.large_group_behavior() {
                             LargeGroupBehavior::Spill => {
@@ -407,8 +412,7 @@ fn run_map_task<J: MrJob>(
         buffer
     };
 
-    let mut per_reducer: Vec<Vec<(J::Key, J::Value)>> =
-        (0..reducers).map(|_| Vec::new()).collect();
+    let mut per_reducer: Vec<Vec<(J::Key, J::Value)>> = (0..reducers).map(|_| Vec::new()).collect();
     let mut bytes_out = 0u64;
     let records_out = combined.len() as u64;
     for (key, value) in combined {
@@ -498,20 +502,33 @@ mod tests {
     #[test]
     fn counts_are_exact() {
         let inputs: Vec<u64> = (0..1000).collect();
-        let job = ModCount { buckets: 7, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 7,
+            combine: false,
+            fail_large: false,
+        };
         let res = run_job(&cluster(), &job, &inputs, 3).unwrap();
         let mut counts: Vec<(u64, u64)> = res.into_flat_outputs();
         counts.sort();
-        let expect: Vec<(u64, u64)> =
-            (0..7).map(|b| (b, (0..1000u64).filter(|x| x % 7 == b).count() as u64)).collect();
+        let expect: Vec<(u64, u64)> = (0..7)
+            .map(|b| (b, (0..1000u64).filter(|x| x % 7 == b).count() as u64))
+            .collect();
         assert_eq!(counts, expect);
     }
 
     #[test]
     fn combiner_reduces_records_not_results() {
         let inputs: Vec<u64> = (0..1000).collect();
-        let plain = ModCount { buckets: 7, combine: false, fail_large: false };
-        let comb = ModCount { buckets: 7, combine: true, fail_large: false };
+        let plain = ModCount {
+            buckets: 7,
+            combine: false,
+            fail_large: false,
+        };
+        let comb = ModCount {
+            buckets: 7,
+            combine: true,
+            fail_large: false,
+        };
         let r1 = run_job(&cluster(), &plain, &inputs, 3).unwrap();
         let r2 = run_job(&cluster(), &comb, &inputs, 3).unwrap();
         assert_eq!(r1.metrics.map_output_records, 1000);
@@ -527,16 +544,27 @@ mod tests {
     #[test]
     fn byte_accounting_matches_record_sizes() {
         let inputs: Vec<u64> = (0..100).collect();
-        let job = ModCount { buckets: 5, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 5,
+            combine: false,
+            fail_large: false,
+        };
         let res = run_job(&cluster(), &job, &inputs, 2).unwrap();
         assert_eq!(res.metrics.map_output_bytes, 100 * 16);
-        assert_eq!(res.metrics.reducer_input_bytes.iter().sum::<u64>(), 100 * 16);
+        assert_eq!(
+            res.metrics.reducer_input_bytes.iter().sum::<u64>(),
+            100 * 16
+        );
     }
 
     #[test]
     fn deterministic_across_thread_counts() {
         let inputs: Vec<u64> = (0..5000).collect();
-        let job = ModCount { buckets: 11, combine: true, fail_large: false };
+        let job = ModCount {
+            buckets: 11,
+            combine: true,
+            fail_large: false,
+        };
         let mut c1 = cluster();
         c1.threads = 1;
         let mut c8 = cluster();
@@ -552,7 +580,11 @@ mod tests {
     fn large_group_fail_policy_aborts() {
         // All inputs map to one key; memory is tiny.
         let inputs: Vec<u64> = vec![7; 5000];
-        let job = ModCount { buckets: 1, combine: false, fail_large: true };
+        let job = ModCount {
+            buckets: 1,
+            combine: false,
+            fail_large: true,
+        };
         let mut c = cluster();
         c.memory_bytes = 64;
         let err = run_job(&c, &job, &inputs, 2).unwrap_err();
@@ -562,7 +594,11 @@ mod tests {
     #[test]
     fn large_group_spill_policy_survives_and_charges() {
         let inputs: Vec<u64> = vec![7; 5000];
-        let job = ModCount { buckets: 1, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 1,
+            combine: false,
+            fail_large: false,
+        };
         let mut c = cluster();
         c.memory_bytes = 64;
         let res = run_job(&c, &job, &inputs, 2).unwrap();
@@ -574,7 +610,11 @@ mod tests {
 
     #[test]
     fn empty_input_runs_cleanly() {
-        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 3,
+            combine: false,
+            fail_large: false,
+        };
         let res = run_job(&cluster(), &job, &[], 2).unwrap();
         assert_eq!(res.metrics.input_records, 0);
         assert_eq!(res.metrics.map_output_records, 0);
@@ -583,13 +623,21 @@ mod tests {
 
     #[test]
     fn zero_reducers_rejected() {
-        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 3,
+            combine: false,
+            fail_large: false,
+        };
         assert!(run_job(&cluster(), &job, &[1, 2], 0).is_err());
     }
 
     #[test]
     fn invalid_fault_config_rejected_at_run() {
-        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 3,
+            combine: false,
+            fail_large: false,
+        };
         let bad = cluster().with_task_failures(f64::NAN);
         let err = run_job(&bad, &job, &[1, 2], 1).unwrap_err();
         assert!(matches!(err, Error::Config(_)), "{err}");
@@ -598,16 +646,40 @@ mod tests {
     #[test]
     fn stragglers_scale_task_times() {
         let inputs: Vec<u64> = (0..10000).collect();
-        let job = ModCount { buckets: 7, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 7,
+            combine: false,
+            fail_large: false,
+        };
         let base = run_job(&cluster(), &job, &inputs, 3).unwrap();
         let slow_cluster = cluster().with_stragglers(1.0, 10.0);
         let slow = run_job(&slow_cluster, &job, &inputs, 3).unwrap();
-        let base_max = base.metrics.map_times.iter().copied().fold(0.0f64, f64::max);
-        let slow_max = slow.metrics.map_times.iter().copied().fold(0.0f64, f64::max);
+        let base_max = base
+            .metrics
+            .map_times
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        let slow_max = slow
+            .metrics
+            .map_times
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
         assert!((slow_max / base_max - 10.0).abs() < 1e-6);
         // Reduce tasks go through the same fault path (prob 1.0 slows all).
-        let base_red = base.metrics.reduce_times.iter().copied().fold(0.0f64, f64::max);
-        let slow_red = slow.metrics.reduce_times.iter().copied().fold(0.0f64, f64::max);
+        let base_red = base
+            .metrics
+            .reduce_times
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        let slow_red = slow
+            .metrics
+            .reduce_times
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
         assert!((slow_red / base_red - 10.0).abs() < 1e-6);
         assert_eq!(base.metrics.map_output_bytes, slow.metrics.map_output_bytes);
     }
@@ -615,14 +687,21 @@ mod tests {
     #[test]
     fn speculation_caps_straggler_cost_and_counts_waste() {
         let inputs: Vec<u64> = (0..10000).collect();
-        let job = ModCount { buckets: 7, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 7,
+            combine: false,
+            fail_large: false,
+        };
         // Mixed stragglers so the phase median stays healthy.
         let slow = cluster().with_stragglers(0.45, 10.0);
         let specd = cluster().with_stragglers(0.45, 10.0).with_speculation(1.5);
         let a = run_job(&slow, &job, &inputs, 3).unwrap();
         let b = run_job(&specd, &job, &inputs, 3).unwrap();
         assert_eq!(a.metrics.speculative_launches, 0);
-        assert!(b.metrics.speculative_launches > 0, "stragglers should trigger backups");
+        assert!(
+            b.metrics.speculative_launches > 0,
+            "stragglers should trigger backups"
+        );
         assert!(b.metrics.wasted_seconds > 0.0);
         assert!(
             b.metrics.simulated_seconds < a.metrics.simulated_seconds,
@@ -640,7 +719,11 @@ mod tests {
     #[test]
     fn machine_loss_during_map_reexecutes_and_charges() {
         let inputs: Vec<u64> = (0..8000).collect();
-        let job = ModCount { buckets: 7, combine: true, fail_large: false };
+        let job = ModCount {
+            buckets: 7,
+            combine: true,
+            fail_large: false,
+        };
         let clean = cluster();
         let lossy = cluster().with_machine_failure(Phase::Map, 1);
         let a = run_job(&clean, &job, &inputs, 3).unwrap();
@@ -661,7 +744,11 @@ mod tests {
     #[test]
     fn machine_loss_during_reduce_reschedules_both_sides() {
         let inputs: Vec<u64> = (0..8000).collect();
-        let job = ModCount { buckets: 7, combine: true, fail_large: false };
+        let job = ModCount {
+            buckets: 7,
+            combine: true,
+            fail_large: false,
+        };
         let clean = cluster();
         let lossy = cluster().with_machine_failure(crate::fault::Phase::Reduce, 0);
         let a = run_job(&clean, &job, &inputs, 3).unwrap();
@@ -680,7 +767,11 @@ mod tests {
     #[test]
     fn machine_loss_on_non_reducer_machine_delays_shuffle_only() {
         let inputs: Vec<u64> = (0..8000).collect();
-        let job = ModCount { buckets: 7, combine: true, fail_large: false };
+        let job = ModCount {
+            buckets: 7,
+            combine: true,
+            fail_large: false,
+        };
         // Machine 3 holds no reduce task (only 2 reducers).
         let lossy = cluster().with_machine_failure(crate::fault::Phase::Reduce, 3);
         let clean = cluster();
@@ -694,9 +785,15 @@ mod tests {
 
     #[test]
     fn killing_every_machine_is_rejected() {
-        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 3,
+            combine: false,
+            fail_large: false,
+        };
         let mut c = ClusterConfig::new(2, 100);
-        c = c.with_machine_failure(Phase::Map, 0).with_machine_failure(Phase::Map, 1);
+        c = c
+            .with_machine_failure(Phase::Map, 0)
+            .with_machine_failure(Phase::Map, 1);
         let err = run_job(&c, &job, &[1, 2, 3], 1).unwrap_err();
         assert!(matches!(err, Error::Config(_)), "{err}");
     }
@@ -704,7 +801,11 @@ mod tests {
     #[test]
     fn machine_loss_is_deterministic() {
         let inputs: Vec<u64> = (0..5000).collect();
-        let job = ModCount { buckets: 11, combine: true, fail_large: false };
+        let job = ModCount {
+            buckets: 11,
+            combine: true,
+            fail_large: false,
+        };
         let mk = || {
             cluster()
                 .with_machine_failure(Phase::Map, 2)
@@ -761,7 +862,11 @@ mod tests {
 
     #[test]
     fn simulated_time_includes_round_overhead() {
-        let job = ModCount { buckets: 3, combine: false, fail_large: false };
+        let job = ModCount {
+            buckets: 3,
+            combine: false,
+            fail_large: false,
+        };
         let c = cluster();
         let res = run_job(&c, &job, &[], 1).unwrap();
         assert!(res.metrics.simulated_seconds >= c.cost.round_overhead_s);
@@ -811,8 +916,14 @@ mod failure_tests {
         let a = run_job(&clean, &Sum, &inputs, 3).unwrap();
         let b = run_job(&flaky, &Sum, &inputs, 3).unwrap();
         // Same results, more simulated time, retries recorded.
-        assert!(b.metrics.task_retries > 0, "expected some retries at 50% failure rate");
-        assert!(b.metrics.wasted_seconds > 0.0, "failed attempts are wasted work");
+        assert!(
+            b.metrics.task_retries > 0,
+            "expected some retries at 50% failure rate"
+        );
+        assert!(
+            b.metrics.wasted_seconds > 0.0,
+            "failed attempts are wasted work"
+        );
         assert!(b.metrics.simulated_seconds > a.metrics.simulated_seconds);
         let mut ra = a.into_flat_outputs();
         ra.sort();
@@ -850,7 +961,10 @@ mod failure_tests {
             .iter()
             .zip(&b.metrics.reduce_times)
             .any(|(x, y)| y > x);
-        assert!(grew, "at 50% attempt failure some of 16 reduce tasks must retry");
+        assert!(
+            grew,
+            "at 50% attempt failure some of 16 reduce tasks must retry"
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl Default for FaultPlan {
 
 fn check_prob(name: &str, p: f64) -> Result<()> {
     if p.is_nan() || !(0.0..=1.0).contains(&p) {
-        return Err(Error::Config(format!("{name} must be a probability in [0, 1], got {p}")));
+        return Err(Error::Config(format!(
+            "{name} must be a probability in [0, 1], got {p}"
+        )));
     }
     Ok(())
 }
@@ -218,7 +220,13 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
-        RetryPolicy { max_attempts: 4, backoff: Backoff::Exponential { base_s: 1.0, factor: 2.0 } }
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Backoff::Exponential {
+                base_s: 1.0,
+                factor: 2.0,
+            },
+        }
     }
 }
 
@@ -238,7 +246,9 @@ impl RetryPolicy {
     /// Reject zero attempt budgets and negative/NaN delays.
     pub fn validate(&self) -> Result<()> {
         if self.max_attempts == 0 {
-            return Err(Error::Config("retry policy needs at least one attempt".into()));
+            return Err(Error::Config(
+                "retry policy needs at least one attempt".into(),
+            ));
         }
         let bad = |s: f64| s.is_nan() || s < 0.0 || s.is_infinite();
         let ok = match self.backoff {
@@ -247,7 +257,9 @@ impl RetryPolicy {
             Backoff::Exponential { base_s, factor } => !bad(base_s) && !bad(factor),
         };
         if !ok {
-            return Err(Error::Config("backoff delays must be finite and non-negative".into()));
+            return Err(Error::Config(
+                "backoff delays must be finite and non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -268,7 +280,10 @@ pub struct SpeculationConfig {
 
 impl Default for SpeculationConfig {
     fn default() -> SpeculationConfig {
-        SpeculationConfig { enabled: false, slack: 1.5 }
+        SpeculationConfig {
+            enabled: false,
+            slack: 1.5,
+        }
     }
 }
 
@@ -276,7 +291,10 @@ impl SpeculationConfig {
     /// Reject NaN or sub-1.0 slack factors.
     pub fn validate(&self) -> Result<()> {
         if self.slack.is_nan() || self.slack < 1.0 {
-            return Err(Error::Config(format!("speculation slack must be >= 1.0, got {}", self.slack)));
+            return Err(Error::Config(format!(
+                "speculation slack must be >= 1.0, got {}",
+                self.slack
+            )));
         }
         Ok(())
     }
@@ -363,7 +381,13 @@ impl PhaseFaults<'_> {
 
     /// Completion time of a successful attempt, after speculative
     /// execution has had its say.
-    fn finish_attempt(&self, attempt_s: f64, base: f64, median: f64, rec: &mut RecoveryCounters) -> f64 {
+    fn finish_attempt(
+        &self,
+        attempt_s: f64,
+        base: f64,
+        median: f64,
+        rec: &mut RecoveryCounters,
+    ) -> f64 {
         let spec = self.speculation;
         if !spec.enabled || median <= 0.0 || attempt_s <= spec.slack * median {
             return attempt_s;
@@ -415,23 +439,41 @@ mod tests {
 
     #[test]
     fn draws_are_deterministic_and_phase_scoped() {
-        let plan = FaultPlan { task_failure_prob: 0.5, ..FaultPlan::default() };
-        let map_draws: Vec<bool> =
-            (0..64).map(|t| plan.attempt_fails("j", Phase::Map, t, 1)).collect();
-        let again: Vec<bool> = (0..64).map(|t| plan.attempt_fails("j", Phase::Map, t, 1)).collect();
+        let plan = FaultPlan {
+            task_failure_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let map_draws: Vec<bool> = (0..64)
+            .map(|t| plan.attempt_fails("j", Phase::Map, t, 1))
+            .collect();
+        let again: Vec<bool> = (0..64)
+            .map(|t| plan.attempt_fails("j", Phase::Map, t, 1))
+            .collect();
         assert_eq!(map_draws, again);
-        let reduce_draws: Vec<bool> =
-            (0..64).map(|t| plan.attempt_fails("j", Phase::Reduce, t, 1)).collect();
+        let reduce_draws: Vec<bool> = (0..64)
+            .map(|t| plan.attempt_fails("j", Phase::Reduce, t, 1))
+            .collect();
         assert_ne!(map_draws, reduce_draws, "phases draw independently");
         assert!(map_draws.iter().filter(|&&b| b).count() > 10);
     }
 
     #[test]
     fn seed_changes_the_schedule() {
-        let a = FaultPlan { task_failure_prob: 0.5, ..FaultPlan::default() };
-        let b = FaultPlan { task_failure_prob: 0.5, seed: 99, ..FaultPlan::default() };
-        let da: Vec<bool> = (0..64).map(|t| a.attempt_fails("j", Phase::Map, t, 1)).collect();
-        let db: Vec<bool> = (0..64).map(|t| b.attempt_fails("j", Phase::Map, t, 1)).collect();
+        let a = FaultPlan {
+            task_failure_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let b = FaultPlan {
+            task_failure_prob: 0.5,
+            seed: 99,
+            ..FaultPlan::default()
+        };
+        let da: Vec<bool> = (0..64)
+            .map(|t| a.attempt_fails("j", Phase::Map, t, 1))
+            .collect();
+        let db: Vec<bool> = (0..64)
+            .map(|t| b.attempt_fails("j", Phase::Map, t, 1))
+            .collect();
         assert_ne!(da, db);
     }
 
@@ -450,11 +492,31 @@ mod tests {
     fn lost_machines_filters_phase_job_and_range() {
         let plan = FaultPlan {
             machine_failures: vec![
-                MachineFailure { job: None, phase: Phase::Map, machine: 2 },
-                MachineFailure { job: None, phase: Phase::Map, machine: 2 },
-                MachineFailure { job: None, phase: Phase::Reduce, machine: 1 },
-                MachineFailure { job: Some("cube".into()), phase: Phase::Map, machine: 3 },
-                MachineFailure { job: None, phase: Phase::Map, machine: 99 },
+                MachineFailure {
+                    job: None,
+                    phase: Phase::Map,
+                    machine: 2,
+                },
+                MachineFailure {
+                    job: None,
+                    phase: Phase::Map,
+                    machine: 2,
+                },
+                MachineFailure {
+                    job: None,
+                    phase: Phase::Reduce,
+                    machine: 1,
+                },
+                MachineFailure {
+                    job: Some("cube".into()),
+                    phase: Phase::Map,
+                    machine: 3,
+                },
+                MachineFailure {
+                    job: None,
+                    phase: Phase::Map,
+                    machine: 99,
+                },
             ],
             ..FaultPlan::default()
         };
@@ -465,39 +527,78 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_numbers() {
-        let nan_prob = FaultPlan { task_failure_prob: f64::NAN, ..FaultPlan::default() };
+        let nan_prob = FaultPlan {
+            task_failure_prob: f64::NAN,
+            ..FaultPlan::default()
+        };
         assert!(nan_prob.validate().is_err());
-        let neg_prob = FaultPlan { straggler_prob: -0.1, ..FaultPlan::default() };
+        let neg_prob = FaultPlan {
+            straggler_prob: -0.1,
+            ..FaultPlan::default()
+        };
         assert!(neg_prob.validate().is_err());
-        let over_prob = FaultPlan { task_failure_prob: 1.5, ..FaultPlan::default() };
+        let over_prob = FaultPlan {
+            task_failure_prob: 1.5,
+            ..FaultPlan::default()
+        };
         assert!(over_prob.validate().is_err());
-        let small_factor = FaultPlan { straggler_factor: 0.5, ..FaultPlan::default() };
+        let small_factor = FaultPlan {
+            straggler_factor: 0.5,
+            ..FaultPlan::default()
+        };
         assert!(small_factor.validate().is_err());
-        let neg_detect = FaultPlan { detection_s: -1.0, ..FaultPlan::default() };
+        let neg_detect = FaultPlan {
+            detection_s: -1.0,
+            ..FaultPlan::default()
+        };
         assert!(neg_detect.validate().is_err());
         assert!(FaultPlan::default().validate().is_ok());
     }
 
     #[test]
     fn retry_policy_backoff_schedules() {
-        let none = RetryPolicy { max_attempts: 3, backoff: Backoff::None };
+        let none = RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::None,
+        };
         assert_eq!(none.delay_after(1), 0.0);
-        let fixed = RetryPolicy { max_attempts: 3, backoff: Backoff::Fixed(2.5) };
+        let fixed = RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::Fixed(2.5),
+        };
         assert_eq!(fixed.delay_after(2), 2.5);
         let exp = RetryPolicy::default();
         assert_eq!(exp.delay_after(1), 1.0);
         assert_eq!(exp.delay_after(2), 2.0);
         assert_eq!(exp.delay_after(3), 4.0);
-        assert!(RetryPolicy { max_attempts: 0, backoff: Backoff::None }.validate().is_err());
-        assert!(RetryPolicy { max_attempts: 1, backoff: Backoff::Fixed(-1.0) }.validate().is_err());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            backoff: Backoff::None
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::Fixed(-1.0)
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn speculation_takes_the_earlier_finisher() {
         let plan = FaultPlan::default();
         let retry = RetryPolicy::default();
-        let spec = SpeculationConfig { enabled: true, slack: 1.5 };
-        let path = PhaseFaults { plan: &plan, retry: &retry, speculation: &spec, job: "j" };
+        let spec = SpeculationConfig {
+            enabled: true,
+            slack: 1.5,
+        };
+        let path = PhaseFaults {
+            plan: &plan,
+            retry: &retry,
+            speculation: &spec,
+            job: "j",
+        };
         let mut rec = RecoveryCounters::default();
         // Four healthy 10 s tasks and one 100 s straggler (pre-slowed base):
         // the backup launches at 15 s and finishes at 15 + 100 s? No — base
@@ -505,7 +606,10 @@ mod tests {
         // the 100 s task also needs 100 s and the original (100 s) wins.
         let base = [10.0, 10.0, 10.0, 10.0, 100.0];
         let times = path.charge(Phase::Map, &base, &mut rec).unwrap();
-        assert_eq!(times[4], 100.0, "original finishes before its equally-slow backup");
+        assert_eq!(
+            times[4], 100.0,
+            "original finishes before its equally-slow backup"
+        );
         assert_eq!(rec.speculative_launches, 1);
         assert!(rec.wasted_seconds > 0.0);
     }
@@ -515,10 +619,22 @@ mod tests {
         // With straggling injected at prob 1.0 the attempt time is 10×
         // base, but the backup runs at base speed: completion is capped at
         // slack × median + base instead of 10 × base.
-        let plan = FaultPlan { straggler_prob: 1.0, straggler_factor: 10.0, ..FaultPlan::default() };
+        let plan = FaultPlan {
+            straggler_prob: 1.0,
+            straggler_factor: 10.0,
+            ..FaultPlan::default()
+        };
         let retry = RetryPolicy::default();
-        let spec = SpeculationConfig { enabled: true, slack: 1.5 };
-        let path = PhaseFaults { plan: &plan, retry: &retry, speculation: &spec, job: "j" };
+        let spec = SpeculationConfig {
+            enabled: true,
+            slack: 1.5,
+        };
+        let path = PhaseFaults {
+            plan: &plan,
+            retry: &retry,
+            speculation: &spec,
+            job: "j",
+        };
         let mut rec = RecoveryCounters::default();
         let base = [10.0, 10.0, 10.0];
         let times = path.charge(Phase::Map, &base, &mut rec).unwrap();
@@ -529,10 +645,20 @@ mod tests {
 
         // Mixed phase: only task 1 straggles (large seed search not needed;
         // craft via only_job trick is overkill — use explicit plan draws).
-        let plan = FaultPlan { straggler_prob: 0.45, straggler_factor: 10.0, ..FaultPlan::default() };
-        let path = PhaseFaults { plan: &plan, retry: &retry, speculation: &spec, job: "j" };
-        let stragglers: Vec<usize> =
-            (0..8).filter(|&t| plan.is_straggler("j", Phase::Map, t)).collect();
+        let plan = FaultPlan {
+            straggler_prob: 0.45,
+            straggler_factor: 10.0,
+            ..FaultPlan::default()
+        };
+        let path = PhaseFaults {
+            plan: &plan,
+            retry: &retry,
+            speculation: &spec,
+            job: "j",
+        };
+        let stragglers: Vec<usize> = (0..8)
+            .filter(|&t| plan.is_straggler("j", Phase::Map, t))
+            .collect();
         assert!(
             !stragglers.is_empty() && stragglers.len() < 8,
             "seeded draws give a mixed phase: {stragglers:?}"
@@ -542,21 +668,41 @@ mod tests {
         let times = path.charge(Phase::Map, &base, &mut rec).unwrap();
         assert_eq!(rec.speculative_launches as usize, stragglers.len());
         for &t in &stragglers {
-            assert_eq!(times[t], 1.5 * 10.0 + 10.0, "backup wins: slack × median + base");
+            assert_eq!(
+                times[t],
+                1.5 * 10.0 + 10.0,
+                "backup wins: slack × median + base"
+            );
         }
         assert!(rec.wasted_seconds > 0.0);
     }
 
     #[test]
     fn exhausted_retries_fail_typed() {
-        let plan = FaultPlan { task_failure_prob: 1.0, ..FaultPlan::default() };
-        let retry = RetryPolicy { max_attempts: 3, backoff: Backoff::None };
+        let plan = FaultPlan {
+            task_failure_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff: Backoff::None,
+        };
         let spec = SpeculationConfig::default();
-        let path = PhaseFaults { plan: &plan, retry: &retry, speculation: &spec, job: "cube" };
+        let path = PhaseFaults {
+            plan: &plan,
+            retry: &retry,
+            speculation: &spec,
+            job: "cube",
+        };
         let mut rec = RecoveryCounters::default();
         let err = path.charge(Phase::Reduce, &[1.0], &mut rec).unwrap_err();
         match err {
-            Error::JobFailed { job, phase, task, attempts } => {
+            Error::JobFailed {
+                job,
+                phase,
+                task,
+                attempts,
+            } => {
                 assert_eq!(job, "cube");
                 assert_eq!(phase, "reduce");
                 assert_eq!(task, 0);
@@ -568,21 +714,43 @@ mod tests {
 
     #[test]
     fn backoff_is_charged_on_retries() {
-        let plan = FaultPlan { task_failure_prob: 0.6, ..FaultPlan::default() };
-        let no_backoff = RetryPolicy { max_attempts: 24, backoff: Backoff::None };
-        let with_backoff = RetryPolicy { max_attempts: 24, backoff: Backoff::Fixed(7.0) };
+        let plan = FaultPlan {
+            task_failure_prob: 0.6,
+            ..FaultPlan::default()
+        };
+        let no_backoff = RetryPolicy {
+            max_attempts: 24,
+            backoff: Backoff::None,
+        };
+        let with_backoff = RetryPolicy {
+            max_attempts: 24,
+            backoff: Backoff::Fixed(7.0),
+        };
         let spec = SpeculationConfig::default();
         let base = vec![1.0; 32];
 
         let mut rec_a = RecoveryCounters::default();
-        let a = PhaseFaults { plan: &plan, retry: &no_backoff, speculation: &spec, job: "j" }
-            .charge(Phase::Map, &base, &mut rec_a)
-            .unwrap();
+        let a = PhaseFaults {
+            plan: &plan,
+            retry: &no_backoff,
+            speculation: &spec,
+            job: "j",
+        }
+        .charge(Phase::Map, &base, &mut rec_a)
+        .unwrap();
         let mut rec_b = RecoveryCounters::default();
-        let b = PhaseFaults { plan: &plan, retry: &with_backoff, speculation: &spec, job: "j" }
-            .charge(Phase::Map, &base, &mut rec_b)
-            .unwrap();
-        assert_eq!(rec_a.task_retries, rec_b.task_retries, "same schedule, same retries");
+        let b = PhaseFaults {
+            plan: &plan,
+            retry: &with_backoff,
+            speculation: &spec,
+            job: "j",
+        }
+        .charge(Phase::Map, &base, &mut rec_b)
+        .unwrap();
+        assert_eq!(
+            rec_a.task_retries, rec_b.task_retries,
+            "same schedule, same retries"
+        );
         assert!(rec_a.task_retries > 0);
         let (sum_a, sum_b) = (a.iter().sum::<f64>(), b.iter().sum::<f64>());
         let expected_extra = rec_a.task_retries as f64 * 7.0;

@@ -72,7 +72,13 @@ impl JobMetrics {
     /// (1.0 = perfectly balanced). Reducers with no output are included.
     pub fn reducer_imbalance(&self) -> f64 {
         let m = self.reducer_output_bytes.iter().copied().max().unwrap_or(0) as f64;
-        let avg = mean(&self.reducer_output_bytes.iter().map(|&b| b as f64).collect::<Vec<_>>());
+        let avg = mean(
+            &self
+                .reducer_output_bytes
+                .iter()
+                .map(|&b| b as f64)
+                .collect::<Vec<_>>(),
+        );
         if avg == 0.0 {
             1.0
         } else {

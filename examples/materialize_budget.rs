@@ -14,7 +14,10 @@ use sp_cube_repro::datagen::usagov_like;
 use sp_cube_repro::mapreduce::ClusterConfig;
 
 fn main() {
-    let max_views: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let max_views: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     let n = 60_000;
     let d = 4;
     let rel = usagov_like(n, 0x77);
@@ -24,9 +27,15 @@ fn main() {
     let sizes = cuboid_sizes(&run.cube, d);
     let full_rows = sizes[&Mask::full(d)];
     let cube_rows: u64 = sizes.values().sum();
-    println!("cube: {cube_rows} rows over {} cuboids (full cuboid: {full_rows} rows)\n", 1 << d);
+    println!(
+        "cube: {cube_rows} rows over {} cuboids (full cuboid: {full_rows} rows)\n",
+        1 << d
+    );
 
-    println!("{:<6} {:>12} {:>16} {:>10}", "views", "stored_rows", "answer_cost", "vs_full");
+    println!(
+        "{:<6} {:>12} {:>16} {:>10}",
+        "views", "stored_rows", "answer_cost", "vs_full"
+    );
     let baseline = greedy_select(d, &sizes, 0).total_answer_cost;
     for k in [0usize, 1, 2, 4, 8, 15] {
         if k > max_views.max(15) {
@@ -45,7 +54,12 @@ fn main() {
     let sel = greedy_select(d, &sizes, max_views);
     println!("\ngreedy pick order with budget {max_views}:");
     for (i, v) in sel.chosen.iter().enumerate() {
-        println!("  {i}: cuboid {:0>width$b} ({} rows)", v.0, sizes[v], width = d);
+        println!(
+            "  {i}: cuboid {:0>width$b} ({} rows)",
+            v.0,
+            sizes[v],
+            width = d
+        );
     }
 
     println!("\nanswering plan for every cuboid:");

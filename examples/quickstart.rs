@@ -36,8 +36,11 @@ fn main() {
 
     let run = sp_cube(&rel, &cluster, AggSpec::Sum).expect("SP-Cube run failed");
 
-    println!("SP-Cube computed {} c-groups in {} MapReduce rounds\n", run.cube.len(),
-        run.metrics.round_count());
+    println!(
+        "SP-Cube computed {} c-groups in {} MapReduce rounds\n",
+        run.cube.len(),
+        run.metrics.round_count()
+    );
 
     // Print the cuboid (name, *, year) — the paper's C1.
     println!("cuboid (name, *, year), sum(sales):");

@@ -25,10 +25,13 @@ fn main() {
     // relation skewed.
     let cluster = ClusterConfig::new(10, n / 50);
 
-    let run = SpCube::run(&rel, &cluster, &SpCubeConfig::new(AggSpec::Sum))
-        .expect("SP-Cube run failed");
+    let run =
+        SpCube::run(&rel, &cluster, &SpCubeConfig::new(AggSpec::Sum)).expect("SP-Cube run failed");
 
-    println!("relation: {n} sales records; cube: {} c-groups", run.cube.len());
+    println!(
+        "relation: {n} sales records; cube: {} c-groups",
+        run.cube.len()
+    );
     println!(
         "sketch: {} bytes, {} skewed c-groups recorded\n",
         run.sketch_bytes,

@@ -16,7 +16,10 @@ use sp_cube_repro::datagen::gen_binomial;
 use sp_cube_repro::mapreduce::ClusterConfig;
 
 fn main() {
-    let p_pct: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(25);
+    let p_pct: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(25);
     let n = 200_000;
     let d = 4;
     let rel = gen_binomial(n, d, p_pct as f64 / 100.0, 0xeea);
@@ -32,7 +35,11 @@ fn main() {
     let (sampled, metrics) =
         build_sampled_sketch(&rel, &cluster, &SketchConfig::default()).expect("sketch round");
 
-    println!("exact sketch  : {} skewed groups, {} bytes", exact.skew_count(), exact.serialized_bytes());
+    println!(
+        "exact sketch  : {} skewed groups, {} bytes",
+        exact.skew_count(),
+        exact.serialized_bytes()
+    );
     println!(
         "sampled sketch: {} skewed groups, {} bytes (sample: {} tuples, round {:.1}s simulated)\n",
         sampled.skew_count(),

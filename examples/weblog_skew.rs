@@ -43,7 +43,10 @@ fn main() {
     match hive_cube(&rel, &cluster, &HiveConfig::new(agg)) {
         Ok(hive) => {
             describe("Hive", &hive.metrics, hive.cube.len());
-            assert!(hive.cube.approx_eq(&sp.cube, 1e-9), "Hive disagrees with SP-Cube");
+            assert!(
+                hive.cube.approx_eq(&sp.cube, 1e-9),
+                "Hive disagrees with SP-Cube"
+            );
         }
         Err(e) => println!("Hive     STUCK: {e}"),
     }
@@ -52,8 +55,14 @@ fn main() {
     describe("Naive", &naive.metrics, naive.cube.len());
 
     // Cross-check: all algorithms computed the same cube.
-    assert!(pig.cube.approx_eq(&sp.cube, 1e-9), "Pig disagrees with SP-Cube");
-    assert!(naive.cube.approx_eq(&sp.cube, 1e-9), "Naive disagrees with SP-Cube");
+    assert!(
+        pig.cube.approx_eq(&sp.cube, 1e-9),
+        "Pig disagrees with SP-Cube"
+    );
+    assert!(
+        naive.cube.approx_eq(&sp.cube, 1e-9),
+        "Naive disagrees with SP-Cube"
+    );
     println!("\nall algorithms agree on all {} c-groups ✓", sp.cube.len());
 
     // Load balance (Section 6.2's closing point): max/mean of per-reducer

@@ -89,11 +89,18 @@ impl BenchmarkGroup {
 }
 
 fn run_benchmark(group: &str, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples: Vec::new(), warmup: true };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        warmup: true,
+    };
     f(&mut b); // warmup
     b.warmup = false;
     f(&mut b);
-    let label = if group.is_empty() { id.id.clone() } else { format!("{group}/{}", id.id) };
+    let label = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{group}/{}", id.id)
+    };
     if b.samples.is_empty() {
         println!("bench {label}: no samples (Bencher::iter never called)");
         return;
@@ -139,12 +146,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A function name qualified by a parameter value.
     pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{name}/{param}") }
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
     }
 
     /// Identified by the parameter value alone.
     pub fn from_parameter(param: impl Display) -> BenchmarkId {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -199,7 +210,9 @@ mod tests {
         let mut c = Criterion::default();
         let mut calls = 0u32;
         let mut group = c.benchmark_group("g");
-        group.sample_size(10).measurement_time(Duration::from_millis(1));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
         group.bench_function("inc", |b| b.iter(|| calls += 1));
         group.finish();
         // one warmup iteration + SAMPLES timed iterations
@@ -210,9 +223,10 @@ mod tests {
     fn bench_with_input_passes_input() {
         let mut c = Criterion::default();
         let mut seen = 0u64;
-        c.benchmark_group("g").bench_with_input(BenchmarkId::new("f", 42), &21u64, |b, &x| {
-            b.iter(|| seen = x * 2)
-        });
+        c.benchmark_group("g")
+            .bench_with_input(BenchmarkId::new("f", 42), &21u64, |b, &x| {
+                b.iter(|| seen = x * 2)
+            });
         assert_eq!(seen, 42);
     }
 }

@@ -198,13 +198,19 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -216,7 +222,10 @@ pub mod collection {
 
     /// `vec(strategy, len)` / `vec(strategy, lo..hi)`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -247,7 +256,10 @@ pub fn run_property<S: Strategy>(
         let mut rng = TestRng::new(seed ^ (u64::from(case) << 32));
         let value = strategy.generate(&mut rng);
         if let Err(err) = body(value) {
-            panic!("property `{test_name}` failed at case {case}/{}: {err}", config.cases);
+            panic!(
+                "property `{test_name}` failed at case {case}/{}: {err}",
+                config.cases
+            );
         }
     }
 }

@@ -4,13 +4,15 @@
 //! single dependency. See the individual crates for the real APIs:
 //! `spcube_core` holds the paper's contribution (SP-Sketch + SP-Cube);
 //! `spcube_mapreduce` is the execution substrate; `spcube_baselines` has
-//! the Pig/Hive/naive/top-down comparators.
+//! the Pig/Hive/naive/top-down comparators; `spcube_cubestore` is the
+//! persistent columnar cube store and its concurrent query server.
 
 pub use spcube_agg as agg;
 pub use spcube_baselines as baselines;
 pub use spcube_common as common;
 pub use spcube_core as core;
 pub use spcube_cubealg as cubealg;
+pub use spcube_cubestore as cubestore;
 pub use spcube_datagen as datagen;
 pub use spcube_lattice as lattice;
 pub use spcube_mapreduce as mapreduce;

@@ -45,7 +45,12 @@ fn all_algorithms_agree_on_gen_binomial() {
     for p in [0.0, 0.3, 0.8] {
         let rel = datagen::gen_binomial(3_000, 3, p, 0xc0);
         let cluster = ClusterConfig::new(6, 200);
-        check_all(&rel, &cluster, AggSpec::Count, &format!("gen-binomial p={p}"));
+        check_all(
+            &rel,
+            &cluster,
+            AggSpec::Count,
+            &format!("gen-binomial p={p}"),
+        );
     }
 }
 
@@ -116,8 +121,8 @@ fn spcube_correct_across_cluster_shapes() {
     let expect = naive_cube(&rel, AggSpec::Sum);
     for (k, m) in [(1, 100), (2, 2000), (7, 53), (20, 10), (32, 500)] {
         let cluster = ClusterConfig::new(k, m);
-        let run = sp_cube(&rel, &cluster, AggSpec::Sum)
-            .unwrap_or_else(|e| panic!("k={k} m={m}: {e}"));
+        let run =
+            sp_cube(&rel, &cluster, AggSpec::Sum).unwrap_or_else(|e| panic!("k={k} m={m}: {e}"));
         assert_eq(&run.cube, &expect, &format!("k={k},m={m}"), "SP-Cube");
     }
 }

@@ -19,7 +19,10 @@ fn spcube_metrics_deterministic_across_thread_counts() {
     let a = sp_cube(&rel, &c1, AggSpec::Count).unwrap();
     let b = sp_cube(&rel, &c8, AggSpec::Count).unwrap();
     assert_eq!(a.metrics.map_output_bytes(), b.metrics.map_output_bytes());
-    assert_eq!(a.metrics.map_output_records(), b.metrics.map_output_records());
+    assert_eq!(
+        a.metrics.map_output_records(),
+        b.metrics.map_output_records()
+    );
     assert_eq!(a.sketch_bytes, b.sketch_bytes);
     assert!(a.cube.approx_eq(&b.cube, 1e-12));
     assert!((a.metrics.total_seconds() - b.metrics.total_seconds()).abs() < 1e-9);
@@ -40,7 +43,11 @@ fn spcube_runs_repeat_identically() {
 fn hive_oom_reports_machine_and_reason() {
     let rel = datagen::gen_binomial(40_000, 4, 0.7, 0xaa);
     let cluster = ClusterConfig::new(20, 40_000 / 500).with_memory_bytes(40_000 / 500 * 64);
-    let cfg = HiveConfig { agg: AggSpec::Count, map_hash_entries: 256, payload_attrs: 0 };
+    let cfg = HiveConfig {
+        agg: AggSpec::Count,
+        map_hash_entries: 256,
+        payload_attrs: 0,
+    };
     match hive_cube(&rel, &cluster, &cfg) {
         Err(Error::OutOfMemory { machine, detail }) => {
             assert!(machine < 20);

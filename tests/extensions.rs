@@ -17,7 +17,11 @@ fn topdown_baseline_agrees_with_spcube_on_real_profiles() {
     let cluster = ClusterConfig::new(6, 100);
     let td = top_down_cube(&rel, &cluster, AggSpec::Sum).unwrap();
     let sp = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
-    assert!(td.cube.approx_eq(&sp.cube, 1e-9), "{:?}", td.cube.diff(&sp.cube, 1e-9, 5));
+    assert!(
+        td.cube.approx_eq(&sp.cube, 1e-9),
+        "{:?}",
+        td.cube.diff(&sp.cube, 1e-9, 5)
+    );
     // d+1 = 5 rounds vs SP-Cube's 2.
     assert_eq!(td.metrics.round_count(), 5);
     assert_eq!(sp.metrics.round_count(), 2);
@@ -30,7 +34,11 @@ fn wide_cube_d8_works_end_to_end() {
     let cluster = ClusterConfig::new(6, 100);
     let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
     let expect = naive_cube(&rel, AggSpec::Count);
-    assert!(run.cube.approx_eq(&expect, 1e-9), "{:?}", run.cube.diff(&expect, 1e-9, 3));
+    assert!(
+        run.cube.approx_eq(&expect, 1e-9),
+        "{:?}",
+        run.cube.diff(&expect, 1e-9, 3)
+    );
 }
 
 #[test]
@@ -101,7 +109,10 @@ fn query_layer_over_spcube_output() {
     let laptop = Group::new(Mask(0b001), vec![Value::str("laptop")]);
     let drill = q.drill_down(&laptop, 2).unwrap();
     let total: f64 = drill.iter().map(|(_, v)| v.number()).sum();
-    let direct = q.group(Mask(0b001), &[Value::str("laptop")]).unwrap().number();
+    let direct = q
+        .group(Mask(0b001), &[Value::str("laptop")])
+        .unwrap()
+        .number();
     assert!((total - direct).abs() < 1e-6 * direct.abs());
 }
 

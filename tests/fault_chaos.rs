@@ -61,7 +61,10 @@ fn run_and_check(cluster: &ClusterConfig, corrupt_sketch: bool, label: &str) -> 
 fn baseline_no_faults_no_recovery() {
     let run = run_and_check(&chaos_cluster(), false, "baseline");
     assert!(!run.degraded);
-    assert!(!run.metrics.saw_recovery(), "fault-free run must report zero recovery");
+    assert!(
+        !run.metrics.saw_recovery(),
+        "fault-free run must report zero recovery"
+    );
     assert_eq!(run.metrics.fallback_events(), 0);
 }
 
@@ -69,9 +72,18 @@ fn baseline_no_faults_no_recovery() {
 fn machine_loss_during_map() {
     let cluster = chaos_cluster().with_machine_failure(Phase::Map, 1);
     let run = run_and_check(&cluster, false, "map loss");
-    assert!(run.metrics.tasks_lost() > 0, "the dead machine held map tasks");
-    assert!(run.metrics.re_executions() > 0, "lost map output must be recomputed");
-    assert!(run.metrics.wasted_seconds() > 0.0, "lost work is charged as waste");
+    assert!(
+        run.metrics.tasks_lost() > 0,
+        "the dead machine held map tasks"
+    );
+    assert!(
+        run.metrics.re_executions() > 0,
+        "lost map output must be recomputed"
+    );
+    assert!(
+        run.metrics.wasted_seconds() > 0.0,
+        "lost work is charged as waste"
+    );
     assert!(!run.degraded, "machine loss is recovered, not degraded");
 }
 
@@ -95,15 +107,24 @@ fn flaky_tasks_are_retried_to_success() {
     // deterministically exhausts it.
     cluster.retry.max_attempts = 12;
     let run = run_and_check(&cluster, false, "flaky p=0.3");
-    assert!(run.metrics.task_retries() > 0, "p=0.3 across both rounds must retry");
-    assert!(run.metrics.wasted_seconds() > 0.0, "failed attempts are charged");
+    assert!(
+        run.metrics.task_retries() > 0,
+        "p=0.3 across both rounds must retry"
+    );
+    assert!(
+        run.metrics.wasted_seconds() > 0.0,
+        "failed attempts are charged"
+    );
     assert!(!run.degraded);
 }
 
 #[test]
 fn corrupt_sketch_degrades_not_dies() {
     let run = run_and_check(&chaos_cluster(), true, "corrupt sketch");
-    assert!(run.degraded, "a corrupt sketch must trigger the fallback plan");
+    assert!(
+        run.degraded,
+        "a corrupt sketch must trigger the fallback plan"
+    );
     assert_eq!(run.metrics.fallback_events(), 1);
     assert_eq!(
         run.metrics.round_count(),
@@ -120,8 +141,14 @@ fn stragglers_with_speculative_backups() {
     let fast = slow.clone().with_speculation(1.5);
     let slow_run = run_and_check(&slow, false, "stragglers, no speculation");
     let fast_run = run_and_check(&fast, false, "stragglers + speculation");
-    assert!(fast_run.metrics.speculative_launches() > 0, "backups must launch");
-    assert!(fast_run.metrics.wasted_seconds() > 0.0, "losing attempts are waste");
+    assert!(
+        fast_run.metrics.speculative_launches() > 0,
+        "backups must launch"
+    );
+    assert!(
+        fast_run.metrics.wasted_seconds() > 0.0,
+        "losing attempts are waste"
+    );
     assert!(
         fast_run.metrics.total_seconds() < slow_run.metrics.total_seconds(),
         "speculation must beat the stragglers: {} vs {}",
@@ -163,7 +190,10 @@ fn chaos_runs_are_deterministic() {
     let b = run_and_check(&cluster, false, "determinism B");
     assert_eq!(a.metrics.task_retries(), b.metrics.task_retries());
     assert_eq!(a.metrics.tasks_lost(), b.metrics.tasks_lost());
-    assert_eq!(a.metrics.speculative_launches(), b.metrics.speculative_launches());
+    assert_eq!(
+        a.metrics.speculative_launches(),
+        b.metrics.speculative_launches()
+    );
     assert!((a.metrics.total_seconds() - b.metrics.total_seconds()).abs() < 1e-9);
 }
 

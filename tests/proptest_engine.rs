@@ -60,7 +60,9 @@ fn sorted_outputs(
     inputs: &[u64],
     reducers: usize,
 ) -> Vec<(u64, u64)> {
-    let mut out = run_job(cluster, job, inputs, reducers).unwrap().into_flat_outputs();
+    let mut out = run_job(cluster, job, inputs, reducers)
+        .unwrap()
+        .into_flat_outputs();
     out.sort();
     out
 }

@@ -108,7 +108,11 @@ fn anchored_partitioning_balances_reducer_inputs() {
     let inputs = &run.metrics.rounds.last().unwrap().reducer_input_bytes[1..]; // skip skew reducer
     let max = *inputs.iter().max().unwrap() as f64;
     let mean = inputs.iter().sum::<u64>() as f64 / inputs.len() as f64;
-    assert!(max / mean < 2.0, "range-reducer imbalance {:.2}", max / mean);
+    assert!(
+        max / mean < 2.0,
+        "range-reducer imbalance {:.2}",
+        max / mean
+    );
 }
 
 /// Proposition 4.7: the sketch fits in a machine's memory — its size is
@@ -121,8 +125,7 @@ fn prop_4_7_sketch_is_small() {
     let cluster = ClusterConfig::new(k, n / 500);
     let (sketch, _) = build_sampled_sketch(&rel, &cluster, &SketchConfig::default()).unwrap();
     // Entry count: skews ≤ ~2^d·k-ish, partition elements = 2^d·(k-1).
-    let entries: usize =
-        sketch.skew_count() + (1usize << 4) * (k - 1);
+    let entries: usize = sketch.skew_count() + (1usize << 4) * (k - 1);
     assert!(entries <= (1 << 4) * k * 4, "sketch entries {entries}");
     // Byte size: well under both the input and machine memory.
     assert!(sketch.serialized_bytes() < rel.wire_bytes() / 20);

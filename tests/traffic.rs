@@ -99,9 +99,8 @@ fn spcube_traffic_beats_naive_on_every_workload_family() {
 fn skew_partial_traffic_is_bounded_by_k_per_group() {
     // Fully skewed relation (every tuple identical): the cube round ships
     // only partial aggregates — at most one per (mapper, group).
-    let mut rel = sp_cube_repro::common::Relation::empty(
-        sp_cube_repro::common::Schema::synthetic(3),
-    );
+    let mut rel =
+        sp_cube_repro::common::Relation::empty(sp_cube_repro::common::Schema::synthetic(3));
     for _ in 0..5_000 {
         rel.push_row(vec![1i64.into(), 1i64.into(), 1i64.into()], 1.0);
     }
@@ -126,5 +125,8 @@ fn load_balance_of_range_partitioning() {
     let cluster = ClusterConfig::new(20, 30_000 / 20);
     let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
     let imbalance = run.metrics.rounds.last().unwrap().reducer_imbalance();
-    assert!(imbalance < 2.5, "reducer imbalance too high: {imbalance:.2}");
+    assert!(
+        imbalance < 2.5,
+        "reducer imbalance too high: {imbalance:.2}"
+    );
 }
