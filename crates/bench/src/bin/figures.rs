@@ -43,7 +43,7 @@ fn main() {
     }
 
     for name in &names {
-        let started = std::time::Instant::now();
+        let started = spcube_mapreduce::Stopwatch::start();
         match name.as_str() {
             "fig4" => drop(experiments::fig4(&cfg)),
             "fig5" => drop(experiments::fig5(&cfg)),
@@ -61,10 +61,7 @@ fn main() {
                 "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, serve, all)"
             )),
         }
-        eprintln!(
-            "[{name}] finished in {:.1}s wall",
-            started.elapsed().as_secs_f64()
-        );
+        eprintln!("[{name}] finished in {:.1}s wall", started.seconds());
     }
 }
 

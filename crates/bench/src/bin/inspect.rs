@@ -11,7 +11,7 @@
 //! phase; `corrupt` flips a byte of the serialized SP-Sketch on the DFS so
 //! the driver degrades to the hash-partitioned fallback plan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use spcube_agg::AggSpec;
 use spcube_common::{Group, Mask, Relation};
@@ -56,7 +56,7 @@ fn main() {
     }
     let cfg = SpCubeConfig::new(AggSpec::Count);
     let run = SpCube::run_on(&rel, &cluster, &cfg, &dfs).expect("run failed");
-    let round = run.metrics.rounds.last().unwrap();
+    let round = run.metrics.rounds.last().expect("at least one round");
 
     println!(
         "dataset {dataset}, n = {n}, k = {k}, m = {}",
@@ -92,8 +92,8 @@ fn main() {
     // Replay the mapper walk to attribute traffic: (cuboid, range) loads.
     let d = rel.arity();
     let bfs = BfsOrder::new(d);
-    let mut load: HashMap<(Mask, usize), u64> = HashMap::new();
-    let mut group_sizes: HashMap<Group, u64> = HashMap::new();
+    let mut load: BTreeMap<(Mask, usize), u64> = BTreeMap::new();
+    let mut group_sizes: BTreeMap<Group, u64> = BTreeMap::new();
     for t in rel.tuples() {
         let mut lat = TupleLattice::new(t, &bfs);
         let mut rank = 0u32;

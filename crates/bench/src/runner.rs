@@ -136,7 +136,7 @@ fn imbalance_of(bytes: &[u64]) -> f64 {
 
 /// Execute `algo` on a workload and collect a [`Measurement`].
 pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
-    let wall = std::time::Instant::now();
+    let wall = spcube_mapreduce::Stopwatch::start();
     let outcome: Result<
         (
             spcube_cubealg::Cube,
@@ -196,7 +196,7 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 spilled_mb: metrics.spilled_bytes() as f64 / MB,
                 imbalance: dominant,
                 cube_groups: cube.len(),
-                wall_seconds: wall.elapsed().as_secs_f64(),
+                wall_seconds: wall.seconds(),
                 task_retries: metrics.task_retries(),
                 tasks_lost: metrics.tasks_lost(),
                 re_executions: metrics.re_executions(),
@@ -225,7 +225,7 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 spilled_mb: 0.0,
                 imbalance: 0.0,
                 cube_groups: 0,
-                wall_seconds: wall.elapsed().as_secs_f64(),
+                wall_seconds: wall.seconds(),
                 task_retries: 0,
                 tasks_lost: 0,
                 re_executions: 0,

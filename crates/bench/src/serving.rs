@@ -10,7 +10,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+use spcube_mapreduce::Stopwatch;
 
 use spcube_cubestore::{CubeServer, CubeStore, Request, Response, ServeError, ServerConfig};
 use spcube_datagen::QuerySpec;
@@ -96,7 +97,7 @@ pub fn run_serving(
     let next = Arc::new(AtomicUsize::new(0));
     let overload_retries = Arc::new(AtomicU64::new(0));
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let clients: Vec<_> = (0..cfg.clients.max(1))
         .map(|_| {
             let server = Arc::clone(&server);
@@ -109,7 +110,7 @@ pub fn run_serving(
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = workload.get(i) else { break };
                     let req = to_request(spec);
-                    let issued = Instant::now();
+                    let issued = Stopwatch::start();
                     let resp = loop {
                         match server.query(req.clone()) {
                             Ok(resp) => break resp,
@@ -125,7 +126,7 @@ pub fn run_serving(
                     if let Response::Failed(msg) = resp {
                         panic!("query {spec:?} failed: {msg}");
                     }
-                    latencies_us.push(issued.elapsed().as_secs_f64() * 1e6);
+                    latencies_us.push(issued.seconds() * 1e6);
                 }
                 latencies_us
             })
@@ -136,7 +137,7 @@ pub fn run_serving(
     for c in clients {
         latencies.extend(c.join().expect("client thread panicked"));
     }
-    let wall = t0.elapsed().as_secs_f64();
+    let wall = t0.seconds();
     let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
     let server_stats = server.shutdown();
     assert_eq!(server_stats.served as usize, workload.len());

@@ -40,6 +40,40 @@ pub enum Error {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// Persisted bytes failed structural validation: truncated input, a
+    /// count that exceeds the blob, a bad magic/version tag, or a checksum
+    /// mismatch. Decoders return this instead of panicking so a serving
+    /// path can degrade (re-fetch, recompute) rather than crash.
+    Corrupt {
+        /// Which artifact was being decoded ("sketch", "segment", …).
+        what: String,
+        /// What exactly was malformed.
+        detail: String,
+    },
+    /// A broken internal invariant that would previously have been a
+    /// panic (`unreachable!`, a missing task slot). Serving paths report
+    /// it as a typed error so one bad request cannot take the process down.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Corrupt`] with formatted context.
+    pub fn corrupt(what: impl Into<String>, detail: impl Into<String>) -> Error {
+        Error::Corrupt {
+            what: what.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// True when the error indicates damaged or missing persisted state —
+    /// the class of failure a reader can recover from by recomputing,
+    /// as opposed to I/O or configuration problems it must surface.
+    pub fn is_data_loss(&self) -> bool {
+        matches!(
+            self,
+            Error::Corrupt { .. } | Error::Parse(_) | Error::DfsMissing(_)
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -64,6 +98,10 @@ impl fmt::Display for Error {
                     "job `{job}`: {phase} task {task} failed {attempts} attempts, giving up"
                 )
             }
+            Error::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -98,6 +136,22 @@ mod tests {
         };
         assert!(failed.to_string().contains("reduce task 7"));
         assert!(failed.to_string().contains("failed 4 attempts"));
+    }
+
+    #[test]
+    fn corrupt_and_internal_format() {
+        let c = Error::corrupt("segment", "declared 9 rows, 3 bytes left");
+        assert_eq!(
+            c.to_string(),
+            "corrupt segment: declared 9 rows, 3 bytes left"
+        );
+        assert!(c.is_data_loss());
+        assert!(Error::Parse("bad".into()).is_data_loss());
+        assert!(Error::DfsMissing("p".into()).is_data_loss());
+        let i = Error::Internal("slot taken twice".into());
+        assert!(i.to_string().contains("slot taken twice"));
+        assert!(!i.is_data_loss());
+        assert!(!Error::Config("x".into()).is_data_loss());
     }
 
     #[test]

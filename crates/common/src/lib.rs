@@ -17,6 +17,7 @@
 //! aggregates fit in a fixed number of bytes, and the measure attribute is
 //! numeric.
 
+pub mod codec;
 pub mod error;
 pub mod group;
 pub mod io;
@@ -24,6 +25,7 @@ pub mod mask;
 pub mod order;
 pub mod relation;
 pub mod schema;
+pub mod sync;
 pub mod tuple;
 pub mod value;
 

@@ -26,6 +26,9 @@
 //! let run = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
 //! assert_eq!(run.cube.len(), 6); // distinct groups across the 4 cuboids
 //! ```
+// Serving-path crate: panic-free outside tests (see DESIGN.md and the
+// spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod analysis;
 pub mod sketch;

@@ -449,6 +449,9 @@ mod tests {
         let cfg = SketchConfig::default();
         let (a, _) = build_sampled_sketch(&rel, &cluster, &cfg).unwrap();
         let (b, _) = build_sampled_sketch(&rel, &cluster, &cfg).unwrap();
-        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(
+            a.to_bytes().expect("encode a"),
+            b.to_bytes().expect("encode b")
+        );
     }
 }

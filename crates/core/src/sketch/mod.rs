@@ -39,6 +39,7 @@ pub use build::{
 };
 pub use node::SketchNode;
 
+use spcube_common::codec::{checked_body, put_len, put_value, seal, Reader};
 use spcube_common::{Error, Group, Mask, Result, Value};
 
 /// The SP-Sketch: one [`SketchNode`] per cuboid, indexed by mask.
@@ -51,9 +52,6 @@ pub struct SpSketch {
 
 /// Leading magic of a serialized sketch (version 1 of the wire format).
 const MAGIC: &[u8; 5] = b"SPSK1";
-
-const TAG_INT: u8 = 0;
-const TAG_STR: u8 = 1;
 
 impl SpSketch {
     /// Assemble a sketch from per-cuboid nodes. `nodes[mask.0]` must be the
@@ -109,64 +107,53 @@ impl SpSketch {
     /// the paper. Computed from the encoding actually shipped through the
     /// DFS.
     pub fn serialized_bytes(&self) -> u64 {
-        self.to_bytes().len() as u64
+        self.to_bytes().map_or(0, |b| b.len() as u64)
     }
 
     /// Serialize for DFS distribution (see the wire format in the module
-    /// docs). Deterministic: equal sketches produce equal bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// docs). Deterministic: equal sketches produce equal bytes. Fails
+    /// only when a collection exceeds the format's 32-bit length fields.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, self.d as u32);
-        put_u32(&mut out, self.k as u32);
+        put_len(&mut out, self.d)?;
+        put_len(&mut out, self.k)?;
         for node in &self.nodes {
-            put_u32(&mut out, node.skew_count() as u32);
+            put_len(&mut out, node.skew_count())?;
             for key in node.skews() {
                 for v in key {
-                    put_value(&mut out, v);
+                    put_value(&mut out, v)?;
                 }
             }
             let elements = node.partition_elements();
-            put_u32(&mut out, elements.len() as u32);
+            put_len(&mut out, elements.len())?;
             for e in elements {
                 for v in e.iter() {
-                    put_value(&mut out, v);
+                    put_value(&mut out, v)?;
                 }
             }
         }
-        let sum = fnv1a(&out);
-        out.extend_from_slice(&sum.to_le_bytes());
-        out
+        seal(&mut out);
+        Ok(out)
     }
 
     /// Deserialize from DFS bytes, verifying the trailing checksum before
-    /// anything else — corrupted blobs fail with a `Parse` error rather
-    /// than silently mis-partitioning the cube round.
+    /// anything else — corrupted blobs fail with a typed [`Error::Corrupt`]
+    /// rather than silently mis-partitioning the cube round. Safe on
+    /// arbitrary bytes: every read is bounds-checked and every declared
+    /// count is validated against the bytes actually present.
     pub fn from_bytes(bytes: &[u8]) -> Result<SpSketch> {
-        if bytes.len() < MAGIC.len() + 8 + 8 {
-            return Err(Error::Parse("sketch blob too short".into()));
-        }
-        let (body, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
-        let computed = fnv1a(body);
-        if stored != computed {
-            return Err(Error::Parse(format!(
-                "sketch checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
-            )));
-        }
-        let mut r = Reader {
-            bytes: body,
-            pos: 0,
-        };
+        let body = checked_body(bytes, "sketch")?;
+        let mut r = Reader::labeled(body, "sketch");
         let magic = r.take(MAGIC.len())?;
         if magic != MAGIC {
-            return Err(Error::Parse("bad sketch magic".into()));
+            return Err(r.corrupt("bad sketch magic"));
         }
         let d = r.u32()? as usize;
         let k = r.u32()? as usize;
         if d > Mask::MAX_DIMS {
-            return Err(Error::Parse(format!(
-                "sketch declares {d} dimensions, max is {}",
+            return Err(r.corrupt(format!(
+                "declares {d} dimensions, max is {}",
                 Mask::MAX_DIMS
             )));
         }
@@ -175,7 +162,11 @@ impl SpSketch {
             let mask = Mask(m);
             let arity = mask.arity() as usize;
             let mut node = SketchNode::new(mask);
-            let n_skews = r.u32()?;
+            let n_skews = r.u32()? as usize;
+            // A key needs at least one tagged value per arity slot (or is
+            // empty for the apex); bound the declared count by the bytes
+            // left so a forged header cannot drive a huge allocation.
+            r.check_count(n_skews, arity.saturating_mul(5), "skew keys")?;
             for _ in 0..n_skews {
                 let mut key = Vec::with_capacity(arity);
                 for _ in 0..arity {
@@ -183,8 +174,9 @@ impl SpSketch {
                 }
                 node.add_skew(key.into_boxed_slice());
             }
-            let n_elements = r.u32()?;
-            let mut elements = Vec::with_capacity(n_elements as usize);
+            let n_elements = r.u32()? as usize;
+            r.check_count(n_elements, arity.saturating_mul(5), "partition elements")?;
+            let mut elements = Vec::with_capacity(n_elements);
             for _ in 0..n_elements {
                 let mut e = Vec::with_capacity(arity);
                 for _ in 0..arity {
@@ -196,8 +188,8 @@ impl SpSketch {
             node.set_partition_elements_unchecked(elements);
             nodes.push(node);
         }
-        if r.pos != body.len() {
-            return Err(Error::Parse("trailing bytes after sketch".into()));
+        if !r.is_exhausted() {
+            return Err(r.corrupt("trailing bytes after sketch"));
         }
         Ok(SpSketch { d, k, nodes })
     }
@@ -262,73 +254,6 @@ impl SpSketch {
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, x: u32) {
-    out.extend_from_slice(&x.to_le_bytes());
-}
-
-fn put_value(out: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Int(i) => {
-            out.push(TAG_INT);
-            out.extend_from_slice(&i.to_le_bytes());
-        }
-        Value::Str(s) => {
-            out.push(TAG_STR);
-            put_u32(out, s.len() as u32);
-            out.extend_from_slice(s.as_bytes());
-        }
-    }
-}
-
-/// 64-bit FNV-1a over `bytes`.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
-            return Err(Error::Parse("truncated sketch".into()));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn value(&mut self) -> Result<Value> {
-        let tag = self.take(1)?[0];
-        match tag {
-            TAG_INT => Ok(Value::Int(i64::from_le_bytes(
-                self.take(8)?.try_into().expect("8 bytes"),
-            ))),
-            TAG_STR => {
-                let len = self.u32()? as usize;
-                let raw = self.take(len)?;
-                let s = std::str::from_utf8(raw)
-                    .map_err(|_| Error::Parse("sketch string is not UTF-8".into()))?;
-                Ok(Value::str(s))
-            }
-            other => Err(Error::Parse(format!("bad sketch value tag {other}"))),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,17 +302,17 @@ mod tests {
     #[test]
     fn binary_round_trip() {
         let s = tiny_sketch();
-        let bytes = s.to_bytes();
-        assert_eq!(&bytes[..5], b"SPSK1");
+        let bytes = s.to_bytes().expect("encode");
+        assert_eq!(&bytes[..5], MAGIC);
         assert_eq!(bytes.len() as u64, s.serialized_bytes());
-        let back = SpSketch::from_bytes(&bytes).unwrap();
+        let back = SpSketch::from_bytes(&bytes).expect("decode");
         assert_eq!(back.dims(), 2);
         assert_eq!(back.machines(), 3);
         assert!(back.is_skewed(Mask(0b01), &[Value::Int(7)]));
         assert_eq!(back.partition_of(Mask(0b01), &[Value::Int(4)]), 1);
         assert_eq!(back.partition_of(Mask(0b10), &[Value::str("dvd")]), 1);
         // Deterministic encoding.
-        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.to_bytes().expect("re-encode"), bytes);
         assert!(back.validate().is_ok());
     }
 
@@ -395,7 +320,7 @@ mod tests {
     fn bad_bytes_rejected() {
         assert!(SpSketch::from_bytes(b"not a sketch").is_err());
         assert!(SpSketch::from_bytes(b"").is_err());
-        let good = tiny_sketch().to_bytes();
+        let good = tiny_sketch().to_bytes().expect("encode");
         // Truncation, wrong magic, trailing garbage: all rejected.
         assert!(SpSketch::from_bytes(&good[..good.len() - 1]).is_err());
         let mut wrong_magic = good.clone();
@@ -410,7 +335,7 @@ mod tests {
     fn every_single_bit_flip_is_detected() {
         // The checksum (or, for flips inside the checksum itself, the
         // comparison) catches any one-bit corruption anywhere in the blob.
-        let good = tiny_sketch().to_bytes();
+        let good = tiny_sketch().to_bytes().expect("encode");
         for i in 0..good.len() {
             let mut bad = good.clone();
             bad[i] ^= 0x01;
@@ -428,7 +353,7 @@ mod tests {
             vec![Value::Int(9)].into_boxed_slice(),
             vec![Value::Int(3)].into_boxed_slice(),
         ]);
-        let err = s.validate().unwrap_err();
+        let err = s.validate().expect_err("invalid sketch");
         assert!(err.to_string().contains("out of order"), "{err}");
     }
 
@@ -438,7 +363,7 @@ mod tests {
         // Skewed at m11 but its projections are recorded nowhere.
         nodes[0b11].add_skew(vec![Value::Int(1), Value::Int(2)].into_boxed_slice());
         let s = SpSketch::new(2, 3, nodes);
-        let err = s.validate().unwrap_err();
+        let err = s.validate().expect_err("invalid sketch");
         assert!(err.to_string().contains("upward-closed"), "{err}");
     }
 
@@ -456,8 +381,8 @@ mod tests {
         assert!(s.skew_count() > 0, "test needs a non-trivial sketch");
         assert!(s.validate().is_ok());
         // And it survives a DFS round trip.
-        assert!(SpSketch::from_bytes(&s.to_bytes())
-            .unwrap()
+        assert!(SpSketch::from_bytes(&s.to_bytes().expect("encode"))
+            .expect("decode")
             .validate()
             .is_ok());
     }

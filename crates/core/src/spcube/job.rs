@@ -77,6 +77,7 @@ impl MrJob for SpCubeJob<'_> {
         // by the group (Section 5: "maintaining a hash table in which items
         // correspond to the skewed c-groups"). Proposition 4.7 bounds its
         // size by O(2^d · k) = O(m).
+        // spcheck:allow(determinism): iteration is sorted before emission (flush below)
         let mut partials: HashMap<Group, (AggState, u64)> = HashMap::new();
 
         for t in split {
@@ -152,6 +153,7 @@ impl MrJob for SpCubeJob<'_> {
                         state.merge(p);
                         tuples += count;
                     }
+                    // spcheck:allow(no_panic): shuffle-protocol invariant, a code bug not corrupt data
                     SpValue::Row(_) => unreachable!("skewed group received a raw tuple"),
                 }
             }
@@ -171,6 +173,7 @@ impl MrJob for SpCubeJob<'_> {
             for v in &values {
                 match v {
                     SpValue::Row(t) => state.update(t.measure),
+                    // spcheck:allow(no_panic): shuffle-protocol invariant, a code bug not corrupt data
                     SpValue::Partial(..) => unreachable!("non-skewed group received a partial"),
                 }
             }
@@ -187,6 +190,7 @@ impl MrJob for SpCubeJob<'_> {
             .into_iter()
             .map(|v| match v {
                 SpValue::Row(t) => t,
+                // spcheck:allow(no_panic): shuffle-protocol invariant, a code bug not corrupt data
                 SpValue::Partial(..) => unreachable!("non-skewed group received a partial"),
             })
             .collect();
@@ -267,6 +271,7 @@ impl DegradedCubeJob {
                     state.merge(p);
                     tuples += count;
                 }
+                // spcheck:allow(no_panic): shuffle-protocol invariant, a code bug not corrupt data
                 SpValue::Row(_) => unreachable!("degraded cube round ships only partials"),
             }
         }
@@ -352,7 +357,8 @@ mod tests {
     /// behaviour on a relation where (*,*,*) is skewed.
     #[test]
     fn mapper_aggregates_skews_and_ships_anchors() {
-        let mut rel = Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
+        let mut rel =
+            Relation::empty(Schema::new(["name", "city", "year"], "sales").expect("schema"));
         for i in 0..100usize {
             rel.push_row(
                 vec![
@@ -369,7 +375,7 @@ mod tests {
 
         let cfg = SpCubeConfig::new(AggSpec::Count);
         let job = SpCubeJob::new(&sketch, 3, &cfg);
-        let res = run_job(&cluster, &job, rel.tuples(), cluster.machines + 1).unwrap();
+        let res = run_job(&cluster, &job, rel.tuples(), cluster.machines + 1).expect("run");
 
         // Reducer 0 must produce the apex group with the exact total count.
         let apex = res.outputs[0]

@@ -18,7 +18,7 @@ mod job;
 use spcube_agg::AggSpec;
 use spcube_common::{Error, Relation, Result};
 use spcube_cubealg::Cube;
-use spcube_mapreduce::{run_job, ClusterConfig, Dfs, RunMetrics};
+use spcube_mapreduce::{run_job, ClusterConfig, Dfs, RunMetrics, Stopwatch};
 
 use crate::sketch::{
     build_exact_sketch, build_sampled_sketch, build_sketch_from, SketchConfig, SpSketch,
@@ -177,7 +177,7 @@ impl SpCube {
                 Err(e) => return Err(e),
             }
         };
-        dfs.put("sp-sketch", sketch.to_bytes());
+        dfs.put("sp-sketch", sketch.to_bytes()?);
         for _ in 0..cluster.machines {
             let _ = dfs.get("sp-sketch")?;
         }
@@ -256,7 +256,7 @@ impl SpCube {
         prefix: &str,
     ) -> Result<SpCubeStoreRun> {
         let mut run = Self::run_on(rel, cluster, cfg, dfs)?;
-        let t0 = std::time::Instant::now();
+        let t0 = Stopwatch::start();
         let report = spcube_cubestore::write_store(
             dfs,
             prefix,
@@ -270,7 +270,7 @@ impl SpCube {
             reduce_tasks: 1,
             output_records: report.rows,
             reducer_output_bytes: vec![report.bytes],
-            wall_seconds: t0.elapsed().as_secs_f64(),
+            wall_seconds: t0.seconds(),
             ..Default::default()
         };
         run.metrics.push(round);
@@ -321,7 +321,7 @@ mod tests {
             AggSpec::Max,
             AggSpec::Avg,
         ] {
-            let run = sp_cube(&rel, &cluster, agg).unwrap();
+            let run = sp_cube(&rel, &cluster, agg).expect("run");
             let expect = naive_cube(&rel, agg);
             assert!(
                 run.cube.approx_eq(&expect, 1e-9),
@@ -337,7 +337,7 @@ mod tests {
         let cluster = ClusterConfig::new(5, 100);
         let mut cfg = SpCubeConfig::new(AggSpec::Sum);
         cfg.use_exact_sketch = true;
-        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        let run = SpCube::run(&rel, &cluster, &cfg).expect("run");
         let expect = naive_cube(&rel, AggSpec::Sum);
         assert!(
             run.cube.approx_eq(&expect, 1e-9),
@@ -356,8 +356,8 @@ mod tests {
         base.use_exact_sketch = true;
         let mut flat = base.clone();
         flat.factorize_ancestors = false;
-        let run_base = SpCube::run(&rel, &cluster, &base).unwrap();
-        let run_flat = SpCube::run(&rel, &cluster, &flat).unwrap();
+        let run_base = SpCube::run(&rel, &cluster, &base).expect("run");
+        let run_flat = SpCube::run(&rel, &cluster, &flat).expect("run");
         let expect = naive_cube(&rel, AggSpec::Count);
         assert!(run_flat.cube.approx_eq(&expect, 1e-9));
         assert!(
@@ -375,7 +375,7 @@ mod tests {
         let mut cfg = SpCubeConfig::new(AggSpec::Sum);
         cfg.use_exact_sketch = true;
         cfg.map_side_skew_aggregation = false;
-        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        let run = SpCube::run(&rel, &cluster, &cfg).expect("run");
         let expect = naive_cube(&rel, AggSpec::Sum);
         assert!(
             run.cube.approx_eq(&expect, 1e-9),
@@ -392,7 +392,7 @@ mod tests {
     fn two_rounds_and_small_sketch() {
         let rel = rel_with_skew(3000, 900, 4);
         let cluster = ClusterConfig::new(10, 200);
-        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).expect("run");
         assert_eq!(run.metrics.round_count(), 2);
         assert!(run.sketch_bytes > 0);
         assert!(
@@ -411,10 +411,15 @@ mod tests {
         let cluster = ClusterConfig::new(6, 120);
         let dfs = std::sync::Arc::new(Dfs::new());
         let cfg = SpCubeConfig::new(AggSpec::Sum);
-        let stored = SpCube::run_and_store(&rel, &cluster, &cfg, &dfs, "cube").unwrap();
+        let stored = SpCube::run_and_store(&rel, &cluster, &cfg, &dfs, "cube").expect("run");
 
         // The store phase is accounted as its own metrics round.
-        let last = stored.run.metrics.rounds.last().unwrap();
+        let last = stored
+            .run
+            .metrics
+            .rounds
+            .last()
+            .expect("at least one round");
         assert_eq!(last.name, "cube-store");
         assert_eq!(last.output_records, stored.report.rows);
         assert_eq!(stored.report.rows as usize, stored.run.cube.len());
@@ -427,12 +432,15 @@ mod tests {
             dfs as std::sync::Arc<dyn spcube_cubestore::BlobStore>,
             "cube",
         )
-        .unwrap();
+        .expect("run");
         let q = CubeQuery::new(&stored.run.cube, rel.arity());
         for mask in spcube_common::Mask::full(rel.arity()).subsets() {
-            assert_eq!(store.cuboid_len(mask).unwrap(), q.cuboid_len(mask));
+            assert_eq!(
+                store.cuboid_len(mask).expect("cuboid_len"),
+                q.cuboid_len(mask)
+            );
         }
-        let top_store = store.top(spcube_common::Mask(0b011), 5).unwrap();
+        let top_store = store.top(spcube_common::Mask(0b011), 5).expect("run");
         let top_mem = q.top(spcube_common::Mask(0b011), 5);
         assert_eq!(top_store.len(), top_mem.len());
         for ((g, x), (hg, hx)) in top_store.iter().zip(top_mem) {
@@ -450,10 +458,13 @@ mod tests {
         let cfg = SpCubeConfig::new(AggSpec::Sum);
         let dfs = Dfs::new();
         dfs.corrupt_next_write("sp-sketch");
-        let run = SpCube::run_on(&rel, &cluster, &cfg, &dfs).unwrap();
+        let run = SpCube::run_on(&rel, &cluster, &cfg, &dfs).expect("run");
         assert!(run.degraded, "corrupt sketch must degrade the run");
         assert_eq!(run.metrics.fallback_events(), 1);
-        assert_eq!(run.metrics.rounds.last().unwrap().name, "sp-cube-degraded");
+        assert_eq!(
+            run.metrics.rounds.last().expect("at least one round").name,
+            "sp-cube-degraded"
+        );
         assert_eq!(
             run.sketch.skew_count(),
             0,
@@ -476,7 +487,7 @@ mod tests {
         cluster.faults.task_failure_prob = 0.999_999;
         cluster.faults.only_job = Some("sp-sketch".into());
         cluster.retry.max_attempts = 2;
-        let run = SpCube::run(&rel, &cluster, &SpCubeConfig::new(AggSpec::Count)).unwrap();
+        let run = SpCube::run(&rel, &cluster, &SpCubeConfig::new(AggSpec::Count)).expect("run");
         assert!(run.degraded);
         assert_eq!(run.metrics.fallback_events(), 1);
         assert_eq!(run.sketch_bytes, 0, "no sketch ever reached the DFS");
@@ -506,7 +517,7 @@ mod tests {
         ] {
             let dfs = Dfs::new();
             dfs.corrupt_next_write("sp-sketch");
-            let run = SpCube::run_on(&rel, &cluster, &SpCubeConfig::new(agg), &dfs).unwrap();
+            let run = SpCube::run_on(&rel, &cluster, &SpCubeConfig::new(agg), &dfs).expect("run");
             assert!(run.degraded);
             let expect = naive_cube(&rel, agg);
             assert!(
@@ -521,7 +532,7 @@ mod tests {
     fn topk_holistic_aggregate_supported() {
         let rel = rel_with_skew(800, 200, 3);
         let cluster = ClusterConfig::new(4, 100);
-        let run = sp_cube(&rel, &cluster, AggSpec::TopKFrequent(2)).unwrap();
+        let run = sp_cube(&rel, &cluster, AggSpec::TopKFrequent(2)).expect("run");
         let expect = naive_cube(&rel, AggSpec::TopKFrequent(2));
         assert!(
             run.cube.approx_eq(&expect, 1e-9),
@@ -534,7 +545,7 @@ mod tests {
     fn single_machine_cluster_works() {
         let rel = rel_with_skew(300, 100, 2);
         let cluster = ClusterConfig::new(1, 50);
-        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).expect("run");
         let expect = naive_cube(&rel, AggSpec::Count);
         assert!(run.cube.approx_eq(&expect, 1e-9));
     }
@@ -550,7 +561,7 @@ mod tests {
             &cfg,
             &[AggSpec::Count, AggSpec::Sum, AggSpec::Avg],
         )
-        .unwrap();
+        .expect("run");
         // One sketch round + three cube rounds.
         assert_eq!(metrics.round_count(), 4);
         assert_eq!(metrics.rounds[0].name, "sp-sketch");
@@ -562,7 +573,12 @@ mod tests {
         // round thrice).
         let separate: f64 = [AggSpec::Count, AggSpec::Sum, AggSpec::Avg]
             .iter()
-            .map(|&a| sp_cube(&rel, &cluster, a).unwrap().metrics.total_seconds())
+            .map(|&a| {
+                sp_cube(&rel, &cluster, a)
+                    .expect("run")
+                    .metrics
+                    .total_seconds()
+            })
             .sum();
         assert!(metrics.total_seconds() < separate);
     }
@@ -573,13 +589,13 @@ mod tests {
         let cluster = ClusterConfig::new(8, 150);
         let mut cfg = SpCubeConfig::new(AggSpec::Sum);
         cfg.min_support = 50;
-        let run = SpCube::run(&rel, &cluster, &cfg).unwrap();
+        let run = SpCube::run(&rel, &cluster, &cfg).expect("run");
         // Reference: full cube filtered by exact cardinality >= 5.
         let counts = naive_cube(&rel, AggSpec::Count);
         let sums = naive_cube(&rel, AggSpec::Sum);
         let expect = spcube_cubealg::Cube::from_pairs(
             sums.iter()
-                .filter(|(g, _)| counts.get(g).unwrap().number() >= 50.0)
+                .filter(|(g, _)| counts.get(g).expect("count for group").number() >= 50.0)
                 .map(|(g, v)| (g.clone(), v.clone())),
         );
         assert!(
@@ -603,7 +619,7 @@ mod tests {
     fn count_distinct_partially_algebraic_supported() {
         let rel = rel_with_skew(1000, 300, 3);
         let cluster = ClusterConfig::new(5, 80);
-        let run = sp_cube(&rel, &cluster, AggSpec::CountDistinct).unwrap();
+        let run = sp_cube(&rel, &cluster, AggSpec::CountDistinct).expect("run");
         let expect = naive_cube(&rel, AggSpec::CountDistinct);
         assert!(
             run.cube.approx_eq(&expect, 1e-9),
@@ -616,13 +632,14 @@ mod tests {
     fn empty_relation_yields_empty_cube() {
         let rel = Relation::empty(Schema::synthetic(3));
         let cluster = ClusterConfig::new(4, 10);
-        let run = sp_cube(&rel, &cluster, AggSpec::Count).unwrap();
+        let run = sp_cube(&rel, &cluster, AggSpec::Count).expect("run");
         assert!(run.cube.is_empty());
     }
 
     #[test]
     fn string_dimensions_work_end_to_end() {
-        let mut rel = Relation::empty(Schema::new(["name", "city", "year"], "sales").unwrap());
+        let mut rel =
+            Relation::empty(Schema::new(["name", "city", "year"], "sales").expect("schema"));
         let cities = ["Rome", "Paris", "London"];
         let products = ["laptop", "printer", "keyboard", "mouse"];
         for i in 0..600usize {
@@ -638,7 +655,7 @@ mod tests {
             );
         }
         let cluster = ClusterConfig::new(5, 60);
-        let run = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
+        let run = sp_cube(&rel, &cluster, AggSpec::Sum).expect("run");
         let expect = naive_cube(&rel, AggSpec::Sum);
         assert!(
             run.cube.approx_eq(&expect, 1e-9),

@@ -27,6 +27,9 @@
 //!   columnar store in `spcube-cubestore`);
 //! * [`greedy_select`] — HRU partial-materialization view selection
 //!   (cited as \[24\]).
+// Serving-path crate: panic-free outside tests (see DESIGN.md and the
+// spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod buc;
 pub mod cube;

@@ -43,7 +43,7 @@ pub trait CubeRead {
     fn slice(&self, mask: Mask, dim: usize, value: &Value) -> Result<Vec<(Group, AggOutput)>> {
         let slot = slice_slot(mask, dim)?;
         let mut rows = self.cuboid_rows(mask)?;
-        rows.retain(|(g, _)| g.key[slot] == *value);
+        rows.retain(|(g, _)| g.key.get(slot) == Some(value));
         Ok(rows)
     }
 
@@ -148,16 +148,16 @@ mod tests {
         let q = CubeQuery::new(&cube, d);
         let read: &dyn CubeRead = &q;
         for mask in Mask::full(d).subsets() {
-            assert_eq!(read.cuboid_len(mask).unwrap(), q.cuboid_len(mask));
-            let rows = read.cuboid_rows(mask).unwrap();
+            assert_eq!(read.cuboid_len(mask).expect("len"), q.cuboid_len(mask));
+            let rows = read.cuboid_rows(mask).expect("rows");
             let inherent = q.cuboid(mask);
             assert_eq!(rows.len(), inherent.len());
             for ((g, v), (hg, hv)) in rows.iter().zip(inherent) {
                 assert_eq!(g, *hg);
                 assert_eq!(v, *hv);
-                assert_eq!(read.point(mask, &g.key).unwrap().as_ref(), Some(*hv));
+                assert_eq!(read.point(mask, &g.key).expect("point").as_ref(), Some(*hv));
             }
-            let top_t = read.top(mask, 3).unwrap();
+            let top_t = read.top(mask, 3).expect("top");
             let top_i = q.top(mask, 3);
             assert_eq!(top_t.len(), top_i.len());
             for ((g, x), (hg, hx)) in top_t.iter().zip(top_i) {
@@ -173,19 +173,19 @@ mod tests {
         let q = CubeQuery::new(&cube, d);
         let read: &dyn CubeRead = &q;
         let mask = Mask(0b011);
-        let sliced = read.slice(mask, 0, &Value::Int(1)).unwrap();
-        let inherent = q.slice(mask, 0, &Value::Int(1)).unwrap();
+        let sliced = read.slice(mask, 0, &Value::Int(1)).expect("slice");
+        let inherent = q.slice(mask, 0, &Value::Int(1)).expect("slice");
         assert_eq!(sliced.len(), inherent.len());
         assert!(read.slice(mask, 2, &Value::Int(1)).is_err());
 
         let g = Group::new(Mask(0b001), vec![Value::Int(1)]);
-        let down = read.drill_down(&g, 1).unwrap();
-        assert_eq!(down.len(), q.drill_down(&g, 1).unwrap().len());
+        let down = read.drill_down(&g, 1).expect("drill");
+        assert_eq!(down.len(), q.drill_down(&g, 1).expect("drill").len());
         assert!(read.drill_down(&g, 0).is_err());
 
         let fine = Group::new(Mask(0b011), vec![Value::Int(1), Value::Int(1)]);
-        let (coarse, v) = read.roll_up(&fine, 1).unwrap().unwrap();
-        let (cg, cv) = q.roll_up(&fine, 1).unwrap().unwrap();
+        let (coarse, v) = read.roll_up(&fine, 1).expect("roll").expect("group");
+        let (cg, cv) = q.roll_up(&fine, 1).expect("roll").expect("group");
         assert_eq!(coarse, *cg);
         assert_eq!(v, *cv);
         assert!(read.roll_up(&fine, 2).is_err());
@@ -193,8 +193,8 @@ mod tests {
 
     #[test]
     fn slice_slot_maps_dimensions_to_key_positions() {
-        assert_eq!(slice_slot(Mask(0b101), 0).unwrap(), 0);
-        assert_eq!(slice_slot(Mask(0b101), 2).unwrap(), 1);
+        assert_eq!(slice_slot(Mask(0b101), 0).expect("slot"), 0);
+        assert_eq!(slice_slot(Mask(0b101), 2).expect("slot"), 1);
         assert!(slice_slot(Mask(0b101), 1).is_err());
     }
 }

@@ -1,68 +1,30 @@
-//! Shared binary primitives for the store's on-disk formats.
+//! Aggregate-aware binary primitives for the store's on-disk formats.
 //!
-//! Both the segment format (`CSEG1`) and the manifest format (`CMAN1`)
-//! follow the SP-Sketch codec conventions: a 5-byte magic, little-endian
-//! fixed-width integers, tagged values (`0` = 8-byte integer, `1` =
-//! length-prefixed UTF-8), and a trailing 64-bit FNV-1a checksum over
-//! everything before it. A reader rejects a blob whose checksum does not
-//! match, so one flipped bit anywhere is detected before any field is
-//! trusted.
+//! The segment format (`CSEG1`) and the manifest format (`CMAN1`) follow
+//! the workspace-wide codec conventions defined once in
+//! [`spcube_common::codec`]: a 5-byte magic, little-endian fixed-width
+//! integers, tagged values, and a trailing 64-bit FNV-1a checksum over
+//! everything before it. This module re-exports those primitives and adds
+//! the aggregate-specific encodings ([`AggOutput`], [`AggSpec`]) the store
+//! persists. All decoding is panic-free: arbitrary corrupt bytes come
+//! back as [`Error::Corrupt`](spcube_common::Error::Corrupt), never a
+//! crash, so the recover path can kick in.
 
 use spcube_agg::{AggOutput, AggSpec};
-use spcube_common::{Error, Result, Value};
+use spcube_common::Result;
 
-/// Value tag: 64-bit integer payload.
-pub const TAG_INT: u8 = 0;
-/// Value tag: length-prefixed UTF-8 payload.
-pub const TAG_STR: u8 = 1;
+pub use spcube_common::codec::{
+    checked_body, fnv1a, put_f64, put_len, put_u32, put_u64, put_value, seal, Reader, TAG_INT,
+    TAG_STR,
+};
 
 /// Aggregate-output tag: scalar.
 pub const TAG_NUMBER: u8 = 0;
 /// Aggregate-output tag: ranked `(value, frequency)` list.
 pub const TAG_TOPK: u8 = 1;
 
-/// 64-bit FNV-1a over `bytes` (same function the SP-Sketch codec uses).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-/// Append a little-endian `u32`.
-pub fn put_u32(out: &mut Vec<u8>, x: u32) {
-    out.extend_from_slice(&x.to_le_bytes());
-}
-
-/// Append a little-endian `u64`.
-pub fn put_u64(out: &mut Vec<u8>, x: u64) {
-    out.extend_from_slice(&x.to_le_bytes());
-}
-
-/// Append an `f64` as its IEEE-754 bit pattern (lossless round trip).
-pub fn put_f64(out: &mut Vec<u8>, x: f64) {
-    out.extend_from_slice(&x.to_bits().to_le_bytes());
-}
-
-/// Append a tagged [`Value`].
-pub fn put_value(out: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Int(i) => {
-            out.push(TAG_INT);
-            out.extend_from_slice(&i.to_le_bytes());
-        }
-        Value::Str(s) => {
-            out.push(TAG_STR);
-            put_u32(out, s.len() as u32);
-            out.extend_from_slice(s.as_bytes());
-        }
-    }
-}
-
 /// Append a tagged [`AggOutput`].
-pub fn put_agg_output(out: &mut Vec<u8>, v: &AggOutput) {
+pub fn put_agg_output(out: &mut Vec<u8>, v: &AggOutput) -> Result<()> {
     match v {
         AggOutput::Number(x) => {
             out.push(TAG_NUMBER);
@@ -70,107 +32,50 @@ pub fn put_agg_output(out: &mut Vec<u8>, v: &AggOutput) {
         }
         AggOutput::TopK(entries) => {
             out.push(TAG_TOPK);
-            put_u32(out, entries.len() as u32);
+            put_len(out, entries.len())?;
             for (value, freq) in entries {
                 put_f64(out, *value);
                 put_u64(out, *freq);
             }
         }
     }
+    Ok(())
 }
 
 /// Append an [`AggSpec`] (stored in the manifest so degraded recompute
 /// reproduces the same aggregate).
-pub fn put_agg_spec(out: &mut Vec<u8>, spec: AggSpec) {
+pub fn put_agg_spec(out: &mut Vec<u8>, spec: AggSpec) -> Result<()> {
     let (tag, k) = match spec {
-        AggSpec::Count => (0u8, 0),
+        AggSpec::Count => (0u8, 0usize),
         AggSpec::Sum => (1, 0),
         AggSpec::Min => (2, 0),
         AggSpec::Max => (3, 0),
         AggSpec::Avg => (4, 0),
-        AggSpec::TopKFrequent(k) => (5, k as u32),
+        AggSpec::TopKFrequent(k) => (5, k),
         AggSpec::CountDistinct => (6, 0),
     };
     out.push(tag);
-    put_u32(out, k);
+    put_len(out, k)?;
+    Ok(())
 }
 
-/// Bounds-checked cursor over an immutable byte slice.
-pub struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    /// Cursor at the start of `bytes`.
-    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
-        Reader { bytes, pos: 0 }
-    }
-
-    /// Current offset.
-    pub fn pos(&self) -> usize {
-        self.pos
-    }
-
-    /// Whether the cursor consumed every byte.
-    pub fn is_exhausted(&self) -> bool {
-        self.pos == self.bytes.len()
-    }
-
-    /// Take `n` raw bytes.
-    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
-            return Err(Error::Parse("truncated store blob".into()));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    /// Read a little-endian `u32`.
-    pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    /// Read a little-endian `u64`.
-    pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Read an `f64` bit pattern.
-    pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// Read a tagged [`Value`].
-    pub fn value(&mut self) -> Result<Value> {
-        let tag = self.take(1)?[0];
-        match tag {
-            TAG_INT => Ok(Value::Int(i64::from_le_bytes(
-                self.take(8)?.try_into().expect("8 bytes"),
-            ))),
-            TAG_STR => {
-                let len = self.u32()? as usize;
-                let raw = self.take(len)?;
-                let s = std::str::from_utf8(raw)
-                    .map_err(|_| Error::Parse("store string is not UTF-8".into()))?;
-                Ok(Value::str(s))
-            }
-            other => Err(Error::Parse(format!("bad store value tag {other}"))),
-        }
-    }
-
+/// Store-specific reads layered on the shared [`Reader`].
+pub trait AggRead {
     /// Read a tagged [`AggOutput`].
-    pub fn agg_output(&mut self) -> Result<AggOutput> {
-        let tag = self.take(1)?[0];
+    fn agg_output(&mut self) -> Result<AggOutput>;
+    /// Read an [`AggSpec`].
+    fn agg_spec(&mut self) -> Result<AggSpec>;
+}
+
+impl AggRead for Reader<'_> {
+    fn agg_output(&mut self) -> Result<AggOutput> {
+        let tag = self.u8()?;
         match tag {
             TAG_NUMBER => Ok(AggOutput::Number(self.f64()?)),
             TAG_TOPK => {
                 let len = self.u32()? as usize;
+                // Each entry is 16 bytes; reject a forged count up front.
+                self.check_count(len, 16, "top-k entries")?;
                 let mut entries = Vec::with_capacity(len);
                 for _ in 0..len {
                     let value = self.f64()?;
@@ -179,13 +84,12 @@ impl<'a> Reader<'a> {
                 }
                 Ok(AggOutput::TopK(entries))
             }
-            other => Err(Error::Parse(format!("bad aggregate tag {other}"))),
+            other => Err(self.corrupt(format!("bad aggregate tag {other}"))),
         }
     }
 
-    /// Read an [`AggSpec`].
-    pub fn agg_spec(&mut self) -> Result<AggSpec> {
-        let tag = self.take(1)?[0];
+    fn agg_spec(&mut self) -> Result<AggSpec> {
+        let tag = self.u8()?;
         let k = self.u32()? as usize;
         Ok(match tag {
             0 => AggSpec::Count,
@@ -195,52 +99,29 @@ impl<'a> Reader<'a> {
             4 => AggSpec::Avg,
             5 => AggSpec::TopKFrequent(k),
             6 => AggSpec::CountDistinct,
-            other => return Err(Error::Parse(format!("bad aggregate spec tag {other}"))),
+            other => return Err(self.corrupt(format!("bad aggregate spec tag {other}"))),
         })
     }
-}
-
-/// Split `bytes` into the checked body and verify the trailing FNV-1a
-/// checksum; returns the body on success. The common prologue of every
-/// store reader.
-pub fn checked_body<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8]> {
-    if bytes.len() < 8 {
-        return Err(Error::Parse(format!("{what} blob too short")));
-    }
-    let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
-    let computed = fnv1a(body);
-    if stored != computed {
-        return Err(Error::Parse(format!(
-            "{what} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
-        )));
-    }
-    Ok(body)
-}
-
-/// Append the FNV-1a checksum of everything currently in `out`.
-pub fn seal(out: &mut Vec<u8>) {
-    let sum = fnv1a(out);
-    out.extend_from_slice(&sum.to_le_bytes());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spcube_common::{Error, Value};
 
     #[test]
     fn value_and_output_round_trip() {
         let mut out = Vec::new();
-        put_value(&mut out, &Value::Int(-5));
-        put_value(&mut out, &Value::str("Rome"));
-        put_agg_output(&mut out, &AggOutput::Number(2.5));
-        put_agg_output(&mut out, &AggOutput::TopK(vec![(1.0, 3), (2.0, 1)]));
+        put_value(&mut out, &Value::Int(-5)).expect("encode int");
+        put_value(&mut out, &Value::str("Rome")).expect("encode str");
+        put_agg_output(&mut out, &AggOutput::Number(2.5)).expect("encode number");
+        put_agg_output(&mut out, &AggOutput::TopK(vec![(1.0, 3), (2.0, 1)])).expect("encode topk");
         let mut r = Reader::new(&out);
-        assert_eq!(r.value().unwrap(), Value::Int(-5));
-        assert_eq!(r.value().unwrap(), Value::str("Rome"));
-        assert_eq!(r.agg_output().unwrap(), AggOutput::Number(2.5));
+        assert_eq!(r.value().expect("int"), Value::Int(-5));
+        assert_eq!(r.value().expect("str"), Value::str("Rome"));
+        assert_eq!(r.agg_output().expect("number"), AggOutput::Number(2.5));
         assert_eq!(
-            r.agg_output().unwrap(),
+            r.agg_output().expect("topk"),
             AggOutput::TopK(vec![(1.0, 3), (2.0, 1)])
         );
         assert!(r.is_exhausted());
@@ -258,8 +139,8 @@ mod tests {
             AggSpec::CountDistinct,
         ] {
             let mut out = Vec::new();
-            put_agg_spec(&mut out, spec);
-            assert_eq!(Reader::new(&out).agg_spec().unwrap(), spec);
+            put_agg_spec(&mut out, spec).expect("encode spec");
+            assert_eq!(Reader::new(&out).agg_spec().expect("decode spec"), spec);
         }
     }
 
@@ -268,30 +149,28 @@ mod tests {
         for x in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 1e-300] {
             let mut out = Vec::new();
             put_f64(&mut out, x);
-            let back = Reader::new(&out).f64().unwrap();
+            let back = Reader::new(&out).f64().expect("f64");
             assert_eq!(back.to_bits(), x.to_bits());
         }
     }
 
     #[test]
-    fn seal_and_check_detect_every_bit_flip() {
-        let mut blob = b"some payload".to_vec();
-        seal(&mut blob);
-        assert!(checked_body(&blob, "test").is_ok());
-        for i in 0..blob.len() {
-            let mut bad = blob.clone();
-            bad[i] ^= 0x01;
-            assert!(
-                checked_body(&bad, "test").is_err(),
-                "flip at {i} undetected"
-            );
-        }
+    fn truncated_aggregate_reads_error() {
+        let mut r = Reader::new(&[TAG_NUMBER, 1, 2]);
+        assert!(r.agg_output().is_err());
+        let mut r = Reader::new(&[TAG_TOPK]);
+        assert!(r.agg_output().is_err());
+        let mut r = Reader::new(&[9]);
+        assert!(r.agg_output().is_err(), "unknown tag must error");
     }
 
     #[test]
-    fn truncated_reads_error() {
-        let mut r = Reader::new(&[TAG_INT, 1, 2]);
-        assert!(r.value().is_err());
-        assert!(checked_body(&[1, 2, 3], "tiny").is_err());
+    fn forged_topk_count_is_rejected() {
+        // TAG_TOPK + count 1000 with no entry bytes behind it: the count
+        // check must refuse before trying to allocate or loop.
+        let mut blob = vec![TAG_TOPK];
+        put_u32(&mut blob, 1000);
+        let err = Reader::new(&blob).agg_output().expect_err("forged count");
+        assert!(matches!(err, Error::Corrupt { .. }), "got {err}");
     }
 }

@@ -32,6 +32,9 @@
 //! * **[`server`]** — [`CubeServer`]: a fixed worker pool over a bounded
 //!   request queue with typed overload rejection, serving point / slice /
 //!   top-k / roll-up requests concurrently from one shared store.
+// Serving-path crate: panic-free outside tests (see DESIGN.md and the
+// spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod blob;
 pub mod cache;

@@ -21,7 +21,7 @@
 use spcube_agg::AggSpec;
 use spcube_common::{Error, Mask, Result};
 
-use crate::codec::{checked_body, put_agg_spec, put_u32, put_u64, seal, Reader};
+use crate::codec::{checked_body, put_agg_spec, put_len, put_u32, put_u64, seal, AggRead, Reader};
 
 /// Magic prefix of a serialized manifest (format version 1).
 pub const MANIFEST_MAGIC: &[u8; 5] = b"CMAN1";
@@ -76,57 +76,59 @@ impl Manifest {
 
     /// Serialize (see the module-level wire format). Entries are sorted by
     /// mask so encoding is deterministic and `entry` can binary-search.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Fails only when a collection exceeds the format's 32-bit fields.
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut entries: Vec<&ManifestEntry> = self.entries.iter().collect();
         entries.sort_by_key(|e| e.mask);
         let mut out = Vec::new();
         out.extend_from_slice(MANIFEST_MAGIC);
-        put_u32(&mut out, self.d as u32);
-        put_agg_spec(&mut out, self.spec);
-        put_u32(&mut out, self.min_support as u32);
-        put_u32(&mut out, entries.len() as u32);
+        put_len(&mut out, self.d)?;
+        put_agg_spec(&mut out, self.spec)?;
+        put_len(&mut out, self.min_support)?;
+        put_len(&mut out, entries.len())?;
         for e in entries {
             put_u32(&mut out, e.mask.0);
             put_u32(&mut out, e.rows);
             put_u64(&mut out, e.bytes);
-            put_u32(&mut out, e.path.len() as u32);
+            put_len(&mut out, e.path.len())?;
             out.extend_from_slice(e.path.as_bytes());
         }
         seal(&mut out);
-        out
+        Ok(out)
     }
 
     /// Deserialize, verifying the checksum and structural invariants.
     pub fn decode(bytes: &[u8]) -> Result<Manifest> {
         let body = checked_body(bytes, "manifest")?;
-        let mut r = Reader::new(body);
+        let mut r = Reader::labeled(body, "manifest");
         if r.take(MANIFEST_MAGIC.len())? != MANIFEST_MAGIC {
-            return Err(Error::Parse("bad manifest magic".into()));
+            return Err(r.corrupt("bad manifest magic"));
         }
         let d = r.u32()? as usize;
         if d > Mask::MAX_DIMS {
-            return Err(Error::Parse(format!(
-                "manifest declares {d} dimensions, max is {}",
+            return Err(r.corrupt(format!(
+                "declares {d} dimensions, max is {}",
                 Mask::MAX_DIMS
             )));
         }
         let spec = r.agg_spec()?;
         let min_support = r.u32()? as usize;
         let n = r.u32()? as usize;
+        // An entry is at least 16 bytes (mask, rows, bytes, path length);
+        // reject a forged count before allocating for it.
+        r.check_count(n, 16, "manifest entries")?;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let mask = Mask(r.u32()?);
             if !mask.is_subset_of(Mask::full(d)) {
-                return Err(Error::Parse(format!(
-                    "manifest cuboid {mask} has bits beyond d={d}"
-                )));
+                return Err(r.corrupt(format!("cuboid {mask} has bits beyond d={d}")));
             }
             let rows = r.u32()?;
             let bytes = r.u64()?;
             let path_len = r.u32()? as usize;
             let raw = r.take(path_len)?;
             let path = std::str::from_utf8(raw)
-                .map_err(|_| Error::Parse("manifest path is not UTF-8".into()))?
+                .map_err(|_| Error::corrupt("manifest", "path is not UTF-8"))?
                 .to_string();
             entries.push(ManifestEntry {
                 mask,
@@ -136,10 +138,10 @@ impl Manifest {
             });
         }
         if !r.is_exhausted() {
-            return Err(Error::Parse("trailing bytes after manifest".into()));
+            return Err(r.corrupt("trailing bytes after manifest"));
         }
         if entries.windows(2).any(|w| w[0].mask >= w[1].mask) {
-            return Err(Error::Parse("manifest entries not sorted by mask".into()));
+            return Err(r.corrupt("entries not sorted by mask"));
         }
         Ok(Manifest {
             d,
@@ -200,9 +202,9 @@ mod tests {
     #[test]
     fn round_trip_and_lookup() {
         let m = sample();
-        let back = Manifest::decode(&m.encode()).unwrap();
+        let back = Manifest::decode(&m.encode().expect("encode")).expect("decode");
         assert_eq!(back, m);
-        assert_eq!(back.entry(Mask(0b011)).unwrap().rows, 10);
+        assert_eq!(back.entry(Mask(0b011)).expect("entry").rows, 10);
         assert!(back.entry(Mask(0b101)).is_none());
         assert_eq!(back.total_bytes(), 2440);
         assert_eq!(back.total_rows(), 61);
@@ -212,14 +214,14 @@ mod tests {
     fn encode_sorts_entries() {
         let mut m = sample();
         m.entries.reverse();
-        let back = Manifest::decode(&m.encode()).unwrap();
+        let back = Manifest::decode(&m.encode().expect("encode")).expect("decode");
         assert_eq!(back.entries[0].mask, Mask(0b000));
         assert_eq!(back.entries[2].mask, Mask(0b111));
     }
 
     #[test]
     fn every_single_bit_flip_is_detected() {
-        let bytes = sample().encode();
+        let bytes = sample().encode().expect("encode");
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x01;

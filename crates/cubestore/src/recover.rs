@@ -46,26 +46,25 @@ fn partition(
 ) {
     let Some((&dim, rest)) = dims.split_first() else {
         // Full depth: this partition is one group of the target cuboid.
+        let Some(first) = tuples.first() else {
+            return; // callers never recurse into an empty partition
+        };
+        let group = Group::of_tuple(first, mask);
         let mut state = spec.init();
         for t in tuples.iter() {
             state.update(t.measure);
         }
-        let group = Group::of_tuple(tuples[0], mask);
         out.push((group.key, state.finalize()));
         return;
     };
-    tuples.sort_unstable_by(|a, b| a.dims[dim].cmp(&b.dims[dim]));
-    let mut start = 0;
-    while start < tuples.len() {
-        let val = &tuples[start].dims[dim];
-        let mut end = start + 1;
-        while end < tuples.len() && tuples[end].dims[dim] == *val {
-            end += 1;
+    // `get` rather than indexing: a tuple narrower than the mask cannot
+    // happen for a well-formed relation, but must not crash the serving
+    // path either (spcheck R1) — such tuples just sort together.
+    tuples.sort_unstable_by(|a, b| a.dims.get(dim).cmp(&b.dims.get(dim)));
+    for run in tuples.chunk_by_mut(|a, b| a.dims.get(dim) == b.dims.get(dim)) {
+        if run.len() >= min_support {
+            partition(run, rest, mask, spec, min_support, out);
         }
-        if end - start >= min_support {
-            partition(&mut tuples[start..end], rest, mask, spec, min_support, out);
-        }
-        start = end;
     }
 }
 

@@ -38,7 +38,9 @@ use std::cmp::Ordering;
 use spcube_agg::AggOutput;
 use spcube_common::{Error, Group, Mask, Result, Value};
 
-use crate::codec::{checked_body, put_agg_output, put_u32, put_value, seal, Reader};
+use crate::codec::{
+    checked_body, put_agg_output, put_len, put_u32, put_value, seal, AggRead, Reader,
+};
 
 /// Magic prefix of a serialized segment (format version 1).
 pub const SEGMENT_MAGIC: &[u8; 5] = b"CSEG1";
@@ -58,7 +60,10 @@ struct Column {
 impl Column {
     /// The dictionary code of `v`, if present.
     fn code_of(&self, v: &Value) -> Option<u32> {
-        self.dict.binary_search(v).ok().map(|i| i as u32)
+        self.dict
+            .binary_search(v)
+            .ok()
+            .and_then(|i| u32::try_from(i).ok())
     }
 }
 
@@ -105,6 +110,7 @@ impl Segment {
             dict.dedup();
             let codes = rows
                 .iter()
+                // spcheck:allow(error_hygiene): encode-side cast; dict len <= row count, which put_len caps at u32::MAX at write time
                 .map(|(k, _)| dict.binary_search(&k[slot]).expect("value in dict") as u32)
                 .collect();
             columns.push(Column { dict, codes });
@@ -247,27 +253,28 @@ impl Segment {
         rows
     }
 
-    /// Serialize (see the module-level wire format).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize (see the module-level wire format). Fails only when a
+    /// collection exceeds the format's 32-bit length fields.
+    pub fn encode(&self) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         out.extend_from_slice(SEGMENT_MAGIC);
-        put_u32(&mut out, self.d as u32);
+        put_len(&mut out, self.d)?;
         put_u32(&mut out, self.mask.0);
-        put_u32(&mut out, self.len() as u32);
-        put_u32(&mut out, self.block_size as u32);
+        put_len(&mut out, self.len())?;
+        put_len(&mut out, self.block_size)?;
         for col in &self.columns {
-            put_u32(&mut out, col.dict.len() as u32);
+            put_len(&mut out, col.dict.len())?;
             for v in &col.dict {
-                put_value(&mut out, v);
+                put_value(&mut out, v)?;
             }
             for &code in &col.codes {
                 put_u32(&mut out, code);
             }
         }
         for v in &self.values {
-            put_agg_output(&mut out, v);
+            put_agg_output(&mut out, v)?;
         }
-        put_u32(&mut out, self.blocks.len() as u32);
+        put_len(&mut out, self.blocks.len())?;
         for meta in &self.blocks {
             for &(lo, hi) in &meta.ranges {
                 put_u32(&mut out, lo);
@@ -275,68 +282,72 @@ impl Segment {
             }
         }
         seal(&mut out);
-        out
+        Ok(out)
     }
 
     /// Deserialize, verifying the checksum before any field is trusted and
     /// then the structural invariants a correct builder guarantees.
     pub fn decode(bytes: &[u8]) -> Result<Segment> {
         let body = checked_body(bytes, "segment")?;
-        let mut r = Reader::new(body);
+        let mut r = Reader::labeled(body, "segment");
         if r.take(SEGMENT_MAGIC.len())? != SEGMENT_MAGIC {
-            return Err(Error::Parse("bad segment magic".into()));
+            return Err(r.corrupt("bad segment magic"));
         }
         let d = r.u32()? as usize;
         if d > Mask::MAX_DIMS {
-            return Err(Error::Parse(format!(
-                "segment declares {d} dimensions, max is {}",
+            return Err(r.corrupt(format!(
+                "declares {d} dimensions, max is {}",
                 Mask::MAX_DIMS
             )));
         }
         let mask = Mask(r.u32()?);
         if !mask.is_subset_of(Mask::full(d)) {
-            return Err(Error::Parse(format!(
-                "segment cuboid {mask} has bits beyond d={d}"
-            )));
+            return Err(r.corrupt(format!("cuboid {mask} has bits beyond d={d}")));
         }
         let rows = r.u32()? as usize;
         let block_size = r.u32()? as usize;
         if block_size == 0 {
-            return Err(Error::Parse("segment block size must be positive".into()));
+            return Err(r.corrupt("block size must be positive"));
         }
         let arity = mask.arity() as usize;
         let mut columns = Vec::with_capacity(arity);
         for slot in 0..arity {
             let dict_len = r.u32()? as usize;
+            // A value is at least 5 wire bytes (tag + shortest payload);
+            // reject a forged dictionary length before allocating for it.
+            r.check_count(dict_len, 5, "dictionary values")?;
             let mut dict = Vec::with_capacity(dict_len);
             for _ in 0..dict_len {
                 dict.push(r.value()?);
             }
             if dict.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(Error::Parse(format!(
-                    "segment {mask}: column {slot} dictionary not sorted/distinct"
+                return Err(r.corrupt(format!(
+                    "cuboid {mask}: column {slot} dictionary not sorted/distinct"
                 )));
             }
+            r.check_count(rows, 4, "row codes")?;
             let mut codes = Vec::with_capacity(rows);
             for _ in 0..rows {
                 let code = r.u32()?;
                 if code as usize >= dict_len {
-                    return Err(Error::Parse(format!(
-                        "segment {mask}: column {slot} code {code} beyond dictionary"
+                    return Err(r.corrupt(format!(
+                        "cuboid {mask}: column {slot} code {code} beyond dictionary"
                     )));
                 }
                 codes.push(code);
             }
             columns.push(Column { dict, codes });
         }
+        // An aggregate output is at least 5 wire bytes (tag + u32).
+        r.check_count(rows, 5, "aggregate values")?;
         let mut values = Vec::with_capacity(rows);
         for _ in 0..rows {
             values.push(r.agg_output()?);
         }
         let n_blocks = r.u32()? as usize;
         if n_blocks != rows.div_ceil(block_size) {
-            return Err(Error::Parse(format!(
-                "segment {mask}: {n_blocks} blocks for {rows} rows at stride {block_size}"
+            return Err(r.corrupt(format!(
+                "cuboid {mask}: {n_blocks} blocks for {rows} rows at stride {block_size}"
             )));
         }
         let mut blocks = Vec::with_capacity(n_blocks);
@@ -350,7 +361,7 @@ impl Segment {
             blocks.push(BlockMeta { ranges });
         }
         if !r.is_exhausted() {
-            return Err(Error::Parse("trailing bytes after segment".into()));
+            return Err(r.corrupt("trailing bytes after segment"));
         }
         let seg = Segment {
             d,
@@ -364,9 +375,10 @@ impl Segment {
         for i in 1..seg.len() {
             let prev: Vec<u32> = seg.columns.iter().map(|c| c.codes[i - 1]).collect();
             if seg.cmp_row(i, &prev) != Ordering::Greater {
-                return Err(Error::Parse(format!(
-                    "segment {mask}: rows not sorted at {i}"
-                )));
+                return Err(Error::corrupt(
+                    "segment",
+                    format!("cuboid {mask}: rows not sorted at {i}"),
+                ));
             }
         }
         Ok(seg)
@@ -425,16 +437,16 @@ mod tests {
         assert_eq!(seg.len(), 3);
         assert_eq!(seg.key(0), vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(seg.key(2), vec![Value::Int(2), Value::Int(1)]);
-        let bytes = seg.encode();
+        let bytes = seg.encode().expect("encode");
         assert_eq!(&bytes[..5], SEGMENT_MAGIC);
-        let back = Segment::decode(&bytes).unwrap();
+        let back = Segment::decode(&bytes).expect("decode");
         assert_eq!(back.len(), 3);
         for i in 0..3 {
             assert_eq!(back.key(i), seg.key(i));
             assert_eq!(back.value(i), seg.value(i));
         }
         // Deterministic encoding.
-        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.encode().expect("re-encode"), bytes);
     }
 
     #[test]
@@ -479,7 +491,7 @@ mod tests {
         let seg = Segment::build(3, Mask::EMPTY, vec![(Box::new([]), AggOutput::Number(7.0))]);
         assert_eq!(seg.len(), 1);
         assert_eq!(seg.point(&[]), Some(&AggOutput::Number(7.0)));
-        let back = Segment::decode(&seg.encode()).unwrap();
+        let back = Segment::decode(&seg.encode().expect("encode")).expect("decode");
         assert_eq!(back.point(&[]), Some(&AggOutput::Number(7.0)));
     }
 
@@ -487,7 +499,7 @@ mod tests {
     fn empty_segment_round_trips() {
         let seg = Segment::build(2, Mask(0b01), Vec::new());
         assert!(seg.is_empty());
-        let back = Segment::decode(&seg.encode()).unwrap();
+        let back = Segment::decode(&seg.encode().expect("encode")).expect("decode");
         assert!(back.is_empty());
         assert_eq!(back.point(&[Value::Int(1)]), None);
     }
@@ -496,7 +508,7 @@ mod tests {
     fn topk_values_survive_the_round_trip() {
         let rows = vec![(k(&[1]), AggOutput::TopK(vec![(2.0, 9), (1.0, 3)]))];
         let seg = Segment::build(1, Mask(0b1), rows);
-        let back = Segment::decode(&seg.encode()).unwrap();
+        let back = Segment::decode(&seg.encode().expect("encode")).expect("decode");
         assert_eq!(back.value(0), &AggOutput::TopK(vec![(2.0, 9), (1.0, 3)]));
     }
 
@@ -513,7 +525,7 @@ mod tests {
             ),
         ];
         let seg = Segment::build(1, Mask(0b1), rows);
-        let back = Segment::decode(&seg.encode()).unwrap();
+        let back = Segment::decode(&seg.encode().expect("encode")).expect("decode");
         assert_eq!(
             back.point(&[Value::str("Paris")]),
             Some(&AggOutput::Number(2.0))
@@ -523,7 +535,7 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_detected() {
-        let bytes = sample_segment(40).encode();
+        let bytes = sample_segment(40).encode().expect("encode");
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x01;
@@ -538,7 +550,7 @@ mod tests {
     fn forged_blobs_are_rejected() {
         assert!(Segment::decode(b"").is_err());
         assert!(Segment::decode(b"CSEG1").is_err());
-        let good = sample_segment(10).encode();
+        let good = sample_segment(10).encode().expect("encode");
         assert!(Segment::decode(&good[..good.len() - 1]).is_err());
         let mut padded = good.clone();
         padded.insert(padded.len() - 8, 0);

@@ -18,6 +18,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use spcube_agg::AggOutput;
+use spcube_common::sync::{lock_or_recover, wait_or_recover};
 use spcube_common::{Group, Mask, Value};
 use spcube_cubealg::CubeRead;
 
@@ -162,7 +163,7 @@ impl CubeServer {
     /// Enqueue a request; the response arrives on the returned channel.
     /// Fails fast with [`ServeError::Overloaded`] when the queue is full.
     pub fn submit(&self, req: Request) -> Result<mpsc::Receiver<Response>, ServeError> {
-        let mut q = self.shared.queue.lock().expect("queue lock");
+        let mut q = lock_or_recover(&self.shared.queue);
         if q.shutting_down {
             return Err(ServeError::ShuttingDown);
         }
@@ -201,12 +202,14 @@ impl CubeServer {
     /// Drain the queue, stop the workers, and join them.
     pub fn shutdown(mut self) -> ServerStats {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = lock_or_recover(&self.shared.queue);
             q.shutting_down = true;
         }
         self.shared.wake.notify_all();
         for w in self.workers.drain(..) {
-            w.join().expect("worker panicked");
+            // A worker that panicked already dropped its response senders;
+            // nothing to clean up, so a poisoned join is not a second crash.
+            let _ = w.join();
         }
         self.stats()
     }
@@ -218,12 +221,12 @@ impl Drop for CubeServer {
             return; // already shut down
         }
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = lock_or_recover(&self.shared.queue);
             q.shutting_down = true;
         }
         self.shared.wake.notify_all();
         for w in self.workers.drain(..) {
-            w.join().expect("worker panicked");
+            let _ = w.join();
         }
     }
 }
@@ -231,7 +234,7 @@ impl Drop for CubeServer {
 fn worker_loop(shared: &Shared, store: &CubeStore) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = lock_or_recover(&shared.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break Some(job);
@@ -239,7 +242,7 @@ fn worker_loop(shared: &Shared, store: &CubeStore) {
                 if q.shutting_down {
                     break None;
                 }
-                q = shared.wake.wait(q).expect("queue lock");
+                q = wait_or_recover(&shared.wake, q);
             }
         };
         let Some((req, tx)) = job else { return };
@@ -278,8 +281,8 @@ mod tests {
         }
         let cube = naive_cube(&rel, AggSpec::Sum);
         let dfs = Arc::new(Dfs::new());
-        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).unwrap();
-        Arc::new(CubeStore::open(dfs, "s").unwrap())
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
+        Arc::new(CubeStore::open(dfs, "s").expect("open"))
     }
 
     #[test]
@@ -290,11 +293,11 @@ mod tests {
                 mask: Mask(0b01),
                 key: vec![Value::Int(1)],
             })
-            .unwrap();
+            .expect("point query");
         assert_eq!(point, Response::Value(Some(AggOutput::Number(3.0))));
         let len = server
             .query(Request::CuboidLen { mask: Mask(0b11) })
-            .unwrap();
+            .expect("len query");
         assert_eq!(len, Response::Len(3));
         let sliced = server
             .query(Request::Slice {
@@ -302,7 +305,7 @@ mod tests {
                 dim: 0,
                 value: Value::Int(1),
             })
-            .unwrap();
+            .expect("slice query");
         match sliced {
             Response::Rows(rows) => assert_eq!(rows.len(), 2),
             other => panic!("unexpected response {other:?}"),
@@ -312,7 +315,7 @@ mod tests {
                 mask: Mask(0b01),
                 n: 1,
             })
-            .unwrap();
+            .expect("topk query");
         match ranked {
             Response::Ranked(rows) => {
                 assert_eq!(rows.len(), 1);
@@ -325,7 +328,7 @@ mod tests {
                 group: Group::new(Mask(0b11), vec![Value::Int(1), Value::Int(1)]),
                 dim: 1,
             })
-            .unwrap();
+            .expect("rollup query");
         match rolled {
             Response::Rolled(Some((g, v))) => {
                 assert_eq!(g.mask, Mask(0b01));
@@ -348,7 +351,7 @@ mod tests {
                 dim: 1,
                 value: Value::Int(1),
             })
-            .unwrap();
+            .expect("typed failure");
         assert!(matches!(resp, Response::Failed(_)));
         server.shutdown();
     }
@@ -377,14 +380,14 @@ mod tests {
         rel.push_row(vec![Value::Int(1), Value::Int(1)], 1.0);
         let cube = naive_cube(&rel, AggSpec::Sum);
         let dfs = Arc::new(Dfs::new());
-        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).unwrap();
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
         let gate = Arc::new(Mutex::new(()));
         let blobs = Arc::new(GatedBlobs {
             inner: dfs,
             gate: Arc::clone(&gate),
         });
         // Opening reads the manifest while the gate is still open.
-        let store = Arc::new(CubeStore::open(blobs, "s").unwrap());
+        let store = Arc::new(CubeStore::open(blobs, "s").expect("open"));
         let server = CubeServer::start(
             store,
             ServerConfig {
@@ -414,7 +417,7 @@ mod tests {
         // Reopen the gate: everything accepted still gets answered.
         drop(closed);
         for rx in receivers {
-            assert_eq!(rx.recv().unwrap(), Response::Len(1));
+            assert_eq!(rx.recv().expect("answer"), Response::Len(1));
         }
         server.shutdown();
     }
@@ -432,12 +435,12 @@ mod tests {
             .map(|_| {
                 server
                     .submit(Request::CuboidLen { mask: Mask(0b11) })
-                    .unwrap()
+                    .expect("submit")
             })
             .collect();
         let stats = server.shutdown();
         for rx in receivers {
-            assert_eq!(rx.recv().unwrap(), Response::Len(3));
+            assert_eq!(rx.recv().expect("answer"), Response::Len(3));
         }
         assert_eq!(stats.served, 20);
     }
@@ -446,13 +449,13 @@ mod tests {
     fn submitting_after_shutdown_is_typed() {
         let server = CubeServer::start(serving_store(), ServerConfig::default());
         {
-            let mut q = server.shared.queue.lock().unwrap();
+            let mut q = server.shared.queue.lock().expect("queue lock");
             q.shutting_down = true;
         }
         assert_eq!(
             server
                 .submit(Request::CuboidLen { mask: Mask(0b01) })
-                .unwrap_err(),
+                .expect_err("typed shutdown error"),
             ServeError::ShuttingDown
         );
     }

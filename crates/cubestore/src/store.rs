@@ -19,11 +19,13 @@
 //! counting a degraded recompute in [`StoreStats`]. Without a recovery
 //! relation the error propagates.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use spcube_agg::{AggOutput, AggSpec};
-use spcube_common::{Group, Mask, Relation, Result, Value};
+use spcube_common::sync::lock_or_recover;
+use spcube_common::{Error, Group, Mask, Relation, Result, Value};
 use spcube_cubealg::{slice_slot, Cube, CubeRead};
 
 use crate::blob::BlobStore;
@@ -59,28 +61,31 @@ pub fn write_store(
     min_support: usize,
 ) -> Result<StoreWriteReport> {
     type CuboidRows = Vec<(Box<[Value]>, AggOutput)>;
-    let mut by_mask: std::collections::HashMap<Mask, CuboidRows> = std::collections::HashMap::new();
+    // BTreeMap so segments are written in ascending mask order — the
+    // output (blob sequence, manifest) is byte-identical across runs.
+    let mut by_mask: BTreeMap<Mask, CuboidRows> = BTreeMap::new();
     for (g, v) in cube.iter() {
         by_mask
             .entry(g.mask)
             .or_default()
             .push((g.key.clone(), v.clone()));
     }
-    let mut masks: Vec<Mask> = by_mask.keys().copied().collect();
-    masks.sort();
-    let mut entries = Vec::with_capacity(masks.len());
+    let mut entries = Vec::with_capacity(by_mask.len());
     let mut total_bytes = 0u64;
     let mut total_rows = 0u64;
-    for mask in masks {
-        let rows = by_mask.remove(&mask).expect("mask came from the map");
+    for (mask, rows) in by_mask {
         let segment = Segment::build(d, mask, rows);
-        let encoded = segment.encode();
+        let encoded = segment.encode()?;
         let path = segment_path(prefix, d, mask);
         total_bytes += encoded.len() as u64;
         total_rows += segment.len() as u64;
         entries.push(ManifestEntry {
             mask,
-            rows: segment.len() as u32,
+            rows: u32::try_from(segment.len()).map_err(|_| {
+                Error::Internal(format!(
+                    "cuboid {mask} row count exceeds the manifest field"
+                ))
+            })?,
             bytes: encoded.len() as u64,
             path: path.clone(),
         });
@@ -92,7 +97,7 @@ pub fn write_store(
         min_support,
         entries,
     };
-    let encoded = manifest.encode();
+    let encoded = manifest.encode()?;
     total_bytes += encoded.len() as u64;
     blobs.put(&manifest_path(prefix), encoded)?;
     Ok(StoreWriteReport {
@@ -166,7 +171,7 @@ impl CubeStore {
 
     /// Resize the hot-cuboid cache to hold `segments` decoded segments.
     pub fn with_cache_capacity(self, segments: usize) -> CubeStore {
-        *self.cache.lock().expect("cache lock") = SegmentCache::new(segments);
+        *lock_or_recover(&self.cache) = SegmentCache::new(segments);
         self
     }
 
@@ -187,16 +192,13 @@ impl CubeStore {
     /// The decoded segment for `mask`: cached, fetched, or — for a corrupt
     /// or missing blob with a recovery relation attached — recomputed.
     pub fn segment(&self, mask: Mask) -> Result<Arc<Segment>> {
-        if let Some(seg) = self.cache.lock().expect("cache lock").get(mask) {
+        if let Some(seg) = lock_or_recover(&self.cache).get(mask) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(seg);
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let seg = Arc::new(self.load_segment(mask)?);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .put(mask, Arc::clone(&seg));
+        lock_or_recover(&self.cache).put(mask, Arc::clone(&seg));
         Ok(seg)
     }
 
@@ -216,7 +218,10 @@ impl CubeStore {
         match fetched {
             Ok(seg) if seg.mask() == mask && seg.dims() == self.manifest.d => Ok(seg),
             Ok(_) => self.degrade(mask, "segment/manifest cuboid mismatch".to_string()),
-            Err(e) => self.degrade(mask, e),
+            // Only data loss (corruption, bad parse, missing blob) is
+            // recoverable by recompute; I/O or config errors propagate.
+            Err(e) if e.is_data_loss() => self.degrade(mask, e),
+            Err(e) => Err(e),
         }
     }
 
@@ -243,7 +248,7 @@ impl From<spcube_common::Error> for DegradeCause {
 
 impl From<String> for DegradeCause {
     fn from(msg: String) -> Self {
-        DegradeCause(spcube_common::Error::Parse(msg))
+        DegradeCause(spcube_common::Error::corrupt("segment", msg))
     }
 }
 
@@ -301,7 +306,7 @@ mod tests {
     fn built(dfs: &Arc<Dfs>) -> (Relation, Cube, StoreWriteReport) {
         let rel = sample_rel();
         let cube = naive_cube(&rel, AggSpec::Sum);
-        let report = write_store(dfs.as_ref(), "store", &cube, 3, AggSpec::Sum, 1).unwrap();
+        let report = write_store(dfs.as_ref(), "store", &cube, 3, AggSpec::Sum, 1).expect("write");
         (rel, cube, report)
     }
 
@@ -311,10 +316,10 @@ mod tests {
         let (rel, cube, report) = built(&dfs);
         assert_eq!(report.segments, 8); // all cuboids non-empty at min_support 1
         assert_eq!(report.rows as usize, cube.len());
-        let store = CubeStore::open(dfs, "store").unwrap();
+        let store = CubeStore::open(dfs, "store").expect("open");
         let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
         for mask in Mask::full(3).subsets() {
-            let rows = store.cuboid_rows(mask).unwrap();
+            let rows = store.cuboid_rows(mask).expect("cuboid rows");
             assert_eq!(rows.len(), q.cuboid_len(mask));
             for (g, v) in &rows {
                 assert_eq!(q.group(mask, &g.key), Some(v));
@@ -327,12 +332,14 @@ mod tests {
         let dfs = Arc::new(Dfs::new());
         built(&dfs);
         let store = CubeStore::open(dfs, "store")
-            .unwrap()
+            .expect("open")
             .with_cache_capacity(2);
         let mask = Mask(0b011);
-        store.cuboid_len(mask).unwrap(); // miss
-        store.cuboid_len(mask).unwrap(); // hit
-        store.point(mask, &[Value::Int(1), Value::Int(1)]).unwrap(); // hit
+        store.cuboid_len(mask).expect("len"); // miss
+        store.cuboid_len(mask).expect("len"); // hit
+        store
+            .point(mask, &[Value::Int(1), Value::Int(1)])
+            .expect("point"); // hit
         let stats = store.stats();
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 2);
@@ -345,19 +352,19 @@ mod tests {
         let (rel, cube, _) = built(&dfs);
         let victim = Mask(0b101);
         dfs.corrupt_byte(&segment_path("store", 3, victim), 20)
-            .unwrap();
+            .expect("corrupt");
         let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn crate::BlobStore>, "store")
-            .unwrap()
+            .expect("open")
             .with_recovery(rel.clone());
         let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
-        let rows = store.cuboid_rows(victim).unwrap();
+        let rows = store.cuboid_rows(victim).expect("degraded rows");
         assert_eq!(rows.len(), q.cuboid_len(victim));
         for (g, v) in &rows {
             assert_eq!(q.group(victim, &g.key), Some(v));
         }
         assert_eq!(store.stats().degraded_recomputes, 1);
         // Recomputed segment is cached: next access is a hit, no new recompute.
-        store.cuboid_len(victim).unwrap();
+        store.cuboid_len(victim).expect("cached len");
         assert_eq!(store.stats().degraded_recomputes, 1);
     }
 
@@ -367,8 +374,8 @@ mod tests {
         built(&dfs);
         let victim = Mask(0b001);
         dfs.corrupt_byte(&segment_path("store", 3, victim), 10)
-            .unwrap();
-        let store = CubeStore::open(dfs, "store").unwrap();
+            .expect("corrupt");
+        let store = CubeStore::open(dfs, "store").expect("open");
         assert!(store.cuboid_rows(victim).is_err());
         // Other cuboids still answer.
         assert!(store.cuboid_rows(Mask(0b010)).is_ok());
@@ -378,7 +385,8 @@ mod tests {
     fn corrupt_manifest_fails_open() {
         let dfs = Arc::new(Dfs::new());
         built(&dfs);
-        dfs.corrupt_byte(&manifest_path("store"), 7).unwrap();
+        dfs.corrupt_byte(&manifest_path("store"), 7)
+            .expect("corrupt");
         assert!(CubeStore::open(dfs, "store").is_err());
     }
 
@@ -392,11 +400,11 @@ mod tests {
             AggSpec::Count,
             &spcube_cubealg::BucConfig { min_support: 5 },
         );
-        write_store(dfs.as_ref(), "iceberg", &cube, 3, AggSpec::Count, 5).unwrap();
-        let store = CubeStore::open(dfs, "iceberg").unwrap();
-        assert_eq!(store.cuboid_len(Mask(0b111)).unwrap(), 0);
-        assert!(store.cuboid_rows(Mask(0b111)).unwrap().is_empty());
+        write_store(dfs.as_ref(), "iceberg", &cube, 3, AggSpec::Count, 5).expect("write");
+        let store = CubeStore::open(dfs, "iceberg").expect("open");
+        assert_eq!(store.cuboid_len(Mask(0b111)).expect("len"), 0);
+        assert!(store.cuboid_rows(Mask(0b111)).expect("rows").is_empty());
         let key = vec![Value::Int(1), Value::Int(1), Value::Int(1)];
-        assert_eq!(store.point(Mask(0b111), &key).unwrap(), None);
+        assert_eq!(store.point(Mask(0b111), &key).expect("point"), None);
     }
 }

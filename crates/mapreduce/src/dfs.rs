@@ -17,6 +17,8 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
+use spcube_common::sync::lock_or_recover;
+
 /// Shared byte-blob store with read/write accounting and corruption
 /// injection.
 #[derive(Debug, Default)]
@@ -42,10 +44,12 @@ impl Dfs {
     /// corruption was scheduled for `path`, one bit of the stored copy is
     /// silently flipped (the writer never notices, just like real bit-rot).
     pub fn put(&self, path: &str, mut data: Vec<u8>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         if inner.corrupt_on_write.remove(path) && !data.is_empty() {
             let mid = data.len() / 2;
-            data[mid] ^= 0x01;
+            if let Some(b) = data.get_mut(mid) {
+                *b ^= 0x01;
+            }
         }
         inner.bytes_written += data.len() as u64;
         inner.files.insert(path.to_string(), data);
@@ -53,7 +57,7 @@ impl Dfs {
 
     /// Fetch a copy of the blob at `path`.
     pub fn get(&self, path: &str) -> spcube_common::Result<Vec<u8>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         match inner.files.get(path) {
             Some(data) => {
                 let data = data.clone();
@@ -66,9 +70,7 @@ impl Dfs {
 
     /// Size of the blob at `path`, if present.
     pub fn len_of(&self, path: &str) -> Option<u64> {
-        self.inner
-            .lock()
-            .unwrap()
+        lock_or_recover(&self.inner)
             .files
             .get(path)
             .map(|d| d.len() as u64)
@@ -76,19 +78,19 @@ impl Dfs {
 
     /// Total bytes written so far.
     pub fn bytes_written(&self) -> u64 {
-        self.inner.lock().unwrap().bytes_written
+        lock_or_recover(&self.inner).bytes_written
     }
 
     /// Total bytes read so far.
     pub fn bytes_read(&self) -> u64 {
-        self.inner.lock().unwrap().bytes_read
+        lock_or_recover(&self.inner).bytes_read
     }
 
     /// Flip the low bit of the byte at `offset` of the blob at `path`
     /// (fault injection for tests). Errors when the blob is missing or
     /// shorter than `offset`.
     pub fn corrupt_byte(&self, path: &str, offset: usize) -> spcube_common::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_or_recover(&self.inner);
         let data = inner
             .files
             .get_mut(path)
@@ -99,7 +101,9 @@ impl Dfs {
                 data.len()
             )));
         }
-        data[offset] ^= 0x01;
+        if let Some(b) = data.get_mut(offset) {
+            *b ^= 0x01;
+        }
         Ok(())
     }
 
@@ -107,9 +111,7 @@ impl Dfs {
     /// Lets a test corrupt a blob that a driver writes and reads within a
     /// single call.
     pub fn corrupt_next_write(&self, path: &str) {
-        self.inner
-            .lock()
-            .unwrap()
+        lock_or_recover(&self.inner)
             .corrupt_on_write
             .insert(path.to_string());
     }
@@ -123,7 +125,7 @@ mod tests {
     fn put_get_round_trip() {
         let dfs = Dfs::new();
         dfs.put("sketch", vec![1, 2, 3]);
-        assert_eq!(dfs.get("sketch").unwrap(), vec![1, 2, 3]);
+        assert_eq!(dfs.get("sketch").expect("get"), vec![1, 2, 3]);
         assert_eq!(dfs.len_of("sketch"), Some(3));
     }
 
@@ -138,8 +140,8 @@ mod tests {
     fn accounting_counts_reads_and_writes() {
         let dfs = Dfs::new();
         dfs.put("a", vec![0; 10]);
-        let _ = dfs.get("a").unwrap();
-        let _ = dfs.get("a").unwrap();
+        let _ = dfs.get("a").expect("get");
+        let _ = dfs.get("a").expect("get");
         assert_eq!(dfs.bytes_written(), 10);
         assert_eq!(dfs.bytes_read(), 20);
     }
@@ -149,7 +151,7 @@ mod tests {
         let dfs = Dfs::new();
         dfs.put("a", vec![1]);
         dfs.put("a", vec![2, 3]);
-        assert_eq!(dfs.get("a").unwrap(), vec![2, 3]);
+        assert_eq!(dfs.get("a").expect("get"), vec![2, 3]);
         assert_eq!(dfs.bytes_written(), 3);
     }
 
@@ -157,8 +159,8 @@ mod tests {
     fn corrupt_byte_flips_one_bit() {
         let dfs = Dfs::new();
         dfs.put("a", vec![0u8; 4]);
-        dfs.corrupt_byte("a", 2).unwrap();
-        assert_eq!(dfs.get("a").unwrap(), vec![0, 0, 1, 0]);
+        dfs.corrupt_byte("a", 2).expect("corrupt");
+        assert_eq!(dfs.get("a").expect("get"), vec![0, 0, 1, 0]);
         assert!(dfs.corrupt_byte("a", 99).is_err());
         assert!(dfs.corrupt_byte("missing", 0).is_err());
     }
@@ -168,9 +170,9 @@ mod tests {
         let dfs = Dfs::new();
         dfs.corrupt_next_write("a");
         dfs.put("a", vec![0u8; 3]);
-        assert_eq!(dfs.get("a").unwrap(), vec![0, 1, 0]);
+        assert_eq!(dfs.get("a").expect("get"), vec![0, 1, 0]);
         // The schedule is consumed; later writes are clean.
         dfs.put("a", vec![0u8; 3]);
-        assert_eq!(dfs.get("a").unwrap(), vec![0, 0, 0]);
+        assert_eq!(dfs.get("a").expect("get"), vec![0, 0, 0]);
     }
 }

@@ -9,18 +9,18 @@
 //! so exactly-once semantics under recovery are exercised for real, not
 //! just charged to the cost model.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
 
+use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Result};
 
 use crate::config::ClusterConfig;
 use crate::context::{MapContext, ReduceContext};
 use crate::fault::{Phase, PhaseFaults, RecoveryCounters};
 use crate::job::{LargeGroupBehavior, MrJob};
-use crate::metrics::JobMetrics;
+use crate::metrics::{JobMetrics, Stopwatch};
 
 /// One write-once output slot per task, claimed by worker threads.
 type TaskSlots<T> = Vec<Mutex<Option<T>>>;
@@ -76,7 +76,7 @@ pub fn run_job<J: MrJob>(
         return Err(Error::Config("job needs at least one reducer".into()));
     }
     cluster.validate()?;
-    let wall_start = Instant::now();
+    let wall_start = Stopwatch::start();
     let k = cluster.machines;
     let cost = &cluster.cost;
     let name = job.name();
@@ -94,7 +94,7 @@ pub fn run_job<J: MrJob>(
         .map(|i| {
             let lo = (i * chunk).min(inputs.len());
             let hi = ((i + 1) * chunk).min(inputs.len());
-            &inputs[lo..hi]
+            inputs.get(lo..hi).unwrap_or(&[])
         })
         .collect();
 
@@ -107,19 +107,23 @@ pub fn run_job<J: MrJob>(
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let t = next_task.fetch_add(1, Ordering::Relaxed);
-                if t >= k {
-                    break;
-                }
-                let out = run_map_task(job, splits[t], t, reducers);
-                *map_slots[t].lock().unwrap() = Some(out);
+                let (Some(split), Some(slot)) = (splits.get(t), map_slots.get(t)) else {
+                    break; // t >= k: no tasks left
+                };
+                let out = run_map_task(job, split, t, reducers);
+                *lock_or_recover(slot) = Some(out);
             });
         }
     });
 
-    let mut map_outs: Vec<MapTaskOut<J::Key, J::Value>> = map_slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("map task missing"))
-        .collect();
+    let mut map_outs: Vec<MapTaskOut<J::Key, J::Value>> = Vec::with_capacity(k);
+    for slot in map_slots {
+        let out = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ok_or_else(|| Error::Internal("map task produced no output".into()))?;
+        map_outs.push(out);
+    }
 
     // Unified fault path: stragglers, retries/backoff, speculation.
     let map_base: Vec<f64> = map_outs.iter().map(|o| o.base_seconds(cost)).collect();
@@ -138,20 +142,31 @@ pub fn run_job<J: MrJob>(
         }
         let mut busy = map_times.clone();
         for &m in &lost_map {
+            // Machine ids from the fault plan are < k by construction;
+            // `get` keeps a broken plan from crashing the run.
+            let Some(split) = splits.get(m) else { continue };
             rec.tasks_lost += 1;
-            rec.wasted_seconds += map_times[m];
+            rec.wasted_seconds += map_times.get(m).copied().unwrap_or(0.0);
             let host = (1..k)
                 .map(|i| (m + i) % k)
                 .find(|i| !lost_map.contains(i))
-                .expect("a surviving machine exists");
-            let out = run_map_task(job, splits[m], m, reducers);
+                .ok_or_else(|| Error::Internal("no surviving machine to re-execute on".into()))?;
+            let out = run_map_task(job, split, m, reducers);
             let reexec_secs = out.base_seconds(cost);
             // The re-execution waits for the loss to be detected and for
             // the host to finish its own task, then runs at healthy speed.
-            let start = (map_times[m] + cluster.faults.detection_s).max(busy[host]);
-            busy[host] = start + reexec_secs;
-            map_times[m] = busy[host];
-            map_outs[m] = out;
+            let start = (map_times.get(m).copied().unwrap_or(0.0) + cluster.faults.detection_s)
+                .max(busy.get(host).copied().unwrap_or(0.0));
+            let end = start + reexec_secs;
+            if let Some(b) = busy.get_mut(host) {
+                *b = end;
+            }
+            if let Some(t) = map_times.get_mut(m) {
+                *t = end;
+            }
+            if let Some(o) = map_outs.get_mut(m) {
+                *o = out;
+            }
             rec.re_executions += 1;
         }
     }
@@ -163,12 +178,17 @@ pub fn run_job<J: MrJob>(
     let lost_reduce = cluster.faults.lost_machines(&name, Phase::Reduce, k);
     let mut reduce_recovery = vec![0.0f64; k];
     for &m in &lost_reduce {
+        let Some(split) = splits.get(m) else { continue };
         rec.tasks_lost += 1; // the lost map output
-        let out = run_map_task(job, splits[m], m, reducers);
+        let out = run_map_task(job, split, m, reducers);
         let reexec_secs = out.base_seconds(cost);
         let refetch_secs = out.bytes_out as f64 / cost.net_bytes_per_s;
-        reduce_recovery[m] = cluster.faults.detection_s + reexec_secs + refetch_secs;
-        map_outs[m] = out;
+        if let Some(r) = reduce_recovery.get_mut(m) {
+            *r = cluster.faults.detection_s + reexec_secs + refetch_secs;
+        }
+        if let Some(o) = map_outs.get_mut(m) {
+            *o = out;
+        }
         rec.re_executions += 1;
     }
 
@@ -187,7 +207,9 @@ pub fn run_job<J: MrJob>(
         (0..reducers).map(|_| Vec::new()).collect();
     for out in map_outs {
         for (r, part) in out.per_reducer.into_iter().enumerate() {
-            reducer_inputs[r].extend(part);
+            if let Some(input) = reducer_inputs.get_mut(r) {
+                input.extend(part);
+            }
         }
     }
     let reducer_input_bytes: Vec<u64> = reducer_inputs
@@ -227,15 +249,15 @@ pub fn run_job<J: MrJob>(
         for _ in 0..red_workers {
             scope.spawn(|| loop {
                 let r = next_red.fetch_add(1, Ordering::Relaxed);
-                if r >= reducers {
-                    break;
-                }
-                let pairs = reducer_inputs[r]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("reducer input taken twice");
-                let in_bytes = reducer_input_bytes[r];
+                let (Some(input_slot), Some(out_slot)) =
+                    (reducer_inputs.get(r), reduce_slots.get(r))
+                else {
+                    break; // r >= reducers: no tasks left
+                };
+                let Some(pairs) = lock_or_recover(input_slot).take() else {
+                    break; // input already claimed (can only happen on a bug)
+                };
+                let in_bytes = reducer_input_bytes.get(r).copied().unwrap_or(0);
 
                 // Group values by key; BTreeMap gives the sorted key order
                 // Hadoop guarantees to reducers.
@@ -292,7 +314,7 @@ pub fn run_job<J: MrJob>(
                     + work_units as f64 * cost.cpu_per_work_unit_s
                     + spilled as f64 / cost.spill_bytes_per_s
                     + out_bytes as f64 / cost.out_disk_bytes_per_s;
-                *reduce_slots[r].lock().unwrap() = Some(ReduceTaskOut {
+                *lock_or_recover(out_slot) = Some(ReduceTaskOut {
                     outputs,
                     out_bytes,
                     secs,
@@ -311,7 +333,10 @@ pub fn run_job<J: MrJob>(
     let mut largest_group_values = 0u64;
     let mut output_records = 0u64;
     for slot in reduce_slots {
-        let task = slot.into_inner().unwrap().expect("reduce task missing");
+        let task = slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ok_or_else(|| Error::Internal("reduce task produced no output".into()))?;
         if let Some(err) = task.failure {
             return Err(err);
         }
@@ -332,16 +357,17 @@ pub fn run_job<J: MrJob>(
     // re-fetch (charged in part 1's `reduce_recovery`), then re-runs.
     let mut shuffle_recovery = 0.0f64;
     for &m in &lost_reduce {
-        if m < reducers {
-            let half_done = 0.5 * reduce_times[m];
+        let recovery = reduce_recovery.get(m).copied().unwrap_or(0.0);
+        if let Some(t) = reduce_times.get_mut(m) {
+            let half_done = 0.5 * *t;
             rec.wasted_seconds += half_done;
             rec.tasks_lost += 1; // the killed reduce attempt
             rec.re_executions += 1;
-            reduce_times[m] += half_done + reduce_recovery[m];
+            *t += half_done + recovery;
         } else {
             // No reduce task ran on the dead machine; the regeneration
             // still delays whichever reducers were fetching from it.
-            shuffle_recovery = shuffle_recovery.max(reduce_recovery[m]);
+            shuffle_recovery = shuffle_recovery.max(recovery);
         }
     }
 
@@ -375,7 +401,7 @@ pub fn run_job<J: MrJob>(
             reduce_times,
             shuffle_seconds,
             simulated_seconds,
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            wall_seconds: wall_start.seconds(),
         },
     })
 }
@@ -394,14 +420,14 @@ fn run_map_task<J: MrJob>(
     // Combiner: fold each key's buffered values within this task, like
     // Hadoop's combiner running over the task's (sorted) spill output.
     let combined: Vec<(J::Key, J::Value)> = if job.has_combiner() {
-        let mut by_key: HashMap<J::Key, Vec<J::Value>> = HashMap::new();
+        // BTreeMap: combined records leave the task in sorted key order,
+        // independent of hasher state (spcheck rule R3).
+        let mut by_key: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
         for (key, value) in buffer {
             by_key.entry(key).or_default().push(value);
         }
-        let mut entries: Vec<(J::Key, Vec<J::Value>)> = by_key.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut flat = Vec::new();
-        for (key, mut values) in entries {
+        for (key, mut values) in by_key {
             job.combine(&key, &mut values);
             for value in values {
                 flat.push((key.clone(), value));
@@ -419,7 +445,12 @@ fn run_map_task<J: MrJob>(
         bytes_out += job.key_bytes(&key) + job.value_bytes(&value);
         let r = job.partition(&key, reducers);
         debug_assert!(r < reducers, "partitioner out of range");
-        per_reducer[r].push((key, value));
+        // An out-of-range partition is a job bug; `get_mut` keeps it from
+        // crashing a release serving path (the debug_assert catches it in
+        // tests).
+        if let Some(bucket) = per_reducer.get_mut(r) {
+            bucket.push((key, value));
+        }
     }
 
     MapTaskOut {
@@ -507,7 +538,7 @@ mod tests {
             combine: false,
             fail_large: false,
         };
-        let res = run_job(&cluster(), &job, &inputs, 3).unwrap();
+        let res = run_job(&cluster(), &job, &inputs, 3).expect("run");
         let mut counts: Vec<(u64, u64)> = res.into_flat_outputs();
         counts.sort();
         let expect: Vec<(u64, u64)> = (0..7)
@@ -529,8 +560,8 @@ mod tests {
             combine: true,
             fail_large: false,
         };
-        let r1 = run_job(&cluster(), &plain, &inputs, 3).unwrap();
-        let r2 = run_job(&cluster(), &comb, &inputs, 3).unwrap();
+        let r1 = run_job(&cluster(), &plain, &inputs, 3).expect("run");
+        let r2 = run_job(&cluster(), &comb, &inputs, 3).expect("run");
         assert_eq!(r1.metrics.map_output_records, 1000);
         // 4 map tasks × ≤7 keys each.
         assert!(r2.metrics.map_output_records <= 28);
@@ -549,7 +580,7 @@ mod tests {
             combine: false,
             fail_large: false,
         };
-        let res = run_job(&cluster(), &job, &inputs, 2).unwrap();
+        let res = run_job(&cluster(), &job, &inputs, 2).expect("run");
         assert_eq!(res.metrics.map_output_bytes, 100 * 16);
         assert_eq!(
             res.metrics.reducer_input_bytes.iter().sum::<u64>(),
@@ -569,8 +600,8 @@ mod tests {
         c1.threads = 1;
         let mut c8 = cluster();
         c8.threads = 8;
-        let r1 = run_job(&c1, &job, &inputs, 5).unwrap();
-        let r8 = run_job(&c8, &job, &inputs, 5).unwrap();
+        let r1 = run_job(&c1, &job, &inputs, 5).expect("run");
+        let r8 = run_job(&c8, &job, &inputs, 5).expect("run");
         assert_eq!(r1.metrics.map_output_bytes, r8.metrics.map_output_bytes);
         assert_eq!(r1.metrics.simulated_seconds, r8.metrics.simulated_seconds);
         assert_eq!(r1.into_flat_outputs(), r8.into_flat_outputs());
@@ -587,7 +618,7 @@ mod tests {
         };
         let mut c = cluster();
         c.memory_bytes = 64;
-        let err = run_job(&c, &job, &inputs, 2).unwrap_err();
+        let err = run_job(&c, &job, &inputs, 2).expect_err("must fail");
         assert!(matches!(err, Error::OutOfMemory { .. }), "{err}");
     }
 
@@ -601,7 +632,7 @@ mod tests {
         };
         let mut c = cluster();
         c.memory_bytes = 64;
-        let res = run_job(&c, &job, &inputs, 2).unwrap();
+        let res = run_job(&c, &job, &inputs, 2).expect("run");
         assert!(res.metrics.spilled_bytes > 0);
         assert_eq!(res.metrics.largest_group_values, 5000);
         let counts = res.into_flat_outputs();
@@ -615,7 +646,7 @@ mod tests {
             combine: false,
             fail_large: false,
         };
-        let res = run_job(&cluster(), &job, &[], 2).unwrap();
+        let res = run_job(&cluster(), &job, &[], 2).expect("run");
         assert_eq!(res.metrics.input_records, 0);
         assert_eq!(res.metrics.map_output_records, 0);
         assert!(res.into_flat_outputs().is_empty());
@@ -639,7 +670,7 @@ mod tests {
             fail_large: false,
         };
         let bad = cluster().with_task_failures(f64::NAN);
-        let err = run_job(&bad, &job, &[1, 2], 1).unwrap_err();
+        let err = run_job(&bad, &job, &[1, 2], 1).expect_err("must fail");
         assert!(matches!(err, Error::Config(_)), "{err}");
     }
 
@@ -651,9 +682,9 @@ mod tests {
             combine: false,
             fail_large: false,
         };
-        let base = run_job(&cluster(), &job, &inputs, 3).unwrap();
+        let base = run_job(&cluster(), &job, &inputs, 3).expect("run");
         let slow_cluster = cluster().with_stragglers(1.0, 10.0);
-        let slow = run_job(&slow_cluster, &job, &inputs, 3).unwrap();
+        let slow = run_job(&slow_cluster, &job, &inputs, 3).expect("run");
         let base_max = base
             .metrics
             .map_times
@@ -695,8 +726,8 @@ mod tests {
         // Mixed stragglers so the phase median stays healthy.
         let slow = cluster().with_stragglers(0.45, 10.0);
         let specd = cluster().with_stragglers(0.45, 10.0).with_speculation(1.5);
-        let a = run_job(&slow, &job, &inputs, 3).unwrap();
-        let b = run_job(&specd, &job, &inputs, 3).unwrap();
+        let a = run_job(&slow, &job, &inputs, 3).expect("run");
+        let b = run_job(&specd, &job, &inputs, 3).expect("run");
         assert_eq!(a.metrics.speculative_launches, 0);
         assert!(
             b.metrics.speculative_launches > 0,
@@ -726,8 +757,8 @@ mod tests {
         };
         let clean = cluster();
         let lossy = cluster().with_machine_failure(Phase::Map, 1);
-        let a = run_job(&clean, &job, &inputs, 3).unwrap();
-        let b = run_job(&lossy, &job, &inputs, 3).unwrap();
+        let a = run_job(&clean, &job, &inputs, 3).expect("run");
+        let b = run_job(&lossy, &job, &inputs, 3).expect("run");
         assert_eq!(b.metrics.tasks_lost, 1);
         assert_eq!(b.metrics.re_executions, 1);
         assert!(b.metrics.wasted_seconds > 0.0);
@@ -751,8 +782,8 @@ mod tests {
         };
         let clean = cluster();
         let lossy = cluster().with_machine_failure(crate::fault::Phase::Reduce, 0);
-        let a = run_job(&clean, &job, &inputs, 3).unwrap();
-        let b = run_job(&lossy, &job, &inputs, 3).unwrap();
+        let a = run_job(&clean, &job, &inputs, 3).expect("run");
+        let b = run_job(&lossy, &job, &inputs, 3).expect("run");
         // Lost: machine 0's map output AND its in-flight reduce task.
         assert_eq!(b.metrics.tasks_lost, 2);
         assert_eq!(b.metrics.re_executions, 2);
@@ -775,8 +806,8 @@ mod tests {
         // Machine 3 holds no reduce task (only 2 reducers).
         let lossy = cluster().with_machine_failure(crate::fault::Phase::Reduce, 3);
         let clean = cluster();
-        let a = run_job(&clean, &job, &inputs, 2).unwrap();
-        let b = run_job(&lossy, &job, &inputs, 2).unwrap();
+        let a = run_job(&clean, &job, &inputs, 2).expect("run");
+        let b = run_job(&lossy, &job, &inputs, 2).expect("run");
         assert_eq!(b.metrics.tasks_lost, 1);
         assert_eq!(b.metrics.re_executions, 1);
         assert_eq!(b.metrics.reduce_times, a.metrics.reduce_times);
@@ -794,7 +825,7 @@ mod tests {
         c = c
             .with_machine_failure(Phase::Map, 0)
             .with_machine_failure(Phase::Map, 1);
-        let err = run_job(&c, &job, &[1, 2, 3], 1).unwrap_err();
+        let err = run_job(&c, &job, &[1, 2, 3], 1).expect_err("must fail");
         assert!(matches!(err, Error::Config(_)), "{err}");
     }
 
@@ -814,8 +845,8 @@ mod tests {
                 .with_task_failures(0.2)
                 .with_speculation(1.5)
         };
-        let a = run_job(&mk(), &job, &inputs, 4).unwrap();
-        let b = run_job(&mk(), &job, &inputs, 4).unwrap();
+        let a = run_job(&mk(), &job, &inputs, 4).expect("run");
+        let b = run_job(&mk(), &job, &inputs, 4).expect("run");
         assert_eq!(a.metrics.simulated_seconds, b.metrics.simulated_seconds);
         assert_eq!(a.metrics.wasted_seconds, b.metrics.wasted_seconds);
         assert_eq!(a.metrics.task_retries, b.metrics.task_retries);
@@ -855,7 +886,7 @@ mod tests {
         let inputs: Vec<u64> = (0..40).collect();
         let mut c = cluster();
         c.threads = 8;
-        let res = run_job(&c, &TaskOrder, &inputs, 1).unwrap();
+        let res = run_job(&c, &TaskOrder, &inputs, 1).expect("run");
         let orders = res.into_flat_outputs();
         assert_eq!(orders, vec![vec![0, 1, 2, 3]]);
     }
@@ -868,7 +899,7 @@ mod tests {
             fail_large: false,
         };
         let c = cluster();
-        let res = run_job(&c, &job, &[], 1).unwrap();
+        let res = run_job(&c, &job, &[], 1).expect("run");
         assert!(res.metrics.simulated_seconds >= c.cost.round_overhead_s);
     }
 }
@@ -913,8 +944,8 @@ mod failure_tests {
         let mut flaky = ClusterConfig::new(8, 1000).with_task_failures(0.5);
         // Budget generous enough that no task plausibly exhausts it.
         flaky.retry.max_attempts = 16;
-        let a = run_job(&clean, &Sum, &inputs, 3).unwrap();
-        let b = run_job(&flaky, &Sum, &inputs, 3).unwrap();
+        let a = run_job(&clean, &Sum, &inputs, 3).expect("run");
+        let b = run_job(&flaky, &Sum, &inputs, 3).expect("run");
         // Same results, more simulated time, retries recorded.
         assert!(
             b.metrics.task_retries > 0,
@@ -937,7 +968,7 @@ mod failure_tests {
         let inputs: Vec<u64> = (0..100).collect();
         let mut cluster = ClusterConfig::new(4, 100).with_task_failures(0.999999);
         cluster.retry.max_attempts = 2;
-        let err = run_job(&cluster, &Sum, &inputs, 2).unwrap_err();
+        let err = run_job(&cluster, &Sum, &inputs, 2).expect_err("must fail");
         assert!(err.to_string().contains("failed 2 attempts"), "{err}");
         assert!(
             matches!(&err, Error::JobFailed { job, attempts: 2, .. } if job == "sum"),
@@ -953,8 +984,8 @@ mod failure_tests {
         let clean = ClusterConfig::new(4, 1000);
         let mut flaky = ClusterConfig::new(4, 1000).with_task_failures(0.5);
         flaky.retry.max_attempts = 16;
-        let a = run_job(&clean, &Sum, &inputs, 16).unwrap();
-        let b = run_job(&flaky, &Sum, &inputs, 16).unwrap();
+        let a = run_job(&clean, &Sum, &inputs, 16).expect("run");
+        let b = run_job(&flaky, &Sum, &inputs, 16).expect("run");
         let grew = a
             .metrics
             .reduce_times
@@ -971,8 +1002,8 @@ mod failure_tests {
     fn failure_injection_is_deterministic() {
         let inputs: Vec<u64> = (0..4000).collect();
         let flaky = ClusterConfig::new(8, 1000).with_task_failures(0.3);
-        let a = run_job(&flaky, &Sum, &inputs, 3).unwrap();
-        let b = run_job(&flaky, &Sum, &inputs, 3).unwrap();
+        let a = run_job(&flaky, &Sum, &inputs, 3).expect("run");
+        let b = run_job(&flaky, &Sum, &inputs, 3).expect("run");
         assert_eq!(a.metrics.task_retries, b.metrics.task_retries);
         assert_eq!(a.metrics.simulated_seconds, b.metrics.simulated_seconds);
     }

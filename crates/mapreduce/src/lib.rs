@@ -23,6 +23,9 @@
 //! *spills* (slow, charged to the cost model) — or *fails* if the job
 //! declares large groups fatal, which models the Hive reducers that went
 //! out of memory on heavily skewed synthetic data (Section 6.2).
+// Serving-path crate: panic-free outside tests (see DESIGN.md and the
+// spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
 pub mod context;
@@ -41,4 +44,4 @@ pub use dfs::Dfs;
 pub use engine::{run_job, JobResult};
 pub use fault::{Backoff, FaultPlan, MachineFailure, Phase, RetryPolicy, SpeculationConfig};
 pub use job::{LargeGroupBehavior, MrJob};
-pub use metrics::{JobMetrics, RunMetrics};
+pub use metrics::{JobMetrics, RunMetrics, Stopwatch};

@@ -1,0 +1,324 @@
+//! spcheck: the workspace static-analysis gate.
+//!
+//! Rust's type system cannot see three of this workspace's core
+//! promises: that query-serving code never panics, that each on-disk
+//! format constant is defined exactly once, and that nothing on an
+//! output path depends on hasher state or the wall clock. spcheck makes
+//! those promises machine-checkable. It walks every `.rs` file under the
+//! workspace, scrubs comments/strings/`#[cfg(test)]` items with a small
+//! hand-rolled lexer ([`lexer`]), runs four rules ([`rules`]) on what is
+//! left, and reports findings ([`report`]) as text or `--json`.
+//!
+//! The binary is dependency-free on purpose: it must build in seconds and
+//! run first in CI, before the much slower build-and-test steps.
+//!
+//! See `DESIGN.md` ("Error handling and determinism policy") for the
+//! rationale behind each rule and `README.md` for the suppression
+//! contract.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use report::Finding;
+use rules::MagicSite;
+use std::path::{Path, PathBuf};
+
+/// Directory components never audited: build output, VCS, vendored
+/// shims, spcheck itself (its fixtures contain violations on purpose),
+/// and integration tests/benches (test code may panic).
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "spcheck", "tests", "benches"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    // Deterministic walk order => deterministic finding order.
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walk `root`, run every rule, and return the findings sorted by
+/// (file, line, rule). An empty vector means the gate passes.
+pub fn run_check(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+
+    let mut findings = Vec::new();
+    let mut magic_sites: Vec<MagicSite> = Vec::new();
+
+    for path in &files {
+        let rel = relative(root, path);
+        let src = std::fs::read_to_string(path)?;
+        let mut scrubbed = lexer::scrub(&src);
+        let test_ranges = lexer::blank_test_regions(&mut scrubbed.text);
+        findings.extend(rules::check_file(
+            &rel,
+            &scrubbed,
+            &test_ranges,
+            &mut magic_sites,
+        ));
+    }
+
+    rules::check_single_source(&magic_sites, &mut findings);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// Build a throwaway tree under the OS temp dir. Each test uses its
+    /// own subdirectory keyed by test name + pid so parallel test runs
+    /// never collide.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new(tag: &str) -> Fixture {
+            let root = std::env::temp_dir().join(format!("spcheck-{}-{}", tag, std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(&root).expect("create fixture root");
+            Fixture { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent).expect("create fixture dirs");
+            }
+            fs::write(path, content).expect("write fixture file");
+        }
+
+        /// A minimal tree satisfying R2 so single-source findings don't
+        /// drown out what the test is about.
+        fn with_format_consts(self) -> Fixture {
+            self.write(
+                "crates/common/src/codec.rs",
+                "pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;\n\
+                 pub const FNV_PRIME: u64 = 0x100_0000_01b3;\n",
+            );
+            self.write(
+                "crates/core/src/sketch/mod.rs",
+                "pub const MAGIC: &[u8; 5] = b\"SPSK1\";\n",
+            );
+            self.write(
+                "crates/cubestore/src/segment.rs",
+                "pub const MAGIC: &[u8; 5] = b\"CSEG1\";\n",
+            );
+            self.write(
+                "crates/cubestore/src/manifest.rs",
+                "pub const MAGIC: &[u8; 5] = b\"CMAN1\";\n",
+            );
+            self
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn clean_tree_passes() {
+        let fx = Fixture::new("clean").with_format_consts();
+        fx.write(
+            "crates/mapreduce/src/engine.rs",
+            "pub fn run() -> Result<(), ()> {\n    let xs = [1, 2];\n    let first = xs.first().copied().ok_or(())?;\n    let _ = first;\n    Ok(())\n}\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn seeded_violations_in_serving_path_are_found() {
+        let fx = Fixture::new("seeded").with_format_consts();
+        fx.write(
+            "crates/mapreduce/src/engine.rs",
+            "pub fn run(xs: &[u32], i: usize) -> u32 {\n    let a = xs[i];\n    let b = Some(a).unwrap();\n    if b == 0 { panic!(\"zero\"); }\n    b\n}\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, ["no_panic", "no_panic", "no_panic"], "{findings:?}");
+        assert_eq!(findings[0].line, 2, "indexing");
+        assert_eq!(findings[1].line, 3, "unwrap");
+        assert_eq!(findings[2].line, 4, "panic!");
+    }
+
+    #[test]
+    fn same_code_outside_serving_path_passes() {
+        let fx = Fixture::new("nonserving").with_format_consts();
+        fx.write(
+            "crates/bench/src/runner.rs",
+            "pub fn run(xs: &[u32], i: usize) -> u32 { xs[i] }\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_in_serving_file_is_exempt() {
+        let fx = Fixture::new("testexempt").with_format_consts();
+        fx.write(
+            "crates/mapreduce/src/engine.rs",
+            "pub fn run() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn duplicate_magic_is_a_workspace_finding() {
+        let fx = Fixture::new("dupmagic").with_format_consts();
+        fx.write(
+            "crates/cubestore/src/store.rs",
+            "const ALSO: &[u8; 5] = b\"CSEG1\";\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        let dups: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "single_source_format")
+            .collect();
+        assert_eq!(dups.len(), 2, "{findings:?}");
+        assert!(dups.iter().any(|f| f.file.contains("store.rs")));
+        assert!(dups.iter().any(|f| f.file.contains("segment.rs")));
+    }
+
+    #[test]
+    fn missing_fnv_const_is_reported() {
+        let fx = Fixture::new("nofnv");
+        fx.write(
+            "crates/core/src/sketch/mod.rs",
+            "pub const MAGIC: &[u8; 5] = b\"SPSK1\";\n",
+        );
+        fx.write(
+            "crates/cubestore/src/segment.rs",
+            "pub const MAGIC: &[u8; 5] = b\"CSEG1\";\n",
+        );
+        fx.write(
+            "crates/cubestore/src/manifest.rs",
+            "pub const MAGIC: &[u8; 5] = b\"CMAN1\";\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "single_source_format" && f.message.contains("FNV")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn clock_and_hashmap_violations_are_found() {
+        let fx = Fixture::new("det").with_format_consts();
+        fx.write(
+            "crates/bench/src/report.rs",
+            "use std::collections::HashMap;\npub fn emit() {\n    let t = std::time::Instant::now();\n    let m: HashMap<u32, u32> = HashMap::new();\n    let _ = (t, m);\n}\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(
+            rules,
+            ["determinism", "determinism", "determinism"],
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn suppressed_finding_passes_but_reasonless_fails() {
+        let fx = Fixture::new("suppress").with_format_consts();
+        fx.write(
+            "crates/mapreduce/src/engine.rs",
+            "pub fn run(xs: &[u32]) -> u32 {\n    // spcheck:allow(no_panic): length checked by caller contract\n    xs[0]\n}\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        assert!(findings.is_empty(), "{findings:?}");
+
+        let fx = Fixture::new("reasonless").with_format_consts();
+        fx.write(
+            "crates/mapreduce/src/engine.rs",
+            "pub fn run(xs: &[u32]) -> u32 {\n    // spcheck:allow(no_panic)\n    xs[0]\n}\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        assert!(
+            findings.iter().any(|f| f.rule == "bad_suppression"),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.rule == "no_panic"),
+            "reason-less allow must not silence the finding: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn error_hygiene_violations_in_codec_are_found() {
+        let fx = Fixture::new("hygiene").with_format_consts();
+        fx.write(
+            "crates/cubestore/src/codec.rs",
+            "pub fn bad(x: u64) -> u32 { x as u32 }\npub fn worse() -> Box<dyn std::error::Error> { unimplemented!() }\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        let hygiene = findings
+            .iter()
+            .filter(|f| f.rule == "error_hygiene")
+            .count();
+        assert_eq!(hygiene, 2, "{findings:?}");
+        // codec.rs is also a no_panic path, so unimplemented! shows too.
+        assert!(
+            findings.iter().any(|f| f.rule == "no_panic"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn findings_are_sorted_and_stable() {
+        let fx = Fixture::new("sorted").with_format_consts();
+        fx.write(
+            "crates/mapreduce/src/engine.rs",
+            "pub fn f(a: &[u32]) -> u32 { a[1] + a[0] }\n",
+        );
+        fx.write(
+            "crates/mapreduce/src/dfs.rs",
+            "pub fn g(a: &[u32]) -> u32 { a[0] }\n",
+        );
+        let first = run_check(&fx.root).expect("run 1");
+        let second = run_check(&fx.root).expect("run 2");
+        assert_eq!(first, second);
+        let files: Vec<&str> = first.iter().map(|f| f.file.as_str()).collect();
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "findings must come out file-sorted");
+    }
+}

@@ -1,0 +1,60 @@
+//! CLI for the spcheck gate.
+//!
+//! ```text
+//! spcheck [--root <dir>] [--json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. `--root`
+//! defaults to the current directory (CI runs it from the workspace
+//! root via `cargo run -p spcheck`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let Some(dir) = argv.next() else {
+                    eprintln!("spcheck: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("usage: spcheck [--root <dir>] [--json]");
+                println!("exit codes: 0 clean, 1 findings, 2 usage/io error");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("spcheck: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match spcheck::run_check(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("spcheck: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", spcheck::report::render_json(&findings));
+    } else {
+        print!("{}", spcheck::report::render_text(&findings));
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

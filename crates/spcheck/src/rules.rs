@@ -1,0 +1,763 @@
+//! The four invariants spcheck enforces, plus the suppression contract.
+//!
+//! Each rule scans the scrubbed text of one file (comments and literal
+//! bodies already spaced out, `#[cfg(test)]` items blanked) and emits
+//! [`Finding`]s. Which rules apply to which files is decided here by
+//! path suffix, so the policy lives in exactly one place:
+//!
+//! * **no_panic** (R1) — serving-path modules must not contain panic
+//!   sources: `.unwrap()` / `.expect()`, the panicking macros, or slice
+//!   indexing `x[i]`.
+//! * **single_source_format** (R2) — each binary-format magic
+//!   (`SPSK1`, `CSEG1`, `CMAN1`) and the FNV-1a parameters must appear
+//!   literally at exactly one non-test site in the workspace.
+//! * **determinism** (R3) — wall-clock reads only in the one blessed
+//!   module; no `HashMap` on paths that feed persisted or reported
+//!   output (iteration order would leak hasher state into bytes).
+//! * **error_hygiene** (R4) — codec modules must not use
+//!   `Box<dyn Error>` or silently-narrowing `as` casts to u8/u16/u32.
+//!
+//! A finding is silenced only by `// spcheck:allow(rule): reason` on the
+//! same line or the line above. A suppression with no reason, an unknown
+//! rule name, or one that sits unused is itself a finding
+//! (**bad_suppression**) — R2 findings are never suppressible because a
+//! second magic site is wrong no matter the excuse.
+
+use crate::lexer::{Scrubbed, StrLit, Suppression};
+use crate::report::Finding;
+
+/// Rule names accepted inside `spcheck:allow(...)`.
+pub const SUPPRESSIBLE_RULES: &[&str] = &[
+    "no_panic",
+    "single_source_format",
+    "determinism",
+    "error_hygiene",
+];
+
+/// Serving-path modules: R1 applies (exact file or directory prefix).
+const NO_PANIC_PATHS: &[&str] = &[
+    "crates/mapreduce/src/engine.rs",
+    "crates/mapreduce/src/dfs.rs",
+    "crates/core/src/spcube/",
+    "crates/cubestore/src/codec.rs",
+    "crates/cubestore/src/store.rs",
+    "crates/cubestore/src/server.rs",
+    "crates/cubestore/src/recover.rs",
+    "crates/cubealg/src/read.rs",
+];
+
+/// Files whose output is persisted or reported: R3's HashMap ban applies.
+const ORDERED_OUTPUT_PATHS: &[&str] = &[
+    "crates/cubestore/src/store.rs",
+    "crates/bench/src/report.rs",
+    "crates/bench/src/serving.rs",
+    "crates/bench/src/bin/inspect.rs",
+    "crates/mapreduce/src/engine.rs",
+    "crates/core/src/spcube/",
+];
+
+/// Codec modules: R4 applies.
+const CODEC_PATHS: &[&str] = &[
+    "crates/common/src/codec.rs",
+    "crates/cubestore/src/codec.rs",
+    "crates/cubestore/src/segment.rs",
+    "crates/cubestore/src/manifest.rs",
+    "crates/core/src/sketch/mod.rs",
+];
+
+/// The one module allowed to read the wall clock (`Stopwatch`).
+const CLOCK_EXEMPT: &[&str] = &["crates/mapreduce/src/metrics.rs"];
+
+/// Binary-format magics that must be single-sited (R2).
+pub const MAGICS: &[&str] = &["SPSK1", "CSEG1", "CMAN1"];
+
+/// FNV-1a parameters that must be single-sited (R2), underscore-free
+/// lowercase hex without the `0x` prefix.
+pub const FNV_HEX: &[(&str, &str)] = &[
+    ("FNV offset basis", "cbf29ce484222325"),
+    ("FNV prime", "100000001b3"),
+];
+
+fn path_matches(rel: &str, patterns: &[&str]) -> bool {
+    patterns.iter().any(|p| {
+        if p.ends_with('/') {
+            rel.starts_with(p)
+        } else {
+            rel == *p
+        }
+    })
+}
+
+/// Does R1 apply to this workspace-relative path?
+pub fn is_no_panic_path(rel: &str) -> bool {
+    path_matches(rel, NO_PANIC_PATHS)
+}
+
+/// Does the R3 HashMap ban apply?
+pub fn is_ordered_output_path(rel: &str) -> bool {
+    path_matches(rel, ORDERED_OUTPUT_PATHS)
+}
+
+/// Does R4 apply?
+pub fn is_codec_path(rel: &str) -> bool {
+    path_matches(rel, CODEC_PATHS)
+}
+
+/// Is this file allowed to read the wall clock?
+pub fn is_clock_exempt(rel: &str) -> bool {
+    path_matches(rel, CLOCK_EXEMPT)
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find each occurrence of `word` in `text` as a whole token and report
+/// its byte offset.
+fn word_offsets(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text
+        .get(from..)
+        .and_then(|t| t.find(word))
+        .map(|p| p + from)
+    {
+        let before_ok = pos == 0 || !is_ident(bytes[pos.saturating_sub(1)]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + word.len();
+    }
+    out
+}
+
+fn line_of(text: &str, offset: usize) -> usize {
+    1 + text
+        .as_bytes()
+        .iter()
+        .take(offset)
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Is the identifier ending just before `pos` (modulo spaces) a keyword
+/// that introduces a type or expression rather than naming a sliceable
+/// value? `&mut [T]`, `impl [..]`, `return [..]` are not indexing.
+fn keyword_before(text: &str, pos: usize) -> bool {
+    let bytes = text.as_bytes();
+    let mut end = pos;
+    while end > 0 && matches!(bytes[end - 1], b' ' | b'\t' | b'\n') {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    matches!(
+        text.get(start..end).unwrap_or(""),
+        "mut"
+            | "dyn"
+            | "in"
+            | "return"
+            | "break"
+            | "as"
+            | "impl"
+            | "where"
+            | "move"
+            | "ref"
+            | "const"
+            | "static"
+            | "else"
+            | "match"
+            | "if"
+    )
+}
+
+fn prev_nonspace(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes
+        .iter()
+        .take(pos)
+        .rev()
+        .find(|&&b| b != b' ' && b != b'\t' && b != b'\n')
+        .copied()
+}
+
+fn next_nonspace(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes
+        .iter()
+        .skip(pos)
+        .find(|&&b| b != b' ' && b != b'\t' && b != b'\n')
+        .copied()
+}
+
+/// R1: panic sources in serving-path files.
+pub fn check_no_panic(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let bytes = text.as_bytes();
+
+    // `.unwrap(` / `.expect(` method calls. Requiring the leading dot and
+    // trailing paren means `unwrap_or_else` or an `expect` field never
+    // match (word_offsets already rejects ident-adjacent hits anyway).
+    for method in ["unwrap", "expect"] {
+        for pos in word_offsets(text, method) {
+            let called = next_nonspace(bytes, pos + method.len()) == Some(b'(');
+            let dotted = prev_nonspace(bytes, pos) == Some(b'.');
+            if called && dotted {
+                findings.push(Finding::new(
+                    rel,
+                    line_of(text, pos),
+                    "no_panic",
+                    format!(".{method}() on a serving path; return a typed Result instead"),
+                ));
+            }
+        }
+    }
+
+    // Panicking macros.
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for pos in word_offsets(text, mac) {
+            if bytes.get(pos + mac.len()) == Some(&b'!') {
+                findings.push(Finding::new(
+                    rel,
+                    line_of(text, pos),
+                    "no_panic",
+                    format!("{mac}! on a serving path; return a typed Result instead"),
+                ));
+            }
+        }
+    }
+
+    // Slice/array indexing: `[` immediately preceded (modulo spaces) by an
+    // expression terminator. This excludes `vec![` (prev `!`), attributes
+    // `#[` (prev `#`), slice types `&[u8]` (prev `&`), `: [T; 4]` (prev
+    // `:`), keyword-led types like `&mut [T]` / `dyn [..]`, and
+    // pattern/type positions generally.
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let Some(prev) = prev_nonspace(bytes, pos) else {
+            continue;
+        };
+        let indexes_expr = (is_ident(prev) && !keyword_before(text, pos))
+            || prev == b')'
+            || prev == b']'
+            || prev == b'?';
+        // `x[..]` etc. still index; but an empty `[]` right after an ident
+        // is array-repeat syntax in consts — treat `[` followed directly
+        // by `]` as not indexing.
+        if indexes_expr && next_nonspace(bytes, pos + 1) != Some(b']') {
+            findings.push(Finding::new(
+                rel,
+                line_of(text, pos),
+                "no_panic",
+                "slice indexing on a serving path; use .get()/.get_mut()".to_string(),
+            ));
+        }
+    }
+}
+
+/// One magic-constant literal site, for R2 cross-file accounting.
+#[derive(Debug, Clone)]
+pub struct MagicSite {
+    pub rel: String,
+    pub line: usize,
+    /// Which magic / constant this site defines.
+    pub what: String,
+}
+
+/// R2 per-file half: collect magic string-literal sites outside tests.
+pub fn collect_magic_sites(
+    rel: &str,
+    literals: &[StrLit],
+    test_ranges: &[(usize, usize)],
+    out: &mut Vec<MagicSite>,
+) {
+    for lit in literals {
+        if test_ranges
+            .iter()
+            .any(|&(a, b)| lit.offset >= a && lit.offset < b)
+        {
+            continue;
+        }
+        for magic in MAGICS {
+            if lit.value == *magic {
+                out.push(MagicSite {
+                    rel: rel.to_string(),
+                    line: lit.line,
+                    what: (*magic).to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// R2 per-file half: collect FNV-parameter hex-literal sites.
+pub fn collect_fnv_sites(rel: &str, text: &str, out: &mut Vec<MagicSite>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b'0' && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && (bytes[j].is_ascii_hexdigit() || bytes[j] == b'_') {
+                j += 1;
+            }
+            let hex: String = text
+                .get(start..j)
+                .unwrap_or("")
+                .chars()
+                .filter(|&c| c != '_')
+                .collect::<String>()
+                .to_ascii_lowercase();
+            for (what, want) in FNV_HEX {
+                if hex == *want {
+                    out.push(MagicSite {
+                        rel: rel.to_string(),
+                        line: line_of(text, i),
+                        what: (*what).to_string(),
+                    });
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// R2 workspace half: every magic / FNV parameter must have exactly one
+/// site. Called once after the walk, with all sites pooled.
+pub fn check_single_source(sites: &[MagicSite], findings: &mut Vec<Finding>) {
+    let names: Vec<String> = MAGICS
+        .iter()
+        .map(|m| (*m).to_string())
+        .chain(FNV_HEX.iter().map(|(w, _)| (*w).to_string()))
+        .collect();
+    for what in &names {
+        let hits: Vec<&MagicSite> = sites.iter().filter(|s| &s.what == what).collect();
+        match hits.len() {
+            1 => {}
+            0 => findings.push(Finding::new(
+                "<workspace>",
+                0,
+                "single_source_format",
+                format!("{what} has no literal definition site"),
+            )),
+            _ => {
+                for site in &hits {
+                    findings.push(Finding::new(
+                        &site.rel,
+                        site.line,
+                        "single_source_format",
+                        format!(
+                            "{what} defined at {} sites; keep one const and import it",
+                            hits.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// R3: wall-clock reads and HashMap-on-output-path.
+pub fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    if !is_clock_exempt(rel) {
+        for clock in ["SystemTime", "Instant"] {
+            for pos in word_offsets(text, clock) {
+                // Only calls to ::now matter; mentioning the type (e.g. in
+                // a stored field or an argument) is fine.
+                let after = text.get(pos + clock.len()..).unwrap_or("");
+                if after.trim_start().starts_with("::now") {
+                    findings.push(Finding::new(
+                        rel,
+                        line_of(text, pos),
+                        "determinism",
+                        format!("{clock}::now outside metrics::Stopwatch; route timing through Stopwatch"),
+                    ));
+                }
+            }
+        }
+    }
+
+    if is_ordered_output_path(rel) {
+        for pos in word_offsets(text, "HashMap") {
+            // `use std::collections::HashMap;` lines are fine — only
+            // instantiation sites matter, and an unused import is caught
+            // by rustc anyway.
+            let line_start = text
+                .get(..pos)
+                .and_then(|t| t.rfind('\n'))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let line_text = text.get(line_start..pos).unwrap_or("").trim_start();
+            if line_text.starts_with("use ") {
+                continue;
+            }
+            findings.push(Finding::new(
+                rel,
+                line_of(text, pos),
+                "determinism",
+                "HashMap on an output path; use BTreeMap (or sort before emitting and suppress)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// R4: error hygiene in codec modules.
+pub fn check_error_hygiene(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    if !is_codec_path(rel) {
+        return;
+    }
+    for pos in word_offsets(text, "Box") {
+        let after = text.get(pos + 3..).unwrap_or("");
+        if after.trim_start().starts_with("<dyn") {
+            findings.push(Finding::new(
+                rel,
+                line_of(text, pos),
+                "error_hygiene",
+                "Box<dyn Error> in a codec; use the typed spcube_common::Error".to_string(),
+            ));
+        }
+    }
+    for pos in word_offsets(text, "as") {
+        let after = text.get(pos + 2..).unwrap_or("");
+        let word: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if matches!(word.as_str(), "u8" | "u16" | "u32") {
+            findings.push(Finding::new(
+                rel,
+                line_of(text, pos),
+                "error_hygiene",
+                format!("narrowing `as {word}` cast in a codec; use try_from and surface Corrupt"),
+            ));
+        }
+    }
+}
+
+/// Apply the suppression contract: drop findings covered by a valid
+/// same-line / previous-line `spcheck:allow`, and emit `bad_suppression`
+/// findings for reason-less, unknown-rule, or unused suppressions.
+pub fn apply_suppressions(
+    rel: &str,
+    suppressions: &[Suppression],
+    findings: Vec<Finding>,
+) -> Vec<Finding> {
+    let mut used = vec![false; suppressions.len()];
+    let mut out = Vec::new();
+
+    for f in findings {
+        // R2 is a cross-file invariant; a comment at one site cannot make
+        // a second definition site correct.
+        let suppressible = f.rule != "single_source_format";
+        let matched = suppressible
+            && suppressions.iter().enumerate().any(|(i, s)| {
+                let covers = s.line == f.line || s.line + 1 == f.line;
+                let valid = s.rule == f.rule && s.has_reason;
+                if covers && valid {
+                    used[i] = true;
+                    true
+                } else {
+                    false
+                }
+            });
+        if !matched {
+            out.push(f);
+        }
+    }
+
+    for (i, s) in suppressions.iter().enumerate() {
+        if !SUPPRESSIBLE_RULES.contains(&s.rule.as_str()) {
+            out.push(Finding::new(
+                rel,
+                s.line,
+                "bad_suppression",
+                format!(
+                    "unknown rule {:?} in spcheck:allow (expected one of {})",
+                    s.rule,
+                    SUPPRESSIBLE_RULES.join(", ")
+                ),
+            ));
+        } else if !s.has_reason {
+            out.push(Finding::new(
+                rel,
+                s.line,
+                "bad_suppression",
+                "spcheck:allow without a reason; write `spcheck:allow(rule): why`".to_string(),
+            ));
+        } else if !used[i] {
+            out.push(Finding::new(
+                rel,
+                s.line,
+                "bad_suppression",
+                "unused spcheck:allow; delete it or move it next to the finding".to_string(),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Run every per-file rule on one scrubbed file and apply suppressions.
+/// Magic sites are accumulated into `magic_sites` for the workspace-wide
+/// R2 pass.
+pub fn check_file(
+    rel: &str,
+    scrubbed: &Scrubbed,
+    test_ranges: &[(usize, usize)],
+    magic_sites: &mut Vec<MagicSite>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if is_no_panic_path(rel) {
+        check_no_panic(rel, &scrubbed.text, &mut findings);
+    }
+    check_determinism(rel, &scrubbed.text, &mut findings);
+    check_error_hygiene(rel, &scrubbed.text, &mut findings);
+    collect_magic_sites(rel, &scrubbed.literals, test_ranges, magic_sites);
+    collect_fnv_sites(rel, &scrubbed.text, magic_sites);
+    apply_suppressions(rel, &scrubbed.suppressions, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    const SERVING: &str = "crates/mapreduce/src/engine.rs";
+
+    fn run_r1(src: &str) -> Vec<Finding> {
+        let mut f = Vec::new();
+        check_no_panic(SERVING, &scrub(src).text, &mut f);
+        f
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_are_flagged() {
+        let f = run_r1("let x = y.unwrap();\nlet z = w.expect(\"msg\");\n");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        assert!(run_r1("let x = y.unwrap_or_else(|| 0);\nlet z = w.unwrap_or(1);\n").is_empty());
+    }
+
+    #[test]
+    fn undotted_expect_is_not_flagged() {
+        // A local fn named expect, or a path call, is not Option::expect.
+        assert!(run_r1("let x = expect(1);\n").is_empty());
+    }
+
+    #[test]
+    fn panicking_macros_are_flagged() {
+        let f = run_r1("panic!(\"boom\");\nunreachable!();\ntodo!();\nunimplemented!();\n");
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_types_and_macros_are_not() {
+        let f = run_r1("let a = xs[i];\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(run_r1("let v = vec![1, 2];\n").is_empty());
+        assert!(run_r1("#[derive(Debug)]\nstruct S;\n").is_empty());
+        assert!(run_r1("fn f(b: &[u8]) {}\n").is_empty());
+        assert!(run_r1("let t: [u8; 4] = *b\"abcd\";\n").is_empty());
+        assert!(run_r1("fn f(tuples: &mut [&u32]) {}\n").is_empty());
+        assert!(run_r1("fn g() -> &'static mut [u8] { todo_elsewhere() }\n").is_empty());
+    }
+
+    #[test]
+    fn chained_and_try_indexing_is_flagged() {
+        assert_eq!(run_r1("let a = f()[0];\n").len(), 1);
+        assert_eq!(run_r1("let a = m[k][j];\n").len(), 2);
+    }
+
+    #[test]
+    fn clock_reads_flagged_outside_metrics() {
+        let mut f = Vec::new();
+        check_determinism(SERVING, "let t = Instant::now();", &mut f);
+        assert_eq!(f.len(), 1);
+        let mut f = Vec::new();
+        check_determinism(
+            "crates/mapreduce/src/metrics.rs",
+            "let t = Instant::now();",
+            &mut f,
+        );
+        assert!(f.is_empty(), "metrics.rs is the blessed clock site");
+    }
+
+    #[test]
+    fn clock_type_mention_without_now_is_fine() {
+        let mut f = Vec::new();
+        check_determinism(SERVING, "struct S(Instant);", &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn hashmap_flagged_on_output_paths_only() {
+        let mut f = Vec::new();
+        check_determinism(SERVING, "let m: HashMap<K, V> = HashMap::new();", &mut f);
+        assert_eq!(f.len(), 2);
+        let mut f = Vec::new();
+        check_determinism("crates/agg/src/lib.rs", "let m = HashMap::new();", &mut f);
+        assert!(f.is_empty(), "non-output path may hash");
+        let mut f = Vec::new();
+        check_determinism(SERVING, "use std::collections::HashMap;", &mut f);
+        assert!(f.is_empty(), "import line is not an instantiation");
+    }
+
+    #[test]
+    fn error_hygiene_in_codecs() {
+        let rel = "crates/cubestore/src/segment.rs";
+        let mut f = Vec::new();
+        check_error_hygiene(rel, "fn f() -> Box<dyn Error> { x as u32 }", &mut f);
+        assert_eq!(f.len(), 2);
+        let mut f = Vec::new();
+        check_error_hygiene(rel, "let wide = x as u64; let fl = y as f64;", &mut f);
+        assert!(f.is_empty(), "widening casts are fine");
+        let mut f = Vec::new();
+        check_error_hygiene("crates/bench/src/report.rs", "x as u8;", &mut f);
+        assert!(f.is_empty(), "non-codec file exempt");
+    }
+
+    #[test]
+    fn valid_suppression_silences_finding() {
+        let src = "// spcheck:allow(no_panic): protocol invariant\nunreachable!();\n";
+        let s = scrub(src);
+        let mut f = Vec::new();
+        check_no_panic(SERVING, &s.text, &mut f);
+        assert_eq!(f.len(), 1);
+        let out = apply_suppressions(SERVING, &s.suppressions, f);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn same_line_suppression_works() {
+        let src = "let x = xs[i]; // spcheck:allow(no_panic): i < len checked above\n";
+        let s = scrub(src);
+        let mut f = Vec::new();
+        check_no_panic(SERVING, &s.text, &mut f);
+        let out = apply_suppressions(SERVING, &s.suppressions, f);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn reasonless_suppression_is_its_own_finding() {
+        let src = "// spcheck:allow(no_panic)\nunreachable!();\n";
+        let s = scrub(src);
+        let mut f = Vec::new();
+        check_no_panic(SERVING, &s.text, &mut f);
+        let out = apply_suppressions(SERVING, &s.suppressions, f);
+        // The unreachable! survives AND the suppression is flagged.
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.rule == "bad_suppression"));
+        assert!(out.iter().any(|f| f.rule == "no_panic"));
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_flagged() {
+        let s = scrub("// spcheck:allow(no_such_rule): because\nlet x = 1;\n");
+        let out = apply_suppressions(SERVING, &s.suppressions, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "bad_suppression");
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let s = scrub("// spcheck:allow(no_panic): nothing here panics\nlet x = 1;\n");
+        let out = apply_suppressions(SERVING, &s.suppressions, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn wrong_rule_does_not_cover_finding() {
+        let src = "// spcheck:allow(determinism): wrong rule\nunreachable!();\n";
+        let s = scrub(src);
+        let mut f = Vec::new();
+        check_no_panic(SERVING, &s.text, &mut f);
+        let out = apply_suppressions(SERVING, &s.suppressions, f);
+        // Finding survives, suppression reported unused.
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn r2_not_suppressible() {
+        let f = vec![Finding::new(
+            SERVING,
+            3,
+            "single_source_format",
+            "dup".into(),
+        )];
+        let s = scrub("// dummy\n// spcheck:allow(single_source_format): nice try\nMAGIC\n");
+        let out = apply_suppressions(SERVING, &s.suppressions, f);
+        assert!(out.iter().any(|f| f.rule == "single_source_format"));
+    }
+
+    #[test]
+    fn single_source_counts_sites() {
+        let one = vec![MagicSite {
+            rel: "a.rs".into(),
+            line: 1,
+            what: "SPSK1".into(),
+        }];
+        let mut f = Vec::new();
+        check_single_source(&one, &mut f);
+        // SPSK1 ok; everything else missing.
+        assert_eq!(f.len(), MAGICS.len() + FNV_HEX.len() - 1, "{f:?}");
+        assert!(f
+            .iter()
+            .all(|f| f.message.contains("no literal definition")));
+
+        let two = vec![
+            MagicSite {
+                rel: "a.rs".into(),
+                line: 1,
+                what: "SPSK1".into(),
+            },
+            MagicSite {
+                rel: "b.rs".into(),
+                line: 9,
+                what: "SPSK1".into(),
+            },
+        ];
+        let mut f = Vec::new();
+        check_single_source(&two, &mut f);
+        assert_eq!(
+            f.iter().filter(|f| f.message.contains("2 sites")).count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn fnv_sites_found_with_underscores_and_case() {
+        let mut sites = Vec::new();
+        collect_fnv_sites(
+            "crates/common/src/codec.rs",
+            "const B: u64 = 0xcbf2_9ce4_8422_2325;\nconst P: u64 = 0x100_0000_01b3;\n",
+            &mut sites,
+        );
+        assert_eq!(sites.len(), 2, "{sites:?}");
+    }
+
+    #[test]
+    fn magic_sites_skip_test_ranges() {
+        let src = "const M: &[u8; 5] = b\"CSEG1\";\n#[cfg(test)]\nmod tests { const T: &[u8; 5] = b\"CSEG1\"; }\n";
+        let mut s = scrub(src);
+        let ranges = crate::lexer::blank_test_regions(&mut s.text);
+        let mut sites = Vec::new();
+        collect_magic_sites("x.rs", &s.literals, &ranges, &mut sites);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(sites[0].line, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Adversarial-input guarantees of the three binary decoders.
+//!
+//! The contract under test: `SpSketch::from_bytes`, `Segment::decode`,
+//! and `Manifest::decode` accept *arbitrary* bytes without panicking —
+//! truncations at every length, every single-bit flip, and resealed
+//! mutants whose checksum is valid but whose interior was forged. The
+//! recover path (`CubeStore::with_recovery`) depends on this: a corrupt
+//! blob must surface as a typed `Error` it can catch, never as a crash
+//! of the serving process.
+//!
+//! Everything here is deterministic — mutation positions and bit choices
+//! are derived from byte offsets, not a RNG — so a failure reproduces
+//! exactly.
+
+use sp_cube_repro::agg::{AggOutput, AggSpec};
+use sp_cube_repro::common::codec::seal;
+use sp_cube_repro::common::{Mask, Value};
+use sp_cube_repro::core::{build_exact_sketch, SpSketch};
+use sp_cube_repro::cubestore::{segment_path, Manifest, ManifestEntry, Segment};
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::ClusterConfig;
+
+/// A decoder under test: name + closure so one harness drives all three.
+type Decoder = (&'static str, fn(&[u8]) -> bool);
+
+fn decode_sketch(bytes: &[u8]) -> bool {
+    SpSketch::from_bytes(bytes).is_ok()
+}
+
+fn decode_segment(bytes: &[u8]) -> bool {
+    Segment::decode(bytes).is_ok()
+}
+
+fn decode_manifest(bytes: &[u8]) -> bool {
+    Manifest::decode(bytes).is_ok()
+}
+
+const DECODERS: [Decoder; 3] = [
+    ("sketch", decode_sketch),
+    ("segment", decode_segment),
+    ("manifest", decode_manifest),
+];
+
+/// A genuine blob for each format, built from real data structures.
+fn genuine_blobs() -> Vec<(&'static str, Vec<u8>)> {
+    let rel = datagen::gen_zipf(200, 3, 0x77);
+    let cluster = ClusterConfig::new(4, 64);
+    let sketch = build_exact_sketch(&rel, &cluster)
+        .to_bytes()
+        .expect("encode sketch");
+
+    let rows: Vec<(Box<[Value]>, AggOutput)> = (0..40)
+        .map(|i| {
+            let key: Box<[Value]> = vec![Value::Int(i), Value::str("x")].into();
+            (key, AggOutput::Number(i as f64))
+        })
+        .collect();
+    let mask = Mask(0b011);
+    let segment = Segment::build(3, mask, rows)
+        .encode()
+        .expect("encode segment");
+
+    let manifest = Manifest {
+        d: 3,
+        spec: AggSpec::Sum,
+        min_support: 2,
+        entries: vec![ManifestEntry {
+            mask,
+            rows: 40,
+            bytes: segment.len() as u64,
+            path: segment_path("t", 3, mask),
+        }],
+    }
+    .encode()
+    .expect("encode manifest");
+
+    vec![
+        ("sketch", sketch),
+        ("segment", segment),
+        ("manifest", manifest),
+    ]
+}
+
+fn decoder_for(name: &str) -> fn(&[u8]) -> bool {
+    DECODERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| *f)
+        .expect("decoder")
+}
+
+/// Every prefix of a genuine blob — from empty to one-byte-short — must
+/// decode to a typed error, not a panic and not a bogus success.
+#[test]
+fn truncation_at_every_length_errors_cleanly() {
+    for (name, blob) in genuine_blobs() {
+        let decode = decoder_for(name);
+        assert!(decode(&blob), "{name}: genuine blob must decode");
+        for len in 0..blob.len() {
+            let truncated = &blob[..len];
+            assert!(
+                !decode(truncated),
+                "{name}: truncation to {len} of {} bytes decoded successfully",
+                blob.len()
+            );
+        }
+    }
+}
+
+/// Every single-bit flip lands inside the checksummed region, so every
+/// one must be rejected — and none may panic.
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    for (name, blob) in genuine_blobs() {
+        let decode = decoder_for(name);
+        for pos in 0..blob.len() {
+            let mut mutant = blob.clone();
+            mutant[pos] ^= 1 << (pos % 8);
+            assert!(
+                !decode(&mutant),
+                "{name}: bit flip at byte {pos} went undetected"
+            );
+        }
+    }
+}
+
+/// Forged blobs with a *valid* checksum: mutate interior bytes, then
+/// reseal. The checksum no longer protects the decoder, so its own
+/// bounds/tag/count checks must hold the line. Success is acceptable
+/// (some mutations are semantically harmless); panicking is not.
+#[test]
+fn resealed_mutants_never_panic() {
+    for (name, blob) in genuine_blobs() {
+        let decode = decoder_for(name);
+        let body_len = blob.len() - 8;
+        for pos in 0..body_len {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut body = blob[..body_len].to_vec();
+                body[pos] ^= flip;
+                seal(&mut body);
+                // Outcome free; absence of panic is the assertion.
+                let _ = decode(&body);
+            }
+        }
+    }
+}
+
+/// Forged length/count fields larger than the blob itself must be caught
+/// by the decoders' count checks, not by an allocator death or a hang.
+#[test]
+fn forged_giant_counts_are_rejected() {
+    for (name, blob) in genuine_blobs() {
+        let decode = decoder_for(name);
+        let body_len = blob.len() - 8;
+        // Overwrite each aligned u32 window with u32::MAX and reseal.
+        for pos in (5..body_len.saturating_sub(4)).step_by(4) {
+            let mut body = blob[..body_len].to_vec();
+            body[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            seal(&mut body);
+            let _ = decode(&body);
+        }
+        let _ = name;
+    }
+}
+
+/// Feeding each decoder the *other* formats' genuine blobs must fail on
+/// the magic check — cheap cross-wiring protection for the recover path.
+#[test]
+fn cross_format_blobs_are_rejected() {
+    let blobs = genuine_blobs();
+    for (dec_name, decode) in DECODERS {
+        for (blob_name, blob) in &blobs {
+            if dec_name == *blob_name {
+                continue;
+            }
+            assert!(
+                !decode(blob),
+                "{dec_name} decoder accepted a {blob_name} blob"
+            );
+        }
+    }
+}
+
+/// Degenerate inputs: empty, all-zero, all-ones, magic-only.
+#[test]
+fn degenerate_inputs_error_cleanly() {
+    let cases: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        vec![0u8; 64],
+        vec![0xffu8; 64],
+        b"SPSK1".to_vec(),
+        b"CSEG1".to_vec(),
+        b"CMAN1".to_vec(),
+    ];
+    for (name, decode) in DECODERS {
+        for case in &cases {
+            assert!(
+                !decode(case),
+                "{name}: degenerate {}-byte input decoded successfully",
+                case.len()
+            );
+        }
+    }
+}

@@ -34,7 +34,10 @@ fn spcube_runs_repeat_identically() {
     let cluster = ClusterConfig::new(8, 500);
     let a = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
     let b = sp_cube(&rel, &cluster, AggSpec::Sum).unwrap();
-    assert_eq!(a.sketch.to_bytes(), b.sketch.to_bytes());
+    assert_eq!(
+        a.sketch.to_bytes().expect("encode a"),
+        b.sketch.to_bytes().expect("encode b")
+    );
     assert_eq!(a.metrics.total_seconds(), b.metrics.total_seconds());
     assert!(a.cube.approx_eq(&b.cube, 0.0));
 }

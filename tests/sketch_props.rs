@@ -149,7 +149,10 @@ fn sketch_is_aggregate_function_independent() {
     cfg_sum.sketch.seed = 7;
     let a = SpCube::run(&rel, &cluster, &cfg_count).unwrap();
     let b = SpCube::run(&rel, &cluster, &cfg_sum).unwrap();
-    assert_eq!(a.sketch.to_bytes(), b.sketch.to_bytes());
+    assert_eq!(
+        a.sketch.to_bytes().expect("encode a"),
+        b.sketch.to_bytes().expect("encode b")
+    );
     // Both cubes exact for their own aggregate.
     assert!(a.cube.approx_eq(&naive_cube(&rel, AggSpec::Count), 1e-9));
     assert!(b.cube.approx_eq(&naive_cube(&rel, AggSpec::Sum), 1e-9));
