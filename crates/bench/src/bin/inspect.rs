@@ -4,12 +4,19 @@
 //!
 //! ```text
 //! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n] [chaos|corrupt]
+//! cargo run --release -p spcube-bench --bin inspect -- generations <store-dir> [prefix]
 //! ```
 //!
 //! The optional third argument injects faults: `chaos` runs on a cluster
 //! with flaky tasks, stragglers + speculation, and a machine lost in each
 //! phase; `corrupt` flips a byte of the serialized SP-Sketch on the DFS so
 //! the driver degrades to the hash-partitioned fallback plan.
+//!
+//! The `generations` view runs the CubeStore recovery scan over a store
+//! directory written by the CLI (default prefix `cube`) without modifying
+//! it: every generation with its sealed state, the committed and chosen
+//! generations, whether the root commit pointer is torn, and any orphan
+//! blobs a recovering open would quarantine.
 
 use std::collections::BTreeMap;
 
@@ -23,6 +30,10 @@ use spcube_mapreduce::{ClusterConfig, Dfs, Phase};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dataset = args.first().map(String::as_str).unwrap_or("usagov");
+    if dataset == "generations" {
+        inspect_generations(&args);
+        return;
+    }
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let mode = args.get(2).map(String::as_str).unwrap_or("");
     if !matches!(mode, "" | "chaos" | "corrupt") {
@@ -135,5 +146,67 @@ fn main() {
             g.display(d),
             run.sketch.partition_of(g.mask, &g.key)
         );
+    }
+}
+
+/// The `generations` view: recovery-scan a CLI-written store directory
+/// read-only and print what a recovering open would decide.
+fn inspect_generations(args: &[String]) {
+    use spcube_cubestore::{scan_store, DirBlobs};
+
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: inspect generations <store-dir> [prefix]");
+        std::process::exit(2);
+    };
+    let prefix = args.get(2).map(String::as_str).unwrap_or("cube");
+    let blobs = DirBlobs::new(dir);
+    let scan = match scan_store(&blobs, prefix) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("scanning {dir}/{prefix} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("store {dir} prefix {prefix}");
+    if scan.generations.is_empty() {
+        println!("no generations found");
+    }
+    for info in &scan.generations {
+        let state = if info.sealed {
+            "sealed".to_string()
+        } else if info.manifest.is_some() {
+            format!("UNSEALED ({} segment(s) missing or resized)", info.missing)
+        } else {
+            "UNSEALED (no valid seal manifest)".to_string()
+        };
+        println!(
+            "  gen {:>8}: {state}, {} segment(s), {} bytes",
+            info.generation, info.segments, info.bytes
+        );
+    }
+    match (scan.committed, scan.chosen) {
+        (Some(c), Some(ch)) if c == ch => println!("committed = chosen = generation {c}"),
+        (committed, chosen) => {
+            let fmt = |g: Option<u64>| g.map_or_else(|| "none".to_string(), |g| g.to_string());
+            println!(
+                "committed generation: {} / chosen generation: {}",
+                fmt(committed),
+                fmt(chosen)
+            );
+        }
+    }
+    if scan.torn_root {
+        println!("TORN ROOT: commit pointer does not match a sealed generation; a recovering open repairs it");
+    }
+    if scan.chosen.is_none() {
+        println!("UNRECOVERABLE: no fully sealed generation; open will fail typed");
+    }
+    if scan.orphans.is_empty() {
+        println!("no orphan blobs");
+    } else {
+        println!("orphan blobs (quarantined at next open):");
+        for path in &scan.orphans {
+            println!("  {path}");
+        }
     }
 }

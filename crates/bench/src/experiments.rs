@@ -424,6 +424,8 @@ pub fn ablations(cfg: &ExpConfig) -> Vec<Measurement> {
             p50_us: None,
             p99_us: None,
             cache_hit_rate: None,
+            degraded_recomputes: None,
+            segment_rebuilds: None,
         });
     }
     // All variants must produce the same cube.
@@ -443,12 +445,19 @@ pub fn ablations(cfg: &ExpConfig) -> Vec<Measurement> {
 /// skewed workload concentrates on a few hot cuboids, so its cache hit
 /// rate must be at least as good as the near-uniform one's.
 ///
+/// A third row serves the same skewed workload after a hot segment blob
+/// is corrupted in place, with the circuit breaker set to trip on the
+/// first degraded recompute: queries keep getting answered (degrade
+/// path), the segment is rebuilt in place, and the row records how many
+/// recomputes and rebuilds the run cost.
+///
 /// [`CubeServer`]: spcube_cubestore::CubeServer
 pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
     use std::sync::Arc;
 
+    use spcube_common::Mask;
     use spcube_core::{SpCube, SpCubeConfig};
-    use spcube_cubestore::{BlobStore, CubeStore};
+    use spcube_cubestore::{segment_path, BlobStore, CubeStore};
     use spcube_mapreduce::Dfs;
 
     use crate::serving::{run_serving, ServeBenchConfig};
@@ -474,17 +483,10 @@ pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
 
     let queries = n.clamp(1_000, 8_000);
     let serve_cfg = ServeBenchConfig::default();
-    let mut rows = Vec::new();
-    for skew in [0.5f64, 1.5] {
-        let workload = datagen::gen_query_workload(&rel, queries, skew, 0x9e + skew as u64);
-        let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
-        rows.push(Measurement {
-            algo: if skew < 1.0 {
-                "Serve/near-uniform"
-            } else {
-                "Serve/skewed"
-            },
-            x: skew,
+    let measurement =
+        |label: &'static str, x: f64, report: &crate::serving::ServingReport| Measurement {
+            algo: label,
+            x,
             total_seconds: Some(0.0),
             avg_map_seconds: 0.0,
             avg_reduce_seconds: 0.0,
@@ -505,7 +507,19 @@ pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
             p50_us: Some(report.p50_us),
             p99_us: Some(report.p99_us),
             cache_hit_rate: Some(report.cache_hit_rate),
-        });
+            degraded_recomputes: Some(report.degraded_recomputes),
+            segment_rebuilds: Some(report.segment_rebuilds),
+        };
+    let mut rows = Vec::new();
+    for skew in [0.5f64, 1.5] {
+        let workload = datagen::gen_query_workload(&rel, queries, skew, 0x9e + skew as u64);
+        let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
+        let label = if skew < 1.0 {
+            "Serve/near-uniform"
+        } else {
+            "Serve/skewed"
+        };
+        rows.push(measurement(label, skew, &report));
     }
     let uniform_hit = rows[0].cache_hit_rate.unwrap();
     let skewed_hit = rows[1].cache_hit_rate.unwrap();
@@ -513,6 +527,42 @@ pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
         skewed_hit >= uniform_hit - 1e-9,
         "skewed workload should cache at least as well: uniform {uniform_hit:.3} vs skewed {skewed_hit:.3}"
     );
+
+    // Crash/rebuild row: corrupt a segment the workload provably queries
+    // and serve it with a hair-trigger circuit breaker. Serving must not
+    // fail a single query; the first degraded recompute rebuilds the
+    // blob, and the counters land in the CSV.
+    let workload = datagen::gen_query_workload(&rel, queries, 1.5, 0x9e + 1);
+    let hot = workload
+        .iter()
+        .find_map(|q| match q {
+            datagen::QuerySpec::Point { mask, .. }
+            | datagen::QuerySpec::Slice { mask, .. }
+            | datagen::QuerySpec::TopK { mask, .. }
+            | datagen::QuerySpec::CuboidLen { mask } => (*mask != Mask(0)).then_some(*mask),
+            datagen::QuerySpec::RollUp { .. } => None,
+        })
+        .expect("workload has a direct cuboid query");
+    dfs.corrupt_byte(&segment_path("serve", stored.report.generation, 4, hot), 24)
+        .expect("corrupting hot segment");
+    let crashed_store = Arc::new(
+        CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "serve")
+            .expect("store reopen failed")
+            .with_recovery(rel.clone())
+            .with_cache_capacity(4)
+            .with_rebuild_threshold(1),
+    );
+    let report = run_serving(Arc::clone(&crashed_store), &workload, &serve_cfg);
+    assert!(
+        report.degraded_recomputes >= 1,
+        "corrupted segment never hit the degrade path"
+    );
+    assert!(
+        report.segment_rebuilds >= 1,
+        "circuit breaker never rebuilt the corrupted segment"
+    );
+    rows.push(measurement("Serve/crash-rebuild", 1.5, &report));
+
     cfg.emit("serve_bench", &rows);
     rows
 }

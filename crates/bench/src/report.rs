@@ -48,8 +48,8 @@ impl<'a> Table<'a> {
         ));
         if serving {
             out.push_str(&format!(
-                " {:>10} {:>9} {:>9} {:>8}",
-                "qps", "p50_us", "p99_us", "hit_rate"
+                " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8}",
+                "qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild"
             ));
         }
         out.push('\n');
@@ -83,12 +83,15 @@ impl<'a> Table<'a> {
                 m.fallback_events,
             ));
             if serving {
+                let count = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
                 out.push_str(&format!(
-                    " {:>10} {:>9} {:>9} {:>8}",
+                    " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8}",
                     opt(m.qps, 0),
                     opt(m.p50_us, 1),
                     opt(m.p99_us, 1),
                     opt(m.cache_hit_rate, 3),
+                    count(m.degraded_recomputes),
+                    count(m.segment_rebuilds),
                 ));
             }
             out.push('\n');
@@ -103,7 +106,7 @@ impl<'a> Table<'a> {
 pub const CSV_HEADER: &str = "experiment,algo,x,total_seconds,avg_map_seconds,avg_reduce_seconds,\
 map_output_mb,sketch_kb,rounds,spilled_mb,imbalance,cube_groups,wall_seconds,\
 task_retries,tasks_lost,re_executions,speculative_launches,wasted_seconds,fallback_events,\
-qps,p50_us,p99_us,cache_hit_rate";
+qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds";
 
 /// Append measurements of one experiment to a CSV file (with header when
 /// the file is new).
@@ -124,10 +127,11 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
         writeln!(f, "{CSV_HEADER}").map_err(wrap)?;
     }
     let opt = |v: Option<f64>| v.map_or_else(String::new, |x| format!("{x:.3}"));
+    let count = |v: Option<u64>| v.map_or_else(String::new, |n| n.to_string());
     for m in rows {
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{}",
+            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{},{},{}",
             experiment,
             m.algo,
             m.x,
@@ -151,6 +155,8 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
             opt(m.p50_us),
             opt(m.p99_us),
             opt(m.cache_hit_rate),
+            count(m.degraded_recomputes),
+            count(m.segment_rebuilds),
         )
         .map_err(wrap)?;
     }
@@ -185,6 +191,8 @@ mod tests {
             p50_us: None,
             p99_us: None,
             cache_hit_rate: None,
+            degraded_recomputes: None,
+            segment_rebuilds: None,
         }
     }
 
@@ -211,14 +219,17 @@ mod tests {
         served.p50_us = Some(12.5);
         served.p99_us = Some(87.25);
         served.cache_hit_rate = Some(0.913);
+        served.degraded_recomputes = Some(4);
+        served.segment_rebuilds = Some(1);
         let rows = vec![served];
         let table = Table::new("serve_bench", &rows).render();
-        for col in ["qps", "p50_us", "p99_us", "hit_rate"] {
+        for col in ["qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild"] {
             assert!(table.contains(col), "serving table missing column {col}");
         }
         assert!(table.contains("123456"));
         assert!(table.contains("0.913"));
-        assert!(CSV_HEADER.ends_with("qps,p50_us,p99_us,cache_hit_rate"));
+        assert!(CSV_HEADER
+            .ends_with("qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds"));
     }
 
     #[test]

@@ -117,6 +117,11 @@ pub struct Measurement {
     pub p99_us: Option<f64>,
     /// Segment-cache hit rate in `[0, 1]` (serve-bench rows only).
     pub cache_hit_rate: Option<f64>,
+    /// Segments served via degraded BUC recompute (serve-bench rows only).
+    pub degraded_recomputes: Option<u64>,
+    /// Segment blobs rebuilt in place by the circuit breaker (serve-bench
+    /// rows only).
+    pub segment_rebuilds: Option<u64>,
 }
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -207,6 +212,8 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 p50_us: None,
                 p99_us: None,
                 cache_hit_rate: None,
+                degraded_recomputes: None,
+                segment_rebuilds: None,
             }
         }
         Err(err) => {
@@ -236,6 +243,8 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 p50_us: None,
                 p99_us: None,
                 cache_hit_rate: None,
+                degraded_recomputes: None,
+                segment_rebuilds: None,
             }
         }
     }

@@ -54,6 +54,8 @@ pub struct ServingReport {
     pub overload_retries: u64,
     /// Segments served via the degraded BUC-recompute path.
     pub degraded_recomputes: u64,
+    /// Segment blobs rebuilt in place by the per-cuboid circuit breaker.
+    pub segment_rebuilds: u64,
 }
 
 /// Convert a backend-agnostic query into a server request.
@@ -163,6 +165,7 @@ pub fn run_serving(
         },
         overload_retries: overload_retries.load(Ordering::Relaxed),
         degraded_recomputes: stats_after.degraded_recomputes - stats_before.degraded_recomputes,
+        segment_rebuilds: stats_after.segment_rebuilds - stats_before.segment_rebuilds,
     }
 }
 
@@ -221,5 +224,30 @@ mod tests {
         assert!(report.p99_us >= report.p50_us);
         assert!((0.0..=1.0).contains(&report.cache_hit_rate));
         assert_eq!(report.degraded_recomputes, 0);
+        assert_eq!(report.segment_rebuilds, 0);
+    }
+
+    #[test]
+    fn empty_workload_reports_zeros_not_nan() {
+        // Every ratio in the report must stay finite with zero traffic —
+        // a NaN here would leak straight into the benchmark CSV.
+        let rel = gen_zipf(50, 2, 3);
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Count, 1).unwrap();
+        let store =
+            Arc::new(CubeStore::open(dfs as Arc<dyn spcube_cubestore::BlobStore>, "s").unwrap());
+        let report = run_serving(Arc::clone(&store), &[], &ServeBenchConfig::default());
+        assert_eq!(report.served, 0);
+        for value in [
+            report.qps,
+            report.p50_us,
+            report.p99_us,
+            report.cache_hit_rate,
+        ] {
+            assert!(value.is_finite(), "non-finite metric in {report:?}");
+        }
+        assert_eq!(report.cache_hit_rate, 0.0);
+        assert!(store.stats().hit_rate().is_finite());
     }
 }

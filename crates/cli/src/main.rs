@@ -310,8 +310,9 @@ fn build_store(args: &Args) -> Result<()> {
         cfg.min_support,
     )?;
     println!(
-        "stored {} c-groups as {} segments ({} bytes) under {out}/{STORE_PREFIX}/",
-        report.rows, report.segments, report.bytes
+        "stored {} c-groups as {} segments ({} bytes) under {out}/{STORE_PREFIX}/ \
+         as generation {}",
+        report.rows, report.segments, report.bytes, report.generation
     );
     Ok(())
 }
@@ -370,6 +371,18 @@ fn query(args: &Args) -> Result<()> {
         eprintln!(
             "warning: {} cuboid(s) served via degraded recompute",
             stats.degraded_recomputes
+        );
+    }
+    if stats.torn_commits > 0 {
+        eprintln!(
+            "warning: a torn commit was repaired at open; serving generation {}",
+            store.generation()
+        );
+    }
+    if stats.quarantined_blobs > 0 {
+        eprintln!(
+            "warning: {} orphan blob(s) from an aborted commit moved to {STORE_PREFIX}/quarantine/",
+            stats.quarantined_blobs
         );
     }
     Ok(())

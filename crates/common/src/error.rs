@@ -54,6 +54,12 @@ pub enum Error {
     /// panic (`unreachable!`, a missing task slot). Serving paths report
     /// it as a typed error so one bad request cannot take the process down.
     Internal(String),
+    /// A deterministic fault injected by a test harness (e.g. the
+    /// crashpoint blob-store wrapper killing a write mid-commit). Never
+    /// raised in production; carried as its own variant so recovery code
+    /// cannot mistake an injected crash for real data loss and silently
+    /// degrade over it.
+    Injected(String),
 }
 
 impl Error {
@@ -102,6 +108,7 @@ impl fmt::Display for Error {
                 write!(f, "corrupt {what}: {detail}")
             }
             Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            Error::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }
@@ -152,6 +159,15 @@ mod tests {
         assert!(i.to_string().contains("slot taken twice"));
         assert!(!i.is_data_loss());
         assert!(!Error::Config("x".into()).is_data_loss());
+    }
+
+    #[test]
+    fn injected_faults_are_not_data_loss() {
+        let e = Error::Injected("crash after op 3".into());
+        assert_eq!(e.to_string(), "injected fault: crash after op 3");
+        // An injected crash must abort the write loudly, never trigger
+        // the silent degrade-recompute path.
+        assert!(!e.is_data_loss());
     }
 
     #[test]

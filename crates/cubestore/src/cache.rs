@@ -77,6 +77,13 @@ impl SegmentCache {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Drop the cached segment for `mask`, if any. Used to invalidate a
+    /// cuboid whose backing blob changed underneath the cache (e.g. a
+    /// circuit-breaker rebuild).
+    pub fn remove(&mut self, mask: Mask) -> bool {
+        self.entries.remove(&mask).is_some()
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +115,18 @@ mod tests {
         cache.put(Mask(0b01), seg(Mask(0b01)));
         assert_eq!(cache.len(), 2);
         assert!(cache.get(Mask(0b10)).is_some());
+    }
+
+    #[test]
+    fn remove_drops_one_entry() {
+        let mut cache = SegmentCache::new(2);
+        cache.put(Mask(0b01), seg(Mask(0b01)));
+        cache.put(Mask(0b10), seg(Mask(0b10)));
+        assert!(cache.remove(Mask(0b01)));
+        assert!(!cache.remove(Mask(0b01))); // already gone
+        assert!(cache.get(Mask(0b01)).is_none());
+        assert!(cache.get(Mask(0b10)).is_some());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! Deterministic crashpoint injection for the store's commit protocol.
+//!
+//! A [`CrashPoint`] wraps any [`BlobStore`] and kills the process model at
+//! an exact point of a write: after `at_op` mutating operations, optionally
+//! mid-blob at byte offset `j` of the victim `put`. "Kills" means the
+//! victim operation does not take effect (apart from an optional torn
+//! fragment) and every later operation fails with [`Error::Injected`] —
+//! the wrapped store is frozen exactly as a machine loss would leave it.
+//! Reopening the *inner* store afterwards is the recovery experiment: the
+//! crash-matrix suite (`tests/store_crash.rs`) does this for every
+//! schedule that [`schedules`] derives from a recorded operation log and
+//! asserts the store always comes back as a complete generation.
+//!
+//! Torn fragments come in two flavours, matching the two shipped media:
+//!
+//! * [`TornWrite::Publish`] — the truncated bytes land under the final
+//!   path, modelling a medium without atomic replace (the simulated DFS).
+//!   Torn offset 0 is the nastiest case: it truncates an existing blob —
+//!   e.g. the root manifest — to nothing.
+//! * [`TornWrite::Stage`] — the truncated bytes land under
+//!   `path + ".tmp"`, modelling an atomic-rename medium ([`DirBlobs`]):
+//!   a crash strands a partial temp file but the final name is never torn.
+//!
+//! Injected crashes are a distinct error variant on purpose: recovery
+//! code recognises real data loss by [`Error::is_data_loss`] and an
+//! injected crash is *not* data loss, so a store that silently
+//! degrade-recomputed over a crash would fail the suite loudly instead of
+//! masking a broken commit protocol.
+//!
+//! [`DirBlobs`]: crate::blob::DirBlobs
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use spcube_common::sync::lock_or_recover;
+use spcube_common::{Error, Result};
+
+use crate::blob::{BlobStore, TMP_SUFFIX};
+
+/// Where the torn fragment of a crashed `put` lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWrite {
+    /// Truncated bytes replace the blob at the final path (non-atomic
+    /// medium). Offset 0 truncates an existing blob to nothing.
+    Publish,
+    /// Truncated bytes land at `path + ".tmp"`; the final path is
+    /// untouched (atomic-rename medium).
+    Stage,
+}
+
+/// One deterministic crash schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Index into the sequence of mutating operations (puts and deletes,
+    /// in issue order) of the operation that crashes. That operation does
+    /// not take effect.
+    pub at_op: usize,
+    /// For a `put` victim: leave the first `j` bytes of the payload
+    /// behind, at the place [`TornWrite`] dictates. `None` crashes at the
+    /// operation boundary — nothing of the victim lands at all.
+    pub torn: Option<(usize, TornWrite)>,
+}
+
+/// What a mutating operation was, for schedule derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A blob write (crashable at byte granularity).
+    Put,
+    /// A blob deletion (crashable only at the boundary).
+    Delete,
+}
+
+/// One mutating operation observed by a recording [`CrashPoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Put or delete.
+    pub kind: OpKind,
+    /// Blob path the operation targeted.
+    pub path: String,
+    /// Payload size for puts; 0 for deletes.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct CrashState {
+    next_op: usize,
+    crashed: bool,
+    oplog: Vec<OpRecord>,
+}
+
+/// A [`BlobStore`] wrapper that records mutating operations and crashes
+/// deterministically per an optional [`CrashPlan`].
+pub struct CrashPoint {
+    inner: Arc<dyn BlobStore>,
+    plan: Option<CrashPlan>,
+    state: Mutex<CrashState>,
+}
+
+impl CrashPoint {
+    /// A pass-through wrapper that only records the mutating-operation
+    /// log, for deriving [`schedules`] from a clean run.
+    pub fn record(inner: Arc<dyn BlobStore>) -> CrashPoint {
+        CrashPoint {
+            inner,
+            plan: None,
+            state: Mutex::new(CrashState::default()),
+        }
+    }
+
+    /// A wrapper armed to crash per `plan`.
+    pub fn armed(inner: Arc<dyn BlobStore>, plan: CrashPlan) -> CrashPoint {
+        CrashPoint {
+            inner,
+            plan: Some(plan),
+            state: Mutex::new(CrashState::default()),
+        }
+    }
+
+    /// The mutating operations observed so far (including the victim).
+    pub fn oplog(&self) -> Vec<OpRecord> {
+        lock_or_recover(&self.state).oplog.clone()
+    }
+
+    /// Whether the planned crash has fired.
+    pub fn crashed(&self) -> bool {
+        lock_or_recover(&self.state).crashed
+    }
+
+    fn injected(&self, what: &str) -> Error {
+        Error::Injected(format!("crashpoint: {what}"))
+    }
+}
+
+impl BlobStore for CrashPoint {
+    fn put(&self, path: &str, data: Vec<u8>) -> Result<()> {
+        let idx = {
+            let mut st = lock_or_recover(&self.state);
+            if st.crashed {
+                return Err(self.injected(&format!("put {path} after crash")));
+            }
+            let idx = st.next_op;
+            st.next_op += 1;
+            st.oplog.push(OpRecord {
+                kind: OpKind::Put,
+                path: path.to_string(),
+                bytes: data.len() as u64,
+            });
+            if self.plan.is_some_and(|p| p.at_op == idx) {
+                st.crashed = true;
+            }
+            idx
+        };
+        if self.plan.is_some_and(|p| p.at_op == idx) {
+            if let Some(Some((torn_bytes, mode))) = self.plan.map(|p| p.torn) {
+                let fragment = data.get(..torn_bytes.min(data.len())).unwrap_or(&data);
+                let target = match mode {
+                    TornWrite::Publish => path.to_string(),
+                    TornWrite::Stage => format!("{path}{TMP_SUFFIX}"),
+                };
+                // The fragment lands even though the op "failed": that is
+                // the whole point of a torn write.
+                self.inner.put(&target, fragment.to_vec())?;
+            }
+            return Err(self.injected(&format!("crash at op {idx} (put {path})")));
+        }
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        if lock_or_recover(&self.state).crashed {
+            return Err(self.injected(&format!("get {path} after crash")));
+        }
+        self.inner.get(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<(String, u64)>> {
+        if lock_or_recover(&self.state).crashed {
+            return Err(self.injected(&format!("list {prefix} after crash")));
+        }
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let idx = {
+            let mut st = lock_or_recover(&self.state);
+            if st.crashed {
+                return Err(self.injected(&format!("delete {path} after crash")));
+            }
+            let idx = st.next_op;
+            st.next_op += 1;
+            st.oplog.push(OpRecord {
+                kind: OpKind::Delete,
+                path: path.to_string(),
+                bytes: 0,
+            });
+            if self.plan.is_some_and(|p| p.at_op == idx) {
+                st.crashed = true;
+            }
+            idx
+        };
+        if self.plan.is_some_and(|p| p.at_op == idx) {
+            return Err(self.injected(&format!("crash at op {idx} (delete {path})")));
+        }
+        self.inner.delete(path)
+    }
+}
+
+/// Every crash schedule worth sweeping for a recorded operation log:
+///
+/// * one boundary crash per mutating operation (the op never happens);
+/// * for every `put`, torn writes at offsets 0, half, and last-byte of
+///   the payload, each in both [`TornWrite`] modes;
+/// * for manifest blobs (paths ending in `.cman` — the commit-critical
+///   writes) additionally a torn write every 256 bytes, both modes.
+///
+/// Offsets are deduplicated, so tiny blobs do not produce redundant
+/// schedules. The sweep is exhaustive over the protocol's structure, not
+/// sampled: if any single crash point can corrupt the store, one of these
+/// schedules exercises it.
+pub fn schedules(oplog: &[OpRecord]) -> Vec<CrashPlan> {
+    let mut plans = Vec::new();
+    for (idx, op) in oplog.iter().enumerate() {
+        plans.push(CrashPlan {
+            at_op: idx,
+            torn: None,
+        });
+        if op.kind != OpKind::Put {
+            continue;
+        }
+        let len = op.bytes as usize;
+        let mut offsets = BTreeSet::new();
+        offsets.insert(0);
+        if len > 0 {
+            offsets.insert(len / 2);
+            offsets.insert(len - 1);
+        }
+        if op.path.ends_with(".cman") {
+            let mut j = 256;
+            while j < len {
+                offsets.insert(j);
+                j += 256;
+            }
+        }
+        for j in offsets {
+            for mode in [TornWrite::Publish, TornWrite::Stage] {
+                plans.push(CrashPlan {
+                    at_op: idx,
+                    torn: Some((j, mode)),
+                });
+            }
+        }
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_mapreduce::Dfs;
+
+    fn dfs() -> Arc<Dfs> {
+        Arc::new(Dfs::new())
+    }
+
+    #[test]
+    fn recording_wrapper_passes_through_and_logs() {
+        let inner = dfs();
+        let cp = CrashPoint::record(Arc::clone(&inner) as Arc<dyn BlobStore>);
+        cp.put("a", vec![1, 2, 3]).expect("put");
+        cp.delete("a").expect("delete");
+        cp.put("b", vec![4]).expect("put");
+        assert!(!cp.crashed());
+        assert_eq!(
+            cp.oplog(),
+            vec![
+                OpRecord {
+                    kind: OpKind::Put,
+                    path: "a".into(),
+                    bytes: 3
+                },
+                OpRecord {
+                    kind: OpKind::Delete,
+                    path: "a".into(),
+                    bytes: 0
+                },
+                OpRecord {
+                    kind: OpKind::Put,
+                    path: "b".into(),
+                    bytes: 1
+                },
+            ]
+        );
+        assert_eq!(inner.get("b").expect("b"), vec![4]);
+    }
+
+    #[test]
+    fn boundary_crash_swallows_the_victim_and_everything_after() {
+        let inner = dfs();
+        let cp = CrashPoint::armed(
+            Arc::clone(&inner) as Arc<dyn BlobStore>,
+            CrashPlan {
+                at_op: 1,
+                torn: None,
+            },
+        );
+        cp.put("a", vec![1]).expect("op 0 is clean");
+        let err = cp.put("b", vec![2]).expect_err("op 1 crashes");
+        assert!(matches!(err, Error::Injected(_)));
+        assert!(cp.crashed());
+        // The victim never landed; later ops of any kind fail.
+        assert!(inner.get("b").is_err());
+        assert!(matches!(cp.put("c", vec![3]), Err(Error::Injected(_))));
+        assert!(matches!(cp.delete("a"), Err(Error::Injected(_))));
+        assert!(matches!(cp.get("a"), Err(Error::Injected(_))));
+        assert!(matches!(cp.list(""), Err(Error::Injected(_))));
+        // The inner store still has the pre-crash state.
+        assert_eq!(inner.get("a").expect("a"), vec![1]);
+    }
+
+    #[test]
+    fn torn_publish_leaves_a_truncated_final_blob() {
+        let inner = dfs();
+        inner.put("a", vec![9; 8]); // pre-existing blob to be clobbered
+        let cp = CrashPoint::armed(
+            Arc::clone(&inner) as Arc<dyn BlobStore>,
+            CrashPlan {
+                at_op: 0,
+                torn: Some((2, TornWrite::Publish)),
+            },
+        );
+        assert!(cp.put("a", vec![1, 2, 3, 4]).is_err());
+        assert_eq!(inner.get("a").expect("torn"), vec![1, 2]);
+    }
+
+    #[test]
+    fn torn_stage_strands_a_temp_file_and_spares_the_final_path() {
+        let inner = dfs();
+        inner.put("a", vec![9; 8]);
+        let cp = CrashPoint::armed(
+            Arc::clone(&inner) as Arc<dyn BlobStore>,
+            CrashPlan {
+                at_op: 0,
+                torn: Some((3, TornWrite::Stage)),
+            },
+        );
+        assert!(cp.put("a", vec![1, 2, 3, 4]).is_err());
+        assert_eq!(inner.get("a").expect("intact"), vec![9; 8]);
+        assert_eq!(inner.get("a.tmp").expect("fragment"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn boundary_crash_on_delete_preserves_the_blob() {
+        let inner = dfs();
+        inner.put("a", vec![7]);
+        let cp = CrashPoint::armed(
+            Arc::clone(&inner) as Arc<dyn BlobStore>,
+            CrashPlan {
+                at_op: 0,
+                torn: None,
+            },
+        );
+        assert!(cp.delete("a").is_err());
+        assert_eq!(inner.get("a").expect("survives"), vec![7]);
+    }
+
+    #[test]
+    fn schedules_cover_boundaries_offsets_and_dense_manifests() {
+        let oplog = vec![
+            OpRecord {
+                kind: OpKind::Put,
+                path: "s/gen-00000001/cuboid-001.cseg".into(),
+                bytes: 100,
+            },
+            OpRecord {
+                kind: OpKind::Put,
+                path: "s/manifest.cman".into(),
+                bytes: 600,
+            },
+            OpRecord {
+                kind: OpKind::Delete,
+                path: "s/gen-old".into(),
+                bytes: 0,
+            },
+        ];
+        let plans = schedules(&oplog);
+        // Every op has a boundary schedule.
+        for idx in 0..oplog.len() {
+            assert!(plans.contains(&CrashPlan {
+                at_op: idx,
+                torn: None
+            }));
+        }
+        // The segment put gets {0, 50, 99} × 2 modes.
+        let seg_torn: Vec<_> = plans
+            .iter()
+            .filter(|p| p.at_op == 0 && p.torn.is_some())
+            .collect();
+        assert_eq!(seg_torn.len(), 6);
+        // The manifest put additionally gets 256 and 512 — offsets
+        // {0, 256, 300, 512, 599} × 2 modes.
+        let man_offsets: BTreeSet<usize> = plans
+            .iter()
+            .filter(|p| p.at_op == 1)
+            .filter_map(|p| p.torn.map(|(j, _)| j))
+            .collect();
+        assert_eq!(
+            man_offsets.into_iter().collect::<Vec<_>>(),
+            vec![0, 256, 300, 512, 599]
+        );
+        // The delete only gets its boundary.
+        assert_eq!(plans.iter().filter(|p| p.at_op == 2).count(), 1);
+    }
+
+    #[test]
+    fn zero_length_put_gets_only_offset_zero() {
+        let oplog = vec![OpRecord {
+            kind: OpKind::Put,
+            path: "s/empty".into(),
+            bytes: 0,
+        }];
+        let plans = schedules(&oplog);
+        // boundary + offset 0 in both modes
+        assert_eq!(plans.len(), 3);
+    }
+}

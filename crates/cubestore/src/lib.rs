@@ -15,20 +15,30 @@
 //!   one-file-per-cuboid layout, Section 3.1): dictionary-encoded
 //!   dimension columns, a sparse first-key index, and per-block zone
 //!   maps.
-//! * **[`manifest`]** — the store root: cube shape plus the segment
-//!   directory, checksummed like everything else.
-//! * **[`blob`]** — two-method storage behind it all: the simulated DFS
-//!   from `spcube-mapreduce` (store traffic lands in the same byte
-//!   accounting as shuffle traffic, and its fault hooks inject
-//!   corruption) or a real directory for the CLI.
-//! * **[`store`]** — [`write_store`] persists a cube; [`CubeStore`]
-//!   answers the [`CubeRead`](spcube_cubealg::CubeRead) OLAP operations
-//!   from segments through an LRU hot-cuboid cache with hit/miss
-//!   counters.
-//! * **[`recover`]** — the degraded path: a segment that fails its
-//!   checksum is recomputed BUC-style from the raw relation instead of
-//!   failing the query (the same graceful-degradation stance the SP-Cube
-//!   driver takes when its sketch is lost).
+//! * **[`manifest`]** — the commit metadata: cube shape, generation
+//!   number, and the segment directory, checksummed like everything else.
+//! * **[`blob`]** — storage behind it all (put/get/list/delete): the
+//!   simulated DFS from `spcube-mapreduce` (store traffic lands in the
+//!   same byte accounting as shuffle traffic, and its fault hooks inject
+//!   corruption) or a real directory for the CLI, whose writes are
+//!   crash-atomic via temp-file + fsync + rename.
+//! * **[`store`]** — [`write_store`] persists a cube as a new
+//!   **generation**, sealed by its own manifest and committed by one
+//!   atomic root-manifest write; [`CubeStore`] answers the
+//!   [`CubeRead`](spcube_cubealg::CubeRead) OLAP operations from segments
+//!   through an LRU hot-cuboid cache with hit/miss counters, and a
+//!   per-cuboid circuit breaker rebuilds segments that keep degrading.
+//! * **[`recover`]** — crash recovery and the degraded path:
+//!   [`scan_store`] picks the newest fully sealed generation, flags torn
+//!   commits, and finds orphan blobs to quarantine; a segment that fails
+//!   its checksum at query time is recomputed BUC-style from the raw
+//!   relation instead of failing the query (the same
+//!   graceful-degradation stance the SP-Cube driver takes when its
+//!   sketch is lost).
+//! * **[`crashpoint`]** — deterministic fault injection: a [`CrashPoint`]
+//!   wrapper kills the write after an exact operation or mid-blob byte
+//!   offset, and [`schedules`](crashpoint::schedules) enumerates every
+//!   crash schedule of a recorded commit for the crash-matrix suite.
 //! * **[`server`]** — [`CubeServer`]: a fixed worker pool over a bounded
 //!   request queue with typed overload rejection, serving point / slice /
 //!   top-k / roll-up requests concurrently from one shared store.
@@ -39,6 +49,7 @@
 pub mod blob;
 pub mod cache;
 pub mod codec;
+pub mod crashpoint;
 pub mod manifest;
 pub mod recover;
 pub mod segment;
@@ -47,8 +58,15 @@ pub mod store;
 
 pub use blob::{BlobStore, DirBlobs};
 pub use cache::SegmentCache;
-pub use manifest::{manifest_path, segment_path, Manifest, ManifestEntry};
-pub use recover::recompute_cuboid;
+pub use crashpoint::{schedules, CrashPlan, CrashPoint, OpKind, OpRecord, TornWrite};
+pub use manifest::{
+    gen_manifest_path, gen_prefix, manifest_path, parse_generation, quarantine_path, segment_path,
+    Manifest, ManifestEntry,
+};
+pub use recover::{recompute_cuboid, scan_store, GenerationInfo, ScanReport};
 pub use segment::Segment;
 pub use server::{answer, CubeServer, Request, Response, ServeError, ServerConfig, ServerStats};
-pub use store::{write_store, CubeStore, StoreStats, StoreWriteReport, DEFAULT_CACHE_SEGMENTS};
+pub use store::{
+    write_store, CubeStore, StoreStats, StoreWriteReport, DEFAULT_CACHE_SEGMENTS,
+    DEFAULT_REBUILD_THRESHOLD,
+};

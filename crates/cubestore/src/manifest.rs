@@ -2,18 +2,40 @@
 //!
 //! A store is one manifest plus one segment blob per non-empty cuboid.
 //! The manifest records the cube's shape (`d`, aggregate spec, minimum
-//! support) and, per materialized cuboid, its row count, encoded size, and
-//! blob path. A cuboid absent from the manifest is empty — the writer
-//! skips empty cuboids, the reader answers from an implicit empty segment.
+//! support), the **generation** it belongs to, and, per materialized
+//! cuboid, its row count, encoded size, and blob path. A cuboid absent
+//! from the manifest is empty — the writer skips empty cuboids, the
+//! reader answers from an implicit empty segment.
 //!
 //! The aggregate spec and minimum support are stored so that a reader that
 //! finds a *corrupt* segment can recompute exactly the same cuboid from
 //! the raw relation (the degraded path in [`crate::store`]).
 //!
+//! # Generational layout
+//!
+//! Every commit writes under its own generation directory and the same
+//! manifest bytes appear twice (see `DESIGN.md`, "Crash-consistent
+//! generational commits"):
+//!
+//! ```text
+//! prefix/manifest.cman              root pointer — the COMMIT POINT
+//! prefix/gen-00000002/manifest.cman generation seal (written after all
+//! prefix/gen-00000002/cuboid-*.cseg   segments of that generation)
+//! prefix/gen-00000001/...           previous generation, kept until the
+//!                                     next commit so readers survive one
+//!                                     in-flight rewrite
+//! prefix/quarantine/...             torn blobs moved aside by recovery
+//! ```
+//!
+//! The generation number in the manifest body is authoritative; a
+//! manifest stored under `gen-N/` whose body says any other generation is
+//! treated as torn.
+//!
 //! # Wire format (`CMAN1`)
 //!
 //! ```text
-//! "CMAN1" | u32 d | tagged agg_spec | u32 min_support | u32 n_entries
+//! "CMAN1" | u32 d | u64 generation | tagged agg_spec | u32 min_support
+//! u32 n_entries
 //! per entry: u32 mask | u32 rows | u64 bytes | u32 path_len | path bytes
 //! u64 FNV-1a checksum of everything above
 //! ```
@@ -26,8 +48,13 @@ use crate::codec::{checked_body, put_agg_spec, put_len, put_u32, put_u64, seal, 
 /// Magic prefix of a serialized manifest (format version 1).
 pub const MANIFEST_MAGIC: &[u8; 5] = b"CMAN1";
 
-/// File name of the manifest blob under a store prefix.
+/// File name of the manifest blob: at the store root it is the commit
+/// pointer, under a generation directory it is that generation's seal.
 pub const MANIFEST_FILE: &str = "manifest.cman";
+
+/// Directory (under the store prefix) where the recovery scan moves
+/// orphaned or torn blobs instead of deleting them.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// One materialized cuboid.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +74,8 @@ pub struct ManifestEntry {
 pub struct Manifest {
     /// Cube dimensionality.
     pub d: usize,
+    /// Monotonically increasing commit generation (1 for a fresh store).
+    pub generation: u64,
     /// Aggregate the cube was built with.
     pub spec: AggSpec,
     /// Iceberg minimum support the cube was built with.
@@ -61,7 +90,7 @@ impl Manifest {
         self.entries
             .binary_search_by_key(&mask, |e| e.mask)
             .ok()
-            .map(|i| &self.entries[i])
+            .and_then(|i| self.entries.get(i))
     }
 
     /// Total encoded bytes across all segments.
@@ -83,6 +112,7 @@ impl Manifest {
         let mut out = Vec::new();
         out.extend_from_slice(MANIFEST_MAGIC);
         put_len(&mut out, self.d)?;
+        put_u64(&mut out, self.generation);
         put_agg_spec(&mut out, self.spec)?;
         put_len(&mut out, self.min_support)?;
         put_len(&mut out, entries.len())?;
@@ -110,6 +140,10 @@ impl Manifest {
                 "declares {d} dimensions, max is {}",
                 Mask::MAX_DIMS
             )));
+        }
+        let generation = r.u64()?;
+        if generation == 0 {
+            return Err(r.corrupt("generation 0 is reserved (fresh stores start at 1)"));
         }
         let spec = r.agg_spec()?;
         let min_support = r.u32()? as usize;
@@ -140,11 +174,16 @@ impl Manifest {
         if !r.is_exhausted() {
             return Err(r.corrupt("trailing bytes after manifest"));
         }
-        if entries.windows(2).any(|w| w[0].mask >= w[1].mask) {
+        if entries
+            .iter()
+            .zip(entries.iter().skip(1))
+            .any(|(a, b)| a.mask >= b.mask)
+        {
             return Err(r.corrupt("entries not sorted by mask"));
         }
         Ok(Manifest {
             d,
+            generation,
             spec,
             min_support,
             entries,
@@ -152,19 +191,51 @@ impl Manifest {
     }
 }
 
-/// Blob path of the segment for `mask` under `prefix`, zero-padded binary
-/// (e.g. `store/cuboid-0101.cseg` for mask `m101` of a 4-d cube).
-pub fn segment_path(prefix: &str, d: usize, mask: Mask) -> String {
+/// Blob-path prefix of one generation's directory, zero-padded so
+/// lexicographic listing order matches numeric order up to 10^8 commits.
+pub fn gen_prefix(prefix: &str, generation: u64) -> String {
+    format!("{prefix}/gen-{generation:08}")
+}
+
+/// Blob path of the segment for `mask` in `generation` under `prefix`,
+/// zero-padded binary (e.g. `store/gen-00000001/cuboid-0101.cseg` for
+/// mask `m101` of a 4-d cube).
+pub fn segment_path(prefix: &str, generation: u64, d: usize, mask: Mask) -> String {
     format!(
-        "{prefix}/cuboid-{:0>width$b}.cseg",
+        "{}/cuboid-{:0>width$b}.cseg",
+        gen_prefix(prefix, generation),
         mask.0,
         width = d.max(1)
     )
 }
 
-/// Blob path of the manifest under `prefix`.
+/// Blob path of a generation's seal manifest.
+pub fn gen_manifest_path(prefix: &str, generation: u64) -> String {
+    format!("{}/{MANIFEST_FILE}", gen_prefix(prefix, generation))
+}
+
+/// Blob path of the root (commit-pointer) manifest under `prefix`.
 pub fn manifest_path(prefix: &str) -> String {
     format!("{prefix}/{MANIFEST_FILE}")
+}
+
+/// Where the recovery scan moves an orphaned blob: the blob's path below
+/// the store prefix, re-rooted under `prefix/quarantine/`.
+pub fn quarantine_path(prefix: &str, blob_path: &str) -> String {
+    let rest = blob_path
+        .strip_prefix(prefix)
+        .map(|r| r.trim_start_matches('/'))
+        .filter(|r| !r.is_empty())
+        .map_or_else(|| blob_path.replace('/', "_"), str::to_string);
+    format!("{prefix}/{QUARANTINE_DIR}/{rest}")
+}
+
+/// The generation number a blob path belongs to, if it sits under a
+/// `prefix/gen-<n>/` directory.
+pub fn parse_generation(prefix: &str, path: &str) -> Option<u64> {
+    let rest = path.strip_prefix(prefix)?.strip_prefix('/')?;
+    let dir = rest.split('/').next()?;
+    dir.strip_prefix("gen-")?.parse().ok()
 }
 
 #[cfg(test)]
@@ -174,6 +245,7 @@ mod tests {
     fn sample() -> Manifest {
         Manifest {
             d: 3,
+            generation: 7,
             spec: AggSpec::TopKFrequent(4),
             min_support: 2,
             entries: vec![
@@ -204,10 +276,18 @@ mod tests {
         let m = sample();
         let back = Manifest::decode(&m.encode().expect("encode")).expect("decode");
         assert_eq!(back, m);
+        assert_eq!(back.generation, 7);
         assert_eq!(back.entry(Mask(0b011)).expect("entry").rows, 10);
         assert!(back.entry(Mask(0b101)).is_none());
         assert_eq!(back.total_bytes(), 2440);
         assert_eq!(back.total_rows(), 61);
+    }
+
+    #[test]
+    fn generation_zero_is_rejected() {
+        let mut m = sample();
+        m.generation = 0;
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
     }
 
     #[test]
@@ -235,10 +315,47 @@ mod tests {
     #[test]
     fn paths_are_stable() {
         assert_eq!(
-            segment_path("store", 4, Mask(0b101)),
-            "store/cuboid-0101.cseg"
+            segment_path("store", 1, 4, Mask(0b101)),
+            "store/gen-00000001/cuboid-0101.cseg"
         );
-        assert_eq!(segment_path("store", 1, Mask(0b0)), "store/cuboid-0.cseg");
+        assert_eq!(
+            segment_path("store", 12, 1, Mask(0b0)),
+            "store/gen-00000012/cuboid-0.cseg"
+        );
         assert_eq!(manifest_path("store"), "store/manifest.cman");
+        assert_eq!(
+            gen_manifest_path("store", 3),
+            "store/gen-00000003/manifest.cman"
+        );
+        assert_eq!(gen_prefix("s", 2), "s/gen-00000002");
+    }
+
+    #[test]
+    fn quarantine_paths_stay_under_the_prefix() {
+        assert_eq!(
+            quarantine_path("store", "store/gen-00000002/cuboid-01.cseg"),
+            "store/quarantine/gen-00000002/cuboid-01.cseg"
+        );
+        // A path not under the prefix is flattened rather than escaping.
+        assert_eq!(
+            quarantine_path("store", "elsewhere/blob"),
+            "store/quarantine/elsewhere_blob"
+        );
+    }
+
+    #[test]
+    fn generation_parsing() {
+        assert_eq!(
+            parse_generation("store", "store/gen-00000002/cuboid-01.cseg"),
+            Some(2)
+        );
+        assert_eq!(
+            parse_generation("store", "store/gen-00000002/manifest.cman"),
+            Some(2)
+        );
+        assert_eq!(parse_generation("store", "store/manifest.cman"), None);
+        assert_eq!(parse_generation("store", "store/quarantine/x"), None);
+        assert_eq!(parse_generation("store", "other/gen-00000001/x"), None);
+        assert_eq!(parse_generation("store", "store/gen-abc/x"), None);
     }
 }

@@ -113,6 +113,19 @@ pub struct ServerStats {
     pub rejected: u64,
 }
 
+impl ServerStats {
+    /// Rejected over all submissions, in `[0, 1]`; `0` before any
+    /// submission (never NaN — this feeds CSV output directly).
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.served + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+}
+
 struct Queue {
     jobs: VecDeque<(Request, mpsc::Sender<Response>)>,
     shutting_down: bool,
@@ -342,6 +355,52 @@ mod tests {
     }
 
     #[test]
+    fn server_keeps_answering_while_a_rewrite_commits() {
+        let mut rel = Relation::empty(Schema::synthetic(2));
+        for (dims, m) in [([1i64, 1], 1.0), ([1, 2], 2.0), ([2, 1], 3.0)] {
+            rel.push_row(dims.iter().map(|&v| Value::Int(v)).collect(), m);
+        }
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
+        let store = Arc::new(
+            CubeStore::open(Arc::clone(&dfs) as Arc<dyn crate::BlobStore>, "s").expect("open"),
+        );
+        let server = CubeServer::start(Arc::clone(&store), ServerConfig::default());
+        let probe = Request::Point {
+            mask: Mask(0b01),
+            key: vec![Value::Int(1)],
+        };
+        let before = server.query(probe.clone()).expect("pre-rewrite query");
+        // A writer commits generation 2 (different aggregate — different
+        // answers) while the server keeps serving the generation it
+        // opened. GC keeps that generation's blobs alive.
+        let cube2 = naive_cube(&rel, AggSpec::Count);
+        write_store(dfs.as_ref(), "s", &cube2, 2, AggSpec::Count, 1).expect("rewrite");
+        let after = server.query(probe).expect("mid-rewrite query");
+        assert_eq!(before, after);
+        assert_eq!(before, Response::Value(Some(AggOutput::Number(3.0))));
+        assert_eq!(store.generation(), 1);
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 2);
+        // A fresh open sees the committed rewrite.
+        let fresh = CubeStore::open(dfs, "s").expect("reopen");
+        assert_eq!(fresh.generation(), 2);
+    }
+
+    #[test]
+    fn rejection_rate_is_never_nan() {
+        let empty = ServerStats::default();
+        assert_eq!(empty.rejection_rate(), 0.0);
+        assert!(empty.rejection_rate().is_finite());
+        let busy = ServerStats {
+            served: 3,
+            rejected: 1,
+        };
+        assert!((busy.rejection_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
     fn bad_queries_fail_typed_not_crash() {
         let server = CubeServer::start(serving_store(), ServerConfig::default());
         // Slice on an ungrouped dimension is a query error, not a panic.
@@ -371,6 +430,14 @@ mod tests {
         fn get(&self, path: &str) -> spcube_common::Result<Vec<u8>> {
             let _open = self.gate.lock().expect("gate");
             crate::blob::BlobStore::get(self.inner.as_ref(), path)
+        }
+
+        fn list(&self, prefix: &str) -> spcube_common::Result<Vec<(String, u64)>> {
+            crate::blob::BlobStore::list(self.inner.as_ref(), prefix)
+        }
+
+        fn delete(&self, path: &str) -> spcube_common::Result<()> {
+            crate::blob::BlobStore::delete(self.inner.as_ref(), path)
         }
     }
 

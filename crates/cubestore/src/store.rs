@@ -2,22 +2,39 @@
 //!
 //! **Write path** — [`write_store`] takes a materialized [`Cube`], splits
 //! it into one columnar [`Segment`] per non-empty cuboid (the paper's
-//! one-file-per-cuboid layout, Section 3.1), writes each segment blob plus
-//! a sealed [`Manifest`] through a [`BlobStore`], and reports what it
-//! wrote.
+//! one-file-per-cuboid layout, Section 3.1), and commits it under a fresh
+//! **generation** through a [`BlobStore`]. The commit protocol is
+//! crash-atomic (see `DESIGN.md`, "Crash-consistent generational
+//! commits"): segments land under `prefix/gen-N/`, the generation is
+//! *sealed* by writing its own manifest after every segment, and the
+//! commit point is a single write of the root manifest — atomic
+//! temp+rename on a directory store, publish-last on the DFS. The
+//! previous generation is kept so readers opened against it survive one
+//! in-flight rewrite; anything older is garbage-collected after the
+//! commit.
 //!
-//! **Read path** — [`CubeStore`] opens the manifest and answers the
-//! [`CubeRead`] OLAP operations directly from segments: point lookups go
-//! through the sparse first-key index, slices through the zone maps, and
-//! decoded segments are held in an LRU hot-cuboid cache with hit/miss
-//! counters.
+//! **Read path** — [`CubeStore::open`] runs a recovery scan
+//! ([`crate::recover::scan_store`]): it serves the committed generation
+//! when the root pointer is intact, falls back to the newest fully sealed
+//! generation when the commit was torn (repairing the root pointer,
+//! counted in [`StoreStats::torn_commits`]), and moves blobs of aborted
+//! commits into `prefix/quarantine/`
+//! ([`StoreStats::quarantined_blobs`]). Open never panics on torn state —
+//! it either finds a complete generation or returns a typed error. Opened
+//! stores answer the [`CubeRead`] OLAP operations directly from segments:
+//! point lookups go through the sparse first-key index, slices through
+//! the zone maps, and decoded segments are held in an LRU hot-cuboid
+//! cache with hit/miss counters.
 //!
 //! **Corruption** — every blob is checksummed. If a segment fails its
-//! checksum (or has gone missing), the store does not fail the query: when
-//! a recovery relation is attached it recomputes just that cuboid
+//! checksum (or has gone missing), the store does not fail the query:
+//! when a recovery relation is attached it recomputes just that cuboid
 //! BUC-style ([`crate::recover`]) and serves the recomputed rows,
-//! counting a degraded recompute in [`StoreStats`]. Without a recovery
-//! relation the error propagates.
+//! counting a degraded recompute in [`StoreStats`]. Repeated degrades on
+//! the same cuboid trip a per-cuboid circuit breaker that rebuilds the
+//! segment blob in place from the recomputed rows
+//! ([`StoreStats::segment_rebuilds`]) — recompute-per-query is a stopgap,
+//! not a steady state. Without a recovery relation the error propagates.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,28 +47,45 @@ use spcube_cubealg::{slice_slot, Cube, CubeRead};
 
 use crate::blob::BlobStore;
 use crate::cache::SegmentCache;
-use crate::manifest::{manifest_path, segment_path, Manifest, ManifestEntry};
-use crate::recover::recompute_cuboid;
+use crate::manifest::{
+    gen_manifest_path, manifest_path, parse_generation, quarantine_path, segment_path, Manifest,
+    ManifestEntry,
+};
+use crate::recover::{recompute_cuboid, scan_store};
 use crate::segment::Segment;
 
 /// Default capacity (in decoded segments) of the hot-cuboid cache.
 pub const DEFAULT_CACHE_SEGMENTS: usize = 8;
+
+/// Default number of degraded recomputes of one cuboid before the
+/// circuit breaker rebuilds its segment blob in place.
+pub const DEFAULT_REBUILD_THRESHOLD: u32 = 3;
 
 /// What [`write_store`] wrote.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreWriteReport {
     /// Segments written (non-empty cuboids).
     pub segments: usize,
-    /// Total bytes of all blobs, manifest included.
+    /// Total bytes of all blobs, both manifest copies included.
     pub bytes: u64,
     /// Total rows (groups) across all segments.
     pub rows: u64,
+    /// The generation this write committed.
+    pub generation: u64,
 }
 
-/// Persist `cube` under `prefix`: one segment per non-empty cuboid plus
-/// the manifest. `d` is the source dimensionality; `spec` / `min_support`
-/// are recorded so a degraded reader can recompute a corrupt cuboid
-/// exactly as it was built.
+/// Persist `cube` under `prefix` as a new generation: one segment per
+/// non-empty cuboid, the generation's seal manifest, then the root
+/// manifest — the single atomic commit point. `d` is the source
+/// dimensionality; `spec` / `min_support` are recorded so a degraded
+/// reader can recompute a corrupt cuboid exactly as it was built.
+///
+/// After the commit, generations older than the immediately previous one
+/// are garbage-collected (the previous one is kept so already-open
+/// readers keep answering through one rewrite). A crash anywhere before
+/// the root write leaves the old generation authoritative; a crash after
+/// it leaves the new one. An error after the root write (e.g. during GC)
+/// does *not* undo the commit.
 pub fn write_store(
     blobs: &dyn BlobStore,
     prefix: &str,
@@ -61,6 +95,16 @@ pub fn write_store(
     min_support: usize,
 ) -> Result<StoreWriteReport> {
     type CuboidRows = Vec<(Box<[Value]>, AggOutput)>;
+    // Next generation: one past anything ever written under the prefix,
+    // sealed or not, so an aborted commit never gets its dirty directory
+    // reused.
+    let listing = blobs.list(prefix)?;
+    let generation = listing
+        .iter()
+        .filter_map(|(p, _)| parse_generation(prefix, p))
+        .max()
+        .unwrap_or(0)
+        + 1;
     // BTreeMap so segments are written in ascending mask order — the
     // output (blob sequence, manifest) is byte-identical across runs.
     let mut by_mask: BTreeMap<Mask, CuboidRows> = BTreeMap::new();
@@ -76,7 +120,7 @@ pub fn write_store(
     for (mask, rows) in by_mask {
         let segment = Segment::build(d, mask, rows);
         let encoded = segment.encode()?;
-        let path = segment_path(prefix, d, mask);
+        let path = segment_path(prefix, generation, d, mask);
         total_bytes += encoded.len() as u64;
         total_rows += segment.len() as u64;
         entries.push(ManifestEntry {
@@ -93,21 +137,37 @@ pub fn write_store(
     }
     let manifest = Manifest {
         d,
+        generation,
         spec,
         min_support,
         entries,
     };
     let encoded = manifest.encode()?;
-    total_bytes += encoded.len() as u64;
+    total_bytes += 2 * encoded.len() as u64;
+    // Seal: the generation's own manifest, written after every segment.
+    blobs.put(&gen_manifest_path(prefix, generation), encoded.clone())?;
+    // COMMIT POINT: one root-manifest write flips readers to the new
+    // generation. Everything before this line is invisible to recovery;
+    // everything after is cleanup.
     blobs.put(&manifest_path(prefix), encoded)?;
+    // GC: drop generations older than the previous one. The listing
+    // predates this commit, so only old blobs qualify. Listing order puts
+    // each generation's segments before its manifest, so a crash mid-GC
+    // leaves the victim unsealed (then quarantined), never half-sealed.
+    for (path, _) in &listing {
+        if parse_generation(prefix, path).is_some_and(|g| g + 1 < generation) {
+            blobs.delete(path)?;
+        }
+    }
     Ok(StoreWriteReport {
         segments: manifest.entries.len(),
         bytes: total_bytes,
         rows: total_rows,
+        generation,
     })
 }
 
-/// Cache and degradation counters of a [`CubeStore`].
+/// Cache, recovery, and degradation counters of a [`CubeStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreStats {
     /// Queries answered from a cached decoded segment.
@@ -116,10 +176,18 @@ pub struct StoreStats {
     pub cache_misses: u64,
     /// Segments served via the degraded BUC-recompute path.
     pub degraded_recomputes: u64,
+    /// Orphan blobs of aborted commits moved to quarantine at open.
+    pub quarantined_blobs: u64,
+    /// Torn commits repaired at open (root pointer rewritten to the
+    /// newest fully sealed generation).
+    pub torn_commits: u64,
+    /// Segment blobs rebuilt in place by the per-cuboid circuit breaker.
+    pub segment_rebuilds: u64,
 }
 
 impl StoreStats {
-    /// Hits over all segment accesses, in `[0, 1]`; `0` before any access.
+    /// Hits over all segment accesses, in `[0, 1]`; `0` before any access
+    /// (never NaN — this feeds CSV output directly).
     pub fn hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
@@ -130,11 +198,15 @@ impl StoreStats {
     }
 }
 
-/// A queryable, persisted cube: manifest + lazily fetched segments.
+/// A queryable, persisted cube: one sealed generation's manifest plus
+/// lazily fetched segments.
 ///
 /// All methods take `&self`; the segment cache sits behind a mutex and the
 /// counters are atomic, so one store can be shared across the serving
-/// worker pool behind an `Arc`.
+/// worker pool behind an `Arc`. A store stays pinned to the generation it
+/// opened: a concurrent [`write_store`] commits a *new* generation and
+/// keeps this one's blobs, so serving continues undisturbed through one
+/// rewrite (re-open to pick up the new data).
 pub struct CubeStore {
     blobs: Arc<dyn BlobStore>,
     manifest: Manifest,
@@ -142,15 +214,64 @@ pub struct CubeStore {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     degraded_recomputes: AtomicU64,
+    quarantined_blobs: AtomicU64,
+    torn_commits: AtomicU64,
+    segment_rebuilds: AtomicU64,
+    /// Degraded recomputes per cuboid since its last successful rebuild;
+    /// the circuit breaker trips at `rebuild_threshold`.
+    degrade_strikes: Mutex<BTreeMap<Mask, u32>>,
+    rebuild_threshold: u32,
     /// Raw relation for degraded recompute of corrupt segments.
     recovery: Option<Relation>,
 }
 
 impl CubeStore {
-    /// Open the store persisted under `prefix`, reading and verifying its
-    /// manifest.
+    /// Open the store persisted under `prefix`, recovering from any torn
+    /// commit: a recovery scan picks the committed generation (or the
+    /// newest fully sealed one when the root pointer is torn, repairing
+    /// the pointer), and blobs left behind by aborted commits are moved
+    /// to `prefix/quarantine/`. Opening is read-only apart from those two
+    /// best-effort repairs; it never panics on torn state and fails with
+    /// a typed error only when no complete generation exists at all.
     pub fn open(blobs: Arc<dyn BlobStore>, prefix: &str) -> Result<CubeStore> {
-        let manifest = Manifest::decode(&blobs.get(&manifest_path(prefix))?)?;
+        let scan = scan_store(blobs.as_ref(), prefix)?;
+        let Some(chosen) = scan.chosen else {
+            return Err(Error::corrupt(
+                "store",
+                format!("no fully sealed generation under `{prefix}`"),
+            ));
+        };
+        let manifest = scan
+            .generations
+            .iter()
+            .find(|g| g.generation == chosen)
+            .and_then(|g| g.manifest.clone())
+            .ok_or_else(|| {
+                Error::Internal(format!("scan chose generation {chosen} without a manifest"))
+            })?;
+        let mut torn_commits = 0;
+        if scan.torn_root {
+            torn_commits = 1;
+            // Repair the commit pointer. Re-writing identical manifest
+            // bytes is idempotent, so concurrent re-opens cannot fight.
+            // Best-effort: a read-only medium still gets a working store.
+            let _ = manifest
+                .encode()
+                .and_then(|bytes| blobs.put(&manifest_path(prefix), bytes));
+        }
+        let mut quarantined = 0;
+        for orphan in &scan.orphans {
+            // Move, don't delete: torn blobs are forensic evidence of an
+            // aborted commit. Best-effort — a failed move leaves the
+            // orphan for the next open, and serving proceeds either way.
+            let moved = blobs.get(orphan).and_then(|bytes| {
+                blobs.put(&quarantine_path(prefix, orphan), bytes)?;
+                blobs.delete(orphan)
+            });
+            if moved.is_ok() {
+                quarantined += 1;
+            }
+        }
         Ok(CubeStore {
             blobs,
             manifest,
@@ -158,6 +279,11 @@ impl CubeStore {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             degraded_recomputes: AtomicU64::new(0),
+            quarantined_blobs: AtomicU64::new(quarantined),
+            torn_commits: AtomicU64::new(torn_commits),
+            segment_rebuilds: AtomicU64::new(0),
+            degrade_strikes: Mutex::new(BTreeMap::new()),
+            rebuild_threshold: DEFAULT_REBUILD_THRESHOLD,
             recovery: None,
         })
     }
@@ -175,17 +301,32 @@ impl CubeStore {
         self
     }
 
+    /// Degraded recomputes of one cuboid before its segment blob is
+    /// rebuilt in place (`0` disables the breaker entirely).
+    pub fn with_rebuild_threshold(mut self, strikes: u32) -> CubeStore {
+        self.rebuild_threshold = strikes;
+        self
+    }
+
     /// The store's manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
     }
 
-    /// Snapshot of the cache/degradation counters.
+    /// The generation this store serves.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// Snapshot of the cache/recovery/degradation counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             degraded_recomputes: self.degraded_recomputes.load(Ordering::Relaxed),
+            quarantined_blobs: self.quarantined_blobs.load(Ordering::Relaxed),
+            torn_commits: self.torn_commits.load(Ordering::Relaxed),
+            segment_rebuilds: self.segment_rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -216,7 +357,11 @@ impl CubeStore {
             .get(&entry.path)
             .and_then(|bytes| Segment::decode(&bytes));
         match fetched {
-            Ok(seg) if seg.mask() == mask && seg.dims() == self.manifest.d => Ok(seg),
+            Ok(seg) if seg.mask() == mask && seg.dims() == self.manifest.d => {
+                // A clean read resets the cuboid's strike count.
+                lock_or_recover(&self.degrade_strikes).remove(&mask);
+                Ok(seg)
+            }
             Ok(_) => self.degrade(mask, "segment/manifest cuboid mismatch".to_string()),
             // Only data loss (corruption, bad parse, missing blob) is
             // recoverable by recompute; I/O or config errors propagate.
@@ -225,14 +370,53 @@ impl CubeStore {
         }
     }
 
-    /// The degraded path: recompute the cuboid from the raw relation.
+    /// The degraded path: recompute the cuboid from the raw relation, and
+    /// let the circuit breaker schedule a rebuild when one cuboid keeps
+    /// degrading.
     fn degrade(&self, mask: Mask, cause: impl Into<DegradeCause>) -> Result<Segment> {
         let Some(rel) = &self.recovery else {
             return Err(cause.into().0);
         };
         self.degraded_recomputes.fetch_add(1, Ordering::Relaxed);
         let rows = recompute_cuboid(rel, mask, self.manifest.spec, self.manifest.min_support);
-        Ok(Segment::build(self.manifest.d, mask, rows))
+        let seg = Segment::build(self.manifest.d, mask, rows);
+        self.maybe_rebuild(mask, &seg);
+        Ok(seg)
+    }
+
+    /// Per-cuboid circuit breaker: after `rebuild_threshold` degraded
+    /// recomputes of `mask`, write the recomputed segment back over the
+    /// damaged blob so later reads stop paying for recompute.
+    fn maybe_rebuild(&self, mask: Mask, seg: &Segment) {
+        if self.rebuild_threshold == 0 {
+            return;
+        }
+        let strikes = {
+            let mut strikes = lock_or_recover(&self.degrade_strikes);
+            let n = strikes.entry(mask).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if strikes < self.rebuild_threshold {
+            return;
+        }
+        let Some(entry) = self.manifest.entry(mask) else {
+            return;
+        };
+        let Ok(encoded) = seg.encode() else {
+            return;
+        };
+        // Publish only a byte-count-exact replacement: the generation's
+        // sealed check is size-based, so a different size would unseal it
+        // for every future open. The encoding is deterministic over the
+        // (sorted) recomputed rows, so a faithful recompute always fits.
+        if encoded.len() as u64 != entry.bytes {
+            return;
+        }
+        if self.blobs.put(&entry.path, encoded).is_ok() {
+            self.segment_rebuilds.fetch_add(1, Ordering::Relaxed);
+            lock_or_recover(&self.degrade_strikes).remove(&mask);
+        }
     }
 }
 
@@ -316,7 +500,9 @@ mod tests {
         let (rel, cube, report) = built(&dfs);
         assert_eq!(report.segments, 8); // all cuboids non-empty at min_support 1
         assert_eq!(report.rows as usize, cube.len());
+        assert_eq!(report.generation, 1);
         let store = CubeStore::open(dfs, "store").expect("open");
+        assert_eq!(store.generation(), 1);
         let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
         for mask in Mask::full(3).subsets() {
             let rows = store.cuboid_rows(mask).expect("cuboid rows");
@@ -325,6 +511,44 @@ mod tests {
                 assert_eq!(q.group(mask, &g.key), Some(v));
             }
         }
+    }
+
+    #[test]
+    fn rewrites_advance_the_generation_and_gc_keeps_the_previous_one() {
+        let dfs = Arc::new(Dfs::new());
+        let (rel, _, _) = built(&dfs);
+        let cube2 = naive_cube(&rel, AggSpec::Count);
+        let r2 = write_store(dfs.as_ref(), "store", &cube2, 3, AggSpec::Count, 1).expect("gen 2");
+        assert_eq!(r2.generation, 2);
+        let r3 = write_store(dfs.as_ref(), "store", &cube2, 3, AggSpec::Count, 1).expect("gen 3");
+        assert_eq!(r3.generation, 3);
+        // Generation 2 (the previous) survives GC; generation 1 is gone.
+        let listed = dfs.list_prefix("store");
+        assert!(listed
+            .iter()
+            .any(|(p, _)| p.starts_with("store/gen-00000002/")));
+        assert!(!listed
+            .iter()
+            .any(|(p, _)| p.starts_with("store/gen-00000001/")));
+        let store = CubeStore::open(dfs, "store").expect("open");
+        assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn open_reader_survives_a_concurrent_rewrite() {
+        let dfs = Arc::new(Dfs::new());
+        let (rel, cube, _) = built(&dfs);
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "store").expect("open");
+        // A rewrite commits generation 2; the open store is pinned to 1
+        // and its blobs survive GC, so answers are unchanged.
+        let cube2 = naive_cube(&rel, AggSpec::Count);
+        write_store(dfs.as_ref(), "store", &cube2, 3, AggSpec::Count, 1).expect("rewrite");
+        let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
+        for mask in Mask::full(3).subsets() {
+            let rows = store.cuboid_rows(mask).expect("old-generation rows");
+            assert_eq!(rows.len(), q.cuboid_len(mask), "cuboid {mask}");
+        }
+        assert_eq!(store.generation(), 1);
     }
 
     #[test]
@@ -347,15 +571,23 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_is_never_nan() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+    }
+
+    #[test]
     fn corrupt_segment_degrades_to_recompute_with_identical_answers() {
         let dfs = Arc::new(Dfs::new());
         let (rel, cube, _) = built(&dfs);
         let victim = Mask(0b101);
-        dfs.corrupt_byte(&segment_path("store", 3, victim), 20)
+        dfs.corrupt_byte(&segment_path("store", 1, 3, victim), 20)
             .expect("corrupt");
         let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn crate::BlobStore>, "store")
             .expect("open")
-            .with_recovery(rel.clone());
+            .with_recovery(rel.clone())
+            .with_rebuild_threshold(0); // isolate the recompute path
         let q = spcube_cubealg::CubeQuery::new(&cube, rel.arity());
         let rows = store.cuboid_rows(victim).expect("degraded rows");
         assert_eq!(rows.len(), q.cuboid_len(victim));
@@ -369,11 +601,53 @@ mod tests {
     }
 
     #[test]
+    fn circuit_breaker_rebuilds_after_repeated_degrades() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        // Count: the recompute aggregates to bit-identical values, so the
+        // rebuilt blob is byte-identical to the original.
+        let cube = naive_cube(&rel, AggSpec::Count);
+        write_store(dfs.as_ref(), "store", &cube, 3, AggSpec::Count, 1).expect("write");
+        let victim = Mask(0b011);
+        let victim_path = segment_path("store", 1, 3, victim);
+        let pristine = dfs.get(&victim_path).expect("pristine blob");
+        dfs.corrupt_byte(&victim_path, 20).expect("corrupt");
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "store")
+            .expect("open")
+            .with_recovery(rel.clone())
+            .with_cache_capacity(1)
+            .with_rebuild_threshold(2);
+        // Strike 1: recompute, breaker stays closed, blob still corrupt.
+        store.cuboid_len(victim).expect("degraded");
+        store
+            .cuboid_len(Mask(0b100))
+            .expect("evict victim from cache");
+        assert_eq!(store.stats().segment_rebuilds, 0);
+        // Strike 2: breaker trips, blob rebuilt in place.
+        store.cuboid_len(victim).expect("degraded again");
+        let stats = store.stats();
+        assert_eq!(stats.degraded_recomputes, 2);
+        assert_eq!(stats.segment_rebuilds, 1);
+        assert_eq!(
+            dfs.get(&victim_path).expect("rebuilt blob"),
+            pristine,
+            "rebuild must restore the exact sealed bytes"
+        );
+        // A fresh store (no recovery attached) reads the repaired blob.
+        let fresh = CubeStore::open(dfs, "store").expect("reopen");
+        assert_eq!(
+            fresh.cuboid_len(victim).expect("clean read"),
+            cube.iter().filter(|(g, _)| g.mask == victim).count()
+        );
+        assert_eq!(fresh.stats().degraded_recomputes, 0);
+    }
+
+    #[test]
     fn corrupt_segment_without_recovery_errors() {
         let dfs = Arc::new(Dfs::new());
         built(&dfs);
         let victim = Mask(0b001);
-        dfs.corrupt_byte(&segment_path("store", 3, victim), 10)
+        dfs.corrupt_byte(&segment_path("store", 1, 3, victim), 10)
             .expect("corrupt");
         let store = CubeStore::open(dfs, "store").expect("open");
         assert!(store.cuboid_rows(victim).is_err());
@@ -382,12 +656,61 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_manifest_fails_open() {
+    fn corrupt_root_manifest_recovers_from_the_sealed_generation() {
         let dfs = Arc::new(Dfs::new());
-        built(&dfs);
+        let (_, cube, _) = built(&dfs);
         dfs.corrupt_byte(&manifest_path("store"), 7)
             .expect("corrupt");
-        assert!(CubeStore::open(dfs, "store").is_err());
+        // The torn root is repaired from the generation seal.
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "store")
+            .expect("recovering open");
+        assert_eq!(store.stats().torn_commits, 1);
+        assert_eq!(
+            store.cuboid_len(Mask(0b111)).expect("len"),
+            cube.iter().filter(|(g, _)| g.mask == Mask(0b111)).count()
+        );
+        // The repair is durable: the next open is clean.
+        let again = CubeStore::open(dfs, "store").expect("clean open");
+        assert_eq!(again.stats().torn_commits, 0);
+    }
+
+    #[test]
+    fn store_with_no_sealed_generation_fails_open_typed() {
+        let dfs = Arc::new(Dfs::new());
+        built(&dfs);
+        dfs.corrupt_byte(&manifest_path("store"), 7).expect("root");
+        dfs.corrupt_byte(&gen_manifest_path("store", 1), 7)
+            .expect("seal");
+        let err = match CubeStore::open(dfs, "store") {
+            Ok(_) => panic!("open must fail with no sealed generation"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("no fully sealed generation"));
+        // An entirely empty prefix is the same typed error.
+        let empty = Arc::new(Dfs::new());
+        assert!(CubeStore::open(empty, "void").is_err());
+    }
+
+    #[test]
+    fn orphans_of_an_aborted_commit_are_quarantined_at_open() {
+        let dfs = Arc::new(Dfs::new());
+        built(&dfs);
+        // A later commit died after two segment writes, before sealing.
+        dfs.put(&segment_path("store", 2, 3, Mask(0b001)), vec![1; 10]);
+        dfs.put(&segment_path("store", 2, 3, Mask(0b010)), vec![2; 20]);
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "store").expect("open");
+        assert_eq!(store.stats().quarantined_blobs, 2);
+        assert_eq!(store.generation(), 1);
+        // Moved, not deleted — and out of the next scan's way.
+        assert!(dfs
+            .get(&quarantine_path(
+                "store",
+                &segment_path("store", 2, 3, Mask(0b001))
+            ))
+            .is_ok());
+        assert!(dfs.get(&segment_path("store", 2, 3, Mask(0b001))).is_err());
+        let again = CubeStore::open(dfs, "store").expect("reopen");
+        assert_eq!(again.stats().quarantined_blobs, 0);
     }
 
     #[test]

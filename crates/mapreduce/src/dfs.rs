@@ -115,6 +115,48 @@ impl Dfs {
             .corrupt_on_write
             .insert(path.to_string());
     }
+
+    /// Every stored path under `prefix` (i.e. equal to it or below
+    /// `prefix/`), with blob sizes, sorted by path. An empty prefix lists
+    /// everything. Listing is not counted as read traffic — it models a
+    /// namespace scan, not a data fetch.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        let inner = lock_or_recover(&self.inner);
+        let mut out: Vec<(String, u64)> = inner
+            .files
+            .iter()
+            .filter(|(path, _)| {
+                prefix.is_empty()
+                    || path.as_str() == prefix
+                    || path
+                        .strip_prefix(prefix)
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+            .map(|(path, data)| (path.clone(), data.len() as u64))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Remove the blob at `path`. Returns whether it existed (deleting a
+    /// missing blob is not an error — deletes must be idempotent so a
+    /// crashed-and-reissued GC pass converges).
+    pub fn delete(&self, path: &str) -> bool {
+        lock_or_recover(&self.inner).files.remove(path).is_some()
+    }
+
+    /// A deep copy of the current file contents with fresh counters and no
+    /// pending corruption. Crash-matrix tests fork a prepared base state
+    /// once per schedule instead of rebuilding it from scratch.
+    pub fn fork(&self) -> Dfs {
+        let inner = lock_or_recover(&self.inner);
+        Dfs {
+            inner: Mutex::new(DfsInner {
+                files: inner.files.clone(),
+                ..DfsInner::default()
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +205,48 @@ mod tests {
         assert_eq!(dfs.get("a").expect("get"), vec![0, 0, 1, 0]);
         assert!(dfs.corrupt_byte("a", 99).is_err());
         assert!(dfs.corrupt_byte("missing", 0).is_err());
+    }
+
+    #[test]
+    fn list_prefix_is_sorted_and_boundary_exact() {
+        let dfs = Dfs::new();
+        dfs.put("store/gen-2/b", vec![1, 2]);
+        dfs.put("store/gen-1/a", vec![1]);
+        dfs.put("store/manifest", vec![1, 2, 3]);
+        dfs.put("storeother/x", vec![9]);
+        assert_eq!(
+            dfs.list_prefix("store"),
+            vec![
+                ("store/gen-1/a".to_string(), 1),
+                ("store/gen-2/b".to_string(), 2),
+                ("store/manifest".to_string(), 3),
+            ]
+        );
+        assert_eq!(dfs.list_prefix("store/gen-1").len(), 1);
+        assert_eq!(dfs.list_prefix("").len(), 4);
+        assert!(dfs.list_prefix("nope").is_empty());
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let dfs = Dfs::new();
+        dfs.put("a", vec![1]);
+        assert!(dfs.delete("a"));
+        assert!(!dfs.delete("a"));
+        assert!(dfs.get("a").is_err());
+    }
+
+    #[test]
+    fn fork_copies_files_but_not_counters() {
+        let dfs = Dfs::new();
+        dfs.put("a", vec![1, 2]);
+        let _ = dfs.get("a").expect("get");
+        let fork = dfs.fork();
+        assert_eq!(fork.get("a").expect("get"), vec![1, 2]);
+        assert_eq!(fork.bytes_written(), 0);
+        // Writes to the fork do not leak back.
+        fork.put("b", vec![3]);
+        assert!(dfs.get("b").is_err());
     }
 
     #[test]

@@ -39,7 +39,11 @@ const NO_PANIC_PATHS: &[&str] = &[
     "crates/mapreduce/src/engine.rs",
     "crates/mapreduce/src/dfs.rs",
     "crates/core/src/spcube/",
+    "crates/cubestore/src/blob.rs",
+    "crates/cubestore/src/cache.rs",
     "crates/cubestore/src/codec.rs",
+    "crates/cubestore/src/crashpoint.rs",
+    "crates/cubestore/src/manifest.rs",
     "crates/cubestore/src/store.rs",
     "crates/cubestore/src/server.rs",
     "crates/cubestore/src/recover.rs",

@@ -64,11 +64,12 @@ fn genuine_blobs() -> Vec<(&'static str, Vec<u8>)> {
         d: 3,
         spec: AggSpec::Sum,
         min_support: 2,
+        generation: 1,
         entries: vec![ManifestEntry {
             mask,
             rows: 40,
             bytes: segment.len() as u64,
-            path: segment_path("t", 3, mask),
+            path: segment_path("t", 1, 3, mask),
         }],
     }
     .encode()

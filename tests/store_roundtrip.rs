@@ -92,7 +92,7 @@ fn corrupt_segment_degrades_to_recompute() {
 
     // Flip one bit in the base cuboid's segment: the checksum must catch
     // it and the store must fall back to recomputing from the relation.
-    let victim = segment_path("t", 3, Mask::full(3));
+    let victim = segment_path("t", 1, 3, Mask::full(3));
     dfs.corrupt_byte(&victim, 40).unwrap();
     let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "t")
         .unwrap()
