@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n] [chaos|corrupt]
 //! cargo run --release -p spcube-bench --bin inspect -- generations <store-dir> [prefix]
+//! cargo run --release -p spcube-bench --bin inspect -- trace [dataset] [n] [--validate]
 //! ```
 //!
 //! The optional third argument injects faults: `chaos` runs on a cluster
@@ -17,6 +18,14 @@
 //! it: every generation with its sealed state, the committed and chosen
 //! generations, whether the root commit pointer is torn, and any orphan
 //! blobs a recovering open would quarantine.
+//!
+//! The `trace` view runs SP-Cube with the observability layer on the
+//! deterministic mock clock and renders the span tree — both rounds with
+//! per-task timings, retry/speculation events, and the slowest
+//! root-to-leaf path flagged — followed by the metrics snapshot. With
+//! `--validate` it additionally re-parses the JSONL trace and exits
+//! non-zero if reconstruction finds unclosed spans, dangling parents, or
+//! malformed records.
 
 use std::collections::BTreeMap;
 
@@ -32,6 +41,10 @@ fn main() {
     let dataset = args.first().map(String::as_str).unwrap_or("usagov");
     if dataset == "generations" {
         inspect_generations(&args);
+        return;
+    }
+    if dataset == "trace" {
+        inspect_trace(&args);
         return;
     }
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
@@ -146,6 +159,63 @@ fn main() {
             g.display(d),
             run.sketch.partition_of(g.mask, &g.key)
         );
+    }
+}
+
+/// The `trace` view: run SP-Cube with tracing on the deterministic mock
+/// clock, render the span tree, and optionally validate the JSONL export.
+fn inspect_trace(args: &[String]) {
+    use spcube_obs::{ObsHandle, SpanTree};
+
+    let dataset = args.get(1).map(String::as_str).unwrap_or("binomial");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let validate = args.iter().any(|a| a == "--validate");
+    let rel: Relation = match dataset {
+        "usagov" => datagen::usagov_like(n, 0x90),
+        "wikipedia" => datagen::wikipedia_like(n, 0x41),
+        "zipf" => datagen::gen_zipf(n, 4, 0x21f),
+        "binomial" => datagen::gen_binomial(n, 4, 0.4, 0xb1),
+        other => {
+            eprintln!("unknown dataset {other}");
+            std::process::exit(2);
+        }
+    };
+    let k = 20;
+    let obs = ObsHandle::mock();
+    let cluster = ClusterConfig::new(k, n / 500).with_obs(obs.clone());
+    let cfg = SpCubeConfig::new(AggSpec::Count);
+    let run = SpCube::run(&rel, &cluster, &cfg).expect("run failed");
+    println!(
+        "dataset {dataset}, n = {n}, k = {k}: {} c-groups, {} round(s), {:.3}s simulated",
+        run.cube.len(),
+        run.metrics.round_count(),
+        run.metrics.total_seconds()
+    );
+
+    let jsonl = obs.trace_jsonl();
+    let tree = match SpanTree::parse_jsonl(&jsonl) {
+        Ok(tree) => tree,
+        Err(e) => {
+            eprintln!("trace JSONL failed to parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n{}", tree.render());
+    println!("{}", obs.prometheus());
+    if validate {
+        match tree.validate() {
+            Ok(()) => println!(
+                "trace validation: OK ({} JSONL record(s))",
+                jsonl.lines().count()
+            ),
+            Err(problems) => {
+                eprintln!("trace validation FAILED:");
+                for p in &problems {
+                    eprintln!("  {p}");
+                }
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -292,10 +292,14 @@ pub fn traffic_bounds(cfg: &ExpConfig) -> Vec<Measurement> {
 /// hash-partitioned baselines on skewed data.
 pub fn balance(cfg: &ExpConfig) -> Vec<Measurement> {
     use spcube_mapreduce::Phase;
+    use spcube_obs::{names, ObsHandle};
 
     let n = cfg.scaled(120_000);
     let rel = datagen::gen_zipf(n, 4, 0x6a1);
     let cluster = cluster_for(n, n / K, 150e6);
+    // The SP-Cube run carries an observability session so the per-reducer
+    // load gauge cross-checks the imbalance column computed from metrics.
+    let obs = ObsHandle::wall();
     let w = Workload {
         label: "gen-zipf".into(),
         x: n as f64 / 1e6,
@@ -304,10 +308,31 @@ pub fn balance(cfg: &ExpConfig) -> Vec<Measurement> {
         hive_entries: 4096,
         hive_payload: 0,
     };
-    let mut rows: Vec<Measurement> = [Algo::SpCube, Algo::Pig, Algo::Naive]
-        .iter()
-        .map(|&a| run_algo(a, &w, AggSpec::Count))
-        .collect();
+    let w_sp = Workload {
+        label: w.label.clone(),
+        x: w.x,
+        rel: w.rel.clone(),
+        cluster: w.cluster.clone().with_obs(obs.clone()),
+        hive_entries: w.hive_entries,
+        hive_payload: w.hive_payload,
+    };
+    let mut rows = vec![run_algo(Algo::SpCube, &w_sp, AggSpec::Count)];
+    rows.extend(
+        [Algo::Pig, Algo::Naive]
+            .iter()
+            .map(|&a| run_algo(a, &w, AggSpec::Count)),
+    );
+    // The gauge is written at the exact site the cube round finishes, from
+    // the same reducer_input_bytes the Measurement derives its imbalance
+    // column from — the two must agree to the bit.
+    let gauge = obs
+        .gauge_value(names::SPCUBE_REDUCER_IMBALANCE, &[])
+        .expect("imbalance gauge not set by the SP-Cube run");
+    assert!(
+        (gauge - rows[0].imbalance).abs() < 1e-12,
+        "obs gauge {gauge} disagrees with measured imbalance {}",
+        rows[0].imbalance
+    );
 
     // The same SP-Cube run on a chaotic cluster: one machine dies in each
     // phase, 5% of attempts fail, 10% of tasks straggle with speculative

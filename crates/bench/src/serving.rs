@@ -6,12 +6,15 @@
 //! microseconds of host wall clock), and the segment-cache hit rate. An
 //! overloaded submission (typed queue-full rejection) is retried after a
 //! brief yield and counted, so the reported latency covers the full
-//! client experience including back-off.
+//! client experience including back-off. Latency percentiles come from
+//! one shared lock-free [`Histogram`] all clients record into — no
+//! per-client sample `Vec`s to collect and sort.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use spcube_mapreduce::Stopwatch;
+use spcube_obs::Histogram;
 
 use spcube_cubestore::{CubeServer, CubeStore, Request, Response, ServeError, ServerConfig};
 use spcube_datagen::QuerySpec;
@@ -98,6 +101,10 @@ pub fn run_serving(
     ));
     let next = Arc::new(AtomicUsize::new(0));
     let overload_retries = Arc::new(AtomicU64::new(0));
+    // One histogram shared by every client thread; recording is a couple
+    // of atomic ops, so there are no per-client sample buffers to
+    // collect, sort, and merge afterwards.
+    let latency_hist = Arc::new(Histogram::new());
 
     let t0 = Stopwatch::start();
     let clients: Vec<_> = (0..cfg.clients.max(1))
@@ -105,46 +112,41 @@ pub fn run_serving(
             let server = Arc::clone(&server);
             let next = Arc::clone(&next);
             let retries = Arc::clone(&overload_retries);
+            let hist = Arc::clone(&latency_hist);
             let workload = workload.to_vec();
-            std::thread::spawn(move || {
-                let mut latencies_us = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = workload.get(i) else { break };
-                    let req = to_request(spec);
-                    let issued = Stopwatch::start();
-                    let resp = loop {
-                        match server.query(req.clone()) {
-                            Ok(resp) => break resp,
-                            Err(ServeError::Overloaded { .. }) => {
-                                retries.fetch_add(1, Ordering::Relaxed);
-                                std::thread::yield_now();
-                            }
-                            Err(ServeError::ShuttingDown) => {
-                                panic!("server shut down mid-benchmark")
-                            }
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = workload.get(i) else { break };
+                let req = to_request(spec);
+                let issued = Stopwatch::start();
+                let resp = loop {
+                    match server.query(req.clone()) {
+                        Ok(resp) => break resp,
+                        Err(ServeError::Overloaded { .. }) => {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            std::thread::yield_now();
                         }
-                    };
-                    if let Response::Failed(msg) = resp {
-                        panic!("query {spec:?} failed: {msg}");
+                        Err(ServeError::ShuttingDown) => {
+                            panic!("server shut down mid-benchmark")
+                        }
                     }
-                    latencies_us.push(issued.seconds() * 1e6);
+                };
+                if let Response::Failed(msg) = resp {
+                    panic!("query {spec:?} failed: {msg}");
                 }
-                latencies_us
+                hist.record(issued.seconds() * 1e6);
             })
         })
         .collect();
 
-    let mut latencies: Vec<f64> = Vec::with_capacity(workload.len());
     for c in clients {
-        latencies.extend(c.join().expect("client thread panicked"));
+        c.join().expect("client thread panicked");
     }
     let wall = t0.seconds();
     let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
     let server_stats = server.shutdown();
     assert_eq!(server_stats.served as usize, workload.len());
 
-    latencies.sort_by(f64::total_cmp);
     let stats_after = store.stats();
     let hits = stats_after.cache_hits - stats_before.cache_hits;
     let misses = stats_after.cache_misses - stats_before.cache_misses;
@@ -156,8 +158,8 @@ pub fn run_serving(
         } else {
             0.0
         },
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
+        p50_us: latency_hist.quantile(0.50),
+        p99_us: latency_hist.quantile(0.99),
         cache_hit_rate: if accesses == 0 {
             0.0
         } else {
@@ -169,15 +171,6 @@ pub fn run_serving(
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (`q` in `[0, 1]`).
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,16 +179,6 @@ mod tests {
     use spcube_cubestore::write_store;
     use spcube_datagen::{gen_query_workload, gen_zipf};
     use spcube_mapreduce::Dfs;
-
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        let sample: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&sample, 0.50), 50.0);
-        assert_eq!(percentile(&sample, 0.99), 99.0);
-        assert_eq!(percentile(&sample, 1.0), 100.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
-    }
 
     #[test]
     fn serving_run_reports_sane_metrics() {

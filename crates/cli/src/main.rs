@@ -34,6 +34,7 @@ use spcube_cubealg::{Cube, CubeQuery, CubeRead};
 use spcube_cubestore::{write_store, BlobStore, CubeStore, DirBlobs};
 use spcube_datagen as datagen;
 use spcube_mapreduce::{ClusterConfig, Dfs, RunMetrics};
+use spcube_obs::ObsHandle;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -76,9 +77,11 @@ COMMANDS
   sketch FILE --machines K [--memory M] [--exact-sketch]
       Build and summarize the SP-Sketch of a TSV relation.
   cube FILE --algo A [--agg F] --machines K [--memory M]
-       [--min-support S] [--out DIR]
+       [--min-support S] [--out DIR] [--trace FILE] [--metrics FILE]
       Compute the cube. Algorithms: spcube, pig, hive, naive, topdown.
       Aggregates: count, sum, min, max, avg, count_distinct.
+      --trace writes the run's span/event trace as JSONL; --metrics
+      writes a Prometheus-style snapshot of all instruments.
   cuboid FILE --mask BITS [--agg F] [--top N]
       Compute just one cuboid view (via a full sequential cube) and print
       its largest groups.
@@ -190,7 +193,13 @@ fn sketch(args: &Args) -> Result<()> {
 
 fn cube(args: &Args) -> Result<()> {
     let rel = load(args)?;
-    let cluster = cluster_from(args, rel.len())?;
+    let want_obs = args.get("trace").is_some() || args.get("metrics").is_some();
+    let obs = if want_obs {
+        ObsHandle::wall()
+    } else {
+        ObsHandle::default()
+    };
+    let cluster = cluster_from(args, rel.len())?.with_obs(obs.clone());
     let agg = agg_from(args)?;
     let algo = args.get("algo").unwrap_or("spcube");
     let (cube, metrics): (Cube, RunMetrics) = match algo {
@@ -248,6 +257,16 @@ fn cube(args: &Args) -> Result<()> {
             return Err(e);
         }
         println!("wrote {} cuboid files under {dir}/", paths.len());
+    }
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, obs.trace_jsonl())
+            .map_err(|e| Error::Io(format!("writing {path}"), e))?;
+        println!("wrote span/event trace (JSONL) to {path}");
+    }
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, obs.prometheus())
+            .map_err(|e| Error::Io(format!("writing {path}"), e))?;
+        println!("wrote metrics snapshot to {path}");
     }
     Ok(())
 }
@@ -504,6 +523,32 @@ mod tests {
         }
         // 2^3 cuboid files written.
         assert_eq!(std::fs::read_dir(&out).unwrap().count(), 8);
+
+        // An instrumented run exports a parseable trace and a snapshot.
+        let trace = dir.join("trace.jsonl");
+        let metrics = dir.join("metrics.prom");
+        call(&argv(&[
+            "cube",
+            tsv_s,
+            "--algo",
+            "spcube",
+            "--machines",
+            "5",
+            "--memory",
+            "200",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        let tree = spcube_obs::SpanTree::parse_jsonl(&jsonl).unwrap();
+        tree.validate().unwrap();
+        assert!(!tree.spans_named(spcube_obs::names::ENGINE_ROUND).is_empty());
+        assert!(std::fs::read_to_string(&metrics)
+            .unwrap()
+            .contains("spcube_reducer_imbalance"));
 
         call(&argv(&["cuboid", tsv_s, "--mask", "101", "--top", "3"])).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();

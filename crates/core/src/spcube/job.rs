@@ -34,6 +34,12 @@ pub(crate) struct SpCubeJob<'a> {
     skew_agg: bool,
     bfs: BfsOrder,
     buc_cfg: BucConfig,
+    /// Anchor-placement histogram (`spcube.anchor.level`): one sample per
+    /// shipped anchor, valued at the anchor cuboid's dimensionality.
+    /// Pre-grabbed from the registry so the mapper hot loop pays one
+    /// atomic increment, never a registry lookup; `None` when
+    /// observability is off.
+    pub(crate) anchor_hist: Option<std::sync::Arc<spcube_obs::Histogram>>,
 }
 
 impl<'a> SpCubeJob<'a> {
@@ -48,6 +54,7 @@ impl<'a> SpCubeJob<'a> {
             buc_cfg: BucConfig {
                 min_support: cfg.min_support,
             },
+            anchor_hist: None,
         }
     }
 
@@ -97,6 +104,9 @@ impl MrJob for SpCubeJob<'_> {
                     // Lines 9-13: ship the tuple to the anchor's range
                     // reducer; the reducer derives all ancestors, so mark
                     // them (Observation 2.6).
+                    if let Some(h) = &self.anchor_hist {
+                        h.record(f64::from(mask.0.count_ones()));
+                    }
                     ctx.emit(g, SpValue::Row(t.clone()));
                     if self.factorize {
                         lat.mark_with_ancestors(mask);

@@ -16,9 +16,10 @@
 mod job;
 
 use spcube_agg::AggSpec;
-use spcube_common::{Error, Relation, Result};
+use spcube_common::{Error, Mask, Relation, Result};
 use spcube_cubealg::Cube;
 use spcube_mapreduce::{run_job, ClusterConfig, Dfs, RunMetrics, Stopwatch};
+use spcube_obs::{names, SpanId};
 
 use crate::sketch::{
     build_exact_sketch, build_sampled_sketch, build_sketch_from, SketchConfig, SpSketch,
@@ -108,6 +109,7 @@ impl SpCube {
         let mut metrics = RunMetrics::default();
         let (sketch, sketch_bytes) = Self::sketch_round(rel, cluster, cfg, dfs, &mut metrics)?;
         let degraded = sketch.is_none();
+        Self::record_sketch_obs(cluster, rel.arity(), sketch.as_ref(), &metrics);
         let cube = Self::cube_round(rel, cluster, cfg, sketch.as_ref(), &mut metrics)?;
         let sketch =
             sketch.unwrap_or_else(|| build_sketch_from(&[], rel.arity(), cluster.machines, 0.0));
@@ -134,6 +136,7 @@ impl SpCube {
     ) -> Result<(Vec<(AggSpec, Cube)>, RunMetrics)> {
         let mut metrics = RunMetrics::default();
         let (sketch, _bytes) = Self::sketch_round(rel, cluster, cfg, &Dfs::new(), &mut metrics)?;
+        Self::record_sketch_obs(cluster, rel.arity(), sketch.as_ref(), &metrics);
         let mut cubes = Vec::with_capacity(aggs.len());
         for &agg in aggs {
             let mut round_cfg = cfg.clone();
@@ -190,6 +193,35 @@ impl SpCube {
         }
     }
 
+    /// Record sketch-phase telemetry: the sketch round's simulated build
+    /// time and the skewed-group count the sketch recorded per cuboid.
+    fn record_sketch_obs(
+        cluster: &ClusterConfig,
+        arity: usize,
+        sketch: Option<&SpSketch>,
+        metrics: &RunMetrics,
+    ) {
+        let obs = &cluster.obs;
+        if !obs.enabled() {
+            return;
+        }
+        if let Some(round) = metrics.rounds.iter().find(|r| r.name == "sp-sketch") {
+            obs.gauge_set(names::SPCUBE_SKETCH_SECONDS, &[], round.simulated_seconds);
+        }
+        if let Some(sketch) = sketch {
+            for mask in Mask::full(arity).subsets() {
+                let skewed = sketch.node(mask).skew_count() as u64;
+                if skewed > 0 {
+                    obs.add(
+                        names::SPCUBE_SKETCH_SKEWED,
+                        &[("cuboid", mask.0.to_string())],
+                        skewed,
+                    );
+                }
+            }
+        }
+    }
+
     /// Round 2: compute the cube with `k` range reducers plus reducer 0 —
     /// or, without a usable sketch, the degraded hash-partitioned job
     /// (flagged in the round's `fallback_events`).
@@ -208,9 +240,11 @@ impl SpCube {
                 cluster.skew_threshold() + 1
             )));
         }
+        let obs = &cluster.obs;
         let mut result = match sketch {
             Some(sketch) => {
-                let job = SpCubeJob::new(sketch, rel.arity(), cfg);
+                let mut job = SpCubeJob::new(sketch, rel.arity(), cfg);
+                job.anchor_hist = obs.histogram(names::SPCUBE_ANCHOR_LEVEL, &[]);
                 run_job(cluster, &job, rel.tuples(), cluster.machines + 1)?
             }
             None => {
@@ -220,6 +254,29 @@ impl SpCube {
         };
         if sketch.is_none() {
             result.metrics.fallback_events = 1;
+            obs.event(names::SPCUBE_DEGRADED, SpanId::ROOT, &[]);
+        }
+        if obs.enabled() {
+            // Per-reducer tuple load and the max/mean imbalance ratio over
+            // the range reducers — reducer 0 is the dedicated skew reducer
+            // and is excluded when a sketch routed skews to it (matching
+            // the benchmark's imbalance accounting).
+            let loads = &result.metrics.reducer_input_bytes;
+            for (r, &bytes) in loads.iter().enumerate() {
+                obs.gauge_set(
+                    names::SPCUBE_REDUCER_LOAD,
+                    &[("reducer", r.to_string())],
+                    bytes as f64,
+                );
+            }
+            let skip = usize::from(sketch.is_some());
+            let range = loads.get(skip..).unwrap_or(&[]);
+            if !range.is_empty() {
+                let max = range.iter().copied().max().unwrap_or(0) as f64;
+                let mean = range.iter().map(|&b| b as f64).sum::<f64>() / range.len() as f64;
+                let ratio = if mean == 0.0 { 1.0 } else { max / mean };
+                obs.gauge_set(names::SPCUBE_REDUCER_IMBALANCE, &[], ratio);
+            }
         }
         metrics.push(result.metrics.clone());
         Ok(Cube::from_pairs(result.into_flat_outputs()))

@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Result};
+use spcube_obs::{names, ObsHandle, SpanId};
 
 use crate::blob::{BlobStore, TMP_SUFFIX};
 
@@ -94,6 +95,7 @@ pub struct CrashPoint {
     inner: Arc<dyn BlobStore>,
     plan: Option<CrashPlan>,
     state: Mutex<CrashState>,
+    obs: ObsHandle,
 }
 
 impl CrashPoint {
@@ -104,6 +106,7 @@ impl CrashPoint {
             inner,
             plan: None,
             state: Mutex::new(CrashState::default()),
+            obs: ObsHandle::default(),
         }
     }
 
@@ -113,7 +116,15 @@ impl CrashPoint {
             inner,
             plan: Some(plan),
             state: Mutex::new(CrashState::default()),
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attach an observability session: each fired crash emits a
+    /// `store.crash.inject` event naming the victim operation.
+    pub fn with_obs(mut self, obs: ObsHandle) -> CrashPoint {
+        self.obs = obs;
+        self
     }
 
     /// The mutating operations observed so far (including the victim).
@@ -161,6 +172,15 @@ impl BlobStore for CrashPoint {
                 // the whole point of a torn write.
                 self.inner.put(&target, fragment.to_vec())?;
             }
+            self.obs.event(
+                names::STORE_CRASH_INJECT,
+                SpanId::ROOT,
+                &[
+                    ("op", idx.to_string()),
+                    ("kind", "put".to_string()),
+                    ("path", path.to_string()),
+                ],
+            );
             return Err(self.injected(&format!("crash at op {idx} (put {path})")));
         }
         self.inner.put(path, data)
@@ -199,6 +219,15 @@ impl BlobStore for CrashPoint {
             idx
         };
         if self.plan.is_some_and(|p| p.at_op == idx) {
+            self.obs.event(
+                names::STORE_CRASH_INJECT,
+                SpanId::ROOT,
+                &[
+                    ("op", idx.to_string()),
+                    ("kind", "delete".to_string()),
+                    ("path", path.to_string()),
+                ],
+            );
             return Err(self.injected(&format!("crash at op {idx} (delete {path})")));
         }
         self.inner.delete(path)

@@ -245,6 +245,10 @@ impl Drop for CubeServer {
 }
 
 fn worker_loop(shared: &Shared, store: &CubeStore) {
+    // One registry lookup per worker; recording is then lock-free.
+    let latency_us = store
+        .obs()
+        .histogram(spcube_obs::names::SERVE_QUERY_US, &[]);
     loop {
         let job = {
             let mut q = lock_or_recover(&shared.queue);
@@ -259,7 +263,11 @@ fn worker_loop(shared: &Shared, store: &CubeStore) {
             }
         };
         let Some((req, tx)) = job else { return };
+        let t0 = spcube_obs::Stopwatch::start();
         let resp = answer(store, &req);
+        if let Some(h) = &latency_us {
+            h.record(t0.seconds() * 1e6);
+        }
         shared.served.fetch_add(1, Ordering::Relaxed);
         // The client may have given up; a dead receiver is fine.
         let _ = tx.send(resp);

@@ -44,6 +44,7 @@ use spcube_agg::{AggOutput, AggSpec};
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Group, Mask, Relation, Result, Value};
 use spcube_cubealg::{slice_slot, Cube, CubeRead};
+use spcube_obs::{names, Counter, ObsHandle, SpanId};
 
 use crate::blob::BlobStore;
 use crate::cache::SegmentCache;
@@ -223,6 +224,12 @@ pub struct CubeStore {
     rebuild_threshold: u32,
     /// Raw relation for degraded recompute of corrupt segments.
     recovery: Option<Relation>,
+    /// Observability session (attach via [`CubeStore::with_obs`]).
+    obs: ObsHandle,
+    /// Cache hit/miss counters pre-grabbed from the registry so the
+    /// serving hot path pays one relaxed atomic, not a registry lookup.
+    obs_cache_hit: Option<Arc<Counter>>,
+    obs_cache_miss: Option<Arc<Counter>>,
 }
 
 impl CubeStore {
@@ -285,6 +292,9 @@ impl CubeStore {
             degrade_strikes: Mutex::new(BTreeMap::new()),
             rebuild_threshold: DEFAULT_REBUILD_THRESHOLD,
             recovery: None,
+            obs: ObsHandle::default(),
+            obs_cache_hit: None,
+            obs_cache_miss: None,
         })
     }
 
@@ -293,6 +303,41 @@ impl CubeStore {
     pub fn with_recovery(mut self, rel: Relation) -> CubeStore {
         self.recovery = Some(rel);
         self
+    }
+
+    /// Attach an observability session. Recovery work [`CubeStore::open`]
+    /// already performed (torn-commit repair, quarantined orphans) is
+    /// reported retroactively as counters plus one summarizing event
+    /// each, so a trace always reflects what this open recovered from.
+    pub fn with_obs(mut self, obs: ObsHandle) -> CubeStore {
+        self.obs_cache_hit = obs.counter(names::STORE_CACHE_HIT, &[]);
+        self.obs_cache_miss = obs.counter(names::STORE_CACHE_MISS, &[]);
+        let torn = self.torn_commits.load(Ordering::Relaxed);
+        if torn > 0 {
+            obs.add(names::STORE_COMMIT_TORN, &[], torn);
+            obs.event(
+                names::STORE_COMMIT_TORN,
+                SpanId::ROOT,
+                &[("repaired", torn.to_string())],
+            );
+        }
+        let quarantined = self.quarantined_blobs.load(Ordering::Relaxed);
+        if quarantined > 0 {
+            obs.add(names::STORE_BLOB_QUARANTINED, &[], quarantined);
+            obs.event(
+                names::STORE_BLOB_QUARANTINED,
+                SpanId::ROOT,
+                &[("blobs", quarantined.to_string())],
+            );
+        }
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability session (disabled unless
+    /// [`CubeStore::with_obs`] was called).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Resize the hot-cuboid cache to hold `segments` decoded segments.
@@ -335,9 +380,15 @@ impl CubeStore {
     pub fn segment(&self, mask: Mask) -> Result<Arc<Segment>> {
         if let Some(seg) = lock_or_recover(&self.cache).get(mask) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &self.obs_cache_hit {
+                c.inc();
+            }
             return Ok(seg);
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.obs_cache_miss {
+            c.inc();
+        }
         let seg = Arc::new(self.load_segment(mask)?);
         lock_or_recover(&self.cache).put(mask, Arc::clone(&seg));
         Ok(seg)
@@ -378,6 +429,12 @@ impl CubeStore {
             return Err(cause.into().0);
         };
         self.degraded_recomputes.fetch_add(1, Ordering::Relaxed);
+        self.obs.inc(names::STORE_DEGRADE_RECOMPUTE, &[]);
+        self.obs.event(
+            names::STORE_DEGRADE_RECOMPUTE,
+            SpanId::ROOT,
+            &[("cuboid", mask.0.to_string())],
+        );
         let rows = recompute_cuboid(rel, mask, self.manifest.spec, self.manifest.min_support);
         let seg = Segment::build(self.manifest.d, mask, rows);
         self.maybe_rebuild(mask, &seg);
@@ -415,6 +472,12 @@ impl CubeStore {
         }
         if self.blobs.put(&entry.path, encoded).is_ok() {
             self.segment_rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.obs.inc(names::STORE_SEGMENT_REBUILD, &[]);
+            self.obs.event(
+                names::STORE_SEGMENT_REBUILD,
+                SpanId::ROOT,
+                &[("cuboid", mask.0.to_string())],
+            );
             lock_or_recover(&self.degrade_strikes).remove(&mask);
         }
     }

@@ -1,6 +1,7 @@
 //! Cluster configuration.
 
 use spcube_common::Result;
+use spcube_obs::ObsHandle;
 
 use crate::cost::CostModel;
 use crate::fault::{FaultPlan, MachineFailure, Phase, RetryPolicy, SpeculationConfig};
@@ -39,6 +40,9 @@ pub struct ClusterConfig {
     pub retry: RetryPolicy,
     /// Speculative-execution policy for straggling tasks (off by default).
     pub speculation: SpeculationConfig,
+    /// Observability session spans/metrics are recorded into. The default
+    /// handle is disabled and instrumentation is a no-op.
+    pub obs: ObsHandle,
 }
 
 /// Assumed bytes per buffered tuple when deriving `memory_bytes`.
@@ -58,6 +62,7 @@ impl ClusterConfig {
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
             speculation: SpeculationConfig::default(),
+            obs: ObsHandle::default(),
         }
     }
 
@@ -118,6 +123,13 @@ impl ClusterConfig {
     /// deterministically for a given seed).
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.faults.seed = seed;
+        self
+    }
+
+    /// Attach an observability session: jobs on this cluster record
+    /// spans, events, and instruments into `obs`.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
         self
     }
 

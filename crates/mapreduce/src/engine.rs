@@ -15,6 +15,7 @@ use std::sync::{Mutex, PoisonError};
 
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Result};
+use spcube_obs::{names, SpanId};
 
 use crate::config::ClusterConfig;
 use crate::context::{MapContext, ReduceContext};
@@ -76,16 +77,46 @@ pub fn run_job<J: MrJob>(
         return Err(Error::Config("job needs at least one reducer".into()));
     }
     cluster.validate()?;
+    let name = job.name();
+    // One span per round; closed here so error exits inside `run_round`
+    // never leave it dangling (the trace validator flags unclosed spans).
+    let obs = &cluster.obs;
+    let round = obs.span(
+        names::ENGINE_ROUND,
+        SpanId::ROOT,
+        &[("job", name.clone()), ("reducers", reducers.to_string())],
+    );
+    let result = run_round(cluster, job, inputs, reducers, name, round);
+    match &result {
+        Ok(r) => obs.end(
+            round,
+            &[("sim_s", format!("{:.6}", r.metrics.simulated_seconds))],
+        ),
+        Err(e) => obs.end(round, &[("error", e.to_string())]),
+    }
+    result
+}
+
+fn run_round<J: MrJob>(
+    cluster: &ClusterConfig,
+    job: &J,
+    inputs: &[J::Input],
+    reducers: usize,
+    name: String,
+    round: SpanId,
+) -> Result<JobResult<J::Output>> {
     let wall_start = Stopwatch::start();
     let k = cluster.machines;
     let cost = &cluster.cost;
-    let name = job.name();
+    let obs = &cluster.obs;
     let mut rec = RecoveryCounters::default();
     let faults = PhaseFaults {
         plan: &cluster.faults,
         retry: &cluster.retry,
         speculation: &cluster.speculation,
         job: &name,
+        obs,
+        parent: round,
     };
 
     // ---- Map phase -------------------------------------------------------
@@ -145,6 +176,11 @@ pub fn run_job<J: MrJob>(
             // Machine ids from the fault plan are < k by construction;
             // `get` keeps a broken plan from crashing the run.
             let Some(split) = splits.get(m) else { continue };
+            obs.event(
+                names::ENGINE_MACHINE_LOST,
+                round,
+                &[("phase", "map".to_string()), ("machine", m.to_string())],
+            );
             rec.tasks_lost += 1;
             rec.wasted_seconds += map_times.get(m).copied().unwrap_or(0.0);
             let host = (1..k)
@@ -179,6 +215,11 @@ pub fn run_job<J: MrJob>(
     let mut reduce_recovery = vec![0.0f64; k];
     for &m in &lost_reduce {
         let Some(split) = splits.get(m) else { continue };
+        obs.event(
+            names::ENGINE_MACHINE_LOST,
+            round,
+            &[("phase", "reduce".to_string()), ("machine", m.to_string())],
+        );
         rec.tasks_lost += 1; // the lost map output
         let out = run_map_task(job, split, m, reducers);
         let reexec_secs = out.base_seconds(cost);
@@ -376,6 +417,25 @@ pub fn run_job<J: MrJob>(
         + shuffle_seconds
         + shuffle_recovery
         + reduce_times.iter().copied().fold(0.0f64, f64::max);
+
+    // Per-task spans, recorded post-phase on the driver thread in task
+    // order so the trace is deterministic regardless of host scheduling.
+    if obs.enabled() {
+        for (phase, times) in [("map", &map_times), ("reduce", &reduce_times)] {
+            let hist = obs.histogram(names::ENGINE_TASK_SECONDS, &[("phase", phase.to_string())]);
+            for (t, &secs) in times.iter().enumerate() {
+                let span = obs.span(
+                    names::ENGINE_TASK,
+                    round,
+                    &[("phase", phase.to_string()), ("task", t.to_string())],
+                );
+                obs.end(span, &[("sim_s", format!("{secs:.6}"))]);
+                if let Some(h) = &hist {
+                    h.record(secs);
+                }
+            }
+        }
+    }
 
     Ok(JobResult {
         outputs,

@@ -31,6 +31,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use spcube_common::{Error, Result};
+use spcube_obs::{names, ObsHandle, SpanId};
 
 /// Phase of a MapReduce round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -325,6 +326,12 @@ pub(crate) struct PhaseFaults<'a> {
     pub retry: &'a RetryPolicy,
     pub speculation: &'a SpeculationConfig,
     pub job: &'a str,
+    /// Observability session; retry/speculation events are emitted at the
+    /// exact sites the matching `RecoveryCounters` fields increment, so
+    /// trace event counts always equal the job's metrics.
+    pub obs: &'a ObsHandle,
+    /// Round span the fault events hang off.
+    pub parent: SpanId,
 }
 
 impl PhaseFaults<'_> {
@@ -358,10 +365,19 @@ impl PhaseFaults<'_> {
             for attempt in 1..=self.retry.max_attempts {
                 if self.plan.attempt_fails(self.job, phase, t, attempt) {
                     rec.task_retries += 1;
+                    self.obs.event(
+                        names::ENGINE_TASK_RETRY,
+                        self.parent,
+                        &[
+                            ("phase", phase.name().to_string()),
+                            ("task", t.to_string()),
+                            ("attempt", attempt.to_string()),
+                        ],
+                    );
                     rec.wasted_seconds += attempt_s;
                     total += attempt_s + self.retry.delay_after(attempt);
                 } else {
-                    total += self.finish_attempt(attempt_s, base[t], median, rec);
+                    total += self.finish_attempt(phase, t, attempt_s, base[t], median, rec);
                     succeeded = true;
                     break;
                 }
@@ -383,6 +399,8 @@ impl PhaseFaults<'_> {
     /// execution has had its say.
     fn finish_attempt(
         &self,
+        phase: Phase,
+        task: usize,
         attempt_s: f64,
         base: f64,
         median: f64,
@@ -397,6 +415,14 @@ impl PhaseFaults<'_> {
         let backup_start = spec.slack * median;
         let backup_finish = backup_start + base;
         rec.speculative_launches += 1;
+        self.obs.event(
+            names::ENGINE_TASK_SPECULATE,
+            self.parent,
+            &[
+                ("phase", phase.name().to_string()),
+                ("task", task.to_string()),
+            ],
+        );
         if backup_finish < attempt_s {
             // Backup wins; the original is killed at the backup's finish.
             rec.wasted_seconds += backup_finish;
@@ -593,11 +619,14 @@ mod tests {
             enabled: true,
             slack: 1.5,
         };
+        let obs = ObsHandle::default();
         let path = PhaseFaults {
             plan: &plan,
             retry: &retry,
             speculation: &spec,
             job: "j",
+            obs: &obs,
+            parent: SpanId::ROOT,
         };
         let mut rec = RecoveryCounters::default();
         // Four healthy 10 s tasks and one 100 s straggler (pre-slowed base):
@@ -629,11 +658,14 @@ mod tests {
             enabled: true,
             slack: 1.5,
         };
+        let obs = ObsHandle::default();
         let path = PhaseFaults {
             plan: &plan,
             retry: &retry,
             speculation: &spec,
             job: "j",
+            obs: &obs,
+            parent: SpanId::ROOT,
         };
         let mut rec = RecoveryCounters::default();
         let base = [10.0, 10.0, 10.0];
@@ -655,6 +687,8 @@ mod tests {
             retry: &retry,
             speculation: &spec,
             job: "j",
+            obs: &obs,
+            parent: SpanId::ROOT,
         };
         let stragglers: Vec<usize> = (0..8)
             .filter(|&t| plan.is_straggler("j", Phase::Map, t))
@@ -688,11 +722,14 @@ mod tests {
             backoff: Backoff::None,
         };
         let spec = SpeculationConfig::default();
+        let obs = ObsHandle::default();
         let path = PhaseFaults {
             plan: &plan,
             retry: &retry,
             speculation: &spec,
             job: "cube",
+            obs: &obs,
+            parent: SpanId::ROOT,
         };
         let mut rec = RecoveryCounters::default();
         let err = path.charge(Phase::Reduce, &[1.0], &mut rec).unwrap_err();
@@ -727,6 +764,7 @@ mod tests {
             backoff: Backoff::Fixed(7.0),
         };
         let spec = SpeculationConfig::default();
+        let obs = ObsHandle::default();
         let base = vec![1.0; 32];
 
         let mut rec_a = RecoveryCounters::default();
@@ -735,6 +773,8 @@ mod tests {
             retry: &no_backoff,
             speculation: &spec,
             job: "j",
+            obs: &obs,
+            parent: SpanId::ROOT,
         }
         .charge(Phase::Map, &base, &mut rec_a)
         .unwrap();
@@ -744,6 +784,8 @@ mod tests {
             retry: &with_backoff,
             speculation: &spec,
             job: "j",
+            obs: &obs,
+            parent: SpanId::ROOT,
         }
         .charge(Phase::Map, &base, &mut rec_b)
         .unwrap();

@@ -1,25 +1,9 @@
 //! Per-job and per-run metrics.
 
-/// The workspace's single wall-clock source.
-///
-/// Every module that measures host time does so through a `Stopwatch`, so
-/// determinism audits (spcheck rule R3) have exactly one site where
-/// `Instant::now` is read. Wall-clock readings never feed persisted bytes
-/// or partitioning decisions — only the `wall_seconds` reporting fields.
-#[derive(Debug, Clone, Copy)]
-pub struct Stopwatch(std::time::Instant);
-
-impl Stopwatch {
-    /// Start measuring now.
-    pub fn start() -> Stopwatch {
-        Stopwatch(std::time::Instant::now())
-    }
-
-    /// Seconds elapsed since [`Stopwatch::start`].
-    pub fn seconds(&self) -> f64 {
-        self.0.elapsed().as_secs_f64()
-    }
-}
+// The workspace's single wall-clock source now lives in `spcube-obs`
+// (the tracer shares it); re-exported here so `spcube_mapreduce::
+// Stopwatch` importers keep working.
+pub use spcube_obs::Stopwatch;
 
 /// Everything measured for one MapReduce round: exact record/byte counters
 /// plus the simulated phase times derived from the cost model. These are

@@ -1,0 +1,239 @@
+//! Lock-free log-bucketed histogram.
+//!
+//! Values land in power-of-two buckets derived from the IEEE-754
+//! exponent, so recording is a couple of integer ops plus one atomic
+//! increment — cheap enough for serving hot paths — and the bucket a
+//! value falls into is bit-exact across platforms. Quantiles are read as
+//! the covering bucket's upper bound clamped to the observed maximum:
+//! coarse (a factor of 2) but deterministic, allocation-free, and
+//! mergeable — the properties the ad-hoc sort-the-`Vec` percentiles this
+//! replaces did not have.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: index 0 holds `[0, 1)`, index `i` (1..=62) holds
+/// `[2^(i-1), 2^i)`, and the last bucket absorbs everything from `2^62`
+/// up (saturation).
+pub const BUCKETS: usize = 64;
+
+/// A concurrent log2-bucketed histogram of non-negative `f64` samples.
+///
+/// All methods take `&self`; recording uses relaxed atomics (the counts
+/// are commutative), so one histogram can be shared across worker
+/// threads behind an `Arc`. Negative and NaN samples clamp to bucket 0.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of samples, stored as `f64` bits (CAS-add).
+    sum_bits: AtomicU64,
+    /// Largest sample, stored as `f64` bits (CAS-max).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a sample, from the IEEE-754 exponent (bit-exact).
+fn bucket_of(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        // Negative, NaN, and sub-1.0 samples: the underflow bucket.
+        return 0;
+    }
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    usize::try_from(exp + 1)
+        .unwrap_or(BUCKETS - 1)
+        .min(BUCKETS - 1)
+}
+
+/// Upper bound of bucket `i`: `1.0` for bucket 0, `2^i` in between, and
+/// infinite for the saturation bucket (quantiles clamp it to the
+/// observed max).
+fn upper_bound(i: usize) -> f64 {
+    if i == 0 {
+        1.0
+    } else if i >= BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(i as i32)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: f64) {
+        if let Some(b) = self.buckets.get(bucket_of(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_nan() { 0.0 } else { v };
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + add).to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (add > f64::from_bits(bits)).then(|| add.to_bits())
+            });
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest sample seen (`0` when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`): upper bound of the bucket
+    /// holding the rank-`ceil(q·count)` sample, clamped to the observed
+    /// max. Returns `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Fold `other`'s samples into `self` (bucket-wise add; the result is
+    /// exactly the histogram of the union of both sample sets).
+    pub fn merge(&self, other: &Histogram) {
+        for (b, ob) in self.buckets.iter().zip(other.buckets.iter()) {
+            b.fetch_add(ob.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let osum = other.sum();
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + osum).to_bits())
+            });
+        let omax = other.max();
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (omax > f64::from_bits(bits)).then(|| omax.to_bits())
+            });
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, for exporters.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (upper_bound(i), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_bit_exact() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.999), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.999), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(4.0), 3);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(-5.0), 0);
+    }
+
+    #[test]
+    fn saturation_clamps_to_the_last_bucket() {
+        assert_eq!(bucket_of(2.0f64.powi(62)), BUCKETS - 1);
+        assert_eq!(bucket_of(f64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(f64::INFINITY), BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), f64::MAX); // clamped to observed max
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Histogram::new();
+        for v in [1.5, 1.5, 1.5, 100.0] {
+            h.record(v);
+        }
+        // p50 rank 2 lands in bucket [1,2): upper bound 2.
+        assert_eq!(h.quantile(0.5), 2.0);
+        // p99 rank 4 lands in bucket [64,128): upper bound 128, clamped
+        // to the observed max 100.
+        assert_eq!(h.quantile(0.99), 100.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.sum() - 104.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.sum(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_the_union_of_samples() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1.0, 3.0] {
+            a.record(v);
+        }
+        for v in [7.0, 1000.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let direct = Histogram::new();
+        for v in [1.0, 3.0, 7.0, 1000.0] {
+            direct.record(v);
+        }
+        assert_eq!(a.count(), direct.count());
+        assert_eq!(a.max(), direct.max());
+        assert!((a.sum() - direct.sum()).abs() < 1e-9);
+        assert_eq!(a.nonzero_buckets(), direct.nonzero_buckets());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(a.quantile(q), direct.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Unified tracing + metrics for the SP-Cube workspace.
+//!
+//! Zero external dependencies, deterministic by construction:
+//!
+//! * [`Registry`] — typed counters, gauges, and log-bucketed histograms,
+//!   addressable by `&'static str` name + label set ([`names`] holds the
+//!   contract: lowercase dotted idents, registered once).
+//! * [`Tracer`] — spans and events with parent links, timestamped by the
+//!   workspace's single clock ([`Stopwatch`], or the deterministic
+//!   [`Clock::mock`] that makes trace bytes reproducible), exported as
+//!   JSONL and reconstructed/rendered by [`SpanTree`].
+//! * [`ObsHandle`] — the cheap clone-able handle the rest of the
+//!   workspace threads through configs. A default handle is disabled and
+//!   every operation on it is a no-op, so instrumented code pays one
+//!   branch when observability is off and nothing is global (no
+//!   cross-test pollution).
+//!
+//! Trace determinism contract: span/event recording happens on the
+//! driver thread in deterministic order; worker threads only touch
+//! commutative atomic instruments (counters/histograms). Under
+//! [`Clock::mock`] two identical runs therefore serialize byte-identical
+//! traces.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod clock;
+pub mod hist;
+pub mod names;
+pub mod registry;
+pub mod trace;
+pub mod tree;
+
+use std::sync::Arc;
+
+pub use clock::{Clock, Stopwatch, MOCK_STEP_US};
+pub use hist::Histogram;
+pub use registry::{Counter, Gauge, Registry};
+pub use trace::{SpanId, Tracer};
+pub use tree::{EventRec, SpanNode, SpanTree};
+
+/// The full observability state behind an enabled [`ObsHandle`].
+#[derive(Debug)]
+pub struct Obs {
+    /// Instrument registry.
+    pub registry: Registry,
+    /// Span/event tracer.
+    pub tracer: Tracer,
+}
+
+/// A shareable handle to one observability session; the default handle
+/// is disabled and every method is a no-op.
+#[derive(Clone, Default)]
+pub struct ObsHandle(Option<Arc<Obs>>);
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(obs) if obs.tracer.is_mock() => f.write_str("ObsHandle(mock)"),
+            Some(_) => f.write_str("ObsHandle(wall)"),
+            None => f.write_str("ObsHandle(off)"),
+        }
+    }
+}
+
+impl ObsHandle {
+    /// An enabled handle timestamping with the host clock.
+    pub fn wall() -> ObsHandle {
+        ObsHandle(Some(Arc::new(Obs {
+            registry: Registry::new(),
+            tracer: Tracer::new(Clock::wall()),
+        })))
+    }
+
+    /// An enabled handle on the deterministic mock clock: trace output
+    /// is byte-identical across identical runs.
+    pub fn mock() -> ObsHandle {
+        ObsHandle(Some(Arc::new(Obs {
+            registry: Registry::new(),
+            tracer: Tracer::new(Clock::mock()),
+        })))
+    }
+
+    /// Whether instrumentation is live.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Open a span (no-op returning [`SpanId::ROOT`] when disabled).
+    pub fn span(&self, name: &'static str, parent: SpanId, labels: &[(&str, String)]) -> SpanId {
+        match &self.0 {
+            Some(obs) => obs.tracer.span(name, parent, labels),
+            None => SpanId::ROOT,
+        }
+    }
+
+    /// Close a span with result attributes.
+    pub fn end(&self, id: SpanId, attrs: &[(&str, String)]) {
+        if let Some(obs) = &self.0 {
+            obs.tracer.end(id, attrs);
+        }
+    }
+
+    /// Record an instantaneous event.
+    pub fn event(&self, name: &'static str, parent: SpanId, labels: &[(&str, String)]) {
+        if let Some(obs) = &self.0 {
+            obs.tracer.event(name, parent, labels);
+        }
+    }
+
+    /// Add 1 to a counter.
+    pub fn inc(&self, name: &'static str, labels: &[(&str, String)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&self, name: &'static str, labels: &[(&str, String)], n: u64) {
+        if let Some(obs) = &self.0 {
+            obs.registry.counter(name, labels).add(n);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&self, name: &'static str, labels: &[(&str, String)], v: f64) {
+        if let Some(obs) = &self.0 {
+            obs.registry.gauge(name, labels).set(v);
+        }
+    }
+
+    /// Record a histogram sample.
+    pub fn hist_record(&self, name: &'static str, labels: &[(&str, String)], v: f64) {
+        if let Some(obs) = &self.0 {
+            obs.registry.histogram(name, labels).record(v);
+        }
+    }
+
+    /// The histogram handle itself, for hot paths that record many
+    /// samples (one registry lookup, then lock-free).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&str, String)],
+    ) -> Option<Arc<Histogram>> {
+        self.0
+            .as_ref()
+            .map(|obs| obs.registry.histogram(name, labels))
+    }
+
+    /// The counter handle itself, for hot paths (one registry lookup,
+    /// then a relaxed atomic per increment).
+    pub fn counter(&self, name: &'static str, labels: &[(&str, String)]) -> Option<Arc<Counter>> {
+        self.0
+            .as_ref()
+            .map(|obs| obs.registry.counter(name, labels))
+    }
+
+    /// Current counter value (`None` when disabled).
+    pub fn counter_value(&self, name: &'static str, labels: &[(&str, String)]) -> Option<u64> {
+        self.0
+            .as_ref()
+            .map(|obs| obs.registry.counter(name, labels).get())
+    }
+
+    /// Current gauge value (`None` when disabled).
+    pub fn gauge_value(&self, name: &'static str, labels: &[(&str, String)]) -> Option<f64> {
+        self.0
+            .as_ref()
+            .map(|obs| obs.registry.gauge(name, labels).get())
+    }
+
+    /// The trace serialized as JSONL (empty when disabled).
+    pub fn trace_jsonl(&self) -> String {
+        self.0
+            .as_ref()
+            .map(|obs| obs.tracer.jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Prometheus-style snapshot of all instruments (empty when disabled).
+    pub fn prometheus(&self) -> String {
+        self.0
+            .as_ref()
+            .map(|obs| obs.registry.prometheus_snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// A span that closes itself (with no attributes) when dropped. Obtain
+/// via [`span!`]; call [`SpanGuard::id`] to parent children under it.
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: ObsHandle,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// Open a guard over `obs`.
+    pub fn enter(
+        obs: &ObsHandle,
+        name: &'static str,
+        parent: SpanId,
+        labels: &[(&str, String)],
+    ) -> SpanGuard {
+        SpanGuard {
+            obs: obs.clone(),
+            id: obs.span(name, parent, labels),
+        }
+    }
+
+    /// The guarded span's id, for parenting children and events.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.obs.end(self.id, &[]);
+    }
+}
+
+/// Open a [`SpanGuard`]: `span!(obs, names::ENGINE_ROUND, job = "x")`.
+/// Label values go through `to_string()`; the span closes when the guard
+/// drops.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::SpanGuard::enter(
+            &$obs,
+            $name,
+            $crate::SpanId::ROOT,
+            &[$((stringify!($k), $v.to_string())),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_a_total_noop() {
+        let obs = ObsHandle::default();
+        assert!(!obs.enabled());
+        let s = obs.span(names::ENGINE_ROUND, SpanId::ROOT, &[]);
+        assert_eq!(s, SpanId::ROOT);
+        obs.end(s, &[]);
+        obs.event(names::ENGINE_TASK_RETRY, s, &[]);
+        obs.inc(names::STORE_CACHE_HIT, &[]);
+        obs.gauge_set(names::SPCUBE_REDUCER_IMBALANCE, &[], 1.0);
+        obs.hist_record(names::SERVE_QUERY_US, &[], 5.0);
+        assert!(obs.histogram(names::SERVE_QUERY_US, &[]).is_none());
+        assert_eq!(obs.counter_value(names::STORE_CACHE_HIT, &[]), None);
+        assert!(obs.trace_jsonl().is_empty());
+        assert!(obs.prometheus().is_empty());
+        assert_eq!(format!("{obs:?}"), "ObsHandle(off)");
+    }
+
+    #[test]
+    fn clones_share_one_session() {
+        let obs = ObsHandle::mock();
+        let other = obs.clone();
+        obs.inc(names::STORE_CACHE_HIT, &[]);
+        other.inc(names::STORE_CACHE_HIT, &[]);
+        assert_eq!(obs.counter_value(names::STORE_CACHE_HIT, &[]), Some(2));
+        assert_eq!(format!("{obs:?}"), "ObsHandle(mock)");
+        assert_eq!(format!("{:?}", ObsHandle::wall()), "ObsHandle(wall)");
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        let obs = ObsHandle::mock();
+        {
+            let g = span!(obs, names::ENGINE_ROUND, job = "t");
+            obs.event(names::ENGINE_TASK_RETRY, g.id(), &[]);
+        }
+        let tree = SpanTree::parse_jsonl(&obs.trace_jsonl()).expect("parse");
+        tree.validate().expect("valid");
+        assert_eq!(tree.spans_named(names::ENGINE_ROUND).len(), 1);
+        assert_eq!(tree.events_named(names::ENGINE_TASK_RETRY), 1);
+    }
+}

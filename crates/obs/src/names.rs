@@ -1,0 +1,124 @@
+//! The instrument/span naming contract.
+//!
+//! Every obs name is a lowercase dotted identifier
+//! (`[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*`) registered exactly once — as a
+//! constant in this module. Call sites refer to the constants; spcheck's
+//! `obs_naming` rule rejects string literals in obs-call position outside
+//! this crate, so a name cannot quietly fork into two spellings. Keep
+//! [`ALL`] in sync: the unit test below checks grammar and uniqueness of
+//! everything listed there.
+
+/// One MapReduce round (span; labels: `job`).
+pub const ENGINE_ROUND: &str = "engine.round";
+/// One simulated task (span; labels: `phase`, `task`; attrs: `sim_s`).
+pub const ENGINE_TASK: &str = "engine.task";
+/// Simulated task seconds (histogram; labels: `phase`).
+pub const ENGINE_TASK_SECONDS: &str = "engine.task.seconds";
+/// A failed attempt was retried (event; labels: `phase`, `task`).
+pub const ENGINE_TASK_RETRY: &str = "engine.task.retry";
+/// A speculative backup launched (event; labels: `phase`, `task`).
+pub const ENGINE_TASK_SPECULATE: &str = "engine.task.speculate";
+/// A machine was lost mid-round (event; labels: `phase`, `machine`).
+pub const ENGINE_MACHINE_LOST: &str = "engine.machine.lost";
+
+/// SP-Sketch build time in simulated seconds (gauge).
+pub const SPCUBE_SKETCH_SECONDS: &str = "spcube.sketch.seconds";
+/// Skewed groups the sketch found (counter; labels: `cuboid`).
+pub const SPCUBE_SKETCH_SKEWED: &str = "spcube.sketch.skewed_groups";
+/// Cuboid level (set-bit count) anchors were placed at (histogram).
+pub const SPCUBE_ANCHOR_LEVEL: &str = "spcube.anchor.level";
+/// Shuffle bytes a cube-round reducer received (gauge; labels: `reducer`).
+pub const SPCUBE_REDUCER_LOAD: &str = "spcube.reducer.load";
+/// Max/mean reducer load of the cube round, skew reducer excluded (gauge).
+pub const SPCUBE_REDUCER_IMBALANCE: &str = "spcube.reducer.imbalance";
+/// The driver fell back to the degraded hash-partitioned plan (event).
+pub const SPCUBE_DEGRADED: &str = "spcube.degraded";
+
+/// Query answered from a cached decoded segment (counter).
+pub const STORE_CACHE_HIT: &str = "store.cache.hit";
+/// Query had to fetch/decode or recompute a segment (counter).
+pub const STORE_CACHE_MISS: &str = "store.cache.miss";
+/// A segment was served via BUC recompute (event; labels: `cuboid`).
+pub const STORE_DEGRADE_RECOMPUTE: &str = "store.degrade.recompute";
+/// The circuit breaker rebuilt a segment blob (event; labels: `cuboid`).
+pub const STORE_SEGMENT_REBUILD: &str = "store.segment.rebuild";
+/// A torn root pointer was repaired at open (event).
+pub const STORE_COMMIT_TORN: &str = "store.commit.torn";
+/// An orphan blob was quarantined at open (event; labels: `path`).
+pub const STORE_BLOB_QUARANTINED: &str = "store.blob.quarantined";
+/// A CrashPoint fired (event; labels: `op`, `path`, `torn`).
+pub const STORE_CRASH_INJECT: &str = "store.crash.inject";
+
+/// Served query latency in microseconds (histogram).
+pub const SERVE_QUERY_US: &str = "serve.query.us";
+
+/// Every registered name — the single source the naming test audits.
+pub const ALL: &[&str] = &[
+    ENGINE_ROUND,
+    ENGINE_TASK,
+    ENGINE_TASK_SECONDS,
+    ENGINE_TASK_RETRY,
+    ENGINE_TASK_SPECULATE,
+    ENGINE_MACHINE_LOST,
+    SPCUBE_SKETCH_SECONDS,
+    SPCUBE_SKETCH_SKEWED,
+    SPCUBE_ANCHOR_LEVEL,
+    SPCUBE_REDUCER_LOAD,
+    SPCUBE_REDUCER_IMBALANCE,
+    SPCUBE_DEGRADED,
+    STORE_CACHE_HIT,
+    STORE_CACHE_MISS,
+    STORE_DEGRADE_RECOMPUTE,
+    STORE_SEGMENT_REBUILD,
+    STORE_COMMIT_TORN,
+    STORE_BLOB_QUARANTINED,
+    STORE_CRASH_INJECT,
+    SERVE_QUERY_US,
+];
+
+/// Whether `s` is a lowercase dotted identifier:
+/// `[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*`.
+pub fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('.').all(|seg| {
+            let mut chars = seg.chars();
+            matches!(chars.next(), Some('a'..='z'))
+                && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_name_matches_the_grammar_and_is_unique() {
+        let mut seen = BTreeSet::new();
+        for name in ALL {
+            assert!(valid_name(name), "bad obs name: {name}");
+            assert!(seen.insert(*name), "duplicate obs name: {name}");
+        }
+    }
+
+    #[test]
+    fn grammar_rejects_the_usual_suspects() {
+        for bad in [
+            "",
+            "Engine.round",
+            "engine..round",
+            "engine.",
+            ".round",
+            "engine round",
+            "engine.Röund",
+            "9engine",
+            "engine.9task",
+            "a-b",
+        ] {
+            assert!(!valid_name(bad), "accepted bad name: {bad}");
+        }
+        for good in ["a", "a.b", "engine.task.retry", "a1.b_2"] {
+            assert!(valid_name(good), "rejected good name: {good}");
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! output path depends on hasher state or the wall clock. spcheck makes
 //! those promises machine-checkable. It walks every `.rs` file under the
 //! workspace, scrubs comments/strings/`#[cfg(test)]` items with a small
-//! hand-rolled lexer ([`lexer`]), runs four rules ([`rules`]) on what is
+//! hand-rolled lexer ([`lexer`]), runs five rules ([`rules`]) on what is
 //! left, and reports findings ([`report`]) as text or `--json`.
 //!
 //! The binary is dependency-free on purpose: it must build in seconds and
@@ -300,6 +300,23 @@ mod tests {
             findings.iter().any(|f| f.rule == "no_panic"),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn literal_obs_name_is_a_finding_but_names_registry_passes() {
+        let fx = Fixture::new("obsname").with_format_consts();
+        fx.write(
+            "crates/obs/src/names.rs",
+            "pub const ENGINE_ROUND: &str = \"engine.round\";\n",
+        );
+        fx.write(
+            "crates/cubestore/src/store.rs",
+            "pub fn f(obs: &O) { obs.inc(\"store.cache.hit\", &[]); }\n",
+        );
+        let findings = run_check(&fx.root).expect("run");
+        let obs: Vec<_> = findings.iter().filter(|f| f.rule == "obs_naming").collect();
+        assert_eq!(obs.len(), 1, "{findings:?}");
+        assert!(obs[0].file.contains("store.rs"));
     }
 
     #[test]

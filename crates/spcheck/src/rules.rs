@@ -1,4 +1,4 @@
-//! The four invariants spcheck enforces, plus the suppression contract.
+//! The five invariants spcheck enforces, plus the suppression contract.
 //!
 //! Each rule scans the scrubbed text of one file (comments and literal
 //! bodies already spaced out, `#[cfg(test)]` items blanked) and emits
@@ -16,6 +16,11 @@
 //!   output (iteration order would leak hasher state into bytes).
 //! * **error_hygiene** (R4) — codec modules must not use
 //!   `Box<dyn Error>` or silently-narrowing `as` casts to u8/u16/u32.
+//! * **obs_naming** (R5) — instrument/span names are constants in
+//!   `crates/obs/src/names.rs`; a string literal in obs-call position
+//!   anywhere else forks the naming contract, and every literal inside
+//!   the registry itself must match the lowercase dotted grammar and be
+//!   unique.
 //!
 //! A finding is silenced only by `// spcheck:allow(rule): reason` on the
 //! same line or the line above. A suppression with no reason, an unknown
@@ -32,6 +37,7 @@ pub const SUPPRESSIBLE_RULES: &[&str] = &[
     "single_source_format",
     "determinism",
     "error_hygiene",
+    "obs_naming",
 ];
 
 /// Serving-path modules: R1 applies (exact file or directory prefix).
@@ -39,6 +45,7 @@ const NO_PANIC_PATHS: &[&str] = &[
     "crates/mapreduce/src/engine.rs",
     "crates/mapreduce/src/dfs.rs",
     "crates/core/src/spcube/",
+    "crates/obs/src/",
     "crates/cubestore/src/blob.rs",
     "crates/cubestore/src/cache.rs",
     "crates/cubestore/src/codec.rs",
@@ -58,6 +65,7 @@ const ORDERED_OUTPUT_PATHS: &[&str] = &[
     "crates/bench/src/bin/inspect.rs",
     "crates/mapreduce/src/engine.rs",
     "crates/core/src/spcube/",
+    "crates/obs/src/",
 ];
 
 /// Codec modules: R4 applies.
@@ -70,7 +78,7 @@ const CODEC_PATHS: &[&str] = &[
 ];
 
 /// The one module allowed to read the wall clock (`Stopwatch`).
-const CLOCK_EXEMPT: &[&str] = &["crates/mapreduce/src/metrics.rs"];
+const CLOCK_EXEMPT: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// Binary-format magics that must be single-sited (R2).
 pub const MAGICS: &[&str] = &["SPSK1", "CSEG1", "CMAN1"];
@@ -180,6 +188,20 @@ fn keyword_before(text: &str, pos: usize) -> bool {
     )
 }
 
+/// Is the token ending just before `pos` (modulo spaces) a lifetime
+/// (`'a`)? `&'a [u8]` is a slice type, not indexing.
+fn lifetime_before(bytes: &[u8], pos: usize) -> bool {
+    let mut end = pos;
+    while end > 0 && matches!(bytes[end - 1], b' ' | b'\t' | b'\n') {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    start > 0 && start < end && bytes[start - 1] == b'\''
+}
+
 fn prev_nonspace(bytes: &[u8], pos: usize) -> Option<u8> {
     bytes
         .iter()
@@ -245,10 +267,11 @@ pub fn check_no_panic(rel: &str, text: &str, findings: &mut Vec<Finding>) {
         let Some(prev) = prev_nonspace(bytes, pos) else {
             continue;
         };
-        let indexes_expr = (is_ident(prev) && !keyword_before(text, pos))
-            || prev == b')'
-            || prev == b']'
-            || prev == b'?';
+        let indexes_expr =
+            (is_ident(prev) && !keyword_before(text, pos) && !lifetime_before(bytes, pos))
+                || prev == b')'
+                || prev == b']'
+                || prev == b'?';
         // `x[..]` etc. still index; but an empty `[]` right after an ident
         // is array-repeat syntax in consts — treat `[` followed directly
         // by `]` as not indexing.
@@ -367,6 +390,123 @@ pub fn check_single_source(sites: &[MagicSite], findings: &mut Vec<Finding>) {
     }
 }
 
+/// Obs API methods whose first argument is an instrument/span name (R5).
+/// `.method("...")` with a literal in that position bypasses the
+/// `obs::names` registry.
+const OBS_NAME_METHODS: &[&str] = &[
+    "span",
+    "event",
+    "inc",
+    "add",
+    "gauge_set",
+    "hist_record",
+    "histogram",
+    "counter",
+    "gauge",
+    "counter_value",
+    "gauge_value",
+];
+
+/// The file where obs names are registered (R5 audits its literals).
+const OBS_NAMES_REGISTRY: &str = "crates/obs/src/names.rs";
+
+fn in_test_ranges(offset: usize, test_ranges: &[(usize, usize)]) -> bool {
+    test_ranges.iter().any(|&(a, b)| offset >= a && offset < b)
+}
+
+/// The obs naming grammar: `[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*`.
+/// Duplicated from `spcube_obs::names::valid_name` on purpose — spcheck
+/// is dependency-free so it can run before anything else builds.
+fn obs_name_grammar(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('.').all(|seg| {
+            let mut chars = seg.chars();
+            matches!(chars.next(), Some('a'..='z'))
+                && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+        })
+}
+
+/// If the literal at `offset` sits in obs-call position
+/// (`.method( "..."` with `method` in [`OBS_NAME_METHODS`]), return the
+/// method name.
+fn obs_method_before(text: &str, offset: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let mut i = offset;
+    while i > 0 && matches!(bytes[i - 1], b' ' | b'\t' | b'\n') {
+        i -= 1;
+    }
+    if i == 0 || bytes[i - 1] != b'(' {
+        return None;
+    }
+    i -= 1;
+    let mut start = i;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    let method = text.get(start..i)?;
+    (OBS_NAME_METHODS.contains(&method) && start > 0 && bytes[start - 1] == b'.').then_some(method)
+}
+
+/// R5: outside `crates/obs/`, a string literal in obs-call position is a
+/// forked name — call sites must import a const from `obs::names`. Inside
+/// the registry file itself, every non-test literal must match the
+/// grammar and appear once.
+pub fn check_obs_naming(
+    rel: &str,
+    text: &str,
+    literals: &[StrLit],
+    test_ranges: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    if rel.starts_with("crates/obs/") {
+        if rel == OBS_NAMES_REGISTRY {
+            let mut seen: Vec<&str> = Vec::new();
+            for lit in literals {
+                if in_test_ranges(lit.offset, test_ranges) {
+                    continue;
+                }
+                if !obs_name_grammar(&lit.value) {
+                    findings.push(Finding::new(
+                        rel,
+                        lit.line,
+                        "obs_naming",
+                        format!(
+                            "name {:?} violates the grammar [a-z][a-z0-9_]*(.seg)*",
+                            lit.value
+                        ),
+                    ));
+                }
+                if seen.contains(&lit.value.as_str()) {
+                    findings.push(Finding::new(
+                        rel,
+                        lit.line,
+                        "obs_naming",
+                        format!("duplicate obs name {:?} in the registry", lit.value),
+                    ));
+                } else {
+                    seen.push(&lit.value);
+                }
+            }
+        }
+        return;
+    }
+    for lit in literals {
+        if in_test_ranges(lit.offset, test_ranges) {
+            continue;
+        }
+        if let Some(method) = obs_method_before(text, lit.offset) {
+            findings.push(Finding::new(
+                rel,
+                lit.line,
+                "obs_naming",
+                format!(
+                    "string literal name in obs `.{method}(...)`; use a const from spcube_obs::names"
+                ),
+            ));
+        }
+    }
+}
+
 /// R3: wall-clock reads and HashMap-on-output-path.
 pub fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
     if !is_clock_exempt(rel) {
@@ -380,7 +520,7 @@ pub fn check_determinism(rel: &str, text: &str, findings: &mut Vec<Finding>) {
                         rel,
                         line_of(text, pos),
                         "determinism",
-                        format!("{clock}::now outside metrics::Stopwatch; route timing through Stopwatch"),
+                        format!("{clock}::now outside obs::clock; route timing through Stopwatch"),
                     ));
                 }
             }
@@ -524,6 +664,13 @@ pub fn check_file(
     }
     check_determinism(rel, &scrubbed.text, &mut findings);
     check_error_hygiene(rel, &scrubbed.text, &mut findings);
+    check_obs_naming(
+        rel,
+        &scrubbed.text,
+        &scrubbed.literals,
+        test_ranges,
+        &mut findings,
+    );
     collect_magic_sites(rel, &scrubbed.literals, test_ranges, magic_sites);
     collect_fnv_sites(rel, &scrubbed.text, magic_sites);
     apply_suppressions(rel, &scrubbed.suppressions, findings)
@@ -577,6 +724,7 @@ mod tests {
         assert!(run_r1("let t: [u8; 4] = *b\"abcd\";\n").is_empty());
         assert!(run_r1("fn f(tuples: &mut [&u32]) {}\n").is_empty());
         assert!(run_r1("fn g() -> &'static mut [u8] { todo_elsewhere() }\n").is_empty());
+        assert!(run_r1("struct P<'a> { bytes: &'a [u8], pos: usize }\n").is_empty());
     }
 
     #[test]
@@ -586,17 +734,20 @@ mod tests {
     }
 
     #[test]
-    fn clock_reads_flagged_outside_metrics() {
+    fn clock_reads_flagged_outside_obs_clock() {
         let mut f = Vec::new();
         check_determinism(SERVING, "let t = Instant::now();", &mut f);
         assert_eq!(f.len(), 1);
+        let mut f = Vec::new();
+        check_determinism("crates/obs/src/clock.rs", "let t = Instant::now();", &mut f);
+        assert!(f.is_empty(), "obs clock.rs is the blessed clock site");
         let mut f = Vec::new();
         check_determinism(
             "crates/mapreduce/src/metrics.rs",
             "let t = Instant::now();",
             &mut f,
         );
-        assert!(f.is_empty(), "metrics.rs is the blessed clock site");
+        assert_eq!(f.len(), 1, "the old metrics.rs exemption is revoked");
     }
 
     #[test]
@@ -617,6 +768,54 @@ mod tests {
         let mut f = Vec::new();
         check_determinism(SERVING, "use std::collections::HashMap;", &mut f);
         assert!(f.is_empty(), "import line is not an instantiation");
+    }
+
+    fn run_r5(rel: &str, src: &str) -> Vec<Finding> {
+        let mut s = scrub(src);
+        let ranges = crate::lexer::blank_test_regions(&mut s.text);
+        let mut f = Vec::new();
+        check_obs_naming(rel, &s.text, &s.literals, &ranges, &mut f);
+        f
+    }
+
+    #[test]
+    fn literal_obs_name_at_call_site_is_flagged() {
+        let src = "obs.inc(\"my.counter\", &[]);\nlet h = obs.histogram(\"serve.lat\", &[]);\n";
+        let f = run_r5(SERVING, src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "obs_naming"));
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn const_names_and_label_literals_pass() {
+        // Consts in name position and string literals in *label* position
+        // (`&[("phase", ..)]`) are both fine.
+        let src = "obs.event(names::ENGINE_TASK_RETRY, parent, &[(\"phase\", p)]);\n";
+        assert!(run_r5(SERVING, src).is_empty());
+        // Unrelated methods taking literals never match.
+        assert!(run_r5(SERVING, "let x = map.get(\"key\"); y.expect(\"msg\");\n").is_empty());
+        // Free functions (no dot) are not obs calls.
+        assert!(run_r5(SERVING, "let c = counter(\"free.fn\");\n").is_empty());
+    }
+
+    #[test]
+    fn obs_crate_call_sites_are_exempt_but_registry_is_audited() {
+        // The crate's own internals pass names through parameters.
+        assert!(run_r5("crates/obs/src/registry.rs", "self.counter(\"x\", &[]);\n").is_empty());
+        // The registry: grammar violations and duplicates are findings.
+        let reg = "pub const A: &str = \"engine.round\";\npub const B: &str = \"Bad.Name\";\npub const C: &str = \"engine.round\";\n";
+        let f = run_r5("crates/obs/src/names.rs", reg);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("grammar"));
+        assert!(f[1].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn obs_naming_skips_test_code() {
+        let src = "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(obs: &O) { obs.inc(\"adhoc.test.name\", &[]); }\n}\n";
+        assert!(run_r5(SERVING, src).is_empty());
     }
 
     #[test]

@@ -16,3 +16,4 @@ pub use spcube_cubestore as cubestore;
 pub use spcube_datagen as datagen;
 pub use spcube_lattice as lattice;
 pub use spcube_mapreduce as mapreduce;
+pub use spcube_obs as obs;

@@ -179,6 +179,47 @@ fn everything_at_once() {
 }
 
 #[test]
+fn trace_events_match_recovery_counters_exactly() {
+    use sp_cube_repro::obs::{names, ObsHandle, SpanTree};
+    // Flaky tasks, stragglers with backups, and a machine loss — every
+    // recovery action must appear in the trace exactly as often as the
+    // JobMetrics counters say it happened.
+    let obs = ObsHandle::mock();
+    let mut cluster = chaos_cluster()
+        .with_task_failures(0.3)
+        .with_stragglers(0.3, 6.0)
+        .with_speculation(1.5)
+        .with_machine_failure(Phase::Map, 1)
+        .with_obs(obs.clone());
+    cluster.retry.max_attempts = 12;
+    let run = run_and_check(&cluster, false, "traced chaos");
+    assert!(run.metrics.task_retries() > 0, "scenario must retry");
+    assert!(
+        run.metrics.speculative_launches() > 0,
+        "scenario must speculate"
+    );
+
+    let tree = SpanTree::parse_jsonl(&obs.trace_jsonl()).expect("trace must parse");
+    if let Err(problems) = tree.validate() {
+        panic!("trace failed validation: {problems:?}");
+    }
+    assert_eq!(
+        tree.events_named(names::ENGINE_TASK_RETRY) as u64,
+        run.metrics.task_retries(),
+        "every retry increments the counter AND emits a trace event"
+    );
+    assert_eq!(
+        tree.events_named(names::ENGINE_TASK_SPECULATE) as u64,
+        run.metrics.speculative_launches(),
+        "every speculative backup increments the counter AND emits a trace event"
+    );
+    assert!(
+        tree.events_named(names::ENGINE_MACHINE_LOST) >= 1,
+        "the planted machine loss must be visible in the trace"
+    );
+}
+
+#[test]
 fn chaos_runs_are_deterministic() {
     let mut cluster = chaos_cluster()
         .with_task_failures(0.3)
