@@ -48,8 +48,8 @@ impl<'a> Table<'a> {
         ));
         if serving {
             out.push_str(&format!(
-                " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8}",
-                "qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild"
+                " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild", "dl_miss", "hdg_win"
             ));
         }
         out.push('\n');
@@ -85,13 +85,15 @@ impl<'a> Table<'a> {
             if serving {
                 let count = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
                 out.push_str(&format!(
-                    " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8}",
+                    " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
                     opt(m.qps, 0),
                     opt(m.p50_us, 1),
                     opt(m.p99_us, 1),
                     opt(m.cache_hit_rate, 3),
                     count(m.degraded_recomputes),
                     count(m.segment_rebuilds),
+                    opt(m.deadline_miss_rate, 3),
+                    opt(m.hedge_win_rate, 3),
                 ));
             }
             out.push('\n');
@@ -106,7 +108,8 @@ impl<'a> Table<'a> {
 pub const CSV_HEADER: &str = "experiment,algo,x,total_seconds,avg_map_seconds,avg_reduce_seconds,\
 map_output_mb,sketch_kb,rounds,spilled_mb,imbalance,cube_groups,wall_seconds,\
 task_retries,tasks_lost,re_executions,speculative_launches,wasted_seconds,fallback_events,\
-qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds";
+qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds,\
+deadline_miss_rate,hedge_win_rate";
 
 /// Append measurements of one experiment to a CSV file (with header when
 /// the file is new).
@@ -131,7 +134,7 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
     for m in rows {
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{},{},{}",
+            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{}",
             experiment,
             m.algo,
             m.x,
@@ -157,6 +160,8 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
             opt(m.cache_hit_rate),
             count(m.degraded_recomputes),
             count(m.segment_rebuilds),
+            opt(m.deadline_miss_rate),
+            opt(m.hedge_win_rate),
         )
         .map_err(wrap)?;
     }
@@ -193,6 +198,8 @@ mod tests {
             cache_hit_rate: None,
             degraded_recomputes: None,
             segment_rebuilds: None,
+            deadline_miss_rate: None,
+            hedge_win_rate: None,
         }
     }
 
@@ -221,15 +228,23 @@ mod tests {
         served.cache_hit_rate = Some(0.913);
         served.degraded_recomputes = Some(4);
         served.segment_rebuilds = Some(1);
+        served.deadline_miss_rate = Some(0.021);
+        served.hedge_win_rate = Some(0.875);
         let rows = vec![served];
         let table = Table::new("serve_bench", &rows).render();
-        for col in ["qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild"] {
+        for col in [
+            "qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild", "dl_miss", "hdg_win",
+        ] {
             assert!(table.contains(col), "serving table missing column {col}");
         }
         assert!(table.contains("123456"));
         assert!(table.contains("0.913"));
-        assert!(CSV_HEADER
-            .ends_with("qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds"));
+        assert!(table.contains("0.021"));
+        assert!(table.contains("0.875"));
+        assert!(CSV_HEADER.ends_with(
+            "qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds,\
+             deadline_miss_rate,hedge_win_rate"
+        ));
     }
 
     #[test]

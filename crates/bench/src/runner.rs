@@ -122,6 +122,12 @@ pub struct Measurement {
     /// Segment blobs rebuilt in place by the circuit breaker (serve-bench
     /// rows only).
     pub segment_rebuilds: Option<u64>,
+    /// Deadline misses over admissions, `[0, 1]` (serve-bench rows with
+    /// deadlines only).
+    pub deadline_miss_rate: Option<f64>,
+    /// Hedges won over hedges fired, `[0, 1]` (hedged serve-bench rows
+    /// only).
+    pub hedge_win_rate: Option<f64>,
 }
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -214,6 +220,8 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 cache_hit_rate: None,
                 degraded_recomputes: None,
                 segment_rebuilds: None,
+                deadline_miss_rate: None,
+                hedge_win_rate: None,
             }
         }
         Err(err) => {
@@ -245,6 +253,8 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 cache_hit_rate: None,
                 degraded_recomputes: None,
                 segment_rebuilds: None,
+                deadline_miss_rate: None,
+                hedge_win_rate: None,
             }
         }
     }

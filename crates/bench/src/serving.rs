@@ -1,12 +1,16 @@
 //! The query-serving harness behind the serve-bench experiment.
 //!
-//! Drives a [`CubeServer`] with a generated [`QuerySpec`] workload from
-//! several concurrent client threads and measures what a serving system
-//! is judged by: throughput (QPS), latency percentiles (p50/p99, in
-//! microseconds of host wall clock), and the segment-cache hit rate. An
-//! overloaded submission (typed queue-full rejection) is retried after a
-//! brief yield and counted, so the reported latency covers the full
-//! client experience including back-off. Latency percentiles come from
+//! Drives a [`CubeServer`] through a [`ResilientClient`] with a generated
+//! [`QuerySpec`] workload from several concurrent client threads and
+//! measures what a serving system is judged by: throughput (QPS), latency
+//! percentiles (p50/p99, in microseconds of host wall clock), the
+//! segment-cache hit rate, and the resilience counters — typed errors,
+//! deadline misses, hedges fired/won. An overloaded submission (typed
+//! queue-full rejection) is retried after a brief yield and counted, so
+//! the reported latency covers the full client experience including
+//! back-off. A `Response::Failed` answer is a *data point* here, not a
+//! panic: under an injected-fault (chaos) store, failed queries are
+//! exactly what the benchmark is measuring. Latency percentiles come from
 //! one shared lock-free [`Histogram`] all clients record into — no
 //! per-client sample `Vec`s to collect and sort.
 
@@ -16,7 +20,10 @@ use std::sync::Arc;
 use spcube_mapreduce::Stopwatch;
 use spcube_obs::Histogram;
 
-use spcube_cubestore::{CubeServer, CubeStore, Request, Response, ServeError, ServerConfig};
+use spcube_cubestore::{
+    ClientConfig, CubeServer, CubeStore, Request, ResilientClient, Response, ServeError,
+    ServerConfig,
+};
 use spcube_datagen::QuerySpec;
 
 /// Client-side knobs of one serving run.
@@ -28,6 +35,15 @@ pub struct ServeBenchConfig {
     pub queue_capacity: usize,
     /// Concurrent client threads issuing queries.
     pub clients: usize,
+    /// Per-query deadline budget in microseconds of wall clock
+    /// (`None` = no deadline).
+    pub deadline_us: Option<u64>,
+    /// Hedge slow requests with a duplicate attempt after a p99-derived
+    /// delay (see [`ResilientClient`]).
+    pub hedge: bool,
+    /// Attempts per query: retries after a `Failed` answer ride out
+    /// transient storage faults.
+    pub max_attempts: u32,
 }
 
 impl Default for ServeBenchConfig {
@@ -36,6 +52,9 @@ impl Default for ServeBenchConfig {
             workers: 4,
             queue_capacity: 64,
             clients: 4,
+            deadline_us: None,
+            hedge: false,
+            max_attempts: 3,
         }
     }
 }
@@ -43,7 +62,7 @@ impl Default for ServeBenchConfig {
 /// What one serving run measured.
 #[derive(Debug, Clone, Copy)]
 pub struct ServingReport {
-    /// Queries answered.
+    /// Queries answered cleanly.
     pub served: u64,
     /// Answered queries per second of wall clock.
     pub qps: f64,
@@ -59,6 +78,20 @@ pub struct ServingReport {
     pub degraded_recomputes: u64,
     /// Segment blobs rebuilt in place by the per-cuboid circuit breaker.
     pub segment_rebuilds: u64,
+    /// Queries that ended in a typed non-answer (`Response::Failed`
+    /// after exhausted retries, or a blown deadline).
+    pub typed_errors: u64,
+    /// Requests the server refused or shed for a blown deadline.
+    pub deadline_misses: u64,
+    /// Deadline misses over all server admissions, in `[0, 1]` (never
+    /// NaN — this lands in the CSV).
+    pub deadline_miss_rate: f64,
+    /// Hedged second attempts the client launched.
+    pub hedges_fired: u64,
+    /// Hedged attempts that beat their primary.
+    pub hedges_won: u64,
+    /// Hedges won over hedges fired, in `[0, 1]` (never NaN).
+    pub hedge_win_rate: f64,
 }
 
 /// Convert a backend-agnostic query into a server request.
@@ -82,10 +115,11 @@ pub fn to_request(spec: &QuerySpec) -> Request {
     }
 }
 
-/// Run `workload` against `store` through a fresh [`CubeServer`] and
-/// measure throughput, latency percentiles, and cache behaviour. Panics
-/// if any query comes back [`Response::Failed`] — the generated workloads
-/// are well-formed, so a failure is a harness bug, not a data point.
+/// Run `workload` against `store` through a fresh [`CubeServer`] wrapped
+/// in a [`ResilientClient`], and measure throughput, latency percentiles,
+/// cache behaviour, and resilience counters. Queries that come back
+/// `Failed` or miss their deadline are counted as typed errors — under a
+/// fault-injecting store that is expected traffic, not a harness bug.
 pub fn run_serving(
     store: Arc<CubeStore>,
     workload: &[QuerySpec],
@@ -97,10 +131,24 @@ pub fn run_serving(
         ServerConfig {
             workers: cfg.workers,
             queue_capacity: cfg.queue_capacity,
+            ..ServerConfig::default()
         },
     ));
+    let client = Arc::new(
+        ResilientClient::new(
+            Arc::clone(&server),
+            ClientConfig {
+                hedge: cfg.hedge,
+                max_attempts: cfg.max_attempts.max(1),
+                ..ClientConfig::default()
+            },
+        )
+        .expect("serve-bench client config is valid"),
+    );
     let next = Arc::new(AtomicUsize::new(0));
     let overload_retries = Arc::new(AtomicU64::new(0));
+    let answered = Arc::new(AtomicU64::new(0));
+    let typed_errors = Arc::new(AtomicU64::new(0));
     // One histogram shared by every client thread; recording is a couple
     // of atomic ops, so there are no per-client sample buffers to
     // collect, sort, and merge afterwards.
@@ -110,31 +158,44 @@ pub fn run_serving(
     let clients: Vec<_> = (0..cfg.clients.max(1))
         .map(|_| {
             let server = Arc::clone(&server);
+            let client = Arc::clone(&client);
             let next = Arc::clone(&next);
             let retries = Arc::clone(&overload_retries);
+            let answered = Arc::clone(&answered);
+            let typed_errors = Arc::clone(&typed_errors);
             let hist = Arc::clone(&latency_hist);
+            let deadline_us = cfg.deadline_us;
             let workload = workload.to_vec();
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = workload.get(i) else { break };
                 let req = to_request(spec);
+                // The deadline covers the whole client experience: time
+                // spent yielding through overload counts against it.
+                let deadline = deadline_us.map(|b| server.deadline_in(b));
                 let issued = Stopwatch::start();
-                let resp = loop {
-                    match server.query(req.clone()) {
-                        Ok(resp) => break resp,
+                let outcome = loop {
+                    match client.query(req.clone(), deadline) {
+                        Ok(resp) => break Some(resp),
                         Err(ServeError::Overloaded { .. }) => {
                             retries.fetch_add(1, Ordering::Relaxed);
                             std::thread::yield_now();
                         }
+                        Err(ServeError::DeadlineExceeded) => break None,
                         Err(ServeError::ShuttingDown) => {
                             panic!("server shut down mid-benchmark")
                         }
                     }
                 };
-                if let Response::Failed(msg) = resp {
-                    panic!("query {spec:?} failed: {msg}");
+                match outcome {
+                    None | Some(Response::Failed(_)) => {
+                        typed_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(_) => {
+                        answered.fetch_add(1, Ordering::Relaxed);
+                        hist.record(issued.seconds() * 1e6);
+                    }
                 }
-                hist.record(issued.seconds() * 1e6);
             })
         })
         .collect();
@@ -143,18 +204,20 @@ pub fn run_serving(
         c.join().expect("client thread panicked");
     }
     let wall = t0.seconds();
+    let client_stats = client.stats();
+    drop(client);
     let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
     let server_stats = server.shutdown();
-    assert_eq!(server_stats.served as usize, workload.len());
 
     let stats_after = store.stats();
     let hits = stats_after.cache_hits - stats_before.cache_hits;
     let misses = stats_after.cache_misses - stats_before.cache_misses;
     let accesses = hits + misses;
+    let answered = answered.load(Ordering::Relaxed);
     ServingReport {
-        served: server_stats.served,
+        served: answered,
         qps: if wall > 0.0 {
-            server_stats.served as f64 / wall
+            answered as f64 / wall
         } else {
             0.0
         },
@@ -168,6 +231,12 @@ pub fn run_serving(
         overload_retries: overload_retries.load(Ordering::Relaxed),
         degraded_recomputes: stats_after.degraded_recomputes - stats_before.degraded_recomputes,
         segment_rebuilds: stats_after.segment_rebuilds - stats_before.segment_rebuilds,
+        typed_errors: typed_errors.load(Ordering::Relaxed),
+        deadline_misses: server_stats.deadline_exceeded,
+        deadline_miss_rate: server_stats.deadline_miss_rate(),
+        hedges_fired: client_stats.hedges_fired,
+        hedges_won: client_stats.hedges_won,
+        hedge_win_rate: client_stats.hedge_win_rate(),
     }
 }
 
@@ -176,7 +245,7 @@ mod tests {
     use super::*;
     use spcube_agg::AggSpec;
     use spcube_cubealg::naive_cube;
-    use spcube_cubestore::write_store;
+    use spcube_cubestore::{write_store, FaultSchedule, FaultyBlobs};
     use spcube_datagen::{gen_query_workload, gen_zipf};
     use spcube_mapreduce::Dfs;
 
@@ -199,9 +268,12 @@ mod tests {
                 workers: 2,
                 queue_capacity: 16,
                 clients: 2,
+                ..ServeBenchConfig::default()
             },
         );
         assert_eq!(report.served, 300);
+        assert_eq!(report.typed_errors, 0);
+        assert_eq!(report.deadline_misses, 0);
         assert!(report.qps > 0.0);
         assert!(report.p50_us > 0.0);
         assert!(report.p99_us >= report.p50_us);
@@ -227,10 +299,48 @@ mod tests {
             report.p50_us,
             report.p99_us,
             report.cache_hit_rate,
+            report.deadline_miss_rate,
+            report.hedge_win_rate,
         ] {
             assert!(value.is_finite(), "non-finite metric in {report:?}");
         }
         assert_eq!(report.cache_hit_rate, 0.0);
         assert!(store.stats().hit_rate().is_finite());
+    }
+
+    #[test]
+    fn chaos_run_counts_typed_errors_instead_of_panicking() {
+        // A transiently-failing blob layer with a tiny cache forces real
+        // fetches; retries ride most faults out, and whatever remains is
+        // counted, not panicked on — every metric stays finite.
+        let rel = gen_zipf(200, 3, 4);
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 3, AggSpec::Count, 1).unwrap();
+        let faulty = Arc::new(FaultyBlobs::new(
+            dfs,
+            FaultSchedule {
+                seed: 7,
+                transient_fail_prob: 0.3,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        ));
+        let store = Arc::new(CubeStore::open(faulty, "s").unwrap().with_cache_capacity(1));
+        let workload = gen_query_workload(&rel, 120, 1.5, 11);
+        let report = run_serving(
+            Arc::clone(&store),
+            &workload,
+            &ServeBenchConfig {
+                workers: 2,
+                queue_capacity: 16,
+                clients: 2,
+                deadline_us: Some(5_000_000),
+                ..ServeBenchConfig::default()
+            },
+        );
+        assert_eq!(report.served + report.typed_errors, 120);
+        assert!(report.deadline_miss_rate.is_finite());
+        assert!(report.hedge_win_rate.is_finite());
     }
 }

@@ -18,7 +18,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["exact-sketch", "quiet", "help"];
+const SWITCHES: &[&str] = &["exact-sketch", "quiet", "help", "chaos", "hedge"];
 
 impl Args {
     /// Parse a raw argument list (without the program name).

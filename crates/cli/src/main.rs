@@ -31,7 +31,7 @@ use spcube_bench::serving::{run_serving, ServeBenchConfig};
 use spcube_common::{io, Error, Mask, Relation, Result, Value};
 use spcube_core::{build_exact_sketch, build_sampled_sketch, SketchConfig, SpCube, SpCubeConfig};
 use spcube_cubealg::{Cube, CubeQuery, CubeRead};
-use spcube_cubestore::{write_store, BlobStore, CubeStore, DirBlobs};
+use spcube_cubestore::{write_store, BlobStore, CubeStore, DirBlobs, FaultSchedule, FaultyBlobs};
 use spcube_datagen as datagen;
 use spcube_mapreduce::{ClusterConfig, Dfs, RunMetrics};
 use spcube_obs::ObsHandle;
@@ -95,9 +95,15 @@ COMMANDS
       groups by measure.
   serve-bench FILE [--queries N] [--skews A,B] [--workers W]
        [--clients C] [--cache SEGS] [--machines K] [--memory M]
+       [--chaos] [--chaos-seed S] [--hedge] [--deadline-us D]
       Build + store the cube in memory, then serve Zipf-skewed query
-      workloads through the concurrent CubeServer, reporting QPS,
-      p50/p99 latency, and segment-cache hit rate per skew.
+      workloads through the concurrent CubeServer behind the resilient
+      client, reporting QPS, p50/p99 latency, segment-cache hit rate,
+      typed errors, deadline misses, and hedge counters per skew.
+      --chaos injects a seeded fault schedule (latency spikes plus
+      transient read failures) into the segment blob reads; --hedge
+      races slow requests with a duplicate attempt; --deadline-us
+      bounds each query's end-to-end budget.
   help
 ";
 
@@ -419,8 +425,29 @@ fn serve_bench(args: &Args) -> Result<()> {
         stored.report.segments,
         stored.report.bytes
     );
+    // --chaos wraps the blob layer in a seeded fault injector so the
+    // resilience machinery (retries, hedging, deadlines, breaker) has
+    // something to push against; `inspect serve-faults SEED` previews
+    // the same schedule.
+    let blobs: Arc<dyn BlobStore> = if args.has("chaos") {
+        let schedule = FaultSchedule {
+            seed: args.get_or("chaos-seed", 7)?,
+            transient_fail_prob: 0.05,
+            latency_spike_prob: 0.10,
+            spike_us: 20_000,
+            only_matching: Some(".cseg".to_string()),
+            ..FaultSchedule::default()
+        };
+        schedule.validate()?;
+        Arc::new(FaultyBlobs::new(
+            Arc::new(dfs) as Arc<dyn BlobStore>,
+            schedule,
+        ))
+    } else {
+        Arc::new(dfs)
+    };
     let store = Arc::new(
-        CubeStore::open(Arc::new(dfs) as Arc<dyn BlobStore>, STORE_PREFIX)?
+        CubeStore::open(blobs, STORE_PREFIX)?
             .with_recovery(rel.clone())
             .with_cache_capacity(args.get_or("cache", 4)?),
     );
@@ -436,24 +463,43 @@ fn serve_bench(args: &Args) -> Result<()> {
             })
             .collect::<Result<_>>()?,
     };
+    let deadline_us = match args.get("deadline-us") {
+        None => None,
+        Some(_) => Some(args.get_or("deadline-us", 0u64)?),
+    };
     let serve_cfg = ServeBenchConfig {
         workers: args.get_or("workers", 4)?,
         queue_capacity: args.get_or("queue", 64)?,
         clients: args.get_or("clients", 4)?,
+        deadline_us,
+        hedge: args.has("hedge"),
+        max_attempts: args.get_or("attempts", 3)?,
     };
     for (i, &skew) in skews.iter().enumerate() {
         let workload = datagen::gen_query_workload(&rel, queries, skew, 0x5b + i as u64);
         let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
         println!(
-            "skew {skew:.2}: {} queries, {:.0} QPS, p50 {:.1}us, p99 {:.1}us, \
-             hit rate {:.3}, {} overload retries",
+            "skew {skew:.2}: {} served + {} typed errors, {:.0} QPS, p50 {:.1}us, \
+             p99 {:.1}us, hit rate {:.3}, {} overload retries",
             report.served,
+            report.typed_errors,
             report.qps,
             report.p50_us,
             report.p99_us,
             report.cache_hit_rate,
             report.overload_retries
         );
+        if deadline_us.is_some() || serve_cfg.hedge {
+            println!(
+                "           {} deadline misses (rate {:.3}), {} hedges fired, \
+                 {} won (rate {:.3})",
+                report.deadline_misses,
+                report.deadline_miss_rate,
+                report.hedges_fired,
+                report.hedges_won,
+                report.hedge_win_rate
+            );
+        }
     }
     Ok(())
 }
@@ -625,6 +671,30 @@ mod tests {
             "2",
             "--workers",
             "2",
+        ]))
+        .unwrap();
+        // The chaos path: injected faults, hedging, and a generous
+        // deadline must still complete every query (answer or typed
+        // error) without erroring out of the harness.
+        call(&argv(&[
+            "serve-bench",
+            tsv_s,
+            "--machines",
+            "5",
+            "--queries",
+            "150",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+            "--cache",
+            "1",
+            "--chaos",
+            "--chaos-seed",
+            "9",
+            "--hedge",
+            "--deadline-us",
+            "2000000",
         ]))
         .unwrap();
         std::fs::remove_dir_all(&dir).unwrap();

@@ -24,6 +24,7 @@ pub mod io;
 pub mod mask;
 pub mod order;
 pub mod relation;
+pub mod retry;
 pub mod schema;
 pub mod sync;
 pub mod tuple;
@@ -33,6 +34,7 @@ pub use error::{Error, Result};
 pub use group::Group;
 pub use mask::Mask;
 pub use relation::Relation;
+pub use retry::Backoff;
 pub use schema::Schema;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -1,0 +1,166 @@
+//! Retry backoff schedules, shared by the engine and the serving tier.
+//!
+//! [`Backoff`] started life inside `mapreduce::fault` as the delay half of
+//! the engine's `RetryPolicy`. The serving tier's `ResilientClient`
+//! (crates/cubestore) needs the same schedule without depending on the
+//! engine, so the type lives here and `mapreduce` re-exports it — callers
+//! that imported `spcube_mapreduce::Backoff` keep compiling.
+//!
+//! Delays are expressed in seconds (the engine charges them as simulated
+//! seconds; the client converts to real or mock microseconds). Schedules
+//! are capped at [`MAX_DELAY_S`] so absurd attempt counts stay finite, and
+//! [`Backoff::delay_after_jittered`] offers a deterministic, seeded jitter
+//! so that retry storms decorrelate without `rand`.
+
+use crate::error::{Error, Result};
+use std::hash::{Hash, Hasher};
+
+/// Upper bound on any single backoff delay, in seconds. Exponential
+/// schedules saturate here instead of overflowing to infinity.
+pub const MAX_DELAY_S: f64 = 3600.0;
+
+/// Fraction of the base delay that jitter may add or subtract
+/// (`delay_after_jittered` stays within `[1-J, 1+J] * delay`).
+pub const JITTER_FRACTION: f64 = 0.25;
+
+/// Delay charged between a failed attempt and the next one.
+#[derive(Debug, Clone)]
+pub enum Backoff {
+    /// Retry immediately.
+    None,
+    /// Constant delay in seconds.
+    Fixed(f64),
+    /// `base_s * factor^(attempt-1)` seconds after failed attempt
+    /// `attempt` — Hadoop-style exponential backoff.
+    Exponential {
+        /// Delay after the first failed attempt.
+        base_s: f64,
+        /// Growth factor per further failed attempt.
+        factor: f64,
+    },
+}
+
+impl Backoff {
+    /// Seconds of backoff after failed attempt `attempt` (1-based),
+    /// saturated at [`MAX_DELAY_S`].
+    pub fn delay_after(&self, attempt: u32) -> f64 {
+        let raw = match *self {
+            Backoff::None => 0.0,
+            Backoff::Fixed(s) => s,
+            Backoff::Exponential { base_s, factor } => {
+                base_s * factor.powi(attempt.saturating_sub(1).min(1024) as i32)
+            }
+        };
+        if raw.is_nan() {
+            return 0.0;
+        }
+        raw.clamp(0.0, MAX_DELAY_S)
+    }
+
+    /// [`Backoff::delay_after`] with a deterministic seeded jitter of at
+    /// most ±[`JITTER_FRACTION`], still non-negative and capped. The same
+    /// `(seed, attempt)` always yields the same delay.
+    pub fn delay_after_jittered(&self, attempt: u32, seed: u64) -> f64 {
+        let base = self.delay_after(attempt);
+        if base == 0.0 {
+            return 0.0;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (seed, "backoff-jitter", attempt).hash(&mut h);
+        // Uniform draw in [0, 1), mapped to [-J, +J].
+        let unit = (h.finish() % 1_000_000) as f64 / 1e6;
+        let factor = 1.0 + JITTER_FRACTION * (2.0 * unit - 1.0);
+        (base * factor).clamp(0.0, MAX_DELAY_S)
+    }
+
+    /// Reject negative/NaN/infinite delay parameters.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |s: f64| s.is_nan() || s < 0.0 || s.is_infinite();
+        let ok = match *self {
+            Backoff::None => true,
+            Backoff::Fixed(s) => !bad(s),
+            Backoff::Exponential { base_s, factor } => !bad(base_s) && !bad(factor),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::Config(
+                "backoff delays must be finite and non-negative".into(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shapes_match_the_engine_contract() {
+        assert_eq!(Backoff::None.delay_after(1), 0.0);
+        assert_eq!(Backoff::Fixed(2.5).delay_after(7), 2.5);
+        let exp = Backoff::Exponential {
+            base_s: 1.0,
+            factor: 2.0,
+        };
+        assert_eq!(exp.delay_after(1), 1.0);
+        assert_eq!(exp.delay_after(2), 2.0);
+        assert_eq!(exp.delay_after(3), 4.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_delays() {
+        assert!(Backoff::Fixed(-1.0).validate().is_err());
+        assert!(Backoff::Fixed(f64::NAN).validate().is_err());
+        assert!(Backoff::Exponential {
+            base_s: 1.0,
+            factor: f64::INFINITY,
+        }
+        .validate()
+        .is_err());
+        assert!(Backoff::None.validate().is_ok());
+        assert!(Backoff::Fixed(0.0).validate().is_ok());
+    }
+
+    proptest! {
+        /// Exponential schedules with factor >= 1 never shrink between
+        /// consecutive attempts (until both saturate at the cap).
+        #[test]
+        fn exponential_is_monotone(base_milli in 0u64..10_000, factor_centi in 100u64..400, attempt in 1u32..200) {
+            let b = Backoff::Exponential {
+                base_s: base_milli as f64 / 1e3,
+                factor: factor_centi as f64 / 1e2,
+            };
+            prop_assert!(b.delay_after(attempt + 1) >= b.delay_after(attempt));
+        }
+
+        /// Jitter stays within ±JITTER_FRACTION of the base delay and is
+        /// deterministic for a given (seed, attempt).
+        #[test]
+        fn jitter_is_bounded_and_deterministic(base_milli in 1u64..100_000, attempt in 1u32..64, seed in 0u64..1000) {
+            let base = base_milli as f64 / 1e3;
+            let b = Backoff::Fixed(base);
+            let d = b.delay_after_jittered(attempt, seed);
+            prop_assert!(d >= base * (1.0 - JITTER_FRACTION) - 1e-9);
+            prop_assert!(d <= base * (1.0 + JITTER_FRACTION) + 1e-9);
+            prop_assert_eq!(d, b.delay_after_jittered(attempt, seed));
+        }
+
+        /// Huge attempt counts never panic, never go infinite/NaN, and
+        /// respect the saturation cap.
+        #[test]
+        fn high_attempts_saturate(attempt in 1u32..u32::MAX, factor_centi in 100u64..1000) {
+            let b = Backoff::Exponential {
+                base_s: 1.0,
+                factor: factor_centi as f64 / 1e2,
+            };
+            let d = b.delay_after(attempt);
+            prop_assert!(d.is_finite());
+            prop_assert!((0.0..=MAX_DELAY_S).contains(&d));
+            let j = b.delay_after_jittered(attempt, 42);
+            prop_assert!(j.is_finite());
+            prop_assert!((0.0..=MAX_DELAY_S).contains(&j));
+        }
+    }
+}

@@ -1,0 +1,928 @@
+//! A resilient serving client: bounded retries, hedged attempts, and a
+//! per-cuboid circuit breaker over [`CubeServer`].
+//!
+//! The server answers or fails each request exactly once; making the
+//! query path *survive* storage faults is the client's job, mirroring how
+//! Dremel/BigQuery-style serving tiers wrap their storage RPCs:
+//!
+//! * **Bounded retries** — a `Failed` answer (e.g. an injected blob-read
+//!   fault) is retried up to [`ClientConfig::max_attempts`] times with
+//!   the shared [`Backoff`] schedule from `spcube_common::retry`,
+//!   deterministically jittered. Typed refusals (overload, shutdown,
+//!   deadline) are returned immediately — retrying an overloaded server
+//!   amplifies the overload, and a blown deadline is already final.
+//! * **Hedging** — after a p99-derived delay (from the server's live
+//!   [`names::SERVE_QUERY_US`] histogram, clamped to a configured band),
+//!   a second copy of a slow request is submitted and whichever answer
+//!   lands first wins. Hedging turns a latency-spiked blob read into a
+//!   near-median read at the cost of one duplicate request.
+//! * **Circuit breaker** — repeated failures against one cuboid trip a
+//!   per-cuboid breaker (generalizing the store's rebuild breaker): while
+//!   open, queries skip the server entirely and are answered from the
+//!   degraded BUC-recompute path (bit-exact, from the recovery relation)
+//!   or fail typed when no recovery is attached. After a cooldown on the
+//!   server's clock the breaker half-opens: one trial request goes
+//!   through; success closes the breaker, failure re-opens it.
+//!
+//! Every decision is observable: `serve.hedge.fired`, `serve.hedge.won`,
+//! `serve.breaker.open`, and `serve.degraded` counters/events match
+//! [`ClientStats`] exactly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use spcube_common::retry::Backoff;
+use spcube_common::sync::lock_or_recover;
+use spcube_common::{Error, Mask, Relation, Result};
+use spcube_cubealg::{slice_slot, CubeRead};
+use spcube_obs::{names, Histogram, ObsHandle, SpanId};
+
+use crate::recover::recompute_cuboid;
+use crate::segment::Segment;
+use crate::server::{answer, CubeServer, Deadline, Request, Response, ServeError};
+
+/// Outcome of a resilient query: the server/degraded answer, or a typed
+/// refusal that the client deliberately does not retry.
+pub type ServeResult = std::result::Result<Response, ServeError>;
+
+/// Retry, hedging, and breaker policy.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Attempts per query (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay schedule between retries, in seconds.
+    pub backoff: Backoff,
+    /// Seed for deterministic retry jitter.
+    pub retry_seed: u64,
+    /// Launch a hedged second attempt for slow requests.
+    pub hedge: bool,
+    /// Latency quantile the hedge delay is derived from.
+    pub hedge_quantile: f64,
+    /// Lower clamp on the hedge delay (also the cold-start delay while
+    /// the latency histogram is still empty), microseconds.
+    pub min_hedge_delay_us: u64,
+    /// Upper clamp on the hedge delay, microseconds. The cap is what
+    /// keeps hedging useful under heavy-tailed latency: p99 of a spiky
+    /// distribution converges to the spike itself.
+    pub max_hedge_delay_us: u64,
+    /// Consecutive `Failed` answers for one cuboid that trip its
+    /// breaker; 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening,
+    /// microseconds on the server's clock.
+    pub breaker_cooldown_us: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            max_attempts: 3,
+            backoff: Backoff::Exponential {
+                base_s: 0.0005,
+                factor: 2.0,
+            },
+            retry_seed: 0,
+            hedge: false,
+            hedge_quantile: 0.99,
+            min_hedge_delay_us: 200,
+            max_hedge_delay_us: 10_000,
+            breaker_threshold: 3,
+            breaker_cooldown_us: 50_000,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Reject nonsensical policies.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(Error::Config("client needs at least one attempt".into()));
+        }
+        if !(0.0..=1.0).contains(&self.hedge_quantile) {
+            return Err(Error::Config(format!(
+                "hedge quantile must be in [0, 1], got {}",
+                self.hedge_quantile
+            )));
+        }
+        if self.min_hedge_delay_us > self.max_hedge_delay_us {
+            return Err(Error::Config(format!(
+                "hedge delay clamp inverted: min {} > max {}",
+                self.min_hedge_delay_us, self.max_hedge_delay_us
+            )));
+        }
+        self.backoff.validate()
+    }
+}
+
+/// Client-side resilience counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Requests submitted (primary attempts, not hedges).
+    pub attempts: u64,
+    /// Retries after a `Failed` answer.
+    pub retries: u64,
+    /// Hedged second attempts launched.
+    pub hedges_fired: u64,
+    /// Hedged attempts that answered before their primary.
+    pub hedges_won: u64,
+    /// Breaker transitions into the open state.
+    pub breaker_opens: u64,
+    /// Queries answered from the degraded recompute path (or failed
+    /// typed for lack of a recovery relation) while a breaker was open.
+    pub degraded_serves: u64,
+}
+
+impl ClientStats {
+    /// Hedges won over hedges fired, in `[0, 1]`; `0` before any hedge
+    /// (never NaN — this feeds CSV output directly).
+    pub fn hedge_win_rate(&self) -> f64 {
+        if self.hedges_fired == 0 {
+            0.0
+        } else {
+            self.hedges_won as f64 / self.hedges_fired as f64
+        }
+    }
+}
+
+/// Per-cuboid breaker state: consecutive failures, and the clock reading
+/// until which the breaker holds open (None = closed).
+#[derive(Debug, Default, Clone, Copy)]
+struct Breaker {
+    fails: u32,
+    open_until_us: Option<u64>,
+}
+
+enum Gate {
+    /// No breaker, or it is closed: serve normally.
+    Closed,
+    /// Breaker open and cooling down: serve degraded.
+    Open,
+    /// Cooldown over: let one trial through.
+    Trial,
+}
+
+/// A retrying, hedging, breaker-guarded client over one [`CubeServer`].
+pub struct ResilientClient {
+    server: Arc<CubeServer>,
+    cfg: ClientConfig,
+    recovery: Option<Relation>,
+    breakers: Mutex<BTreeMap<Mask, Breaker>>,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    breaker_opens: AtomicU64,
+    degraded_serves: AtomicU64,
+    /// Client-observed attempt latencies (includes queue wait); the
+    /// hedge delay falls back to this when the server's store has no
+    /// observability handle and thus no serve-latency histogram.
+    observed_us: Histogram,
+    obs: ObsHandle,
+}
+
+impl std::fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResilientClient {
+    /// Wrap `server` with the given policy.
+    pub fn new(server: Arc<CubeServer>, cfg: ClientConfig) -> Result<ResilientClient> {
+        cfg.validate()?;
+        Ok(ResilientClient {
+            server,
+            cfg,
+            recovery: None,
+            breakers: Mutex::new(BTreeMap::new()),
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges_fired: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            degraded_serves: AtomicU64::new(0),
+            observed_us: Histogram::new(),
+            obs: ObsHandle::default(),
+        })
+    }
+
+    /// Attach the raw relation the degraded path recomputes from. Without
+    /// it, an open breaker answers `Response::Failed` (typed, available)
+    /// instead of recomputing.
+    pub fn with_recovery(mut self, rel: Relation) -> ResilientClient {
+        self.recovery = Some(rel);
+        self
+    }
+
+    /// Attach an observability handle for hedge/breaker/degrade
+    /// counters and events.
+    pub fn with_obs(mut self, obs: ObsHandle) -> ResilientClient {
+        self.obs = obs;
+        self
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &Arc<CubeServer> {
+        &self.server
+    }
+
+    /// Client counters so far.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges_fired: self.hedges_fired.load(Ordering::Relaxed),
+            hedges_won: self.hedges_won.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            degraded_serves: self.degraded_serves.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Query with the full resilience stack. Returns the server's answer
+    /// (possibly `Response::Failed` after exhausted retries), a degraded
+    /// local answer while the cuboid's breaker is open, or the typed
+    /// [`ServeError`] refusals, which are never retried.
+    pub fn query(&self, req: Request, deadline: Option<Deadline>) -> ServeResult {
+        let mask = req.cuboid();
+        match self.gate(mask) {
+            Gate::Open => return Ok(self.degraded(mask, &req)),
+            Gate::Closed | Gate::Trial => {}
+        }
+        let mut last = Response::Failed("no attempt made".to_string());
+        for attempt in 1..=self.cfg.max_attempts {
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.backoff_sleep(attempt - 1);
+            }
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            match self.attempt_once(&req, deadline)? {
+                Response::Failed(msg) => {
+                    last = Response::Failed(msg);
+                    if self.note_failure(mask) {
+                        // Breaker (re)opened: answer this query degraded.
+                        return Ok(self.degraded(mask, &req));
+                    }
+                }
+                resp => {
+                    self.note_success(mask);
+                    return Ok(resp);
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// One server round-trip, hedged when configured. Records the
+    /// client-observed attempt latency into [`Self::observed_us`].
+    fn attempt_once(&self, req: &Request, deadline: Option<Deadline>) -> ServeResult {
+        let t0 = self.server.now_us();
+        let out = self.attempt_inner(req, deadline);
+        self.observed_us
+            .record(self.server.now_us().saturating_sub(t0) as f64);
+        out
+    }
+
+    fn attempt_inner(&self, req: &Request, deadline: Option<Deadline>) -> ServeResult {
+        let rx = self.server.submit_at(req.clone(), deadline)?;
+        if !self.cfg.hedge {
+            return rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+        }
+        match rx.recv_timeout(Duration::from_micros(self.hedge_delay_us())) {
+            Ok(outcome) => return outcome,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Err(ServeError::ShuttingDown),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+        // The primary is slow: fire a duplicate and race the two.
+        let Ok(hedge_rx) = self.server.submit_at(req.clone(), deadline) else {
+            // Queue full or shutting down — the hedge never launched;
+            // fall back to waiting out the primary.
+            return rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+        };
+        self.hedges_fired.fetch_add(1, Ordering::Relaxed);
+        self.obs.inc(names::SERVE_HEDGE_FIRED, &[]);
+        self.obs.event(names::SERVE_HEDGE_FIRED, SpanId::ROOT, &[]);
+        let mut primary = Some(&rx);
+        let mut hedge = Some(&hedge_rx);
+        loop {
+            if let Some(p) = primary {
+                match p.try_recv() {
+                    Ok(outcome) => return outcome,
+                    Err(mpsc::TryRecvError::Disconnected) => primary = None,
+                    Err(mpsc::TryRecvError::Empty) => {}
+                }
+            }
+            if let Some(h) = hedge {
+                match h.try_recv() {
+                    Ok(outcome) => {
+                        self.hedges_won.fetch_add(1, Ordering::Relaxed);
+                        self.obs.inc(names::SERVE_HEDGE_WON, &[]);
+                        self.obs.event(names::SERVE_HEDGE_WON, SpanId::ROOT, &[]);
+                        return outcome;
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => hedge = None,
+                    Err(mpsc::TryRecvError::Empty) => {}
+                }
+            }
+            if primary.is_none() && hedge.is_none() {
+                return Err(ServeError::ShuttingDown);
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// The hedge delay: the configured quantile of the server's live
+    /// latency histogram — or, when the store has no observability
+    /// attached, of this client's own observed attempt latencies —
+    /// clamped to the configured band.
+    fn hedge_delay_us(&self) -> u64 {
+        let p = self
+            .server
+            .latency_histogram()
+            .filter(|h| h.count() > 0)
+            .map(|h| h.quantile(self.cfg.hedge_quantile))
+            .or_else(|| {
+                (self.observed_us.count() > 0)
+                    .then(|| self.observed_us.quantile(self.cfg.hedge_quantile))
+            })
+            .unwrap_or(0.0);
+        (p as u64).clamp(self.cfg.min_hedge_delay_us, self.cfg.max_hedge_delay_us)
+    }
+
+    /// Sleep out the jittered backoff before retry `attempt + 1`. Skipped
+    /// under a mock clock (deterministic tests stay instant).
+    fn backoff_sleep(&self, failed_attempt: u32) {
+        if self.server.clock().is_mock() || self.obs.is_mock() {
+            return;
+        }
+        let delay_s = self
+            .cfg
+            .backoff
+            .delay_after_jittered(failed_attempt, self.cfg.retry_seed);
+        if delay_s > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay_s));
+        }
+    }
+
+    /// Where does the breaker currently leave this cuboid?
+    fn gate(&self, mask: Mask) -> Gate {
+        let breakers = lock_or_recover(&self.breakers);
+        let Some(br) = breakers.get(&mask) else {
+            return Gate::Closed;
+        };
+        let Some(until) = br.open_until_us else {
+            return Gate::Closed;
+        };
+        drop(breakers);
+        if self.server.now_us() < until {
+            Gate::Open
+        } else {
+            Gate::Trial
+        }
+    }
+
+    /// Record a `Failed` answer against `mask`; returns `true` when the
+    /// breaker transitions (back) into the open state.
+    fn note_failure(&self, mask: Mask) -> bool {
+        if self.cfg.breaker_threshold == 0 {
+            return false;
+        }
+        let opened = {
+            let mut breakers = lock_or_recover(&self.breakers);
+            let br = breakers.entry(mask).or_default();
+            br.fails = br.fails.saturating_add(1);
+            // A failure while open_until is set is a failed half-open
+            // trial: re-open unconditionally. Otherwise open on the
+            // threshold.
+            let open = br.open_until_us.is_some() || br.fails >= self.cfg.breaker_threshold;
+            if open {
+                br.fails = 0;
+                br.open_until_us = Some(
+                    self.server
+                        .now_us()
+                        .saturating_add(self.cfg.breaker_cooldown_us),
+                );
+            }
+            open
+        };
+        if opened {
+            self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            self.obs.inc(names::SERVE_BREAKER_OPEN, &[]);
+            self.obs.event(
+                names::SERVE_BREAKER_OPEN,
+                SpanId::ROOT,
+                &[("cuboid", mask.0.to_string())],
+            );
+        }
+        opened
+    }
+
+    /// A clean answer closes the cuboid's breaker and clears its strikes.
+    fn note_success(&self, mask: Mask) {
+        lock_or_recover(&self.breakers).remove(&mask);
+    }
+
+    /// Serve from the degraded path while the breaker is open: recompute
+    /// the cuboid BUC-style from the recovery relation and answer through
+    /// the same [`answer`] dispatch (bit-exact with store answers), or
+    /// fail typed when no recovery relation is attached.
+    fn degraded(&self, mask: Mask, req: &Request) -> Response {
+        self.degraded_serves.fetch_add(1, Ordering::Relaxed);
+        self.obs.inc(names::SERVE_DEGRADED, &[]);
+        self.obs.event(
+            names::SERVE_DEGRADED,
+            SpanId::ROOT,
+            &[("cuboid", mask.0.to_string())],
+        );
+        let Some(rel) = &self.recovery else {
+            return Response::Failed(format!(
+                "circuit breaker open for cuboid {mask}; no recovery relation attached"
+            ));
+        };
+        let m = self.server.store().manifest();
+        let rows = recompute_cuboid(rel, mask, m.spec, m.min_support);
+        let local = RecomputedCuboid {
+            seg: Segment::build(m.d, mask, rows),
+            d: m.d,
+        };
+        answer(&local, req)
+    }
+}
+
+/// One recomputed cuboid, answering [`CubeRead`] for exactly its own
+/// mask (other cuboids read empty — the client only routes requests for
+/// the matching cuboid here). Point/slice mirror the store's segment
+/// implementations, and the default `top`/`roll_up` come from the trait,
+/// so answers are bit-exact with a healthy store's.
+struct RecomputedCuboid {
+    seg: Segment,
+    d: usize,
+}
+
+impl CubeRead for RecomputedCuboid {
+    fn dims(&self) -> usize {
+        self.d
+    }
+
+    fn cuboid_rows(
+        &self,
+        mask: Mask,
+    ) -> spcube_common::Result<Vec<(spcube_common::Group, spcube_agg::AggOutput)>> {
+        if mask != self.seg.mask() {
+            return Ok(Vec::new());
+        }
+        Ok(self.seg.iter().map(|(g, v)| (g, v.clone())).collect())
+    }
+
+    fn point(
+        &self,
+        mask: Mask,
+        key: &[spcube_common::Value],
+    ) -> spcube_common::Result<Option<spcube_agg::AggOutput>> {
+        if mask != self.seg.mask() {
+            return Ok(None);
+        }
+        Ok(self.seg.point(key).cloned())
+    }
+
+    fn cuboid_len(&self, mask: Mask) -> spcube_common::Result<usize> {
+        if mask != self.seg.mask() {
+            return Ok(0);
+        }
+        Ok(self.seg.len())
+    }
+
+    fn slice(
+        &self,
+        mask: Mask,
+        dim: usize,
+        value: &spcube_common::Value,
+    ) -> spcube_common::Result<Vec<(spcube_common::Group, spcube_agg::AggOutput)>> {
+        let slot = slice_slot(mask, dim)?;
+        if mask != self.seg.mask() {
+            return Ok(Vec::new());
+        }
+        Ok(self
+            .seg
+            .slice_rows(slot, value)
+            .into_iter()
+            .map(|i| (self.seg.group(i), self.seg.value(i).clone()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultSchedule, FaultyBlobs};
+    use crate::server::{CubeServer, ServerConfig};
+    use crate::store::{write_store, CubeStore};
+    use spcube_agg::{AggOutput, AggSpec};
+    use spcube_common::{Schema, Value};
+    use spcube_cubealg::naive_cube;
+    use spcube_mapreduce::Dfs;
+    use spcube_obs::Clock;
+
+    fn sample_rel() -> Relation {
+        let mut rel = Relation::empty(Schema::synthetic(2));
+        for (dims, m) in [([1i64, 1], 1.0), ([1, 2], 2.0), ([2, 1], 3.0)] {
+            rel.push_row(dims.iter().map(|&v| Value::Int(v)).collect(), m);
+        }
+        rel
+    }
+
+    /// Store over a faulty blob layer, plus the raw relation.
+    fn faulty_server(schedule: FaultSchedule, cache: usize) -> (Arc<CubeServer>, Relation) {
+        let rel = sample_rel();
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
+        let faulty = Arc::new(FaultyBlobs::new(dfs, schedule).with_obs(ObsHandle::mock()));
+        let store = Arc::new(
+            CubeStore::open(faulty, "s")
+                .expect("open")
+                .with_cache_capacity(cache),
+        );
+        let server = Arc::new(CubeServer::start(
+            store,
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 16,
+                clock: Arc::new(Clock::mock()),
+            },
+        ));
+        (server, rel)
+    }
+
+    fn point_req() -> Request {
+        Request::Point {
+            mask: Mask(0b01),
+            key: vec![Value::Int(1)],
+        }
+    }
+
+    #[test]
+    fn clean_store_answers_without_retries() {
+        let (server, _rel) = faulty_server(FaultSchedule::default(), 4);
+        let client = ResilientClient::new(server, ClientConfig::default()).expect("client");
+        let resp = client.query(point_req(), None).expect("query");
+        assert_eq!(resp, Response::Value(Some(AggOutput::Number(3.0))));
+        let stats = client.stats();
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.breaker_opens, 0);
+    }
+
+    #[test]
+    fn hedge_delay_falls_back_to_client_observed_latencies() {
+        // The store behind `faulty_server` has no observability handle,
+        // so the server exposes no latency histogram. The hedge delay
+        // must then come from the client's own observed latencies — on
+        // the mock clock every attempt measures at least one tick
+        // (1000us), well above the cold-start floor.
+        let (server, _rel) = faulty_server(FaultSchedule::default(), 4);
+        assert!(server.latency_histogram().is_none());
+        let client = ResilientClient::new(server, ClientConfig::default()).expect("client");
+        assert_eq!(
+            client.hedge_delay_us(),
+            ClientConfig::default().min_hedge_delay_us,
+            "cold start pins the delay to the floor"
+        );
+        for _ in 0..8 {
+            client.query(point_req(), None).expect("query");
+        }
+        assert!(
+            client.hedge_delay_us() > ClientConfig::default().min_hedge_delay_us,
+            "observed latencies should lift the delay off the floor"
+        );
+    }
+
+    #[test]
+    fn transient_fault_is_retried_away() {
+        // Fail roughly every other read; cache capacity 1 forces a fresh
+        // fetch per query, and 3 attempts ride out a transient.
+        let (server, _rel) = faulty_server(
+            FaultSchedule {
+                seed: 11,
+                transient_fail_prob: 0.5,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+            1,
+        );
+        let client = ResilientClient::new(
+            Arc::clone(&server),
+            ClientConfig {
+                breaker_threshold: 0, // isolate retry behavior
+                ..ClientConfig::default()
+            },
+        )
+        .expect("client");
+        let mut clean = 0;
+        for _ in 0..12 {
+            match client.query(point_req(), None).expect("query") {
+                Response::Value(v) => {
+                    assert_eq!(v, Some(AggOutput::Number(3.0)));
+                    clean += 1;
+                }
+                Response::Failed(_) => {} // 3 transients in a row
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(clean > 0, "retries should recover some queries");
+        assert!(client.stats().retries > 0, "p=0.5 must have retried");
+    }
+
+    #[test]
+    fn sticky_outage_trips_breaker_to_bit_exact_degraded_answers() {
+        let (server, rel) = faulty_server(
+            FaultSchedule {
+                seed: 2,
+                sticky_outage_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+            1,
+        );
+        let obs = ObsHandle::mock();
+        let client = ResilientClient::new(Arc::clone(&server), ClientConfig::default())
+            .expect("client")
+            .with_recovery(rel)
+            .with_obs(obs.clone());
+        // Every read of every segment fails: 3 attempts trip the breaker
+        // (threshold 3) and this very query is served degraded.
+        let resp = client.query(point_req(), None).expect("query");
+        assert_eq!(
+            resp,
+            Response::Value(Some(AggOutput::Number(3.0))),
+            "degraded recompute must be bit-exact"
+        );
+        let stats = client.stats();
+        assert_eq!(stats.breaker_opens, 1);
+        assert_eq!(stats.degraded_serves, 1);
+        // While open, queries skip the server entirely.
+        let served_before = server.stats().served;
+        let resp2 = client.query(point_req(), None).expect("query");
+        assert_eq!(resp2, Response::Value(Some(AggOutput::Number(3.0))));
+        assert_eq!(server.stats().served, served_before);
+        assert_eq!(client.stats().degraded_serves, 2);
+        // Obs counters match client stats exactly.
+        assert_eq!(
+            obs.counter_value(names::SERVE_BREAKER_OPEN, &[]),
+            Some(client.stats().breaker_opens)
+        );
+        assert_eq!(
+            obs.counter_value(names::SERVE_DEGRADED, &[]),
+            Some(client.stats().degraded_serves)
+        );
+    }
+
+    #[test]
+    fn open_breaker_without_recovery_fails_typed() {
+        let (server, _rel) = faulty_server(
+            FaultSchedule {
+                seed: 2,
+                sticky_outage_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+            1,
+        );
+        let client =
+            ResilientClient::new(Arc::clone(&server), ClientConfig::default()).expect("client");
+        let resp = client.query(point_req(), None).expect("query");
+        assert!(
+            matches!(&resp, Response::Failed(msg) if msg.contains("breaker open")
+                || msg.contains("circuit breaker")),
+            "typed failure, got {resp:?}"
+        );
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_success() {
+        // Outage heals after 3 failed reads; breaker trips on those 3,
+        // then the half-open trial succeeds and closes the breaker.
+        let (server, rel) = faulty_server(
+            FaultSchedule {
+                seed: 2,
+                sticky_outage_prob: 1.0,
+                outage_heals_after: 3,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+            1,
+        );
+        let client = ResilientClient::new(
+            Arc::clone(&server),
+            ClientConfig {
+                breaker_cooldown_us: 10_000,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("client")
+        .with_recovery(rel);
+        let first = client.query(point_req(), None).expect("query");
+        assert_eq!(first, Response::Value(Some(AggOutput::Number(3.0))));
+        assert_eq!(client.stats().breaker_opens, 1);
+        // Advance the mock clock past the cooldown (each reading +1ms).
+        for _ in 0..12 {
+            server.now_us();
+        }
+        // Half-open trial goes to the server; the outage healed, so it
+        // succeeds and the breaker closes.
+        let served_before = server.stats().served;
+        let resp = client.query(point_req(), None).expect("trial");
+        assert_eq!(resp, Response::Value(Some(AggOutput::Number(3.0))));
+        assert!(
+            server.stats().served > served_before,
+            "trial hit the server"
+        );
+        assert_eq!(client.stats().degraded_serves, 1, "no new degraded serves");
+        // And stays closed.
+        let resp = client.query(point_req(), None).expect("closed");
+        assert_eq!(resp, Response::Value(Some(AggOutput::Number(3.0))));
+        assert_eq!(client.stats().breaker_opens, 1);
+    }
+
+    #[test]
+    fn failed_half_open_trial_reopens_the_breaker() {
+        // Outage never heals: the trial fails and re-opens the breaker.
+        let (server, rel) = faulty_server(
+            FaultSchedule {
+                seed: 2,
+                sticky_outage_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+            1,
+        );
+        let client = ResilientClient::new(
+            Arc::clone(&server),
+            ClientConfig {
+                breaker_cooldown_us: 10_000,
+                max_attempts: 1,
+                breaker_threshold: 1,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("client")
+        .with_recovery(rel);
+        let first = client.query(point_req(), None).expect("query");
+        assert_eq!(first, Response::Value(Some(AggOutput::Number(3.0))));
+        assert_eq!(client.stats().breaker_opens, 1);
+        for _ in 0..12 {
+            server.now_us();
+        }
+        let resp = client.query(point_req(), None).expect("failed trial");
+        assert_eq!(resp, Response::Value(Some(AggOutput::Number(3.0))));
+        assert_eq!(client.stats().breaker_opens, 2, "trial failure re-opens");
+    }
+
+    #[test]
+    fn deadline_refusals_are_not_retried() {
+        let (server, _rel) = faulty_server(FaultSchedule::default(), 4);
+        let client =
+            ResilientClient::new(Arc::clone(&server), ClientConfig::default()).expect("client");
+        let dl = server.deadline_in(0); // expired by the admission check
+        let err = client
+            .query(point_req(), Some(dl))
+            .expect_err("deadline refusal");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert_eq!(client.stats().attempts, 1, "no retry on deadline");
+        assert_eq!(client.stats().retries, 0);
+    }
+
+    #[test]
+    fn hedged_attempt_wins_when_the_primary_wedges() {
+        use std::sync::Mutex as StdMutex;
+
+        /// Blobs whose *first* read of each path blocks on a gate the
+        /// test holds; later reads pass. The primary attempt wedges, the
+        /// hedge hits the (still-locked) gate... so gate per-path once:
+        /// first get blocks until gate opens, others pass immediately.
+        struct SlowFirstRead {
+            inner: Arc<Dfs>,
+            gate: Arc<StdMutex<()>>,
+            seen: StdMutex<std::collections::BTreeSet<String>>,
+        }
+
+        impl crate::blob::BlobStore for SlowFirstRead {
+            fn put(&self, path: &str, data: Vec<u8>) -> spcube_common::Result<()> {
+                crate::blob::BlobStore::put(self.inner.as_ref(), path, data)
+            }
+
+            fn get(&self, path: &str) -> spcube_common::Result<Vec<u8>> {
+                let first = self.seen.lock().expect("seen").insert(path.to_string());
+                if first {
+                    let _block = self.gate.lock().expect("gate");
+                }
+                crate::blob::BlobStore::get(self.inner.as_ref(), path)
+            }
+
+            fn list(&self, prefix: &str) -> spcube_common::Result<Vec<(String, u64)>> {
+                crate::blob::BlobStore::list(self.inner.as_ref(), prefix)
+            }
+
+            fn delete(&self, path: &str) -> spcube_common::Result<()> {
+                crate::blob::BlobStore::delete(self.inner.as_ref(), path)
+            }
+        }
+
+        let rel = sample_rel();
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
+        let gate = Arc::new(StdMutex::new(()));
+        let blobs = Arc::new(SlowFirstRead {
+            inner: dfs,
+            gate: Arc::clone(&gate),
+            seen: StdMutex::new(std::collections::BTreeSet::new()),
+        });
+        // Open before closing the gate: manifest reads count as firsts.
+        let store = Arc::new(
+            CubeStore::open(blobs, "s")
+                .expect("open")
+                .with_cache_capacity(1),
+        );
+        let server = Arc::new(CubeServer::start(
+            store,
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 16,
+                ..ServerConfig::default()
+            },
+        ));
+        let obs = ObsHandle::mock();
+        let client = ResilientClient::new(
+            Arc::clone(&server),
+            ClientConfig {
+                hedge: true,
+                min_hedge_delay_us: 100,
+                max_hedge_delay_us: 100,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("client")
+        .with_obs(obs.clone());
+
+        // Hold the gate: the primary's segment read (a first) wedges; the
+        // hedge's read of the same path is no longer "first" and passes.
+        let closed = gate.lock().expect("gate");
+        let resp = client.query(point_req(), None).expect("hedged query");
+        assert_eq!(resp, Response::Value(Some(AggOutput::Number(3.0))));
+        drop(closed);
+        let stats = client.stats();
+        assert_eq!(stats.hedges_fired, 1);
+        assert_eq!(stats.hedges_won, 1);
+        assert_eq!(stats.hedge_win_rate(), 1.0);
+        assert_eq!(
+            obs.counter_value(names::SERVE_HEDGE_FIRED, &[]),
+            Some(stats.hedges_fired)
+        );
+        assert_eq!(
+            obs.counter_value(names::SERVE_HEDGE_WON, &[]),
+            Some(stats.hedges_won)
+        );
+    }
+
+    #[test]
+    fn hedge_win_rate_is_never_nan() {
+        let empty = ClientStats::default();
+        assert_eq!(empty.hedge_win_rate(), 0.0);
+        assert!(empty.hedge_win_rate().is_finite());
+        let busy = ClientStats {
+            hedges_fired: 4,
+            hedges_won: 1,
+            ..ClientStats::default()
+        };
+        assert!((busy.hedge_win_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(ClientConfig {
+            max_attempts: 0,
+            ..ClientConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ClientConfig {
+            hedge_quantile: 1.5,
+            ..ClientConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ClientConfig {
+            min_hedge_delay_us: 10,
+            max_hedge_delay_us: 5,
+            ..ClientConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ClientConfig::default().validate().is_ok());
+    }
+}

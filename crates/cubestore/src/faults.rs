@@ -1,0 +1,571 @@
+//! Seeded read-fault injection for the serving path.
+//!
+//! [`FaultyBlobs`] wraps any [`BlobStore`] and injects faults into `get`
+//! from a deterministic, seeded [`FaultSchedule`] — the read-path sibling
+//! of [`crate::crashpoint::CrashPoint`], which covers the write path.
+//! Three fault kinds ship:
+//!
+//! * **transient failures** — a single read fails with
+//!   [`Error::Injected`]; the next read of the same path may succeed.
+//! * **sticky outages** — a seeded per-blob draw marks the blob out from
+//!   the start; every read fails until `outage_heals_after` failures have
+//!   been observed (0 = never heals). This is the "segment lost / replica
+//!   down" shape that should trip the client's circuit breaker.
+//! * **latency spikes** — a read sleeps `spike_us` before succeeding.
+//!   Under a mock-clock [`ObsHandle`] the sleep is skipped (counted
+//!   only), so deterministic tests stay instant.
+//!
+//! Every draw is a hash of `(seed, kind, path, read_index)` — the same
+//! idiom as the engine's `FaultPlan` — so a schedule replays identically
+//! for a given sequence of reads, regardless of wall time or threading.
+//! `put`/`list`/`delete` pass through untouched, which keeps the wrapper
+//! composable with `CrashPoint` (writes) and `DirBlobs`/`Dfs` (media).
+//!
+//! [`Error::Injected`] is deliberately *not* classified as data loss
+//! (`Error::is_data_loss`), so the store's degraded-recompute path does
+//! not quietly absorb injected faults — they surface as typed errors for
+//! the retry/hedging/breaker layers above to handle.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use spcube_common::sync::lock_or_recover;
+use spcube_common::{Error, Result};
+use spcube_obs::{names, ObsHandle, SpanId};
+
+use crate::blob::BlobStore;
+
+/// A seeded schedule of read faults. Probabilities are in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    /// Seed for every deterministic draw.
+    pub seed: u64,
+    /// Per-read probability of a one-shot injected failure.
+    pub transient_fail_prob: f64,
+    /// Per-blob probability (drawn once per path) of a sticky outage.
+    pub sticky_outage_prob: f64,
+    /// Failed reads after which a sticky outage heals; 0 = never.
+    pub outage_heals_after: u32,
+    /// Per-read probability of a latency spike.
+    pub latency_spike_prob: f64,
+    /// Microseconds a latency spike sleeps (skipped under mock obs).
+    pub spike_us: u64,
+    /// Only paths containing this substring are faulted; `None` = all.
+    pub only_matching: Option<String>,
+}
+
+impl Default for FaultSchedule {
+    fn default() -> FaultSchedule {
+        FaultSchedule {
+            seed: 0,
+            transient_fail_prob: 0.0,
+            sticky_outage_prob: 0.0,
+            outage_heals_after: 0,
+            latency_spike_prob: 0.0,
+            spike_us: 0,
+            only_matching: None,
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// Reject NaN or out-of-range probabilities.
+    pub fn validate(&self) -> Result<()> {
+        for (what, p) in [
+            ("transient_fail_prob", self.transient_fail_prob),
+            ("sticky_outage_prob", self.sticky_outage_prob),
+            ("latency_spike_prob", self.latency_spike_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::Config(format!(
+                    "fault schedule {what} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the schedule apply to `path` at all?
+    fn applies(&self, path: &str) -> bool {
+        match &self.only_matching {
+            Some(m) => path.contains(m.as_str()),
+            None => true,
+        }
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for one (kind, path, n).
+    fn draw(&self, kind: &str, path: &str, n: u32) -> f64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (self.seed, kind, path, n).hash(&mut h);
+        (h.finish() % 1_000_000) as f64 / 1e6
+    }
+
+    /// Is `path` scheduled for a sticky outage? Pure — derivable without
+    /// a [`FaultyBlobs`] instance, which is what `inspect serve-faults`
+    /// uses to render a schedule.
+    pub fn sticky_out(&self, path: &str) -> bool {
+        self.applies(path) && self.draw("sticky", path, 0) < self.sticky_outage_prob
+    }
+
+    /// Pure preview of what per-path read `n` (0-based) would inject,
+    /// assuming every earlier read of the path also reached the store
+    /// (so the first `outage_heals_after` reads of a sticky-out path
+    /// fail). Mirrors the decision order of the live wrapper: outage,
+    /// then transient, then latency. `inspect serve-faults` renders
+    /// schedules with this without constructing a [`FaultyBlobs`].
+    pub fn preview(&self, path: &str, n: u32) -> Option<FaultKind> {
+        if !self.applies(path) {
+            return None;
+        }
+        if self.sticky_out(path) && (self.outage_heals_after == 0 || n < self.outage_heals_after) {
+            return Some(FaultKind::Outage);
+        }
+        if self.draw("transient", path, n) < self.transient_fail_prob {
+            return Some(FaultKind::Transient);
+        }
+        if self.draw("latency", path, n) < self.latency_spike_prob {
+            return Some(FaultKind::Latency);
+        }
+        None
+    }
+}
+
+/// What kind of fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One-shot read failure.
+    Transient,
+    /// Sticky per-blob outage (until healed).
+    Outage,
+    /// Latency spike (read still succeeds).
+    Latency,
+}
+
+impl FaultKind {
+    /// Lower-case label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Outage => "outage",
+            FaultKind::Latency => "latency",
+        }
+    }
+}
+
+/// One injected fault, in op order.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Global read index at which the fault fired (0-based).
+    pub op: u64,
+    /// Blob path the read targeted.
+    pub path: String,
+    /// Which fault fired.
+    pub kind: FaultKind,
+    /// Per-path read index (0-based).
+    pub read_index: u32,
+}
+
+/// Aggregate injected-fault counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// One-shot failures injected.
+    pub transient: u64,
+    /// Sticky-outage failures injected.
+    pub outage: u64,
+    /// Latency spikes injected.
+    pub latency: u64,
+}
+
+impl FaultStats {
+    /// Failures that surfaced as errors (outages + transients).
+    pub fn failures(&self) -> u64 {
+        self.transient + self.outage
+    }
+
+    /// Everything injected, spikes included.
+    pub fn total(&self) -> u64 {
+        self.transient + self.outage + self.latency
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Reads observed per path (drives per-read draws).
+    reads: BTreeMap<String, u32>,
+    /// Failures charged against each sticky-out path (drives healing).
+    outage_fails: BTreeMap<String, u32>,
+    /// Global read counter.
+    ops: u64,
+    /// Every fault fired, in order.
+    oplog: Vec<FaultRecord>,
+    stats: FaultStats,
+}
+
+/// A [`BlobStore`] wrapper that injects seeded read faults. See the
+/// module docs for semantics.
+pub struct FaultyBlobs {
+    inner: Arc<dyn BlobStore>,
+    schedule: FaultSchedule,
+    state: Mutex<FaultState>,
+    obs: ObsHandle,
+}
+
+impl std::fmt::Debug for FaultyBlobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyBlobs")
+            .field("schedule", &self.schedule)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultyBlobs {
+    /// Wrap `inner` with `schedule`.
+    pub fn new(inner: Arc<dyn BlobStore>, schedule: FaultSchedule) -> FaultyBlobs {
+        FaultyBlobs {
+            inner,
+            schedule,
+            state: Mutex::new(FaultState::default()),
+            obs: ObsHandle::default(),
+        }
+    }
+
+    /// Attach an observability handle; injected faults emit
+    /// [`names::STORE_FAULT_INJECTED`] counters and events, and a
+    /// mock-clock handle suppresses real latency-spike sleeps.
+    pub fn with_obs(mut self, obs: ObsHandle) -> FaultyBlobs {
+        self.obs = obs;
+        self
+    }
+
+    /// The schedule this wrapper draws from.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Injected-fault counts so far.
+    pub fn stats(&self) -> FaultStats {
+        lock_or_recover(&self.state).stats
+    }
+
+    /// Every fault fired so far, in op order.
+    pub fn oplog(&self) -> Vec<FaultRecord> {
+        lock_or_recover(&self.state).oplog.clone()
+    }
+
+    /// Record one fault: oplog, stats, obs counter + event.
+    fn fire(&self, state: &mut FaultState, path: &str, kind: FaultKind, read_index: u32) {
+        state.oplog.push(FaultRecord {
+            op: state.ops,
+            path: path.to_string(),
+            kind,
+            read_index,
+        });
+        match kind {
+            FaultKind::Transient => state.stats.transient += 1,
+            FaultKind::Outage => state.stats.outage += 1,
+            FaultKind::Latency => state.stats.latency += 1,
+        }
+        // Counter keyed by kind only (so per-kind counts are assertable
+        // against stats); the event carries the path too.
+        self.obs.inc(
+            names::STORE_FAULT_INJECTED,
+            &[("kind", kind.name().to_string())],
+        );
+        self.obs.event(
+            names::STORE_FAULT_INJECTED,
+            SpanId::ROOT,
+            &[
+                ("kind", kind.name().to_string()),
+                ("path", path.to_string()),
+            ],
+        );
+    }
+
+    fn injected(what: String) -> Error {
+        Error::Injected(format!("fault: {what}"))
+    }
+}
+
+impl BlobStore for FaultyBlobs {
+    fn put(&self, path: &str, data: Vec<u8>) -> Result<()> {
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        if !self.schedule.applies(path) {
+            return self.inner.get(path);
+        }
+        let spike = {
+            let mut state = lock_or_recover(&self.state);
+            let n = {
+                let slot = state.reads.entry(path.to_string()).or_insert(0);
+                let n = *slot;
+                *slot += 1;
+                n
+            };
+
+            // Sticky outage: drawn once per path, fails every read until
+            // the healing budget is spent.
+            if self.schedule.sticky_out(path) {
+                let fails = state.outage_fails.get(path).copied().unwrap_or(0);
+                let healed = self.schedule.outage_heals_after > 0
+                    && fails >= self.schedule.outage_heals_after;
+                if !healed {
+                    state.outage_fails.insert(path.to_string(), fails + 1);
+                    self.fire(&mut state, path, FaultKind::Outage, n);
+                    state.ops += 1;
+                    return Err(Self::injected(format!("sticky outage on {path}")));
+                }
+            }
+
+            // Transient failure: one read only.
+            if self.schedule.draw("transient", path, n) < self.schedule.transient_fail_prob {
+                self.fire(&mut state, path, FaultKind::Transient, n);
+                state.ops += 1;
+                return Err(Self::injected(format!(
+                    "transient read failure on {path} (read {n})"
+                )));
+            }
+
+            // Latency spike: the read succeeds, late.
+            let spike = self.schedule.draw("latency", path, n) < self.schedule.latency_spike_prob;
+            if spike {
+                self.fire(&mut state, path, FaultKind::Latency, n);
+            }
+            state.ops += 1;
+            spike
+        };
+        // Sleep outside the lock so concurrent clean reads don't queue
+        // behind an injected spike. Mock-clock runs skip the real sleep.
+        if spike && self.schedule.spike_us > 0 && !self.obs.is_mock() {
+            std::thread::sleep(std::time::Duration::from_micros(self.schedule.spike_us));
+        }
+        self.inner.get(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<(String, u64)>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.inner.delete(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcube_mapreduce::Dfs;
+
+    fn backing() -> Arc<dyn BlobStore> {
+        let dfs = Dfs::new();
+        BlobStore::put(&dfs, "s/a.cseg", vec![1, 2, 3]).unwrap();
+        BlobStore::put(&dfs, "s/b.cseg", vec![4, 5]).unwrap();
+        BlobStore::put(&dfs, "s/manifest", vec![9]).unwrap();
+        Arc::new(dfs)
+    }
+
+    #[test]
+    fn preview_matches_live_injection() {
+        // The pure preview must agree read-for-read with what the live
+        // wrapper actually injects, across all three fault kinds.
+        let schedule = FaultSchedule {
+            seed: 5,
+            transient_fail_prob: 0.3,
+            sticky_outage_prob: 0.5,
+            outage_heals_after: 2,
+            latency_spike_prob: 0.4,
+            spike_us: 0,
+            only_matching: Some(".cseg".to_string()),
+        };
+        let fb = FaultyBlobs::new(backing(), schedule.clone());
+        for path in ["s/a.cseg", "s/b.cseg", "s/manifest"] {
+            for n in 0..15u32 {
+                let predicted = schedule.preview(path, n);
+                let before = fb.oplog().len();
+                let _ = fb.get(path);
+                let fired = fb.oplog().get(before).map(|r| {
+                    assert_eq!(r.path, path);
+                    assert_eq!(r.read_index, n);
+                    r.kind
+                });
+                assert_eq!(fired, predicted, "read {n} of {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_schedule_is_transparent() {
+        let fb = FaultyBlobs::new(backing(), FaultSchedule::default());
+        for _ in 0..10 {
+            assert_eq!(fb.get("s/a.cseg").unwrap(), vec![1, 2, 3]);
+        }
+        assert_eq!(fb.stats(), FaultStats::default());
+        assert!(fb.oplog().is_empty());
+    }
+
+    #[test]
+    fn transient_failures_are_seeded_and_replayable() {
+        let schedule = FaultSchedule {
+            seed: 7,
+            transient_fail_prob: 0.5,
+            ..FaultSchedule::default()
+        };
+        let run = |schedule: FaultSchedule| {
+            let fb = FaultyBlobs::new(backing(), schedule);
+            (0..20)
+                .map(|_| fb.get("s/a.cseg").is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = run(schedule.clone());
+        let b = run(schedule.clone());
+        assert_eq!(a, b, "same seed must replay identically");
+        assert!(a.iter().any(|&e| e), "p=0.5 over 20 reads should fail some");
+        assert!(a.iter().any(|&e| !e), "and let some through");
+        let c = run(FaultSchedule {
+            seed: 8,
+            ..schedule
+        });
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn transient_errors_are_injected_not_data_loss() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 0,
+                transient_fail_prob: 1.0,
+                ..FaultSchedule::default()
+            },
+        );
+        let err = fb.get("s/a.cseg").unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{err:?}");
+        assert!(!err.is_data_loss(), "injected faults must not degrade");
+    }
+
+    #[test]
+    fn sticky_outage_heals_after_budget() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 1,
+                sticky_outage_prob: 1.0,
+                outage_heals_after: 3,
+                ..FaultSchedule::default()
+            },
+        );
+        for _ in 0..3 {
+            assert!(fb.get("s/a.cseg").is_err());
+        }
+        assert_eq!(fb.get("s/a.cseg").unwrap(), vec![1, 2, 3], "healed");
+        assert_eq!(fb.stats().outage, 3);
+    }
+
+    #[test]
+    fn sticky_outage_without_heal_budget_never_heals() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 1,
+                sticky_outage_prob: 1.0,
+                ..FaultSchedule::default()
+            },
+        );
+        for _ in 0..8 {
+            assert!(fb.get("s/b.cseg").is_err());
+        }
+    }
+
+    #[test]
+    fn only_matching_scopes_the_blast_radius() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 0,
+                transient_fail_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        );
+        assert!(fb.get("s/a.cseg").is_err());
+        assert_eq!(fb.get("s/manifest").unwrap(), vec![9], "manifest exempt");
+    }
+
+    #[test]
+    fn latency_spikes_count_but_do_not_sleep_under_mock() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 0,
+                latency_spike_prob: 1.0,
+                spike_us: 60_000_000, // would hang a real run for a minute
+                ..FaultSchedule::default()
+            },
+        )
+        .with_obs(ObsHandle::mock());
+        assert_eq!(fb.get("s/a.cseg").unwrap(), vec![1, 2, 3]);
+        assert_eq!(fb.stats().latency, 1);
+    }
+
+    #[test]
+    fn obs_counters_and_events_match_stats() {
+        let obs = ObsHandle::mock();
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 3,
+                transient_fail_prob: 0.4,
+                latency_spike_prob: 0.4,
+                ..FaultSchedule::default()
+            },
+        )
+        .with_obs(obs.clone());
+        for _ in 0..25 {
+            let _ = fb.get("s/a.cseg");
+        }
+        let stats = fb.stats();
+        assert!(stats.total() > 0);
+        let tree = spcube_obs::SpanTree::parse_jsonl(&obs.trace_jsonl()).expect("trace parses");
+        assert_eq!(
+            tree.events_named(names::STORE_FAULT_INJECTED) as u64,
+            stats.total(),
+            "events must match stats"
+        );
+        assert_eq!(fb.oplog().len() as u64, stats.total());
+    }
+
+    #[test]
+    fn writes_and_lists_pass_through() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 0,
+                transient_fail_prob: 1.0,
+                sticky_outage_prob: 1.0,
+                ..FaultSchedule::default()
+            },
+        );
+        fb.put("s/new", vec![7]).unwrap();
+        assert!(!fb.list("s").unwrap().is_empty());
+        fb.delete("s/new").unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(FaultSchedule {
+            transient_fail_prob: 1.5,
+            ..FaultSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSchedule {
+            latency_spike_prob: f64::NAN,
+            ..FaultSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSchedule::default().validate().is_ok());
+    }
+}

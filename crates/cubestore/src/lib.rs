@@ -48,8 +48,10 @@
 
 pub mod blob;
 pub mod cache;
+pub mod client;
 pub mod codec;
 pub mod crashpoint;
+pub mod faults;
 pub mod manifest;
 pub mod recover;
 pub mod segment;
@@ -58,14 +60,18 @@ pub mod store;
 
 pub use blob::{BlobStore, DirBlobs};
 pub use cache::SegmentCache;
+pub use client::{ClientConfig, ClientStats, ResilientClient};
 pub use crashpoint::{schedules, CrashPlan, CrashPoint, OpKind, OpRecord, TornWrite};
+pub use faults::{FaultKind, FaultRecord, FaultSchedule, FaultStats, FaultyBlobs};
 pub use manifest::{
     gen_manifest_path, gen_prefix, manifest_path, parse_generation, quarantine_path, segment_path,
     Manifest, ManifestEntry,
 };
 pub use recover::{recompute_cuboid, scan_store, GenerationInfo, ScanReport};
 pub use segment::Segment;
-pub use server::{answer, CubeServer, Request, Response, ServeError, ServerConfig, ServerStats};
+pub use server::{
+    answer, CubeServer, Deadline, Request, Response, ServeError, ServerConfig, ServerStats,
+};
 pub use store::{
     write_store, CubeStore, StoreStats, StoreWriteReport, DEFAULT_CACHE_SEGMENTS,
     DEFAULT_REBUILD_THRESHOLD,

@@ -7,10 +7,19 @@
 //! blocking the caller — load shedding at the front door, like any
 //! production thread-pool server.
 //!
-//! Each request carries a one-shot response channel. Workers answer
-//! through the shared store (one `Arc<CubeStore>`; its segment cache and
-//! counters are already thread-safe), so concurrent queries against hot
-//! cuboids hit the same cached segments.
+//! Each request carries a one-shot response channel and an optional
+//! [`Deadline`] against the server's [`Clock`]. The deadline is checked
+//! at three points — admission, dequeue, and after the segment fetch but
+//! before the scan — so a query that cannot finish in budget costs as
+//! little worker time as possible and always yields the typed
+//! [`ServeError::DeadlineExceeded`], never a silently dropped channel.
+//! Shutdown is graceful but bounded: queued work gets a grace period to
+//! drain, and anything still queued when it expires receives a typed
+//! [`ServeError::ShuttingDown`].
+//!
+//! Workers answer through the shared store (one `Arc<CubeStore>`; its
+//! segment cache and counters are already thread-safe), so concurrent
+//! queries against hot cuboids hit the same cached segments.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +30,7 @@ use spcube_agg::AggOutput;
 use spcube_common::sync::{lock_or_recover, wait_or_recover};
 use spcube_common::{Group, Mask, Value};
 use spcube_cubealg::CubeRead;
+use spcube_obs::{names, Clock, ObsHandle, SpanId, Stopwatch};
 
 use crate::store::CubeStore;
 
@@ -43,6 +53,21 @@ pub enum Request {
     CuboidLen { mask: Mask },
 }
 
+impl Request {
+    /// The cuboid this request reads — the segment a worker must fetch
+    /// before it can answer. Roll-ups read the *coarse* cuboid (the
+    /// default [`CubeRead::roll_up`] projects and then points into it).
+    pub fn cuboid(&self) -> Mask {
+        match self {
+            Request::Point { mask, .. } => *mask,
+            Request::Slice { mask, .. } => *mask,
+            Request::TopK { mask, .. } => *mask,
+            Request::RollUp { group, dim } => group.mask.without(*dim),
+            Request::CuboidLen { mask } => *mask,
+        }
+    }
+}
+
 /// The answer to one [`Request`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -61,7 +86,14 @@ pub enum Response {
     Failed(String),
 }
 
-/// Why a submission was rejected at the front door.
+/// A point on the server's clock by which a request must be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    /// Absolute reading, in microseconds on the server's [`Clock`].
+    pub at_us: u64,
+}
+
+/// Why a request was refused or abandoned, typed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The bounded queue is full — shed load and retry later.
@@ -69,8 +101,11 @@ pub enum ServeError {
         /// The configured queue capacity that was exceeded.
         capacity: usize,
     },
-    /// The server is shutting down and accepts no new work.
+    /// The server is shutting down and accepts no new work (or shed this
+    /// already-queued request when the shutdown grace expired).
     ShuttingDown,
+    /// The request's deadline passed before an answer was produced.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -80,11 +115,15 @@ impl std::fmt::Display for ServeError {
                 write!(f, "server overloaded: request queue at capacity {capacity}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Grace [`CubeServer::shutdown`] gives queued work before shedding it.
+pub const DEFAULT_SHUTDOWN_GRACE_US: u64 = 5_000_000;
 
 /// Worker-pool and queue sizing.
 #[derive(Debug, Clone)]
@@ -93,6 +132,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum queued (not yet picked up) requests.
     pub queue_capacity: usize,
+    /// The clock deadlines are checked against. Defaults to host time;
+    /// tests pass [`Clock::mock`] for deterministic deadline behavior.
+    pub clock: Arc<Clock>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +142,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_capacity: 64,
+            clock: Arc::new(Clock::wall()),
         }
     }
 }
@@ -111,23 +154,41 @@ pub struct ServerStats {
     pub served: u64,
     /// Submissions rejected with [`ServeError::Overloaded`].
     pub rejected: u64,
+    /// Requests refused or abandoned with
+    /// [`ServeError::DeadlineExceeded`], at any check point.
+    pub deadline_exceeded: u64,
 }
 
 impl ServerStats {
+    fn total(&self) -> u64 {
+        self.served + self.rejected + self.deadline_exceeded
+    }
+
     /// Rejected over all submissions, in `[0, 1]`; `0` before any
     /// submission (never NaN — this feeds CSV output directly).
     pub fn rejection_rate(&self) -> f64 {
-        let total = self.served + self.rejected;
-        if total == 0 {
+        if self.total() == 0 {
             0.0
         } else {
-            self.rejected as f64 / total as f64
+            self.rejected as f64 / self.total() as f64
+        }
+    }
+
+    /// Deadline misses over all submissions, with the same NaN-proof
+    /// guard as [`ServerStats::rejection_rate`].
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.deadline_exceeded as f64 / self.total() as f64
         }
     }
 }
 
+type Reply = mpsc::Sender<Result<Response, ServeError>>;
+
 struct Queue {
-    jobs: VecDeque<(Request, mpsc::Sender<Response>)>,
+    jobs: VecDeque<(Request, Option<Deadline>, Reply)>,
     shutting_down: bool,
 }
 
@@ -135,8 +196,22 @@ struct Shared {
     queue: Mutex<Queue>,
     wake: Condvar,
     capacity: usize,
+    clock: Arc<Clock>,
     served: AtomicU64,
     rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// Count one deadline miss: stat, obs counter, and a `stage`-labeled
+/// event at the exact check point that fired.
+fn note_deadline_miss(shared: &Shared, obs: &ObsHandle, stage: &str) {
+    shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    obs.inc(names::SERVE_DEADLINE_EXCEEDED, &[]);
+    obs.event(
+        names::SERVE_DEADLINE_EXCEEDED,
+        SpanId::ROOT,
+        &[("stage", stage.to_string())],
+    );
 }
 
 /// A running worker-pool server over one shared store.
@@ -156,8 +231,10 @@ impl CubeServer {
             }),
             wake: Condvar::new(),
             capacity: cfg.queue_capacity.max(1),
+            clock: cfg.clock,
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -173,9 +250,29 @@ impl CubeServer {
         }
     }
 
-    /// Enqueue a request; the response arrives on the returned channel.
-    /// Fails fast with [`ServeError::Overloaded`] when the queue is full.
-    pub fn submit(&self, req: Request) -> Result<mpsc::Receiver<Response>, ServeError> {
+    /// Enqueue a request with no deadline; the response arrives on the
+    /// returned channel. Fails fast with [`ServeError::Overloaded`] when
+    /// the queue is full.
+    pub fn submit(
+        &self,
+        req: Request,
+    ) -> Result<mpsc::Receiver<Result<Response, ServeError>>, ServeError> {
+        self.submit_at(req, None)
+    }
+
+    /// Enqueue a request with an optional deadline. An already-expired
+    /// deadline is refused at admission without queueing.
+    pub fn submit_at(
+        &self,
+        req: Request,
+        deadline: Option<Deadline>,
+    ) -> Result<mpsc::Receiver<Result<Response, ServeError>>, ServeError> {
+        if let Some(dl) = deadline {
+            if self.shared.clock.now_us() >= dl.at_us {
+                note_deadline_miss(&self.shared, self.store.obs(), "admission");
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
         let mut q = lock_or_recover(&self.shared.queue);
         if q.shutting_down {
             return Err(ServeError::ShuttingDown);
@@ -187,7 +284,7 @@ impl CubeServer {
             });
         }
         let (tx, rx) = mpsc::channel();
-        q.jobs.push_back((req, tx));
+        q.jobs.push_back((req, deadline, tx));
         drop(q);
         self.shared.wake.notify_one();
         Ok(rx)
@@ -195,8 +292,40 @@ impl CubeServer {
 
     /// Submit and block for the answer — the simple synchronous client.
     pub fn query(&self, req: Request) -> Result<Response, ServeError> {
-        let rx = self.submit(req)?;
-        rx.recv().map_err(|_| ServeError::ShuttingDown)
+        self.query_at(req, None)
+    }
+
+    /// Submit with a deadline and block for the answer.
+    pub fn query_at(
+        &self,
+        req: Request,
+        deadline: Option<Deadline>,
+    ) -> Result<Response, ServeError> {
+        let rx = self.submit_at(req, deadline)?;
+        rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Current reading of the server's deadline clock, in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.shared.clock.now_us()
+    }
+
+    /// A deadline `budget_us` from now on the server's clock.
+    pub fn deadline_in(&self, budget_us: u64) -> Deadline {
+        Deadline {
+            at_us: self.now_us().saturating_add(budget_us),
+        }
+    }
+
+    /// The clock deadlines are checked against.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.shared.clock
+    }
+
+    /// The serve-latency histogram, if the store has observability
+    /// attached. Clients derive hedging delays from its quantiles.
+    pub fn latency_histogram(&self) -> Option<Arc<spcube_obs::Histogram>> {
+        self.store.obs().histogram(names::SERVE_QUERY_US, &[])
     }
 
     /// Serving counters so far.
@@ -204,6 +333,7 @@ impl CubeServer {
         ServerStats {
             served: self.shared.served.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
+            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -212,13 +342,39 @@ impl CubeServer {
         &self.store
     }
 
-    /// Drain the queue, stop the workers, and join them.
-    pub fn shutdown(mut self) -> ServerStats {
+    /// Graceful shutdown with the default grace
+    /// ([`DEFAULT_SHUTDOWN_GRACE_US`]): queued work drains, then workers
+    /// stop and join.
+    pub fn shutdown(self) -> ServerStats {
+        self.shutdown_with_grace(DEFAULT_SHUTDOWN_GRACE_US)
+    }
+
+    /// Stop accepting work, give queued requests `grace_us` host
+    /// microseconds to drain, shed whatever is still queued after that
+    /// with a typed [`ServeError::ShuttingDown`] reply (never a dropped
+    /// channel), then join the workers.
+    pub fn shutdown_with_grace(mut self, grace_us: u64) -> ServerStats {
         {
             let mut q = lock_or_recover(&self.shared.queue);
             q.shutting_down = true;
         }
         self.shared.wake.notify_all();
+        let t0 = Stopwatch::start();
+        loop {
+            if lock_or_recover(&self.shared.queue).jobs.is_empty() {
+                break;
+            }
+            if (t0.seconds() * 1e6) as u64 >= grace_us {
+                // Grace exhausted: everything still queued gets a typed
+                // reply instead of a dropped channel.
+                let mut q = lock_or_recover(&self.shared.queue);
+                for (_req, _dl, tx) in q.jobs.drain(..) {
+                    let _ = tx.send(Err(ServeError::ShuttingDown));
+                }
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
         for w in self.workers.drain(..) {
             // A worker that panicked already dropped its response senders;
             // nothing to clean up, so a poisoned join is not a second crash.
@@ -246,9 +402,7 @@ impl Drop for CubeServer {
 
 fn worker_loop(shared: &Shared, store: &CubeStore) {
     // One registry lookup per worker; recording is then lock-free.
-    let latency_us = store
-        .obs()
-        .histogram(spcube_obs::names::SERVE_QUERY_US, &[]);
+    let latency_us = store.obs().histogram(names::SERVE_QUERY_US, &[]);
     loop {
         let job = {
             let mut q = lock_or_recover(&shared.queue);
@@ -262,26 +416,62 @@ fn worker_loop(shared: &Shared, store: &CubeStore) {
                 q = wait_or_recover(&shared.wake, q);
             }
         };
-        let Some((req, tx)) = job else { return };
-        let t0 = spcube_obs::Stopwatch::start();
-        let resp = answer(store, &req);
-        if let Some(h) = &latency_us {
-            h.record(t0.seconds() * 1e6);
+        let Some((req, deadline, tx)) = job else {
+            return;
+        };
+        // Check 2 of 3: a request that expired while queued is shed
+        // before any store work.
+        if let Some(dl) = deadline {
+            if shared.clock.now_us() >= dl.at_us {
+                note_deadline_miss(shared, store.obs(), "dequeue");
+                let _ = tx.send(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
         }
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        // The client may have given up; a dead receiver is fine.
-        let _ = tx.send(resp);
+        let t0 = Stopwatch::start();
+        let outcome = match deadline {
+            Some(dl) => {
+                // Warm the cuboid first — the blob fetch/decode (a cache
+                // miss) is the expensive, faultable step — then re-check
+                // the budget before scanning. The fetched segment stays
+                // in the store cache, so answering does not re-read it.
+                match store.segment(req.cuboid()) {
+                    Err(e) => Ok(Response::Failed(e.to_string())),
+                    Ok(_) if shared.clock.now_us() >= dl.at_us => {
+                        note_deadline_miss(shared, store.obs(), "scan");
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                    Ok(_) => Ok(answer(store, &req)),
+                }
+            }
+            None => Ok(answer(store, &req)),
+        };
+        match outcome {
+            Ok(resp) => {
+                if let Some(h) = &latency_us {
+                    h.record(t0.seconds() * 1e6);
+                }
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                // The client may have given up; a dead receiver is fine.
+                let _ = tx.send(Ok(resp));
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+            }
+        }
     }
 }
 
-/// Answer one request through the [`CubeRead`] interface.
-pub fn answer(store: &CubeStore, req: &Request) -> Response {
+/// Answer one request through the [`CubeRead`] interface. Generic so the
+/// degraded client path can answer from a recomputed cuboid with the
+/// exact same dispatch (bit-exact with store-served answers).
+pub fn answer<R: CubeRead + ?Sized>(read: &R, req: &Request) -> Response {
     let result = match req {
-        Request::Point { mask, key } => store.point(*mask, key).map(Response::Value),
-        Request::Slice { mask, dim, value } => store.slice(*mask, *dim, value).map(Response::Rows),
-        Request::TopK { mask, n } => store.top(*mask, *n).map(Response::Ranked),
-        Request::RollUp { group, dim } => store.roll_up(group, *dim).map(Response::Rolled),
-        Request::CuboidLen { mask } => store.cuboid_len(*mask).map(Response::Len),
+        Request::Point { mask, key } => read.point(*mask, key).map(Response::Value),
+        Request::Slice { mask, dim, value } => read.slice(*mask, *dim, value).map(Response::Rows),
+        Request::TopK { mask, n } => read.top(*mask, *n).map(Response::Ranked),
+        Request::RollUp { group, dim } => read.roll_up(group, *dim).map(Response::Rolled),
+        Request::CuboidLen { mask } => read.cuboid_len(*mask).map(Response::Len),
     };
     result.unwrap_or_else(|e| Response::Failed(e.to_string()))
 }
@@ -304,6 +494,14 @@ mod tests {
         let dfs = Arc::new(Dfs::new());
         write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
         Arc::new(CubeStore::open(dfs, "s").expect("open"))
+    }
+
+    fn mock_config(workers: usize, queue_capacity: usize) -> ServerConfig {
+        ServerConfig {
+            workers,
+            queue_capacity,
+            clock: Arc::new(Clock::mock()),
+        }
     }
 
     #[test]
@@ -360,6 +558,28 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.served, 5);
         assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.deadline_exceeded, 0);
+    }
+
+    #[test]
+    fn request_cuboid_names_the_segment_each_kind_reads() {
+        assert_eq!(
+            Request::Point {
+                mask: Mask(0b101),
+                key: vec![]
+            }
+            .cuboid(),
+            Mask(0b101)
+        );
+        assert_eq!(
+            Request::RollUp {
+                group: Group::new(Mask(0b11), vec![Value::Int(1), Value::Int(1)]),
+                dim: 1,
+            }
+            .cuboid(),
+            Mask(0b01),
+            "roll-up reads the coarse cuboid"
+        );
     }
 
     #[test]
@@ -397,15 +617,23 @@ mod tests {
     }
 
     #[test]
-    fn rejection_rate_is_never_nan() {
+    fn rates_are_never_nan() {
         let empty = ServerStats::default();
         assert_eq!(empty.rejection_rate(), 0.0);
+        assert_eq!(empty.deadline_miss_rate(), 0.0);
         assert!(empty.rejection_rate().is_finite());
         let busy = ServerStats {
             served: 3,
             rejected: 1,
+            deadline_exceeded: 0,
         };
         assert!((busy.rejection_rate() - 0.25).abs() < 1e-12);
+        let missing = ServerStats {
+            served: 2,
+            rejected: 0,
+            deadline_exceeded: 2,
+        };
+        assert!((missing.deadline_miss_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -421,6 +649,52 @@ mod tests {
             .expect("typed failure");
         assert!(matches!(resp, Response::Failed(_)));
         server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_at_admission() {
+        let server = CubeServer::start(serving_store(), mock_config(1, 8));
+        // Mock clock: deadline_in(0) reads t, the admission check reads
+        // t + 1000 >= t — always expired.
+        let dl = server.deadline_in(0);
+        let err = server
+            .query_at(Request::CuboidLen { mask: Mask(0b11) }, Some(dl))
+            .expect_err("expired deadline");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert!((stats.deadline_miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_expires_between_fetch_and_scan() {
+        // Mock-clock arithmetic: readings advance 1000 µs each. With a
+        // 3000 µs budget the admission (t+1000) and dequeue (t+2000)
+        // checks pass, and the post-fetch check (t+3000) fires — the
+        // "scan" stage miss.
+        let server = CubeServer::start(serving_store(), mock_config(1, 8));
+        let dl = server.deadline_in(3000);
+        let err = server
+            .query_at(Request::CuboidLen { mask: Mask(0b11) }, Some(dl))
+            .expect_err("scan-stage miss");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn generous_deadline_answers_normally() {
+        let server = CubeServer::start(serving_store(), mock_config(2, 8));
+        let dl = server.deadline_in(1_000_000);
+        let resp = server
+            .query_at(Request::CuboidLen { mask: Mask(0b11) }, Some(dl))
+            .expect("in-budget answer");
+        assert_eq!(resp, Response::Len(3));
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.deadline_exceeded, 0);
     }
 
     /// A blob store whose reads block while the test holds the gate,
@@ -449,25 +723,31 @@ mod tests {
         }
     }
 
-    #[test]
-    fn full_queue_rejects_with_overloaded() {
+    /// A one-row store whose segment reads block on `gate`.
+    fn gated_store(gate: &Arc<Mutex<()>>) -> Arc<CubeStore> {
         let mut rel = Relation::empty(Schema::synthetic(2));
         rel.push_row(vec![Value::Int(1), Value::Int(1)], 1.0);
         let cube = naive_cube(&rel, AggSpec::Sum);
         let dfs = Arc::new(Dfs::new());
         write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
-        let gate = Arc::new(Mutex::new(()));
         let blobs = Arc::new(GatedBlobs {
             inner: dfs,
-            gate: Arc::clone(&gate),
+            gate: Arc::clone(gate),
         });
         // Opening reads the manifest while the gate is still open.
-        let store = Arc::new(CubeStore::open(blobs, "s").expect("open"));
+        Arc::new(CubeStore::open(blobs, "s").expect("open"))
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let gate = Arc::new(Mutex::new(()));
+        let store = gated_store(&gate);
         let server = CubeServer::start(
             store,
             ServerConfig {
                 workers: 1,
                 queue_capacity: 1,
+                ..ServerConfig::default()
             },
         );
 
@@ -492,9 +772,47 @@ mod tests {
         // Reopen the gate: everything accepted still gets answered.
         drop(closed);
         for rx in receivers {
-            assert_eq!(rx.recv().expect("answer"), Response::Len(1));
+            assert_eq!(rx.recv().expect("answer"), Ok(Response::Len(1)));
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn queue_sheds_expired_requests_at_dequeue() {
+        let gate = Arc::new(Mutex::new(()));
+        let store = gated_store(&gate);
+        let server = CubeServer::start(
+            store,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                clock: Arc::new(Clock::mock()),
+            },
+        );
+        // Wedge the worker on a no-deadline request, then queue one whose
+        // deadline will expire while it waits.
+        let closed = gate.lock().expect("gate");
+        let wedged = server
+            .submit(Request::CuboidLen { mask: Mask(0b11) })
+            .expect("wedge");
+        std::thread::sleep(std::time::Duration::from_millis(20)); // worker picks it up
+        let dl = server.deadline_in(2000); // reading t → expires at t+2000
+        let queued = server
+            .submit_at(Request::CuboidLen { mask: Mask(0b11) }, Some(dl))
+            .expect("queued before expiry"); // admission reads t+1000 < t+2000
+                                             // Advance the mock clock past the deadline while the request waits.
+        server.now_us(); // t+2000
+        server.now_us(); // t+3000
+        drop(closed);
+        assert_eq!(
+            queued.recv().expect("typed reply"),
+            Err(ServeError::DeadlineExceeded),
+            "expired request must be shed at dequeue, not answered"
+        );
+        assert_eq!(wedged.recv().expect("wedged answer"), Ok(Response::Len(1)));
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.served, 1);
     }
 
     #[test]
@@ -504,6 +822,7 @@ mod tests {
             ServerConfig {
                 workers: 2,
                 queue_capacity: 32,
+                ..ServerConfig::default()
             },
         );
         let receivers: Vec<_> = (0..20)
@@ -515,9 +834,47 @@ mod tests {
             .collect();
         let stats = server.shutdown();
         for rx in receivers {
-            assert_eq!(rx.recv().expect("answer"), Response::Len(3));
+            assert_eq!(rx.recv().expect("answer"), Ok(Response::Len(3)));
         }
         assert_eq!(stats.served, 20);
+    }
+
+    #[test]
+    fn zero_grace_shutdown_sheds_queued_work_typed() {
+        let gate = Arc::new(Mutex::new(()));
+        let store = gated_store(&gate);
+        let server = CubeServer::start(
+            store,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let closed = gate.lock().expect("gate");
+        let req = || Request::CuboidLen { mask: Mask(0b11) };
+        let wedged = server.submit(req()).expect("wedge");
+        std::thread::sleep(std::time::Duration::from_millis(20)); // worker picks it up
+        let queued_a = server.submit(req()).expect("queued a");
+        let queued_b = server.submit(req()).expect("queued b");
+
+        // Shut down with zero grace from another thread (joining blocks
+        // until the gate opens); the queued-but-unstarted requests must
+        // get typed ShuttingDown replies immediately.
+        let shutdown = std::thread::spawn(move || server.shutdown_with_grace(0));
+        assert_eq!(
+            queued_a.recv().expect("typed reply"),
+            Err(ServeError::ShuttingDown)
+        );
+        assert_eq!(
+            queued_b.recv().expect("typed reply"),
+            Err(ServeError::ShuttingDown)
+        );
+        // The in-flight request still completes once the store unblocks.
+        drop(closed);
+        assert_eq!(wedged.recv().expect("answer"), Ok(Response::Len(1)));
+        let stats = shutdown.join().expect("shutdown join");
+        assert_eq!(stats.served, 1);
     }
 
     #[test]

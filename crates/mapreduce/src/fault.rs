@@ -191,22 +191,10 @@ impl FaultPlan {
     }
 }
 
-/// Delay charged between a failed attempt and the next one.
-#[derive(Debug, Clone)]
-pub enum Backoff {
-    /// Retry immediately.
-    None,
-    /// Constant delay in simulated seconds.
-    Fixed(f64),
-    /// `base_s * factor^(attempt-1)` seconds after failed attempt
-    /// `attempt` — Hadoop-style exponential backoff.
-    Exponential {
-        /// Delay after the first failed attempt.
-        base_s: f64,
-        /// Growth factor per further failed attempt.
-        factor: f64,
-    },
-}
+/// Delay charged between a failed attempt and the next one. The type
+/// lives in `spcube_common::retry` so the serving tier can share it; the
+/// engine re-exports it here for compatibility.
+pub use spcube_common::retry::Backoff;
 
 /// How many attempts a task gets, and what failed attempts cost. Replaces
 /// the engine's former hard-coded attempt loop.
@@ -233,15 +221,9 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Simulated seconds of backoff after failed attempt `attempt`
-    /// (1-based).
+    /// (1-based). Delegates to [`Backoff::delay_after`].
     pub fn delay_after(&self, attempt: u32) -> f64 {
-        match self.backoff {
-            Backoff::None => 0.0,
-            Backoff::Fixed(s) => s,
-            Backoff::Exponential { base_s, factor } => {
-                base_s * factor.powi(attempt.saturating_sub(1) as i32)
-            }
-        }
+        self.backoff.delay_after(attempt)
     }
 
     /// Reject zero attempt budgets and negative/NaN delays.
@@ -251,18 +233,7 @@ impl RetryPolicy {
                 "retry policy needs at least one attempt".into(),
             ));
         }
-        let bad = |s: f64| s.is_nan() || s < 0.0 || s.is_infinite();
-        let ok = match self.backoff {
-            Backoff::None => true,
-            Backoff::Fixed(s) => !bad(s),
-            Backoff::Exponential { base_s, factor } => !bad(base_s) && !bad(factor),
-        };
-        if !ok {
-            return Err(Error::Config(
-                "backoff delays must be finite and non-negative".into(),
-            ));
-        }
-        Ok(())
+        self.backoff.validate()
     }
 }
 

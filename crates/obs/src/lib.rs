@@ -85,6 +85,13 @@ impl ObsHandle {
         self.0.is_some()
     }
 
+    /// Whether this handle timestamps with the deterministic mock clock.
+    /// Fault injectors use this to skip real sleeps in mock-clock tests;
+    /// a disabled handle reports `false` (real time applies).
+    pub fn is_mock(&self) -> bool {
+        matches!(&self.0, Some(obs) if obs.tracer.is_mock())
+    }
+
     /// Open a span (no-op returning [`SpanId::ROOT`] when disabled).
     pub fn span(&self, name: &'static str, parent: SpanId, labels: &[(&str, String)]) -> SpanId {
         match &self.0 {

@@ -51,6 +51,21 @@ pub const STORE_CRASH_INJECT: &str = "store.crash.inject";
 
 /// Served query latency in microseconds (histogram).
 pub const SERVE_QUERY_US: &str = "serve.query.us";
+/// A query missed its deadline (counter + event; labels: `stage`).
+pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline.exceeded";
+/// The client launched a hedged second attempt (counter + event).
+pub const SERVE_HEDGE_FIRED: &str = "serve.hedge.fired";
+/// A hedged attempt answered before the primary (counter + event).
+pub const SERVE_HEDGE_WON: &str = "serve.hedge.won";
+/// A per-cuboid serve circuit breaker opened (counter + event; labels:
+/// `cuboid`).
+pub const SERVE_BREAKER_OPEN: &str = "serve.breaker.open";
+/// The client answered from the degraded recompute path (counter +
+/// event; labels: `cuboid`).
+pub const SERVE_DEGRADED: &str = "serve.degraded";
+/// FaultyBlobs injected a read fault (counter + event; labels: `kind`,
+/// `path`).
+pub const STORE_FAULT_INJECTED: &str = "store.fault.injected";
 
 /// Every registered name — the single source the naming test audits.
 pub const ALL: &[&str] = &[
@@ -74,6 +89,12 @@ pub const ALL: &[&str] = &[
     STORE_BLOB_QUARANTINED,
     STORE_CRASH_INJECT,
     SERVE_QUERY_US,
+    SERVE_DEADLINE_EXCEEDED,
+    SERVE_HEDGE_FIRED,
+    SERVE_HEDGE_WON,
+    SERVE_BREAKER_OPEN,
+    SERVE_DEGRADED,
+    STORE_FAULT_INJECTED,
 ];
 
 /// Whether `s` is a lowercase dotted identifier:

@@ -48,8 +48,10 @@ const NO_PANIC_PATHS: &[&str] = &[
     "crates/obs/src/",
     "crates/cubestore/src/blob.rs",
     "crates/cubestore/src/cache.rs",
+    "crates/cubestore/src/client.rs",
     "crates/cubestore/src/codec.rs",
     "crates/cubestore/src/crashpoint.rs",
+    "crates/cubestore/src/faults.rs",
     "crates/cubestore/src/manifest.rs",
     "crates/cubestore/src/store.rs",
     "crates/cubestore/src/server.rs",

@@ -1,0 +1,366 @@
+//! Chaos proof of the serving tier: under seeded storage faults, every
+//! query either returns the bit-exact answer a healthy store would give
+//! or a typed error — never a panic, never a wrong answer — and every
+//! resilience decision the stack takes (deadline misses, hedges,
+//! breaker trips, injected faults) is visible in the observability layer
+//! with counts that match the in-process statistics exactly.
+//!
+//! The matrix sweeps fault schedules (transient-heavy, sticky outages,
+//! mixed with latency spikes) × seeds × deadlines (none, generous,
+//! instantly-expired) × hedging on/off. Everything runs on the mock
+//! clock and mock observability handle, so injected latency spikes cost
+//! nothing real and deadline arithmetic is deterministic.
+
+use std::sync::Arc;
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::cubealg::naive_cube;
+use sp_cube_repro::cubestore::{
+    answer, write_store, BlobStore, ClientConfig, CubeServer, CubeStore, FaultSchedule,
+    FaultyBlobs, Request, ResilientClient, Response, ServeError, ServerConfig,
+};
+use sp_cube_repro::datagen::{gen_query_workload, gen_zipf, QuerySpec};
+use sp_cube_repro::mapreduce::Dfs;
+use sp_cube_repro::obs::{names, Clock, ObsHandle};
+
+const DIMS: usize = 3;
+const QUERIES: usize = 50;
+
+/// Generated query → server request (mirrors the bench harness).
+fn to_request(spec: &QuerySpec) -> Request {
+    match spec {
+        QuerySpec::Point { mask, key } => Request::Point {
+            mask: *mask,
+            key: key.clone(),
+        },
+        QuerySpec::Slice { mask, dim, value } => Request::Slice {
+            mask: *mask,
+            dim: *dim,
+            value: value.clone(),
+        },
+        QuerySpec::TopK { mask, n } => Request::TopK { mask: *mask, n: *n },
+        QuerySpec::RollUp { group, dim } => Request::RollUp {
+            group: group.clone(),
+            dim: *dim,
+        },
+        QuerySpec::CuboidLen { mask } => Request::CuboidLen { mask: *mask },
+    }
+}
+
+/// Build one relation, cube it, and persist the cube to a fresh DFS.
+fn seeded_dfs() -> (sp_cube_repro::common::Relation, Arc<Dfs>) {
+    let rel = gen_zipf(300, DIMS, 0xC4A0);
+    let cube = naive_cube(&rel, AggSpec::Sum);
+    let dfs = Arc::new(Dfs::new());
+    write_store(dfs.as_ref(), "chaos", &cube, DIMS, AggSpec::Sum, 1).expect("write_store");
+    (rel, dfs)
+}
+
+/// Reference answers from a clean store over the same blobs.
+fn reference_answers(dfs: &Arc<Dfs>, reqs: &[Request]) -> Vec<Response> {
+    let clean = CubeStore::open(Arc::clone(dfs) as Arc<dyn BlobStore>, "chaos").expect("open");
+    reqs.iter().map(|r| answer(&clean, r)).collect()
+}
+
+struct Combo {
+    label: &'static str,
+    schedule: FaultSchedule,
+    /// Mock-clock deadline budget in µs: None = no deadline.
+    budget_us: Option<u64>,
+    hedge: bool,
+}
+
+fn schedules(seed: u64) -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        (
+            "transient-heavy",
+            FaultSchedule {
+                seed,
+                transient_fail_prob: 0.4,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        ),
+        (
+            "sticky-outages",
+            FaultSchedule {
+                seed,
+                sticky_outage_prob: 0.4,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        ),
+        (
+            "mixed",
+            FaultSchedule {
+                seed,
+                transient_fail_prob: 0.2,
+                sticky_outage_prob: 0.15,
+                outage_heals_after: 4,
+                latency_spike_prob: 0.3,
+                // Absurd on purpose: the mock obs handle must make this
+                // spike free, or the suite would sleep for minutes.
+                spike_us: 60_000_000,
+                only_matching: Some(".cseg".to_string()),
+            },
+        ),
+    ]
+}
+
+/// Run one combo through the full stack and check the chaos invariant.
+fn run_combo(combo: &Combo, seed: u64) {
+    let (rel, dfs) = seeded_dfs();
+    let workload: Vec<Request> = gen_query_workload(&rel, QUERIES, 1.5, seed)
+        .iter()
+        .map(to_request)
+        .collect();
+    let expected = reference_answers(&dfs, &workload);
+
+    let obs = ObsHandle::mock();
+    let faulty = Arc::new(
+        FaultyBlobs::new(
+            Arc::clone(&dfs) as Arc<dyn BlobStore>,
+            combo.schedule.clone(),
+        )
+        .with_obs(obs.clone()),
+    );
+    let store = Arc::new(
+        CubeStore::open(Arc::clone(&faulty) as Arc<dyn BlobStore>, "chaos")
+            .expect("chaos store open")
+            .with_obs(obs.clone())
+            .with_cache_capacity(1),
+    );
+    let server = Arc::new(CubeServer::start(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            clock: Arc::new(Clock::mock()),
+        },
+    ));
+    let client = ResilientClient::new(
+        Arc::clone(&server),
+        ClientConfig {
+            hedge: combo.hedge,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("client config")
+    .with_recovery(rel.clone())
+    .with_obs(obs.clone());
+
+    let mut clean = 0usize;
+    let mut typed_failures = 0usize;
+    let mut deadline_misses = 0usize;
+    for (req, expect) in workload.iter().zip(&expected) {
+        let deadline = combo.budget_us.map(|b| server.deadline_in(b));
+        match client.query(req.clone(), deadline) {
+            Ok(Response::Failed(_)) => typed_failures += 1,
+            Ok(resp) => {
+                // The core invariant: any non-error answer is bit-exact
+                // with the healthy store's, whether it came from a clean
+                // read, a retry, a hedge, or the degraded recompute.
+                assert_eq!(&resp, expect, "[{}] wrong answer for {req:?}", combo.label);
+                clean += 1;
+            }
+            Err(ServeError::DeadlineExceeded) => deadline_misses += 1,
+            Err(e) => panic!("[{}] unexpected refusal {e:?} for {req:?}", combo.label),
+        }
+    }
+    assert_eq!(
+        clean + typed_failures + deadline_misses,
+        QUERIES,
+        "[{}] queries lost",
+        combo.label
+    );
+
+    // With an instantly-expired deadline, *every* query must be refused
+    // typed at admission; without one, none may be.
+    match combo.budget_us {
+        Some(0) => assert_eq!(deadline_misses, QUERIES, "[{}]", combo.label),
+        None => assert_eq!(deadline_misses, 0, "[{}]", combo.label),
+        Some(_) => {}
+    }
+
+    // Observability must agree exactly with the in-process statistics:
+    // the obs layer is how an operator sees what the stats structs see.
+    let counter = |name: &'static str, labels: &[(&str, String)]| obs.counter_value(name, labels);
+    let server_stats = server.stats();
+    assert_eq!(
+        counter(names::SERVE_DEADLINE_EXCEEDED, &[]).unwrap_or(0),
+        server_stats.deadline_exceeded,
+        "[{}] deadline counter drifted from ServerStats",
+        combo.label
+    );
+    let client_stats = client.stats();
+    assert_eq!(
+        counter(names::SERVE_HEDGE_FIRED, &[]).unwrap_or(0),
+        client_stats.hedges_fired,
+        "[{}]",
+        combo.label
+    );
+    assert_eq!(
+        counter(names::SERVE_HEDGE_WON, &[]).unwrap_or(0),
+        client_stats.hedges_won,
+        "[{}]",
+        combo.label
+    );
+    assert_eq!(
+        counter(names::SERVE_BREAKER_OPEN, &[]).unwrap_or(0),
+        client_stats.breaker_opens,
+        "[{}]",
+        combo.label
+    );
+    assert_eq!(
+        counter(names::SERVE_DEGRADED, &[]).unwrap_or(0),
+        client_stats.degraded_serves,
+        "[{}]",
+        combo.label
+    );
+    let fault_stats = faulty.stats();
+    for (kind, want) in [
+        ("transient", fault_stats.transient),
+        ("outage", fault_stats.outage),
+        ("latency", fault_stats.latency),
+    ] {
+        assert_eq!(
+            counter(names::STORE_FAULT_INJECTED, &[("kind", kind.to_string())]).unwrap_or(0),
+            want,
+            "[{}] fault counter `{kind}` drifted from FaultStats",
+            combo.label
+        );
+    }
+    // Every injected fault is also an inspectable oplog record.
+    assert_eq!(faulty.oplog().len() as u64, fault_stats.total());
+
+    // Rates derived from these stats must stay plottable.
+    assert!(server_stats.deadline_miss_rate().is_finite());
+    assert!(client_stats.hedge_win_rate().is_finite());
+}
+
+#[test]
+fn chaos_matrix_answers_bit_exact_or_typed() {
+    for seed in [1u64, 7, 42] {
+        for (label, schedule) in schedules(seed) {
+            for budget_us in [None, Some(1u64 << 40), Some(0)] {
+                for hedge in [false, true] {
+                    run_combo(
+                        &Combo {
+                            label,
+                            schedule: schedule.clone(),
+                            budget_us,
+                            hedge,
+                        },
+                        seed,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sticky_outage_with_recovery_stays_bit_exact_via_breaker() {
+    // Every segment read fails forever: after the breaker trips, all
+    // answers come from the degraded BUC recompute — and they must still
+    // be bit-exact against the healthy store.
+    let (rel, dfs) = seeded_dfs();
+    let workload: Vec<Request> = gen_query_workload(&rel, 30, 1.5, 9)
+        .iter()
+        .map(to_request)
+        .collect();
+    let expected = reference_answers(&dfs, &workload);
+
+    let obs = ObsHandle::mock();
+    let faulty = Arc::new(
+        FaultyBlobs::new(
+            Arc::clone(&dfs) as Arc<dyn BlobStore>,
+            FaultSchedule {
+                seed: 3,
+                sticky_outage_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        )
+        .with_obs(obs.clone()),
+    );
+    let store = Arc::new(
+        CubeStore::open(Arc::clone(&faulty) as Arc<dyn BlobStore>, "chaos")
+            .expect("open")
+            .with_obs(obs.clone())
+            .with_cache_capacity(1),
+    );
+    let server = Arc::new(CubeServer::start(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            clock: Arc::new(Clock::mock()),
+        },
+    ));
+    let client = ResilientClient::new(Arc::clone(&server), ClientConfig::default())
+        .expect("client")
+        .with_recovery(rel.clone())
+        .with_obs(obs.clone());
+
+    for (req, expect) in workload.iter().zip(&expected) {
+        let resp = client.query(req.clone(), None).expect("no refusals");
+        assert_eq!(&resp, expect, "degraded answer diverged for {req:?}");
+    }
+    let stats = client.stats();
+    assert!(stats.breaker_opens >= 1, "breaker never tripped");
+    assert!(stats.degraded_serves >= 1, "degraded path never served");
+    assert_eq!(
+        obs.counter_value(names::SERVE_DEGRADED, &[]).unwrap_or(0),
+        stats.degraded_serves
+    );
+}
+
+#[test]
+fn expired_deadlines_never_reach_the_blob_layer() {
+    // Budget 0 expires before admission: the server refuses typed, no
+    // worker runs, and the fault injector never sees a read.
+    let (rel, dfs) = seeded_dfs();
+    let workload: Vec<Request> = gen_query_workload(&rel, 20, 1.5, 5)
+        .iter()
+        .map(to_request)
+        .collect();
+
+    let faulty = Arc::new(
+        FaultyBlobs::new(
+            Arc::clone(&dfs) as Arc<dyn BlobStore>,
+            FaultSchedule {
+                seed: 1,
+                transient_fail_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        )
+        .with_obs(ObsHandle::mock()),
+    );
+    let store = Arc::new(
+        CubeStore::open(Arc::clone(&faulty) as Arc<dyn BlobStore>, "chaos")
+            .expect("open")
+            .with_cache_capacity(1),
+    );
+    let server = Arc::new(CubeServer::start(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            clock: Arc::new(Clock::mock()),
+        },
+    ));
+    let client =
+        ResilientClient::new(Arc::clone(&server), ClientConfig::default()).expect("client");
+    for req in &workload {
+        let deadline = server.deadline_in(0);
+        assert_eq!(
+            client.query(req.clone(), Some(deadline)),
+            Err(ServeError::DeadlineExceeded)
+        );
+    }
+    assert_eq!(server.stats().served, 0);
+    assert_eq!(server.stats().deadline_exceeded, workload.len() as u64);
+    assert_eq!(faulty.stats().total(), 0, "a refused query read a blob");
+}
