@@ -286,6 +286,133 @@ mod tests {
         assert_eq!(s.finalize(), AggOutput::TopK(vec![(1.0, 2)]));
     }
 
+    /// Merge the given partials left-to-right onto a fresh identity.
+    fn chain(spec: AggSpec, parts: &[&AggState]) -> AggState {
+        let mut acc = spec.init();
+        for p in parts {
+            acc.merge(p);
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_order_is_invariant_over_three_plus_partials() {
+        // Delta layering merges 3+ partial states whose order depends on
+        // which layers were compacted when; every permutation and every
+        // association shape must finalize identically. Integer-valued
+        // measures keep f64 sums exact, so the comparison is bit-exact.
+        let chunks: [&[f64]; 4] = [&[1.0, 5.0, 5.0], &[2.0, 2.0], &[], &[7.0, 1.0, 3.0, 3.0]];
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+            AggSpec::TopKFrequent(2),
+            AggSpec::CountDistinct,
+        ] {
+            let parts: Vec<AggState> = chunks.iter().map(|c| fold(spec, c)).collect();
+            let flat: Vec<f64> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            let want = fold(spec, &flat).finalize();
+            // Every permutation of the four partials…
+            let mut order = [0usize, 1, 2, 3];
+            permute(&mut order, 0, &mut |perm| {
+                let picked: Vec<&AggState> = perm.iter().map(|&i| &parts[i]).collect();
+                assert_eq!(chain(spec, &picked).finalize(), want, "{spec:?} {perm:?}");
+            });
+            // …and both extreme association shapes: left-deep vs pairwise.
+            let mut left = parts[0].clone();
+            for p in &parts[1..] {
+                left.merge(p);
+            }
+            let mut ab = parts[0].clone();
+            ab.merge(&parts[1]);
+            let mut cd = parts[2].clone();
+            cd.merge(&parts[3]);
+            ab.merge(&cd);
+            assert_eq!(left.finalize(), want, "{spec:?} left-deep");
+            assert_eq!(ab.finalize(), want, "{spec:?} pairwise");
+        }
+    }
+
+    fn permute(items: &mut [usize; 4], k: usize, visit: &mut dyn FnMut(&[usize; 4])) {
+        if k == items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, visit);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_partial_is_a_merge_identity() {
+        for spec in [
+            AggSpec::Count,
+            AggSpec::Sum,
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Avg,
+            AggSpec::TopKFrequent(3),
+            AggSpec::CountDistinct,
+        ] {
+            let full = fold(spec, &[4.0, -2.0, 4.0]);
+            let mut left = spec.init();
+            left.merge(&full);
+            let mut right = full.clone();
+            right.merge(&spec.init());
+            assert_eq!(left, full, "{spec:?} identity on the left");
+            assert_eq!(right, full, "{spec:?} identity on the right");
+        }
+    }
+
+    #[test]
+    fn nan_measures_survive_state_merges() {
+        // NaN never compares, so MIN/MAX ignore it regardless of merge
+        // order; TopK/Distinct key by bit pattern, so one NaN payload is
+        // one value however the partials are grouped.
+        let nan = f64::NAN;
+        for split in 0..=3usize {
+            let data = [nan, 1.0, nan];
+            let mut a = fold(AggSpec::Min, &data[..split.min(3)]);
+            a.merge(&fold(AggSpec::Min, &data[split.min(3)..]));
+            assert_eq!(a.finalize(), AggOutput::Number(1.0), "min split {split}");
+            let mut b = fold(AggSpec::CountDistinct, &data[..split.min(3)]);
+            b.merge(&fold(AggSpec::CountDistinct, &data[split.min(3)..]));
+            assert_eq!(
+                b.finalize(),
+                AggOutput::Number(2.0),
+                "distinct split {split}"
+            );
+        }
+        // AVG is honest about the poison: a NaN measure makes the sum NaN
+        // in every merge order, never a half-poisoned result.
+        let mut avg = fold(AggSpec::Avg, &[nan]);
+        avg.merge(&fold(AggSpec::Avg, &[1.0, 2.0]));
+        match avg.finalize() {
+            AggOutput::Number(x) => assert!(x.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn avg_count_overflow_is_additive_not_silent() {
+        // Counts are u64: two partials that each saw half the ceiling
+        // merge without wrapping.
+        let big = AggState::Avg {
+            sum: 1.0e18,
+            count: u64::MAX / 2,
+        };
+        let mut acc = big.clone();
+        acc.merge(&big);
+        match acc {
+            AggState::Avg { count, .. } => assert_eq!(count, u64::MAX - 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
     #[should_panic(expected = "mismatched")]
     fn merging_mismatched_states_panics() {

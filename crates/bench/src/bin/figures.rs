@@ -56,9 +56,10 @@ fn main() {
             "ablations" => drop(experiments::ablations(&cfg)),
             "rounds" => drop(experiments::rounds(&cfg)),
             "serve" => drop(experiments::serve_bench(&cfg)),
+            "incremental" => drop(experiments::store_incremental(&cfg)),
             "all" => experiments::all(&cfg),
             other => die(&format!(
-                "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, serve, all)"
+                "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, serve, incremental, all)"
             )),
         }
         eprintln!("[{name}] finished in {:.1}s wall", started.seconds());

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n] [chaos|corrupt]
 //! cargo run --release -p spcube-bench --bin inspect -- generations <store-dir> [prefix]
+//! cargo run --release -p spcube-bench --bin inspect -- layers <store-dir> [prefix]
 //! cargo run --release -p spcube-bench --bin inspect -- trace [dataset] [n] [--validate]
 //! cargo run --release -p spcube-bench --bin inspect -- serve-faults <seed> [reads]
 //! ```
@@ -19,6 +20,11 @@
 //! it: every generation with its sealed state, the committed and chosen
 //! generations, whether the root commit pointer is torn, and any orphan
 //! blobs a recovering open would quarantine.
+//!
+//! The `layers` view is the same read-only scan aimed at an incremental
+//! (delta-layered) store: the live chain in merge order with each layer's
+//! segment count, bytes, and state rows, plus which layers the default
+//! compaction policy would fold next.
 //!
 //! The `serve-faults` view renders the deterministic fault schedule the
 //! CLI's `serve-bench --chaos --chaos-seed <seed>` would inject, without
@@ -50,6 +56,10 @@ fn main() {
     let dataset = args.first().map(String::as_str).unwrap_or("usagov");
     if dataset == "generations" {
         inspect_generations(&args);
+        return;
+    }
+    if dataset == "layers" {
+        inspect_layers(&args);
         return;
     }
     if dataset == "trace" {
@@ -288,6 +298,88 @@ fn inspect_serve_faults(args: &[String]) {
         "{faulted} of {} segments draw at least one fault in their first {reads} read(s)",
         1u32 << d
     );
+}
+
+/// The `layers` view: recovery-scan an incremental store read-only and
+/// print its live delta chain, layer by layer.
+fn inspect_layers(args: &[String]) {
+    use spcube_cubestore::{scan_store, CompactionPolicy, DirBlobs, StoreKind};
+
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: inspect layers <store-dir> [prefix]");
+        std::process::exit(2);
+    };
+    let prefix = args.get(2).map(String::as_str).unwrap_or("cube");
+    let blobs = DirBlobs::new(dir);
+    let scan = match scan_store(&blobs, prefix) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("scanning {dir}/{prefix} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(chosen) = scan.chosen else {
+        eprintln!("no recoverable generation under {dir}/{prefix}");
+        std::process::exit(1);
+    };
+    let info_of = |g: u64| scan.generations.iter().find(|i| i.generation == g);
+    let Some(manifest) = info_of(chosen).and_then(|i| i.manifest.as_ref()) else {
+        eprintln!("generation {chosen} has no readable manifest");
+        std::process::exit(1);
+    };
+    if manifest.kind != StoreKind::State {
+        println!(
+            "store {dir} prefix {prefix}: classic full-rebuild store \
+             (generation {chosen}, no delta layers); see `inspect generations`"
+        );
+        return;
+    }
+    println!(
+        "store {dir} prefix {prefix}: incremental, d = {}, agg {}, \
+         {} live layer(s), serving generation {chosen}",
+        manifest.d,
+        manifest.spec.name(),
+        manifest.layers.len()
+    );
+    println!("live chain (merge order):");
+    for &g in &manifest.layers {
+        match info_of(g) {
+            Some(info) => {
+                let rows: u64 = info
+                    .manifest
+                    .as_ref()
+                    .map(|m| m.entries.iter().map(|e| u64::from(e.rows)).sum())
+                    .unwrap_or(0);
+                println!(
+                    "  gen {g:>8}: {} segment(s), {} bytes, {rows} state rows{}",
+                    info.segments,
+                    info.bytes,
+                    if info.sealed { "" } else { "  UNSEALED" }
+                );
+            }
+            None => println!("  gen {g:>8}: MISSING (chain references a collected layer)"),
+        }
+    }
+    let policy = CompactionPolicy::default();
+    if manifest.layers.len() > policy.max_layers {
+        let fold = manifest.layers.len() - policy.max_layers + 1;
+        let mut sized: Vec<(u64, u64)> = manifest
+            .layers
+            .iter()
+            .filter_map(|&g| info_of(g).map(|i| (i.bytes, g)))
+            .collect();
+        sized.sort_unstable();
+        let victims: Vec<u64> = sized.iter().take(fold).map(|&(_, g)| g).collect();
+        println!(
+            "compaction (default policy, max {} layer(s)) would fold {victims:?}",
+            policy.max_layers
+        );
+    } else {
+        println!(
+            "chain within the default compaction policy (max {} layer(s))",
+            policy.max_layers
+        );
+    }
 }
 
 /// The `generations` view: recovery-scan a CLI-written store directory

@@ -672,6 +672,164 @@ pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
     rows
 }
 
+/// Incremental-maintenance benchmark (DESIGN.md §13): what does keeping a
+/// cube fresh cost, delta ingest versus full rebuild, and what does a
+/// growing layer chain do to serving latency?
+///
+/// Three timing rows first: `Store/full-rebuild` recubes base + batch
+/// from scratch and writes a fresh store (the only option before the
+/// delta subsystem), `Store/delta-ingest` publishes just the 10% batch as
+/// a delta layer on the incremental store, and `Store/ingest-vs-rebuild`
+/// records the speedup (its `wall_seconds` column is the ratio). The
+/// acceptance bar asserted here: for a batch ≤10% of the base, delta
+/// ingest must beat the full rebuild on wall clock.
+///
+/// Then the serve-under-ingest sweep: one row per ingest step with
+/// open-loop queries racing the layer publication — `x` is the step,
+/// `rounds` doubles as the live layer count, and p99 shows what readers
+/// paid while the chain grew and the compactor folded it back down.
+pub fn store_incremental(cfg: &ExpConfig) -> Vec<Measurement> {
+    use std::sync::Arc;
+
+    use spcube_common::Relation;
+    use spcube_cubealg::naive_cube;
+    use spcube_cubestore::{ingest_batch, write_store, BlobStore, CompactionPolicy};
+    use spcube_mapreduce::{Dfs, Stopwatch};
+
+    use crate::serving::{run_serving_under_ingest, IngestBenchConfig, ServeBenchConfig};
+
+    let d = 4;
+    let spec = AggSpec::Sum;
+    let base_n = cfg.scaled(20_000);
+    let batch_n = (base_n / 10).max(100);
+    // One relation, cut into a base, the timed 10% batch, and four more
+    // batches for the serving sweep — so every layer shares hot groups.
+    let full = datagen::gen_zipf(base_n + 5 * batch_n, d, 0x1c5);
+    let cut = |from: usize, to: usize| {
+        let mut part = Relation::empty(full.schema().clone());
+        for t in &full.tuples()[from..to] {
+            part.push(t.clone()).expect("cut row");
+        }
+        part
+    };
+    let base = cut(0, base_n);
+    let batch = cut(base_n, base_n + batch_n);
+
+    let dfs: Arc<dyn BlobStore> = Arc::new(Dfs::new());
+    ingest_batch(dfs.as_ref(), "inc", &base, spec).expect("seed base layer");
+
+    // The pre-delta option: recube everything seen so far and write a
+    // fresh store. Timed over cube + persist, the work a refresh costs.
+    let t0 = Stopwatch::start();
+    let rebuilt = naive_cube(&cut(0, base_n + batch_n), spec);
+    write_store(dfs.as_ref(), "rebuild", &rebuilt, d, spec, 1).expect("full rebuild");
+    let rebuild_wall = t0.seconds();
+
+    let t0 = Stopwatch::start();
+    let ingest_report = ingest_batch(dfs.as_ref(), "inc", &batch, spec).expect("delta ingest");
+    let ingest_wall = t0.seconds();
+    assert!(
+        ingest_wall < rebuild_wall,
+        "delta ingest of a {batch_n}-row batch ({ingest_wall:.3}s) must beat a \
+         {}-row full rebuild ({rebuild_wall:.3}s)",
+        base_n + batch_n
+    );
+
+    let batch_pct = 100.0 * batch_n as f64 / base_n as f64;
+    let timing_row = |label: &'static str, wall: f64, groups: usize| Measurement {
+        algo: label,
+        x: batch_pct,
+        total_seconds: Some(0.0),
+        avg_map_seconds: 0.0,
+        avg_reduce_seconds: 0.0,
+        map_output_mb: 0.0,
+        sketch_kb: None,
+        rounds: 1,
+        spilled_mb: 0.0,
+        imbalance: 1.0,
+        cube_groups: groups,
+        wall_seconds: wall,
+        task_retries: 0,
+        tasks_lost: 0,
+        re_executions: 0,
+        speculative_launches: 0,
+        wasted_seconds: 0.0,
+        fallback_events: 0,
+        qps: None,
+        p50_us: None,
+        p99_us: None,
+        cache_hit_rate: None,
+        degraded_recomputes: None,
+        segment_rebuilds: None,
+        deadline_miss_rate: None,
+        hedge_win_rate: None,
+    };
+    let mut rows = vec![
+        timing_row("Store/full-rebuild", rebuild_wall, rebuilt.len()),
+        timing_row(
+            "Store/delta-ingest",
+            ingest_wall,
+            ingest_report.rows as usize,
+        ),
+        timing_row(
+            "Store/ingest-vs-rebuild",
+            rebuild_wall / ingest_wall.max(f64::MIN_POSITIVE),
+            rebuilt.len(),
+        ),
+    ];
+
+    // Serving while ingesting: four more batches land behind an open-loop
+    // query stream; the compactor holds the chain at three layers.
+    let batches: Vec<Relation> = (1..5)
+        .map(|i| cut(base_n + i * batch_n, base_n + (i + 1) * batch_n))
+        .collect();
+    let queries = (base_n / 20).clamp(200, 2_000);
+    let workload = datagen::gen_query_workload(&base, queries * batches.len(), 1.5, 0x1c6);
+    let reports = run_serving_under_ingest(
+        &dfs,
+        "inc",
+        &batches,
+        &workload,
+        &IngestBenchConfig {
+            serve: ServeBenchConfig::default(),
+            queries_per_step: queries,
+            spec,
+            policy: Some(CompactionPolicy { max_layers: 3 }),
+        },
+    )
+    .expect("serve-under-ingest sweep");
+    assert!(
+        reports.iter().any(|r| r.compacted),
+        "the sweep never exercised the compactor"
+    );
+    for r in &reports {
+        assert_eq!(
+            r.serving.served + r.serving.typed_errors,
+            queries as u64,
+            "step {} dropped queries",
+            r.step
+        );
+        rows.push(Measurement {
+            algo: "Store/serve-under-ingest",
+            x: r.step as f64,
+            rounds: r.layers,
+            wall_seconds: r.ingest_seconds,
+            cube_groups: r.ingested_rows as usize,
+            qps: Some(r.serving.qps),
+            p50_us: Some(r.serving.p50_us),
+            p99_us: Some(r.serving.p99_us),
+            cache_hit_rate: Some(r.serving.cache_hit_rate),
+            degraded_recomputes: Some(r.serving.degraded_recomputes),
+            segment_rebuilds: Some(r.serving.segment_rebuilds),
+            deadline_miss_rate: Some(r.serving.deadline_miss_rate),
+            hedge_win_rate: Some(r.serving.hedge_win_rate),
+            ..timing_row("Store/serve-under-ingest", 0.0, 0)
+        });
+    }
+    cfg.emit("store_incremental", &rows);
+    rows
+}
+
 /// Run every experiment.
 pub fn all(cfg: &ExpConfig) {
     fig4(cfg);
@@ -685,4 +843,5 @@ pub fn all(cfg: &ExpConfig) {
     ablations(cfg);
     rounds(cfg);
     serve_bench(cfg);
+    store_incremental(cfg);
 }

@@ -17,12 +17,14 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use spcube_agg::AggSpec;
+use spcube_common::{Relation, Result};
 use spcube_mapreduce::Stopwatch;
 use spcube_obs::Histogram;
 
 use spcube_cubestore::{
-    ClientConfig, CubeServer, CubeStore, Request, ResilientClient, Response, ServeError,
-    ServerConfig,
+    compact, ingest_batch, BlobStore, ClientConfig, CompactionPolicy, CubeServer, CubeStore,
+    Request, ResilientClient, Response, ServeError, ServerConfig,
 };
 use spcube_datagen::QuerySpec;
 
@@ -240,11 +242,108 @@ pub fn run_serving(
     }
 }
 
+/// Knobs of one serve-under-ingest run (the `--ingest-rate` mode).
+#[derive(Debug, Clone)]
+pub struct IngestBenchConfig {
+    /// Client/server knobs of each step's serving window.
+    pub serve: ServeBenchConfig,
+    /// Queries issued per ingest step (the open-loop window each layer
+    /// publication competes with).
+    pub queries_per_step: usize,
+    /// Aggregate of the incremental store.
+    pub spec: AggSpec,
+    /// Compact after any step whose chain exceeds this policy
+    /// (`None` = let the chain grow, the worst case for read latency).
+    pub policy: Option<CompactionPolicy>,
+}
+
+/// What one ingest step of [`run_serving_under_ingest`] measured.
+#[derive(Debug, Clone)]
+pub struct IngestStepReport {
+    /// Step index (0-based).
+    pub step: usize,
+    /// Live delta layers *after* this step (and its compaction, if any).
+    pub layers: usize,
+    /// State rows the step's layer persisted, summed over all cuboids.
+    pub ingested_rows: u64,
+    /// Wall seconds the concurrent `ingest_batch` took.
+    pub ingest_seconds: f64,
+    /// Whether the compactor folded layers after this step.
+    pub compacted: bool,
+    /// The serving window measured while the ingest ran.
+    pub serving: ServingReport,
+}
+
+/// Serve an open-loop query stream while delta batches land: each step
+/// publishes one batch through [`ingest_batch`] on a side thread while
+/// `queries_per_step` queries (taken round-robin from `workload`) run
+/// against the store generation opened at the step's start — exactly the
+/// snapshot a live reader would hold, and safe because a delta commit
+/// retains the previous chain for exactly one commit. After the ingest
+/// lands, the configured [`CompactionPolicy`] (if any) gets a chance to
+/// fold the chain, and the next step reopens to pick up the new layers.
+///
+/// The store under `prefix` must already hold at least one delta layer
+/// (seed it with an initial `ingest_batch`); `batches` must all share the
+/// store's shape and aggregate. Returns one report per batch: p99 and
+/// layer count over time are the columns worth plotting.
+pub fn run_serving_under_ingest(
+    blobs: &Arc<dyn BlobStore>,
+    prefix: &str,
+    batches: &[Relation],
+    workload: &[QuerySpec],
+    cfg: &IngestBenchConfig,
+) -> Result<Vec<IngestStepReport>> {
+    let mut reports = Vec::with_capacity(batches.len());
+    for (step, batch) in batches.iter().enumerate() {
+        let store = Arc::new(CubeStore::open(Arc::clone(blobs), prefix)?);
+        let chunk: Vec<QuerySpec> = workload
+            .iter()
+            .cycle()
+            .skip((step * cfg.queries_per_step) % workload.len().max(1))
+            .take(if workload.is_empty() {
+                0
+            } else {
+                cfg.queries_per_step
+            })
+            .cloned()
+            .collect();
+        let (serving, ingest) = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let t0 = Stopwatch::start();
+                ingest_batch(blobs.as_ref(), prefix, batch, cfg.spec)
+                    .map(|report| (report, t0.seconds()))
+            });
+            let serving = run_serving(Arc::clone(&store), &chunk, &cfg.serve);
+            (serving, writer.join().expect("ingest thread panicked"))
+        });
+        let (ingest_report, ingest_seconds) = ingest?;
+        let compacted = match &cfg.policy {
+            Some(policy) => compact(blobs.as_ref(), prefix, policy)?.is_some(),
+            None => false,
+        };
+        let layers = if compacted {
+            CubeStore::open(Arc::clone(blobs), prefix)?.layer_count()
+        } else {
+            ingest_report.layers.len()
+        };
+        reports.push(IngestStepReport {
+            step,
+            layers,
+            ingested_rows: ingest_report.rows,
+            ingest_seconds,
+            compacted,
+            serving,
+        });
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use spcube_agg::AggSpec;
-    use spcube_cubealg::naive_cube;
+    use spcube_cubealg::{naive_cube, CubeRead};
     use spcube_cubestore::{write_store, FaultSchedule, FaultyBlobs};
     use spcube_datagen::{gen_query_workload, gen_zipf};
     use spcube_mapreduce::Dfs;
@@ -306,6 +405,67 @@ mod tests {
         }
         assert_eq!(report.cache_hit_rate, 0.0);
         assert!(store.stats().hit_rate().is_finite());
+    }
+
+    #[test]
+    fn serving_under_ingest_tracks_layers_and_latency() {
+        let rel = gen_zipf(600, 3, 6);
+        let batch_rows = rel.len() / 6;
+        let mut batches: Vec<_> = (0..6)
+            .map(|i| {
+                let mut part = spcube_common::Relation::empty(rel.schema().clone());
+                for t in &rel.tuples()[i * batch_rows..(i + 1) * batch_rows] {
+                    part.push(t.clone()).unwrap();
+                }
+                part
+            })
+            .collect();
+        let dfs: Arc<dyn spcube_cubestore::BlobStore> = Arc::new(Dfs::new());
+        ingest_batch(dfs.as_ref(), "inc", &batches.remove(0), AggSpec::Count).unwrap();
+
+        let workload = gen_query_workload(&rel, 60, 1.0, 13);
+        let reports = run_serving_under_ingest(
+            &dfs,
+            "inc",
+            &batches,
+            &workload,
+            &IngestBenchConfig {
+                serve: ServeBenchConfig {
+                    workers: 2,
+                    queue_capacity: 16,
+                    clients: 2,
+                    ..ServeBenchConfig::default()
+                },
+                queries_per_step: 40,
+                spec: AggSpec::Count,
+                policy: Some(CompactionPolicy { max_layers: 3 }),
+            },
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert!(r.layers >= 1 && r.layers <= 4, "chain ran away: {r:?}");
+            assert!(
+                r.ingested_rows >= batch_rows as u64 / 2,
+                "layer persisted suspiciously few state rows: {r:?}"
+            );
+            assert_eq!(
+                r.serving.served + r.serving.typed_errors,
+                40,
+                "step {} dropped queries",
+                r.step
+            );
+        }
+        assert!(reports.iter().any(|r| r.compacted), "policy never engaged");
+        // After the dust settles the layered store answers every row of
+        // the full relation (point queries on the base cuboid agree with
+        // a monolithic cube).
+        let store = CubeStore::open(Arc::clone(&dfs), "inc").unwrap();
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let q = spcube_cubealg::CubeQuery::new(&cube, 3);
+        let mask = spcube_common::Mask::full(3);
+        let rows = store.cuboid_rows(mask).unwrap();
+        assert_eq!(rows.len(), q.cuboid_len(mask));
     }
 
     #[test]

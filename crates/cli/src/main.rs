@@ -27,11 +27,16 @@ use spcube_agg::AggSpec;
 use spcube_baselines::{
     hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig,
 };
-use spcube_bench::serving::{run_serving, ServeBenchConfig};
+use spcube_bench::serving::{
+    run_serving, run_serving_under_ingest, IngestBenchConfig, ServeBenchConfig,
+};
 use spcube_common::{io, Error, Mask, Relation, Result, Value};
 use spcube_core::{build_exact_sketch, build_sampled_sketch, SketchConfig, SpCube, SpCubeConfig};
 use spcube_cubealg::{Cube, CubeQuery, CubeRead};
-use spcube_cubestore::{write_store, BlobStore, CubeStore, DirBlobs, FaultSchedule, FaultyBlobs};
+use spcube_cubestore::{
+    ingest_batch, write_store, BlobStore, CompactionPolicy, CubeStore, DirBlobs, FaultSchedule,
+    FaultyBlobs,
+};
 use spcube_datagen as datagen;
 use spcube_mapreduce::{ClusterConfig, Dfs, RunMetrics};
 use spcube_obs::ObsHandle;
@@ -55,6 +60,8 @@ fn run(raw: &[String]) -> Result<()> {
         "cube" => cube(&args),
         "cuboid" => cuboid(&args),
         "build-store" => build_store(&args),
+        "ingest" => ingest(&args),
+        "compact" => compact_store(&args),
         "query" => query(&args),
         "serve-bench" => serve_bench(&args),
         "" | "help" => {
@@ -89,13 +96,21 @@ COMMANDS
        [--min-support S]
       Run SP-Cube and persist the cube as a columnar CubeStore directory
       (one checksummed segment per cuboid plus a manifest).
+  ingest FILE --store DIR [--agg F]
+      Cube the TSV batch in one cheap pass and publish it as a new delta
+      layer of the incremental store under DIR (created on the first
+      ingest; aggregates merge bit-exactly across layers at read time).
+  compact DIR [--max-layers N]
+      Fold the smallest delta layers of the store under DIR into one new
+      layer when the chain exceeds N (default 4); answers are unchanged.
   query DIR --mask BITS [--point V1,V2,..] [--slice DIM=VALUE] [--top N]
       Answer a lookup against a CubeStore directory written by
-      build-store. Without --point/--slice, prints the cuboid's top N
-      groups by measure.
+      build-store or ingest. Without --point/--slice, prints the
+      cuboid's top N groups by measure.
   serve-bench FILE [--queries N] [--skews A,B] [--workers W]
        [--clients C] [--cache SEGS] [--machines K] [--memory M]
        [--chaos] [--chaos-seed S] [--hedge] [--deadline-us D]
+       [--ingest-rate R] [--max-layers N]
       Build + store the cube in memory, then serve Zipf-skewed query
       workloads through the concurrent CubeServer behind the resilient
       client, reporting QPS, p50/p99 latency, segment-cache hit rate,
@@ -103,7 +118,10 @@ COMMANDS
       --chaos injects a seeded fault schedule (latency spikes plus
       transient read failures) into the segment blob reads; --hedge
       races slow requests with a duplicate attempt; --deadline-us
-      bounds each query's end-to-end budget.
+      bounds each query's end-to-end budget. --ingest-rate R switches
+      to the incremental store and serves open-loop queries while R-row
+      delta batches land concurrently (one report line per step:
+      layers, ingest time, QPS, p50/p99), compacting past --max-layers.
   help
 ";
 
@@ -342,6 +360,60 @@ fn build_store(args: &Args) -> Result<()> {
     Ok(())
 }
 
+fn ingest(args: &Args) -> Result<()> {
+    let batch = load(args)?;
+    let dir = args.require("store")?;
+    let blobs = DirBlobs::new(dir);
+    let report = ingest_batch(&blobs, STORE_PREFIX, &batch, agg_from(args)?)?;
+    println!(
+        "ingested {} tuples as generation {}: {} state segments, {} bytes, \
+         {} state rows; live chain {:?} ({} layer(s))",
+        batch.len(),
+        report.generation,
+        report.segments,
+        report.bytes,
+        report.rows,
+        report.layers,
+        report.layers.len()
+    );
+    if report.layers.len() > 4 {
+        eprintln!(
+            "hint: {} layers now serve every read; `spcube compact {dir}` folds them",
+            report.layers.len()
+        );
+    }
+    Ok(())
+}
+
+fn compact_store(args: &Args) -> Result<()> {
+    let dir = args
+        .positional
+        .first()
+        .ok_or_else(|| Error::Config("CubeStore directory required".into()))?;
+    let policy = CompactionPolicy {
+        max_layers: args.get_or("max-layers", 4)?,
+    };
+    let blobs = DirBlobs::new(dir);
+    match spcube_cubestore::compact(&blobs, STORE_PREFIX, &policy)? {
+        Some(report) => println!(
+            "folded layers {:?} into generation {}: {} segments, {} bytes, \
+             {} state rows; live chain {:?} ({} layer(s))",
+            report.folded,
+            report.generation,
+            report.segments,
+            report.bytes,
+            report.rows,
+            report.layers,
+            report.layers.len()
+        ),
+        None => println!(
+            "chain within policy (max {} layer(s)); nothing to fold",
+            policy.max_layers
+        ),
+    }
+    Ok(())
+}
+
 fn query(args: &Args) -> Result<()> {
     let dir = args
         .positional
@@ -415,6 +487,9 @@ fn query(args: &Args) -> Result<()> {
 
 fn serve_bench(args: &Args) -> Result<()> {
     let rel = load(args)?;
+    if args.get("ingest-rate").is_some() {
+        return serve_bench_under_ingest(args, &rel);
+    }
     let cluster = cluster_from(args, rel.len())?;
     let cfg = SpCubeConfig::new(agg_from(args)?);
     let dfs = Dfs::new();
@@ -500,6 +575,88 @@ fn serve_bench(args: &Args) -> Result<()> {
                 report.hedge_win_rate
             );
         }
+    }
+    Ok(())
+}
+
+/// The `--ingest-rate` mode: build an incremental (delta-layered) store
+/// from most of the input, then serve open-loop queries while the
+/// held-out rows land as R-row delta batches, one serving window per
+/// batch, compacting whenever the chain exceeds `--max-layers`.
+fn serve_bench_under_ingest(args: &Args, rel: &Relation) -> Result<()> {
+    let rate: usize = args.get_or("ingest-rate", 1_000)?;
+    if rate == 0 {
+        return Err(Error::Config("--ingest-rate must be at least 1".into()));
+    }
+    let steps = (rel.len() / (2 * rate)).clamp(1, 4);
+    let base_n = rel.len().saturating_sub(steps * rate);
+    if base_n == 0 {
+        return Err(Error::Config(format!(
+            "--ingest-rate {rate} leaves no base rows in a {}-tuple input",
+            rel.len()
+        )));
+    }
+    let cut = |from: usize, to: usize| -> Result<Relation> {
+        let mut part = Relation::empty(rel.schema().clone());
+        for t in &rel.tuples()[from..to] {
+            part.push(t.clone())?;
+        }
+        Ok(part)
+    };
+    let agg = agg_from(args)?;
+    let base = cut(0, base_n)?;
+    let batches: Vec<Relation> = (0..steps)
+        .map(|i| cut(base_n + i * rate, base_n + (i + 1) * rate))
+        .collect::<Result<_>>()?;
+
+    let dfs: Arc<dyn BlobStore> = Arc::new(Dfs::new());
+    let report = ingest_batch(dfs.as_ref(), STORE_PREFIX, &base, agg)?;
+    println!(
+        "seeded incremental store: {} tuples, {} state rows, generation {}",
+        base.len(),
+        report.rows,
+        report.generation
+    );
+
+    let queries: usize = args.get_or("queries", 5_000)?;
+    let per_step = (queries / steps).max(1);
+    let workload = datagen::gen_query_workload(&base, queries, 1.5, 0x5b);
+    let reports = run_serving_under_ingest(
+        &dfs,
+        STORE_PREFIX,
+        &batches,
+        &workload,
+        &IngestBenchConfig {
+            serve: ServeBenchConfig {
+                workers: args.get_or("workers", 4)?,
+                queue_capacity: args.get_or("queue", 64)?,
+                clients: args.get_or("clients", 4)?,
+                deadline_us: None,
+                hedge: args.has("hedge"),
+                max_attempts: args.get_or("attempts", 3)?,
+            },
+            queries_per_step: per_step,
+            spec: agg,
+            policy: Some(CompactionPolicy {
+                max_layers: args.get_or("max-layers", 4)?,
+            }),
+        },
+    )?;
+    for r in &reports {
+        println!(
+            "step {}: {} layer(s){}, ingest {:.1}ms ({} state rows), \
+             {} served + {} typed errors, {:.0} QPS, p50 {:.1}us, p99 {:.1}us",
+            r.step,
+            r.layers,
+            if r.compacted { " (compacted)" } else { "" },
+            r.ingest_seconds * 1e3,
+            r.ingested_rows,
+            r.serving.served,
+            r.serving.typed_errors,
+            r.serving.qps,
+            r.serving.p50_us,
+            r.serving.p99_us
+        );
     }
     Ok(())
 }
@@ -697,6 +854,98 @@ mod tests {
             "2000000",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_compact_query_pipeline() {
+        let dir = std::env::temp_dir().join(format!("spcube-cli-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_dir = dir.join("store");
+        let store_s = store_dir.to_str().unwrap();
+
+        // Three TSV batches of one relation; ingest them as delta layers.
+        let rel = datagen::gen_zipf(900, 3, 0x77);
+        for i in 0..3 {
+            let mut part = Relation::empty(rel.schema().clone());
+            for t in &rel.tuples()[i * 300..(i + 1) * 300] {
+                part.push(t.clone()).unwrap();
+            }
+            let tsv = dir.join(format!("batch{i}.tsv"));
+            io::write_tsv_file(&part, tsv.to_str().unwrap()).unwrap();
+            call(&argv(&[
+                "ingest",
+                tsv.to_str().unwrap(),
+                "--store",
+                store_s,
+                "--agg",
+                "avg",
+            ]))
+            .unwrap();
+        }
+        // The layered store answers the same queries build-store's would.
+        call(&argv(&["query", store_s, "--mask", "101", "--top", "3"])).unwrap();
+
+        // Mismatched aggregate on a later batch is a typed error.
+        let tsv0 = dir.join("batch0.tsv");
+        let err = call(&argv(&[
+            "ingest",
+            tsv0.to_str().unwrap(),
+            "--store",
+            store_s,
+            "--agg",
+            "sum",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+
+        // Fold the chain down and keep answering.
+        call(&argv(&["compact", store_s, "--max-layers", "1"])).unwrap();
+        call(&argv(&["query", store_s, "--mask", "011", "--top", "3"])).unwrap();
+        // Within policy now: compact again reports nothing to fold.
+        call(&argv(&["compact", store_s, "--max-layers", "1"])).unwrap();
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_bench_ingest_rate_mode() {
+        let dir = std::env::temp_dir().join(format!("spcube-cli-rate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("data.tsv");
+        let tsv_s = tsv.to_str().unwrap();
+        call(&argv(&[
+            "generate",
+            "--dataset",
+            "zipf",
+            "--n",
+            "1200",
+            "--dims",
+            "3",
+            "--seed",
+            "3",
+            "--out",
+            tsv_s,
+        ]))
+        .unwrap();
+        call(&argv(&[
+            "serve-bench",
+            tsv_s,
+            "--ingest-rate",
+            "150",
+            "--queries",
+            "120",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+            "--max-layers",
+            "2",
+        ]))
+        .unwrap();
+        // A rate that leaves no base rows is a typed error, not a panic.
+        let err = call(&argv(&["serve-bench", tsv_s, "--ingest-rate", "0"])).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "got {err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -15,7 +15,7 @@
 
 mod job;
 
-use spcube_agg::AggSpec;
+use spcube_agg::{AggOutput, AggSpec, AggState};
 use spcube_common::{Error, Mask, Relation, Result};
 use spcube_cubealg::Cube;
 use spcube_mapreduce::{run_job, ClusterConfig, Dfs, RunMetrics, Stopwatch};
@@ -337,6 +337,132 @@ impl SpCube {
             prefix: prefix.to_string(),
         })
     }
+}
+
+/// Everything [`SpCube::ingest_delta`] produces.
+#[derive(Debug)]
+pub struct SpCubeIngestRun {
+    /// What the delta commit wrote (generation, chain, segments, bytes).
+    pub report: spcube_cubestore::DeltaWriteReport,
+    /// Rounds this ingest ran: empty + one `delta-ingest` round for the
+    /// in-process path, or a full sketch/cube run followed by the
+    /// `delta-ingest` round for a big batch routed through MapReduce.
+    pub metrics: RunMetrics,
+    /// Whether the batch was cubed through the SP-Sketch MapReduce path
+    /// (large distributive batch) or the single in-process pass.
+    pub via_mapreduce: bool,
+    /// The store prefix on the DFS (open with `CubeStore::open`).
+    pub prefix: String,
+}
+
+/// Batches at or below this many tuples are cubed by the single
+/// in-process pass of [`spcube_cubestore::state_cube`]; larger batches of
+/// a distributive aggregate go through the SP-Sketch MapReduce path so
+/// the append cost keeps scaling with cluster size.
+pub const DELTA_INPROCESS_MAX: usize = 32_768;
+
+impl SpCube {
+    /// Cube only the appended `batch` and publish it as a new delta layer
+    /// under `prefix` on `dfs` — incremental maintenance instead of a
+    /// full recompute. Layered reads merge this layer with the base
+    /// bit-exactly (the merge laws of [`spcube_agg`]), so the answers
+    /// equal a from-scratch rebuild over base + batch.
+    ///
+    /// Small batches take a single cheap in-process round; a batch larger
+    /// than [`DELTA_INPROCESS_MAX`] with a distributive aggregate
+    /// (COUNT/SUM/MIN/MAX, whose outputs convert losslessly to states)
+    /// reuses the SP-Sketch path via [`SpCube::run_on`]. Requires
+    /// `cfg.min_support == 1`: per-batch iceberg pruning would drop
+    /// groups that only reach the support threshold across batches.
+    pub fn ingest_delta(
+        batch: &Relation,
+        cluster: &ClusterConfig,
+        cfg: &SpCubeConfig,
+        dfs: &Dfs,
+        prefix: &str,
+    ) -> Result<SpCubeIngestRun> {
+        if cfg.min_support != 1 {
+            return Err(Error::Config(format!(
+                "delta ingest requires min_support 1 (got {}): per-batch iceberg pruning \
+                 would break layered bit-exactness",
+                cfg.min_support
+            )));
+        }
+        let t0 = Stopwatch::start();
+        let distributive = matches!(
+            cfg.agg,
+            AggSpec::Count | AggSpec::Sum | AggSpec::Min | AggSpec::Max
+        );
+        let via_mapreduce = distributive && batch.len() > DELTA_INPROCESS_MAX;
+        let mut metrics = RunMetrics::default();
+        let report = if via_mapreduce {
+            let run = Self::run_on(batch, cluster, cfg, dfs)?;
+            metrics = run.metrics;
+            let states = cube_states(&run.cube, cfg.agg)?;
+            spcube_cubestore::ingest_states(dfs, prefix, batch.arity(), cfg.agg, states)?
+        } else {
+            spcube_cubestore::ingest_batch(dfs, prefix, batch, cfg.agg)?
+        };
+        let round = spcube_mapreduce::JobMetrics {
+            name: "delta-ingest".into(),
+            reduce_tasks: 1,
+            output_records: report.rows,
+            reducer_output_bytes: vec![report.bytes],
+            wall_seconds: t0.seconds(),
+            ..Default::default()
+        };
+        metrics.push(round);
+        let obs = &cluster.obs;
+        if obs.enabled() {
+            obs.inc(names::STORE_DELTA_INGEST, &[]);
+            obs.add(names::STORE_DELTA_ROWS, &[], report.rows);
+            obs.hist_record(names::STORE_DELTA_INGEST_US, &[], t0.seconds() * 1e6);
+            obs.gauge_set(names::STORE_LAYER_COUNT, &[], report.layers.len() as f64);
+            obs.event(
+                names::STORE_DELTA_INGEST,
+                SpanId::ROOT,
+                &[
+                    ("generation", report.generation.to_string()),
+                    ("layers", report.layers.len().to_string()),
+                ],
+            );
+        }
+        Ok(SpCubeIngestRun {
+            report,
+            metrics,
+            via_mapreduce,
+            prefix: prefix.to_string(),
+        })
+    }
+}
+
+/// Convert a materialized cube of a *distributive* aggregate into
+/// mergeable per-cuboid states, losslessly (COUNT/SUM/MIN/MAX outputs
+/// carry their whole state). The bridge that lets the SP-Sketch MapReduce
+/// path feed [`spcube_cubestore::ingest_states`]; algebraic/holistic
+/// aggregates must be cubed by `state_cube` instead and are rejected with
+/// a typed error.
+pub fn cube_states(cube: &Cube, spec: AggSpec) -> Result<spcube_cubestore::StateCube> {
+    let mut states = spcube_cubestore::StateCube::new();
+    for (g, v) in cube.iter() {
+        let state = match (spec, v) {
+            (AggSpec::Count, AggOutput::Number(x)) => AggState::Count(*x as u64),
+            (AggSpec::Sum, AggOutput::Number(x)) => AggState::Sum(*x),
+            (AggSpec::Min, AggOutput::Number(x)) => AggState::Min(*x),
+            (AggSpec::Max, AggOutput::Number(x)) => AggState::Max(*x),
+            _ => {
+                return Err(Error::Config(format!(
+                    "{spec:?} outputs are not losslessly convertible to states; \
+                     cube the batch with state_cube instead"
+                )))
+            }
+        };
+        states
+            .entry(g.mask)
+            .or_default()
+            .push((g.key.clone(), state));
+    }
+    Ok(states)
 }
 
 /// Convenience wrapper: run SP-Cube with default configuration.

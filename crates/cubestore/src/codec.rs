@@ -10,7 +10,7 @@
 //! back as [`Error::Corrupt`](spcube_common::Error::Corrupt), never a
 //! crash, so the recover path can kick in.
 
-use spcube_agg::{AggOutput, AggSpec};
+use spcube_agg::{AggOutput, AggSpec, AggState};
 use spcube_common::Result;
 
 pub use spcube_common::codec::{
@@ -59,12 +59,71 @@ pub fn put_agg_spec(out: &mut Vec<u8>, spec: AggSpec) -> Result<()> {
     Ok(())
 }
 
+/// Aggregate-state tags, one per [`AggState`] variant. Unlike
+/// [`AggOutput`], a state is lossless for algebraic/holistic aggregates
+/// (AVG keeps its sum and count, COUNT-DISTINCT its value set), which is
+/// what makes layered delta segments mergeable bit-exactly.
+const TAG_STATE_COUNT: u8 = 0;
+const TAG_STATE_SUM: u8 = 1;
+const TAG_STATE_MIN: u8 = 2;
+const TAG_STATE_MAX: u8 = 3;
+const TAG_STATE_AVG: u8 = 4;
+const TAG_STATE_TOPK: u8 = 5;
+const TAG_STATE_DISTINCT: u8 = 6;
+
+/// Append a tagged [`AggState`] (the mergeable partial, not the finalized
+/// output — delta layers must stay mergeable).
+pub fn put_agg_state(out: &mut Vec<u8>, v: &AggState) -> Result<()> {
+    match v {
+        AggState::Count(n) => {
+            out.push(TAG_STATE_COUNT);
+            put_u64(out, *n);
+        }
+        AggState::Sum(x) => {
+            out.push(TAG_STATE_SUM);
+            put_f64(out, *x);
+        }
+        AggState::Min(x) => {
+            out.push(TAG_STATE_MIN);
+            put_f64(out, *x);
+        }
+        AggState::Max(x) => {
+            out.push(TAG_STATE_MAX);
+            put_f64(out, *x);
+        }
+        AggState::Avg { sum, count } => {
+            out.push(TAG_STATE_AVG);
+            put_f64(out, *sum);
+            put_u64(out, *count);
+        }
+        AggState::TopK { k, counts } => {
+            out.push(TAG_STATE_TOPK);
+            put_len(out, *k)?;
+            put_len(out, counts.len())?;
+            for (bits, n) in counts {
+                put_u64(out, *bits);
+                put_u64(out, *n);
+            }
+        }
+        AggState::Distinct(values) => {
+            out.push(TAG_STATE_DISTINCT);
+            put_len(out, values.len())?;
+            for bits in values {
+                put_u64(out, *bits);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Store-specific reads layered on the shared [`Reader`].
 pub trait AggRead {
     /// Read a tagged [`AggOutput`].
     fn agg_output(&mut self) -> Result<AggOutput>;
     /// Read an [`AggSpec`].
     fn agg_spec(&mut self) -> Result<AggSpec>;
+    /// Read a tagged [`AggState`].
+    fn agg_state(&mut self) -> Result<AggState>;
 }
 
 impl AggRead for Reader<'_> {
@@ -101,6 +160,55 @@ impl AggRead for Reader<'_> {
             6 => AggSpec::CountDistinct,
             other => return Err(self.corrupt(format!("bad aggregate spec tag {other}"))),
         })
+    }
+
+    fn agg_state(&mut self) -> Result<AggState> {
+        let tag = self.u8()?;
+        match tag {
+            TAG_STATE_COUNT => Ok(AggState::Count(self.u64()?)),
+            TAG_STATE_SUM => Ok(AggState::Sum(self.f64()?)),
+            TAG_STATE_MIN => Ok(AggState::Min(self.f64()?)),
+            TAG_STATE_MAX => Ok(AggState::Max(self.f64()?)),
+            TAG_STATE_AVG => Ok(AggState::Avg {
+                sum: self.f64()?,
+                count: self.u64()?,
+            }),
+            TAG_STATE_TOPK => {
+                let k = self.u32()? as usize;
+                let len = self.u32()? as usize;
+                // Each entry is 16 bytes; reject a forged count up front.
+                self.check_count(len, 16, "top-k state entries")?;
+                let mut counts = std::collections::BTreeMap::new();
+                let mut prev: Option<u64> = None;
+                for _ in 0..len {
+                    let bits = self.u64()?;
+                    // Canonical form: strictly ascending keys, matching how
+                    // the ordered map serialized them.
+                    if prev.is_some_and(|p| p >= bits) {
+                        return Err(self.corrupt("top-k state entries out of order"));
+                    }
+                    prev = Some(bits);
+                    counts.insert(bits, self.u64()?);
+                }
+                Ok(AggState::TopK { k, counts })
+            }
+            TAG_STATE_DISTINCT => {
+                let len = self.u32()? as usize;
+                self.check_count(len, 8, "distinct state values")?;
+                let mut values = std::collections::BTreeSet::new();
+                let mut prev: Option<u64> = None;
+                for _ in 0..len {
+                    let bits = self.u64()?;
+                    if prev.is_some_and(|p| p >= bits) {
+                        return Err(self.corrupt("distinct state values out of order"));
+                    }
+                    prev = Some(bits);
+                    values.insert(bits);
+                }
+                Ok(AggState::Distinct(values))
+            }
+            other => Err(self.corrupt(format!("bad aggregate state tag {other}"))),
+        }
     }
 }
 
@@ -162,6 +270,61 @@ mod tests {
         assert!(r.agg_output().is_err());
         let mut r = Reader::new(&[9]);
         assert!(r.agg_output().is_err(), "unknown tag must error");
+    }
+
+    #[test]
+    fn agg_state_round_trip() {
+        let mut topk = AggSpec::TopKFrequent(2).init();
+        let mut distinct = AggSpec::CountDistinct.init();
+        for m in [3.0, 1.0, 3.0, 7.0] {
+            topk.update(m);
+            distinct.update(m);
+        }
+        let states = [
+            AggState::Count(9),
+            AggState::Sum(-2.5),
+            AggState::Min(0.5),
+            AggState::Max(11.0),
+            AggState::Avg {
+                sum: 12.5,
+                count: 5,
+            },
+            topk,
+            distinct,
+        ];
+        for state in &states {
+            let mut out = Vec::new();
+            put_agg_state(&mut out, state).expect("encode state");
+            let mut r = Reader::new(&out);
+            assert_eq!(&r.agg_state().expect("decode state"), state);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn truncated_or_forged_state_reads_error() {
+        // Truncated scalar payload.
+        let mut r = Reader::new(&[TAG_STATE_AVG, 1, 2, 3]);
+        assert!(r.agg_state().is_err());
+        // Unknown tag.
+        let mut r = Reader::new(&[42]);
+        assert!(r.agg_state().is_err());
+        // Forged element count with no bytes behind it.
+        let mut blob = vec![TAG_STATE_DISTINCT];
+        put_u32(&mut blob, 1_000_000);
+        let err = Reader::new(&blob).agg_state().expect_err("forged count");
+        assert!(matches!(err, Error::Corrupt { .. }), "got {err}");
+    }
+
+    #[test]
+    fn out_of_order_state_entries_are_rejected() {
+        // Distinct values serialized descending: not the canonical ordered
+        // form, so the decoder must refuse rather than silently reorder.
+        let mut blob = vec![TAG_STATE_DISTINCT];
+        put_u32(&mut blob, 2);
+        put_u64(&mut blob, 9);
+        put_u64(&mut blob, 3);
+        assert!(Reader::new(&blob).agg_state().is_err());
     }
 
     #[test]

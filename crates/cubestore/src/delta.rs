@@ -1,0 +1,904 @@
+//! Incremental cube maintenance: LSM-style delta layers over the
+//! generational commit protocol.
+//!
+//! A classic store ([`crate::store::write_store`]) rebuilds the whole cube
+//! on every commit. This module instead grows a cube by **layers**: each
+//! appended batch is cubed on its own — cheap, because a batch is small —
+//! and published as a new generation holding `DSEG1` *state* segments:
+//! mergeable [`AggState`] partials rather than finalized outputs. The
+//! manifest of every layer carries the live **chain** (ascending
+//! generations); a read merges the per-key states across every chain
+//! member and finalizes once, which by the merge laws of
+//! [`spcube_agg`] is bit-exact versus cubing base + batches from scratch.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! ingest_batch   cube the batch in-process, commit gen N with
+//!                chain = old chain + [N]        (first ingest: chain=[1])
+//! layered read   CubeStore merges AggStates across the chain, finalizes
+//! compaction     fold the smallest layers into one new generation when
+//!                the chain exceeds the policy's max_layers
+//! GC             a commit deletes generations in neither its own chain
+//!                nor the previous chain, so readers opened against the
+//!                previous chain survive exactly one commit (the same
+//!                guarantee write_store gives its previous generation)
+//! ```
+//!
+//! Every commit reuses the PR 4 protocol verbatim: segments first, the
+//! generation's seal manifest second, one root-manifest write as the
+//! commit point, cleanup after. A crash anywhere leaves either the old
+//! chain or the new chain authoritative — never a torn merge — because
+//! recovery ([`crate::recover::scan_store`]) only chooses a generation
+//! whose whole chain is sealed.
+//!
+//! Delta stores are pinned to `min_support == 1`: iceberg pruning applied
+//! per batch would drop groups that clear the support threshold only
+//! across batches, silently breaking the bit-exactness contract.
+//!
+//! # Wire format (`DSEG1`)
+//!
+//! ```text
+//! "DSEG1" | u32 d | u32 mask | u32 n_rows
+//! per row: tagged key values (one per set mask bit, ascending dimension
+//!          order) | tagged agg_state
+//! u64 FNV-1a checksum of everything above
+//! ```
+//!
+//! Rows are strictly sorted by key, so encoding is deterministic and
+//! mergers stream in order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use spcube_agg::{AggOutput, AggSpec, AggState};
+use spcube_common::{Error, Mask, Relation, Result, Value};
+use spcube_obs::{names, ObsHandle, SpanId, Stopwatch};
+
+use crate::blob::BlobStore;
+use crate::codec::{
+    checked_body, put_agg_state, put_len, put_u32, put_value, seal, AggRead, Reader,
+};
+use crate::manifest::{
+    gen_manifest_path, manifest_path, parse_generation, state_segment_path, Manifest,
+    ManifestEntry, StoreKind,
+};
+use crate::recover::{scan_store, ScanReport};
+
+/// Magic prefix of a serialized state segment (format version 1).
+pub const STATE_SEGMENT_MAGIC: &[u8; 5] = b"DSEG1";
+
+/// One cuboid's worth of mergeable per-group aggregate states — the delta
+/// counterpart of [`crate::segment::Segment`], which holds finalized
+/// outputs. Layers persist states because finalized outputs are lossy for
+/// algebraic/holistic aggregates (AVG drops its count, COUNT-DISTINCT its
+/// value set) and could not be merged bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSegment {
+    d: usize,
+    mask: Mask,
+    rows: Vec<(Box<[Value]>, AggState)>,
+}
+
+impl StateSegment {
+    /// Assemble a state segment, sorting rows by key. Fails (typed, never
+    /// a panic — this runs on the ingest path) when a key's arity does not
+    /// match the mask or two rows share a key.
+    pub fn build(
+        d: usize,
+        mask: Mask,
+        mut rows: Vec<(Box<[Value]>, AggState)>,
+    ) -> Result<StateSegment> {
+        let arity = mask.arity() as usize;
+        if rows.iter().any(|(key, _)| key.len() != arity) {
+            return Err(Error::Internal(format!(
+                "state segment for cuboid {mask} given a key of the wrong arity"
+            )));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        if rows
+            .iter()
+            .zip(rows.iter().skip(1))
+            .any(|(a, b)| a.0 == b.0)
+        {
+            return Err(Error::Internal(format!(
+                "state segment for cuboid {mask} given duplicate keys"
+            )));
+        }
+        Ok(StateSegment { d, mask, rows })
+    }
+
+    /// Source dimensionality.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Which cuboid.
+    pub fn mask(&self) -> Mask {
+        self.mask
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the segment holds no groups.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows: `(key, state)` ascending by key.
+    pub fn rows(&self) -> &[(Box<[Value]>, AggState)] {
+        &self.rows
+    }
+
+    /// Serialize (see the module-level wire format).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_SEGMENT_MAGIC);
+        put_len(&mut out, self.d)?;
+        put_u32(&mut out, self.mask.0);
+        put_len(&mut out, self.rows.len())?;
+        for (key, state) in &self.rows {
+            for v in key.iter() {
+                put_value(&mut out, v)?;
+            }
+            put_agg_state(&mut out, state)?;
+        }
+        seal(&mut out);
+        Ok(out)
+    }
+
+    /// Deserialize, verifying the checksum and structural invariants.
+    pub fn decode(bytes: &[u8]) -> Result<StateSegment> {
+        let body = checked_body(bytes, "state segment")?;
+        let mut r = Reader::labeled(body, "state segment");
+        if r.take(STATE_SEGMENT_MAGIC.len())? != STATE_SEGMENT_MAGIC {
+            return Err(r.corrupt("bad state segment magic"));
+        }
+        let d = r.u32()? as usize;
+        if d > Mask::MAX_DIMS {
+            return Err(r.corrupt(format!(
+                "declares {d} dimensions, max is {}",
+                Mask::MAX_DIMS
+            )));
+        }
+        let mask = Mask(r.u32()?);
+        if !mask.is_subset_of(Mask::full(d)) {
+            return Err(r.corrupt(format!("cuboid {mask} has bits beyond d={d}")));
+        }
+        let arity = mask.arity() as usize;
+        let n = r.u32()? as usize;
+        // A row is at least `arity` tagged values (5 bytes each at the
+        // smallest) plus a 9-byte state; reject a forged count up front.
+        r.check_count(n, arity * 5 + 9, "state rows")?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut key = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                key.push(r.value()?);
+            }
+            let state = r.agg_state()?;
+            rows.push((key.into_boxed_slice(), state));
+        }
+        if !r.is_exhausted() {
+            return Err(r.corrupt("trailing bytes after state segment"));
+        }
+        if rows
+            .iter()
+            .zip(rows.iter().skip(1))
+            .any(|(a, b)| a.0 >= b.0)
+        {
+            return Err(r.corrupt("state rows not strictly sorted by key"));
+        }
+        Ok(StateSegment { d, mask, rows })
+    }
+}
+
+/// Per-cuboid mergeable states of one batch or one merged layer, keyed by
+/// group. The unit a commit persists.
+pub type StateCube = BTreeMap<Mask, Vec<(Box<[Value]>, AggState)>>;
+
+/// Cube `batch` in one in-process pass: every tuple updates its group in
+/// all `2^d` cuboids. For the small batches delta ingest is built for this
+/// is the "single cheap round" — no shuffle, no sketch; the SP-Sketch
+/// MapReduce path stays worthwhile only for large batches (the driver in
+/// `spcube_core` picks).
+pub fn state_cube(batch: &Relation, spec: AggSpec) -> Result<StateCube> {
+    let d = batch.arity();
+    if d > Mask::MAX_DIMS {
+        return Err(Error::Config(format!(
+            "batch declares {d} dimensions, max is {}",
+            Mask::MAX_DIMS
+        )));
+    }
+    let mut acc: BTreeMap<Mask, BTreeMap<Box<[Value]>, AggState>> = BTreeMap::new();
+    for t in batch.tuples() {
+        for mask in Mask::full(d).subsets() {
+            acc.entry(mask)
+                .or_default()
+                .entry(t.project(mask).into_boxed_slice())
+                .or_insert_with(|| spec.init())
+                .update(t.measure);
+        }
+    }
+    Ok(acc
+        .into_iter()
+        .filter(|(_, groups)| !groups.is_empty())
+        .map(|(mask, groups)| (mask, groups.into_iter().collect()))
+        .collect())
+}
+
+/// What one delta commit (ingest or compaction) wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaWriteReport {
+    /// The generation this commit created.
+    pub generation: u64,
+    /// The live layer chain after the commit, ascending.
+    pub layers: Vec<u64>,
+    /// State segments written (non-empty cuboids).
+    pub segments: usize,
+    /// Total bytes of all blobs, both manifest copies included.
+    pub bytes: u64,
+    /// Total rows (groups) across all written segments.
+    pub rows: u64,
+}
+
+/// Cube `batch` and publish it as a new delta layer under `prefix`. The
+/// first ingest on a fresh prefix creates the base layer (generation 1,
+/// chain `[1]`); later ingests append. Fails with a typed
+/// [`Error::Config`] when the prefix holds a classic full-rebuild store
+/// or a store of a different shape (`d`, aggregate spec) — delta layers
+/// only stack on their own kind.
+pub fn ingest_batch(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    batch: &Relation,
+    spec: AggSpec,
+) -> Result<DeltaWriteReport> {
+    let states = state_cube(batch, spec)?;
+    ingest_states(blobs, prefix, batch.arity(), spec, states)
+}
+
+/// Publish pre-cubed states as a new delta layer — the entry point for a
+/// driver that already cubed the batch (e.g. through the SP-Sketch
+/// MapReduce path) and converted the results to states.
+pub fn ingest_states(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    d: usize,
+    spec: AggSpec,
+    states: StateCube,
+) -> Result<DeltaWriteReport> {
+    let scan = scan_store(blobs, prefix)?;
+    let current = current_state_manifest(&scan, prefix)?;
+    if let Some(m) = &current {
+        if m.d != d {
+            return Err(Error::Config(format!(
+                "delta batch has d={d} but the store under `{prefix}` has d={}",
+                m.d
+            )));
+        }
+        if m.spec != spec {
+            return Err(Error::Config(format!(
+                "delta batch aggregates with {spec:?} but the store under `{prefix}` was built with {:?}",
+                m.spec
+            )));
+        }
+    }
+    let old_chain: Vec<u64> = current.map(|m| m.layers).unwrap_or_default();
+    let generation = next_generation(&scan);
+    let mut layers = old_chain.clone();
+    layers.push(generation);
+    commit_layer(
+        blobs, prefix, d, spec, states, layers, &old_chain, generation,
+    )
+}
+
+/// When to fold delta layers back together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact when the live chain holds more than this many layers; a
+    /// run folds the smallest layers (size-tiered) down to exactly this
+    /// count. Must be at least 1.
+    pub max_layers: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy { max_layers: 4 }
+    }
+}
+
+/// What one compaction run folded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactReport {
+    /// The generation holding the merged layer.
+    pub generation: u64,
+    /// The layers that were folded away, ascending.
+    pub folded: Vec<u64>,
+    /// The live layer chain after the commit, ascending.
+    pub layers: Vec<u64>,
+    /// State segments written for the merged layer.
+    pub segments: usize,
+    /// Total bytes written, both manifest copies included.
+    pub bytes: u64,
+    /// Total rows (groups) across the merged layer's segments.
+    pub rows: u64,
+}
+
+/// The background compactor: folds small delta generations together under
+/// a size-tiered policy. Safe to run beside open readers — a compaction
+/// is an ordinary chain commit, so the previous chain's blobs survive it
+/// (see the module-level lifecycle) and the circuit breaker / degraded
+/// read path of [`crate::store::CubeStore`] is untouched.
+pub struct Compactor {
+    policy: CompactionPolicy,
+    obs: ObsHandle,
+}
+
+impl Compactor {
+    /// A compactor with the given policy and no observability attached.
+    pub fn new(policy: CompactionPolicy) -> Compactor {
+        Compactor {
+            policy,
+            obs: ObsHandle::default(),
+        }
+    }
+
+    /// Attach an observability session (compaction counters + duration
+    /// histogram).
+    pub fn with_obs(mut self, obs: ObsHandle) -> Compactor {
+        self.obs = obs;
+        self
+    }
+
+    /// Compact `prefix` if its chain exceeds the policy: merge the
+    /// smallest layers (by sealed byte size) into one new generation and
+    /// commit the shortened chain. Returns `Ok(None)` when the store is
+    /// empty or already within policy.
+    pub fn run(&self, blobs: &dyn BlobStore, prefix: &str) -> Result<Option<CompactReport>> {
+        if self.policy.max_layers == 0 {
+            return Err(Error::Config(
+                "compaction policy needs max_layers >= 1".to_string(),
+            ));
+        }
+        let t0 = Stopwatch::start();
+        let scan = scan_store(blobs, prefix)?;
+        let Some(current) = current_state_manifest(&scan, prefix)? else {
+            return Ok(None);
+        };
+        let chain = current.layers.clone();
+        if chain.len() <= self.policy.max_layers {
+            return Ok(None);
+        }
+        // Size-tiered victim selection: fold the smallest layers so the
+        // big base is not rewritten for every little delta. Folding
+        // `len - max + 1` layers brings the chain back to exactly `max`.
+        let fold = chain.len() - self.policy.max_layers + 1;
+        let mut sized = Vec::with_capacity(chain.len());
+        for &g in &chain {
+            sized.push((layer_manifest(&scan, g)?.total_bytes(), g));
+        }
+        sized.sort_unstable();
+        let victims: BTreeSet<u64> = sized.iter().take(fold).map(|&(_, g)| g).collect();
+        // Merge the victims' states per (cuboid, key), walking layers in
+        // ascending generation order so the merge order — and with it
+        // every non-commutative float rounding — is deterministic.
+        let template = current.spec.init();
+        let mut merged: BTreeMap<Mask, BTreeMap<Box<[Value]>, AggState>> = BTreeMap::new();
+        for &g in &chain {
+            if !victims.contains(&g) {
+                continue;
+            }
+            let m = layer_manifest(&scan, g)?;
+            for entry in &m.entries {
+                let bytes = blobs.get(&entry.path)?;
+                let seg = StateSegment::decode(&bytes)?;
+                if seg.mask() != entry.mask || seg.d() != current.d {
+                    return Err(Error::corrupt(
+                        "state segment",
+                        format!("layer {g} cuboid {}: segment/manifest mismatch", entry.mask),
+                    ));
+                }
+                let slot = merged.entry(entry.mask).or_default();
+                for (key, state) in seg.rows() {
+                    merge_into(slot, key, state, &template)?;
+                }
+            }
+        }
+        let generation = next_generation(&scan);
+        let mut layers: Vec<u64> = chain
+            .iter()
+            .copied()
+            .filter(|g| !victims.contains(g))
+            .collect();
+        layers.push(generation);
+        let states: StateCube = merged
+            .into_iter()
+            .map(|(mask, groups)| (mask, groups.into_iter().collect()))
+            .collect();
+        let report = commit_layer(
+            blobs,
+            prefix,
+            current.d,
+            current.spec,
+            states,
+            layers,
+            &chain,
+            generation,
+        )?;
+        let folded: Vec<u64> = victims.into_iter().collect();
+        self.obs.inc(names::STORE_COMPACT_RUN, &[]);
+        self.obs
+            .add(names::STORE_COMPACT_FOLDED, &[], folded.len() as u64);
+        self.obs
+            .hist_record(names::STORE_COMPACT_US, &[], t0.seconds() * 1e6);
+        self.obs.event(
+            names::STORE_COMPACT_RUN,
+            SpanId::ROOT,
+            &[
+                ("generation", generation.to_string()),
+                ("folded", folded.len().to_string()),
+            ],
+        );
+        self.obs
+            .gauge_set(names::STORE_LAYER_COUNT, &[], report.layers.len() as f64);
+        Ok(Some(CompactReport {
+            generation: report.generation,
+            folded,
+            layers: report.layers,
+            segments: report.segments,
+            bytes: report.bytes,
+            rows: report.rows,
+        }))
+    }
+}
+
+/// One-shot compaction with a throwaway [`Compactor`].
+pub fn compact(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    policy: &CompactionPolicy,
+) -> Result<Option<CompactReport>> {
+    Compactor::new(policy.clone()).run(blobs, prefix)
+}
+
+/// Merge the cuboid `mask` across `layers` (ascending chain order) and
+/// finalize: the layered read behind [`crate::store::CubeStore`]. Rows
+/// come back sorted by key. Errors are typed; data-loss errors (missing
+/// or corrupt layer blobs) let the store's degraded recompute take over.
+pub fn merged_cuboid(
+    blobs: &dyn BlobStore,
+    layers: &[Manifest],
+    d: usize,
+    mask: Mask,
+    spec: AggSpec,
+) -> Result<Vec<(Box<[Value]>, AggOutput)>> {
+    let template = spec.init();
+    let mut acc: BTreeMap<Box<[Value]>, AggState> = BTreeMap::new();
+    for m in layers {
+        let Some(entry) = m.entry(mask) else {
+            continue;
+        };
+        let bytes = blobs.get(&entry.path)?;
+        let seg = StateSegment::decode(&bytes)?;
+        if seg.mask() != mask || seg.d() != d {
+            return Err(Error::corrupt(
+                "state segment",
+                format!(
+                    "layer {} cuboid {mask}: segment/manifest mismatch",
+                    m.generation
+                ),
+            ));
+        }
+        for (key, state) in seg.rows() {
+            merge_into(&mut acc, key, state, &template)?;
+        }
+    }
+    Ok(acc
+        .into_iter()
+        .map(|(key, state)| (key, state.finalize()))
+        .collect())
+}
+
+/// Merge `state` into `acc` under `key`, refusing (typed — merge itself
+/// would panic, and this runs on the serving path) any state whose
+/// variant does not match the store's aggregate spec.
+fn merge_into(
+    acc: &mut BTreeMap<Box<[Value]>, AggState>,
+    key: &[Value],
+    state: &AggState,
+    template: &AggState,
+) -> Result<()> {
+    if std::mem::discriminant(state) != std::mem::discriminant(template) {
+        return Err(Error::corrupt(
+            "state segment",
+            "aggregate state variant does not match the store's spec",
+        ));
+    }
+    match acc.get_mut(key) {
+        Some(existing) => existing.merge(state),
+        None => {
+            acc.insert(Box::from(key), state.clone());
+        }
+    }
+    Ok(())
+}
+
+/// The chosen manifest of an incremental store, `Ok(None)` for a prefix
+/// with no committed generation at all (fresh, or only aborted commits —
+/// both start a new chain), and a typed error when the prefix holds a
+/// classic full-rebuild store.
+fn current_state_manifest(scan: &ScanReport, prefix: &str) -> Result<Option<Manifest>> {
+    let Some(chosen) = scan.chosen else {
+        return Ok(None);
+    };
+    let manifest = scan
+        .generations
+        .iter()
+        .find(|g| g.generation == chosen)
+        .and_then(|g| g.manifest.clone())
+        .ok_or_else(|| {
+            Error::Internal(format!("scan chose generation {chosen} without a manifest"))
+        })?;
+    if manifest.kind != StoreKind::State {
+        return Err(Error::Config(format!(
+            "`{prefix}` holds a full-rebuild store; delta ingest and compaction need an incremental store"
+        )));
+    }
+    Ok(Some(manifest))
+}
+
+/// The sealed manifest of chain member `g`.
+fn layer_manifest(scan: &ScanReport, g: u64) -> Result<&Manifest> {
+    scan.generations
+        .iter()
+        .find(|i| i.generation == g && i.sealed)
+        .and_then(|i| i.manifest.as_ref())
+        .ok_or_else(|| Error::corrupt("store", format!("chain layer {g} is not sealed")))
+}
+
+/// Next generation number: one past anything ever written under the
+/// prefix, sealed or not, so an aborted commit never gets its dirty
+/// directory reused.
+fn next_generation(scan: &ScanReport) -> u64 {
+    scan.generations
+        .iter()
+        .map(|i| i.generation)
+        .max()
+        .unwrap_or(0)
+        + 1
+}
+
+/// Commit `states` as generation `generation` with the given chain,
+/// following the PR 4 protocol: segments, seal, one root write (the
+/// commit point), then chain-aware GC. `old_chain` is the chain the
+/// previous root named; its members survive this commit so readers
+/// opened against it keep answering.
+#[allow(clippy::too_many_arguments)]
+fn commit_layer(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    d: usize,
+    spec: AggSpec,
+    states: StateCube,
+    layers: Vec<u64>,
+    old_chain: &[u64],
+    generation: u64,
+) -> Result<DeltaWriteReport> {
+    let listing = blobs.list(prefix)?;
+    let mut entries = Vec::with_capacity(states.len());
+    let mut total_bytes = 0u64;
+    let mut total_rows = 0u64;
+    // BTreeMap iteration: segments land in ascending mask order, so the
+    // blob sequence and manifest are byte-identical across runs.
+    for (mask, rows) in states {
+        if rows.is_empty() {
+            continue;
+        }
+        let segment = StateSegment::build(d, mask, rows)?;
+        let encoded = segment.encode()?;
+        let path = state_segment_path(prefix, generation, d, mask);
+        total_bytes += encoded.len() as u64;
+        total_rows += segment.len() as u64;
+        entries.push(ManifestEntry {
+            mask,
+            rows: u32::try_from(segment.len()).map_err(|_| {
+                Error::Internal(format!(
+                    "cuboid {mask} row count exceeds the manifest field"
+                ))
+            })?,
+            bytes: encoded.len() as u64,
+            path: path.clone(),
+        });
+        blobs.put(&path, encoded)?;
+    }
+    let manifest = Manifest {
+        d,
+        generation,
+        spec,
+        // Pinned: per-batch iceberg pruning would break layered
+        // bit-exactness (see the module docs).
+        min_support: 1,
+        kind: StoreKind::State,
+        layers,
+        entries,
+    };
+    let encoded = manifest.encode()?;
+    total_bytes += 2 * encoded.len() as u64;
+    // Seal: the generation's own manifest, written after every segment.
+    blobs.put(&gen_manifest_path(prefix, generation), encoded.clone())?;
+    // COMMIT POINT: one root-manifest write flips readers to the new
+    // chain. Everything before this line is invisible to recovery;
+    // everything after is cleanup.
+    blobs.put(&manifest_path(prefix), encoded)?;
+    // Chain-aware GC: a generation survives while this commit's chain or
+    // the previous chain names it. Compaction victims therefore outlive
+    // exactly one commit — the same one-rewrite guarantee write_store
+    // gives — and aborted generations are swept immediately.
+    let live: BTreeSet<u64> = manifest.layers.iter().chain(old_chain).copied().collect();
+    for (path, _) in &listing {
+        if parse_generation(prefix, path).is_some_and(|g| !live.contains(&g)) {
+            blobs.delete(path)?;
+        }
+    }
+    Ok(DeltaWriteReport {
+        generation,
+        layers: manifest.layers.clone(),
+        segments: manifest.entries.len(),
+        bytes: total_bytes,
+        rows: total_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use spcube_common::Schema;
+    use spcube_cubealg::{naive_cube, CubeQuery, CubeRead};
+    use spcube_mapreduce::Dfs;
+
+    use crate::store::{write_store, CubeStore};
+
+    /// 12 rows, 3 dims, integer measures (exact in f64 whatever the merge
+    /// order).
+    fn sample_rel() -> Relation {
+        let mut r = Relation::empty(Schema::synthetic(3));
+        for i in 0..12i64 {
+            r.push_row(
+                vec![Value::Int(i % 3), Value::Int(i % 2), Value::Int(i % 4)],
+                (i % 7) as f64,
+            );
+        }
+        r
+    }
+
+    fn split(rel: &Relation, at: &[usize]) -> Vec<Relation> {
+        let mut parts = Vec::new();
+        let mut start = 0;
+        for &end in at.iter().chain(std::iter::once(&rel.len())) {
+            let mut part = Relation::empty(rel.schema().clone());
+            for t in &rel.tuples()[start..end] {
+                part.push(t.clone()).expect("push");
+            }
+            parts.push(part);
+            start = end;
+        }
+        parts
+    }
+
+    fn assert_equals_rebuild(dfs: &Arc<Dfs>, prefix: &str, full: &Relation, spec: AggSpec) {
+        let store =
+            CubeStore::open(Arc::clone(dfs) as Arc<dyn BlobStore>, prefix).expect("open store");
+        let cube = naive_cube(full, spec);
+        let q = CubeQuery::new(&cube, full.arity());
+        for mask in Mask::full(full.arity()).subsets() {
+            let rows = store.cuboid_rows(mask).expect("cuboid rows");
+            assert_eq!(rows.len(), q.cuboid_len(mask), "cuboid {mask}");
+            for (g, v) in &rows {
+                assert_eq!(
+                    q.group(mask, &g.key),
+                    Some(v),
+                    "cuboid {mask} key {:?}",
+                    g.key
+                );
+            }
+        }
+        assert_eq!(store.stats().degraded_recomputes, 0);
+    }
+
+    #[test]
+    fn state_segment_round_trips_and_rejects_corruption() {
+        let states = state_cube(&sample_rel(), AggSpec::Avg).expect("state cube");
+        let rows = states.get(&Mask(0b101)).expect("cuboid present").clone();
+        let seg = StateSegment::build(3, Mask(0b101), rows).expect("build");
+        let bytes = seg.encode().expect("encode");
+        let back = StateSegment::decode(&bytes).expect("decode");
+        assert_eq!(back, seg);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                StateSegment::decode(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn state_segment_build_rejects_bad_rows() {
+        let wrong_arity = vec![(vec![Value::Int(1)].into_boxed_slice(), AggState::Count(1))];
+        assert!(StateSegment::build(3, Mask(0b011), wrong_arity).is_err());
+        let dup = vec![
+            (vec![Value::Int(1)].into_boxed_slice(), AggState::Count(1)),
+            (vec![Value::Int(1)].into_boxed_slice(), AggState::Count(2)),
+        ];
+        assert!(StateSegment::build(3, Mask(0b001), dup).is_err());
+    }
+
+    #[test]
+    fn state_cube_counts_match_the_naive_cube() {
+        let rel = sample_rel();
+        let states = state_cube(&rel, AggSpec::Count).expect("state cube");
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let q = CubeQuery::new(&cube, rel.arity());
+        assert_eq!(states.len(), 8, "all 2^3 cuboids non-empty");
+        for (mask, rows) in &states {
+            assert_eq!(rows.len(), q.cuboid_len(*mask));
+            for (key, state) in rows {
+                assert_eq!(
+                    Some(&state.clone().finalize()),
+                    q.group(*mask, key),
+                    "cuboid {mask}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_ingest_creates_the_base_layer() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        let report = ingest_batch(dfs.as_ref(), "inc", &rel, AggSpec::Sum).expect("ingest");
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.layers, vec![1]);
+        assert!(report.segments > 0);
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+        assert_eq!(store.layer_count(), 1);
+        assert_eq!(store.manifest().min_support, 1);
+        assert_eq!(store.manifest().kind, StoreKind::State);
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Sum);
+    }
+
+    #[test]
+    fn layered_reads_equal_a_monolithic_rebuild() {
+        // AVG is the aggregate a lossy layering would break first: its
+        // output drops the count, so only true state merging can pass.
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        for batch in split(&rel, &[4, 7, 9]) {
+            ingest_batch(dfs.as_ref(), "inc", &batch, AggSpec::Avg).expect("ingest");
+        }
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+        assert_eq!(store.layers(), vec![1, 2, 3, 4]);
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Avg);
+    }
+
+    #[test]
+    fn compaction_folds_the_smallest_layers_and_keeps_answers() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        for batch in split(&rel, &[6, 8, 10, 11]) {
+            ingest_batch(dfs.as_ref(), "inc", &batch, AggSpec::Avg).expect("ingest");
+        }
+        let policy = CompactionPolicy { max_layers: 2 };
+        let report = compact(dfs.as_ref(), "inc", &policy)
+            .expect("compact")
+            .expect("store exceeded policy");
+        assert_eq!(report.generation, 6);
+        assert_eq!(report.folded.len(), 4);
+        assert_eq!(report.layers.len(), 2);
+        assert_eq!(*report.layers.last().expect("chain tail"), 6);
+        let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+        assert_eq!(store.layer_count(), 2);
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Avg);
+        // Within policy now: another run is a no-op.
+        assert!(compact(dfs.as_ref(), "inc", &policy)
+            .expect("compact again")
+            .is_none());
+    }
+
+    #[test]
+    fn compaction_victims_survive_one_commit_then_are_collected() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        let parts = split(&rel, &[3, 6, 9]);
+        let (last, first) = parts.split_last().expect("parts");
+        for batch in first {
+            ingest_batch(dfs.as_ref(), "inc", batch, AggSpec::Sum).expect("ingest");
+        }
+        // A reader opened against the pre-compaction chain…
+        let pinned =
+            CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open pinned");
+        assert_eq!(pinned.layers(), vec![1, 2, 3]);
+        compact(dfs.as_ref(), "inc", &CompactionPolicy { max_layers: 1 })
+            .expect("compact")
+            .expect("folded");
+        // …keeps answering: victims outlive exactly one commit.
+        let pre: Relation = {
+            let mut r = Relation::empty(rel.schema().clone());
+            for t in &rel.tuples()[..9] {
+                r.push(t.clone()).expect("push");
+            }
+            r
+        };
+        let cube = naive_cube(&pre, AggSpec::Sum);
+        let q = CubeQuery::new(&cube, 3);
+        for mask in Mask::full(3).subsets() {
+            let rows = pinned.cuboid_rows(mask).expect("pinned rows");
+            assert_eq!(rows.len(), q.cuboid_len(mask));
+        }
+        // The next commit sweeps them.
+        ingest_batch(dfs.as_ref(), "inc", last, AggSpec::Sum).expect("ingest last");
+        let listed = dfs.list_prefix("inc");
+        for g in 1..=3u64 {
+            assert!(
+                !listed
+                    .iter()
+                    .any(|(p, _)| p.starts_with(&format!("inc/gen-0000000{g}/"))),
+                "victim generation {g} should be collected"
+            );
+        }
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Sum);
+    }
+
+    #[test]
+    fn full_rebuild_and_delta_ingest_refuse_each_other() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        // Output store first: ingest must refuse it.
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        write_store(dfs.as_ref(), "out", &cube, 3, AggSpec::Sum, 1).expect("write");
+        let err = ingest_batch(dfs.as_ref(), "out", &rel, AggSpec::Sum).expect_err("refuse");
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+        // Layered store first: write_store must refuse it.
+        ingest_batch(dfs.as_ref(), "inc", &rel, AggSpec::Sum).expect("ingest");
+        let err = write_store(dfs.as_ref(), "inc", &cube, 3, AggSpec::Sum, 1).expect_err("refuse");
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+    }
+
+    #[test]
+    fn mismatched_shape_or_spec_is_refused() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        ingest_batch(dfs.as_ref(), "inc", &rel, AggSpec::Sum).expect("ingest");
+        let err = ingest_batch(dfs.as_ref(), "inc", &rel, AggSpec::Count).expect_err("spec");
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+        let mut narrow = Relation::empty(Schema::synthetic(2));
+        narrow.push_row(vec![Value::Int(1), Value::Int(2)], 1.0);
+        let err = ingest_batch(dfs.as_ref(), "inc", &narrow, AggSpec::Sum).expect_err("shape");
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+    }
+
+    #[test]
+    fn empty_batch_still_commits_a_layer() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        ingest_batch(dfs.as_ref(), "inc", &rel, AggSpec::Sum).expect("ingest");
+        let empty = Relation::empty(rel.schema().clone());
+        let report = ingest_batch(dfs.as_ref(), "inc", &empty, AggSpec::Sum).expect("empty");
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.segments, 0);
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Sum);
+    }
+
+    #[test]
+    fn compactor_policy_zero_is_a_config_error() {
+        let dfs = Dfs::new();
+        let err = compact(&dfs, "inc", &CompactionPolicy { max_layers: 0 }).expect_err("zero");
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+    }
+}

@@ -42,6 +42,12 @@
 //! * **[`server`]** — [`CubeServer`]: a fixed worker pool over a bounded
 //!   request queue with typed overload rejection, serving point / slice /
 //!   top-k / roll-up requests concurrently from one shared store.
+//! * **[`delta`]** — incremental maintenance: [`ingest_batch`] cubes an
+//!   appended batch and publishes it as a new delta **layer** (mergeable
+//!   `AggState` segments, `DSEG1`) over the same generational commit
+//!   protocol; [`CubeStore`] merges states across the live chain at read
+//!   time, bit-exact versus a from-scratch rebuild; a [`Compactor`] folds
+//!   small layers back together under a size-tiered policy.
 // Serving-path crate: panic-free outside tests (see DESIGN.md and the
 // spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -51,6 +57,7 @@ pub mod cache;
 pub mod client;
 pub mod codec;
 pub mod crashpoint;
+pub mod delta;
 pub mod faults;
 pub mod manifest;
 pub mod recover;
@@ -62,10 +69,14 @@ pub use blob::{BlobStore, DirBlobs};
 pub use cache::SegmentCache;
 pub use client::{ClientConfig, ClientStats, ResilientClient};
 pub use crashpoint::{schedules, CrashPlan, CrashPoint, OpKind, OpRecord, TornWrite};
+pub use delta::{
+    compact, ingest_batch, ingest_states, merged_cuboid, state_cube, CompactReport,
+    CompactionPolicy, Compactor, DeltaWriteReport, StateCube, StateSegment,
+};
 pub use faults::{FaultKind, FaultRecord, FaultSchedule, FaultStats, FaultyBlobs};
 pub use manifest::{
     gen_manifest_path, gen_prefix, manifest_path, parse_generation, quarantine_path, segment_path,
-    Manifest, ManifestEntry,
+    state_segment_path, Manifest, ManifestEntry, StoreKind,
 };
 pub use recover::{recompute_cuboid, scan_store, GenerationInfo, ScanReport};
 pub use segment::Segment;

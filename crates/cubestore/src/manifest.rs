@@ -31,10 +31,23 @@
 //! manifest stored under `gen-N/` whose body says any other generation is
 //! treated as torn.
 //!
+//! # Layered (incremental) stores
+//!
+//! A store is either a classic full-rebuild store ([`StoreKind::Output`],
+//! `CSEG1` segments of finalized outputs) or an incremental store
+//! ([`StoreKind::State`], `DSEG1` segments of mergeable partial states
+//! written by [`crate::delta`]). An incremental manifest additionally
+//! carries its **layer chain**: the ascending list of live generations
+//! whose state segments must be merged to answer a query. The chain always
+//! ends with the manifest's own generation (each delta commit layers
+//! itself on top; each compaction replaces its victims with itself).
+//!
 //! # Wire format (`CMAN1`)
 //!
 //! ```text
 //! "CMAN1" | u32 d | u64 generation | tagged agg_spec | u32 min_support
+//! u8 kind (0 = output, 1 = state)
+//! u32 n_layers | per layer: u64 generation   (empty for output stores)
 //! u32 n_entries
 //! per entry: u32 mask | u32 rows | u64 bytes | u32 path_len | path bytes
 //! u64 FNV-1a checksum of everything above
@@ -55,6 +68,19 @@ pub const MANIFEST_FILE: &str = "manifest.cman";
 /// Directory (under the store prefix) where the recovery scan moves
 /// orphaned or torn blobs instead of deleting them.
 pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What a store's segments hold: finalized outputs (classic full-rebuild
+/// store) or mergeable partial states (incremental, layered store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// `CSEG1` segments of finalized [`AggOutput`](spcube_agg::AggOutput)s;
+    /// one live generation, rebuilt from scratch on every commit.
+    #[default]
+    Output,
+    /// `DSEG1` segments of mergeable [`AggState`](spcube_agg::AggState)s;
+    /// reads merge every generation in the layer chain.
+    State,
+}
 
 /// One materialized cuboid.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +106,12 @@ pub struct Manifest {
     pub spec: AggSpec,
     /// Iceberg minimum support the cube was built with.
     pub min_support: usize,
+    /// Whether segments hold finalized outputs or mergeable states.
+    pub kind: StoreKind,
+    /// Live layer chain for [`StoreKind::State`] stores: ascending
+    /// generations to merge at read time, ending with this manifest's own
+    /// generation. Always empty for [`StoreKind::Output`].
+    pub layers: Vec<u64>,
     /// Materialized cuboids, sorted by mask.
     pub entries: Vec<ManifestEntry>,
 }
@@ -115,6 +147,14 @@ impl Manifest {
         put_u64(&mut out, self.generation);
         put_agg_spec(&mut out, self.spec)?;
         put_len(&mut out, self.min_support)?;
+        out.push(match self.kind {
+            StoreKind::Output => 0,
+            StoreKind::State => 1,
+        });
+        put_len(&mut out, self.layers.len())?;
+        for g in &self.layers {
+            put_u64(&mut out, *g);
+        }
         put_len(&mut out, entries.len())?;
         for e in entries {
             put_u32(&mut out, e.mask.0);
@@ -147,6 +187,33 @@ impl Manifest {
         }
         let spec = r.agg_spec()?;
         let min_support = r.u32()? as usize;
+        let kind = match r.u8()? {
+            0 => StoreKind::Output,
+            1 => StoreKind::State,
+            other => return Err(r.corrupt(format!("bad store kind tag {other}"))),
+        };
+        let n_layers = r.u32()? as usize;
+        r.check_count(n_layers, 8, "layer chain")?;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let g = r.u64()?;
+            if g == 0 {
+                return Err(r.corrupt("layer chain names generation 0"));
+            }
+            if layers.last().is_some_and(|&prev| prev >= g) {
+                return Err(r.corrupt("layer chain is not strictly ascending"));
+            }
+            layers.push(g);
+        }
+        match kind {
+            StoreKind::Output if !layers.is_empty() => {
+                return Err(r.corrupt("output store carries a layer chain"));
+            }
+            StoreKind::State if layers.last() != Some(&generation) => {
+                return Err(r.corrupt("state store's layer chain must end with its own generation"));
+            }
+            _ => {}
+        }
         let n = r.u32()? as usize;
         // An entry is at least 16 bytes (mask, rows, bytes, path length);
         // reject a forged count before allocating for it.
@@ -186,6 +253,8 @@ impl Manifest {
             generation,
             spec,
             min_support,
+            kind,
+            layers,
             entries,
         })
     }
@@ -203,6 +272,18 @@ pub fn gen_prefix(prefix: &str, generation: u64) -> String {
 pub fn segment_path(prefix: &str, generation: u64, d: usize, mask: Mask) -> String {
     format!(
         "{}/cuboid-{:0>width$b}.cseg",
+        gen_prefix(prefix, generation),
+        mask.0,
+        width = d.max(1)
+    )
+}
+
+/// Blob path of the *state* segment for `mask` in `generation` under
+/// `prefix` — the `DSEG1` counterpart of [`segment_path`], used by the
+/// incremental store's delta layers.
+pub fn state_segment_path(prefix: &str, generation: u64, d: usize, mask: Mask) -> String {
+    format!(
+        "{}/cuboid-{:0>width$b}.dseg",
         gen_prefix(prefix, generation),
         mask.0,
         width = d.max(1)
@@ -248,6 +329,8 @@ mod tests {
             generation: 7,
             spec: AggSpec::TopKFrequent(4),
             min_support: 2,
+            kind: StoreKind::Output,
+            layers: Vec::new(),
             entries: vec![
                 ManifestEntry {
                     mask: Mask(0b000),
@@ -281,6 +364,49 @@ mod tests {
         assert!(back.entry(Mask(0b101)).is_none());
         assert_eq!(back.total_bytes(), 2440);
         assert_eq!(back.total_rows(), 61);
+    }
+
+    fn state_sample() -> Manifest {
+        let mut m = sample();
+        m.kind = StoreKind::State;
+        m.layers = vec![2, 5, 7];
+        for e in &mut m.entries {
+            e.path = e.path.replace("p/", "q/");
+        }
+        m
+    }
+
+    #[test]
+    fn state_manifest_round_trips_with_layer_chain() {
+        let m = state_sample();
+        let back = Manifest::decode(&m.encode().expect("encode")).expect("decode");
+        assert_eq!(back, m);
+        assert_eq!(back.layers, vec![2, 5, 7]);
+        assert_eq!(back.kind, StoreKind::State);
+    }
+
+    #[test]
+    fn invalid_layer_chains_are_rejected() {
+        // Chain not ending with the manifest's own generation.
+        let mut m = state_sample();
+        m.layers = vec![2, 5];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // Chain not strictly ascending.
+        let mut m = state_sample();
+        m.layers = vec![5, 2, 7];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // Chain naming generation 0.
+        let mut m = state_sample();
+        m.layers = vec![0, 7];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // Empty chain on a state store.
+        let mut m = state_sample();
+        m.layers = Vec::new();
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // Output store carrying a chain.
+        let mut m = sample();
+        m.layers = vec![7];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
     }
 
     #[test]
@@ -321,6 +447,10 @@ mod tests {
         assert_eq!(
             segment_path("store", 12, 1, Mask(0b0)),
             "store/gen-00000012/cuboid-0.cseg"
+        );
+        assert_eq!(
+            state_segment_path("store", 2, 4, Mask(0b101)),
+            "store/gen-00000002/cuboid-0101.dseg"
         );
         assert_eq!(manifest_path("store"), "store/manifest.cman");
         assert_eq!(

@@ -133,11 +133,21 @@ pub fn scan_store(blobs: &dyn BlobStore, prefix: &str) -> Result<ScanReport> {
         .ok()
         .map(|m| m.generation);
     let is_sealed = |g: u64| generations.iter().any(|i| i.generation == g && i.sealed);
-    let chosen = committed.filter(|&g| is_sealed(g)).or_else(|| {
+    // A generation is *choosable* when it is sealed and — for layered
+    // state stores — every generation its layer chain names is also
+    // sealed: a chain head whose ancestors are torn cannot answer reads.
+    let choosable = |g: u64| {
+        generations
+            .iter()
+            .find(|i| i.generation == g && i.sealed)
+            .and_then(|i| i.manifest.as_ref())
+            .is_some_and(|m| m.layers.iter().all(|&l| l == g || is_sealed(l)))
+    };
+    let chosen = committed.filter(|&g| choosable(g)).or_else(|| {
         generations
             .iter()
             .rev()
-            .find(|i| i.sealed)
+            .find(|i| choosable(i.generation))
             .map(|i| i.generation)
     });
     let torn_root = chosen.is_some() && committed != chosen;
@@ -284,6 +294,8 @@ mod tests {
                 generation,
                 spec: AggSpec::Count,
                 min_support: 1,
+                kind: Default::default(),
+                layers: Vec::new(),
                 entries: vec![ManifestEntry {
                     mask: Mask(0b1),
                     rows: 1,

@@ -48,9 +48,10 @@ use spcube_obs::{names, Counter, ObsHandle, SpanId};
 
 use crate::blob::BlobStore;
 use crate::cache::SegmentCache;
+use crate::delta::merged_cuboid;
 use crate::manifest::{
     gen_manifest_path, manifest_path, parse_generation, quarantine_path, segment_path, Manifest,
-    ManifestEntry,
+    ManifestEntry, StoreKind,
 };
 use crate::recover::{recompute_cuboid, scan_store};
 use crate::segment::Segment;
@@ -100,6 +101,16 @@ pub fn write_store(
     // sealed or not, so an aborted commit never gets its dirty directory
     // reused.
     let listing = blobs.list(prefix)?;
+    // A full rebuild must not land on an incremental store: this GC keeps
+    // only the previous generation, which would delete live delta layers
+    // out from under the chain. Layered prefixes are append-only through
+    // `crate::delta`.
+    if listing.iter().any(|(p, _)| p.ends_with(".dseg")) {
+        return Err(Error::Config(format!(
+            "`{prefix}` holds an incremental (layered) store; use delta ingest/compaction, \
+             or write the rebuild under a fresh prefix"
+        )));
+    }
     let generation = listing
         .iter()
         .filter_map(|(p, _)| parse_generation(prefix, p))
@@ -141,6 +152,8 @@ pub fn write_store(
         generation,
         spec,
         min_support,
+        kind: StoreKind::Output,
+        layers: Vec::new(),
         entries,
     };
     let encoded = manifest.encode()?;
@@ -211,6 +224,11 @@ impl StoreStats {
 pub struct CubeStore {
     blobs: Arc<dyn BlobStore>,
     manifest: Manifest,
+    /// Seal manifests of every live layer, ascending by generation — one
+    /// entry per chain member for an incremental ([`StoreKind::State`])
+    /// store, empty for a classic output store. Reads of a layered store
+    /// merge `AggState`s across these and finalize once.
+    layer_manifests: Vec<Manifest>,
     cache: Mutex<SegmentCache>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -266,6 +284,26 @@ impl CubeStore {
                 .encode()
                 .and_then(|bytes| blobs.put(&manifest_path(prefix), bytes));
         }
+        // A layered store needs every chain member's seal manifest; the
+        // scan already guaranteed each one is sealed (a chain with torn
+        // ancestors is never chosen).
+        let mut layer_manifests = Vec::with_capacity(manifest.layers.len());
+        if manifest.kind == StoreKind::State {
+            for &g in &manifest.layers {
+                let layer = if g == manifest.generation {
+                    manifest.clone()
+                } else {
+                    Manifest::decode(&blobs.get(&gen_manifest_path(prefix, g))?)?
+                };
+                if layer.d != manifest.d || layer.spec != manifest.spec {
+                    return Err(Error::corrupt(
+                        "store",
+                        format!("layer {g} disagrees with the root manifest's shape"),
+                    ));
+                }
+                layer_manifests.push(layer);
+            }
+        }
         let mut quarantined = 0;
         for orphan in &scan.orphans {
             // Move, don't delete: torn blobs are forensic evidence of an
@@ -282,6 +320,7 @@ impl CubeStore {
         Ok(CubeStore {
             blobs,
             manifest,
+            layer_manifests,
             cache: Mutex::new(SegmentCache::new(DEFAULT_CACHE_SEGMENTS)),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -330,6 +369,13 @@ impl CubeStore {
                 &[("blobs", quarantined.to_string())],
             );
         }
+        if self.manifest.kind == StoreKind::State {
+            obs.gauge_set(
+                names::STORE_LAYER_COUNT,
+                &[],
+                self.layer_manifests.len() as f64,
+            );
+        }
         self.obs = obs;
         self
     }
@@ -361,6 +407,18 @@ impl CubeStore {
     /// The generation this store serves.
     pub fn generation(&self) -> u64 {
         self.manifest.generation
+    }
+
+    /// Live delta layers this store merges at read time: the chain length
+    /// for an incremental store, `0` for a classic output store.
+    pub fn layer_count(&self) -> usize {
+        self.layer_manifests.len()
+    }
+
+    /// The live chain's generations, ascending (empty for an output
+    /// store).
+    pub fn layers(&self) -> Vec<u64> {
+        self.layer_manifests.iter().map(|m| m.generation).collect()
     }
 
     /// Snapshot of the cache/recovery/degradation counters.
@@ -396,6 +454,9 @@ impl CubeStore {
 
     /// Fetch + decode outside the cache, falling back to recompute.
     fn load_segment(&self, mask: Mask) -> Result<Segment> {
+        if self.manifest.kind == StoreKind::State {
+            return self.load_layered(mask);
+        }
         let Some(entry) = self.manifest.entry(mask) else {
             // Not materialized: the cuboid is empty (the writer skips
             // empty cuboids), unless the mask is out of range entirely —
@@ -416,6 +477,28 @@ impl CubeStore {
             Ok(_) => self.degrade(mask, "segment/manifest cuboid mismatch".to_string()),
             // Only data loss (corruption, bad parse, missing blob) is
             // recoverable by recompute; I/O or config errors propagate.
+            Err(e) if e.is_data_loss() => self.degrade(mask, e),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The layered read: merge the cuboid's `AggState`s across every live
+    /// layer, finalize once, and serve the result as an ordinary segment
+    /// (so the cache, server, client, and breaker counters all work
+    /// unchanged). Data loss in any layer degrades to the BUC recompute,
+    /// which is bit-exact over the full recovery relation.
+    fn load_layered(&self, mask: Mask) -> Result<Segment> {
+        match merged_cuboid(
+            self.blobs.as_ref(),
+            &self.layer_manifests,
+            self.manifest.d,
+            mask,
+            self.manifest.spec,
+        ) {
+            Ok(rows) => {
+                lock_or_recover(&self.degrade_strikes).remove(&mask);
+                Ok(Segment::build(self.manifest.d, mask, rows))
+            }
             Err(e) if e.is_data_loss() => self.degrade(mask, e),
             Err(e) => Err(e),
         }
@@ -446,6 +529,13 @@ impl CubeStore {
     /// damaged blob so later reads stop paying for recompute.
     fn maybe_rebuild(&self, mask: Mask, seg: &Segment) {
         if self.rebuild_threshold == 0 {
+            return;
+        }
+        // No in-place rebuild for layered stores: a finalized segment
+        // can't replace any single layer's state blob (sizes and contents
+        // both differ), and the size-exact seal check would unseal the
+        // layer. Compaction is the repair path that rewrites layers.
+        if self.manifest.kind == StoreKind::State {
             return;
         }
         let strikes = {

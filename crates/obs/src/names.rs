@@ -67,6 +67,21 @@ pub const SERVE_DEGRADED: &str = "serve.degraded";
 /// `path`).
 pub const STORE_FAULT_INJECTED: &str = "store.fault.injected";
 
+/// Live layer count of an incremental store (gauge).
+pub const STORE_LAYER_COUNT: &str = "store.layer.count";
+/// A delta batch was ingested as a new layer (counter + event).
+pub const STORE_DELTA_INGEST: &str = "store.delta.ingest";
+/// Wall microseconds one delta ingest took, cube + commit (histogram).
+pub const STORE_DELTA_INGEST_US: &str = "store.delta.ingest.us";
+/// Rows written into a delta layer's state segments (counter).
+pub const STORE_DELTA_ROWS: &str = "store.delta.rows";
+/// A compaction folded delta layers into a new base (counter + event).
+pub const STORE_COMPACT_RUN: &str = "store.compact.run";
+/// Layers folded away by compactions (counter).
+pub const STORE_COMPACT_FOLDED: &str = "store.compact.folded_layers";
+/// Wall microseconds one compaction took, merge + commit (histogram).
+pub const STORE_COMPACT_US: &str = "store.compact.us";
+
 /// Every registered name — the single source the naming test audits.
 pub const ALL: &[&str] = &[
     ENGINE_ROUND,
@@ -95,6 +110,13 @@ pub const ALL: &[&str] = &[
     SERVE_BREAKER_OPEN,
     SERVE_DEGRADED,
     STORE_FAULT_INJECTED,
+    STORE_LAYER_COUNT,
+    STORE_DELTA_INGEST,
+    STORE_DELTA_INGEST_US,
+    STORE_DELTA_ROWS,
+    STORE_COMPACT_RUN,
+    STORE_COMPACT_FOLDED,
+    STORE_COMPACT_US,
 ];
 
 /// Whether `s` is a lowercase dotted identifier:

@@ -51,6 +51,7 @@ const NO_PANIC_PATHS: &[&str] = &[
     "crates/cubestore/src/client.rs",
     "crates/cubestore/src/codec.rs",
     "crates/cubestore/src/crashpoint.rs",
+    "crates/cubestore/src/delta.rs",
     "crates/cubestore/src/faults.rs",
     "crates/cubestore/src/manifest.rs",
     "crates/cubestore/src/store.rs",
@@ -62,6 +63,7 @@ const NO_PANIC_PATHS: &[&str] = &[
 /// Files whose output is persisted or reported: R3's HashMap ban applies.
 const ORDERED_OUTPUT_PATHS: &[&str] = &[
     "crates/cubestore/src/store.rs",
+    "crates/cubestore/src/delta.rs",
     "crates/bench/src/report.rs",
     "crates/bench/src/serving.rs",
     "crates/bench/src/bin/inspect.rs",
@@ -74,6 +76,7 @@ const ORDERED_OUTPUT_PATHS: &[&str] = &[
 const CODEC_PATHS: &[&str] = &[
     "crates/common/src/codec.rs",
     "crates/cubestore/src/codec.rs",
+    "crates/cubestore/src/delta.rs",
     "crates/cubestore/src/segment.rs",
     "crates/cubestore/src/manifest.rs",
     "crates/core/src/sketch/mod.rs",
@@ -83,7 +86,7 @@ const CODEC_PATHS: &[&str] = &[
 const CLOCK_EXEMPT: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// Binary-format magics that must be single-sited (R2).
-pub const MAGICS: &[&str] = &["SPSK1", "CSEG1", "CMAN1"];
+pub const MAGICS: &[&str] = &["SPSK1", "CSEG1", "CMAN1", "DSEG1"];
 
 /// FNV-1a parameters that must be single-sited (R2), underscore-free
 /// lowercase hex without the `0x` prefix.

@@ -65,6 +65,8 @@ fn genuine_blobs() -> Vec<(&'static str, Vec<u8>)> {
         spec: AggSpec::Sum,
         min_support: 2,
         generation: 1,
+        kind: Default::default(),
+        layers: Vec::new(),
         entries: vec![ManifestEntry {
             mask,
             rows: 40,
