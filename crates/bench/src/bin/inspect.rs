@@ -8,6 +8,7 @@
 //! cargo run --release -p spcube-bench --bin inspect -- layers <store-dir> [prefix]
 //! cargo run --release -p spcube-bench --bin inspect -- trace [dataset] [n] [--validate]
 //! cargo run --release -p spcube-bench --bin inspect -- serve-faults <seed> [reads]
+//! cargo run --release -p spcube-bench --bin inspect -- lockgraph [root] [--dot]
 //! ```
 //!
 //! The optional third argument injects faults: `chaos` runs on a cluster
@@ -41,6 +42,13 @@
 //! `--validate` it additionally re-parses the JSONL trace and exits
 //! non-zero if reconstruction finds unclosed spans, dangling parents, or
 //! malformed records.
+//!
+//! The `lockgraph` view runs the spcheck concurrency analyzer over the
+//! workspace (default root `.`) and renders the lock-acquisition graph:
+//! every named lock class with its declaration site, every may-acquire
+//! edge with the source line that creates it, and the acyclicity
+//! verdict. `--dot` emits Graphviz instead of text; a lock-order cycle
+//! exits non-zero.
 
 use std::collections::BTreeMap;
 
@@ -68,6 +76,10 @@ fn main() {
     }
     if dataset == "serve-faults" {
         inspect_serve_faults(&args);
+        return;
+    }
+    if dataset == "lockgraph" {
+        inspect_lockgraph(&args);
         return;
     }
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
@@ -187,6 +199,35 @@ fn main() {
 
 /// The `trace` view: run SP-Cube with tracing on the deterministic mock
 /// clock, render the span tree, and optionally validate the JSONL export.
+/// Render the workspace lock-acquisition graph via the spcheck analyzer.
+/// Output is deterministic (BTreeMap-ordered classes and edges), so the
+/// dump is diffable across runs and suitable as a CI artifact.
+fn inspect_lockgraph(args: &[String]) {
+    let mut root = String::from(".");
+    let mut dot = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--dot" => dot = true,
+            other => root = other.to_string(),
+        }
+    }
+    let analysis = match spcheck::run_full(std::path::Path::new(&root)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lockgraph: cannot walk {root}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if dot {
+        print!("{}", analysis.model.render_dot());
+    } else {
+        print!("{}", analysis.model.render_text());
+    }
+    if !analysis.model.cycles().is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn inspect_trace(args: &[String]) {
     use spcube_obs::{ObsHandle, SpanTree};
 

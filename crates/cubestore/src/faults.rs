@@ -253,8 +253,10 @@ impl FaultyBlobs {
         lock_or_recover(&self.state).oplog.clone()
     }
 
-    /// Record one fault: oplog, stats, obs counter + event.
-    fn fire(&self, state: &mut FaultState, path: &str, kind: FaultKind, read_index: u32) {
+    /// Record one fault in the oplog and stats. Called with the state
+    /// guard held; the matching obs emission is [`Self::emit`], which
+    /// must run after the guard is released.
+    fn record(&self, state: &mut FaultState, path: &str, kind: FaultKind, read_index: u32) {
         state.oplog.push(FaultRecord {
             op: state.ops,
             path: path.to_string(),
@@ -266,6 +268,12 @@ impl FaultyBlobs {
             FaultKind::Outage => state.stats.outage += 1,
             FaultKind::Latency => state.stats.latency += 1,
         }
+    }
+
+    /// Emit the obs counter + event for a recorded fault. ObsHandle
+    /// takes its own registry/trace locks, so this must never nest
+    /// under the `faults.state` guard.
+    fn emit(&self, path: &str, kind: FaultKind) {
         // Counter keyed by kind only (so per-kind counts are assertable
         // against stats); the event carries the path too.
         self.obs.inc(
@@ -296,7 +304,15 @@ impl BlobStore for FaultyBlobs {
         if !self.schedule.applies(path) {
             return self.inner.get(path);
         }
-        let spike = {
+        // Draw the fault outcome and record oplog/stats under the state
+        // lock; obs emission, sleeps and error returns all happen after
+        // the guard drops (ObsHandle takes its own locks internally).
+        enum Draw {
+            Fail(FaultKind, String),
+            Spike,
+            Clean,
+        }
+        let draw = {
             let mut state = lock_or_recover(&self.state);
             let n = {
                 let slot = state.reads.entry(path.to_string()).or_insert(0);
@@ -305,6 +321,7 @@ impl BlobStore for FaultyBlobs {
                 n
             };
 
+            let mut draw = Draw::Clean;
             // Sticky outage: drawn once per path, fails every read until
             // the healing budget is spent.
             if self.schedule.sticky_out(path) {
@@ -313,35 +330,45 @@ impl BlobStore for FaultyBlobs {
                     && fails >= self.schedule.outage_heals_after;
                 if !healed {
                     state.outage_fails.insert(path.to_string(), fails + 1);
-                    self.fire(&mut state, path, FaultKind::Outage, n);
-                    state.ops += 1;
-                    return Err(Self::injected(format!("sticky outage on {path}")));
+                    self.record(&mut state, path, FaultKind::Outage, n);
+                    draw = Draw::Fail(FaultKind::Outage, format!("sticky outage on {path}"));
                 }
             }
-
-            // Transient failure: one read only.
-            if self.schedule.draw("transient", path, n) < self.schedule.transient_fail_prob {
-                self.fire(&mut state, path, FaultKind::Transient, n);
-                state.ops += 1;
-                return Err(Self::injected(format!(
-                    "transient read failure on {path} (read {n})"
-                )));
-            }
-
-            // Latency spike: the read succeeds, late.
-            let spike = self.schedule.draw("latency", path, n) < self.schedule.latency_spike_prob;
-            if spike {
-                self.fire(&mut state, path, FaultKind::Latency, n);
+            if matches!(draw, Draw::Clean) {
+                // Transient failure: one read only.
+                if self.schedule.draw("transient", path, n) < self.schedule.transient_fail_prob {
+                    self.record(&mut state, path, FaultKind::Transient, n);
+                    draw = Draw::Fail(
+                        FaultKind::Transient,
+                        format!("transient read failure on {path} (read {n})"),
+                    );
+                } else if self.schedule.draw("latency", path, n) < self.schedule.latency_spike_prob
+                {
+                    // Latency spike: the read succeeds, late.
+                    self.record(&mut state, path, FaultKind::Latency, n);
+                    draw = Draw::Spike;
+                }
             }
             state.ops += 1;
-            spike
+            draw
         };
-        // Sleep outside the lock so concurrent clean reads don't queue
-        // behind an injected spike. Mock-clock runs skip the real sleep.
-        if spike && self.schedule.spike_us > 0 && !self.obs.is_mock() {
-            std::thread::sleep(std::time::Duration::from_micros(self.schedule.spike_us));
+        match draw {
+            Draw::Fail(kind, what) => {
+                self.emit(path, kind);
+                Err(Self::injected(what))
+            }
+            Draw::Spike => {
+                self.emit(path, FaultKind::Latency);
+                // Sleep outside the lock so concurrent clean reads don't
+                // queue behind an injected spike. Mock-clock runs skip the
+                // real sleep.
+                if self.schedule.spike_us > 0 && !self.obs.is_mock() {
+                    std::thread::sleep(std::time::Duration::from_micros(self.schedule.spike_us));
+                }
+                self.inner.get(path)
+            }
+            Draw::Clean => self.inner.get(path),
         }
-        self.inner.get(path)
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<(String, u64)>> {

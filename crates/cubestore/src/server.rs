@@ -366,9 +366,14 @@ impl CubeServer {
             }
             if (t0.seconds() * 1e6) as u64 >= grace_us {
                 // Grace exhausted: everything still queued gets a typed
-                // reply instead of a dropped channel.
-                let mut q = lock_or_recover(&self.shared.queue);
-                for (_req, _dl, tx) in q.jobs.drain(..) {
+                // reply instead of a dropped channel. Drain under the
+                // lock, reply after releasing it — the reply channel is
+                // IO and must not run under the queue guard.
+                let shed: Vec<Reply> = {
+                    let mut q = lock_or_recover(&self.shared.queue);
+                    q.jobs.drain(..).map(|(_req, _dl, tx)| tx).collect()
+                };
+                for tx in shed {
                     let _ = tx.send(Err(ServeError::ShuttingDown));
                 }
                 break;

@@ -436,7 +436,10 @@ impl CubeStore {
     /// The decoded segment for `mask`: cached, fetched, or — for a corrupt
     /// or missing blob with a recovery relation attached — recomputed.
     pub fn segment(&self, mask: Mask) -> Result<Arc<Segment>> {
-        if let Some(seg) = lock_or_recover(&self.cache).get(mask) {
+        // Hoisted out of the scrutinee so the cache guard drops before
+        // the hit path runs (clippy::significant_drop_in_scrutinee).
+        let cached = lock_or_recover(&self.cache).get(mask);
+        if let Some(seg) = cached {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             if let Some(c) = &self.obs_cache_hit {
                 c.inc();

@@ -26,6 +26,10 @@
 // Serving-path crate: panic-free outside tests (see DESIGN.md and the
 // spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// Concurrency discipline (PR 8): no mutex-wrapped scalars that should be
+// atomics, and no lock guards living inside match/if-let scrutinees.
+#![warn(clippy::mutex_atomic)]
+#![warn(clippy::significant_drop_in_scrutinee)]
 
 pub mod config;
 pub mod context;

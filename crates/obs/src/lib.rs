@@ -22,6 +22,10 @@
 //! traces.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// Concurrency discipline (PR 8): no mutex-wrapped scalars that should be
+// atomics, and no lock guards living inside match/if-let scrutinees.
+#![warn(clippy::mutex_atomic)]
+#![warn(clippy::significant_drop_in_scrutinee)]
 
 pub mod clock;
 pub mod hist;

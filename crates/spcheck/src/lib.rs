@@ -16,12 +16,16 @@
 //! rationale behind each rule and `README.md` for the suppression
 //! contract.
 
+pub mod conc;
 pub mod lexer;
+pub mod model;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
 use report::Finding;
 use rules::MagicSite;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Directory components never audited: build output, VCS, vendored
@@ -64,14 +68,27 @@ fn relative(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Walk `root`, run every rule, and return the findings sorted by
-/// (file, line, rule). An empty vector means the gate passes.
-pub fn run_check(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// The full result of an spcheck run: the post-suppression findings and
+/// the inferred workspace concurrency model (for `lockgraph` dumps).
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub model: model::Model,
+}
+
+/// Walk `root`, run every rule — the per-file R1/R3/R4/R5 scans, the
+/// workspace-wide R2 single-source pass, and the two-pass concurrency
+/// analysis behind R6–R9 — then apply each file's suppressions against
+/// the pooled findings and return them sorted by (file, line, rule).
+pub fn run_full(root: &Path) -> std::io::Result<Analysis> {
     let mut files = Vec::new();
     walk(root, &mut files)?;
 
     let mut findings = Vec::new();
     let mut magic_sites: Vec<MagicSite> = Vec::new();
+    // Per-file suppressions, in walk order, for the final pass.
+    let mut suppressions: Vec<(String, Vec<lexer::Suppression>)> = Vec::new();
+    // (rel, scrubbed+blanked text) input for the concurrency parser.
+    let mut parse_input: Vec<(String, String)> = Vec::new();
 
     for path in &files {
         let rel = relative(root, path);
@@ -84,13 +101,45 @@ pub fn run_check(root: &Path) -> std::io::Result<Vec<Finding>> {
             &test_ranges,
             &mut magic_sites,
         ));
+        if !rules::in_scope(rules::Scope::ParseExempt, &rel) {
+            parse_input.push((rel.clone(), scrubbed.text.clone()));
+        }
+        suppressions.push((rel, scrubbed.suppressions));
     }
 
     rules::check_single_source(&magic_sites, &mut findings);
+
+    let model = model::build(parse::parse_workspace(&parse_input));
+    conc::check(&model, &mut findings);
+
+    // Suppressions apply last, against the complete per-file pool, so an
+    // allow can cover a concurrency finding and unused-allow hints see
+    // every finding in the file.
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let mut findings = Vec::new();
+    for (rel, supp) in &suppressions {
+        let pool = by_file.remove(rel).unwrap_or_default();
+        findings.extend(rules::apply_suppressions(rel, supp, pool));
+    }
+    // Findings on paths without a walked file (e.g. `<workspace>`) have
+    // no suppression surface; pass them through.
+    for (_, pool) in by_file {
+        findings.extend(pool);
+    }
+
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
     });
-    Ok(findings)
+    Ok(Analysis { findings, model })
+}
+
+/// Walk `root`, run every rule, and return the findings sorted by
+/// (file, line, rule). An empty vector means the gate passes.
+pub fn run_check(root: &Path) -> std::io::Result<Vec<Finding>> {
+    run_full(root).map(|a| a.findings)
 }
 
 #[cfg(test)]
@@ -140,6 +189,10 @@ mod tests {
             self.write(
                 "crates/cubestore/src/manifest.rs",
                 "pub const MAGIC: &[u8; 5] = b\"CMAN1\";\n",
+            );
+            self.write(
+                "crates/cubestore/src/delta.rs",
+                "pub const MAGIC: &[u8; 5] = b\"DSEG1\";\n",
             );
             self
         }

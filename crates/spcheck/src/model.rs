@@ -1,0 +1,654 @@
+//! Pass 2 of the concurrency analyzer: link per-file parse results into
+//! a workspace model.
+//!
+//! The model holds:
+//!
+//! * every function with its event stream and a transitive summary —
+//!   `may_acquire` (lock classes the function or anything it calls can
+//!   take) and `may_io` (whether it can block on a channel, a
+//!   `BlobStore` call, a condvar wait, or a thread join);
+//! * the set of named **lock classes** (`<stem>.<field>`) with their
+//!   declaration sites;
+//! * the **lock-order graph**: an edge `A -> B` means some path
+//!   acquires `B` while holding `A`, either directly or through a call
+//!   into a function whose summary says it may acquire `B`. A cycle in
+//!   this graph is a potential deadlock (rule R6).
+//!
+//! Call resolution is lexical and deliberately conservative: `self.m()`
+//! resolves through the enclosing impl type, `x.m()` through the
+//! declared type of the nearest field/parameter ident, `T::m()` through
+//! the path qualifier, and bare `f()` only when exactly one free
+//! function of that name exists in the workspace. Unresolvable calls
+//! (call-result chains, std methods) contribute nothing — the analyzer
+//! prefers missing an edge on foreign code to inventing one.
+//!
+//! Everything is keyed through `BTreeMap`/`BTreeSet`, so graph dumps and
+//! findings are deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{CallKind, CallSite, Event, LockKind, ParsedFile, BLOB_METHODS, BLOB_TRAIT};
+
+/// Where a lock class was declared.
+#[derive(Debug, Clone)]
+pub struct ClassDecl {
+    pub rel: String,
+    pub line: usize,
+    /// `None` for fallback classes (locals/params, not struct fields).
+    pub kind: Option<LockKind>,
+    pub krate: String,
+}
+
+/// One function in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    pub rel: String,
+    pub krate: String,
+    pub name: String,
+    pub impl_type: Option<String>,
+    pub trait_name: Option<String>,
+    pub line: usize,
+    pub events: Vec<Event>,
+    /// Transitive closure: lock classes this fn (or any callee) may take.
+    pub may_acquire: BTreeSet<String>,
+    /// Transitive closure: may this fn block on IO/channel/join/wait?
+    pub may_io: bool,
+}
+
+impl FnNode {
+    /// Display name: `Type::method` or a bare `method`.
+    pub fn label(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Source location of the first witness for a lock-order edge.
+#[derive(Debug, Clone)]
+pub struct EdgeInfo {
+    pub rel: String,
+    pub line: usize,
+    /// `Some(label)` when the edge comes from a call into `label`
+    /// rather than a direct acquisition.
+    pub via: Option<String>,
+}
+
+/// Result of resolving one call site.
+#[derive(Debug, Default)]
+pub struct Resolved {
+    /// Indices into [`Model::fns`] of possible targets (all impls for a
+    /// trait-object receiver).
+    pub targets: Vec<usize>,
+    /// The call is a blob-IO method on a `BlobStore`-typed receiver.
+    pub blob: bool,
+}
+
+/// The linked workspace model.
+#[derive(Debug, Default)]
+pub struct Model {
+    pub fns: Vec<FnNode>,
+    pub class_decls: BTreeMap<String, ClassDecl>,
+    /// `A -> B` edges of the lock-order graph with their first witness.
+    pub edges: BTreeMap<(String, String), EdgeInfo>,
+    by_type_method: BTreeMap<(String, String), Vec<usize>>,
+    by_bare: BTreeMap<String, Vec<usize>>,
+    trait_impls: BTreeMap<String, Vec<String>>,
+    file_types: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl Model {
+    /// Resolve a call site made from `fns[caller]`.
+    pub fn resolve_call(&self, caller: usize, site: &CallSite) -> Resolved {
+        let mut out = Resolved::default();
+        match &site.kind {
+            CallKind::Qualified(ty) => {
+                let ty = if ty == "Self" {
+                    match &self.fns[caller].impl_type {
+                        Some(t) => t.clone(),
+                        None => return out,
+                    }
+                } else {
+                    ty.clone()
+                };
+                self.push_type_targets(&ty, &site.method, &mut out);
+            }
+            CallKind::SelfMethod => {
+                if let Some(ty) = self.fns[caller].impl_type.clone() {
+                    self.push_type_targets(&ty, &site.method, &mut out);
+                }
+            }
+            CallKind::FieldMethod(field) => {
+                let ty = self
+                    .file_types
+                    .get(&self.fns[caller].rel)
+                    .and_then(|m| m.get(field))
+                    .cloned();
+                let Some(ty) = ty else {
+                    return out;
+                };
+                if ty == BLOB_TRAIT && BLOB_METHODS.contains(&site.method.as_str()) {
+                    out.blob = true;
+                }
+                self.push_type_targets(&ty, &site.method, &mut out);
+            }
+            CallKind::Bare => {
+                if let Some(idxs) = self.by_bare.get(&site.method) {
+                    if idxs.len() == 1 {
+                        out.targets.push(idxs[0]);
+                    }
+                }
+            }
+            CallKind::UnknownRecv => {}
+        }
+        out
+    }
+
+    /// Targets for `ty::method`; a trait name fans out to every impl.
+    fn push_type_targets(&self, ty: &str, method: &str, out: &mut Resolved) {
+        if let Some(impls) = self.trait_impls.get(ty) {
+            for t in impls {
+                if let Some(idxs) = self.by_type_method.get(&(t.clone(), method.to_string())) {
+                    out.targets.extend(idxs.iter().copied());
+                }
+            }
+            // Also a direct inherent impl on the trait-named type, if any.
+        }
+        if let Some(idxs) = self
+            .by_type_method
+            .get(&(ty.to_string(), method.to_string()))
+        {
+            out.targets.extend(idxs.iter().copied());
+        }
+        out.targets.sort_unstable();
+        out.targets.dedup();
+    }
+
+    /// The crate a class was declared in (fallback classes belong to the
+    /// crate of the file that acquired them).
+    pub fn class_krate(&self, class: &str) -> Option<&str> {
+        self.class_decls.get(class).map(|d| d.krate.as_str())
+    }
+
+    /// All distinct cycles in the lock-order graph, as canonicalised
+    /// node lists (`[a, b]` means `a -> b -> a`). Deterministic.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            adj.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        for succ in adj.values_mut() {
+            succ.sort_unstable();
+            succ.dedup();
+        }
+        let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut out = Vec::new();
+        for (a, b) in self.edges.keys() {
+            // A cycle through edge a->b exists iff b reaches a.
+            let Some(path) = bfs_path(&adj, b, a) else {
+                continue;
+            };
+            // path = [b, .., a]; the cycle's node list starts at a.
+            let mut cycle = vec![a.clone()];
+            cycle.extend(path[..path.len() - 1].iter().map(|s| s.to_string()));
+            let canon = canonical_rotation(&cycle);
+            if seen.insert(canon.clone()) {
+                out.push(canon);
+            }
+        }
+        out
+    }
+
+    /// Human-readable dump: classes, edges, verdict.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("lock classes:\n");
+        if self.class_decls.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (class, decl) in &self.class_decls {
+            let kind = decl.kind.map(|k| k.name()).unwrap_or("local");
+            out.push_str(&format!(
+                "  {class:<28} {kind:<8} {}:{}\n",
+                decl.rel, decl.line
+            ));
+        }
+        out.push_str("\nlock-order edges (held -> acquired):\n");
+        if self.edges.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for ((a, b), info) in &self.edges {
+            let via = match &info.via {
+                Some(v) => format!(" via {v}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {a} -> {b}  ({}:{}{via})\n",
+                info.rel, info.line
+            ));
+        }
+        let cycles = self.cycles();
+        if cycles.is_empty() {
+            out.push_str("\nverdict: acyclic\n");
+        } else {
+            out.push_str(&format!("\nverdict: {} cycle(s)\n", cycles.len()));
+            for c in &cycles {
+                out.push_str(&format!("  {}\n", witness(self, c)));
+            }
+        }
+        out
+    }
+
+    /// Graphviz dump, `BTreeMap`-ordered so byte-identical across runs.
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph lockgraph {\n");
+        out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for (class, decl) in &self.class_decls {
+            let kind = decl.kind.map(|k| k.name()).unwrap_or("local");
+            out.push_str(&format!(
+                "  \"{class}\" [label=\"{class}\\n{kind} {}:{}\"];\n",
+                decl.rel, decl.line
+            ));
+        }
+        for ((a, b), info) in &self.edges {
+            out.push_str(&format!(
+                "  \"{a}\" -> \"{b}\" [label=\"{}:{}\"];\n",
+                info.rel, info.line
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Witness string for a cycle: `a -> b -> a (a -> b at f:12, b -> a at g:34)`.
+pub fn witness(model: &Model, cycle: &[String]) -> String {
+    let mut ring = String::new();
+    for c in cycle {
+        ring.push_str(c);
+        ring.push_str(" -> ");
+    }
+    ring.push_str(&cycle[0]);
+    let mut sites = Vec::new();
+    for i in 0..cycle.len() {
+        let a = &cycle[i];
+        let b = &cycle[(i + 1) % cycle.len()];
+        if let Some(info) = model.edges.get(&(a.clone(), b.clone())) {
+            sites.push(format!("{a} -> {b} at {}:{}", info.rel, info.line));
+        }
+    }
+    format!("{ring} ({})", sites.join(", "))
+}
+
+/// Shortest path `from -> .. -> to` over sorted adjacency (BFS), or
+/// `None`. `from == to` returns `[from]` only via a real self-edge.
+fn bfs_path<'a>(
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        for &succ in adj.get(n).into_iter().flatten() {
+            if succ == from || prev.contains_key(succ) {
+                continue;
+            }
+            prev.insert(succ, n);
+            if succ == to {
+                let mut path = vec![succ];
+                let mut cur = succ;
+                while cur != from {
+                    cur = prev[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(succ);
+        }
+    }
+    None
+}
+
+/// Rotate the cycle so its lexicographically-smallest node comes first.
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend(cycle[min..].iter().cloned());
+    out.extend(cycle[..min].iter().cloned());
+    out
+}
+
+/// Link parsed files into the workspace model and compute the
+/// fixed-point summaries and the lock-order graph.
+pub fn build(files: Vec<ParsedFile>) -> Model {
+    let mut model = Model::default();
+
+    for pf in &files {
+        for lf in &pf.lock_fields {
+            let class = format!("{}.{}", pf.stem, lf.field);
+            model.class_decls.entry(class).or_insert(ClassDecl {
+                rel: pf.rel.clone(),
+                line: lf.line,
+                kind: Some(lf.kind),
+                krate: pf.krate.clone(),
+            });
+        }
+        for (tr, ty) in &pf.trait_impls {
+            let impls = model.trait_impls.entry(tr.clone()).or_default();
+            if !impls.contains(ty) {
+                impls.push(ty.clone());
+            }
+        }
+        model
+            .file_types
+            .insert(pf.rel.clone(), pf.ident_types.clone());
+    }
+    for impls in model.trait_impls.values_mut() {
+        impls.sort_unstable();
+    }
+
+    for pf in files {
+        for f in pf.fns {
+            let idx = model.fns.len();
+            if let Some(ty) = &f.impl_type {
+                model
+                    .by_type_method
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx);
+            } else {
+                model.by_bare.entry(f.name.clone()).or_default().push(idx);
+            }
+            model.fns.push(FnNode {
+                rel: pf.rel.clone(),
+                krate: pf.krate.clone(),
+                name: f.name,
+                impl_type: f.impl_type,
+                trait_name: f.trait_name,
+                line: f.line,
+                events: f.events,
+                may_acquire: BTreeSet::new(),
+                may_io: false,
+            });
+        }
+    }
+
+    // Register fallback classes (locals/params) at first acquisition.
+    for i in 0..model.fns.len() {
+        let (rel, krate) = (model.fns[i].rel.clone(), model.fns[i].krate.clone());
+        let acquires: Vec<(String, usize)> = model.fns[i]
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { class, line, .. } => Some((class.clone(), *line)),
+                _ => None,
+            })
+            .collect();
+        for (class, line) in acquires {
+            model.class_decls.entry(class).or_insert(ClassDecl {
+                rel: rel.clone(),
+                line,
+                kind: None,
+                krate: krate.clone(),
+            });
+        }
+    }
+
+    // Direct summaries.
+    for i in 0..model.fns.len() {
+        let mut acq = BTreeSet::new();
+        let mut io = false;
+        let resolved_blob: Vec<bool> = model.fns[i]
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Call(c) => model.resolve_call(i, c).blob,
+                _ => false,
+            })
+            .collect();
+        for (e, blob) in model.fns[i].events.iter().zip(&resolved_blob) {
+            match e {
+                Event::Acquire { class, .. } => {
+                    acq.insert(class.clone());
+                }
+                Event::Send { .. }
+                | Event::Recv { .. }
+                | Event::Join { .. }
+                | Event::Wait { .. } => io = true,
+                Event::Call(_) if *blob => io = true,
+                _ => {}
+            }
+        }
+        model.fns[i].may_acquire = acq;
+        model.fns[i].may_io = io;
+    }
+
+    // Fixed point over the call graph.
+    loop {
+        let mut changed = false;
+        for i in 0..model.fns.len() {
+            let calls: Vec<CallSite> = model.fns[i]
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Call(c) => Some(c.clone()),
+                    _ => None,
+                })
+                .collect();
+            for c in calls {
+                let resolved = model.resolve_call(i, &c);
+                for t in resolved.targets {
+                    if t == i {
+                        continue;
+                    }
+                    let extra: Vec<String> = model.fns[t]
+                        .may_acquire
+                        .difference(&model.fns[i].may_acquire)
+                        .cloned()
+                        .collect();
+                    if !extra.is_empty() {
+                        model.fns[i].may_acquire.extend(extra);
+                        changed = true;
+                    }
+                    if model.fns[t].may_io && !model.fns[i].may_io {
+                        model.fns[i].may_io = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Lock-order edges.
+    for i in 0..model.fns.len() {
+        let rel = model.fns[i].rel.clone();
+        let events = model.fns[i].events.clone();
+        for e in &events {
+            match e {
+                Event::Acquire { class, line, held } => {
+                    for h in held {
+                        model
+                            .edges
+                            .entry((h.clone(), class.clone()))
+                            .or_insert(EdgeInfo {
+                                rel: rel.clone(),
+                                line: *line,
+                                via: None,
+                            });
+                    }
+                }
+                Event::Call(c) if !c.held.is_empty() => {
+                    let resolved = model.resolve_call(i, c);
+                    for t in &resolved.targets {
+                        let label = model.fns[*t].label();
+                        let callee_acq = model.fns[*t].may_acquire.clone();
+                        for h in &c.held {
+                            for b in &callee_acq {
+                                model
+                                    .edges
+                                    .entry((h.clone(), b.clone()))
+                                    .or_insert(EdgeInfo {
+                                        rel: rel.clone(),
+                                        line: c.line,
+                                        via: Some(label.clone()),
+                                    });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_workspace;
+
+    fn build_src(files: &[(&str, &str)]) -> Model {
+        let parsed: Vec<(String, String)> = files
+            .iter()
+            .map(|(rel, src)| {
+                let mut s = crate::lexer::scrub(src);
+                crate::lexer::blank_test_regions(&mut s.text);
+                (rel.to_string(), s.text)
+            })
+            .collect();
+        build(parse_workspace(&parsed))
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_detected_with_witness() {
+        let m = build_src(&[(
+            "crates/x/src/pair.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn ab(&self) {\n        let ga = lock_or_recover(&self.a);\n        let gb = lock_or_recover(&self.b);\n        drop(gb);\n        drop(ga);\n    }\n    fn ba(&self) {\n        let gb = lock_or_recover(&self.b);\n        let ga = lock_or_recover(&self.a);\n        drop(ga);\n        drop(gb);\n    }\n}\n",
+        )]);
+        assert!(m.edges.contains_key(&("pair.a".into(), "pair.b".into())));
+        assert!(m.edges.contains_key(&("pair.b".into(), "pair.a".into())));
+        let cycles = m.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert_eq!(cycles[0], ["pair.a", "pair.b"]);
+        let w = witness(&m, &cycles[0]);
+        assert!(w.contains("pair.a -> pair.b -> pair.a"), "{w}");
+        assert!(w.contains("pair.rs:5"), "{w}");
+        assert!(w.contains("pair.rs:11"), "{w}");
+    }
+
+    #[test]
+    fn consistent_order_is_acyclic() {
+        let m = build_src(&[(
+            "crates/x/src/pair.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn one(&self) {\n        let ga = lock_or_recover(&self.a);\n        let gb = lock_or_recover(&self.b);\n        drop(gb);\n        drop(ga);\n    }\n    fn two(&self) {\n        let ga = lock_or_recover(&self.a);\n        let gb = lock_or_recover(&self.b);\n        drop(gb);\n        drop(ga);\n    }\n}\n",
+        )]);
+        assert_eq!(m.edges.len(), 1);
+        assert!(m.cycles().is_empty());
+    }
+
+    #[test]
+    fn cross_function_edge_via_callee_summary() {
+        let m = build_src(&[(
+            "crates/x/src/two.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn outer(&self) {\n        let ga = lock_or_recover(&self.a);\n        self.inner();\n        drop(ga);\n    }\n    fn inner(&self) {\n        let _gb = lock_or_recover(&self.b);\n    }\n}\n",
+        )]);
+        let info = m
+            .edges
+            .get(&("two.a".into(), "two.b".into()))
+            .expect("edge via call");
+        assert_eq!(info.via.as_deref(), Some("S::inner"));
+        assert!(m.cycles().is_empty());
+    }
+
+    #[test]
+    fn reentrant_acquire_is_a_self_loop_cycle() {
+        let m = build_src(&[(
+            "crates/x/src/re.rs",
+            "struct S { a: Mutex<u32> }\nimpl S {\n    fn outer(&self) {\n        let ga = lock_or_recover(&self.a);\n        self.inner();\n        drop(ga);\n    }\n    fn inner(&self) {\n        let _ga = lock_or_recover(&self.a);\n    }\n}\n",
+        )]);
+        let cycles = m.cycles();
+        assert_eq!(cycles, vec![vec!["re.a".to_string()]]);
+    }
+
+    #[test]
+    fn may_io_propagates_through_calls() {
+        let m = build_src(&[(
+            "crates/x/src/io.rs",
+            "struct S { blobs: Arc<dyn BlobStore> }\nimpl S {\n    fn outer(&self) {\n        self.middle();\n    }\n    fn middle(&self) {\n        self.leaf();\n    }\n    fn leaf(&self) {\n        let _ = self.blobs.get(p);\n    }\n}\n",
+        )]);
+        for f in &m.fns {
+            assert!(f.may_io, "{} should be may_io", f.label());
+        }
+    }
+
+    #[test]
+    fn trait_object_call_unions_all_impls() {
+        let m = build_src(&[(
+            "crates/x/src/tr.rs",
+            "struct Faulty { state: Mutex<u32> }\nimpl BlobStore for Faulty {\n    fn get(&self) {\n        let _g = lock_or_recover(&self.state);\n    }\n}\nstruct User { blobs: Arc<dyn BlobStore> }\nimpl User {\n    fn read(&self) {\n        self.blobs.get();\n    }\n}\n",
+        )]);
+        let user = m.fns.iter().find(|f| f.name == "read").expect("User::read");
+        assert!(
+            user.may_acquire.contains("tr.state"),
+            "{:?}",
+            user.may_acquire
+        );
+        assert!(user.may_io, "blob call is IO");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_names_everything() {
+        let src = "struct S { a: Mutex<u32>, b: RwLock<u32> }\nimpl S {\n    fn go(&self) {\n        let ga = lock_or_recover(&self.a);\n        let _gb = self.b.read();\n        drop(ga);\n    }\n}\n";
+        let m1 = build_src(&[("crates/x/src/r.rs", src)]);
+        let m2 = build_src(&[("crates/x/src/r.rs", src)]);
+        assert_eq!(m1.render_text(), m2.render_text());
+        assert_eq!(m1.render_dot(), m2.render_dot());
+        let text = m1.render_text();
+        assert!(text.contains("r.a"), "{text}");
+        assert!(text.contains("r.b"), "{text}");
+        assert!(text.contains("Mutex"), "{text}");
+        assert!(text.contains("RwLock"), "{text}");
+        assert!(text.contains("r.a -> r.b"), "{text}");
+        assert!(text.contains("verdict: acyclic"), "{text}");
+        let dot = m1.render_dot();
+        assert!(dot.starts_with("digraph lockgraph {"), "{dot}");
+        assert!(dot.contains("\"r.a\" -> \"r.b\""), "{dot}");
+    }
+
+    #[test]
+    fn bare_calls_resolve_only_when_unique() {
+        let m = build_src(&[
+            (
+                "crates/x/src/a.rs",
+                "struct S { a: Mutex<u32> }\nimpl S {\n    fn go(&self) {\n        let g = lock_or_recover(&self.a);\n        helper();\n        drop(g);\n    }\n}\nfn helper() {\n    other();\n}\n",
+            ),
+            (
+                "crates/y/src/b.rs",
+                "struct T { b: Mutex<u32> }\nfn other() {}\nimpl T {\n    fn tb(&self) { let _ = lock_or_recover(&self.b); }\n}\n",
+            ),
+        ]);
+        // helper is unique -> resolved; it calls `other` (unique) which
+        // takes nothing, so no edge beyond a.a's own acquisitions.
+        assert!(m.cycles().is_empty());
+        let go = m.fns.iter().find(|f| f.name == "go").expect("go");
+        assert!(go.may_acquire.contains("a.a"));
+        assert!(!go.may_acquire.contains("b.b"));
+    }
+}

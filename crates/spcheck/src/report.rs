@@ -10,7 +10,8 @@ pub struct Finding {
     /// 1-based line (0 for workspace-level findings with no single site).
     pub line: usize,
     /// Rule name (`no_panic`, `single_source_format`, `determinism`,
-    /// `error_hygiene`, `bad_suppression`).
+    /// `error_hygiene`, `bad_suppression`, `lock_order`,
+    /// `hold_across_io`, `channel_hygiene`, `guard_scope`).
     pub rule: String,
     /// Human-readable explanation with the suggested fix.
     pub message: String,

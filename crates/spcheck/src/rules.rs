@@ -1,9 +1,11 @@
-//! The five invariants spcheck enforces, plus the suppression contract.
+//! The per-file invariants spcheck enforces (R1–R5), the glob policy
+//! table scoping every rule — including the cross-file concurrency
+//! rules R6–R9 in [`crate::conc`] — and the suppression contract.
 //!
-//! Each rule scans the scrubbed text of one file (comments and literal
-//! bodies already spaced out, `#[cfg(test)]` items blanked) and emits
-//! [`Finding`]s. Which rules apply to which files is decided here by
-//! path suffix, so the policy lives in exactly one place:
+//! Each per-file rule scans the scrubbed text of one file (comments and
+//! literal bodies already spaced out, `#[cfg(test)]` items blanked) and
+//! emits [`Finding`]s. Which rules apply to which files is decided by
+//! the [`Scope`] rows of the single `POLICY` table:
 //!
 //! * **no_panic** (R1) — serving-path modules must not contain panic
 //!   sources: `.unwrap()` / `.expect()`, the panicking macros, or slice
@@ -38,52 +40,84 @@ pub const SUPPRESSIBLE_RULES: &[&str] = &[
     "determinism",
     "error_hygiene",
     "obs_naming",
+    "lock_order",
+    "hold_across_io",
+    "channel_hygiene",
+    "guard_scope",
 ];
 
-/// Serving-path modules: R1 applies (exact file or directory prefix).
-const NO_PANIC_PATHS: &[&str] = &[
-    "crates/mapreduce/src/engine.rs",
-    "crates/mapreduce/src/dfs.rs",
-    "crates/core/src/spcube/",
-    "crates/obs/src/",
-    "crates/cubestore/src/blob.rs",
-    "crates/cubestore/src/cache.rs",
-    "crates/cubestore/src/client.rs",
-    "crates/cubestore/src/codec.rs",
-    "crates/cubestore/src/crashpoint.rs",
-    "crates/cubestore/src/delta.rs",
-    "crates/cubestore/src/faults.rs",
-    "crates/cubestore/src/manifest.rs",
-    "crates/cubestore/src/store.rs",
-    "crates/cubestore/src/server.rs",
-    "crates/cubestore/src/recover.rs",
-    "crates/cubealg/src/read.rs",
-];
+/// Which rule family a policy row scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// R1 serving-path panic ban.
+    NoPanic,
+    /// R3 HashMap-on-output-path ban.
+    OrderedOutput,
+    /// R4 codec error hygiene.
+    Codec,
+    /// The one module allowed to read the wall clock.
+    ClockExempt,
+    /// R6–R9 concurrency discipline (effectively the whole workspace).
+    Concurrency,
+    /// Modules blessed to create unbounded `mpsc::channel` (R8).
+    ChannelBlessed,
+    /// Files the concurrency parser skips (the sync primitives
+    /// themselves would self-register phantom lock classes).
+    ParseExempt,
+}
 
-/// Files whose output is persisted or reported: R3's HashMap ban applies.
-const ORDERED_OUTPUT_PATHS: &[&str] = &[
-    "crates/cubestore/src/store.rs",
-    "crates/cubestore/src/delta.rs",
-    "crates/bench/src/report.rs",
-    "crates/bench/src/serving.rs",
-    "crates/bench/src/bin/inspect.rs",
-    "crates/mapreduce/src/engine.rs",
-    "crates/core/src/spcube/",
-    "crates/obs/src/",
+/// The single policy table: every scope decision in spcheck goes through
+/// these glob patterns. `*` matches within one path segment, `**` spans
+/// segments, and a leading `!` vetoes a path no matter what else
+/// matched. Adding a new module to a scope is one line here — never a
+/// code change.
+const POLICY: &[(Scope, &[&str])] = &[
+    (
+        Scope::NoPanic,
+        &[
+            "crates/mapreduce/src/engine.rs",
+            "crates/mapreduce/src/dfs.rs",
+            "crates/core/src/spcube/**",
+            "crates/obs/src/**",
+            // Every cubestore serving module; segment.rs is builder-side
+            // (BUC recursion asserts freely) and lib.rs is re-exports.
+            "crates/cubestore/src/*.rs",
+            "!crates/cubestore/src/segment.rs",
+            "!crates/cubestore/src/lib.rs",
+            "crates/cubealg/src/read.rs",
+        ],
+    ),
+    (
+        Scope::OrderedOutput,
+        &[
+            "crates/cubestore/src/store.rs",
+            "crates/cubestore/src/delta.rs",
+            "crates/bench/src/report.rs",
+            "crates/bench/src/serving.rs",
+            "crates/bench/src/bin/inspect.rs",
+            "crates/mapreduce/src/engine.rs",
+            "crates/core/src/spcube/**",
+            "crates/obs/src/**",
+        ],
+    ),
+    (
+        Scope::Codec,
+        &[
+            "crates/common/src/codec.rs",
+            "crates/cubestore/src/codec.rs",
+            "crates/cubestore/src/delta.rs",
+            "crates/cubestore/src/segment.rs",
+            "crates/cubestore/src/manifest.rs",
+            "crates/core/src/sketch/mod.rs",
+        ],
+    ),
+    (Scope::ClockExempt, &["crates/obs/src/clock.rs"]),
+    (Scope::Concurrency, &["crates/**"]),
+    // server.rs owns the one blessed unbounded channel: the per-request
+    // reply channel, capacity-bounded by the admission queue itself.
+    (Scope::ChannelBlessed, &["crates/cubestore/src/server.rs"]),
+    (Scope::ParseExempt, &["crates/common/src/sync.rs"]),
 ];
-
-/// Codec modules: R4 applies.
-const CODEC_PATHS: &[&str] = &[
-    "crates/common/src/codec.rs",
-    "crates/cubestore/src/codec.rs",
-    "crates/cubestore/src/delta.rs",
-    "crates/cubestore/src/segment.rs",
-    "crates/cubestore/src/manifest.rs",
-    "crates/core/src/sketch/mod.rs",
-];
-
-/// The one module allowed to read the wall clock (`Stopwatch`).
-const CLOCK_EXEMPT: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// Binary-format magics that must be single-sited (R2).
 pub const MAGICS: &[&str] = &["SPSK1", "CSEG1", "CMAN1", "DSEG1"];
@@ -95,34 +129,73 @@ pub const FNV_HEX: &[(&str, &str)] = &[
     ("FNV prime", "100000001b3"),
 ];
 
-fn path_matches(rel: &str, patterns: &[&str]) -> bool {
-    patterns.iter().any(|p| {
-        if p.ends_with('/') {
-            rel.starts_with(p)
-        } else {
-            rel == *p
+/// Segment-wise glob match: `**` spans any number of segments, `*`
+/// matches within one segment (possibly alongside literal text).
+fn glob_match(pattern: &str, path: &str) -> bool {
+    fn segs(pat: &[&str], path: &[&str]) -> bool {
+        match (pat.first(), path.first()) {
+            (None, None) => true,
+            (Some(&"**"), _) => {
+                segs(&pat[1..], path) || (!path.is_empty() && segs(pat, &path[1..]))
+            }
+            (Some(p), Some(s)) => seg_match(p, s) && segs(&pat[1..], &path[1..]),
+            _ => false,
         }
-    })
+    }
+    fn seg_match(pat: &str, seg: &str) -> bool {
+        match pat.split_once('*') {
+            None => pat == seg,
+            Some((pre, rest)) => {
+                if !seg.starts_with(pre) {
+                    return false;
+                }
+                let tail = &seg[pre.len()..];
+                (0..=tail.len()).any(|i| seg_match(rest, &tail[i..]))
+            }
+        }
+    }
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let path: Vec<&str> = path.split('/').collect();
+    segs(&pat, &path)
+}
+
+/// Is `rel` inside `scope` per the policy table? A `!`-pattern veto
+/// wins regardless of ordering.
+pub fn in_scope(scope: Scope, rel: &str) -> bool {
+    let Some((_, patterns)) = POLICY.iter().find(|(s, _)| *s == scope) else {
+        return false;
+    };
+    let mut matched = false;
+    for p in *patterns {
+        if let Some(neg) = p.strip_prefix('!') {
+            if glob_match(neg, rel) {
+                return false;
+            }
+        } else if glob_match(p, rel) {
+            matched = true;
+        }
+    }
+    matched
 }
 
 /// Does R1 apply to this workspace-relative path?
 pub fn is_no_panic_path(rel: &str) -> bool {
-    path_matches(rel, NO_PANIC_PATHS)
+    in_scope(Scope::NoPanic, rel)
 }
 
 /// Does the R3 HashMap ban apply?
 pub fn is_ordered_output_path(rel: &str) -> bool {
-    path_matches(rel, ORDERED_OUTPUT_PATHS)
+    in_scope(Scope::OrderedOutput, rel)
 }
 
 /// Does R4 apply?
 pub fn is_codec_path(rel: &str) -> bool {
-    path_matches(rel, CODEC_PATHS)
+    in_scope(Scope::Codec, rel)
 }
 
 /// Is this file allowed to read the wall clock?
 pub fn is_clock_exempt(rel: &str) -> bool {
-    path_matches(rel, CLOCK_EXEMPT)
+    in_scope(Scope::ClockExempt, rel)
 }
 
 fn is_ident(b: u8) -> bool {
@@ -593,7 +666,9 @@ pub fn check_error_hygiene(rel: &str, text: &str, findings: &mut Vec<Finding>) {
 
 /// Apply the suppression contract: drop findings covered by a valid
 /// same-line / previous-line `spcheck:allow`, and emit `bad_suppression`
-/// findings for reason-less, unknown-rule, or unused suppressions.
+/// findings for reason-less, unknown-rule, or unused suppressions. An
+/// unused allow names its rule and the nearest finding of that rule it
+/// would have matched, so the fix (move it or delete it) is obvious.
 pub fn apply_suppressions(
     rel: &str,
     suppressions: &[Suppression],
@@ -601,6 +676,9 @@ pub fn apply_suppressions(
 ) -> Vec<Finding> {
     let mut used = vec![false; suppressions.len()];
     let mut out = Vec::new();
+    // Pre-suppression (rule, line) pairs, for the nearest-finding hints.
+    let all_sites: Vec<(String, usize)> =
+        findings.iter().map(|f| (f.rule.clone(), f.line)).collect();
 
     for f in findings {
         // R2 is a cross-file invariant; a comment at one site cannot make
@@ -639,14 +717,28 @@ pub fn apply_suppressions(
                 rel,
                 s.line,
                 "bad_suppression",
-                "spcheck:allow without a reason; write `spcheck:allow(rule): why`".to_string(),
+                format!(
+                    "spcheck:allow({}) without a reason; write `spcheck:allow({}): why`",
+                    s.rule, s.rule
+                ),
             ));
         } else if !used[i] {
+            let nearest = all_sites
+                .iter()
+                .filter(|(r, _)| *r == s.rule)
+                .min_by_key(|(_, l)| l.abs_diff(s.line));
+            let hint = match nearest {
+                Some((_, l)) => format!(
+                    "nearest {} finding is at line {l}; move the allow to that line or the line above",
+                    s.rule
+                ),
+                None => format!("no {} findings in this file; delete the allow", s.rule),
+            };
             out.push(Finding::new(
                 rel,
                 s.line,
                 "bad_suppression",
-                "unused spcheck:allow; delete it or move it next to the finding".to_string(),
+                format!("unused spcheck:allow({}); {hint}", s.rule),
             ));
         }
     }
@@ -654,9 +746,12 @@ pub fn apply_suppressions(
     out
 }
 
-/// Run every per-file rule on one scrubbed file and apply suppressions.
-/// Magic sites are accumulated into `magic_sites` for the workspace-wide
-/// R2 pass.
+/// Run every per-file rule on one scrubbed file, returning **raw**
+/// (pre-suppression) findings. Suppressions are applied once per file by
+/// the driver after the workspace-wide passes (R2, R6–R9) have run, so
+/// an allow can silence a concurrency finding and unused-allow detection
+/// sees the complete picture. Magic sites are accumulated into
+/// `magic_sites` for the workspace-wide R2 pass.
 pub fn check_file(
     rel: &str,
     scrubbed: &Scrubbed,
@@ -678,7 +773,7 @@ pub fn check_file(
     );
     collect_magic_sites(rel, &scrubbed.literals, test_ranges, magic_sites);
     collect_fnv_sites(rel, &scrubbed.text, magic_sites);
-    apply_suppressions(rel, &scrubbed.suppressions, findings)
+    findings
 }
 
 #[cfg(test)]
@@ -956,6 +1051,121 @@ mod tests {
             &mut sites,
         );
         assert_eq!(sites.len(), 2, "{sites:?}");
+    }
+
+    #[test]
+    fn glob_star_is_segment_local_and_doublestar_spans() {
+        assert!(glob_match(
+            "crates/cubestore/src/*.rs",
+            "crates/cubestore/src/store.rs"
+        ));
+        assert!(!glob_match(
+            "crates/cubestore/src/*.rs",
+            "crates/cubestore/src/sub/more.rs"
+        ));
+        assert!(glob_match("crates/obs/src/**", "crates/obs/src/clock.rs"));
+        assert!(glob_match("crates/obs/src/**", "crates/obs/src/a/b/c.rs"));
+        assert!(!glob_match("crates/obs/src/**", "crates/obs/srcx/clock.rs"));
+        assert!(glob_match("crates/**", "crates/anything/at/all.rs"));
+        assert!(!glob_match("crates/**", "other/top.rs"));
+        assert!(glob_match(
+            "**/inspect.rs",
+            "crates/bench/src/bin/inspect.rs"
+        ));
+        assert!(glob_match("crates/*/src/lib.rs", "crates/obs/src/lib.rs"));
+    }
+
+    #[test]
+    fn policy_scopes_cover_the_known_paths() {
+        // The glob table must reproduce the old suffix lists exactly.
+        for p in [
+            "crates/mapreduce/src/engine.rs",
+            "crates/mapreduce/src/dfs.rs",
+            "crates/core/src/spcube/mod.rs",
+            "crates/obs/src/trace.rs",
+            "crates/cubestore/src/store.rs",
+            "crates/cubestore/src/faults.rs",
+            "crates/cubestore/src/client.rs",
+            "crates/cubealg/src/read.rs",
+        ] {
+            assert!(is_no_panic_path(p), "{p} must stay a no_panic path");
+        }
+        for p in [
+            "crates/cubestore/src/segment.rs",
+            "crates/cubestore/src/lib.rs",
+            "crates/bench/src/runner.rs",
+            "crates/cubealg/src/lib.rs",
+        ] {
+            assert!(!is_no_panic_path(p), "{p} must stay exempt from no_panic");
+        }
+        assert!(is_ordered_output_path("crates/bench/src/bin/inspect.rs"));
+        assert!(!is_ordered_output_path("crates/cubestore/src/blob.rs"));
+        assert!(is_codec_path("crates/common/src/codec.rs"));
+        assert!(is_clock_exempt("crates/obs/src/clock.rs"));
+        assert!(!is_clock_exempt("crates/obs/src/lib.rs"));
+        assert!(in_scope(
+            Scope::Concurrency,
+            "crates/cubestore/src/server.rs"
+        ));
+        assert!(in_scope(
+            Scope::ChannelBlessed,
+            "crates/cubestore/src/server.rs"
+        ));
+        assert!(!in_scope(
+            Scope::ChannelBlessed,
+            "crates/cubestore/src/client.rs"
+        ));
+        assert!(in_scope(Scope::ParseExempt, "crates/common/src/sync.rs"));
+    }
+
+    #[test]
+    fn negative_pattern_vetoes_regardless_of_order() {
+        // segment.rs matches the positive `*.rs` pattern but the `!`
+        // entry wins even though it comes after.
+        assert!(!is_no_panic_path("crates/cubestore/src/segment.rs"));
+    }
+
+    #[test]
+    fn unused_allow_names_rule_and_nearest_finding() {
+        let s =
+            scrub("// spcheck:allow(no_panic): wrong spot\nlet x = 1;\nlet y = 2;\nlet z = 3;\n");
+        let findings = vec![Finding::new(SERVING, 4, "no_panic", "boom".into())];
+        let out = apply_suppressions(SERVING, &s.suppressions, findings);
+        let bad = out
+            .iter()
+            .find(|f| f.rule == "bad_suppression")
+            .expect("unused allow flagged");
+        assert!(
+            bad.message.contains("unused spcheck:allow(no_panic)"),
+            "{}",
+            bad.message
+        );
+        assert!(bad.message.contains("line 4"), "{}", bad.message);
+
+        let out = apply_suppressions(SERVING, &s.suppressions, Vec::new());
+        let bad = out.first().expect("still flagged");
+        assert!(
+            bad.message.contains("no no_panic findings in this file"),
+            "{}",
+            bad.message
+        );
+    }
+
+    #[test]
+    fn new_concurrency_rules_are_suppressible() {
+        for rule in [
+            "lock_order",
+            "hold_across_io",
+            "channel_hygiene",
+            "guard_scope",
+        ] {
+            assert!(SUPPRESSIBLE_RULES.contains(&rule), "{rule}");
+            let src = format!("// spcheck:allow({rule}): fixture reason\nlet x = 1;\n");
+            let s = scrub(&src);
+            let findings = vec![Finding::new(SERVING, 2, rule, "seeded".into())];
+            let out = apply_suppressions(SERVING, &s.suppressions, findings);
+            assert!(out.is_empty(), "{rule}: {out:?}");
+        }
     }
 
     #[test]
