@@ -6,6 +6,7 @@
 //! cargo run --release -p spcube-bench --bin inspect -- [usagov|wikipedia|zipf|binomial] [n] [chaos|corrupt]
 //! cargo run --release -p spcube-bench --bin inspect -- generations <store-dir> [prefix]
 //! cargo run --release -p spcube-bench --bin inspect -- layers <store-dir> [prefix]
+//! cargo run --release -p spcube-bench --bin inspect -- scrub <store-dir> [prefix]
 //! cargo run --release -p spcube-bench --bin inspect -- trace [dataset] [n] [--validate]
 //! cargo run --release -p spcube-bench --bin inspect -- serve-faults <seed> [reads]
 //! cargo run --release -p spcube-bench --bin inspect -- lockgraph [root] [--dot]
@@ -26,6 +27,12 @@
 //! (delta-layered) store: the live chain in merge order with each layer's
 //! segment count, bytes, and state rows, plus which layers the default
 //! compaction policy would fold next.
+//!
+//! The `scrub` view runs the integrity scrubber over a store directory in
+//! check-only mode: every blob of the live generation chain is re-read and
+//! re-verified (checksums, codec round-trip, manifest shape agreement),
+//! but nothing is quarantined or rewritten — corruption is reported with
+//! what a repairing `spcube scrub` run would do about it.
 //!
 //! The `serve-faults` view renders the deterministic fault schedule the
 //! CLI's `serve-bench --chaos --chaos-seed <seed>` would inject, without
@@ -68,6 +75,10 @@ fn main() {
     }
     if dataset == "layers" {
         inspect_layers(&args);
+        return;
+    }
+    if dataset == "scrub" {
+        inspect_scrub(&args);
         return;
     }
     if dataset == "trace" {
@@ -327,6 +338,9 @@ fn inspect_serve_faults(args: &[String]) {
                 Some(FaultKind::Outage) => 'o',
                 Some(FaultKind::Transient) => 't',
                 Some(FaultKind::Latency) => 'L',
+                // Torn is a write-side kind; the read preview never
+                // draws it, but the match must say so.
+                Some(FaultKind::Torn) => 'x',
                 None => '.',
             })
             .collect();
@@ -421,6 +435,51 @@ fn inspect_layers(args: &[String]) {
             policy.max_layers
         );
     }
+}
+
+/// The `scrub` view: run the integrity scrubber over a store directory in
+/// check-only mode and print what a repairing run would do. Exits non-zero
+/// when any live blob is corrupt, so scripts can gate on it.
+fn inspect_scrub(args: &[String]) {
+    use spcube_cubestore::{DirBlobs, ScrubConfig, Scrubber};
+
+    let Some(dir) = args.get(1) else {
+        eprintln!("usage: inspect scrub <store-dir> [prefix]");
+        std::process::exit(2);
+    };
+    let prefix = args.get(2).map(String::as_str).unwrap_or("cube");
+    let blobs = DirBlobs::new(dir);
+    let report = match Scrubber::new(ScrubConfig::read_only()).run(&blobs, prefix) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scrubbing {dir}/{prefix} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(generation) = report.generation else {
+        println!("store {dir} prefix {prefix}: no committed generation; nothing to scrub");
+        return;
+    };
+    println!(
+        "store {dir} prefix {prefix}: serving generation {generation}, \
+         {} manifest(s) + {} segment(s) on the live chain, {} clean",
+        report.manifests_checked, report.segments_checked, report.clean
+    );
+    if report.corrupt == 0 {
+        println!("live chain verifies clean (checksums, codecs, manifest shapes)");
+        return;
+    }
+    println!("{} corrupt blob(s) on the live chain:", report.corrupt);
+    for f in &report.findings {
+        let mask = f
+            .mask
+            .map(|m| format!(" cuboid {m}"))
+            .unwrap_or_else(|| " (manifest)".to_string());
+        println!("  gen {:>8}{mask}  {}", f.generation, f.path);
+        println!("           {}", f.what);
+    }
+    println!("a repairing run (`spcube scrub {dir}`) would quarantine and repair in place");
+    std::process::exit(1);
 }
 
 /// The `generations` view: recovery-scan a CLI-written store directory

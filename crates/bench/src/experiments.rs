@@ -453,6 +453,8 @@ pub fn ablations(cfg: &ExpConfig) -> Vec<Measurement> {
             segment_rebuilds: None,
             deadline_miss_rate: None,
             hedge_win_rate: None,
+            ingest_retries: None,
+            scrub_repaired: None,
         });
     }
     // All variants must produce the same cube.
@@ -538,6 +540,8 @@ pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
             segment_rebuilds: Some(report.segment_rebuilds),
             deadline_miss_rate: Some(report.deadline_miss_rate),
             hedge_win_rate: Some(report.hedge_win_rate),
+            ingest_retries: None,
+            scrub_repaired: None,
         };
     let mut rows = Vec::new();
     for skew in [0.5f64, 1.5] {
@@ -691,9 +695,13 @@ pub fn serve_bench(cfg: &ExpConfig) -> Vec<Measurement> {
 pub fn store_incremental(cfg: &ExpConfig) -> Vec<Measurement> {
     use std::sync::Arc;
 
+    use spcube_common::retry::Backoff;
     use spcube_common::Relation;
     use spcube_cubealg::naive_cube;
-    use spcube_cubestore::{ingest_batch, write_store, BlobStore, CompactionPolicy};
+    use spcube_cubestore::{
+        ingest_batch, write_store, BlobStore, CompactionPolicy, FaultSchedule, FaultyBlobs,
+        IngestConfig,
+    };
     use spcube_mapreduce::{Dfs, Stopwatch};
 
     use crate::serving::{run_serving_under_ingest, IngestBenchConfig, ServeBenchConfig};
@@ -763,6 +771,8 @@ pub fn store_incremental(cfg: &ExpConfig) -> Vec<Measurement> {
         segment_rebuilds: None,
         deadline_miss_rate: None,
         hedge_win_rate: None,
+        ingest_retries: None,
+        scrub_repaired: None,
     };
     let mut rows = vec![
         timing_row("Store/full-rebuild", rebuild_wall, rebuilt.len()),
@@ -795,6 +805,8 @@ pub fn store_incremental(cfg: &ExpConfig) -> Vec<Measurement> {
             queries_per_step: queries,
             spec,
             policy: Some(CompactionPolicy { max_layers: 3 }),
+            ingest: IngestConfig::default(),
+            scrub: false,
         },
     )
     .expect("serve-under-ingest sweep");
@@ -824,6 +836,69 @@ pub fn store_incremental(cfg: &ExpConfig) -> Vec<Measurement> {
             deadline_miss_rate: Some(r.serving.deadline_miss_rate),
             hedge_win_rate: Some(r.serving.hedge_win_rate),
             ..timing_row("Store/serve-under-ingest", 0.0, 0)
+        });
+    }
+
+    // The same sweep on a write-chaotic blob layer: seeded put faults and
+    // torn staged writes hit every layer publication, the ingest session
+    // retries through them, and a repairing scrub after each step proves
+    // the live chain readers see stayed byte-clean (`scrub_fix` must read
+    // 0 — that is the claim, not a hope).
+    let faulty: Arc<dyn BlobStore> = Arc::new(FaultyBlobs::new(
+        Arc::clone(&dfs),
+        FaultSchedule {
+            seed: 0x1c7,
+            put_transient_fail_prob: 0.08,
+            torn_write_prob: 0.02,
+            only_matching: Some("chaos-inc/".to_string()),
+            ..FaultSchedule::default()
+        },
+    ));
+    // Seed the base layer through the clean layer — the chaos schedule is
+    // aimed at the sweep's publications, not the fixture setup.
+    ingest_batch(dfs.as_ref(), "chaos-inc", &base, spec).expect("seed chaos base layer");
+    let chaos_reports = run_serving_under_ingest(
+        &faulty,
+        "chaos-inc",
+        &batches,
+        &workload,
+        &IngestBenchConfig {
+            serve: ServeBenchConfig::default(),
+            queries_per_step: queries,
+            spec,
+            policy: Some(CompactionPolicy { max_layers: 3 }),
+            ingest: IngestConfig {
+                max_attempts: 50,
+                backoff: Backoff::Fixed(0.0005),
+                ..IngestConfig::default()
+            },
+            scrub: true,
+        },
+    )
+    .expect("chaos-ingest sweep");
+    for r in &chaos_reports {
+        assert_eq!(
+            r.scrub_repaired, 0,
+            "write chaos leaked corruption onto the live chain at step {}",
+            r.step
+        );
+        rows.push(Measurement {
+            algo: "Store/chaos-ingest",
+            x: r.step as f64,
+            rounds: r.layers,
+            wall_seconds: r.ingest_seconds,
+            cube_groups: r.ingested_rows as usize,
+            qps: Some(r.serving.qps),
+            p50_us: Some(r.serving.p50_us),
+            p99_us: Some(r.serving.p99_us),
+            cache_hit_rate: Some(r.serving.cache_hit_rate),
+            degraded_recomputes: Some(r.serving.degraded_recomputes),
+            segment_rebuilds: Some(r.serving.segment_rebuilds),
+            deadline_miss_rate: Some(r.serving.deadline_miss_rate),
+            hedge_win_rate: Some(r.serving.hedge_win_rate),
+            ingest_retries: Some(r.ingest_retries),
+            scrub_repaired: Some(r.scrub_repaired),
+            ..timing_row("Store/chaos-ingest", 0.0, 0)
         });
     }
     cfg.emit("store_incremental", &rows);

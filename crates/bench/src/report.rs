@@ -48,8 +48,17 @@ impl<'a> Table<'a> {
         ));
         if serving {
             out.push_str(&format!(
-                " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                "qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild", "dl_miss", "hdg_win"
+                " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+                "qps",
+                "p50_us",
+                "p99_us",
+                "hit_rate",
+                "degrade",
+                "rebuild",
+                "dl_miss",
+                "hdg_win",
+                "ing_rtry",
+                "scrub_fix"
             ));
         }
         out.push('\n');
@@ -85,7 +94,7 @@ impl<'a> Table<'a> {
             if serving {
                 let count = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
                 out.push_str(&format!(
-                    " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    " {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
                     opt(m.qps, 0),
                     opt(m.p50_us, 1),
                     opt(m.p99_us, 1),
@@ -94,6 +103,8 @@ impl<'a> Table<'a> {
                     count(m.segment_rebuilds),
                     opt(m.deadline_miss_rate, 3),
                     opt(m.hedge_win_rate, 3),
+                    count(m.ingest_retries),
+                    count(m.scrub_repaired),
                 ));
             }
             out.push('\n');
@@ -109,7 +120,7 @@ pub const CSV_HEADER: &str = "experiment,algo,x,total_seconds,avg_map_seconds,av
 map_output_mb,sketch_kb,rounds,spilled_mb,imbalance,cube_groups,wall_seconds,\
 task_retries,tasks_lost,re_executions,speculative_launches,wasted_seconds,fallback_events,\
 qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds,\
-deadline_miss_rate,hedge_win_rate";
+deadline_miss_rate,hedge_win_rate,ingest_retries,scrub_repaired";
 
 /// Append measurements of one experiment to a CSV file (with header when
 /// the file is new).
@@ -134,7 +145,7 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
     for m in rows {
         writeln!(
             f,
-            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.4},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
             experiment,
             m.algo,
             m.x,
@@ -162,6 +173,8 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
             count(m.segment_rebuilds),
             opt(m.deadline_miss_rate),
             opt(m.hedge_win_rate),
+            count(m.ingest_retries),
+            count(m.scrub_repaired),
         )
         .map_err(wrap)?;
     }
@@ -200,6 +213,8 @@ mod tests {
             segment_rebuilds: None,
             deadline_miss_rate: None,
             hedge_win_rate: None,
+            ingest_retries: None,
+            scrub_repaired: None,
         }
     }
 
@@ -230,10 +245,21 @@ mod tests {
         served.segment_rebuilds = Some(1);
         served.deadline_miss_rate = Some(0.021);
         served.hedge_win_rate = Some(0.875);
+        served.ingest_retries = Some(42);
+        served.scrub_repaired = Some(2);
         let rows = vec![served];
         let table = Table::new("serve_bench", &rows).render();
         for col in [
-            "qps", "p50_us", "p99_us", "hit_rate", "degrade", "rebuild", "dl_miss", "hdg_win",
+            "qps",
+            "p50_us",
+            "p99_us",
+            "hit_rate",
+            "degrade",
+            "rebuild",
+            "dl_miss",
+            "hdg_win",
+            "ing_rtry",
+            "scrub_fix",
         ] {
             assert!(table.contains(col), "serving table missing column {col}");
         }
@@ -241,9 +267,10 @@ mod tests {
         assert!(table.contains("0.913"));
         assert!(table.contains("0.021"));
         assert!(table.contains("0.875"));
+        assert!(table.contains("42"));
         assert!(CSV_HEADER.ends_with(
             "qps,p50_us,p99_us,cache_hit_rate,degraded_recomputes,segment_rebuilds,\
-             deadline_miss_rate,hedge_win_rate"
+             deadline_miss_rate,hedge_win_rate,ingest_retries,scrub_repaired"
         ));
     }
 

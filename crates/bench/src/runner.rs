@@ -128,6 +128,12 @@ pub struct Measurement {
     /// Hedges won over hedges fired, `[0, 1]` (hedged serve-bench rows
     /// only).
     pub hedge_win_rate: Option<f64>,
+    /// Write-path retries the step's ingest session spent riding out
+    /// injected faults (chaos-ingest rows only).
+    pub ingest_retries: Option<u64>,
+    /// Blobs the post-step integrity scrub repaired in place
+    /// (chaos-ingest rows only).
+    pub scrub_repaired: Option<u64>,
 }
 
 const MB: f64 = 1024.0 * 1024.0;
@@ -222,6 +228,8 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 segment_rebuilds: None,
                 deadline_miss_rate: None,
                 hedge_win_rate: None,
+                ingest_retries: None,
+                scrub_repaired: None,
             }
         }
         Err(err) => {
@@ -255,6 +263,8 @@ pub fn run_algo(algo: Algo, w: &Workload, agg: AggSpec) -> Measurement {
                 segment_rebuilds: None,
                 deadline_miss_rate: None,
                 hedge_win_rate: None,
+                ingest_retries: None,
+                scrub_repaired: None,
             }
         }
     }

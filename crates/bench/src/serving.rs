@@ -23,8 +23,8 @@ use spcube_mapreduce::Stopwatch;
 use spcube_obs::Histogram;
 
 use spcube_cubestore::{
-    compact, ingest_batch, BlobStore, ClientConfig, CompactionPolicy, CubeServer, CubeStore,
-    Request, ResilientClient, Response, ServeError, ServerConfig,
+    BlobStore, ClientConfig, CompactionPolicy, CubeServer, CubeStore, IngestConfig, IngestSession,
+    Request, ResilientClient, Response, ScrubConfig, Scrubber, ServeError, ServerConfig,
 };
 use spcube_datagen::QuerySpec;
 
@@ -255,6 +255,14 @@ pub struct IngestBenchConfig {
     /// Compact after any step whose chain exceeds this policy
     /// (`None` = let the chain grow, the worst case for read latency).
     pub policy: Option<CompactionPolicy>,
+    /// Write-path retry policy: each step's ingest (and compaction) runs
+    /// through an [`IngestSession`], so injected write faults on a chaos
+    /// blob layer are ridden out with backoff instead of failing the step.
+    pub ingest: IngestConfig,
+    /// Run a repairing integrity scrub over the live chain after each
+    /// step, reporting blobs repaired in place (the chaos-ingest mode's
+    /// proof that write faults never corrupt what readers see).
+    pub scrub: bool,
 }
 
 /// What one ingest step of [`run_serving_under_ingest`] measured.
@@ -270,12 +278,19 @@ pub struct IngestStepReport {
     pub ingest_seconds: f64,
     /// Whether the compactor folded layers after this step.
     pub compacted: bool,
+    /// Write-path retries the step's ingest (and compaction) spent riding
+    /// out faults.
+    pub ingest_retries: u64,
+    /// Blobs the post-step integrity scrub repaired in place (0 when
+    /// scrubbing is off — and, by the commit protocol, 0 under write
+    /// chaos too: a torn write never lands on the live chain).
+    pub scrub_repaired: u64,
     /// The serving window measured while the ingest ran.
     pub serving: ServingReport,
 }
 
 /// Serve an open-loop query stream while delta batches land: each step
-/// publishes one batch through [`ingest_batch`] on a side thread while
+/// publishes one batch through an [`IngestSession`] on a side thread while
 /// `queries_per_step` queries (taken round-robin from `workload`) run
 /// against the store generation opened at the step's start — exactly the
 /// snapshot a live reader would hold, and safe because a delta commit
@@ -294,8 +309,10 @@ pub fn run_serving_under_ingest(
     workload: &[QuerySpec],
     cfg: &IngestBenchConfig,
 ) -> Result<Vec<IngestStepReport>> {
+    let session = IngestSession::new(Arc::clone(blobs), prefix, cfg.spec, cfg.ingest.clone())?;
     let mut reports = Vec::with_capacity(batches.len());
     for (step, batch) in batches.iter().enumerate() {
+        let retries_before = session.stats().retries;
         let store = Arc::new(CubeStore::open(Arc::clone(blobs), prefix)?);
         let chunk: Vec<QuerySpec> = workload
             .iter()
@@ -311,28 +328,35 @@ pub fn run_serving_under_ingest(
         let (serving, ingest) = std::thread::scope(|scope| {
             let writer = scope.spawn(|| {
                 let t0 = Stopwatch::start();
-                ingest_batch(blobs.as_ref(), prefix, batch, cfg.spec)
-                    .map(|report| (report, t0.seconds()))
+                session.ingest(batch).map(|outcome| (outcome, t0.seconds()))
             });
             let serving = run_serving(Arc::clone(&store), &chunk, &cfg.serve);
             (serving, writer.join().expect("ingest thread panicked"))
         });
-        let (ingest_report, ingest_seconds) = ingest?;
+        let (outcome, ingest_seconds) = ingest?;
         let compacted = match &cfg.policy {
-            Some(policy) => compact(blobs.as_ref(), prefix, policy)?.is_some(),
+            Some(policy) => session.compact(policy)?.is_some(),
             None => false,
         };
-        let layers = if compacted {
-            CubeStore::open(Arc::clone(blobs), prefix)?.layer_count()
+        let layers = match (compacted, outcome.report()) {
+            (false, Some(report)) => report.layers.len(),
+            _ => CubeStore::open(Arc::clone(blobs), prefix)?.layer_count(),
+        };
+        let scrub_repaired = if cfg.scrub {
+            Scrubber::new(ScrubConfig::default())
+                .run(blobs.as_ref(), prefix)?
+                .repaired
         } else {
-            ingest_report.layers.len()
+            0
         };
         reports.push(IngestStepReport {
             step,
             layers,
-            ingested_rows: ingest_report.rows,
+            ingested_rows: outcome.report().map_or(0, |r| r.rows),
             ingest_seconds,
             compacted,
+            ingest_retries: session.stats().retries - retries_before,
+            scrub_repaired,
             serving,
         });
     }
@@ -344,7 +368,7 @@ mod tests {
     use super::*;
     use spcube_agg::AggSpec;
     use spcube_cubealg::{naive_cube, CubeRead};
-    use spcube_cubestore::{write_store, FaultSchedule, FaultyBlobs};
+    use spcube_cubestore::{ingest_batch, write_store, FaultSchedule, FaultyBlobs};
     use spcube_datagen::{gen_query_workload, gen_zipf};
     use spcube_mapreduce::Dfs;
 
@@ -439,12 +463,15 @@ mod tests {
                 queries_per_step: 40,
                 spec: AggSpec::Count,
                 policy: Some(CompactionPolicy { max_layers: 3 }),
+                ingest: IngestConfig::default(),
+                scrub: false,
             },
         )
         .unwrap();
         assert_eq!(reports.len(), 5);
         for r in &reports {
             assert!(r.layers >= 1 && r.layers <= 4, "chain ran away: {r:?}");
+            assert_eq!(r.scrub_repaired, 0, "scrubbing was off: {r:?}");
             assert!(
                 r.ingested_rows >= batch_rows as u64 / 2,
                 "layer persisted suspiciously few state rows: {r:?}"
@@ -466,6 +493,76 @@ mod tests {
         let mask = spcube_common::Mask::full(3);
         let rows = store.cuboid_rows(mask).unwrap();
         assert_eq!(rows.len(), q.cuboid_len(mask));
+    }
+
+    #[test]
+    fn serving_under_ingest_rides_out_write_chaos() {
+        // Write faults on the blob layer during a serve-under-ingest
+        // sweep: the session's retries absorb them, every step still
+        // lands exactly one layer, and the post-step scrub finds the live
+        // chain clean — a torn write never reaches what readers see.
+        let rel = gen_zipf(400, 3, 21);
+        let batch_rows = rel.len() / 4;
+        let mut batches: Vec<_> = (0..4)
+            .map(|i| {
+                let mut part = spcube_common::Relation::empty(rel.schema().clone());
+                for t in &rel.tuples()[i * batch_rows..(i + 1) * batch_rows] {
+                    part.push(t.clone()).unwrap();
+                }
+                part
+            })
+            .collect();
+        let dfs: Arc<dyn spcube_cubestore::BlobStore> = Arc::new(Dfs::new());
+        ingest_batch(dfs.as_ref(), "inc", &batches.remove(0), AggSpec::Count).unwrap();
+        let faulty: Arc<dyn spcube_cubestore::BlobStore> = Arc::new(FaultyBlobs::new(
+            Arc::clone(&dfs),
+            FaultSchedule {
+                seed: 23,
+                put_transient_fail_prob: 0.10,
+                torn_write_prob: 0.03,
+                ..FaultSchedule::default()
+            },
+        ));
+
+        let workload = gen_query_workload(&rel, 40, 1.0, 17);
+        let reports = run_serving_under_ingest(
+            &faulty,
+            "inc",
+            &batches,
+            &workload,
+            &IngestBenchConfig {
+                serve: ServeBenchConfig {
+                    workers: 2,
+                    queue_capacity: 16,
+                    clients: 2,
+                    ..ServeBenchConfig::default()
+                },
+                queries_per_step: 20,
+                spec: AggSpec::Count,
+                policy: Some(CompactionPolicy { max_layers: 3 }),
+                ingest: IngestConfig {
+                    max_attempts: 50,
+                    backoff: spcube_common::retry::Backoff::None,
+                    ..IngestConfig::default()
+                },
+                scrub: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(
+                r.scrub_repaired, 0,
+                "write chaos corrupted the live chain: {r:?}"
+            );
+        }
+        // The layered store still answers exactly what a monolithic cube
+        // would — chaos cost retries, not rows.
+        let store = CubeStore::open(Arc::clone(&dfs), "inc").unwrap();
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let q = spcube_cubealg::CubeQuery::new(&cube, 3);
+        let mask = spcube_common::Mask::full(3);
+        assert_eq!(store.cuboid_rows(mask).unwrap().len(), q.cuboid_len(mask));
     }
 
     #[test]

@@ -18,7 +18,14 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["exact-sketch", "quiet", "help", "chaos", "hedge"];
+const SWITCHES: &[&str] = &[
+    "exact-sketch",
+    "quiet",
+    "help",
+    "chaos",
+    "hedge",
+    "check-only",
+];
 
 impl Args {
     /// Parse a raw argument list (without the program name).

@@ -36,6 +36,23 @@
 //! per batch would drop groups that clear the support threshold only
 //! across batches, silently breaking the bit-exactness contract.
 //!
+//! # Exactly-once ingest
+//!
+//! A client that crashes mid-ingest and retries must not double-apply the
+//! batch: SUM/COUNT answers would silently drift. [`ingest_batch_with_id`]
+//! therefore tags each batch with a `u64` **batch ID** — client-supplied,
+//! or hashed from the batch content via [`batch_content_id`] — and the
+//! manifest chain carries the cumulative, sorted set of every ID it has
+//! absorbed. Replaying a committed ID returns a typed
+//! [`IngestOutcome::AlreadyApplied`] no-op before any blob is written.
+//! Because the ID set rides the same single root-manifest commit point as
+//! the data, a crash at any blob-op boundary leaves the ID and its layer
+//! either both committed or both absent — so retry-until-success
+//! ([`IngestSession`]) converges to exactly one committed layer, never
+//! zero, never two. The ID-less [`ingest_batch`] stays at-least-once for
+//! callers that manage their own dedup; it carries the chain's ID set
+//! forward untouched.
+//!
 //! # Wire format (`DSEG1`)
 //!
 //! ```text
@@ -48,9 +65,15 @@
 //! Rows are strictly sorted by key, so encoding is deterministic and
 //! mergers stream in order.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use spcube_agg::{AggOutput, AggSpec, AggState};
+use spcube_common::retry::Backoff;
+use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Mask, Relation, Result, Value};
 use spcube_obs::{names, ObsHandle, SpanId, Stopwatch};
 
@@ -244,12 +267,68 @@ pub struct DeltaWriteReport {
     pub rows: u64,
 }
 
+/// How an ID-tagged ingest ended: a fresh commit, or a typed no-op
+/// because the chain already absorbed this batch ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The batch was cubed and committed as a new layer.
+    Applied(DeltaWriteReport),
+    /// The chosen manifest already carries this batch ID — nothing was
+    /// written, nothing needs to be. Replaying a committed batch (the
+    /// common retry-after-crash case) lands here.
+    AlreadyApplied {
+        /// The ID the caller presented.
+        batch_id: u64,
+        /// The committed generation whose manifest proved the duplicate.
+        generation: u64,
+    },
+}
+
+impl IngestOutcome {
+    /// The write report, when this outcome committed one.
+    pub fn report(&self) -> Option<&DeltaWriteReport> {
+        match self {
+            IngestOutcome::Applied(r) => Some(r),
+            IngestOutcome::AlreadyApplied { .. } => None,
+        }
+    }
+
+    /// Whether the outcome was a dedup no-op.
+    pub fn is_duplicate(&self) -> bool {
+        matches!(self, IngestOutcome::AlreadyApplied { .. })
+    }
+}
+
+/// Derive a batch ID from the batch content: a stable hash over the
+/// arity, every tuple's key values, and every measure's exact bit
+/// pattern. Two bit-identical batches collide by construction — which is
+/// precisely the retry-the-same-payload case exactly-once dedup exists
+/// for. Callers with a real idempotency token (an upstream offset, a
+/// request UUID) should prefer supplying it to [`ingest_batch_with_id`]
+/// directly.
+pub fn batch_content_id(batch: &Relation) -> u64 {
+    let mut h = DefaultHasher::new();
+    b"spcube-batch-id-v1".hash(&mut h);
+    let d = batch.arity();
+    d.hash(&mut h);
+    let full = Mask::full(d);
+    for t in batch.tuples() {
+        t.project(full).hash(&mut h);
+        t.measure.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Cube `batch` and publish it as a new delta layer under `prefix`. The
 /// first ingest on a fresh prefix creates the base layer (generation 1,
 /// chain `[1]`); later ingests append. Fails with a typed
 /// [`Error::Config`] when the prefix holds a classic full-rebuild store
 /// or a store of a different shape (`d`, aggregate spec) — delta layers
 /// only stack on their own kind.
+///
+/// This entry point is **at-least-once**: it carries the chain's batch-ID
+/// set forward but neither checks nor extends it. Retry-safe callers want
+/// [`ingest_batch_with_id`] (or an [`IngestSession`]).
 pub fn ingest_batch(
     blobs: &dyn BlobStore,
     prefix: &str,
@@ -260,9 +339,25 @@ pub fn ingest_batch(
     ingest_states(blobs, prefix, batch.arity(), spec, states)
 }
 
+/// [`ingest_batch`] with exactly-once semantics: `batch_id` is checked
+/// against — and on success recorded into — the manifest chain's
+/// cumulative ID set. Replaying a committed ID returns
+/// [`IngestOutcome::AlreadyApplied`] without writing a single blob.
+pub fn ingest_batch_with_id(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    batch: &Relation,
+    spec: AggSpec,
+    batch_id: u64,
+) -> Result<IngestOutcome> {
+    let states = state_cube(batch, spec)?;
+    ingest_states_with_id(blobs, prefix, batch.arity(), spec, states, batch_id)
+}
+
 /// Publish pre-cubed states as a new delta layer — the entry point for a
 /// driver that already cubed the batch (e.g. through the SP-Sketch
-/// MapReduce path) and converted the results to states.
+/// MapReduce path) and converted the results to states. At-least-once,
+/// like [`ingest_batch`].
 pub fn ingest_states(
     blobs: &dyn BlobStore,
     prefix: &str,
@@ -270,6 +365,35 @@ pub fn ingest_states(
     spec: AggSpec,
     states: StateCube,
 ) -> Result<DeltaWriteReport> {
+    match ingest_states_inner(blobs, prefix, d, spec, states, None)? {
+        IngestOutcome::Applied(report) => Ok(report),
+        IngestOutcome::AlreadyApplied { .. } => Err(Error::Internal(
+            "ID-less ingest produced a dedup outcome".to_string(),
+        )),
+    }
+}
+
+/// [`ingest_states`] with exactly-once semantics (see
+/// [`ingest_batch_with_id`]).
+pub fn ingest_states_with_id(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    d: usize,
+    spec: AggSpec,
+    states: StateCube,
+    batch_id: u64,
+) -> Result<IngestOutcome> {
+    ingest_states_inner(blobs, prefix, d, spec, states, Some(batch_id))
+}
+
+fn ingest_states_inner(
+    blobs: &dyn BlobStore,
+    prefix: &str,
+    d: usize,
+    spec: AggSpec,
+    states: StateCube,
+    batch_id: Option<u64>,
+) -> Result<IngestOutcome> {
     let scan = scan_store(blobs, prefix)?;
     let current = current_state_manifest(&scan, prefix)?;
     if let Some(m) = &current {
@@ -285,14 +409,33 @@ pub fn ingest_states(
                 m.spec
             )));
         }
+        // The dedup check happens before any blob is touched: a replay is
+        // pure reads, so it cannot tear anything however often it races.
+        if let Some(id) = batch_id {
+            if m.contains_batch(id) {
+                return Ok(IngestOutcome::AlreadyApplied {
+                    batch_id: id,
+                    generation: m.generation,
+                });
+            }
+        }
     }
-    let old_chain: Vec<u64> = current.map(|m| m.layers).unwrap_or_default();
+    let (old_chain, mut batch_ids): (Vec<u64>, Vec<u64>) =
+        current.map(|m| (m.layers, m.batch_ids)).unwrap_or_default();
+    if let Some(id) = batch_id {
+        // Insertion keeps the set strictly ascending; the dedup check
+        // above already ruled out an exact duplicate.
+        if let Err(pos) = batch_ids.binary_search(&id) {
+            batch_ids.insert(pos, id);
+        }
+    }
     let generation = next_generation(&scan);
     let mut layers = old_chain.clone();
     layers.push(generation);
     commit_layer(
-        blobs, prefix, d, spec, states, layers, &old_chain, generation,
+        blobs, prefix, d, spec, states, layers, batch_ids, &old_chain, generation,
     )
+    .map(IngestOutcome::Applied)
 }
 
 /// When to fold delta layers back together.
@@ -425,6 +568,10 @@ impl Compactor {
             current.spec,
             states,
             layers,
+            // Compaction folds layers, not history: the exactly-once ID
+            // set rides along unchanged so replays stay deduplicated
+            // across folds.
+            current.batch_ids.clone(),
             &chain,
             generation,
         )?;
@@ -462,6 +609,218 @@ pub fn compact(
     policy: &CompactionPolicy,
 ) -> Result<Option<CompactReport>> {
     Compactor::new(policy.clone()).run(blobs, prefix)
+}
+
+/// Retry policy for an [`IngestSession`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay schedule between retries, in seconds.
+    pub backoff: Backoff,
+    /// Seed for deterministic retry jitter.
+    pub retry_seed: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig {
+            max_attempts: 5,
+            backoff: Backoff::Exponential {
+                base_s: 0.0005,
+                factor: 2.0,
+            },
+            retry_seed: 0,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Reject nonsensical policies.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(Error::Config(
+                "ingest session needs at least one attempt".to_string(),
+            ));
+        }
+        self.backoff.validate()
+    }
+}
+
+/// What an [`IngestSession`] has done so far. Mirrored one-for-one by the
+/// `store.ingest.*` obs counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Batches committed as new layers.
+    pub applied: u64,
+    /// Batches answered with a typed [`IngestOutcome::AlreadyApplied`].
+    pub deduped: u64,
+    /// Retries after a retryable failure (injected fault or I/O error),
+    /// summed across ingest and compaction.
+    pub retries: u64,
+    /// Compaction runs that folded layers.
+    pub compactions: u64,
+}
+
+/// The write-path sibling of [`crate::client::ResilientClient`]: wraps
+/// delta ingest and compaction in bounded, deterministically jittered
+/// [`Backoff`] retries. Combined with batch-ID dedup this turns a flaky
+/// blob store into an exactly-once pipe — a crash or injected write fault
+/// at any blob-op boundary, followed by a retry, converges to exactly one
+/// committed layer: never zero (retries keep going until a commit or the
+/// attempt budget runs out), never two (a replayed ID is a typed no-op).
+///
+/// Only [`Error::Injected`] and [`Error::Io`] are retried. Typed refusals
+/// (`Config`, shape mismatches) and data-loss errors are returned
+/// immediately: retrying a misconfigured ingest cannot fix it, and
+/// corruption is the scrubber's job, not the writer's.
+pub struct IngestSession {
+    blobs: Arc<dyn BlobStore>,
+    prefix: String,
+    spec: AggSpec,
+    config: IngestConfig,
+    stats: Mutex<IngestStats>,
+    obs: ObsHandle,
+}
+
+impl std::fmt::Debug for IngestSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestSession")
+            .field("prefix", &self.prefix)
+            .field("spec", &self.spec)
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IngestSession {
+    /// A session writing to `prefix` with the given retry policy.
+    pub fn new(
+        blobs: Arc<dyn BlobStore>,
+        prefix: &str,
+        spec: AggSpec,
+        config: IngestConfig,
+    ) -> Result<IngestSession> {
+        config.validate()?;
+        Ok(IngestSession {
+            blobs,
+            prefix: prefix.to_string(),
+            spec,
+            config,
+            stats: Mutex::new(IngestStats::default()),
+            obs: ObsHandle::default(),
+        })
+    }
+
+    /// Attach an observability session (`store.ingest.*` counters).
+    pub fn with_obs(mut self, obs: ObsHandle) -> IngestSession {
+        self.obs = obs;
+        self
+    }
+
+    /// Ingest `batch` exactly once, deriving its ID from the content
+    /// (see [`batch_content_id`]).
+    pub fn ingest(&self, batch: &Relation) -> Result<IngestOutcome> {
+        self.ingest_with_id(batch, batch_content_id(batch))
+    }
+
+    /// Ingest `batch` exactly once under a caller-supplied ID, retrying
+    /// retryable failures with backoff. On success the outcome is either
+    /// a fresh commit or a typed duplicate.
+    pub fn ingest_with_id(&self, batch: &Relation, batch_id: u64) -> Result<IngestOutcome> {
+        let outcome = self.with_retries("ingest", || {
+            ingest_batch_with_id(
+                self.blobs.as_ref(),
+                &self.prefix,
+                batch,
+                self.spec,
+                batch_id,
+            )
+        })?;
+        let mut stats = lock_or_recover(&self.stats);
+        match &outcome {
+            IngestOutcome::Applied(_) => stats.applied += 1,
+            IngestOutcome::AlreadyApplied { generation, .. } => {
+                stats.deduped += 1;
+                drop(stats);
+                self.obs.inc(names::STORE_INGEST_DEDUP, &[]);
+                self.obs.event(
+                    names::STORE_INGEST_DEDUP,
+                    SpanId::ROOT,
+                    &[
+                        ("batch_id", batch_id.to_string()),
+                        ("generation", generation.to_string()),
+                    ],
+                );
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Run one compaction pass under the session's retry policy.
+    pub fn compact(&self, policy: &CompactionPolicy) -> Result<Option<CompactReport>> {
+        let compactor = Compactor::new(policy.clone()).with_obs(self.obs.clone());
+        let report = self.with_retries("compact", || {
+            compactor.run(self.blobs.as_ref(), &self.prefix)
+        })?;
+        if report.is_some() {
+            lock_or_recover(&self.stats).compactions += 1;
+        }
+        Ok(report)
+    }
+
+    /// A snapshot of the session's counters.
+    pub fn stats(&self) -> IngestStats {
+        *lock_or_recover(&self.stats)
+    }
+
+    /// Run `op` up to the configured attempt budget, retrying only
+    /// retryable errors and sleeping out the jittered backoff between
+    /// attempts (skipped under a mock obs clock so chaos tests stay
+    /// instant).
+    fn with_retries<T>(&self, label: &str, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut last: Option<Error> = None;
+        for attempt in 1..=self.config.max_attempts {
+            if attempt > 1 {
+                lock_or_recover(&self.stats).retries += 1;
+                self.obs.inc(names::STORE_INGEST_RETRY, &[]);
+                self.obs.event(
+                    names::STORE_INGEST_RETRY,
+                    SpanId::ROOT,
+                    &[("attempt", attempt.to_string()), ("op", label.to_string())],
+                );
+                self.backoff_sleep(attempt - 1);
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| Error::Internal("retry loop made no attempt".to_string())))
+    }
+
+    /// Sleep out the jittered backoff before retry `failed_attempt + 1`.
+    fn backoff_sleep(&self, failed_attempt: u32) {
+        if self.obs.is_mock() {
+            return;
+        }
+        let delay_s = self
+            .config
+            .backoff
+            .delay_after_jittered(failed_attempt, self.config.retry_seed);
+        if delay_s > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay_s));
+        }
+    }
+}
+
+/// Which failures a retry can plausibly outlive: injected write faults
+/// (transient by construction) and real I/O errors. Everything else is
+/// either a caller bug (`Config`) or data loss (the scrubber's domain).
+fn is_retryable(e: &Error) -> bool {
+    matches!(e, Error::Injected(_) | Error::Io(_, _))
 }
 
 /// Merge the cuboid `mask` across `layers` (ascending chain order) and
@@ -504,8 +863,9 @@ pub fn merged_cuboid(
 
 /// Merge `state` into `acc` under `key`, refusing (typed — merge itself
 /// would panic, and this runs on the serving path) any state whose
-/// variant does not match the store's aggregate spec.
-fn merge_into(
+/// variant does not match the store's aggregate spec. Crate-visible: the
+/// scrubber's rollup repair merges states the same way.
+pub(crate) fn merge_into(
     acc: &mut BTreeMap<Box<[Value]>, AggState>,
     key: &[Value],
     state: &AggState,
@@ -575,7 +935,8 @@ fn next_generation(scan: &ScanReport) -> u64 {
 /// following the PR 4 protocol: segments, seal, one root write (the
 /// commit point), then chain-aware GC. `old_chain` is the chain the
 /// previous root named; its members survive this commit so readers
-/// opened against it keep answering.
+/// opened against it keep answering. `batch_ids` is the cumulative
+/// exactly-once ID set the new manifest will carry (strictly ascending).
 #[allow(clippy::too_many_arguments)]
 fn commit_layer(
     blobs: &dyn BlobStore,
@@ -584,6 +945,7 @@ fn commit_layer(
     spec: AggSpec,
     states: StateCube,
     layers: Vec<u64>,
+    batch_ids: Vec<u64>,
     old_chain: &[u64],
     generation: u64,
 ) -> Result<DeltaWriteReport> {
@@ -623,6 +985,7 @@ fn commit_layer(
         min_support: 1,
         kind: StoreKind::State,
         layers,
+        batch_ids,
         entries,
     };
     let encoded = manifest.encode()?;
@@ -899,6 +1262,182 @@ mod tests {
     fn compactor_policy_zero_is_a_config_error() {
         let dfs = Dfs::new();
         let err = compact(&dfs, "inc", &CompactionPolicy { max_layers: 0 }).expect_err("zero");
+        assert!(matches!(err, Error::Config(_)), "got {err}");
+    }
+
+    #[test]
+    fn replaying_a_batch_id_is_a_typed_no_op() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        let first = ingest_batch_with_id(dfs.as_ref(), "inc", &rel, AggSpec::Sum, 77)
+            .expect("first ingest");
+        let report = first.report().expect("applied").clone();
+        assert_eq!(report.generation, 1);
+        let blobs_before = dfs.list_prefix("inc");
+        let replay = ingest_batch_with_id(dfs.as_ref(), "inc", &rel, AggSpec::Sum, 77)
+            .expect("replay ingest");
+        assert_eq!(
+            replay,
+            IngestOutcome::AlreadyApplied {
+                batch_id: 77,
+                generation: 1
+            }
+        );
+        assert!(replay.is_duplicate());
+        // A replay is pure reads: not one blob changed.
+        assert_eq!(dfs.list_prefix("inc"), blobs_before);
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Sum);
+    }
+
+    #[test]
+    fn batch_ids_survive_compaction_and_legacy_ingest() {
+        let dfs = Arc::new(Dfs::new());
+        let rel = sample_rel();
+        let parts = split(&rel, &[3, 6, 9]);
+        for (i, batch) in parts.iter().enumerate() {
+            let out = ingest_batch_with_id(dfs.as_ref(), "inc", batch, AggSpec::Avg, i as u64 + 1)
+                .expect("ingest");
+            assert!(!out.is_duplicate(), "batch {i} must be fresh");
+        }
+        compact(dfs.as_ref(), "inc", &CompactionPolicy { max_layers: 1 })
+            .expect("compact")
+            .expect("folded");
+        // The fold carried the ID set: replays still dedup.
+        let replay =
+            ingest_batch_with_id(dfs.as_ref(), "inc", &parts[1], AggSpec::Avg, 2).expect("replay");
+        assert!(replay.is_duplicate(), "compaction dropped the ID set");
+        // A legacy ID-less ingest carries the set forward untouched.
+        let empty = Relation::empty(rel.schema().clone());
+        ingest_batch(dfs.as_ref(), "inc", &empty, AggSpec::Avg).expect("legacy ingest");
+        let replay = ingest_batch_with_id(dfs.as_ref(), "inc", &parts[0], AggSpec::Avg, 1)
+            .expect("replay after legacy");
+        assert!(replay.is_duplicate(), "legacy ingest dropped the ID set");
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Avg);
+    }
+
+    #[test]
+    fn content_ids_are_stable_and_content_sensitive() {
+        let rel = sample_rel();
+        assert_eq!(batch_content_id(&rel), batch_content_id(&rel.clone()));
+        let mut other = Relation::empty(rel.schema().clone());
+        for t in rel.tuples() {
+            let mut t = t.clone();
+            t.measure += 1.0;
+            other.push(t).expect("push");
+        }
+        assert_ne!(batch_content_id(&rel), batch_content_id(&other));
+        let empty = Relation::empty(rel.schema().clone());
+        assert_ne!(batch_content_id(&rel), batch_content_id(&empty));
+    }
+
+    #[test]
+    fn ingest_session_retries_through_write_faults() {
+        use crate::faults::{FaultSchedule, FaultyBlobs};
+        let obs = spcube_obs::ObsHandle::mock();
+        let faulty: Arc<dyn BlobStore> = Arc::new(
+            FaultyBlobs::new(
+                Arc::new(Dfs::new()),
+                FaultSchedule {
+                    seed: 42,
+                    put_transient_fail_prob: 0.15,
+                    torn_write_prob: 0.05,
+                    ..FaultSchedule::default()
+                },
+            )
+            .with_obs(obs.clone()),
+        );
+        let session = IngestSession::new(
+            Arc::clone(&faulty),
+            "inc",
+            AggSpec::Avg,
+            IngestConfig {
+                max_attempts: 60,
+                ..IngestConfig::default()
+            },
+        )
+        .expect("session")
+        .with_obs(obs.clone());
+        let rel = sample_rel();
+        for batch in split(&rel, &[4, 8]) {
+            // Either outcome is a durable commit: `AlreadyApplied` here
+            // means an earlier attempt sealed the layer and only the
+            // root-flip was injected — torn-root recovery still chooses
+            // it, so the retry correctly refuses to apply it again.
+            session.ingest(&batch).expect("ingest through faults");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.applied + stats.deduped, 3);
+        assert!(stats.retries > 0, "schedule never fired — weak test");
+        assert_eq!(
+            obs.counter_value(names::STORE_INGEST_RETRY, &[]),
+            Some(stats.retries)
+        );
+        // Convergence: however many attempts it took, the store holds
+        // each batch exactly once. Read through the *clean* inner store
+        // so read faults (none here) cannot confound the check.
+        let store = CubeStore::open(Arc::clone(&faulty), "inc").expect("open");
+        assert_eq!(store.layer_count(), 3);
+        let cube = naive_cube(&rel, AggSpec::Avg);
+        let q = CubeQuery::new(&cube, 3);
+        for mask in Mask::full(3).subsets() {
+            let rows = store.cuboid_rows(mask).expect("rows");
+            assert_eq!(rows.len(), q.cuboid_len(mask), "cuboid {mask}");
+            for (g, v) in &rows {
+                assert_eq!(q.group(mask, &g.key), Some(v), "cuboid {mask}");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_session_counts_dedups_and_compactions() {
+        let obs = spcube_obs::ObsHandle::mock();
+        let dfs = Arc::new(Dfs::new());
+        let session = IngestSession::new(
+            Arc::clone(&dfs) as Arc<dyn BlobStore>,
+            "inc",
+            AggSpec::Sum,
+            IngestConfig::default(),
+        )
+        .expect("session")
+        .with_obs(obs.clone());
+        let rel = sample_rel();
+        for batch in split(&rel, &[4, 8]) {
+            session.ingest(&batch).expect("ingest");
+        }
+        // Same content, same derived ID: a dedup, not a fourth layer.
+        let replay = {
+            let parts = split(&rel, &[4, 8]);
+            session.ingest(&parts[0]).expect("replay")
+        };
+        assert!(replay.is_duplicate());
+        session
+            .compact(&CompactionPolicy { max_layers: 1 })
+            .expect("compact")
+            .expect("folded");
+        let stats = session.stats();
+        assert_eq!(stats.applied, 3);
+        assert_eq!(stats.deduped, 1);
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(
+            obs.counter_value(names::STORE_INGEST_DEDUP, &[]),
+            Some(stats.deduped)
+        );
+        assert_equals_rebuild(&dfs, "inc", &rel, AggSpec::Sum);
+    }
+
+    #[test]
+    fn ingest_config_zero_attempts_is_a_config_error() {
+        let err = IngestSession::new(
+            Arc::new(Dfs::new()),
+            "inc",
+            AggSpec::Sum,
+            IngestConfig {
+                max_attempts: 0,
+                ..IngestConfig::default()
+            },
+        )
+        .expect_err("zero attempts");
         assert!(matches!(err, Error::Config(_)), "got {err}");
     }
 }

@@ -1,9 +1,10 @@
-//! Seeded read-fault injection for the serving path.
+//! Seeded fault injection for both halves of the storage path.
 //!
 //! [`FaultyBlobs`] wraps any [`BlobStore`] and injects faults into `get`
-//! from a deterministic, seeded [`FaultSchedule`] — the read-path sibling
-//! of [`crate::crashpoint::CrashPoint`], which covers the write path.
-//! Three fault kinds ship:
+//! *and* `put` from a deterministic, seeded [`FaultSchedule`] — the
+//! probabilistic sibling of [`crate::crashpoint::CrashPoint`], which
+//! kills a write at an exact operation instead of drawing per-op. The
+//! read side ships three fault kinds:
 //!
 //! * **transient failures** — a single read fails with
 //!   [`Error::Injected`]; the next read of the same path may succeed.
@@ -15,16 +16,32 @@
 //!   Under a mock-clock [`ObsHandle`] the sleep is skipped (counted
 //!   only), so deterministic tests stay instant.
 //!
-//! Every draw is a hash of `(seed, kind, path, read_index)` — the same
-//! idiom as the engine's `FaultPlan` — so a schedule replays identically
-//! for a given sequence of reads, regardless of wall time or threading.
-//! `put`/`list`/`delete` pass through untouched, which keeps the wrapper
-//! composable with `CrashPoint` (writes) and `DirBlobs`/`Dfs` (media).
+//! The write side mirrors it:
+//!
+//! * **transient put failures** — one put fails; a retry may land.
+//! * **sticky write outages** — a seeded per-blob draw marks the path
+//!   unwritable until `put_outage_heals_after` failed puts (0 = never).
+//!   This is the "replica refuses writes" shape an ingest retry loop
+//!   must ride out.
+//! * **torn staged writes** — the put fails *and* a truncated fragment
+//!   of the data lands at `path + ".tmp"` (the staging name a
+//!   [`crate::blob::DirBlobs`] crash would strand), so recovery and GC
+//!   see the same debris a real torn upload leaves. The final path is
+//!   never touched — blob-level atomicity holds.
+//!
+//! Every draw is a hash of `(seed, kind, path, index)`, where the index
+//! counts ops of that kind (reads or puts) on that path — the same idiom
+//! as the engine's `FaultPlan` — so a schedule replays identically for a
+//! given op sequence, regardless of wall time or threading. Fired faults
+//! land in an op-kind-tagged oplog ([`FaultRecord`]) and per-kind
+//! [`FaultStats`]; `list`/`delete` pass through untouched, which keeps
+//! the wrapper composable with `CrashPoint` and `DirBlobs`/`Dfs`.
 //!
 //! [`Error::Injected`] is deliberately *not* classified as data loss
 //! (`Error::is_data_loss`), so the store's degraded-recompute path does
 //! not quietly absorb injected faults — they surface as typed errors for
-//! the retry/hedging/breaker layers above to handle.
+//! the retry/hedging/breaker layers above (reads) and the
+//! [`crate::delta::IngestSession`] retry loop (writes) to handle.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -33,16 +50,18 @@ use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Result};
 use spcube_obs::{names, ObsHandle, SpanId};
 
-use crate::blob::BlobStore;
+use crate::blob::{BlobStore, TMP_SUFFIX};
 
-/// A seeded schedule of read faults. Probabilities are in `[0, 1]`.
+/// A seeded schedule of read and write faults. Probabilities are in
+/// `[0, 1]`.
 #[derive(Debug, Clone)]
 pub struct FaultSchedule {
     /// Seed for every deterministic draw.
     pub seed: u64,
     /// Per-read probability of a one-shot injected failure.
     pub transient_fail_prob: f64,
-    /// Per-blob probability (drawn once per path) of a sticky outage.
+    /// Per-blob probability (drawn once per path) of a sticky read
+    /// outage.
     pub sticky_outage_prob: f64,
     /// Failed reads after which a sticky outage heals; 0 = never.
     pub outage_heals_after: u32,
@@ -50,6 +69,16 @@ pub struct FaultSchedule {
     pub latency_spike_prob: f64,
     /// Microseconds a latency spike sleeps (skipped under mock obs).
     pub spike_us: u64,
+    /// Per-put probability of a one-shot injected write failure.
+    pub put_transient_fail_prob: f64,
+    /// Per-blob probability (drawn once per path) of a sticky write
+    /// outage.
+    pub put_sticky_outage_prob: f64,
+    /// Failed puts after which a sticky write outage heals; 0 = never.
+    pub put_outage_heals_after: u32,
+    /// Per-put probability of a torn staged write: the put fails *and*
+    /// a truncated fragment lands at `path + ".tmp"`.
+    pub torn_write_prob: f64,
     /// Only paths containing this substring are faulted; `None` = all.
     pub only_matching: Option<String>,
 }
@@ -63,6 +92,10 @@ impl Default for FaultSchedule {
             outage_heals_after: 0,
             latency_spike_prob: 0.0,
             spike_us: 0,
+            put_transient_fail_prob: 0.0,
+            put_sticky_outage_prob: 0.0,
+            put_outage_heals_after: 0,
+            torn_write_prob: 0.0,
             only_matching: None,
         }
     }
@@ -75,6 +108,9 @@ impl FaultSchedule {
             ("transient_fail_prob", self.transient_fail_prob),
             ("sticky_outage_prob", self.sticky_outage_prob),
             ("latency_spike_prob", self.latency_spike_prob),
+            ("put_transient_fail_prob", self.put_transient_fail_prob),
+            ("put_sticky_outage_prob", self.put_sticky_outage_prob),
+            ("torn_write_prob", self.torn_write_prob),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(Error::Config(format!(
@@ -101,11 +137,18 @@ impl FaultSchedule {
         (h.finish() % 1_000_000) as f64 / 1e6
     }
 
-    /// Is `path` scheduled for a sticky outage? Pure — derivable without
-    /// a [`FaultyBlobs`] instance, which is what `inspect serve-faults`
-    /// uses to render a schedule.
+    /// Is `path` scheduled for a sticky read outage? Pure — derivable
+    /// without a [`FaultyBlobs`] instance, which is what
+    /// `inspect serve-faults` uses to render a schedule.
     pub fn sticky_out(&self, path: &str) -> bool {
         self.applies(path) && self.draw("sticky", path, 0) < self.sticky_outage_prob
+    }
+
+    /// Is `path` scheduled for a sticky write outage? Pure, drawn
+    /// independently of [`Self::sticky_out`] — a blob can be unwritable
+    /// yet readable, and vice versa.
+    pub fn sticky_write_out(&self, path: &str) -> bool {
+        self.applies(path) && self.draw("put-sticky", path, 0) < self.put_sticky_outage_prob
     }
 
     /// Pure preview of what per-path read `n` (0-based) would inject,
@@ -129,17 +172,72 @@ impl FaultSchedule {
         }
         None
     }
+
+    /// Pure preview of what per-path put `n` (0-based) would inject —
+    /// the write-side mirror of [`Self::preview`], with the same
+    /// decision order as the live wrapper: outage, then transient, then
+    /// torn.
+    pub fn preview_put(&self, path: &str, n: u32) -> Option<FaultKind> {
+        if !self.applies(path) {
+            return None;
+        }
+        if self.sticky_write_out(path)
+            && (self.put_outage_heals_after == 0 || n < self.put_outage_heals_after)
+        {
+            return Some(FaultKind::Outage);
+        }
+        if self.draw("put-transient", path, n) < self.put_transient_fail_prob {
+            return Some(FaultKind::Transient);
+        }
+        if self.draw("torn", path, n) < self.torn_write_prob {
+            return Some(FaultKind::Torn);
+        }
+        None
+    }
+
+    /// Deterministic length of the fragment a torn staged write of
+    /// `len` bytes leaves behind: strictly shorter than the data, so a
+    /// decoder can never mistake the debris for the real blob.
+    fn torn_fragment_len(&self, path: &str, n: u32, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let frac = self.draw("torn-len", path, n);
+        ((frac * len as f64) as usize).min(len - 1)
+    }
+}
+
+/// Which storage operation a fault fired on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A `get`.
+    Read,
+    /// A `put`.
+    Put,
+}
+
+impl FaultOp {
+    /// Lower-case label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Read => "read",
+            FaultOp::Put => "put",
+        }
+    }
 }
 
 /// What kind of fault fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
-    /// One-shot read failure.
+    /// One-shot failure (read or put).
     Transient,
     /// Sticky per-blob outage (until healed).
     Outage,
-    /// Latency spike (read still succeeds).
+    /// Latency spike (the read still succeeds).
     Latency,
+    /// Torn staged write: the put fails and strands a fragment at the
+    /// staging name.
+    Torn,
 }
 
 impl FaultKind {
@@ -149,6 +247,7 @@ impl FaultKind {
             FaultKind::Transient => "transient",
             FaultKind::Outage => "outage",
             FaultKind::Latency => "latency",
+            FaultKind::Torn => "torn",
         }
     }
 }
@@ -156,36 +255,56 @@ impl FaultKind {
 /// One injected fault, in op order.
 #[derive(Debug, Clone)]
 pub struct FaultRecord {
-    /// Global read index at which the fault fired (0-based).
+    /// Global op index (reads and puts) at which the fault fired
+    /// (0-based).
     pub op: u64,
-    /// Blob path the read targeted.
+    /// Which operation the fault fired on.
+    pub op_kind: FaultOp,
+    /// Blob path the op targeted.
     pub path: String,
     /// Which fault fired.
     pub kind: FaultKind,
-    /// Per-path read index (0-based).
-    pub read_index: u32,
+    /// Per-path index of the faulted op among ops of the same kind
+    /// (0-based; reads and puts count separately).
+    pub index: u32,
 }
 
-/// Aggregate injected-fault counts.
+/// Aggregate injected-fault counts, split by operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
-    /// One-shot failures injected.
-    pub transient: u64,
-    /// Sticky-outage failures injected.
-    pub outage: u64,
+    /// One-shot read failures injected.
+    pub read_transient: u64,
+    /// Sticky read-outage failures injected.
+    pub read_outage: u64,
     /// Latency spikes injected.
-    pub latency: u64,
+    pub read_latency: u64,
+    /// One-shot put failures injected.
+    pub put_transient: u64,
+    /// Sticky write-outage failures injected.
+    pub put_outage: u64,
+    /// Torn staged writes injected.
+    pub put_torn: u64,
 }
 
 impl FaultStats {
-    /// Failures that surfaced as errors (outages + transients).
-    pub fn failures(&self) -> u64 {
-        self.transient + self.outage
+    /// Read faults that surfaced as errors (outages + transients).
+    pub fn read_failures(&self) -> u64 {
+        self.read_transient + self.read_outage
+    }
+
+    /// Put faults that surfaced as errors (all of them do).
+    pub fn put_failures(&self) -> u64 {
+        self.put_transient + self.put_outage + self.put_torn
     }
 
     /// Everything injected, spikes included.
     pub fn total(&self) -> u64 {
-        self.transient + self.outage + self.latency
+        self.read_transient
+            + self.read_outage
+            + self.read_latency
+            + self.put_transient
+            + self.put_outage
+            + self.put_torn
     }
 }
 
@@ -193,17 +312,21 @@ impl FaultStats {
 struct FaultState {
     /// Reads observed per path (drives per-read draws).
     reads: BTreeMap<String, u32>,
+    /// Puts observed per path (drives per-put draws).
+    puts: BTreeMap<String, u32>,
     /// Failures charged against each sticky-out path (drives healing).
     outage_fails: BTreeMap<String, u32>,
-    /// Global read counter.
+    /// Failed puts charged against each sticky-write-out path.
+    put_outage_fails: BTreeMap<String, u32>,
+    /// Global op counter (reads and puts).
     ops: u64,
     /// Every fault fired, in order.
     oplog: Vec<FaultRecord>,
     stats: FaultStats,
 }
 
-/// A [`BlobStore`] wrapper that injects seeded read faults. See the
-/// module docs for semantics.
+/// A [`BlobStore`] wrapper that injects seeded read and write faults.
+/// See the module docs for semantics.
 pub struct FaultyBlobs {
     inner: Arc<dyn BlobStore>,
     schedule: FaultSchedule,
@@ -256,35 +379,50 @@ impl FaultyBlobs {
     /// Record one fault in the oplog and stats. Called with the state
     /// guard held; the matching obs emission is [`Self::emit`], which
     /// must run after the guard is released.
-    fn record(&self, state: &mut FaultState, path: &str, kind: FaultKind, read_index: u32) {
+    fn record(
+        &self,
+        state: &mut FaultState,
+        op_kind: FaultOp,
+        path: &str,
+        kind: FaultKind,
+        index: u32,
+    ) {
         state.oplog.push(FaultRecord {
             op: state.ops,
+            op_kind,
             path: path.to_string(),
             kind,
-            read_index,
+            index,
         });
-        match kind {
-            FaultKind::Transient => state.stats.transient += 1,
-            FaultKind::Outage => state.stats.outage += 1,
-            FaultKind::Latency => state.stats.latency += 1,
+        match (op_kind, kind) {
+            (FaultOp::Read, FaultKind::Transient) => state.stats.read_transient += 1,
+            (FaultOp::Read, FaultKind::Outage) => state.stats.read_outage += 1,
+            (FaultOp::Read, _) => state.stats.read_latency += 1,
+            (FaultOp::Put, FaultKind::Transient) => state.stats.put_transient += 1,
+            (FaultOp::Put, FaultKind::Outage) => state.stats.put_outage += 1,
+            (FaultOp::Put, _) => state.stats.put_torn += 1,
         }
     }
 
     /// Emit the obs counter + event for a recorded fault. ObsHandle
     /// takes its own registry/trace locks, so this must never nest
     /// under the `faults.state` guard.
-    fn emit(&self, path: &str, kind: FaultKind) {
-        // Counter keyed by kind only (so per-kind counts are assertable
-        // against stats); the event carries the path too.
+    fn emit(&self, op: FaultOp, path: &str, kind: FaultKind) {
+        // Counter keyed by (op, kind) only (so per-kind counts are
+        // assertable against stats); the event carries the path too.
         self.obs.inc(
             names::STORE_FAULT_INJECTED,
-            &[("kind", kind.name().to_string())],
+            &[
+                ("kind", kind.name().to_string()),
+                ("op", op.name().to_string()),
+            ],
         );
         self.obs.event(
             names::STORE_FAULT_INJECTED,
             SpanId::ROOT,
             &[
                 ("kind", kind.name().to_string()),
+                ("op", op.name().to_string()),
                 ("path", path.to_string()),
             ],
         );
@@ -297,7 +435,76 @@ impl FaultyBlobs {
 
 impl BlobStore for FaultyBlobs {
     fn put(&self, path: &str, data: Vec<u8>) -> Result<()> {
-        self.inner.put(path, data)
+        if !self.schedule.applies(path) {
+            return self.inner.put(path, data);
+        }
+        // Same discipline as `get`: draw and record under the state
+        // lock; obs emission, staging IO and error returns all happen
+        // after the guard drops.
+        enum Draw {
+            Fail(FaultKind, String),
+            /// Fail the put, stranding `data[..len]` at the staging name.
+            Torn(String, usize),
+            Clean,
+        }
+        let draw = {
+            let mut state = lock_or_recover(&self.state);
+            let n = {
+                let slot = state.puts.entry(path.to_string()).or_insert(0);
+                let n = *slot;
+                *slot += 1;
+                n
+            };
+
+            let mut draw = Draw::Clean;
+            // Sticky write outage: drawn once per path, fails every put
+            // until the healing budget is spent.
+            if self.schedule.sticky_write_out(path) {
+                let fails = state.put_outage_fails.get(path).copied().unwrap_or(0);
+                let healed = self.schedule.put_outage_heals_after > 0
+                    && fails >= self.schedule.put_outage_heals_after;
+                if !healed {
+                    state.put_outage_fails.insert(path.to_string(), fails + 1);
+                    self.record(&mut state, FaultOp::Put, path, FaultKind::Outage, n);
+                    draw = Draw::Fail(FaultKind::Outage, format!("sticky write outage on {path}"));
+                }
+            }
+            if matches!(draw, Draw::Clean) {
+                if self.schedule.draw("put-transient", path, n)
+                    < self.schedule.put_transient_fail_prob
+                {
+                    self.record(&mut state, FaultOp::Put, path, FaultKind::Transient, n);
+                    draw = Draw::Fail(
+                        FaultKind::Transient,
+                        format!("transient write failure on {path} (put {n})"),
+                    );
+                } else if self.schedule.draw("torn", path, n) < self.schedule.torn_write_prob {
+                    self.record(&mut state, FaultOp::Put, path, FaultKind::Torn, n);
+                    draw = Draw::Torn(
+                        format!("torn staged write on {path} (put {n})"),
+                        self.schedule.torn_fragment_len(path, n, data.len()),
+                    );
+                }
+            }
+            state.ops += 1;
+            draw
+        };
+        match draw {
+            Draw::Fail(kind, what) => {
+                self.emit(FaultOp::Put, path, kind);
+                Err(Self::injected(what))
+            }
+            Draw::Torn(what, frag_len) => {
+                self.emit(FaultOp::Put, path, FaultKind::Torn);
+                // Strand the fragment at the staging name, best-effort:
+                // the final path is never touched, so blob-level
+                // atomicity holds and recovery sees a stale `.tmp`.
+                let fragment = data.get(..frag_len).unwrap_or(&[]).to_vec();
+                let _ = self.inner.put(&format!("{path}{TMP_SUFFIX}"), fragment);
+                Err(Self::injected(what))
+            }
+            Draw::Clean => self.inner.put(path, data),
+        }
     }
 
     fn get(&self, path: &str) -> Result<Vec<u8>> {
@@ -330,14 +537,14 @@ impl BlobStore for FaultyBlobs {
                     && fails >= self.schedule.outage_heals_after;
                 if !healed {
                     state.outage_fails.insert(path.to_string(), fails + 1);
-                    self.record(&mut state, path, FaultKind::Outage, n);
+                    self.record(&mut state, FaultOp::Read, path, FaultKind::Outage, n);
                     draw = Draw::Fail(FaultKind::Outage, format!("sticky outage on {path}"));
                 }
             }
             if matches!(draw, Draw::Clean) {
                 // Transient failure: one read only.
                 if self.schedule.draw("transient", path, n) < self.schedule.transient_fail_prob {
-                    self.record(&mut state, path, FaultKind::Transient, n);
+                    self.record(&mut state, FaultOp::Read, path, FaultKind::Transient, n);
                     draw = Draw::Fail(
                         FaultKind::Transient,
                         format!("transient read failure on {path} (read {n})"),
@@ -345,7 +552,7 @@ impl BlobStore for FaultyBlobs {
                 } else if self.schedule.draw("latency", path, n) < self.schedule.latency_spike_prob
                 {
                     // Latency spike: the read succeeds, late.
-                    self.record(&mut state, path, FaultKind::Latency, n);
+                    self.record(&mut state, FaultOp::Read, path, FaultKind::Latency, n);
                     draw = Draw::Spike;
                 }
             }
@@ -354,11 +561,11 @@ impl BlobStore for FaultyBlobs {
         };
         match draw {
             Draw::Fail(kind, what) => {
-                self.emit(path, kind);
+                self.emit(FaultOp::Read, path, kind);
                 Err(Self::injected(what))
             }
             Draw::Spike => {
-                self.emit(path, FaultKind::Latency);
+                self.emit(FaultOp::Read, path, FaultKind::Latency);
                 // Sleep outside the lock so concurrent clean reads don't
                 // queue behind an injected spike. Mock-clock runs skip the
                 // real sleep.
@@ -396,7 +603,7 @@ mod tests {
     #[test]
     fn preview_matches_live_injection() {
         // The pure preview must agree read-for-read with what the live
-        // wrapper actually injects, across all three fault kinds.
+        // wrapper actually injects, across all three read-fault kinds.
         let schedule = FaultSchedule {
             seed: 5,
             transient_fail_prob: 0.3,
@@ -405,6 +612,7 @@ mod tests {
             latency_spike_prob: 0.4,
             spike_us: 0,
             only_matching: Some(".cseg".to_string()),
+            ..FaultSchedule::default()
         };
         let fb = FaultyBlobs::new(backing(), schedule.clone());
         for path in ["s/a.cseg", "s/b.cseg", "s/manifest"] {
@@ -414,10 +622,41 @@ mod tests {
                 let _ = fb.get(path);
                 let fired = fb.oplog().get(before).map(|r| {
                     assert_eq!(r.path, path);
-                    assert_eq!(r.read_index, n);
+                    assert_eq!(r.op_kind, FaultOp::Read);
+                    assert_eq!(r.index, n);
                     r.kind
                 });
                 assert_eq!(fired, predicted, "read {n} of {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn put_preview_matches_live_injection() {
+        // Write-side mirror: preview_put must agree put-for-put with the
+        // live wrapper across all three write-fault kinds.
+        let schedule = FaultSchedule {
+            seed: 11,
+            put_transient_fail_prob: 0.3,
+            put_sticky_outage_prob: 0.5,
+            put_outage_heals_after: 2,
+            torn_write_prob: 0.3,
+            only_matching: Some(".cseg".to_string()),
+            ..FaultSchedule::default()
+        };
+        let fb = FaultyBlobs::new(backing(), schedule.clone());
+        for path in ["s/a.cseg", "s/b.cseg", "s/manifest"] {
+            for n in 0..15u32 {
+                let predicted = schedule.preview_put(path, n);
+                let before = fb.oplog().len();
+                let _ = fb.put(path, vec![0xAB; 16]);
+                let fired = fb.oplog().get(before).map(|r| {
+                    assert_eq!(r.path, path);
+                    assert_eq!(r.op_kind, FaultOp::Put);
+                    assert_eq!(r.index, n);
+                    r.kind
+                });
+                assert_eq!(fired, predicted, "put {n} of {path}");
             }
         }
     }
@@ -427,6 +666,7 @@ mod tests {
         let fb = FaultyBlobs::new(backing(), FaultSchedule::default());
         for _ in 0..10 {
             assert_eq!(fb.get("s/a.cseg").unwrap(), vec![1, 2, 3]);
+            fb.put("s/w.cseg", vec![6]).unwrap();
         }
         assert_eq!(fb.stats(), FaultStats::default());
         assert!(fb.oplog().is_empty());
@@ -458,18 +698,42 @@ mod tests {
     }
 
     #[test]
-    fn transient_errors_are_injected_not_data_loss() {
+    fn put_transient_failures_are_seeded_and_replayable() {
+        let schedule = FaultSchedule {
+            seed: 7,
+            put_transient_fail_prob: 0.5,
+            ..FaultSchedule::default()
+        };
+        let run = |schedule: FaultSchedule| {
+            let fb = FaultyBlobs::new(backing(), schedule);
+            (0..20)
+                .map(|_| fb.put("s/a.cseg", vec![1]).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = run(schedule.clone());
+        assert_eq!(a, run(schedule.clone()), "same seed must replay");
+        assert!(a.iter().any(|&e| e), "p=0.5 over 20 puts should fail some");
+        assert!(a.iter().any(|&e| !e), "and let some through");
+    }
+
+    #[test]
+    fn injected_faults_are_not_data_loss() {
         let fb = FaultyBlobs::new(
             backing(),
             FaultSchedule {
                 seed: 0,
                 transient_fail_prob: 1.0,
+                put_transient_fail_prob: 1.0,
                 ..FaultSchedule::default()
             },
         );
-        let err = fb.get("s/a.cseg").unwrap_err();
-        assert!(matches!(err, Error::Injected(_)), "{err:?}");
-        assert!(!err.is_data_loss(), "injected faults must not degrade");
+        for err in [
+            fb.get("s/a.cseg").unwrap_err(),
+            fb.put("s/a.cseg", vec![1]).unwrap_err(),
+        ] {
+            assert!(matches!(err, Error::Injected(_)), "{err:?}");
+            assert!(!err.is_data_loss(), "injected faults must not degrade");
+        }
     }
 
     #[test]
@@ -487,7 +751,26 @@ mod tests {
             assert!(fb.get("s/a.cseg").is_err());
         }
         assert_eq!(fb.get("s/a.cseg").unwrap(), vec![1, 2, 3], "healed");
-        assert_eq!(fb.stats().outage, 3);
+        assert_eq!(fb.stats().read_outage, 3);
+    }
+
+    #[test]
+    fn sticky_write_outage_heals_after_budget() {
+        let fb = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 1,
+                put_sticky_outage_prob: 1.0,
+                put_outage_heals_after: 3,
+                ..FaultSchedule::default()
+            },
+        );
+        for _ in 0..3 {
+            assert!(fb.put("s/a.cseg", vec![7, 7]).is_err());
+        }
+        fb.put("s/a.cseg", vec![7, 7]).expect("healed");
+        assert_eq!(fb.get("s/a.cseg").unwrap(), vec![7, 7]);
+        assert_eq!(fb.stats().put_outage, 3);
     }
 
     #[test]
@@ -497,12 +780,66 @@ mod tests {
             FaultSchedule {
                 seed: 1,
                 sticky_outage_prob: 1.0,
+                put_sticky_outage_prob: 1.0,
                 ..FaultSchedule::default()
             },
         );
         for _ in 0..8 {
             assert!(fb.get("s/b.cseg").is_err());
+            assert!(fb.put("s/b.cseg", vec![1]).is_err());
         }
+    }
+
+    #[test]
+    fn torn_write_strands_a_fragment_at_the_staging_name() {
+        let inner = backing();
+        let fb = FaultyBlobs::new(
+            Arc::clone(&inner),
+            FaultSchedule {
+                seed: 2,
+                torn_write_prob: 1.0,
+                ..FaultSchedule::default()
+            },
+        );
+        let data = vec![0xCD; 64];
+        let err = fb.put("s/new.cseg", data.clone()).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{err:?}");
+        // The final path was never written; the staging name holds a
+        // strictly shorter fragment that prefixes the data.
+        assert!(inner.get("s/new.cseg").is_err(), "final path untouched");
+        let frag = inner.get("s/new.cseg.tmp").expect("fragment stranded");
+        assert!(frag.len() < data.len(), "fragment must be truncated");
+        assert_eq!(&data[..frag.len()], &frag[..]);
+        assert_eq!(fb.stats().put_torn, 1);
+    }
+
+    #[test]
+    fn read_and_write_faults_do_not_cross_talk() {
+        // A pure write-fault schedule must leave reads untouched, and a
+        // pure read-fault schedule must leave writes untouched.
+        let wf = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 0,
+                put_transient_fail_prob: 1.0,
+                put_sticky_outage_prob: 1.0,
+                torn_write_prob: 1.0,
+                ..FaultSchedule::default()
+            },
+        );
+        assert_eq!(wf.get("s/a.cseg").unwrap(), vec![1, 2, 3]);
+        assert!(wf.put("s/a.cseg", vec![1]).is_err());
+        let rf = FaultyBlobs::new(
+            backing(),
+            FaultSchedule {
+                seed: 0,
+                transient_fail_prob: 1.0,
+                sticky_outage_prob: 1.0,
+                ..FaultSchedule::default()
+            },
+        );
+        rf.put("s/a.cseg", vec![8]).unwrap();
+        assert!(rf.get("s/a.cseg").is_err());
     }
 
     #[test]
@@ -512,12 +849,15 @@ mod tests {
             FaultSchedule {
                 seed: 0,
                 transient_fail_prob: 1.0,
+                put_transient_fail_prob: 1.0,
                 only_matching: Some(".cseg".to_string()),
                 ..FaultSchedule::default()
             },
         );
         assert!(fb.get("s/a.cseg").is_err());
         assert_eq!(fb.get("s/manifest").unwrap(), vec![9], "manifest exempt");
+        assert!(fb.put("s/a.cseg", vec![1]).is_err());
+        fb.put("s/manifest", vec![9]).expect("manifest exempt");
     }
 
     #[test]
@@ -533,7 +873,7 @@ mod tests {
         )
         .with_obs(ObsHandle::mock());
         assert_eq!(fb.get("s/a.cseg").unwrap(), vec![1, 2, 3]);
-        assert_eq!(fb.stats().latency, 1);
+        assert_eq!(fb.stats().read_latency, 1);
     }
 
     #[test]
@@ -545,15 +885,40 @@ mod tests {
                 seed: 3,
                 transient_fail_prob: 0.4,
                 latency_spike_prob: 0.4,
+                put_transient_fail_prob: 0.4,
+                torn_write_prob: 0.4,
                 ..FaultSchedule::default()
             },
         )
         .with_obs(obs.clone());
         for _ in 0..25 {
             let _ = fb.get("s/a.cseg");
+            let _ = fb.put("s/a.cseg", vec![1, 2, 3]);
         }
         let stats = fb.stats();
-        assert!(stats.total() > 0);
+        assert!(stats.read_failures() > 0);
+        assert!(stats.put_failures() > 0);
+        for (op, kind, want) in [
+            (FaultOp::Read, FaultKind::Transient, stats.read_transient),
+            (FaultOp::Read, FaultKind::Latency, stats.read_latency),
+            (FaultOp::Put, FaultKind::Transient, stats.put_transient),
+            (FaultOp::Put, FaultKind::Torn, stats.put_torn),
+        ] {
+            assert_eq!(
+                obs.counter_value(
+                    names::STORE_FAULT_INJECTED,
+                    &[
+                        ("kind", kind.name().to_string()),
+                        ("op", op.name().to_string()),
+                    ],
+                )
+                .unwrap_or(0),
+                want,
+                "counter drifted for {}/{}",
+                op.name(),
+                kind.name()
+            );
+        }
         let tree = spcube_obs::SpanTree::parse_jsonl(&obs.trace_jsonl()).expect("trace parses");
         assert_eq!(
             tree.events_named(names::STORE_FAULT_INJECTED) as u64,
@@ -564,19 +929,19 @@ mod tests {
     }
 
     #[test]
-    fn writes_and_lists_pass_through() {
+    fn lists_and_deletes_pass_through() {
         let fb = FaultyBlobs::new(
             backing(),
             FaultSchedule {
                 seed: 0,
                 transient_fail_prob: 1.0,
                 sticky_outage_prob: 1.0,
+                put_transient_fail_prob: 1.0,
                 ..FaultSchedule::default()
             },
         );
-        fb.put("s/new", vec![7]).unwrap();
         assert!(!fb.list("s").unwrap().is_empty());
-        fb.delete("s/new").unwrap();
+        fb.delete("s/b.cseg").unwrap();
     }
 
     #[test]
@@ -589,6 +954,18 @@ mod tests {
         .is_err());
         assert!(FaultSchedule {
             latency_spike_prob: f64::NAN,
+            ..FaultSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSchedule {
+            torn_write_prob: -0.1,
+            ..FaultSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSchedule {
+            put_sticky_outage_prob: 2.0,
             ..FaultSchedule::default()
         }
         .validate()

@@ -48,6 +48,20 @@
 //!   protocol; [`CubeStore`] merges states across the live chain at read
 //!   time, bit-exact versus a from-scratch rebuild; a [`Compactor`] folds
 //!   small layers back together under a size-tiered policy.
+//!   [`ingest_batch_with_id`] adds exactly-once semantics — batch IDs
+//!   ride the manifest chain and a replay is a typed
+//!   [`IngestOutcome::AlreadyApplied`] no-op — and an [`IngestSession`]
+//!   retries injected write faults and I/O errors with bounded backoff.
+//! * **[`faults`]** — seeded, deterministic fault injection for both
+//!   sides of the blob API: [`FaultyBlobs`] wraps a store with scheduled
+//!   transient failures, sticky outages (read and write), latency
+//!   spikes, and torn staged writes, with a pure `preview` mirror and an
+//!   oplog/stats/obs triple that always agree.
+//! * **[`scrub`]** — the background integrity scrubber: a [`Scrubber`]
+//!   walks the live generation chain re-verifying every blob checksum
+//!   and zone-map invariant, quarantines bit-rot (copy-aside, never
+//!   delete), and repairs segments in place by recompute (Output stores)
+//!   or intra-layer rollup (State stores).
 // Serving-path crate: panic-free outside tests (see DESIGN.md and the
 // spcheck gate). Clippy enforces the unwrap ban; spcheck covers the rest.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -65,6 +79,7 @@ pub mod delta;
 pub mod faults;
 pub mod manifest;
 pub mod recover;
+pub mod scrub;
 pub mod segment;
 pub mod server;
 pub mod store;
@@ -74,15 +89,18 @@ pub use cache::SegmentCache;
 pub use client::{ClientConfig, ClientStats, ResilientClient};
 pub use crashpoint::{schedules, CrashPlan, CrashPoint, OpKind, OpRecord, TornWrite};
 pub use delta::{
-    compact, ingest_batch, ingest_states, merged_cuboid, state_cube, CompactReport,
-    CompactionPolicy, Compactor, DeltaWriteReport, StateCube, StateSegment,
+    batch_content_id, compact, ingest_batch, ingest_batch_with_id, ingest_states,
+    ingest_states_with_id, merged_cuboid, state_cube, CompactReport, CompactionPolicy, Compactor,
+    DeltaWriteReport, IngestConfig, IngestOutcome, IngestSession, IngestStats, StateCube,
+    StateSegment,
 };
-pub use faults::{FaultKind, FaultRecord, FaultSchedule, FaultStats, FaultyBlobs};
+pub use faults::{FaultKind, FaultOp, FaultRecord, FaultSchedule, FaultStats, FaultyBlobs};
 pub use manifest::{
     gen_manifest_path, gen_prefix, manifest_path, parse_generation, quarantine_path, segment_path,
     state_segment_path, Manifest, ManifestEntry, StoreKind,
 };
 pub use recover::{recompute_cuboid, scan_store, GenerationInfo, ScanReport};
+pub use scrub::{ScrubConfig, ScrubFinding, ScrubReport, Scrubber};
 pub use segment::Segment;
 pub use server::{
     answer, CubeServer, Deadline, Request, Response, ServeError, ServerConfig, ServerStats,

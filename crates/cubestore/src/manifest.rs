@@ -42,12 +42,22 @@
 //! ends with the manifest's own generation (each delta commit layers
 //! itself on top; each compaction replaces its victims with itself).
 //!
+//! It also carries the **batch-ID set**: the sorted IDs of every delta
+//! batch ever committed into the chain. An ingest whose batch ID is
+//! already in the set is a replay and must be refused as a typed
+//! `AlreadyApplied` no-op — this is what makes retrying `ingest_batch`
+//! after a crash exactly-once (see [`crate::delta`]). Compactions carry
+//! the set forward unchanged; [`StoreKind::Output`] manifests carry none
+//! (mirroring the layer-chain invariant).
+//!
 //! # Wire format (`CMAN1`)
 //!
 //! ```text
 //! "CMAN1" | u32 d | u64 generation | tagged agg_spec | u32 min_support
 //! u8 kind (0 = output, 1 = state)
 //! u32 n_layers | per layer: u64 generation   (empty for output stores)
+//! u32 n_batch_ids | per id: u64              (empty for output stores,
+//!                                             strictly ascending)
 //! u32 n_entries
 //! per entry: u32 mask | u32 rows | u64 bytes | u32 path_len | path bytes
 //! u64 FNV-1a checksum of everything above
@@ -112,6 +122,10 @@ pub struct Manifest {
     /// generations to merge at read time, ending with this manifest's own
     /// generation. Always empty for [`StoreKind::Output`].
     pub layers: Vec<u64>,
+    /// IDs of every delta batch committed into the chain, sorted
+    /// ascending. Always empty for [`StoreKind::Output`]. The ingest
+    /// path refuses a batch whose ID is already here (exactly-once).
+    pub batch_ids: Vec<u64>,
     /// Materialized cuboids, sorted by mask.
     pub entries: Vec<ManifestEntry>,
 }
@@ -123,6 +137,11 @@ impl Manifest {
             .binary_search_by_key(&mask, |e| e.mask)
             .ok()
             .and_then(|i| self.entries.get(i))
+    }
+
+    /// Was a batch with this ID already committed into the chain?
+    pub fn contains_batch(&self, batch_id: u64) -> bool {
+        self.batch_ids.binary_search(&batch_id).is_ok()
     }
 
     /// Total encoded bytes across all segments.
@@ -154,6 +173,10 @@ impl Manifest {
         put_len(&mut out, self.layers.len())?;
         for g in &self.layers {
             put_u64(&mut out, *g);
+        }
+        put_len(&mut out, self.batch_ids.len())?;
+        for id in &self.batch_ids {
+            put_u64(&mut out, *id);
         }
         put_len(&mut out, entries.len())?;
         for e in entries {
@@ -214,6 +237,19 @@ impl Manifest {
             }
             _ => {}
         }
+        let n_batches = r.u32()? as usize;
+        r.check_count(n_batches, 8, "batch-id set")?;
+        let mut batch_ids = Vec::with_capacity(n_batches);
+        for _ in 0..n_batches {
+            let id = r.u64()?;
+            if batch_ids.last().is_some_and(|&prev| prev >= id) {
+                return Err(r.corrupt("batch-id set is not strictly ascending"));
+            }
+            batch_ids.push(id);
+        }
+        if kind == StoreKind::Output && !batch_ids.is_empty() {
+            return Err(r.corrupt("output store carries batch IDs"));
+        }
         let n = r.u32()? as usize;
         // An entry is at least 16 bytes (mask, rows, bytes, path length);
         // reject a forged count before allocating for it.
@@ -255,6 +291,7 @@ impl Manifest {
             min_support,
             kind,
             layers,
+            batch_ids,
             entries,
         })
     }
@@ -331,6 +368,7 @@ mod tests {
             min_support: 2,
             kind: StoreKind::Output,
             layers: Vec::new(),
+            batch_ids: Vec::new(),
             entries: vec![
                 ManifestEntry {
                     mask: Mask(0b000),
@@ -370,6 +408,7 @@ mod tests {
         let mut m = sample();
         m.kind = StoreKind::State;
         m.layers = vec![2, 5, 7];
+        m.batch_ids = vec![11, 42, 0xDEAD_BEEF];
         for e in &mut m.entries {
             e.path = e.path.replace("p/", "q/");
         }
@@ -382,7 +421,30 @@ mod tests {
         let back = Manifest::decode(&m.encode().expect("encode")).expect("decode");
         assert_eq!(back, m);
         assert_eq!(back.layers, vec![2, 5, 7]);
+        assert_eq!(back.batch_ids, vec![11, 42, 0xDEAD_BEEF]);
         assert_eq!(back.kind, StoreKind::State);
+        assert!(back.contains_batch(42));
+        assert!(!back.contains_batch(43));
+    }
+
+    #[test]
+    fn invalid_batch_id_sets_are_rejected() {
+        // Not strictly ascending.
+        let mut m = state_sample();
+        m.batch_ids = vec![42, 11];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // Duplicate IDs.
+        let mut m = state_sample();
+        m.batch_ids = vec![11, 11];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // Output store carrying batch IDs.
+        let mut m = sample();
+        m.batch_ids = vec![1];
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_err());
+        // An empty set on a state store is fine (chain seeded without IDs).
+        let mut m = state_sample();
+        m.batch_ids = Vec::new();
+        assert!(Manifest::decode(&m.encode().expect("encode")).is_ok());
     }
 
     #[test]

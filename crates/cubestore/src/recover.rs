@@ -296,6 +296,7 @@ mod tests {
                 min_support: 1,
                 kind: Default::default(),
                 layers: Vec::new(),
+                batch_ids: Vec::new(),
                 entries: vec![ManifestEntry {
                     mask: Mask(0b1),
                     rows: 1,

@@ -154,6 +154,7 @@ pub fn write_store(
         min_support,
         kind: StoreKind::Output,
         layers: Vec::new(),
+        batch_ids: Vec::new(),
         entries,
     };
     let encoded = manifest.encode()?;

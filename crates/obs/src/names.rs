@@ -82,6 +82,29 @@ pub const STORE_COMPACT_FOLDED: &str = "store.compact.folded_layers";
 /// Wall microseconds one compaction took, merge + commit (histogram).
 pub const STORE_COMPACT_US: &str = "store.compact.us";
 
+/// An IngestSession retried after a retryable failure (counter + event;
+/// labels: `attempt`, `op`).
+pub const STORE_INGEST_RETRY: &str = "store.ingest.retry";
+/// A replayed batch ID was answered as a typed no-op (counter + event;
+/// labels: `batch_id`, `generation`).
+pub const STORE_INGEST_DEDUP: &str = "store.ingest.dedup";
+/// A scrub pass over the live chain ran (counter + event; labels:
+/// `generation`).
+pub const STORE_SCRUB_RUN: &str = "store.scrub.run";
+/// Blobs a scrub pass re-verified (counter).
+pub const STORE_SCRUB_CHECKED: &str = "store.scrub.checked";
+/// Blobs a scrub pass found corrupt (counter + event; labels: `path`,
+/// `what`).
+pub const STORE_SCRUB_CORRUPT: &str = "store.scrub.corrupt";
+/// Corrupt blobs copied aside for post-mortem (counter; labels: `path`).
+pub const STORE_SCRUB_QUARANTINED: &str = "store.scrub.quarantined";
+/// Corrupt blobs repaired in place (counter + event; labels: `path`).
+pub const STORE_SCRUB_REPAIRED: &str = "store.scrub.repaired";
+/// Corrupt blobs the scrubber could not repair (counter; labels: `path`).
+pub const STORE_SCRUB_UNREPAIRABLE: &str = "store.scrub.unrepairable";
+/// Wall microseconds one scrub pass took (histogram).
+pub const STORE_SCRUB_US: &str = "store.scrub.us";
+
 /// Every registered name — the single source the naming test audits.
 pub const ALL: &[&str] = &[
     ENGINE_ROUND,
@@ -117,6 +140,15 @@ pub const ALL: &[&str] = &[
     STORE_COMPACT_RUN,
     STORE_COMPACT_FOLDED,
     STORE_COMPACT_US,
+    STORE_INGEST_RETRY,
+    STORE_INGEST_DEDUP,
+    STORE_SCRUB_RUN,
+    STORE_SCRUB_CHECKED,
+    STORE_SCRUB_CORRUPT,
+    STORE_SCRUB_QUARANTINED,
+    STORE_SCRUB_REPAIRED,
+    STORE_SCRUB_UNREPAIRABLE,
+    STORE_SCRUB_US,
 ];
 
 /// Whether `s` is a lowercase dotted identifier:

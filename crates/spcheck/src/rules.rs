@@ -92,6 +92,8 @@ const POLICY: &[(Scope, &[&str])] = &[
         &[
             "crates/cubestore/src/store.rs",
             "crates/cubestore/src/delta.rs",
+            "crates/cubestore/src/scrub.rs",
+            "crates/cubestore/src/faults.rs",
             "crates/bench/src/report.rs",
             "crates/bench/src/serving.rs",
             "crates/bench/src/bin/inspect.rs",
@@ -106,6 +108,7 @@ const POLICY: &[(Scope, &[&str])] = &[
             "crates/common/src/codec.rs",
             "crates/cubestore/src/codec.rs",
             "crates/cubestore/src/delta.rs",
+            "crates/cubestore/src/scrub.rs",
             "crates/cubestore/src/segment.rs",
             "crates/cubestore/src/manifest.rs",
             "crates/core/src/sketch/mod.rs",
@@ -1085,6 +1088,7 @@ mod tests {
             "crates/obs/src/trace.rs",
             "crates/cubestore/src/store.rs",
             "crates/cubestore/src/faults.rs",
+            "crates/cubestore/src/scrub.rs",
             "crates/cubestore/src/client.rs",
             "crates/cubealg/src/read.rs",
         ] {
@@ -1099,8 +1103,11 @@ mod tests {
             assert!(!is_no_panic_path(p), "{p} must stay exempt from no_panic");
         }
         assert!(is_ordered_output_path("crates/bench/src/bin/inspect.rs"));
+        assert!(is_ordered_output_path("crates/cubestore/src/scrub.rs"));
+        assert!(is_ordered_output_path("crates/cubestore/src/faults.rs"));
         assert!(!is_ordered_output_path("crates/cubestore/src/blob.rs"));
         assert!(is_codec_path("crates/common/src/codec.rs"));
+        assert!(is_codec_path("crates/cubestore/src/scrub.rs"));
         assert!(is_clock_exempt("crates/obs/src/clock.rs"));
         assert!(!is_clock_exempt("crates/obs/src/lib.rs"));
         assert!(in_scope(

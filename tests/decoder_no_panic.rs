@@ -67,6 +67,7 @@ fn genuine_blobs() -> Vec<(&'static str, Vec<u8>)> {
         generation: 1,
         kind: Default::default(),
         layers: Vec::new(),
+        batch_ids: Vec::new(),
         entries: vec![ManifestEntry {
             mask,
             rows: 40,

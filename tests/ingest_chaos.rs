@@ -1,0 +1,478 @@
+//! Write-path chaos: exactly-once delta ingest under seeded write faults,
+//! and the integrity scrubber's detect → quarantine → repair loop.
+//!
+//! The contract under test, end to end:
+//!
+//! - An [`IngestSession`] driving batches through a fault-injecting blob
+//!   layer (failed puts, sticky write outages, torn staged writes)
+//!   converges to **exactly one** committed layer per batch — never zero,
+//!   never two — with retries riding out every injected failure.
+//! - Replaying a batch ID is a typed [`IngestOutcome::AlreadyApplied`]
+//!   no-op that performs no writes.
+//! - After the chaos, a clean reopen sees a complete, sealed chain, and
+//!   every cuboid answers bit-identically to a store built with no faults
+//!   at all.
+//! - A bit-flipped blob on the live chain is detected, quarantined (copy,
+//!   never delete), and repaired in place by the scrubber, with the
+//!   `store.scrub.*` obs counters exactly matching the returned report.
+//! - Property: any interleaving of duplicate and retried batch
+//!   publications answers bit-identically to one clean application of
+//!   each distinct batch, before and after compaction.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sp_cube_repro::agg::AggSpec;
+use sp_cube_repro::common::{retry::Backoff, Mask, Relation, Schema, Value};
+use sp_cube_repro::cubealg::{naive_cube, CubeQuery, CubeRead};
+use sp_cube_repro::cubestore::{
+    ingest_batch, scan_store, BlobStore, CompactionPolicy, CubeStore, FaultSchedule, FaultyBlobs,
+    IngestConfig, IngestOutcome, IngestSession, ScrubConfig, ScrubReport, Scrubber,
+};
+use sp_cube_repro::datagen;
+use sp_cube_repro::mapreduce::Dfs;
+use sp_cube_repro::obs::{names, ObsHandle};
+
+/// Cut `rel` into `parts` equal-ish consecutive batches.
+fn split(rel: &Relation, parts: usize) -> Vec<Relation> {
+    let per = rel.len() / parts;
+    (0..parts)
+        .map(|i| {
+            let hi = if i + 1 == parts {
+                rel.len()
+            } else {
+                (i + 1) * per
+            };
+            let mut part = Relation::empty(rel.schema().clone());
+            for t in &rel.tuples()[i * per..hi] {
+                part.push(t.clone()).expect("split row");
+            }
+            part
+        })
+        .collect()
+}
+
+/// A chaos session: seeded write faults under bounded instant retries.
+fn chaos_session(
+    dfs: &Arc<Dfs>,
+    prefix: &str,
+    spec: AggSpec,
+    schedule: FaultSchedule,
+) -> IngestSession {
+    let faulty: Arc<dyn BlobStore> = Arc::new(FaultyBlobs::new(
+        Arc::clone(dfs) as Arc<dyn BlobStore>,
+        schedule,
+    ));
+    IngestSession::new(
+        faulty,
+        prefix,
+        spec,
+        IngestConfig {
+            max_attempts: 80,
+            backoff: Backoff::None,
+            ..IngestConfig::default()
+        },
+    )
+    .expect("chaos session config")
+    // The mock obs clock skips backoff sleeps, keeping the sweep instant.
+    .with_obs(ObsHandle::mock())
+}
+
+/// Every cuboid of `store` must answer bit-identically to `reference`.
+fn assert_stores_agree(store: &CubeStore, reference: &CubeStore, d: usize, context: &str) {
+    for mask in Mask::full(d).subsets() {
+        let got = store
+            .cuboid_rows(mask)
+            .unwrap_or_else(|e| panic!("{context}: cuboid {mask} unreadable: {e}"));
+        let want = reference
+            .cuboid_rows(mask)
+            .unwrap_or_else(|e| panic!("{context}: reference cuboid {mask} unreadable: {e}"));
+        assert_eq!(got, want, "{context}: cuboid {mask} differs");
+    }
+}
+
+/// Every cuboid of `store` must agree with a sequential cube of `rel`.
+fn assert_matches_naive(store: &CubeStore, rel: &Relation, d: usize, spec: AggSpec, context: &str) {
+    let cube = naive_cube(rel, spec);
+    let q = CubeQuery::new(&cube, d);
+    for mask in Mask::full(d).subsets() {
+        let got = store
+            .cuboid_rows(mask)
+            .unwrap_or_else(|e| panic!("{context}: cuboid {mask} unreadable: {e}"));
+        let want: Vec<_> = q
+            .cuboid(mask)
+            .iter()
+            .map(|(g, v)| ((*g).clone(), (*v).clone()))
+            .collect();
+        assert_eq!(got, want, "{context}: cuboid {mask} differs from naive");
+    }
+}
+
+/// Exactly-once convergence across a sweep of fault seeds: every batch
+/// lands exactly one committed layer despite failed, stuck, and torn
+/// puts; the reopened chain is complete and answers match a store built
+/// with no faults at all.
+#[test]
+fn seeded_write_faults_converge_to_exactly_once() {
+    let d = 3;
+    let spec = AggSpec::Sum;
+    let rel = datagen::gen_zipf(360, d, 0xabc);
+    let batches = split(&rel, 3);
+
+    // The fault-free reference build.
+    let clean = Arc::new(Dfs::new());
+    for b in &batches {
+        ingest_batch(clean.as_ref(), "inc", b, spec).expect("clean ingest");
+    }
+    let reference =
+        CubeStore::open(Arc::clone(&clean) as Arc<dyn BlobStore>, "inc").expect("clean open");
+
+    for seed in [1u64, 7, 23, 0xfeed] {
+        let dfs = Arc::new(Dfs::new());
+        let session = chaos_session(
+            &dfs,
+            "inc",
+            spec,
+            FaultSchedule {
+                seed,
+                put_transient_fail_prob: 0.15,
+                put_sticky_outage_prob: 0.02,
+                put_outage_heals_after: 2,
+                torn_write_prob: 0.05,
+                ..FaultSchedule::default()
+            },
+        );
+        for b in &batches {
+            session
+                .ingest(b)
+                .unwrap_or_else(|e| panic!("seed {seed}: chaos ingest did not converge: {e}"));
+        }
+        let stats = session.stats();
+        // A torn root on the very first batch makes the retry's recovery
+        // scan choose the sealed orphan — the batch is durably applied,
+        // just reported as a (correct) typed duplicate. Either way every
+        // batch lands exactly once.
+        assert_eq!(
+            stats.applied + stats.deduped,
+            batches.len() as u64,
+            "seed {seed}: batches did not land exactly once: {stats:?}"
+        );
+
+        // Reopen through the clean layer: the chain must be complete.
+        let scan = scan_store(dfs.as_ref(), "inc").expect("scan after chaos");
+        let chosen = scan.chosen.expect("no recoverable generation after chaos");
+        let info = scan
+            .generations
+            .iter()
+            .find(|g| g.generation == chosen)
+            .expect("chosen generation vanished");
+        assert!(info.sealed, "seed {seed}: chosen generation unsealed");
+
+        let store =
+            CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("chaos reopen");
+        assert_eq!(
+            store.layer_count(),
+            batches.len(),
+            "seed {seed}: wrong number of live layers"
+        );
+        assert_stores_agree(&store, &reference, d, &format!("seed {seed}"));
+        assert_matches_naive(&store, &rel, d, spec, &format!("seed {seed}"));
+    }
+}
+
+/// Replaying a batch ID is a typed no-op: the outcome names the original
+/// generation, no blobs change, and the legacy ID-less path still works
+/// alongside.
+#[test]
+fn replayed_batches_are_typed_duplicates() {
+    let d = 3;
+    let spec = AggSpec::Count;
+    let rel = datagen::gen_zipf(200, d, 0x77);
+    let batches = split(&rel, 2);
+
+    let dfs = Arc::new(Dfs::new());
+    let session = IngestSession::new(
+        Arc::clone(&dfs) as Arc<dyn BlobStore>,
+        "inc",
+        spec,
+        IngestConfig::default(),
+    )
+    .expect("session")
+    .with_obs(ObsHandle::mock());
+
+    let first = session.ingest(&batches[0]).expect("first ingest");
+    assert!(
+        !first.is_duplicate(),
+        "first publication reported as duplicate"
+    );
+    let second = session.ingest(&batches[1]).expect("second ingest");
+    let head_gen = second
+        .report()
+        .expect("second publication applied")
+        .generation;
+
+    let listing_before = dfs.list_prefix("inc");
+    let replay = session.ingest(&batches[0]).expect("replay");
+    match replay {
+        // The duplicate names the committed generation whose manifest
+        // proved it — the chain head, which carries the cumulative ID set.
+        IngestOutcome::AlreadyApplied { generation, .. } => {
+            assert_eq!(generation, head_gen, "duplicate names wrong generation")
+        }
+        IngestOutcome::Applied(_) => panic!("replay re-applied the batch"),
+    }
+    assert!(replay.is_duplicate());
+    assert_eq!(
+        dfs.list_prefix("inc"),
+        listing_before,
+        "a replay must not touch any blob"
+    );
+    assert_eq!(session.stats().deduped, 1);
+
+    // Batch IDs survive compaction: the folded chain still refuses the
+    // replay, with answers unchanged.
+    session
+        .compact(&CompactionPolicy { max_layers: 1 })
+        .expect("compaction")
+        .expect("chain above policy must fold");
+    assert!(session
+        .ingest(&batches[0])
+        .expect("replay after compaction")
+        .is_duplicate());
+    let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+    assert_matches_naive(&store, &rel, d, spec, "after compaction");
+}
+
+/// A sticky write outage that heals mid-run: the session retries through
+/// the outage window and the store still lands every batch exactly once.
+#[test]
+fn sticky_write_outages_heal_under_retry() {
+    let d = 3;
+    let spec = AggSpec::Avg;
+    let rel = datagen::gen_zipf(240, d, 0x51);
+    let batches = split(&rel, 3);
+
+    let dfs = Arc::new(Dfs::new());
+    let session = chaos_session(
+        &dfs,
+        "inc",
+        spec,
+        FaultSchedule {
+            seed: 9,
+            put_sticky_outage_prob: 0.25,
+            put_outage_heals_after: 3,
+            ..FaultSchedule::default()
+        },
+    );
+    for b in &batches {
+        session.ingest(b).expect("outage ingest converges");
+    }
+    let stats = session.stats();
+    assert_eq!(stats.applied + stats.deduped, batches.len() as u64);
+    assert!(
+        stats.retries > 0,
+        "a 25% sticky outage schedule drew no faults at all"
+    );
+    assert_eq!(
+        session.stats().retries,
+        stats.retries,
+        "stats snapshot must be stable"
+    );
+    let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+    assert_matches_naive(&store, &rel, d, spec, "after outages");
+}
+
+/// The scrubber's obs counters must exactly mirror the returned report.
+fn assert_scrub_counters_match(obs: &ObsHandle, report: &ScrubReport) {
+    assert_eq!(
+        obs.counter_value(names::STORE_SCRUB_CHECKED, &[]),
+        Some(report.segments_checked + report.manifests_checked)
+    );
+    for (name, want) in [
+        (names::STORE_SCRUB_CORRUPT, report.corrupt),
+        (names::STORE_SCRUB_QUARANTINED, report.quarantined),
+        (names::STORE_SCRUB_REPAIRED, report.repaired),
+        (names::STORE_SCRUB_UNREPAIRABLE, report.unrepairable),
+    ] {
+        assert_eq!(
+            obs.counter_value(name, &[]).unwrap_or(0),
+            want,
+            "counter {name} drifted from the report"
+        );
+    }
+}
+
+/// Bit-rot on the live chain: the scrubber detects the flip, quarantines
+/// a copy (never deleting the original), repairs the segment in place
+/// byte-exactly, and its obs counters match the report it returns. The
+/// repaired store then answers without any degraded reads.
+#[test]
+fn scrubber_quarantines_and_repairs_bit_rot() {
+    let d = 3;
+    let spec = AggSpec::Sum;
+    let rel = datagen::gen_zipf(300, d, 0x1a);
+    let dfs = Arc::new(Dfs::new());
+    for b in &split(&rel, 2) {
+        ingest_batch(dfs.as_ref(), "inc", b, spec).expect("ingest");
+    }
+
+    // Rot a sub-mask state segment of the newest generation.
+    let victim = dfs
+        .list_prefix("inc")
+        .into_iter()
+        .map(|(path, _)| path)
+        .filter(|p| p.ends_with("cuboid-011.dseg"))
+        .max()
+        .expect("no victim segment");
+    let original = dfs.get(&victim).expect("read victim");
+    let mut rotten = original.clone();
+    rotten[original.len() / 2] ^= 0x20;
+    dfs.put(&victim, rotten);
+
+    let obs = ObsHandle::mock();
+    let report = Scrubber::new(ScrubConfig::default())
+        .with_obs(obs.clone())
+        .run(dfs.as_ref(), "inc")
+        .expect("scrub run");
+    assert_eq!(report.corrupt, 1, "the flip went undetected: {report:?}");
+    assert_eq!(report.quarantined, 1);
+    assert_eq!(report.repaired, 1);
+    assert_eq!(report.unrepairable, 0);
+    assert_scrub_counters_match(&obs, &report);
+
+    // Repair is byte-exact and the rot is preserved under quarantine/.
+    assert_eq!(
+        dfs.get(&victim).expect("read repaired"),
+        original,
+        "repair is not byte-exact"
+    );
+    assert!(
+        dfs.list_prefix("inc/quarantine")
+            .iter()
+            .any(|(p, _)| p.ends_with("cuboid-011.dseg")),
+        "no quarantine copy of the rotten blob"
+    );
+
+    let store = CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+    assert_matches_naive(&store, &rel, d, spec, "after repair");
+    assert_eq!(
+        store.stats().degraded_recomputes,
+        0,
+        "repaired store should serve without degraded reads"
+    );
+
+    // A second pass over the repaired store is clean — and counters keep
+    // mirroring the (now larger) cumulative report sums.
+    let second = Scrubber::new(ScrubConfig::default())
+        .with_obs(obs.clone())
+        .run(dfs.as_ref(), "inc")
+        .expect("second scrub");
+    assert_eq!(second.corrupt, 0, "repair did not stick: {second:?}");
+}
+
+/// Strategy: a small relation with clustered values, 2-3 dimensions.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..=3, 6usize..=36).prop_flat_map(|(d, n)| {
+        let tuple = proptest::collection::vec(0i64..3, d);
+        proptest::collection::vec((tuple, -6i64..6), n).prop_map(move |rows| {
+            let mut rel = Relation::empty(Schema::synthetic(d));
+            for (dims, m) in rows {
+                rel.push_row(dims.into_iter().map(Value::Int).collect(), m as f64);
+            }
+            rel
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of duplicate and retried publications — each batch
+    /// pushed once, twice, or three times, in any order after its first
+    /// appearance — answers bit-identically to one clean application of
+    /// each distinct batch, both before and after compaction.
+    #[test]
+    fn duplicate_interleavings_apply_exactly_once(
+        rel in arb_relation(),
+        extra in proptest::collection::vec((0usize..4, 0usize..3), 0..8),
+    ) {
+        let d = rel.schema().arity();
+        let spec = AggSpec::Sum;
+        let batches = split(&rel, 4);
+
+        // The exactly-once reference: each distinct batch applied once.
+        let clean = Arc::new(Dfs::new());
+        for b in batches.iter().filter(|b| !b.is_empty()) {
+            ingest_batch(clean.as_ref(), "inc", b, spec).expect("clean ingest");
+        }
+        let reference =
+            CubeStore::open(Arc::clone(&clean) as Arc<dyn BlobStore>, "inc").expect("clean open");
+
+        // The chaotic application: first pass in order, then the drawn
+        // duplicate interleaving replays arbitrary batches at arbitrary
+        // points. IDs are the batch indices — what a retrying producer
+        // would attach.
+        let dfs = Arc::new(Dfs::new());
+        let session = IngestSession::new(
+            Arc::clone(&dfs) as Arc<dyn BlobStore>,
+            "inc",
+            spec,
+            IngestConfig::default(),
+        )
+        .expect("session")
+        .with_obs(ObsHandle::mock());
+        let mut publications: Vec<usize> = (0..batches.len()).collect();
+        for &(slot, idx) in &extra {
+            let at = slot.min(publications.len());
+            publications.insert(at, idx % batches.len());
+        }
+        let mut seen = [false; 4];
+        for &i in &publications {
+            if batches[i].is_empty() {
+                continue;
+            }
+            // A replay before the first real publication would reorder
+            // the layers; producers retry *after* publishing, so only
+            // replay IDs that already landed.
+            if seen[i] {
+                let out = session.ingest_with_id(&batches[i], i as u64).expect("replay");
+                prop_assert!(out.is_duplicate(), "replay of {i} re-applied");
+            } else {
+                seen[i] = true;
+                session.ingest_with_id(&batches[i], i as u64).expect("publish");
+            }
+        }
+
+        let store =
+            CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("open");
+        for mask in Mask::full(d).subsets() {
+            prop_assert_eq!(
+                store.cuboid_rows(mask).expect("chaos cuboid"),
+                reference.cuboid_rows(mask).expect("reference cuboid"),
+                "pre-compaction cuboid {} differs", mask
+            );
+        }
+
+        // Fold both chains and compare again: compaction must preserve
+        // both the answers and the dedup history.
+        session.compact(&CompactionPolicy { max_layers: 1 }).expect("compact");
+        let folded =
+            CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "inc").expect("reopen");
+        for mask in Mask::full(d).subsets() {
+            prop_assert_eq!(
+                folded.cuboid_rows(mask).expect("folded cuboid"),
+                reference.cuboid_rows(mask).expect("reference cuboid"),
+                "post-compaction cuboid {} differs", mask
+            );
+        }
+        for (i, b) in batches.iter().enumerate() {
+            if !b.is_empty() && seen[i] {
+                prop_assert!(
+                    session.ingest_with_id(b, i as u64).expect("post-fold replay").is_duplicate(),
+                    "compaction forgot batch {}", i
+                );
+            }
+        }
+    }
+}

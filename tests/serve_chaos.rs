@@ -102,6 +102,7 @@ fn schedules(seed: u64) -> Vec<(&'static str, FaultSchedule)> {
                 // spike free, or the suite would sleep for minutes.
                 spike_us: 60_000_000,
                 only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
             },
         ),
     ]
@@ -219,12 +220,16 @@ fn run_combo(combo: &Combo, seed: u64) {
     );
     let fault_stats = faulty.stats();
     for (kind, want) in [
-        ("transient", fault_stats.transient),
-        ("outage", fault_stats.outage),
-        ("latency", fault_stats.latency),
+        ("transient", fault_stats.read_transient),
+        ("outage", fault_stats.read_outage),
+        ("latency", fault_stats.read_latency),
     ] {
         assert_eq!(
-            counter(names::STORE_FAULT_INJECTED, &[("kind", kind.to_string())]).unwrap_or(0),
+            counter(
+                names::STORE_FAULT_INJECTED,
+                &[("kind", kind.to_string()), ("op", "read".to_string())],
+            )
+            .unwrap_or(0),
             want,
             "[{}] fault counter `{kind}` drifted from FaultStats",
             combo.label
