@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: fig4 fig5 fig6 fig7 fig8 naive traffic balance ablations
-//! rounds serve all.
+//! rounds serve profile incremental all.
 //! CSV series land in the output directory (default `bench_results/`).
 
 use spcube_bench::experiments::{self, ExpConfig};
@@ -56,10 +56,11 @@ fn main() {
             "ablations" => drop(experiments::ablations(&cfg)),
             "rounds" => drop(experiments::rounds(&cfg)),
             "serve" => drop(experiments::serve_bench(&cfg)),
+            "profile" => drop(experiments::serve_profile(&cfg)),
             "incremental" => drop(experiments::store_incremental(&cfg)),
             "all" => experiments::all(&cfg),
             other => die(&format!(
-                "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, serve, incremental, all)"
+                "unknown experiment `{other}` (expected fig4..fig8, naive, traffic, balance, ablations, rounds, serve, profile, incremental, all)"
             )),
         }
         eprintln!("[{name}] finished in {:.1}s wall", started.seconds());

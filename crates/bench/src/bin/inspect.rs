@@ -10,6 +10,7 @@
 //! cargo run --release -p spcube-bench --bin inspect -- trace [dataset] [n] [--validate]
 //! cargo run --release -p spcube-bench --bin inspect -- serve-faults <seed> [reads]
 //! cargo run --release -p spcube-bench --bin inspect -- lockgraph [root] [--dot]
+//! cargo run --release -p spcube-bench --bin inspect -- flight <trace.jsonl> [top]
 //! ```
 //!
 //! The optional third argument injects faults: `chaos` runs on a cluster
@@ -49,6 +50,14 @@
 //! `--validate` it additionally re-parses the JSONL trace and exits
 //! non-zero if reconstruction finds unclosed spans, dangling parents, or
 //! malformed records.
+//!
+//! The `flight` view reads a flight-recorder JSONL file (what
+//! `spcube serve-bench --profile --flight-out` persists: only the traces
+//! the tail sampler kept), groups records by trace id, and renders the
+//! slowest traces with per-phase self-times — queue-wait, blob-IO,
+//! decode, merge, finalize — plus the full span tree of the single
+//! slowest one. A truncated final line (a torn tail from a crashed
+//! writer) is reported as a warning, not a failure.
 //!
 //! The `lockgraph` view runs the spcheck concurrency analyzer over the
 //! workspace (default root `.`) and renders the lock-acquisition graph:
@@ -91,6 +100,10 @@ fn main() {
     }
     if dataset == "lockgraph" {
         inspect_lockgraph(&args);
+        return;
+    }
+    if dataset == "flight" {
+        inspect_flight(&args);
         return;
     }
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
@@ -275,6 +288,12 @@ fn inspect_trace(args: &[String]) {
             std::process::exit(1);
         }
     };
+    // Tolerated irregularities (e.g. a torn final line) are warnings:
+    // printed, but never an exit-code failure — only structural errors
+    // from parse/validate are.
+    for w in tree.warnings() {
+        eprintln!("warning: {w}");
+    }
     println!("\n{}", tree.render());
     println!("{}", obs.prometheus());
     if validate {
@@ -291,6 +310,136 @@ fn inspect_trace(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// The `flight` view: render the slowest persisted flight traces with
+/// per-phase self-times, and the full span tree of the slowest one.
+fn inspect_flight(args: &[String]) {
+    use spcube_obs::{names, SpanTree};
+
+    let Some(path) = args.get(1) else {
+        eprintln!("flight: need a trace JSONL path");
+        std::process::exit(2);
+    };
+    let top: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("flight: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Group records by their "trace":N field; each group is one query.
+    // A crashed writer can leave the file's final line truncated: when
+    // the file has no trailing newline and the last line is not a
+    // complete `{..}` record, skip it with a warning — mirroring the
+    // torn-tail tolerance of `SpanTree::parse_jsonl`. Anything else
+    // malformed is a structural error.
+    let mut torn_tail = false;
+    let mut groups: BTreeMap<u64, String> = BTreeMap::new();
+    let mut lines: Vec<&str> = input.lines().collect();
+    if !input.ends_with('\n') && lines.last().is_some_and(|l| !l.trim_end().ends_with('}')) {
+        torn_tail = true; // a crashed writer's half-record
+        lines.pop();
+    }
+    for (i, line) in lines.iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = line
+            .split("\"trace\":")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|digits| digits.trim().parse::<u64>().ok());
+        let Some(id) = id else {
+            eprintln!("flight: record {} has no trace id: {line}", i + 1);
+            std::process::exit(1);
+        };
+        let group = groups.entry(id).or_default();
+        group.push_str(line);
+        group.push('\n');
+    }
+    if torn_tail {
+        eprintln!(
+            "warning: torn tail: skipped truncated final line {}",
+            lines.len() + 1
+        );
+    }
+    if groups.is_empty() {
+        println!("no flight traces in {path} (nothing was tail-sampled in)");
+        return;
+    }
+
+    struct Row {
+        id: u64,
+        total: u64,
+        queue: u64,
+        io: u64,
+        decode: u64,
+        merge: u64,
+        finalize: u64,
+        events: usize,
+        tree: SpanTree,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (id, jsonl) in &groups {
+        let tree = match SpanTree::parse_jsonl(jsonl) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("flight: trace {id} failed to parse: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(problems) = tree.validate() {
+            eprintln!("flight: trace {id} is structurally broken:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            std::process::exit(1);
+        }
+        let phase = |name: &str| -> u64 {
+            tree.spans_named(name)
+                .iter()
+                .map(|s| s.end_us.unwrap_or(s.start_us).saturating_sub(s.start_us))
+                .sum()
+        };
+        let events =
+            tree.root_events.len() + tree.nodes.iter().map(|n| n.events.len()).sum::<usize>();
+        rows.push(Row {
+            id: *id,
+            total: phase(names::SERVE_PHASE_TOTAL),
+            queue: phase(names::SERVE_PHASE_QUEUE_WAIT),
+            io: phase(names::STORE_FLIGHT_BLOB_IO),
+            decode: phase(names::STORE_FLIGHT_DECODE),
+            merge: phase(names::STORE_FLIGHT_MERGE),
+            finalize: phase(names::SERVE_PHASE_FINALIZE),
+            events,
+            tree,
+        });
+    }
+    rows.sort_by(|a, b| b.total.cmp(&a.total).then(a.id.cmp(&b.id)));
+
+    println!(
+        "{} persisted trace(s); slowest {} by end-to-end latency (us):",
+        rows.len(),
+        top.min(rows.len())
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "trace", "total", "queue", "blob_io", "decode", "merge", "finalize", "events"
+    );
+    for r in rows.iter().take(top) {
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            r.id, r.total, r.queue, r.io, r.decode, r.merge, r.finalize, r.events
+        );
+    }
+    if let Some(slowest) = rows.first() {
+        println!("\nslowest trace {}:", slowest.id);
+        println!("{}", slowest.tree.render());
     }
 }
 

@@ -905,6 +905,104 @@ pub fn store_incremental(cfg: &ExpConfig) -> Vec<Measurement> {
     rows
 }
 
+/// Profiled serving experiment (DESIGN.md §16): the same store served
+/// clean and under read chaos, but through the flight-recorder path, so
+/// the p50/p99 latency of each run decomposes into queue-wait / blob-IO /
+/// decode / merge / finalize columns. The chaos row's per-phase p99 is
+/// where injected latency spikes and retries actually show up — blob-IO,
+/// not queue — and the tail sampler persists a complete trace for every
+/// errored or slow query (`kept` column).
+pub fn serve_profile(cfg: &ExpConfig) -> Vec<(String, crate::serving::PhaseProfile)> {
+    use std::sync::Arc;
+
+    use spcube_core::{SpCube, SpCubeConfig};
+    use spcube_cubestore::{BlobStore, CubeStore, FaultSchedule, FaultyBlobs};
+    use spcube_mapreduce::Dfs;
+    use spcube_obs::ObsHandle;
+
+    use crate::report::{phase_table, write_phase_csv};
+    use crate::serving::{run_serving, ServeBenchConfig};
+
+    let n = cfg.scaled(10_000);
+    let rel = datagen::gen_zipf(n, 4, 0x5e7);
+    let cluster = cluster_for(n, n / K, 150e6);
+    let dfs = Arc::new(Dfs::new());
+    SpCube::run_and_store(
+        &rel,
+        &cluster,
+        &SpCubeConfig::new(AggSpec::Count),
+        &dfs,
+        "profile",
+    )
+    .expect("build+store failed");
+    let queries = n.clamp(500, 4_000);
+    let workload = datagen::gen_query_workload(&rel, queries, 1.5, 0x11);
+    let serve_cfg = ServeBenchConfig {
+        clients: 2,
+        profile: true,
+        ..ServeBenchConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    // Clean run: a wall-clock obs handle per run keeps each run's
+    // exemplars and persisted traces separate.
+    let clean_obs = ObsHandle::wall();
+    let store = Arc::new(
+        CubeStore::open(Arc::clone(&dfs) as Arc<dyn BlobStore>, "profile")
+            .expect("store open failed")
+            .with_cache_capacity(4)
+            .with_obs(clean_obs),
+    );
+    let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
+    assert_eq!(report.served + report.typed_errors, queries as u64);
+    rows.push((
+        "clean".to_string(),
+        report.phases.expect("profiled run reports phases"),
+    ));
+
+    // Chaos run: latency spikes and transient read failures on segment
+    // blobs, tiny cache so storage is actually exercised.
+    let chaos_obs = ObsHandle::wall();
+    let spiky = Arc::new(
+        FaultyBlobs::new(
+            Arc::clone(&dfs) as Arc<dyn BlobStore>,
+            FaultSchedule {
+                seed: 0xF11,
+                transient_fail_prob: 0.05,
+                latency_spike_prob: 0.10,
+                spike_us: 20_000,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+        )
+        .with_obs(chaos_obs.clone()),
+    );
+    let chaos_store = Arc::new(
+        CubeStore::open(Arc::clone(&spiky) as Arc<dyn BlobStore>, "profile")
+            .expect("chaos store open failed")
+            .with_recovery(rel.clone())
+            .with_cache_capacity(1)
+            .with_obs(chaos_obs.clone()),
+    );
+    let report = run_serving(Arc::clone(&chaos_store), &workload, &serve_cfg);
+    assert_eq!(report.served + report.typed_errors, queries as u64);
+    let chaos_phases = report.phases.expect("profiled chaos run reports phases");
+    rows.push(("chaos".to_string(), chaos_phases));
+    // Under spiking storage the blob-IO p99 must dominate the queue p99:
+    // phase attribution pointing anywhere else would be mislabeling.
+    assert!(
+        chaos_phases.io_p99_us > chaos_phases.queue_p50_us,
+        "chaos blob-IO p99 implausibly small: {chaos_phases:?}"
+    );
+
+    if cfg.verbose {
+        println!("{}", phase_table("serve_profile", &rows));
+    }
+    write_phase_csv(cfg.out_dir.join("serve_profile_phases.csv"), &rows)
+        .expect("phase CSV write failed");
+    rows
+}
+
 /// Run every experiment.
 pub fn all(cfg: &ExpConfig) {
     fig4(cfg);
@@ -918,5 +1016,6 @@ pub fn all(cfg: &ExpConfig) {
     ablations(cfg);
     rounds(cfg);
     serve_bench(cfg);
+    serve_profile(cfg);
     store_incremental(cfg);
 }

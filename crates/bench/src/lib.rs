@@ -20,6 +20,6 @@ pub mod report;
 pub mod runner;
 pub mod serving;
 
-pub use report::{write_csv, Table};
+pub use report::{phase_csv, phase_table, write_csv, write_phase_csv, Table, PHASE_CSV_HEADER};
 pub use runner::{run_algo, Algo, Measurement, Workload};
-pub use serving::{run_serving, ServeBenchConfig, ServingReport};
+pub use serving::{run_serving, PhaseProfile, ServeBenchConfig, ServingReport};

@@ -6,6 +6,7 @@ use std::path::Path;
 use spcube_common::{Error, Result};
 
 use crate::runner::Measurement;
+use crate::serving::PhaseProfile;
 
 /// A printable results table: one row per measurement, one column per
 /// plotted quantity.
@@ -181,6 +182,90 @@ pub fn write_csv(path: impl AsRef<Path>, experiment: &str, rows: &[Measurement])
     Ok(())
 }
 
+/// Header of the standalone phase-attribution CSV (separate from
+/// [`CSV_HEADER`], whose layout existing figure tooling depends on).
+pub const PHASE_CSV_HEADER: &str = "run,queue_p50_us,queue_p99_us,io_p50_us,io_p99_us,\
+decode_p50_us,decode_p99_us,merge_p50_us,merge_p99_us,finalize_p50_us,finalize_p99_us,\
+traces_kept";
+
+/// Render profiled runs as an aligned phase-attribution table: one row
+/// per run, p50/p99 per phase. This is the `spcube profile` and
+/// `serve-bench --profile` output.
+pub fn phase_table(title: &str, rows: &[(String, PhaseProfile)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title}: phase attribution (us) ==\n"));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}\n",
+        "run",
+        "queue_p50",
+        "queue_p99",
+        "io_p50",
+        "io_p99",
+        "decode_p50",
+        "decode_p99",
+        "merge_p50",
+        "merge_p99",
+        "final_p50",
+        "final_p99",
+        "kept"
+    ));
+    for (run, p) in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>6}\n",
+            run,
+            p.queue_p50_us,
+            p.queue_p99_us,
+            p.io_p50_us,
+            p.io_p99_us,
+            p.decode_p50_us,
+            p.decode_p99_us,
+            p.merge_p50_us,
+            p.merge_p99_us,
+            p.finalize_p50_us,
+            p.finalize_p99_us,
+            p.traces_kept,
+        ));
+    }
+    out
+}
+
+/// Render profiled runs as CSV lines under [`PHASE_CSV_HEADER`].
+pub fn phase_csv(rows: &[(String, PhaseProfile)]) -> String {
+    let mut out = String::new();
+    out.push_str(PHASE_CSV_HEADER);
+    out.push('\n');
+    for (run, p) in rows {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+            run,
+            p.queue_p50_us,
+            p.queue_p99_us,
+            p.io_p50_us,
+            p.io_p99_us,
+            p.decode_p50_us,
+            p.decode_p99_us,
+            p.merge_p50_us,
+            p.merge_p99_us,
+            p.finalize_p50_us,
+            p.finalize_p99_us,
+            p.traces_kept,
+        ));
+    }
+    out
+}
+
+/// Write a phase-attribution CSV (header + one row per run) to `path`,
+/// creating parent directories as needed.
+pub fn write_phase_csv(path: impl AsRef<Path>, rows: &[(String, PhaseProfile)]) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Io(format!("creating {}", dir.display()), e))?;
+    }
+    std::fs::write(path, phase_csv(rows))
+        .map_err(|e| Error::Io(format!("writing {}", path.display()), e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +366,63 @@ mod tests {
         assert!(s.contains("SP-Cube"));
         assert!(s.contains("STUCK"));
         assert!(s.contains("12.3"));
+    }
+
+    #[test]
+    fn phase_table_and_csv_carry_every_phase_column() {
+        let p = PhaseProfile {
+            queue_p50_us: 10.0,
+            queue_p99_us: 55.5,
+            io_p50_us: 200.0,
+            io_p99_us: 900.25,
+            decode_p50_us: 30.0,
+            decode_p99_us: 80.0,
+            merge_p50_us: 0.0,
+            merge_p99_us: 5.0,
+            finalize_p50_us: 15.0,
+            finalize_p99_us: 40.0,
+            traces_kept: 7,
+        };
+        let rows = vec![("chaos".to_string(), p)];
+        let table = phase_table("serve_bench", &rows);
+        for col in [
+            "queue_p50",
+            "queue_p99",
+            "io_p50",
+            "io_p99",
+            "decode_p50",
+            "decode_p99",
+            "merge_p50",
+            "merge_p99",
+            "final_p50",
+            "final_p99",
+            "kept",
+        ] {
+            assert!(table.contains(col), "phase table missing column {col}");
+        }
+        assert!(table.contains("900.2"), "p99 io rendered: {table}");
+        assert!(table.contains("chaos"));
+
+        let csv = phase_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "header + 1 row");
+        assert_eq!(lines[0], PHASE_CSV_HEADER);
+        assert!(lines[1].starts_with("chaos,10.000,55.500,200.000,900.250"));
+        assert!(lines[1].ends_with(",7"));
+        // The phase CSV is its own file: the main experiment header must
+        // stay byte-identical for downstream figure tooling.
+        assert!(!CSV_HEADER.contains("queue_p50_us"));
+    }
+
+    #[test]
+    fn phase_csv_round_trip() {
+        let dir = std::env::temp_dir().join(format!("spphase-{}", std::process::id()));
+        let path = dir.join("phases.csv");
+        write_phase_csv(&path, &[("run".to_string(), PhaseProfile::default())]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with(PHASE_CSV_HEADER));
+        assert_eq!(content.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

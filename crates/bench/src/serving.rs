@@ -46,6 +46,11 @@ pub struct ServeBenchConfig {
     /// Attempts per query: retries after a `Failed` answer ride out
     /// transient storage faults.
     pub max_attempts: u32,
+    /// Issue every query through the profiled flight-recorder path
+    /// ([`ResilientClient::query_profiled`]) and decompose latency
+    /// percentiles into per-phase columns. Requires the store to carry
+    /// an observability handle; without one the phase columns read zero.
+    pub profile: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -57,8 +62,51 @@ impl Default for ServeBenchConfig {
             deadline_us: None,
             hedge: false,
             max_attempts: 3,
+            profile: false,
         }
     }
+}
+
+/// Per-phase latency percentiles of one profiled serving run: where the
+/// p50 and the p99 query actually spent their time. Phases come from the
+/// flight recorder's [`spcube_obs::PhaseBreakdown`], whose residual
+/// `finalize` closes the ledger, so for every individual query the five
+/// phases sum exactly to its end-to-end latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseProfile {
+    /// Admission-to-dequeue queue wait, p50 / p99 microseconds.
+    pub queue_p50_us: f64,
+    /// 99th-percentile queue wait.
+    pub queue_p99_us: f64,
+    /// Blob fetch time, p50 / p99 microseconds.
+    pub io_p50_us: f64,
+    /// 99th-percentile blob fetch time.
+    pub io_p99_us: f64,
+    /// Segment decode time, p50 / p99 microseconds.
+    pub decode_p50_us: f64,
+    /// 99th-percentile decode time.
+    pub decode_p99_us: f64,
+    /// Layered state-merge time, p50 / p99 microseconds.
+    pub merge_p50_us: f64,
+    /// 99th-percentile merge time.
+    pub merge_p99_us: f64,
+    /// Residual (everything not attributed above), p50 / p99.
+    pub finalize_p50_us: f64,
+    /// 99th-percentile residual.
+    pub finalize_p99_us: f64,
+    /// Traces the tail sampler persisted (errors, deadline misses, and
+    /// above-p99 latencies).
+    pub traces_kept: u64,
+}
+
+/// Shared per-phase histograms every profiled client thread records into.
+#[derive(Default)]
+struct PhaseHists {
+    queue: Histogram,
+    io: Histogram,
+    decode: Histogram,
+    merge: Histogram,
+    finalize: Histogram,
 }
 
 /// What one serving run measured.
@@ -94,6 +142,8 @@ pub struct ServingReport {
     pub hedges_won: u64,
     /// Hedges won over hedges fired, in `[0, 1]` (never NaN).
     pub hedge_win_rate: f64,
+    /// Per-phase latency decomposition; `Some` only for profiled runs.
+    pub phases: Option<PhaseProfile>,
 }
 
 /// Convert a backend-agnostic query into a server request.
@@ -155,6 +205,8 @@ pub fn run_serving(
     // of atomic ops, so there are no per-client sample buffers to
     // collect, sort, and merge afterwards.
     let latency_hist = Arc::new(Histogram::new());
+    let phase_hists = Arc::new(PhaseHists::default());
+    let traces_kept = Arc::new(AtomicU64::new(0));
 
     let t0 = Stopwatch::start();
     let clients: Vec<_> = (0..cfg.clients.max(1))
@@ -166,7 +218,10 @@ pub fn run_serving(
             let answered = Arc::clone(&answered);
             let typed_errors = Arc::clone(&typed_errors);
             let hist = Arc::clone(&latency_hist);
+            let phases = Arc::clone(&phase_hists);
+            let kept = Arc::clone(&traces_kept);
             let deadline_us = cfg.deadline_us;
+            let profile = cfg.profile;
             let workload = workload.to_vec();
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -176,19 +231,39 @@ pub fn run_serving(
                 // spent yielding through overload counts against it.
                 let deadline = deadline_us.map(|b| server.deadline_in(b));
                 let issued = Stopwatch::start();
-                let outcome = loop {
-                    match client.query(req.clone(), deadline) {
-                        Ok(resp) => break Some(resp),
+                let (outcome, prof) = loop {
+                    // A profiled round is one complete flight cycle; an
+                    // overloaded round's trace is finished (and perhaps
+                    // kept), but only the final round's phases land in
+                    // the per-phase histograms.
+                    let (result, prof) = if profile {
+                        let p = client.query_profiled(req.clone(), deadline);
+                        (p.result, Some((p.phases, p.kept)))
+                    } else {
+                        (client.query(req.clone(), deadline), None)
+                    };
+                    match result {
+                        Ok(resp) => break (Some(resp), prof),
                         Err(ServeError::Overloaded { .. }) => {
                             retries.fetch_add(1, Ordering::Relaxed);
                             std::thread::yield_now();
                         }
-                        Err(ServeError::DeadlineExceeded) => break None,
+                        Err(ServeError::DeadlineExceeded) => break (None, prof),
                         Err(ServeError::ShuttingDown) => {
                             panic!("server shut down mid-benchmark")
                         }
                     }
                 };
+                if let Some((pb, was_kept)) = prof {
+                    phases.queue.record(pb.queue_us as f64);
+                    phases.io.record(pb.io_us as f64);
+                    phases.decode.record(pb.decode_us as f64);
+                    phases.merge.record(pb.merge_us as f64);
+                    phases.finalize.record(pb.finalize_us as f64);
+                    if was_kept {
+                        kept.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 match outcome {
                     None | Some(Response::Failed(_)) => {
                         typed_errors.fetch_add(1, Ordering::Relaxed);
@@ -239,6 +314,19 @@ pub fn run_serving(
         hedges_fired: client_stats.hedges_fired,
         hedges_won: client_stats.hedges_won,
         hedge_win_rate: client_stats.hedge_win_rate(),
+        phases: cfg.profile.then(|| PhaseProfile {
+            queue_p50_us: phase_hists.queue.quantile(0.50),
+            queue_p99_us: phase_hists.queue.quantile(0.99),
+            io_p50_us: phase_hists.io.quantile(0.50),
+            io_p99_us: phase_hists.io.quantile(0.99),
+            decode_p50_us: phase_hists.decode.quantile(0.50),
+            decode_p99_us: phase_hists.decode.quantile(0.99),
+            merge_p50_us: phase_hists.merge.quantile(0.50),
+            merge_p99_us: phase_hists.merge.quantile(0.99),
+            finalize_p50_us: phase_hists.finalize.quantile(0.50),
+            finalize_p99_us: phase_hists.finalize.quantile(0.99),
+            traces_kept: traces_kept.load(Ordering::Relaxed),
+        }),
     }
 }
 
@@ -563,6 +651,88 @@ mod tests {
         let q = spcube_cubealg::CubeQuery::new(&cube, 3);
         let mask = spcube_common::Mask::full(3);
         assert_eq!(store.cuboid_rows(mask).unwrap().len(), q.cuboid_len(mask));
+    }
+
+    #[test]
+    fn chaos_profile_persists_a_complete_trace_for_every_bad_query() {
+        // The acceptance bar for the flight recorder: under chaos with
+        // profiling on, every query that errors ends up with a persisted
+        // trace whose id appears in the latency histogram's exemplar
+        // set, and the whole persisted file parses into a structurally
+        // valid forest with one root per kept trace.
+        let rel = gen_zipf(200, 3, 4);
+        let cube = naive_cube(&rel, AggSpec::Count);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 3, AggSpec::Count, 1).unwrap();
+        let obs = spcube_obs::ObsHandle::wall();
+        let faulty = Arc::new(
+            FaultyBlobs::new(
+                dfs,
+                FaultSchedule {
+                    seed: 7,
+                    transient_fail_prob: 0.3,
+                    only_matching: Some(".cseg".to_string()),
+                    ..FaultSchedule::default()
+                },
+            )
+            .with_obs(obs.clone()),
+        );
+        let store = Arc::new(
+            CubeStore::open(faulty, "s")
+                .unwrap()
+                .with_cache_capacity(1)
+                .with_obs(obs.clone()),
+        );
+        let workload = gen_query_workload(&rel, 120, 1.5, 11);
+        let report = run_serving(
+            Arc::clone(&store),
+            &workload,
+            &ServeBenchConfig {
+                workers: 2,
+                queue_capacity: 16,
+                clients: 2,
+                profile: true,
+                ..ServeBenchConfig::default()
+            },
+        );
+        assert_eq!(report.served + report.typed_errors, 120);
+        let phases = report.phases.expect("profiled run must report phases");
+        assert!(phases.queue_p99_us >= phases.queue_p50_us);
+        assert!(phases.io_p99_us >= phases.io_p50_us);
+        assert!(
+            phases.io_p99_us > 0.0,
+            "chaos + tiny cache must charge blob-IO time: {phases:?}"
+        );
+
+        let kept = obs.flight_kept();
+        assert!(
+            report.typed_errors == 0 || !kept.is_empty(),
+            "errored queries must be tail-sampled in"
+        );
+        assert!(
+            phases.traces_kept as usize <= kept.len(),
+            "final-round keeps can't exceed total keeps"
+        );
+        let exemplars: std::collections::BTreeSet<u64> =
+            obs.flight_exemplars().iter().map(|e| e.trace_id).collect();
+        let jsonl = obs.flight_jsonl();
+        for id in &kept {
+            assert!(
+                exemplars.contains(id),
+                "kept trace {id} missing from the exemplar set"
+            );
+            assert!(
+                jsonl.contains(&format!("\"trace\":{id},")),
+                "kept trace {id} missing from the persisted JSONL"
+            );
+        }
+        let tree = spcube_obs::SpanTree::parse_jsonl(&jsonl).expect("persisted traces parse");
+        tree.validate().expect("persisted traces are complete");
+        assert_eq!(
+            tree.roots.len(),
+            kept.len(),
+            "one QueryTotal root per kept trace"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ const SWITCHES: &[&str] = &[
     "chaos",
     "hedge",
     "check-only",
+    "profile",
 ];
 
 impl Args {
@@ -78,6 +79,15 @@ impl Args {
     /// Boolean switch presence.
     pub fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
+    }
+
+    /// Force a switch on (used by command aliases: `spcube profile` is
+    /// `serve-bench` with `--profile` forced).
+    pub fn with_switch(mut self, name: &str) -> Args {
+        if !self.has(name) {
+            self.switches.push(name.to_string());
+        }
+        self
     }
 }
 

@@ -27,6 +27,7 @@ use spcube_agg::AggSpec;
 use spcube_baselines::{
     hive_cube, mr_cube, naive_mr_cube, top_down_cube, HiveConfig, MrCubeConfig,
 };
+use spcube_bench::report::{phase_table, write_phase_csv};
 use spcube_bench::serving::{
     run_serving, run_serving_under_ingest, IngestBenchConfig, ServeBenchConfig,
 };
@@ -54,7 +55,8 @@ fn main() -> ExitCode {
 
 fn run(raw: &[String]) -> Result<()> {
     let args = Args::parse(raw)?;
-    match args.command.as_str() {
+    let command = args.command.clone();
+    match command.as_str() {
         "generate" => generate(&args),
         "sketch" => sketch(&args),
         "cube" => cube(&args),
@@ -65,6 +67,7 @@ fn run(raw: &[String]) -> Result<()> {
         "scrub" => scrub_store(&args),
         "query" => query(&args),
         "serve-bench" => serve_bench(&args),
+        "profile" => serve_bench(&args.with_switch("profile")),
         "" | "help" => {
             print!("{}", HELP);
             Ok(())
@@ -117,7 +120,8 @@ COMMANDS
   serve-bench FILE [--queries N] [--skews A,B] [--workers W]
        [--clients C] [--cache SEGS] [--machines K] [--memory M]
        [--chaos] [--chaos-seed S] [--hedge] [--deadline-us D]
-       [--ingest-rate R] [--max-layers N]
+       [--ingest-rate R] [--max-layers N] [--profile]
+       [--phase-csv FILE] [--flight-out FILE]
       Build + store the cube in memory, then serve Zipf-skewed query
       workloads through the concurrent CubeServer behind the resilient
       client, reporting QPS, p50/p99 latency, segment-cache hit rate,
@@ -133,7 +137,14 @@ COMMANDS
       and torn puts) hit every layer publication, the ingest session
       retries through them, and a repairing scrub after each step
       verifies the live chain stayed clean (retry/repair counts are
-      appended to each step line).
+      appended to each step line). --profile routes every query through
+      the always-on flight recorder and appends a phase-attribution
+      table (queue-wait / blob-IO / decode / merge / finalize p50+p99);
+      --phase-csv writes those columns as CSV, and --flight-out
+      persists the tail-sampled traces (errors, deadline misses,
+      above-p99 latencies) as JSONL for `inspect -- flight`.
+  profile FILE [serve-bench options]
+      Alias for `serve-bench --profile`.
   help
 ";
 
@@ -568,6 +579,15 @@ fn serve_bench(args: &Args) -> Result<()> {
     // resilience machinery (retries, hedging, deadlines, breaker) has
     // something to push against; `inspect serve-faults SEED` previews
     // the same schedule.
+    // --profile turns on the flight recorder: one wall-clock obs handle
+    // shared by the fault injector, the store, and the server, so every
+    // query's spans land in the same per-thread rings.
+    let profile = args.has("profile");
+    let obs = if profile {
+        ObsHandle::wall()
+    } else {
+        ObsHandle::default()
+    };
     let blobs: Arc<dyn BlobStore> = if args.has("chaos") {
         let schedule = FaultSchedule {
             seed: args.get_or("chaos-seed", 7)?,
@@ -578,17 +598,17 @@ fn serve_bench(args: &Args) -> Result<()> {
             ..FaultSchedule::default()
         };
         schedule.validate()?;
-        Arc::new(FaultyBlobs::new(
-            Arc::new(dfs) as Arc<dyn BlobStore>,
-            schedule,
-        ))
+        Arc::new(
+            FaultyBlobs::new(Arc::new(dfs) as Arc<dyn BlobStore>, schedule).with_obs(obs.clone()),
+        )
     } else {
         Arc::new(dfs)
     };
     let store = Arc::new(
         CubeStore::open(blobs, STORE_PREFIX)?
             .with_recovery(rel.clone())
-            .with_cache_capacity(args.get_or("cache", 4)?),
+            .with_cache_capacity(args.get_or("cache", 4)?)
+            .with_obs(obs.clone()),
     );
 
     let queries: usize = args.get_or("queries", 5_000)?;
@@ -613,7 +633,9 @@ fn serve_bench(args: &Args) -> Result<()> {
         deadline_us,
         hedge: args.has("hedge"),
         max_attempts: args.get_or("attempts", 3)?,
+        profile,
     };
+    let mut phase_rows = Vec::new();
     for (i, &skew) in skews.iter().enumerate() {
         let workload = datagen::gen_query_workload(&rel, queries, skew, 0x5b + i as u64);
         let report = run_serving(Arc::clone(&store), &workload, &serve_cfg);
@@ -638,6 +660,32 @@ fn serve_bench(args: &Args) -> Result<()> {
                 report.hedges_won,
                 report.hedge_win_rate
             );
+        }
+        if let Some(p) = report.phases {
+            phase_rows.push((format!("skew-{skew:.2}"), p));
+        }
+    }
+    if profile {
+        println!();
+        print!("{}", phase_table("serve-bench", &phase_rows));
+        if let Some(csv) = args.get("phase-csv") {
+            write_phase_csv(csv, &phase_rows)?;
+            println!("phase CSV written to {csv}");
+        }
+        let kept = obs.flight_kept();
+        println!(
+            "flight recorder: {} trace(s) tail-sampled in (errors, deadline \
+             misses, and above-p99 latencies)",
+            kept.len()
+        );
+        if let Some(out) = args.get("flight-out") {
+            if let Some(dir) = std::path::Path::new(out).parent() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| Error::Io(format!("creating {}", dir.display()), e))?;
+            }
+            std::fs::write(out, obs.flight_jsonl())
+                .map_err(|e| Error::Io(format!("writing {out}"), e))?;
+            println!("flight traces written to {out} (inspect with `inspect -- flight {out}`)");
         }
     }
     Ok(())
@@ -716,6 +764,7 @@ fn serve_bench_under_ingest(args: &Args, rel: &Relation) -> Result<()> {
                 deadline_us: None,
                 hedge: args.has("hedge"),
                 max_attempts: args.get_or("attempts", 3)?,
+                profile: false,
             },
             queries_per_step: per_step,
             spec: agg,

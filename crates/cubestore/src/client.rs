@@ -37,7 +37,10 @@ use spcube_common::retry::Backoff;
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Mask, Relation, Result};
 use spcube_cubealg::{slice_slot, CubeRead};
-use spcube_obs::{names, Histogram, ObsHandle, SpanId};
+use spcube_obs::{
+    names, FlightLabel, FlightName, FlightRec, Histogram, ObsHandle, PhaseBreakdown, QueryCtx,
+    SpanId,
+};
 
 use crate::recover::recompute_cuboid;
 use crate::segment::Segment;
@@ -46,6 +49,20 @@ use crate::server::{answer, CubeServer, Deadline, Request, Response, ServeError}
 /// Outcome of a resilient query: the server/degraded answer, or a typed
 /// refusal that the client deliberately does not retry.
 pub type ServeResult = std::result::Result<Response, ServeError>;
+
+/// Outcome of one [`ResilientClient::query_profiled`] call: the answer
+/// plus the query's flight-trace identity and phase decomposition.
+#[derive(Debug)]
+pub struct ProfiledResult {
+    /// The resilient query's outcome.
+    pub result: ServeResult,
+    /// Trace id of the query's flight trace (0 when obs is disabled).
+    pub trace_id: u64,
+    /// End-to-end latency decomposed into serving phases.
+    pub phases: PhaseBreakdown,
+    /// Whether the tail sampler persisted the trace.
+    pub kept: bool,
+}
 
 /// Retry, hedging, and breaker policy.
 #[derive(Debug, Clone)]
@@ -248,23 +265,104 @@ impl ResilientClient {
     /// local answer while the cuboid's breaker is open, or the typed
     /// [`ServeError`] refusals, which are never retried.
     pub fn query(&self, req: Request, deadline: Option<Deadline>) -> ServeResult {
+        self.query_ctx(req, deadline, None)
+    }
+
+    /// Query under the flight recorder: opens a [`QueryCtx`] on the
+    /// store's obs handle, threads it through every attempt (retries,
+    /// hedges, breaker decisions, the server queue, and the storage
+    /// read path), then tail-samples the finished trace and returns the
+    /// answer with its phase decomposition attached.
+    pub fn query_profiled(&self, req: Request, deadline: Option<Deadline>) -> ProfiledResult {
+        let obs = self.server.store().obs().clone();
+        let Some(ctx) = obs.flight_begin() else {
+            // No observability attached: plain query, empty profile.
+            return ProfiledResult {
+                result: self.query(req, deadline),
+                trace_id: 0,
+                phases: PhaseBreakdown::default(),
+                kept: false,
+            };
+        };
+        let start_us = obs.flight_now_us();
+        let result = self.query_ctx(req, deadline, Some(&ctx));
+        let total_us = obs.flight_now_us().saturating_sub(start_us);
+        let missed = matches!(result, Err(ServeError::DeadlineExceeded));
+        let errored = missed || matches!(&result, Err(_) | Ok(Response::Failed(_)));
+        if missed {
+            obs.flight_emit(FlightRec::event(
+                &ctx,
+                FlightName::DeadlineMiss,
+                start_us + total_us,
+            ));
+        } else if errored {
+            obs.flight_emit(FlightRec::event(
+                &ctx,
+                FlightName::Error,
+                start_us + total_us,
+            ));
+        }
+        let kept = obs.flight_finish(&ctx, start_us, total_us, errored, missed);
+        ProfiledResult {
+            result,
+            trace_id: ctx.trace_id,
+            phases: ctx.phases.breakdown(total_us),
+            kept,
+        }
+    }
+
+    fn query_ctx(
+        &self,
+        req: Request,
+        deadline: Option<Deadline>,
+        ctx: Option<&QueryCtx>,
+    ) -> ServeResult {
+        let flight = self.server.store().obs();
         let mask = req.cuboid();
         match self.gate(mask) {
-            Gate::Open => return Ok(self.degraded(mask, &req)),
+            Gate::Open => {
+                if let Some(c) = ctx {
+                    flight.flight_emit(
+                        FlightRec::event(c, FlightName::Degraded, flight.flight_now_us())
+                            .with_label(FlightLabel::Cuboid, u64::from(mask.0)),
+                    );
+                }
+                return Ok(self.degraded(mask, &req));
+            }
             Gate::Closed | Gate::Trial => {}
         }
         let mut last = Response::Failed("no attempt made".to_string());
         for attempt in 1..=self.cfg.max_attempts {
             if attempt > 1 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = ctx {
+                    flight.flight_emit(
+                        FlightRec::event(c, FlightName::Retry, flight.flight_now_us())
+                            .with_label(FlightLabel::Attempt, u64::from(attempt)),
+                    );
+                }
                 self.backoff_sleep(attempt - 1);
             }
             self.attempts.fetch_add(1, Ordering::Relaxed);
-            match self.attempt_once(&req, deadline)? {
+            match self.attempt_once(&req, deadline, ctx)? {
                 Response::Failed(msg) => {
                     last = Response::Failed(msg);
                     if self.note_failure(mask) {
                         // Breaker (re)opened: answer this query degraded.
+                        if let Some(c) = ctx {
+                            flight.flight_emit(
+                                FlightRec::event(
+                                    c,
+                                    FlightName::BreakerOpen,
+                                    flight.flight_now_us(),
+                                )
+                                .with_label(FlightLabel::Cuboid, u64::from(mask.0)),
+                            );
+                            flight.flight_emit(
+                                FlightRec::event(c, FlightName::Degraded, flight.flight_now_us())
+                                    .with_label(FlightLabel::Cuboid, u64::from(mask.0)),
+                            );
+                        }
                         return Ok(self.degraded(mask, &req));
                     }
                 }
@@ -279,16 +377,28 @@ impl ResilientClient {
 
     /// One server round-trip, hedged when configured. Records the
     /// client-observed attempt latency into [`Self::observed_us`].
-    fn attempt_once(&self, req: &Request, deadline: Option<Deadline>) -> ServeResult {
+    fn attempt_once(
+        &self,
+        req: &Request,
+        deadline: Option<Deadline>,
+        ctx: Option<&QueryCtx>,
+    ) -> ServeResult {
         let t0 = self.server.now_us();
-        let out = self.attempt_inner(req, deadline);
+        let out = self.attempt_inner(req, deadline, ctx);
         self.observed_us
             .record(self.server.now_us().saturating_sub(t0) as f64);
         out
     }
 
-    fn attempt_inner(&self, req: &Request, deadline: Option<Deadline>) -> ServeResult {
-        let rx = self.server.submit_at(req.clone(), deadline)?;
+    fn attempt_inner(
+        &self,
+        req: &Request,
+        deadline: Option<Deadline>,
+        ctx: Option<&QueryCtx>,
+    ) -> ServeResult {
+        let rx = self
+            .server
+            .submit_traced(req.clone(), deadline, ctx.cloned())?;
         if !self.cfg.hedge {
             return rx.recv().map_err(|_| ServeError::ShuttingDown)?;
         }
@@ -298,7 +408,10 @@ impl ResilientClient {
             Err(mpsc::RecvTimeoutError::Timeout) => {}
         }
         // The primary is slow: fire a duplicate and race the two.
-        let Ok(hedge_rx) = self.server.submit_at(req.clone(), deadline) else {
+        let Ok(hedge_rx) = self
+            .server
+            .submit_traced(req.clone(), deadline, ctx.cloned())
+        else {
             // Queue full or shutting down — the hedge never launched;
             // fall back to waiting out the primary.
             return rx.recv().map_err(|_| ServeError::ShuttingDown)?;
@@ -306,6 +419,14 @@ impl ResilientClient {
         self.hedges_fired.fetch_add(1, Ordering::Relaxed);
         self.obs.inc(names::SERVE_HEDGE_FIRED, &[]);
         self.obs.event(names::SERVE_HEDGE_FIRED, SpanId::ROOT, &[]);
+        if let Some(c) = ctx {
+            let flight = self.server.store().obs();
+            flight.flight_emit(FlightRec::event(
+                c,
+                FlightName::HedgeFired,
+                flight.flight_now_us(),
+            ));
+        }
         let mut primary = Some(&rx);
         let mut hedge = Some(&hedge_rx);
         loop {
@@ -322,6 +443,14 @@ impl ResilientClient {
                         self.hedges_won.fetch_add(1, Ordering::Relaxed);
                         self.obs.inc(names::SERVE_HEDGE_WON, &[]);
                         self.obs.event(names::SERVE_HEDGE_WON, SpanId::ROOT, &[]);
+                        if let Some(c) = ctx {
+                            let flight = self.server.store().obs();
+                            flight.flight_emit(FlightRec::event(
+                                c,
+                                FlightName::HedgeWon,
+                                flight.flight_now_us(),
+                            ));
+                        }
                         return outcome;
                     }
                     Err(mpsc::TryRecvError::Disconnected) => hedge = None,
@@ -900,6 +1029,136 @@ mod tests {
             ..ClientStats::default()
         };
         assert!((busy.hedge_win_rate() - 0.25).abs() < 1e-12);
+    }
+
+    /// Like `faulty_server` but with one shared observability handle on
+    /// the faulty blobs *and* the store, so profiled queries record
+    /// flight spans across admission, queue, IO and decode.
+    fn profiled_server(schedule: FaultSchedule, cache: usize) -> (Arc<CubeServer>, ObsHandle) {
+        let rel = sample_rel();
+        let cube = naive_cube(&rel, AggSpec::Sum);
+        let dfs = Arc::new(Dfs::new());
+        write_store(dfs.as_ref(), "s", &cube, 2, AggSpec::Sum, 1).expect("write");
+        let obs = ObsHandle::mock();
+        let faulty = Arc::new(FaultyBlobs::new(dfs, schedule).with_obs(obs.clone()));
+        let store = Arc::new(
+            CubeStore::open(faulty, "s")
+                .expect("open")
+                .with_cache_capacity(cache)
+                .with_obs(obs.clone()),
+        );
+        let server = Arc::new(CubeServer::start(
+            store,
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 16,
+                clock: Arc::new(Clock::mock()),
+            },
+        ));
+        (server, obs)
+    }
+
+    #[test]
+    fn profiled_query_phases_sum_exactly_to_total() {
+        let (server, obs) = profiled_server(FaultSchedule::default(), 1);
+        let client = ResilientClient::new(server, ClientConfig::default()).expect("client");
+        // Alternate two cuboids: the single-slot cache evicts the other
+        // one each time, so every query pays a real blob fetch + decode.
+        let mut io_us = 0;
+        for i in 0..6 {
+            let req = Request::Point {
+                mask: Mask(0b01 << (i % 2)),
+                key: vec![Value::Int(1)],
+            };
+            let prof = client.query_profiled(req, None);
+            assert!(
+                matches!(prof.result, Ok(Response::Value(Some(_)))),
+                "query {i}: {:?}",
+                prof.result
+            );
+            assert!(prof.trace_id > 0, "flight recorder assigned a trace id");
+            assert_eq!(
+                prof.phases.phase_sum_us(),
+                prof.phases.total_us,
+                "residual finalize must close the phase ledger exactly"
+            );
+            io_us += prof.phases.io_us;
+        }
+        assert!(io_us > 0, "cache thrash must charge blob-IO time");
+        assert!(
+            obs.flight_latency_quantile(0.5) > 0.0,
+            "every profiled query lands in the latency histogram"
+        );
+    }
+
+    #[test]
+    fn errored_profiled_query_is_kept_with_a_complete_trace_and_exemplar() {
+        // Every segment read fails and there is no recovery relation, so
+        // the query surfaces as Response::Failed — an errored outcome the
+        // tail sampler must keep even during warmup.
+        let (server, obs) = profiled_server(
+            FaultSchedule {
+                seed: 2,
+                sticky_outage_prob: 1.0,
+                only_matching: Some(".cseg".to_string()),
+                ..FaultSchedule::default()
+            },
+            1,
+        );
+        let client = ResilientClient::new(
+            server,
+            ClientConfig {
+                breaker_threshold: 0,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("client");
+        let prof = client.query_profiled(point_req(), None);
+        assert!(
+            matches!(prof.result, Ok(Response::Failed(_))),
+            "outage with no recovery must fail typed: {:?}",
+            prof.result
+        );
+        assert!(prof.kept, "errored queries are always tail-sampled in");
+        assert!(obs.flight_kept().contains(&prof.trace_id));
+        assert!(
+            obs.flight_exemplars()
+                .iter()
+                .any(|e| e.trace_id == prof.trace_id),
+            "kept trace ids must appear in the histogram exemplar set"
+        );
+        let jsonl = obs.flight_jsonl();
+        let tree = spcube_obs::SpanTree::parse_jsonl(&jsonl).expect("flight trace parses");
+        tree.validate().expect("flight trace is structurally sound");
+        for needle in [
+            names::SERVE_PHASE_TOTAL,
+            names::SERVE_PHASE_QUEUE_WAIT,
+            names::SERVE_PHASE_FINALIZE,
+            names::SERVE_PHASE_RETRY,
+            names::SERVE_PHASE_ERROR,
+            names::STORE_FAULT_INJECTED,
+        ] {
+            assert!(jsonl.contains(needle), "persisted trace missing {needle}");
+        }
+        assert_eq!(
+            obs.counter_value(names::STORE_FLIGHT_KEPT, &[]),
+            Some(1),
+            "exactly one trace kept"
+        );
+    }
+
+    #[test]
+    fn clean_warmup_queries_are_dropped_by_the_tail_sampler() {
+        let (server, obs) = profiled_server(FaultSchedule::default(), 4);
+        let client = ResilientClient::new(server, ClientConfig::default()).expect("client");
+        for _ in 0..8 {
+            let prof = client.query_profiled(point_req(), None);
+            prof.result.expect("query");
+            assert!(!prof.kept, "clean warmup queries must not be persisted");
+        }
+        assert!(obs.flight_kept().is_empty());
+        assert_eq!(obs.flight_jsonl(), "");
+        assert_eq!(obs.counter_value(names::STORE_FLIGHT_DROPPED, &[]), Some(8));
     }
 
     #[test]

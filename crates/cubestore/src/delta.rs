@@ -75,7 +75,7 @@ use spcube_agg::{AggOutput, AggSpec, AggState};
 use spcube_common::retry::Backoff;
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Mask, Relation, Result, Value};
-use spcube_obs::{names, ObsHandle, SpanId, Stopwatch};
+use spcube_obs::{flight_timed, names, FlightLabel, FlightName, ObsHandle, SpanId, Stopwatch};
 
 use crate::blob::BlobStore;
 use crate::codec::{
@@ -834,14 +834,32 @@ pub fn merged_cuboid(
     mask: Mask,
     spec: AggSpec,
 ) -> Result<Vec<(Box<[Value]>, AggOutput)>> {
+    merged_cuboid_obs(blobs, layers, d, mask, spec, &ObsHandle::default())
+}
+
+/// [`merged_cuboid`] with flight-recorder instrumentation: when a
+/// profiled query's context is scoped on this thread, each layer's blob
+/// fetch, decode, and merge are timed as separate flight spans (labeled
+/// with the layer generation) and charged to the query's phase totals.
+pub fn merged_cuboid_obs(
+    blobs: &dyn BlobStore,
+    layers: &[Manifest],
+    d: usize,
+    mask: Mask,
+    spec: AggSpec,
+    obs: &ObsHandle,
+) -> Result<Vec<(Box<[Value]>, AggOutput)>> {
     let template = spec.init();
     let mut acc: BTreeMap<Box<[Value]>, AggState> = BTreeMap::new();
     for m in layers {
         let Some(entry) = m.entry(mask) else {
             continue;
         };
-        let bytes = blobs.get(&entry.path)?;
-        let seg = StateSegment::decode(&bytes)?;
+        let layer = Some((FlightLabel::Layer, m.generation));
+        let bytes = flight_timed(obs, FlightName::BlobIo, layer, || blobs.get(&entry.path))?;
+        let seg = flight_timed(obs, FlightName::Decode, layer, || {
+            StateSegment::decode(&bytes)
+        })?;
         if seg.mask() != mask || seg.d() != d {
             return Err(Error::corrupt(
                 "state segment",
@@ -851,9 +869,12 @@ pub fn merged_cuboid(
                 ),
             ));
         }
-        for (key, state) in seg.rows() {
-            merge_into(&mut acc, key, state, &template)?;
-        }
+        flight_timed(obs, FlightName::Merge, layer, || {
+            for (key, state) in seg.rows() {
+                merge_into(&mut acc, key, state, &template)?;
+            }
+            Ok(())
+        })?;
     }
     Ok(acc
         .into_iter()

@@ -48,7 +48,7 @@ use std::sync::{Arc, Mutex};
 
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Result};
-use spcube_obs::{names, ObsHandle, SpanId};
+use spcube_obs::{ctx as flightctx, names, FlightLabel, FlightName, FlightRec, ObsHandle, SpanId};
 
 use crate::blob::{BlobStore, TMP_SUFFIX};
 
@@ -426,6 +426,21 @@ impl FaultyBlobs {
                 ("path", path.to_string()),
             ],
         );
+        // If a profiled query's context is scoped on this thread, the
+        // fault also lands in that query's flight trace, so a persisted
+        // tail sample shows exactly which injected fault slowed it.
+        if let Some(c) = self.obs.enabled().then(flightctx::current).flatten() {
+            let code = match kind {
+                FaultKind::Transient => 0,
+                FaultKind::Outage => 1,
+                FaultKind::Latency => 2,
+                FaultKind::Torn => 3,
+            };
+            self.obs.flight_emit(
+                FlightRec::event(&c, FlightName::FaultInjected, self.obs.flight_now_us())
+                    .with_label(FlightLabel::Kind, code),
+            );
+        }
     }
 
     fn injected(what: String) -> Error {

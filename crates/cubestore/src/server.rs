@@ -30,7 +30,8 @@ use spcube_agg::AggOutput;
 use spcube_common::sync::{lock_or_recover, wait_or_recover};
 use spcube_common::{Group, Mask, Value};
 use spcube_cubealg::CubeRead;
-use spcube_obs::{names, Clock, ObsHandle, SpanId, Stopwatch};
+use spcube_obs::ctx as flightctx;
+use spcube_obs::{names, Clock, FlightName, FlightRec, ObsHandle, QueryCtx, SpanId, Stopwatch};
 
 use crate::store::CubeStore;
 
@@ -187,8 +188,20 @@ impl ServerStats {
 
 type Reply = mpsc::Sender<Result<Response, ServeError>>;
 
+/// Flight-recorder context riding one queued request: the query's
+/// [`QueryCtx`] plus its admission timestamp on the obs clock, so the
+/// worker can close the queue-wait span from the other side of the
+/// thread hop.
+#[derive(Debug, Clone)]
+pub struct Flight {
+    /// The query's flight context (trace id, root span, phase totals).
+    pub ctx: QueryCtx,
+    /// Admission timestamp, µs on the obs (flight-recorder) clock.
+    pub admit_us: u64,
+}
+
 struct Queue {
-    jobs: VecDeque<(Request, Option<Deadline>, Reply)>,
+    jobs: VecDeque<(Request, Option<Deadline>, Option<Flight>, Reply)>,
     shutting_down: bool,
 }
 
@@ -267,12 +280,29 @@ impl CubeServer {
         req: Request,
         deadline: Option<Deadline>,
     ) -> Result<mpsc::Receiver<Result<Response, ServeError>>, ServeError> {
+        self.submit_traced(req, deadline, None)
+    }
+
+    /// Enqueue a request carrying a flight-recorder context. The
+    /// admission timestamp is read on the obs clock (not the server's
+    /// deadline clock) so profiled runs never perturb mock-clock
+    /// deadline arithmetic.
+    pub fn submit_traced(
+        &self,
+        req: Request,
+        deadline: Option<Deadline>,
+        ctx: Option<QueryCtx>,
+    ) -> Result<mpsc::Receiver<Result<Response, ServeError>>, ServeError> {
         if let Some(dl) = deadline {
             if self.shared.clock.now_us() >= dl.at_us {
                 note_deadline_miss(&self.shared, self.store.obs(), "admission");
                 return Err(ServeError::DeadlineExceeded);
             }
         }
+        let flight = ctx.map(|ctx| Flight {
+            admit_us: self.store.obs().flight_now_us(),
+            ctx,
+        });
         let mut q = lock_or_recover(&self.shared.queue);
         if q.shutting_down {
             return Err(ServeError::ShuttingDown);
@@ -284,7 +314,7 @@ impl CubeServer {
             });
         }
         let (tx, rx) = mpsc::channel();
-        q.jobs.push_back((req, deadline, tx));
+        q.jobs.push_back((req, deadline, flight, tx));
         drop(q);
         self.shared.wake.notify_one();
         Ok(rx)
@@ -371,7 +401,7 @@ impl CubeServer {
                 // IO and must not run under the queue guard.
                 let shed: Vec<Reply> = {
                     let mut q = lock_or_recover(&self.shared.queue);
-                    q.jobs.drain(..).map(|(_req, _dl, tx)| tx).collect()
+                    q.jobs.drain(..).map(|(_req, _dl, _fl, tx)| tx).collect()
                 };
                 for tx in shed {
                     let _ = tx.send(Err(ServeError::ShuttingDown));
@@ -421,9 +451,24 @@ fn worker_loop(shared: &Shared, store: &CubeStore) {
                 q = wait_or_recover(&shared.wake, q);
             }
         };
-        let Some((req, deadline, tx)) = job else {
+        let Some((req, deadline, flight, tx)) = job else {
             return;
         };
+        // Flight context crossed the queue: close the queue-wait span
+        // from this side of the thread hop (obs clock, not the deadline
+        // clock, so profiled runs never perturb mock-clock deadlines).
+        if let Some(fl) = &flight {
+            let dequeue_us = store.obs().flight_now_us();
+            let wait_us = dequeue_us.saturating_sub(fl.admit_us);
+            fl.ctx.phases.set_queue(wait_us);
+            store.obs().flight_emit(FlightRec::span(
+                &fl.ctx,
+                store.obs().flight_span_id(),
+                FlightName::QueueWait,
+                fl.admit_us,
+                wait_us,
+            ));
+        }
         // Check 2 of 3: a request that expired while queued is shed
         // before any store work.
         if let Some(dl) = deadline {
@@ -434,7 +479,7 @@ fn worker_loop(shared: &Shared, store: &CubeStore) {
             }
         }
         let t0 = Stopwatch::start();
-        let outcome = match deadline {
+        let exec = || match deadline {
             Some(dl) => {
                 // Warm the cuboid first — the blob fetch/decode (a cache
                 // miss) is the expensive, faultable step — then re-check
@@ -450,6 +495,12 @@ fn worker_loop(shared: &Shared, store: &CubeStore) {
                 }
             }
             None => Ok(answer(store, &req)),
+        };
+        // The scope hands the flight context to the storage layer, which
+        // sits behind `CubeRead` and cannot take a context parameter.
+        let outcome = match &flight {
+            Some(fl) => flightctx::scope(&fl.ctx, exec),
+            None => exec(),
         };
         match outcome {
             Ok(resp) => {

@@ -44,11 +44,11 @@ use spcube_agg::{AggOutput, AggSpec};
 use spcube_common::sync::lock_or_recover;
 use spcube_common::{Error, Group, Mask, Relation, Result, Value};
 use spcube_cubealg::{slice_slot, Cube, CubeRead};
-use spcube_obs::{names, Counter, ObsHandle, SpanId};
+use spcube_obs::{flight_timed, names, Counter, FlightLabel, FlightName, ObsHandle, SpanId};
 
 use crate::blob::BlobStore;
 use crate::cache::SegmentCache;
-use crate::delta::merged_cuboid;
+use crate::delta::merged_cuboid_obs;
 use crate::manifest::{
     gen_manifest_path, manifest_path, parse_generation, quarantine_path, segment_path, Manifest,
     ManifestEntry, StoreKind,
@@ -468,10 +468,18 @@ impl CubeStore {
             // it never saw.
             return Ok(Segment::build(self.manifest.d, mask, Vec::new()));
         };
-        let fetched = self
-            .blobs
-            .get(&entry.path)
-            .and_then(|bytes| Segment::decode(&bytes));
+        // Fetch and decode are timed separately against the flight
+        // recorder when a profiled query's context is active on this
+        // thread (a no-op branch otherwise).
+        let cuboid = Some((FlightLabel::Cuboid, u64::from(mask.0)));
+        let fetched = flight_timed(&self.obs, FlightName::BlobIo, cuboid, || {
+            self.blobs.get(&entry.path)
+        })
+        .and_then(|bytes| {
+            flight_timed(&self.obs, FlightName::Decode, cuboid, || {
+                Segment::decode(&bytes)
+            })
+        });
         match fetched {
             Ok(seg) if seg.mask() == mask && seg.dims() == self.manifest.d => {
                 // A clean read resets the cuboid's strike count.
@@ -492,12 +500,13 @@ impl CubeStore {
     /// unchanged). Data loss in any layer degrades to the BUC recompute,
     /// which is bit-exact over the full recovery relation.
     fn load_layered(&self, mask: Mask) -> Result<Segment> {
-        match merged_cuboid(
+        match merged_cuboid_obs(
             self.blobs.as_ref(),
             &self.layer_manifests,
             self.manifest.d,
             mask,
             self.manifest.spec,
+            &self.obs,
         ) {
             Ok(rows) => {
                 lock_or_recover(&self.degrade_strikes).remove(&mask);

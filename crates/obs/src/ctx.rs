@@ -1,0 +1,216 @@
+//! Flight-recorder query context.
+//!
+//! A [`QueryCtx`] identifies one in-flight query: a trace id, the id of
+//! the root span every flight record parents under, and the lock-free
+//! [`PhaseAcc`] the serving layers charge their time to. The context is
+//! *explicitly propagated*: the client creates it, hands it through the
+//! server's bounded queue to the worker, and the worker opens a
+//! [`scope`] around query execution so the storage layer (which sits
+//! behind the `CubeRead` trait and cannot grow a context parameter)
+//! reads it back with [`current`]. The scope is a plain thread-local
+//! stack — no global state outlives the worker's call, and nested
+//! scopes (degraded recompute inside a serve) unwind correctly.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-phase latency accumulators for one query, in microseconds. All
+/// fields are relaxed atomics: the worker and the storage layer charge
+/// time from whichever thread executes the query, and the client reads
+/// the totals once at finish.
+#[derive(Debug, Default)]
+pub struct PhaseAcc {
+    queue_us: AtomicU64,
+    io_us: AtomicU64,
+    decode_us: AtomicU64,
+    merge_us: AtomicU64,
+}
+
+impl PhaseAcc {
+    /// Record the admission-to-dequeue wait (set once by the worker).
+    pub fn set_queue(&self, us: u64) {
+        self.queue_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Charge blob-fetch time.
+    pub fn add_io(&self, us: u64) {
+        self.io_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Charge segment-decode time.
+    pub fn add_decode(&self, us: u64) {
+        self.decode_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Charge layered-merge time.
+    pub fn add_merge(&self, us: u64) {
+        self.merge_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Snapshot the accumulators against the measured end-to-end
+    /// latency. `finalize` is the residual, so the five phases sum to
+    /// `total_us` exactly (saturating when a mock clock makes a phase
+    /// reading exceed the total).
+    pub fn breakdown(&self, total_us: u64) -> PhaseBreakdown {
+        let queue_us = self.queue_us.load(Ordering::Relaxed);
+        let io_us = self.io_us.load(Ordering::Relaxed);
+        let decode_us = self.decode_us.load(Ordering::Relaxed);
+        let merge_us = self.merge_us.load(Ordering::Relaxed);
+        let attributed = queue_us
+            .saturating_add(io_us)
+            .saturating_add(decode_us)
+            .saturating_add(merge_us);
+        PhaseBreakdown {
+            total_us,
+            queue_us,
+            io_us,
+            decode_us,
+            merge_us,
+            finalize_us: total_us.saturating_sub(attributed),
+        }
+    }
+}
+
+/// One query's latency decomposed into phases (µs). `finalize_us` is
+/// the residual of `total_us` over the four measured phases, so the
+/// parts always sum to at most `total_us` and — whenever the measured
+/// phases fit inside the total — exactly to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// End-to-end latency as the client measured it.
+    pub total_us: u64,
+    /// Admission-to-dequeue wait in the bounded queue.
+    pub queue_us: u64,
+    /// Blob fetches (BlobStore reads).
+    pub io_us: u64,
+    /// Segment decodes.
+    pub decode_us: u64,
+    /// Layered state merges.
+    pub merge_us: u64,
+    /// Residual: everything not charged above (scan, finalize, channel
+    /// hops).
+    pub finalize_us: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the five phase columns.
+    pub fn phase_sum_us(&self) -> u64 {
+        self.queue_us
+            .saturating_add(self.io_us)
+            .saturating_add(self.decode_us)
+            .saturating_add(self.merge_us)
+            .saturating_add(self.finalize_us)
+    }
+}
+
+/// Context of one in-flight query: cheap to clone (the accumulator is
+/// shared behind an `Arc`).
+#[derive(Debug, Clone)]
+pub struct QueryCtx {
+    /// Trace id every flight record of this query carries.
+    pub trace_id: u64,
+    /// Id of the root span all flight records parent under (flat
+    /// parenting: a record can never orphan, even when a hedge loser
+    /// finishes after harvest).
+    pub root: u64,
+    /// Shared phase accumulators.
+    pub phases: Arc<PhaseAcc>,
+}
+
+thread_local! {
+    /// Stack of flight contexts active on this thread (a stack, not a
+    /// slot, so a degraded recompute nested inside a profiled serve
+    /// restores the outer context on exit).
+    static CURRENT: RefCell<Vec<QueryCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with `ctx` as this thread's current flight context. The
+/// context pops on exit even on early return.
+pub fn scope<T>(ctx: &QueryCtx, f: impl FnOnce() -> T) -> T {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            let _ = CURRENT.try_with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    let _ = CURRENT.try_with(|c| c.borrow_mut().push(ctx.clone()));
+    let _pop = Pop;
+    f()
+}
+
+/// The current flight context, if a [`scope`] is active on this thread.
+pub fn current() -> Option<QueryCtx> {
+    CURRENT
+        .try_with(|c| c.borrow().last().cloned())
+        .ok()
+        .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_exactly_via_residual() {
+        let acc = PhaseAcc::default();
+        acc.set_queue(100);
+        acc.add_io(40);
+        acc.add_io(10);
+        acc.add_decode(25);
+        acc.add_merge(5);
+        let b = acc.breakdown(300);
+        assert_eq!(b.queue_us, 100);
+        assert_eq!(b.io_us, 50);
+        assert_eq!(b.decode_us, 25);
+        assert_eq!(b.merge_us, 5);
+        assert_eq!(b.finalize_us, 120);
+        assert_eq!(b.phase_sum_us(), 300);
+    }
+
+    #[test]
+    fn breakdown_saturates_when_phases_exceed_total() {
+        let acc = PhaseAcc::default();
+        acc.set_queue(500);
+        let b = acc.breakdown(300);
+        assert_eq!(b.finalize_us, 0);
+        assert_eq!(b.phase_sum_us(), 500);
+    }
+
+    #[test]
+    fn scope_is_a_stack_and_pops_on_exit() {
+        let mk = |id| QueryCtx {
+            trace_id: id,
+            root: id * 10,
+            phases: Arc::new(PhaseAcc::default()),
+        };
+        assert!(current().is_none());
+        let outer = mk(1);
+        scope(&outer, || {
+            assert_eq!(current().map(|c| c.trace_id), Some(1));
+            let inner = mk(2);
+            scope(&inner, || {
+                assert_eq!(current().map(|c| c.trace_id), Some(2));
+            });
+            assert_eq!(current().map(|c| c.trace_id), Some(1));
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scopes_are_thread_local() {
+        let ctx = QueryCtx {
+            trace_id: 7,
+            root: 70,
+            phases: Arc::new(PhaseAcc::default()),
+        };
+        scope(&ctx, || {
+            let seen = std::thread::spawn(|| current().is_none())
+                .join()
+                .unwrap_or(false);
+            assert!(seen, "another thread must not see this scope");
+        });
+    }
+}

@@ -10,11 +10,30 @@
 //! replaces did not have.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use spcube_common::sync::lock_or_recover;
 
 /// Number of buckets: index 0 holds `[0, 1)`, index `i` (1..=62) holds
 /// `[2^(i-1), 2^i)`, and the last bucket absorbs everything from `2^62`
 /// up (saturation).
 pub const BUCKETS: usize = 64;
+
+/// Exemplars kept per histogram before new ones are dropped (tail
+/// sampling keeps exemplars rare; the cap only bounds pathology).
+const MAX_EXEMPLARS: usize = 4096;
+
+/// One exemplar: a trace id pinned to the bucket its sample landed in,
+/// so a high-latency bucket can name the flight traces behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Upper bound of the bucket the sample fell into.
+    pub bucket_upper: f64,
+    /// The flight trace id that produced the sample.
+    pub trace_id: u64,
+    /// The exact sample value.
+    pub value: f64,
+}
 
 /// A concurrent log2-bucketed histogram of non-negative `f64` samples.
 ///
@@ -29,6 +48,11 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     /// Largest sample, stored as `f64` bits (CAS-max).
     max_bits: AtomicU64,
+    /// Smallest sample, stored as `f64` bits (CAS-min; +inf until the
+    /// first record, so [`Histogram::min`] guards on the count).
+    min_bits: AtomicU64,
+    /// Exemplars attached via [`Histogram::record_with_exemplar`].
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 impl Default for Histogram {
@@ -38,6 +62,8 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
             max_bits: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 }
@@ -90,6 +116,32 @@ impl Histogram {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (add > f64::from_bits(bits)).then(|| add.to_bits())
             });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (add < f64::from_bits(bits)).then(|| add.to_bits())
+            });
+    }
+
+    /// Record one sample and pin `trace_id` as an exemplar of the
+    /// bucket it lands in, so tail-sampled traces can be looked up from
+    /// the latency histogram they distorted.
+    pub fn record_with_exemplar(&self, v: f64, trace_id: u64) {
+        self.record(v);
+        let bucket = bucket_of(v);
+        let mut ex = lock_or_recover(&self.exemplars);
+        if ex.len() < MAX_EXEMPLARS {
+            ex.push(Exemplar {
+                bucket_upper: upper_bound(bucket),
+                trace_id,
+                value: if v.is_nan() { 0.0 } else { v },
+            });
+        }
+    }
+
+    /// All exemplars recorded so far, in record order.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        lock_or_recover(&self.exemplars).clone()
     }
 
     /// Samples recorded.
@@ -105,6 +157,22 @@ impl Histogram {
     /// Largest sample seen (`0` when empty).
     pub fn max(&self) -> f64 {
         f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest sample seen (`0` when empty). Together with
+    /// [`Histogram::max`] this bounds the true sample range exactly, so
+    /// bucket-upper-bound quantiles (and exemplar-linked traces) can be
+    /// sanity-checked against real extremes instead of bucket edges.
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
     }
 
     /// The `q`-quantile (`0.0 < q <= 1.0`): upper bound of the bucket
@@ -146,6 +214,22 @@ impl Histogram {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (omax > f64::from_bits(bits)).then(|| omax.to_bits())
             });
+        if other.count() > 0 {
+            let omin = other.min();
+            let _ = self
+                .min_bits
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                    (omin < f64::from_bits(bits)).then(|| omin.to_bits())
+                });
+        }
+        let other_ex = other.exemplars();
+        let mut ex = lock_or_recover(&self.exemplars);
+        for e in other_ex {
+            if ex.len() >= MAX_EXEMPLARS {
+                break;
+            }
+            ex.push(e);
+        }
     }
 
     /// Non-empty buckets as `(upper_bound, count)` pairs, for exporters.
@@ -209,8 +293,51 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.max(), 0.0);
+        assert_eq!(h.min(), 0.0);
         assert_eq!(h.sum(), 0.0);
         assert!(h.nonzero_buckets().is_empty());
+        assert!(h.exemplars().is_empty());
+    }
+
+    #[test]
+    fn min_and_max_track_true_extremes() {
+        let h = Histogram::new();
+        for v in [37.0, 5.5, 900.0, 12.0] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 5.5);
+        assert_eq!(h.max(), 900.0);
+        // The bucketed p50 can only be trusted inside [min, max].
+        let p50 = h.quantile(0.5);
+        assert!(p50 <= h.max(), "quantile clamped to the observed max");
+        assert!(h.min() <= h.max());
+    }
+
+    #[test]
+    fn exemplars_pin_trace_ids_to_buckets() {
+        let h = Histogram::new();
+        h.record(10.0);
+        h.record_with_exemplar(700.0, 42);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].trace_id, 42);
+        assert_eq!(ex[0].value, 700.0);
+        assert!(ex[0].bucket_upper >= 700.0);
+        assert_eq!(h.count(), 2, "exemplar samples still count");
+    }
+
+    #[test]
+    fn merge_folds_min_and_exemplars() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(50.0);
+        b.record_with_exemplar(3.0, 7);
+        a.merge(&b);
+        assert_eq!(a.min(), 3.0);
+        assert_eq!(a.exemplars().len(), 1);
+        // Merging an empty histogram leaves min alone.
+        a.merge(&Histogram::new());
+        assert_eq!(a.min(), 3.0);
     }
 
     #[test]

@@ -28,17 +28,23 @@
 #![warn(clippy::significant_drop_in_scrutinee)]
 
 pub mod clock;
+pub mod ctx;
 pub mod hist;
 pub mod names;
 pub mod registry;
+pub mod ring;
+pub mod sampler;
 pub mod trace;
 pub mod tree;
 
 use std::sync::Arc;
 
 pub use clock::{Clock, Stopwatch, MOCK_STEP_US};
-pub use hist::Histogram;
+pub use ctx::{PhaseAcc, PhaseBreakdown, QueryCtx};
+pub use hist::{Exemplar, Histogram};
 pub use registry::{Counter, Gauge, Registry};
+pub use ring::{FlightKind, FlightLabel, FlightName, FlightRec, FlightRecorder, Ring};
+pub use sampler::TailSampler;
 pub use trace::{SpanId, Tracer};
 pub use tree::{EventRec, SpanNode, SpanTree};
 
@@ -49,6 +55,8 @@ pub struct Obs {
     pub registry: Registry,
     /// Span/event tracer.
     pub tracer: Tracer,
+    /// Always-on query flight recorder (tail sampling + phase spans).
+    pub flight: FlightRecorder,
 }
 
 /// A shareable handle to one observability session; the default handle
@@ -69,18 +77,22 @@ impl std::fmt::Debug for ObsHandle {
 impl ObsHandle {
     /// An enabled handle timestamping with the host clock.
     pub fn wall() -> ObsHandle {
-        ObsHandle(Some(Arc::new(Obs {
-            registry: Registry::new(),
-            tracer: Tracer::new(Clock::wall()),
-        })))
+        ObsHandle::with_clock(Arc::new(Clock::wall()))
     }
 
     /// An enabled handle on the deterministic mock clock: trace output
     /// is byte-identical across identical runs.
     pub fn mock() -> ObsHandle {
+        ObsHandle::with_clock(Arc::new(Clock::mock()))
+    }
+
+    /// An enabled handle whose tracer and flight recorder share `clock`,
+    /// so driver spans and flight records read one timeline.
+    pub fn with_clock(clock: Arc<Clock>) -> ObsHandle {
         ObsHandle(Some(Arc::new(Obs {
             registry: Registry::new(),
-            tracer: Tracer::new(Clock::mock()),
+            tracer: Tracer::new(Arc::clone(&clock)),
+            flight: FlightRecorder::new(clock),
         })))
     }
 
@@ -193,6 +205,118 @@ impl ObsHandle {
             .map(|obs| obs.registry.prometheus_snapshot())
             .unwrap_or_default()
     }
+
+    /// Open a flight-recorder query context (`None` when disabled).
+    pub fn flight_begin(&self) -> Option<QueryCtx> {
+        self.0.as_ref().map(|obs| obs.flight.begin())
+    }
+
+    /// Current time on the flight recorder's clock, µs (0 when disabled).
+    pub fn flight_now_us(&self) -> u64 {
+        self.0.as_ref().map_or(0, |obs| obs.flight.now_us())
+    }
+
+    /// A fresh flight span id (0 when disabled).
+    pub fn flight_span_id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |obs| obs.flight.span_id())
+    }
+
+    /// Write one record into this thread's flight ring.
+    pub fn flight_emit(&self, rec: FlightRec) {
+        if let Some(obs) = &self.0 {
+            obs.flight.emit(rec);
+        }
+    }
+
+    /// Finish a flight query: tail-sample, and persist the harvested
+    /// trace when kept. Bumps `store.flight.kept` / `store.flight.dropped`
+    /// and returns whether the trace was kept (`false` when disabled).
+    pub fn flight_finish(
+        &self,
+        ctx: &QueryCtx,
+        start_us: u64,
+        total_us: u64,
+        errored: bool,
+        deadline_missed: bool,
+    ) -> bool {
+        let Some(obs) = &self.0 else {
+            return false;
+        };
+        let kept = obs
+            .flight
+            .finish(ctx, start_us, total_us, errored, deadline_missed);
+        let name = if kept {
+            names::STORE_FLIGHT_KEPT
+        } else {
+            names::STORE_FLIGHT_DROPPED
+        };
+        obs.registry.counter(name, &[]).inc();
+        kept
+    }
+
+    /// All kept flight traces as one JSONL document (empty when disabled).
+    pub fn flight_jsonl(&self) -> String {
+        self.0
+            .as_ref()
+            .map(|obs| obs.flight.jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Trace ids of all kept flight traces, ascending.
+    pub fn flight_kept(&self) -> Vec<u64> {
+        self.0
+            .as_ref()
+            .map(|obs| obs.flight.kept_ids())
+            .unwrap_or_default()
+    }
+
+    /// Exemplars pinned to the flight latency histogram's buckets.
+    pub fn flight_exemplars(&self) -> Vec<Exemplar> {
+        self.0
+            .as_ref()
+            .map(|obs| obs.flight.latency().exemplars())
+            .unwrap_or_default()
+    }
+
+    /// A quantile of the flight latency histogram (0 when disabled).
+    pub fn flight_latency_quantile(&self, q: f64) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |obs| obs.flight.latency().quantile(q))
+    }
+}
+
+/// Run `f` timed against the flight recorder. When obs is enabled and a
+/// [`ctx::scope`] is active on this thread, the elapsed µs are charged
+/// to the phase accumulator matching `name` (blob-IO, decode, or merge)
+/// and emitted as a flight span; otherwise `f` runs untimed. This is the
+/// one instrumentation point the storage layer needs — it reads the
+/// context the serving worker scoped, so no signature grows a context
+/// parameter.
+pub fn flight_timed<T>(
+    obs: &ObsHandle,
+    name: FlightName,
+    label: Option<(FlightLabel, u64)>,
+    f: impl FnOnce() -> T,
+) -> T {
+    let Some(c) = obs.enabled().then(ctx::current).flatten() else {
+        return f();
+    };
+    let t0 = obs.flight_now_us();
+    let out = f();
+    let dur_us = obs.flight_now_us().saturating_sub(t0);
+    match name {
+        FlightName::BlobIo => c.phases.add_io(dur_us),
+        FlightName::Decode => c.phases.add_decode(dur_us),
+        FlightName::Merge => c.phases.add_merge(dur_us),
+        _ => {}
+    }
+    let mut rec = FlightRec::span(&c, obs.flight_span_id(), name, t0, dur_us);
+    if let Some((key, value)) = label {
+        rec = rec.with_label(key, value);
+    }
+    obs.flight_emit(rec);
+    out
 }
 
 /// A span that closes itself (with no attributes) when dropped. Obtain
@@ -275,6 +399,56 @@ mod tests {
         assert_eq!(obs.counter_value(names::STORE_CACHE_HIT, &[]), Some(2));
         assert_eq!(format!("{obs:?}"), "ObsHandle(mock)");
         assert_eq!(format!("{:?}", ObsHandle::wall()), "ObsHandle(wall)");
+    }
+
+    #[test]
+    fn disabled_flight_api_is_a_noop() {
+        let obs = ObsHandle::default();
+        assert!(obs.flight_begin().is_none());
+        assert_eq!(obs.flight_now_us(), 0);
+        assert_eq!(obs.flight_span_id(), 0);
+        assert!(obs.flight_jsonl().is_empty());
+        assert!(obs.flight_kept().is_empty());
+        assert!(obs.flight_exemplars().is_empty());
+        assert_eq!(obs.flight_latency_quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn flight_finish_bumps_kept_and_dropped_counters() {
+        let obs = ObsHandle::mock();
+        let ctx = obs.flight_begin().expect("enabled");
+        obs.flight_emit(FlightRec::span(
+            &ctx,
+            obs.flight_span_id(),
+            FlightName::BlobIo,
+            0,
+            3,
+        ));
+        assert!(obs.flight_finish(&ctx, 0, 10, true, false));
+        assert_eq!(obs.counter_value(names::STORE_FLIGHT_KEPT, &[]), Some(1));
+        assert_eq!(obs.flight_kept(), vec![ctx.trace_id]);
+        let tree = SpanTree::parse_jsonl(&obs.flight_jsonl()).expect("parse");
+        tree.validate().expect("valid");
+        assert_eq!(tree.spans_named(names::SERVE_PHASE_TOTAL).len(), 1);
+    }
+
+    #[test]
+    fn flight_timed_charges_phases_only_inside_a_scope() {
+        let obs = ObsHandle::mock();
+        let c = obs.flight_begin().expect("ctx");
+        let out = ctx::scope(&c, || {
+            flight_timed(
+                &obs,
+                FlightName::BlobIo,
+                Some((FlightLabel::Cuboid, 3)),
+                || 42,
+            )
+        });
+        assert_eq!(out, 42);
+        assert!(c.phases.breakdown(1_000_000).io_us > 0, "mock ticks charge");
+        // Outside a scope the same call is untimed.
+        flight_timed(&obs, FlightName::Decode, None, || ());
+        assert_eq!(c.phases.breakdown(1_000_000).decode_us, 0);
     }
 
     #[test]

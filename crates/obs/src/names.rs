@@ -105,6 +105,28 @@ pub const STORE_SCRUB_UNREPAIRABLE: &str = "store.scrub.unrepairable";
 /// Wall microseconds one scrub pass took (histogram).
 pub const STORE_SCRUB_US: &str = "store.scrub.us";
 
+/// Root span of one profiled query's flight trace (span).
+pub const SERVE_PHASE_TOTAL: &str = "serve.phase.total";
+/// Admission-to-dequeue wait in the bounded queue (span).
+pub const SERVE_PHASE_QUEUE_WAIT: &str = "serve.phase.queue_wait";
+/// Residual latency not charged to queue/IO/decode/merge (span).
+pub const SERVE_PHASE_FINALIZE: &str = "serve.phase.finalize";
+/// A profiled client attempt was retried (event; label: `attempt`).
+pub const SERVE_PHASE_RETRY: &str = "serve.phase.retry";
+/// A profiled query ended in a typed error (event).
+pub const SERVE_PHASE_ERROR: &str = "serve.phase.error";
+/// One blob fetch on the profiled read path (span; label: `cuboid` or
+/// `layer`).
+pub const STORE_FLIGHT_BLOB_IO: &str = "store.flight.blob_io";
+/// One segment decode on the profiled read path (span).
+pub const STORE_FLIGHT_DECODE: &str = "store.flight.decode";
+/// One layered state merge on the profiled read path (span).
+pub const STORE_FLIGHT_MERGE: &str = "store.flight.merge";
+/// Tail-sampled flight traces persisted to the kept buffer (counter).
+pub const STORE_FLIGHT_KEPT: &str = "store.flight.kept";
+/// Finished flight traces dropped at ring granularity (counter).
+pub const STORE_FLIGHT_DROPPED: &str = "store.flight.dropped";
+
 /// Every registered name — the single source the naming test audits.
 pub const ALL: &[&str] = &[
     ENGINE_ROUND,
@@ -149,6 +171,16 @@ pub const ALL: &[&str] = &[
     STORE_SCRUB_REPAIRED,
     STORE_SCRUB_UNREPAIRABLE,
     STORE_SCRUB_US,
+    SERVE_PHASE_TOTAL,
+    SERVE_PHASE_QUEUE_WAIT,
+    SERVE_PHASE_FINALIZE,
+    SERVE_PHASE_RETRY,
+    SERVE_PHASE_ERROR,
+    STORE_FLIGHT_BLOB_IO,
+    STORE_FLIGHT_DECODE,
+    STORE_FLIGHT_MERGE,
+    STORE_FLIGHT_KEPT,
+    STORE_FLIGHT_DROPPED,
 ];
 
 /// Whether `s` is a lowercase dotted identifier:

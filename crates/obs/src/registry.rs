@@ -128,8 +128,9 @@ impl Registry {
 
     /// Prometheus-style text snapshot, deterministically ordered. Dots in
     /// instrument names become underscores (Prometheus' charset);
-    /// histograms export as summaries: `_count`, `_sum`, `_max`, and
-    /// `quantile` series for p50/p90/p99.
+    /// histograms export as summaries: `_count`, `_sum`, `_max`, `_min`
+    /// (true observed extremes, so bucket-bound quantiles can be
+    /// sanity-checked), and `quantile` series for p50/p90/p99.
     pub fn prometheus_snapshot(&self) -> String {
         let fmt_labels = |labels: &Labels, extra: Option<(&str, &str)>| {
             let mut parts: Vec<String> =
@@ -169,6 +170,11 @@ impl Registry {
                         "{name}_max{} {}\n",
                         fmt_labels(labels, None),
                         h.max()
+                    ));
+                    out.push_str(&format!(
+                        "{name}_min{} {}\n",
+                        fmt_labels(labels, None),
+                        h.min()
                     ));
                     for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
                         out.push_str(&format!(
@@ -229,5 +235,7 @@ mod tests {
         let c = snap.find("c_lat_count 1").expect("hist count line");
         assert!(a < b && b < c, "snapshot must be name-sorted:\n{snap}");
         assert!(snap.contains("c_lat{quantile=\"0.99\"} 3"));
+        assert!(snap.contains("c_lat_max 3"));
+        assert!(snap.contains("c_lat_min 3"));
     }
 }

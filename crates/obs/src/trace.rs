@@ -15,7 +15,7 @@
 //! a pure function of the recording order, so two identical runs produce
 //! byte-identical trace files.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use spcube_common::sync::lock_or_recover;
 
@@ -58,16 +58,18 @@ struct TraceState {
     records: Vec<Record>,
 }
 
-/// The tracer: a clock plus an append-only record log.
+/// The tracer: a clock plus an append-only record log. The clock is
+/// shared (`Arc`) with the flight recorder of the same obs session, so
+/// driver spans and flight records read one timeline.
 #[derive(Debug)]
 pub struct Tracer {
-    clock: Clock,
+    clock: Arc<Clock>,
     state: Mutex<TraceState>,
 }
 
 impl Tracer {
     /// A tracer over the given clock.
-    pub fn new(clock: Clock) -> Tracer {
+    pub fn new(clock: Arc<Clock>) -> Tracer {
         Tracer {
             clock,
             state: Mutex::new(TraceState::default()),
@@ -220,7 +222,7 @@ mod tests {
     #[test]
     fn mock_trace_is_byte_identical_across_runs() {
         let run = || {
-            let t = Tracer::new(Clock::mock());
+            let t = Tracer::new(Arc::new(Clock::mock()));
             let a = t.span("a.root", SpanId::ROOT, &[("job", "x".into())]);
             let b = t.span("a.child", a, &[]);
             t.event("a.tick", b, &[("n", "1".into())]);
@@ -238,14 +240,14 @@ mod tests {
 
     #[test]
     fn ending_the_root_is_a_noop() {
-        let t = Tracer::new(Clock::mock());
+        let t = Tracer::new(Arc::new(Clock::mock()));
         t.end(SpanId::ROOT, &[]);
         assert!(t.is_empty());
     }
 
     #[test]
     fn labels_are_sorted_for_determinism() {
-        let t = Tracer::new(Clock::mock());
+        let t = Tracer::new(Arc::new(Clock::mock()));
         let s = t.span("s.x", SpanId::ROOT, &[("z", "1".into()), ("a", "2".into())]);
         t.end(s, &[]);
         assert!(t.jsonl().contains("\"labels\":{\"a\":\"2\",\"z\":\"1\"}"));

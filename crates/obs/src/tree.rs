@@ -56,12 +56,20 @@ pub struct SpanTree {
     /// Structural problems found while parsing (unknown parents,
     /// duplicate ids, ends without starts) — consulted by [`validate`].
     problems: Vec<String>,
+    /// Non-fatal parse warnings (e.g. a torn final line from a writer
+    /// killed mid-append). Not consulted by [`validate`]: a torn tail is
+    /// an ingest artefact, not a structural error in what was recovered.
+    warnings: Vec<String>,
 }
 
 impl SpanTree {
     /// Parse a JSONL trace into a span forest. Fails only on lines that
     /// are not valid JSON records; structural inconsistencies are kept
-    /// for [`SpanTree::validate`].
+    /// for [`SpanTree::validate`]. One exception: a malformed *final*
+    /// line of an unterminated file (no trailing newline) after at least
+    /// one good record is treated as a torn tail — the partial write of
+    /// a killed process — and comes back as a [`SpanTree::warnings`]
+    /// entry instead of a parse failure.
     pub fn parse_jsonl(input: &str) -> Result<SpanTree, String> {
         let mut tree = SpanTree::default();
         let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
@@ -70,12 +78,30 @@ impl SpanTree {
         type EndRec = (u64, u64, Vec<(String, String)>);
         let mut ends: Vec<EndRec> = Vec::new();
         let mut events: Vec<(u64, EventRec)> = Vec::new();
-        for (lineno, line) in input.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let rec = parse_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let lines: Vec<(usize, &str)> = input
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        let last_idx = lines.last().map(|&(i, _)| i);
+        for (parsed, &(lineno, line)) in lines.iter().enumerate() {
+            let rec = match parse_record(line) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    // A torn tail: the file's final line, unterminated,
+                    // after at least one complete record. Anything else
+                    // is a hard parse error.
+                    if Some(lineno) == last_idx && parsed > 0 && !input.ends_with('\n') {
+                        tree.warnings.push(format!(
+                            "torn tail: skipped truncated final line {} ({e})",
+                            lineno + 1
+                        ));
+                        break;
+                    }
+                    return Err(format!("line {}: {e}", lineno + 1));
+                }
+            };
             match rec {
                 JsonRecord::SpanStart {
                     id,
@@ -182,6 +208,12 @@ impl SpanTree {
         }
         tree.roots.sort_by_key(|&r| key(r));
         Ok(tree)
+    }
+
+    /// Non-fatal warnings collected during parsing (torn tails). Empty
+    /// for a cleanly terminated trace.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
     }
 
     /// Total duration of a span in µs: `end - start`, or 0 if unclosed
@@ -589,9 +621,10 @@ mod tests {
     use super::*;
     use crate::clock::Clock;
     use crate::trace::{SpanId, Tracer};
+    use std::sync::Arc;
 
     fn sample_trace() -> String {
-        let t = Tracer::new(Clock::mock());
+        let t = Tracer::new(Arc::new(Clock::mock()));
         let root = t.span("engine.round", SpanId::ROOT, &[("job", "fig6".into())]);
         let a = t.span("engine.task", root, &[("task", "0".into())]);
         let b = t.span("engine.task", root, &[("task", "1".into())]);
@@ -672,6 +705,31 @@ mod tests {
         ] {
             assert!(SpanTree::parse_jsonl(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn torn_final_line_is_a_warning_not_an_error() {
+        // A writer killed mid-append leaves a truncated, unterminated
+        // final line. The recovered prefix must still parse + validate.
+        let mut jsonl = sample_trace();
+        jsonl.push_str("{\"type\":\"span_start\",\"id\":9,\"par");
+        assert!(!jsonl.ends_with('\n'));
+        let tree = SpanTree::parse_jsonl(&jsonl).expect("torn tail tolerated");
+        tree.validate().expect("recovered prefix is valid");
+        assert_eq!(tree.nodes.len(), 3);
+        assert_eq!(tree.warnings().len(), 1);
+        assert!(tree.warnings()[0].contains("torn tail"));
+    }
+
+    #[test]
+    fn newline_terminated_garbage_is_still_a_hard_error() {
+        // A *complete* (newline-terminated) malformed line is corruption,
+        // not a torn tail.
+        let mut jsonl = sample_trace();
+        jsonl.push_str("{\"type\":\"span_start\",\"id\":9,\"par\n");
+        assert!(SpanTree::parse_jsonl(&jsonl).is_err());
+        // Likewise a torn line with nothing recovered before it.
+        assert!(SpanTree::parse_jsonl("{\"type\":\"spa").is_err());
     }
 
     #[test]

@@ -266,6 +266,7 @@ fn keyword_before(text: &str, pos: usize) -> bool {
             | "else"
             | "match"
             | "if"
+            | "let"
     )
 }
 
@@ -828,6 +829,8 @@ mod tests {
         assert!(run_r1("fn f(tuples: &mut [&u32]) {}\n").is_empty());
         assert!(run_r1("fn g() -> &'static mut [u8] { todo_elsewhere() }\n").is_empty());
         assert!(run_r1("struct P<'a> { bytes: &'a [u8], pos: usize }\n").is_empty());
+        // `let [..] = ..` destructures an array; nothing can panic.
+        assert!(run_r1("let [a, b, c] = words;\n").is_empty());
     }
 
     #[test]
@@ -1123,6 +1126,24 @@ mod tests {
             "crates/cubestore/src/client.rs"
         ));
         assert!(in_scope(Scope::ParseExempt, "crates/common/src/sync.rs"));
+    }
+
+    #[test]
+    fn flight_recorder_modules_are_inside_the_strict_scopes() {
+        // The seqlock ring, the scoped trace context, and the tail sampler
+        // are on the hot query path: they must stay under both the no-panic
+        // and the ordered-output policies.
+        for rel in [
+            "crates/obs/src/ring.rs",
+            "crates/obs/src/ctx.rs",
+            "crates/obs/src/sampler.rs",
+        ] {
+            assert!(is_no_panic_path(rel), "{rel} must be NoPanic scope");
+            assert!(
+                is_ordered_output_path(rel),
+                "{rel} must be OrderedOutput scope"
+            );
+        }
     }
 
     #[test]
